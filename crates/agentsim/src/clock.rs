@@ -1,0 +1,164 @@
+//! Simulated time.
+//!
+//! The discrete-event world advances a virtual clock measured in
+//! microseconds. [`SimTime`] is an instant; [`SimDuration`] a span. Both are
+//! plain `u64` microsecond counts under the hood, cheap to copy and totally
+//! ordered, which the event queue relies on for deterministic execution.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant of simulated time, in microseconds since world start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The world-start instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Microseconds since world start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Microsecond count.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration scaled by a float factor, saturating at u64 bounds.
+    ///
+    /// Used by the network model to derive transfer time from bytes and
+    /// bandwidth.
+    pub fn mul_f64(self, factor: f64) -> Self {
+        let v = (self.0 as f64 * factor).max(0.0);
+        SimDuration(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}us", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::ZERO + SimDuration::from_millis(2);
+        assert_eq!(t.as_micros(), 2_000);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let a = SimTime(100);
+        let b = SimTime(400);
+        assert_eq!(b.since(a).as_micros(), 300);
+        assert_eq!(a.since(b).as_micros(), 0);
+    }
+
+    #[test]
+    fn sub_matches_since() {
+        assert_eq!(SimTime(500) - SimTime(200), SimDuration(300));
+    }
+
+    #[test]
+    fn conversions_scale_correctly() {
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimDuration::from_millis(1).as_micros(), 1_000);
+        assert!((SimDuration::from_millis(1500).as_millis_f64() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mul_f64_saturates_and_scales() {
+        assert_eq!(SimDuration(100).mul_f64(2.5).as_micros(), 250);
+        assert_eq!(SimDuration(u64::MAX).mul_f64(10.0).as_micros(), u64::MAX);
+        assert_eq!(SimDuration(100).mul_f64(-1.0).as_micros(), 0);
+    }
+
+    #[test]
+    fn ordering_is_total_on_time() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration(5) > SimDuration(4));
+    }
+}

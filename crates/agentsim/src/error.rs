@@ -1,0 +1,96 @@
+//! Error types for platform operations.
+
+use crate::ids::{AgentId, HostId};
+use std::fmt;
+
+/// Errors returned by platform operations (creation, dispatch, messaging,
+/// activation, authentication).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The named host is not registered in the world.
+    UnknownHost(HostId),
+    /// The named agent does not exist (never created, disposed, or migrated
+    /// away from the queried host).
+    UnknownAgent(AgentId),
+    /// The agent exists but is deactivated; the attempted operation needs a
+    /// live agent.
+    AgentDeactivated(AgentId),
+    /// The agent is already active; `activate` on it is invalid.
+    AgentAlreadyActive(AgentId),
+    /// No factory is registered for this agent type, so a capsule for it
+    /// cannot be rehydrated after migration or activation.
+    UnknownAgentType(String),
+    /// Serialization of agent state failed during capsule construction.
+    SnapshotFailed(String),
+    /// Deserialization of agent state failed during rehydration.
+    RestoreFailed(String),
+    /// A returning mobile agent presented an invalid or replayed travel
+    /// permit (paper §4.1 principle 2: "MBA must authenticate itself to
+    /// BSMA").
+    AuthenticationFailed(AgentId),
+    /// The network has no route between the two hosts.
+    NoRoute(HostId, HostId),
+    /// The operation is not permitted in the agent's current lifecycle
+    /// state (e.g. dispatching an agent that is mid-dispatch).
+    InvalidLifecycle {
+        /// Agent the operation targeted.
+        agent: AgentId,
+        /// Human-readable description of the violated rule.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            PlatformError::UnknownAgent(a) => write!(f, "unknown agent {a}"),
+            PlatformError::AgentDeactivated(a) => write!(f, "agent {a} is deactivated"),
+            PlatformError::AgentAlreadyActive(a) => write!(f, "agent {a} is already active"),
+            PlatformError::UnknownAgentType(t) => write!(f, "no factory for agent type `{t}`"),
+            PlatformError::SnapshotFailed(e) => write!(f, "agent snapshot failed: {e}"),
+            PlatformError::RestoreFailed(e) => write!(f, "agent restore failed: {e}"),
+            PlatformError::AuthenticationFailed(a) => {
+                write!(f, "authentication failed for returning agent {a}")
+            }
+            PlatformError::NoRoute(a, b) => write!(f, "no network route from {a} to {b}"),
+            PlatformError::InvalidLifecycle { agent, reason } => {
+                write!(f, "invalid lifecycle operation on {agent}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, PlatformError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = PlatformError::UnknownAgent(AgentId(5));
+        assert_eq!(e.to_string(), "unknown agent agent-5");
+        let e = PlatformError::NoRoute(HostId(1), HostId(2));
+        assert!(e.to_string().contains("host-1"));
+        assert!(e.to_string().contains("host-2"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<PlatformError>();
+    }
+
+    #[test]
+    fn lifecycle_error_carries_reason() {
+        let e = PlatformError::InvalidLifecycle {
+            agent: AgentId(1),
+            reason: "already dispatching".into(),
+        };
+        assert!(e.to_string().contains("already dispatching"));
+    }
+}

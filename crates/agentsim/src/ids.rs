@@ -1,0 +1,108 @@
+//! Identifier newtypes for hosts, agents and messages.
+//!
+//! Every entity in the platform is addressed by a small copyable id. Using
+//! newtypes (rather than bare integers) prevents accidentally passing a host
+//! id where an agent id is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a host (an agent server / execution context) in the world.
+///
+/// Hosts model the paper's servers: the Coordinator Server, each
+/// Marketplace, each Seller Server and the Buyer Agent Server are all hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host-{}", self.0)
+    }
+}
+
+impl From<u32> for HostId {
+    fn from(v: u32) -> Self {
+        HostId(v)
+    }
+}
+
+/// Identifier of an agent, unique across the whole world for its lifetime.
+///
+/// Ids are never reused, so a stale id reliably names a disposed agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AgentId(pub u64);
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent-{}", self.0)
+    }
+}
+
+impl From<u64> for AgentId {
+    fn from(v: u64) -> Self {
+        AgentId(v)
+    }
+}
+
+/// Identifier of a message, unique per world.
+///
+/// Replies carry the id of the message they answer in
+/// [`crate::message::Message::in_reply_to`], which lets request/response
+/// protocols correlate without a separate conversation abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msg-{}", self.0)
+    }
+}
+
+impl From<u64> for MessageId {
+    fn from(v: u64) -> Self {
+        MessageId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_forms_are_distinct_and_nonempty() {
+        assert_eq!(HostId(3).to_string(), "host-3");
+        assert_eq!(AgentId(9).to_string(), "agent-9");
+        assert_eq!(MessageId(1).to_string(), "msg-1");
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        let mut set = HashSet::new();
+        set.insert(AgentId(1));
+        set.insert(AgentId(2));
+        set.insert(AgentId(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ids_order_by_inner_value() {
+        assert!(HostId(1) < HostId(2));
+        assert!(AgentId(10) > AgentId(2));
+    }
+
+    #[test]
+    fn ids_round_trip_serde() {
+        let id = AgentId(42);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: AgentId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+
+    #[test]
+    fn from_impls_construct_ids() {
+        assert_eq!(HostId::from(7), HostId(7));
+        assert_eq!(AgentId::from(7u64), AgentId(7));
+        assert_eq!(MessageId::from(7u64), MessageId(7));
+    }
+}

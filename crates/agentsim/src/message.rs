@@ -1,0 +1,144 @@
+//! Inter-agent messages.
+//!
+//! The paper's principle 6 (§4.1): *"The coordination of functional agents
+//! in recommendation mechanism is through the message passing."* Messages
+//! carry a string `kind` (a performative, e.g. `"query-request"`), a JSON
+//! payload, and correlation metadata for request/response protocols.
+
+use crate::ids::{AgentId, MessageId};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// A message exchanged between agents.
+///
+/// Construct with [`Message::new`], attach a typed payload with
+/// [`Message::with_payload`], and read it back with [`Message::payload_as`]:
+///
+/// ```
+/// use agentsim::message::Message;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let msg = Message::new("price-quote").with_payload(&42_u32)?;
+/// let price: u32 = msg.payload_as()?;
+/// assert_eq!(price, 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Message {
+    /// Unique id, assigned by the world when the message is sent.
+    pub id: MessageId,
+    /// Sender agent. `None` for messages injected from outside the world
+    /// (e.g. a simulated browser request entering through the front).
+    pub from: Option<AgentId>,
+    /// Destination agent.
+    pub to: AgentId,
+    /// Performative / message kind, e.g. `"query-request"`.
+    pub kind: String,
+    /// Structured payload.
+    pub payload: serde_json::Value,
+    /// Id of the message this one answers, if any.
+    pub in_reply_to: Option<MessageId>,
+}
+
+impl Message {
+    /// Create a message of the given kind with a null payload and no
+    /// addressing; the world fills in `id`, senders fill in `from`/`to`
+    /// via the send API.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Message {
+            id: MessageId(0),
+            from: None,
+            to: AgentId(0),
+            kind: kind.into(),
+            payload: serde_json::Value::Null,
+            in_reply_to: None,
+        }
+    }
+
+    /// Attach a serializable payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error if `value` cannot be
+    /// serialized.
+    pub fn with_payload<T: Serialize>(mut self, value: &T) -> serde_json::Result<Self> {
+        self.payload = serde_json::to_value(value)?;
+        Ok(self)
+    }
+
+    /// Mark this message as a reply to `original`.
+    pub fn replying_to(mut self, original: &Message) -> Self {
+        self.in_reply_to = Some(original.id);
+        self
+    }
+
+    /// Deserialize the payload into a concrete type.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error if the payload does not
+    /// match `T`.
+    pub fn payload_as<T: DeserializeOwned>(&self) -> serde_json::Result<T> {
+        serde_json::from_value(self.payload.clone())
+    }
+
+    /// Approximate on-the-wire size in bytes, used by the network model to
+    /// derive transfer time.
+    pub fn wire_size(&self) -> usize {
+        // kind + payload dominate; fixed header estimated at 32 bytes.
+        32 + self.kind.len() + serde_json::to_string(&self.payload).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Whether this message is of the given kind.
+    pub fn is(&self, kind: &str) -> bool {
+        self.kind == kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Quote {
+        item: String,
+        price: u64,
+    }
+
+    #[test]
+    fn typed_payload_round_trips() {
+        let q = Quote { item: "book".into(), price: 120 };
+        let msg = Message::new("quote").with_payload(&q).unwrap();
+        assert_eq!(msg.payload_as::<Quote>().unwrap(), q);
+    }
+
+    #[test]
+    fn payload_type_mismatch_is_an_error() {
+        let msg = Message::new("quote").with_payload(&"just a string").unwrap();
+        assert!(msg.payload_as::<Quote>().is_err());
+    }
+
+    #[test]
+    fn replying_links_message_ids() {
+        let mut original = Message::new("ask");
+        original.id = MessageId(7);
+        let reply = Message::new("answer").replying_to(&original);
+        assert_eq!(reply.in_reply_to, Some(MessageId(7)));
+    }
+
+    #[test]
+    fn wire_size_grows_with_payload() {
+        let small = Message::new("k").with_payload(&1u8).unwrap();
+        let big = Message::new("k").with_payload(&vec![0u8; 1000]).unwrap();
+        assert!(big.wire_size() > small.wire_size());
+        assert!(small.wire_size() >= 32);
+    }
+
+    #[test]
+    fn is_matches_kind_exactly() {
+        let msg = Message::new("query-request");
+        assert!(msg.is("query-request"));
+        assert!(!msg.is("query"));
+    }
+}

@@ -1,0 +1,82 @@
+//! World-level counters.
+//!
+//! Collected by both runtimes and consumed by experiment E8 (platform
+//! microbenchmarks) and the commerce simulations.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a world's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Messages successfully delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped by the loss model.
+    pub messages_lost: u64,
+    /// Messages addressed to unknown/disposed/deactivated agents.
+    pub messages_dead_lettered: u64,
+    /// Message payload bytes moved across host boundaries.
+    pub remote_message_bytes: u64,
+    /// Agent migrations completed (arrivals).
+    pub migrations: u64,
+    /// Migrations rejected at arrival (unknown type, auth failure).
+    pub migrations_rejected: u64,
+    /// Capsule bytes moved across host boundaries.
+    pub migration_bytes: u64,
+    /// Agents created.
+    pub agents_created: u64,
+    /// Agents disposed.
+    pub agents_disposed: u64,
+    /// Deactivations performed.
+    pub deactivations: u64,
+    /// Activations performed.
+    pub activations: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes that crossed host boundaries (messages + migrations).
+    pub fn total_network_bytes(&self) -> u64 {
+        self.remote_message_bytes + self.migration_bytes
+    }
+
+    /// Agents currently alive according to the counters.
+    pub fn live_agents(&self) -> u64 {
+        self.agents_created.saturating_sub(self.agents_disposed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_network_bytes_sums_components() {
+        let m = Metrics {
+            remote_message_bytes: 100,
+            migration_bytes: 50,
+            ..Metrics::default()
+        };
+        assert_eq!(m.total_network_bytes(), 150);
+    }
+
+    #[test]
+    fn live_agents_never_underflows() {
+        let m = Metrics { agents_created: 2, agents_disposed: 5, ..Metrics::default() };
+        assert_eq!(m.live_agents(), 0);
+        let m = Metrics { agents_created: 5, agents_disposed: 2, ..Metrics::default() };
+        assert_eq!(m.live_agents(), 3);
+    }
+
+    #[test]
+    fn metrics_round_trip_serde() {
+        let m = Metrics { messages_delivered: 7, ..Metrics::default() };
+        let back: Metrics = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+}

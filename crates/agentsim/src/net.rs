@@ -1,0 +1,209 @@
+//! Network topology and link model.
+//!
+//! Hosts are connected by point-to-point links with latency, bandwidth and
+//! an optional loss probability. Transfer time for a payload is
+//! `latency + bytes / bandwidth`. The model is intentionally simple — the
+//! paper's claims about mobile agents (§1: *"reduce the network load,
+//! overcome network latency"*) are about exactly these two parameters, and
+//! experiment E8 sweeps them.
+
+use crate::clock::SimDuration;
+use crate::ids::HostId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Characteristics of a (directed) link between two hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Bytes per second. `0` means infinite bandwidth (no serialization
+    /// delay).
+    pub bandwidth_bps: u64,
+    /// Probability in `[0, 1]` that a transfer is lost.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A LAN-ish link: 0.2 ms latency, 1 Gbit/s, lossless.
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_micros(200),
+            bandwidth_bps: 125_000_000,
+            loss: 0.0,
+        }
+    }
+
+    /// A WAN-ish link: 40 ms latency, 10 Mbit/s, lossless.
+    pub fn wan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(40),
+            bandwidth_bps: 1_250_000,
+            loss: 0.0,
+        }
+    }
+
+    /// A link with the given latency and infinite bandwidth.
+    pub fn with_latency(latency: SimDuration) -> Self {
+        LinkSpec { latency, bandwidth_bps: 0, loss: 0.0 }
+    }
+
+    /// Set the loss probability (clamped to `[0, 1]`).
+    pub fn lossy(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Time to move `bytes` across this link.
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        if self.bandwidth_bps == 0 {
+            return self.latency;
+        }
+        let serialization_us = (bytes as f64 / self.bandwidth_bps as f64) * 1_000_000.0;
+        self.latency + SimDuration::from_micros(serialization_us as u64)
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::lan()
+    }
+}
+
+/// World topology: per-pair link specs with a default fallback.
+///
+/// Local (same-host) delivery uses [`Topology::local_delay`], modelling the
+/// in-process message queue rather than a NIC.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    default_link: LinkSpec,
+    links: HashMap<(HostId, HostId), LinkSpec>,
+    local_delay: SimDuration,
+}
+
+impl Topology {
+    /// Topology where every pair uses `default_link`.
+    pub fn uniform(default_link: LinkSpec) -> Self {
+        Topology {
+            default_link,
+            links: HashMap::new(),
+            local_delay: SimDuration::from_micros(1),
+        }
+    }
+
+    /// LAN topology (the common single-site deployment).
+    pub fn lan() -> Self {
+        Self::uniform(LinkSpec::lan())
+    }
+
+    /// Override the link for the directed pair `(from, to)`.
+    pub fn set_link(&mut self, from: HostId, to: HostId, spec: LinkSpec) -> &mut Self {
+        self.links.insert((from, to), spec);
+        self
+    }
+
+    /// Override the link in both directions.
+    pub fn set_link_symmetric(&mut self, a: HostId, b: HostId, spec: LinkSpec) -> &mut Self {
+        self.set_link(a, b, spec);
+        self.set_link(b, a, spec);
+        self
+    }
+
+    /// Set the same-host delivery delay.
+    pub fn set_local_delay(&mut self, delay: SimDuration) -> &mut Self {
+        self.local_delay = delay;
+        self
+    }
+
+    /// Link spec between two (distinct) hosts.
+    pub fn link(&self, from: HostId, to: HostId) -> LinkSpec {
+        self.links.get(&(from, to)).copied().unwrap_or(self.default_link)
+    }
+
+    /// Same-host delivery delay.
+    pub fn local_delay(&self) -> SimDuration {
+        self.local_delay
+    }
+
+    /// Delivery time for `bytes` from `from` to `to` (handles same-host).
+    pub fn delivery_time(&self, from: HostId, to: HostId, bytes: usize) -> SimDuration {
+        if from == to {
+            self.local_delay
+        } else {
+            self.link(from, to).transfer_time(bytes)
+        }
+    }
+
+    /// Loss probability from `from` to `to` (same-host is lossless).
+    pub fn loss(&self, from: HostId, to: HostId) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            self.link(from, to).loss
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_serialization_delay() {
+        let link = LinkSpec {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bps: 1_000_000, // 1 MB/s
+            loss: 0.0,
+        };
+        // 500 KB at 1 MB/s = 0.5 s
+        let t = link.transfer_time(500_000);
+        assert_eq!(t.as_micros(), 1_000 + 500_000);
+    }
+
+    #[test]
+    fn infinite_bandwidth_only_pays_latency() {
+        let link = LinkSpec::with_latency(SimDuration::from_millis(5));
+        assert_eq!(link.transfer_time(10_000_000), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn topology_override_beats_default() {
+        let mut topo = Topology::lan();
+        topo.set_link(HostId(1), HostId(2), LinkSpec::wan());
+        assert_eq!(topo.link(HostId(1), HostId(2)), LinkSpec::wan());
+        // reverse direction still default
+        assert_eq!(topo.link(HostId(2), HostId(1)), LinkSpec::lan());
+        topo.set_link_symmetric(HostId(1), HostId(2), LinkSpec::wan());
+        assert_eq!(topo.link(HostId(2), HostId(1)), LinkSpec::wan());
+    }
+
+    #[test]
+    fn local_delivery_is_cheap_and_lossless() {
+        let mut topo = Topology::uniform(LinkSpec::wan().lossy(0.5));
+        topo.set_local_delay(SimDuration::from_micros(2));
+        assert_eq!(topo.delivery_time(HostId(3), HostId(3), 1_000_000), SimDuration(2));
+        assert_eq!(topo.loss(HostId(3), HostId(3)), 0.0);
+        assert!(topo.loss(HostId(3), HostId(4)) > 0.4);
+    }
+
+    #[test]
+    fn lossy_clamps_probability() {
+        assert_eq!(LinkSpec::lan().lossy(3.0).loss, 1.0);
+        assert_eq!(LinkSpec::lan().lossy(-1.0).loss, 0.0);
+    }
+
+    #[test]
+    fn wan_is_slower_than_lan() {
+        let bytes = 10_000;
+        assert!(
+            LinkSpec::wan().transfer_time(bytes) > LinkSpec::lan().transfer_time(bytes),
+            "wan must dominate lan for the same payload"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Travel permits: authentication of returning mobile agents.
+//!
+//! Paper §4.1, principle 2: *"MBA must authenticate itself to BSMA, when
+//! MBA finish its work and migrate back to the recommendation mechanism"*,
+//! and principle 5: *"When MBA passes the authentication MBA will be able
+//! to migrate to marketplace to do its task."*
+//!
+//! The home host issues a single-use [`TravelPermit`] when it dispatches a
+//! mobile agent. The permit is a MAC over (agent id, nonce) keyed with the
+//! host's secret. On return the host verifies the MAC and burns the nonce,
+//! so a forged or replayed capsule is rejected
+//! ([`crate::error::PlatformError::AuthenticationFailed`]). The paper's
+//! future-work item 4 asks for a hardened return-path authentication; the
+//! nonce + keyed-MAC design implements it.
+//!
+//! The MAC is a keyed FNV-1a construction — *not* cryptographically strong,
+//! but structurally faithful: it exercises issue/verify/replay-burn logic
+//! without pulling a crypto dependency into the workspace.
+
+use crate::ids::AgentId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single-use credential carried by a dispatched mobile agent and
+/// checked when it returns home.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TravelPermit {
+    /// Agent the permit was issued to.
+    pub agent: AgentId,
+    /// Single-use nonce.
+    pub nonce: u64,
+    /// Keyed MAC over `(agent, nonce)`.
+    pub mac: u64,
+}
+
+/// Per-host permit issuer and verifier.
+#[derive(Debug)]
+pub struct Authenticator {
+    secret: u64,
+    next_nonce: u64,
+    /// Outstanding nonce per travelling agent. Present = the host expects
+    /// this agent back and will demand a valid permit.
+    outstanding: HashMap<AgentId, u64>,
+    /// Count of rejected authentications, for diagnostics and benches.
+    rejections: u64,
+}
+
+fn mac(secret: u64, agent: AgentId, nonce: u64) -> u64 {
+    // Keyed FNV-1a over the fields.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ secret;
+    for chunk in [agent.0, nonce, secret.rotate_left(17)] {
+        for byte in chunk.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+impl Authenticator {
+    /// Create an authenticator with the given host secret.
+    pub fn new(secret: u64) -> Self {
+        Authenticator { secret, next_nonce: 1, outstanding: HashMap::new(), rejections: 0 }
+    }
+
+    /// Issue a permit for `agent` about to be dispatched. Any previous
+    /// outstanding permit for the same agent is superseded.
+    pub fn issue(&mut self, agent: AgentId) -> TravelPermit {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        self.outstanding.insert(agent, nonce);
+        TravelPermit { agent, nonce, mac: mac(self.secret, agent, nonce) }
+    }
+
+    /// Whether the host expects `agent` to return (an unburned permit is
+    /// outstanding).
+    pub fn expects(&self, agent: AgentId) -> bool {
+        self.outstanding.contains_key(&agent)
+    }
+
+    /// Verify a permit presented by a returning agent and burn its nonce.
+    ///
+    /// Returns `false` (and counts a rejection) if the permit is for a
+    /// different agent, carries a wrong MAC, or its nonce was already used.
+    pub fn verify(&mut self, agent: AgentId, permit: &TravelPermit) -> bool {
+        let valid = permit.agent == agent
+            && self.outstanding.get(&agent) == Some(&permit.nonce)
+            && permit.mac == mac(self.secret, permit.agent, permit.nonce);
+        if valid {
+            self.outstanding.remove(&agent);
+        } else {
+            self.rejections += 1;
+        }
+        valid
+    }
+
+    /// Number of failed verification attempts so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Forget the expectation for `agent` (e.g. the agent was declared
+    /// lost after a timeout).
+    pub fn cancel(&mut self, agent: AgentId) {
+        self.outstanding.remove(&agent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issued_permit_verifies_once() {
+        let mut auth = Authenticator::new(42);
+        let permit = auth.issue(AgentId(5));
+        assert!(auth.expects(AgentId(5)));
+        assert!(auth.verify(AgentId(5), &permit));
+        assert!(!auth.expects(AgentId(5)));
+    }
+
+    #[test]
+    fn replayed_permit_is_rejected() {
+        let mut auth = Authenticator::new(42);
+        let permit = auth.issue(AgentId(5));
+        assert!(auth.verify(AgentId(5), &permit));
+        assert!(!auth.verify(AgentId(5), &permit), "nonce must be single-use");
+        assert_eq!(auth.rejections(), 1);
+    }
+
+    #[test]
+    fn tampered_mac_is_rejected() {
+        let mut auth = Authenticator::new(42);
+        let mut permit = auth.issue(AgentId(5));
+        permit.mac ^= 1;
+        assert!(!auth.verify(AgentId(5), &permit));
+    }
+
+    #[test]
+    fn permit_for_other_agent_is_rejected() {
+        let mut auth = Authenticator::new(42);
+        let permit = auth.issue(AgentId(5));
+        assert!(!auth.verify(AgentId(6), &permit));
+        // the original permit is still outstanding and usable
+        assert!(auth.verify(AgentId(5), &permit));
+    }
+
+    #[test]
+    fn permit_from_different_secret_is_rejected() {
+        let mut issuer = Authenticator::new(1);
+        let mut verifier = Authenticator::new(2);
+        let permit = issuer.issue(AgentId(5));
+        // make verifier expect the agent with the same nonce
+        verifier.outstanding.insert(AgentId(5), permit.nonce);
+        assert!(!verifier.verify(AgentId(5), &permit));
+    }
+
+    #[test]
+    fn reissue_supersedes_previous_nonce() {
+        let mut auth = Authenticator::new(42);
+        let old = auth.issue(AgentId(5));
+        let new = auth.issue(AgentId(5));
+        assert!(!auth.verify(AgentId(5), &old), "superseded permit must fail");
+        assert!(auth.verify(AgentId(5), &new));
+    }
+
+    #[test]
+    fn cancel_clears_expectation() {
+        let mut auth = Authenticator::new(42);
+        let permit = auth.issue(AgentId(5));
+        auth.cancel(AgentId(5));
+        assert!(!auth.expects(AgentId(5)));
+        assert!(!auth.verify(AgentId(5), &permit));
+    }
+}

@@ -1,0 +1,1204 @@
+//! Deterministic discrete-event world.
+//!
+//! [`SimWorld`] hosts agents on named hosts connected by a
+//! [`Topology`]. All interaction — message delivery, migration, timers —
+//! flows through a single event queue ordered by `(time, sequence)`, so a
+//! given seed always produces the identical execution. This is the runtime
+//! used by every benchmark; the thread-backed runtime in
+//! [`crate::thread_net`] exercises the same [`Agent`] API on real
+//! concurrency.
+//!
+//! # Example
+//!
+//! ```
+//! use agentsim::prelude::*;
+//! use serde::{Serialize, Deserialize};
+//!
+//! #[derive(Serialize, Deserialize)]
+//! struct Echo;
+//!
+//! impl Agent for Echo {
+//!     fn agent_type(&self) -> &'static str { "echo" }
+//!     fn snapshot(&self) -> serde_json::Value { serde_json::json!(null) }
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+//!         ctx.note(format!("echoed {}", msg.kind));
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut world = SimWorld::new(7);
+//! let host = world.add_host("solo");
+//! let echo = world.create_agent(host, Box::new(Echo))?;
+//! world.send_external(echo, Message::new("ping"))?;
+//! world.run_until_idle();
+//! assert_eq!(world.trace().labels(), vec!["echoed ping"]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx};
+use crate::clock::{SimDuration, SimTime};
+use crate::error::{PlatformError, Result};
+use crate::ids::{AgentId, HostId, MessageId};
+use crate::message::Message;
+use crate::metrics::Metrics;
+use crate::net::Topology;
+use crate::security::{Authenticator, TravelPermit};
+use crate::storage::DeactivatedStore;
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, HashMap};
+
+/// Where an agent currently is, from the world's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// Live on a host, receiving messages.
+    Active(HostId),
+    /// Serialized in a host's stable store.
+    Deactivated(HostId),
+    /// Travelling between hosts.
+    InTransit,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver(Message),
+    Arrive { capsule: AgentCapsule, dest: HostId },
+    Timer { agent: AgentId, tag: u64 },
+}
+
+#[derive(Debug)]
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Host {
+    name: String,
+    active: HashMap<AgentId, Box<dyn Agent>>,
+    store: DeactivatedStore,
+    auth: Authenticator,
+    /// Messages for deactivated agents, replayed on activation.
+    pending: HashMap<AgentId, Vec<Message>>,
+}
+
+/// The deterministic discrete-event agent world.
+///
+/// See the [module documentation](self) for an example.
+pub struct SimWorld {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<QueuedEvent>>,
+    hosts: BTreeMap<HostId, Host>,
+    locations: HashMap<AgentId, Location>,
+    homes: HashMap<AgentId, HostId>,
+    /// Permit currently carried by each travelling (or visiting) agent.
+    permits: HashMap<AgentId, TravelPermit>,
+    topology: Topology,
+    registry: AgentRegistry,
+    metrics: Metrics,
+    trace: Trace,
+    rng: StdRng,
+    next_agent_id: u64,
+    next_msg_id: u64,
+    next_host_id: u32,
+    /// Safety valve against runaway event loops.
+    max_events: u64,
+    processed_events: u64,
+}
+
+impl SimWorld {
+    /// Create a world with a LAN topology and the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_topology(seed, Topology::lan())
+    }
+
+    /// Create a world with an explicit topology.
+    pub fn with_topology(seed: u64, topology: Topology) -> Self {
+        SimWorld {
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            hosts: BTreeMap::new(),
+            locations: HashMap::new(),
+            homes: HashMap::new(),
+            permits: HashMap::new(),
+            topology,
+            registry: AgentRegistry::new(),
+            metrics: Metrics::new(),
+            trace: Trace::new(),
+            rng: StdRng::seed_from_u64(seed),
+            next_agent_id: 1,
+            next_msg_id: 1,
+            next_host_id: 1,
+            max_events: 50_000_000,
+            processed_events: 0,
+        }
+    }
+
+    /// Register a host and return its id.
+    pub fn add_host(&mut self, name: impl Into<String>) -> HostId {
+        let id = HostId(self.next_host_id);
+        self.next_host_id += 1;
+        let secret = self.rng.gen();
+        self.hosts.insert(
+            id,
+            Host {
+                name: name.into(),
+                active: HashMap::new(),
+                store: DeactivatedStore::new(),
+                auth: Authenticator::new(secret),
+                pending: HashMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Mutable access to the agent factory registry.
+    pub fn registry_mut(&mut self) -> &mut AgentRegistry {
+        &mut self.registry
+    }
+
+    /// Shared access to the agent factory registry.
+    pub fn registry(&self) -> &AgentRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the topology (adjust links between runs).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Create `agent` on `host` from outside the world (the operator's
+    /// hand). `on_creation` runs immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownHost`] if the host does not exist.
+    pub fn create_agent(&mut self, host: HostId, agent: Box<dyn Agent>) -> Result<AgentId> {
+        if !self.hosts.contains_key(&host) {
+            return Err(PlatformError::UnknownHost(host));
+        }
+        let id = AgentId(self.next_agent_id);
+        self.next_agent_id += 1;
+        self.install_agent(host, id, agent, true);
+        Ok(id)
+    }
+
+    /// Inject a message from outside the world (e.g. a simulated browser
+    /// request entering the HttpA front). Delivered after the local delay.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownAgent`] if `to` has never been seen.
+    pub fn send_external(&mut self, to: AgentId, mut msg: Message) -> Result<MessageId> {
+        if !self.locations.contains_key(&to) {
+            return Err(PlatformError::UnknownAgent(to));
+        }
+        msg.id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+        msg.from = None;
+        msg.to = to;
+        let id = msg.id;
+        let delay = self.topology.local_delay();
+        self.schedule(delay, EventKind::Deliver(msg));
+        Ok(id)
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty or
+    /// the event budget is exhausted.
+    pub fn step(&mut self) -> bool {
+        if self.processed_events >= self.max_events {
+            return false;
+        }
+        let Some(Reverse(event)) = self.events.pop() else {
+            return false;
+        };
+        self.processed_events += 1;
+        debug_assert!(event.at >= self.now, "event queue must be monotone");
+        self.now = event.at;
+        match event.kind {
+            EventKind::Deliver(msg) => self.handle_deliver(msg),
+            EventKind::Arrive { capsule, dest } => self.handle_arrival(capsule, dest),
+            EventKind::Timer { agent, tag } => self.handle_timer(agent, tag),
+        }
+        true
+    }
+
+    /// Run until no events remain.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the clock reaches `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run for `span` of simulated time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The labelled event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace access (e.g. to clear between bench iterations).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Where `agent` currently is, if the world knows it.
+    pub fn location(&self, agent: AgentId) -> Option<Location> {
+        self.locations.get(&agent).copied()
+    }
+
+    /// Home host of `agent` (where it was created).
+    pub fn home_of(&self, agent: AgentId) -> Option<HostId> {
+        self.homes.get(&agent).copied()
+    }
+
+    /// Ids of agents active on `host`, sorted for determinism.
+    pub fn agents_on(&self, host: HostId) -> Vec<AgentId> {
+        let Some(h) = self.hosts.get(&host) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<AgentId> = h.active.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of active agents on `host`.
+    pub fn active_count(&self, host: HostId) -> usize {
+        self.hosts.get(&host).map(|h| h.active.len()).unwrap_or(0)
+    }
+
+    /// Bytes of deactivated capsules in `host`'s stable store.
+    pub fn stored_bytes(&self, host: HostId) -> usize {
+        self.hosts.get(&host).map(|h| h.store.stored_bytes()).unwrap_or(0)
+    }
+
+    /// Number of deactivated agents stored on `host`.
+    pub fn stored_count(&self, host: HostId) -> usize {
+        self.hosts.get(&host).map(|h| h.store.len()).unwrap_or(0)
+    }
+
+    /// Host display name.
+    pub fn host_name(&self, host: HostId) -> Option<&str> {
+        self.hosts.get(&host).map(|h| h.name.as_str())
+    }
+
+    /// All host ids, in creation order.
+    pub fn hosts(&self) -> Vec<HostId> {
+        self.hosts.keys().copied().collect()
+    }
+
+    /// Count of failed return-authentications on `host`.
+    pub fn auth_rejections(&self, host: HostId) -> u64 {
+        self.hosts.get(&host).map(|h| h.auth.rejections()).unwrap_or(0)
+    }
+
+    /// Snapshot of an *active* agent's state, for inspection in tests.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownAgent`] if the agent is not active anywhere.
+    pub fn snapshot_of(&self, agent: AgentId) -> Result<serde_json::Value> {
+        let Some(Location::Active(host)) = self.locations.get(&agent).copied() else {
+            return Err(PlatformError::UnknownAgent(agent));
+        };
+        let h = self.hosts.get(&host).ok_or(PlatformError::UnknownHost(host))?;
+        let a = h.active.get(&agent).ok_or(PlatformError::UnknownAgent(agent))?;
+        Ok(a.snapshot())
+    }
+
+    /// Administratively deactivate an active agent (tests / operators).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownAgent`] if not active.
+    pub fn deactivate_agent(&mut self, agent: AgentId) -> Result<()> {
+        match self.locations.get(&agent).copied() {
+            Some(Location::Active(host)) => {
+                self.do_deactivate(host, agent);
+                Ok(())
+            }
+            Some(Location::Deactivated(_)) => Err(PlatformError::AgentDeactivated(agent)),
+            _ => Err(PlatformError::UnknownAgent(agent)),
+        }
+    }
+
+    /// Administratively activate a deactivated agent.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::AgentAlreadyActive`] if active;
+    /// [`PlatformError::UnknownAgent`] if unknown.
+    pub fn activate_agent(&mut self, agent: AgentId) -> Result<()> {
+        match self.locations.get(&agent).copied() {
+            Some(Location::Deactivated(host)) => self.do_activate(host, agent),
+            Some(Location::Active(_)) => Err(PlatformError::AgentAlreadyActive(agent)),
+            _ => Err(PlatformError::UnknownAgent(agent)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, delay: SimDuration, kind: EventKind) {
+        let at = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    fn install_agent(&mut self, host: HostId, id: AgentId, agent: Box<dyn Agent>, fresh: bool) {
+        let h = self.hosts.get_mut(&host).expect("install on known host");
+        h.active.insert(id, agent);
+        self.locations.insert(id, Location::Active(host));
+        if fresh {
+            self.homes.insert(id, host);
+            self.metrics.agents_created += 1;
+            self.run_callback(id, |agent, ctx| agent.on_creation(ctx));
+        }
+    }
+
+    /// Run `f` against the (active) agent, then apply the actions it queued.
+    fn run_callback<F>(&mut self, id: AgentId, f: F)
+    where
+        F: FnOnce(&mut dyn Agent, &mut Ctx<'_>),
+    {
+        let Some(Location::Active(host)) = self.locations.get(&id).copied() else {
+            return;
+        };
+        let Some(mut agent) = self.hosts.get_mut(&host).and_then(|h| h.active.remove(&id)) else {
+            return;
+        };
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Ctx::new(
+                id,
+                host,
+                self.now,
+                &mut self.rng,
+                &mut actions,
+                &mut self.next_agent_id,
+            );
+            f(agent.as_mut(), &mut ctx);
+        }
+        // Reinsert before applying actions so that actions targeting the
+        // agent itself (deactivate_self, dispose_self, dispatch_self) see a
+        // consistent world.
+        if let Some(h) = self.hosts.get_mut(&host) {
+            h.active.insert(id, agent);
+        }
+        self.apply_actions(id, host, actions);
+    }
+
+    fn apply_actions(&mut self, actor: AgentId, host: HostId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.do_send(host, to, msg),
+                Action::Create { id, agent } => {
+                    let h = self.hosts.get_mut(&host).expect("actor host exists");
+                    h.active.insert(id, agent);
+                    self.locations.insert(id, Location::Active(host));
+                    self.homes.insert(id, host);
+                    self.metrics.agents_created += 1;
+                    self.run_callback(id, |agent, ctx| agent.on_creation(ctx));
+                }
+                Action::CreateOfType { id, agent_type, state } => {
+                    let capsule = AgentCapsule {
+                        id,
+                        agent_type,
+                        state,
+                        home: host,
+                        permit: None,
+                    };
+                    match self.registry.rehydrate(&capsule) {
+                        Ok(agent) => {
+                            let h = self.hosts.get_mut(&host).expect("actor host exists");
+                            h.active.insert(id, agent);
+                            self.locations.insert(id, Location::Active(host));
+                            self.homes.insert(id, host);
+                            self.metrics.agents_created += 1;
+                            self.run_callback(id, |agent, ctx| agent.on_creation(ctx));
+                        }
+                        Err(e) => {
+                            self.trace.record(
+                                self.now,
+                                Some(actor),
+                                format!("create-of-type failed for {id}: {e}"),
+                            );
+                        }
+                    }
+                }
+                Action::DispatchSelf { dest } => self.do_dispatch(host, actor, dest),
+                Action::CloneSelf { id } => self.do_clone(host, actor, id),
+                Action::Retract { id, to } => {
+                    match self.locations.get(&id).copied() {
+                        Some(Location::Active(at)) => {
+                            if at == to {
+                                self.trace.record(
+                                    self.now,
+                                    Some(actor),
+                                    format!("retract ignored: {id} already at {to}"),
+                                );
+                            } else {
+                                self.do_dispatch(at, id, to);
+                            }
+                        }
+                        other => {
+                            self.trace.record(
+                                self.now,
+                                Some(actor),
+                                format!("retract failed: {id} not active ({other:?})"),
+                            );
+                        }
+                    }
+                }
+                Action::Deactivate { id } => {
+                    if self.locations.get(&id) == Some(&Location::Active(host)) {
+                        self.do_deactivate(host, id);
+                    } else {
+                        self.trace.record(
+                            self.now,
+                            Some(actor),
+                            format!("deactivate ignored: {id} not active on {host}"),
+                        );
+                    }
+                }
+                Action::Activate { id } => {
+                    if self.locations.get(&id) == Some(&Location::Deactivated(host)) {
+                        let _ = self.do_activate(host, id);
+                    } else {
+                        self.trace.record(
+                            self.now,
+                            Some(actor),
+                            format!("activate ignored: {id} not stored on {host}"),
+                        );
+                    }
+                }
+                Action::Dispose { id } => self.do_dispose(host, id),
+                Action::SetTimer { id, delay, tag } => {
+                    self.schedule(delay, EventKind::Timer { agent: id, tag });
+                }
+                Action::Note { label } => {
+                    self.trace.record(self.now, Some(actor), label);
+                }
+            }
+        }
+    }
+
+    fn do_send(&mut self, from_host: HostId, to: AgentId, mut msg: Message) {
+        msg.id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+        let to_host = match self.locations.get(&to) {
+            Some(Location::Active(h)) | Some(Location::Deactivated(h)) => *h,
+            Some(Location::InTransit) | None => {
+                self.metrics.messages_dead_lettered += 1;
+                self.trace.record(
+                    self.now,
+                    msg.from,
+                    format!("dead-letter: {} to {} (unreachable)", msg.kind, to),
+                );
+                return;
+            }
+        };
+        let bytes = msg.wire_size();
+        let loss = self.topology.loss(from_host, to_host);
+        if loss > 0.0 && self.rng.gen::<f64>() < loss {
+            self.metrics.messages_lost += 1;
+            return;
+        }
+        if from_host != to_host {
+            self.metrics.remote_message_bytes += bytes as u64;
+        }
+        let delay = self.topology.delivery_time(from_host, to_host, bytes);
+        self.schedule(delay, EventKind::Deliver(msg));
+    }
+
+    fn handle_deliver(&mut self, msg: Message) {
+        let to = msg.to;
+        match self.locations.get(&to).copied() {
+            Some(Location::Active(host)) => {
+                self.metrics.messages_delivered += 1;
+                let _ = host;
+                self.run_callback(to, move |agent, ctx| agent.on_message(ctx, msg));
+            }
+            Some(Location::Deactivated(host)) => {
+                // Held until the agent is activated, like a mailbox.
+                if let Some(h) = self.hosts.get_mut(&host) {
+                    h.pending.entry(to).or_default().push(msg);
+                }
+            }
+            Some(Location::InTransit) | None => {
+                self.metrics.messages_dead_lettered += 1;
+                self.trace.record(
+                    self.now,
+                    msg.from,
+                    format!("dead-letter: {} to {} (gone at delivery)", msg.kind, to),
+                );
+            }
+        }
+    }
+
+    /// Clone `actor` (active on `host`) under the fresh id `clone_id`.
+    fn do_clone(&mut self, host: HostId, actor: AgentId, clone_id: AgentId) {
+        let (agent_type, state) = {
+            let Some(h) = self.hosts.get(&host) else { return };
+            let Some(agent) = h.active.get(&actor) else { return };
+            (agent.agent_type().to_string(), agent.snapshot())
+        };
+        let capsule = AgentCapsule {
+            id: clone_id,
+            agent_type,
+            state,
+            home: host,
+            permit: None,
+        };
+        match self.registry.rehydrate(&capsule) {
+            Ok(copy) => {
+                let h = self.hosts.get_mut(&host).expect("actor host exists");
+                h.active.insert(clone_id, copy);
+                self.locations.insert(clone_id, Location::Active(host));
+                self.homes.insert(clone_id, host);
+                self.metrics.agents_created += 1;
+                self.run_callback(clone_id, |agent, ctx| agent.on_clone(ctx));
+            }
+            Err(e) => {
+                self.trace.record(
+                    self.now,
+                    Some(actor),
+                    format!("clone failed for {actor}: {e}"),
+                );
+            }
+        }
+    }
+
+    /// Administratively recall an active agent to `to` (operator-side
+    /// `retract`).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownAgent`] if not active anywhere;
+    /// [`PlatformError::UnknownHost`] if `to` does not exist.
+    pub fn retract_agent(&mut self, agent: AgentId, to: HostId) -> Result<()> {
+        if !self.hosts.contains_key(&to) {
+            return Err(PlatformError::UnknownHost(to));
+        }
+        match self.locations.get(&agent).copied() {
+            Some(Location::Active(at)) => {
+                if at != to {
+                    self.do_dispatch(at, agent, to);
+                }
+                Ok(())
+            }
+            _ => Err(PlatformError::UnknownAgent(agent)),
+        }
+    }
+
+    fn do_dispatch(&mut self, host: HostId, id: AgentId, dest: HostId) {
+        if !self.hosts.contains_key(&dest) {
+            self.trace.record(self.now, Some(id), format!("dispatch failed: unknown {dest}"));
+            return;
+        }
+        if self.locations.get(&id) != Some(&Location::Active(host)) {
+            return; // already departed or disposed this round
+        }
+        // Lifecycle callback before departure; its actions execute on the
+        // origin host.
+        self.run_callback(id, |agent, ctx| agent.on_dispatch(ctx));
+        // The callback may have disposed or deactivated the agent.
+        if self.locations.get(&id) != Some(&Location::Active(host)) {
+            return;
+        }
+        let Some(agent) = self.hosts.get_mut(&host).and_then(|h| h.active.remove(&id)) else {
+            return;
+        };
+        let home = self.homes.get(&id).copied().unwrap_or(host);
+        let permit = if host == home {
+            let h = self.hosts.get_mut(&host).expect("home host exists");
+            let p = h.auth.issue(id);
+            self.permits.insert(id, p);
+            Some(p)
+        } else {
+            self.permits.get(&id).copied()
+        };
+        let capsule = AgentCapsule {
+            id,
+            agent_type: agent.agent_type().to_string(),
+            state: agent.snapshot(),
+            home,
+            permit,
+        };
+        drop(agent); // the live instance stays behind and is destroyed
+        self.locations.insert(id, Location::InTransit);
+        let bytes = capsule.wire_size();
+        let loss = self.topology.loss(host, dest);
+        if loss > 0.0 && self.rng.gen::<f64>() < loss {
+            // The capsule is lost in transit: the agent is gone.
+            self.locations.remove(&id);
+            self.permits.remove(&id);
+            self.metrics.messages_lost += 1;
+            self.trace.record(self.now, Some(id), format!("agent lost in transit to {dest}"));
+            return;
+        }
+        self.metrics.migration_bytes += bytes as u64;
+        let delay = self.topology.delivery_time(host, dest, bytes);
+        self.schedule(delay, EventKind::Arrive { capsule, dest });
+    }
+
+    fn handle_arrival(&mut self, capsule: AgentCapsule, dest: HostId) {
+        let id = capsule.id;
+        // Returning home: the paper demands authentication (§4.1 p.2).
+        if dest == capsule.home {
+            let expects = self.hosts.get(&dest).map(|h| h.auth.expects(id)).unwrap_or(false);
+            if expects {
+                let ok = match capsule.permit {
+                    Some(permit) => self
+                        .hosts
+                        .get_mut(&dest)
+                        .map(|h| h.auth.verify(id, &permit))
+                        .unwrap_or(false),
+                    None => {
+                        if let Some(h) = self.hosts.get_mut(&dest) {
+                            // no permit presented: count as a rejection
+                            let bogus = TravelPermit { agent: id, nonce: 0, mac: 0 };
+                            h.auth.verify(id, &bogus);
+                        }
+                        false
+                    }
+                };
+                if !ok {
+                    self.metrics.migrations_rejected += 1;
+                    self.locations.remove(&id);
+                    self.permits.remove(&id);
+                    self.trace.record(
+                        self.now,
+                        Some(id),
+                        format!("arrival rejected at {dest}: authentication failed"),
+                    );
+                    return;
+                }
+                self.permits.remove(&id);
+            }
+        } else if let Some(p) = capsule.permit {
+            // Keep carrying the home permit while visiting foreign hosts.
+            self.permits.insert(id, p);
+        }
+        match self.registry.rehydrate(&capsule) {
+            Ok(agent) => {
+                self.metrics.migrations += 1;
+                let h = self.hosts.get_mut(&dest).expect("arrival host exists");
+                h.active.insert(id, agent);
+                self.locations.insert(id, Location::Active(dest));
+                self.run_callback(id, |agent, ctx| agent.on_arrival(ctx));
+            }
+            Err(e) => {
+                self.metrics.migrations_rejected += 1;
+                self.locations.remove(&id);
+                self.permits.remove(&id);
+                self.trace.record(
+                    self.now,
+                    Some(id),
+                    format!("arrival rejected at {dest}: {e}"),
+                );
+            }
+        }
+    }
+
+    fn do_deactivate(&mut self, host: HostId, id: AgentId) {
+        self.run_callback(id, |agent, ctx| agent.on_deactivation(ctx));
+        // The callback may itself have changed the agent's state.
+        if self.locations.get(&id) != Some(&Location::Active(host)) {
+            return;
+        }
+        let Some(agent) = self.hosts.get_mut(&host).and_then(|h| h.active.remove(&id)) else {
+            return;
+        };
+        let home = self.homes.get(&id).copied().unwrap_or(host);
+        let capsule = AgentCapsule {
+            id,
+            agent_type: agent.agent_type().to_string(),
+            state: agent.snapshot(),
+            home,
+            permit: None,
+        };
+        let h = self.hosts.get_mut(&host).expect("host exists");
+        h.store.store(capsule);
+        self.locations.insert(id, Location::Deactivated(host));
+        self.metrics.deactivations += 1;
+    }
+
+    fn do_activate(&mut self, host: HostId, id: AgentId) -> Result<()> {
+        let capsule = {
+            let h = self.hosts.get_mut(&host).ok_or(PlatformError::UnknownHost(host))?;
+            h.store.load(id).ok_or(PlatformError::UnknownAgent(id))?
+        };
+        let agent = match self.registry.rehydrate(&capsule) {
+            Ok(a) => a,
+            Err(e) => {
+                // Put the capsule back: activation failed but the agent is
+                // not lost.
+                if let Some(h) = self.hosts.get_mut(&host) {
+                    h.store.store(capsule);
+                }
+                return Err(e);
+            }
+        };
+        let h = self.hosts.get_mut(&host).expect("host exists");
+        h.active.insert(id, agent);
+        self.locations.insert(id, Location::Active(host));
+        self.metrics.activations += 1;
+        self.run_callback(id, |agent, ctx| agent.on_activation(ctx));
+        // Replay messages that arrived while deactivated.
+        let pending = self
+            .hosts
+            .get_mut(&host)
+            .and_then(|h| h.pending.remove(&id))
+            .unwrap_or_default();
+        for msg in pending {
+            let delay = self.topology.local_delay();
+            self.schedule(delay, EventKind::Deliver(msg));
+        }
+        Ok(())
+    }
+
+    fn do_dispose(&mut self, host: HostId, id: AgentId) {
+        match self.locations.get(&id).copied() {
+            Some(Location::Active(h)) if h == host => {
+                self.run_callback(id, |agent, ctx| agent.on_disposal(ctx));
+                if let Some(hh) = self.hosts.get_mut(&host) {
+                    hh.active.remove(&id);
+                    hh.pending.remove(&id);
+                }
+                self.locations.remove(&id);
+                self.permits.remove(&id);
+                self.metrics.agents_disposed += 1;
+            }
+            Some(Location::Deactivated(h)) if h == host => {
+                if let Some(hh) = self.hosts.get_mut(&host) {
+                    hh.store.load(id);
+                    hh.pending.remove(&id);
+                }
+                self.locations.remove(&id);
+                self.metrics.agents_disposed += 1;
+            }
+            _ => {
+                self.trace.record(
+                    self.now,
+                    Some(id),
+                    format!("dispose ignored: {id} not on {host}"),
+                );
+            }
+        }
+    }
+
+    fn handle_timer(&mut self, agent: AgentId, tag: u64) {
+        if matches!(self.locations.get(&agent), Some(Location::Active(_))) {
+            self.metrics.timers_fired += 1;
+            self.run_callback(agent, move |a, ctx| a.on_timer(ctx, tag));
+        }
+    }
+}
+
+impl std::fmt::Debug for SimWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimWorld")
+            .field("now", &self.now)
+            .field("hosts", &self.hosts.len())
+            .field("agents", &self.locations.len())
+            .field("queued_events", &self.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    /// Agent that counts messages and can be told to act via message kinds.
+    #[derive(Debug, Default, Serialize, Deserialize)]
+    struct Worker {
+        count: u32,
+    }
+
+    impl Agent for Worker {
+        fn agent_type(&self) -> &'static str {
+            "worker"
+        }
+        fn snapshot(&self) -> serde_json::Value {
+            serde_json::to_value(self).unwrap()
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            self.count += 1;
+            match msg.kind.as_str() {
+                "go" => {
+                    let dest: u32 = msg.payload_as().unwrap();
+                    ctx.dispatch_self(HostId(dest));
+                }
+                "sleep" => ctx.deactivate_self(),
+                "die" => ctx.dispose_self(),
+                "spawn" => {
+                    ctx.create_agent(Box::new(Worker::default()));
+                }
+                "clone" => {
+                    ctx.clone_self();
+                }
+                "retract" => {
+                    let (agent, to): (u64, u32) = msg.payload_as().unwrap();
+                    ctx.retract(AgentId(agent), HostId(to));
+                }
+                "ping" => {
+                    ctx.reply(&msg, Message::new("pong"));
+                }
+                "sendto" => {
+                    let target: u64 = msg.payload_as().unwrap();
+                    ctx.send(AgentId(target), Message::new("ping"));
+                }
+                _ => {}
+            }
+        }
+        fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.note(format!("arrived at {}", ctx.host()));
+        }
+    }
+
+    fn world_with_two_hosts() -> (SimWorld, HostId, HostId) {
+        let mut w = SimWorld::new(42);
+        w.registry_mut().register_serde::<Worker>("worker");
+        let a = w.add_host("a");
+        let b = w.add_host("b");
+        (w, a, b)
+    }
+
+    #[test]
+    fn external_message_is_delivered() {
+        let (mut w, a, _) = world_with_two_hosts();
+        let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(id, Message::new("hello")).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.metrics().messages_delivered, 1);
+        assert_eq!(w.snapshot_of(id).unwrap()["count"], 1);
+    }
+
+    #[test]
+    fn send_to_unknown_agent_errors() {
+        let (mut w, _, _) = world_with_two_hosts();
+        assert!(matches!(
+            w.send_external(AgentId(999), Message::new("x")),
+            Err(PlatformError::UnknownAgent(_))
+        ));
+    }
+
+    #[test]
+    fn migration_moves_state_across_hosts() {
+        let (mut w, a, b) = world_with_two_hosts();
+        let id = w.create_agent(a, Box::new(Worker { count: 10 })).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(id), Some(Location::Active(b)));
+        // count incremented by the "go" message, preserved across the hop
+        assert_eq!(w.snapshot_of(id).unwrap()["count"], 11);
+        assert_eq!(w.metrics().migrations, 1);
+        assert!(w.metrics().migration_bytes > 0);
+        assert!(w.trace().find(&format!("arrived at {b}")).is_some());
+    }
+
+    #[test]
+    fn round_trip_home_passes_authentication() {
+        let (mut w, a, b) = world_with_two_hosts();
+        let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(id), Some(Location::Active(b)));
+        w.send_external(id, Message::new("go").with_payload(&a.0).unwrap()).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(id), Some(Location::Active(a)));
+        assert_eq!(w.metrics().migrations, 2);
+        assert_eq!(w.metrics().migrations_rejected, 0);
+        assert_eq!(w.auth_rejections(a), 0);
+    }
+
+    #[test]
+    fn deactivate_then_activate_preserves_state_and_replays_mail() {
+        let (mut w, a, _) = world_with_two_hosts();
+        let id = w.create_agent(a, Box::new(Worker { count: 3 })).unwrap();
+        w.send_external(id, Message::new("sleep")).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(id), Some(Location::Deactivated(a)));
+        assert_eq!(w.active_count(a), 0);
+        assert!(w.stored_bytes(a) > 0);
+
+        // message while asleep is held, not dead-lettered
+        w.send_external(id, Message::new("while-asleep")).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.metrics().messages_dead_lettered, 0);
+
+        w.activate_agent(id).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(id), Some(Location::Active(a)));
+        // count = 3 + sleep msg + replayed msg
+        assert_eq!(w.snapshot_of(id).unwrap()["count"], 5);
+        assert_eq!(w.metrics().deactivations, 1);
+        assert_eq!(w.metrics().activations, 1);
+    }
+
+    #[test]
+    fn dispose_removes_agent_and_dead_letters_messages() {
+        let (mut w, a, _) = world_with_two_hosts();
+        let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(id, Message::new("die")).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(id), None);
+        assert_eq!(w.metrics().agents_disposed, 1);
+        // further sends fail fast
+        assert!(w.send_external(id, Message::new("x")).is_err());
+    }
+
+    #[test]
+    fn spawned_agents_run_on_creation_and_count() {
+        let (mut w, a, _) = world_with_two_hosts();
+        let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(id, Message::new("spawn")).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.metrics().agents_created, 2);
+        assert_eq!(w.active_count(a), 2);
+    }
+
+    #[test]
+    fn dispatch_to_unknown_host_is_a_noop_with_trace() {
+        let (mut w, a, _) = world_with_two_hosts();
+        let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&999u32).unwrap()).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(id), Some(Location::Active(a)));
+        assert!(w
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.label.contains("dispatch failed")));
+    }
+
+    #[test]
+    fn unregistered_type_is_rejected_on_arrival() {
+        let mut w = SimWorld::new(1);
+        // no registration at all
+        let a = w.add_host("a");
+        let b = w.add_host("b");
+        let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.metrics().migrations_rejected, 1);
+        assert_eq!(w.location(id), None);
+    }
+
+    #[test]
+    fn lossy_link_can_lose_the_agent() {
+        let mut w = SimWorld::new(3);
+        w.registry_mut().register_serde::<Worker>("worker");
+        let a = w.add_host("a");
+        let b = w.add_host("b");
+        w.topology_mut()
+            .set_link_symmetric(a, b, crate::net::LinkSpec::lan().lossy(1.0));
+        let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(id), None, "agent must be lost on a fully lossy link");
+        assert!(w.trace().events().iter().any(|e| e.label.contains("lost in transit")));
+    }
+
+    #[test]
+    fn clone_copies_state_under_a_fresh_id() {
+        let (mut w, a, _) = world_with_two_hosts();
+        let id = w.create_agent(a, Box::new(Worker { count: 6 })).unwrap();
+        w.send_external(id, Message::new("clone")).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.active_count(a), 2);
+        let ids = w.agents_on(a);
+        let clone_id = *ids.iter().find(|i| **i != id).unwrap();
+        // the clone carries the original's state *after* the message that
+        // triggered the clone (count was already incremented to 7)
+        assert_eq!(w.snapshot_of(clone_id).unwrap()["count"], 7);
+        // and evolves independently afterwards
+        w.send_external(clone_id, Message::new("noop")).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.snapshot_of(clone_id).unwrap()["count"], 8);
+        assert_eq!(w.snapshot_of(id).unwrap()["count"], 7);
+        assert_eq!(w.metrics().agents_created, 2);
+    }
+
+    #[test]
+    fn clone_of_unregistered_type_fails_with_note() {
+        let mut w = SimWorld::new(2);
+        let a = w.add_host("a");
+        let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(id, Message::new("clone")).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.active_count(a), 1);
+        assert!(w.trace().events().iter().any(|e| e.label.contains("clone failed")));
+    }
+
+    #[test]
+    fn retract_pulls_an_agent_back() {
+        let (mut w, a, b) = world_with_two_hosts();
+        let roamer = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        let manager = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(roamer, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(roamer), Some(Location::Active(b)));
+        // the manager retracts the roamer home
+        w.send_external(
+            manager,
+            Message::new("retract").with_payload(&(roamer.0, a.0)).unwrap(),
+        )
+        .unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(roamer), Some(Location::Active(a)));
+        assert_eq!(w.metrics().migrations, 2);
+        assert_eq!(w.metrics().migrations_rejected, 0, "retracted return passes auth");
+    }
+
+    #[test]
+    fn admin_retract_api_works_and_validates() {
+        let (mut w, a, b) = world_with_two_hosts();
+        let roamer = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(roamer, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.run_until_idle();
+        w.retract_agent(roamer, a).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.location(roamer), Some(Location::Active(a)));
+        assert!(matches!(
+            w.retract_agent(AgentId(999), a),
+            Err(PlatformError::UnknownAgent(_))
+        ));
+        assert!(matches!(
+            w.retract_agent(roamer, HostId(99)),
+            Err(PlatformError::UnknownHost(_))
+        ));
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        fn run(seed: u64) -> (Vec<String>, u64) {
+            let mut w = SimWorld::new(seed);
+            w.registry_mut().register_serde::<Worker>("worker");
+            let a = w.add_host("a");
+            let b = w.add_host("b");
+            let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+            for _ in 0..5 {
+                w.send_external(id, Message::new("ping")).unwrap();
+            }
+            w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+            w.run_until_idle();
+            let labels = w.trace().labels().iter().map(|s| s.to_string()).collect();
+            (labels, w.metrics().messages_delivered)
+        }
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut w, a, _) = world_with_two_hosts();
+        let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        w.send_external(id, Message::new("m")).unwrap();
+        // local delay is 1us; deadline at 0 must not deliver
+        w.run_until(SimTime(0));
+        assert_eq!(w.metrics().messages_delivered, 0);
+        w.run_until(SimTime(10));
+        assert_eq!(w.metrics().messages_delivered, 1);
+        assert_eq!(w.now(), SimTime(10));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Serialize, Deserialize)]
+        struct Timed;
+        impl Agent for Timed {
+            fn agent_type(&self) -> &'static str {
+                "timed"
+            }
+            fn on_creation(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(5), 2);
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+                ctx.note(format!("timer {tag}"));
+            }
+        }
+        let mut w = SimWorld::new(1);
+        let a = w.add_host("a");
+        w.create_agent(a, Box::new(Timed)).unwrap();
+        w.run_until_idle();
+        assert_eq!(w.trace().labels(), vec!["timer 1", "timer 2"]);
+        assert_eq!(w.metrics().timers_fired, 2);
+    }
+
+    #[test]
+    fn remote_messages_pay_link_latency() {
+        let (mut w, a, b) = world_with_two_hosts();
+        w.topology_mut().set_link_symmetric(
+            a,
+            b,
+            crate::net::LinkSpec::with_latency(SimDuration::from_millis(10)),
+        );
+        let ida = w.create_agent(a, Box::new(Worker::default())).unwrap();
+        let idb = w.create_agent(b, Box::new(Worker::default())).unwrap();
+        let before = w.now();
+        // b sends "ping" to a (one 10ms hop), a replies "pong" (another)
+        w.send_external(idb, Message::new("sendto").with_payload(&ida.0).unwrap()).unwrap();
+        w.run_until_idle();
+        assert!(
+            w.now().since(before) >= SimDuration::from_millis(20),
+            "two remote hops must cost at least 20ms, took {}",
+            w.now().since(before)
+        );
+        assert!(w.metrics().remote_message_bytes > 0);
+    }
+}

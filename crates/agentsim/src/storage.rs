@@ -1,0 +1,144 @@
+//! Stable storage for deactivated agents.
+//!
+//! Paper §4.1, principle 3: when a BRA dispatches its MBA, the BSMA calls
+//! `Aglet.deactivate()` which *"can store the BRA to recommendation
+//! mechanism storage"*; on the MBA's authenticated return, `Aglet.active()`
+//! loads it back. This module is that storage: a capsule store with byte
+//! accounting, so the "deactivation frees memory" claim is measurable
+//! (experiment E8).
+
+use crate::agent::AgentCapsule;
+use crate::ids::AgentId;
+use std::collections::HashMap;
+
+/// Capsule store for deactivated agents on one host.
+#[derive(Debug, Default)]
+pub struct DeactivatedStore {
+    capsules: HashMap<AgentId, AgentCapsule>,
+    stored_bytes: usize,
+    total_stores: u64,
+    total_loads: u64,
+}
+
+impl DeactivatedStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Persist a capsule. Replaces any capsule already stored for the same
+    /// agent (byte accounting is adjusted).
+    pub fn store(&mut self, capsule: AgentCapsule) {
+        self.total_stores += 1;
+        self.stored_bytes += capsule.wire_size();
+        if let Some(old) = self.capsules.insert(capsule.id, capsule) {
+            self.stored_bytes -= old.wire_size();
+        }
+    }
+
+    /// Remove and return the capsule for `id`, if present.
+    pub fn load(&mut self, id: AgentId) -> Option<AgentCapsule> {
+        let capsule = self.capsules.remove(&id)?;
+        self.total_loads += 1;
+        self.stored_bytes -= capsule.wire_size();
+        Some(capsule)
+    }
+
+    /// Whether a capsule for `id` is stored.
+    pub fn contains(&self, id: AgentId) -> bool {
+        self.capsules.contains_key(&id)
+    }
+
+    /// Number of stored capsules.
+    pub fn len(&self) -> usize {
+        self.capsules.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.capsules.is_empty()
+    }
+
+    /// Total serialized bytes currently in stable storage.
+    pub fn stored_bytes(&self) -> usize {
+        self.stored_bytes
+    }
+
+    /// Lifetime counters: (stores, loads).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.total_stores, self.total_loads)
+    }
+
+    /// Iterate over stored agent ids (unordered).
+    pub fn ids(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.capsules.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+
+    fn capsule(id: u64, payload_len: usize) -> AgentCapsule {
+        AgentCapsule {
+            id: AgentId(id),
+            agent_type: "t".into(),
+            state: serde_json::json!(vec![7u8; payload_len]),
+            home: HostId(0),
+            permit: None,
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut s = DeactivatedStore::new();
+        s.store(capsule(1, 10));
+        assert!(s.contains(AgentId(1)));
+        assert_eq!(s.len(), 1);
+        let c = s.load(AgentId(1)).unwrap();
+        assert_eq!(c.id, AgentId(1));
+        assert!(s.is_empty());
+        assert_eq!(s.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn load_missing_returns_none() {
+        let mut s = DeactivatedStore::new();
+        assert!(s.load(AgentId(9)).is_none());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_store_and_load() {
+        let mut s = DeactivatedStore::new();
+        let c1 = capsule(1, 100);
+        let c2 = capsule(2, 300);
+        let expected = c1.wire_size() + c2.wire_size();
+        s.store(c1);
+        s.store(c2);
+        assert_eq!(s.stored_bytes(), expected);
+        s.load(AgentId(1)).unwrap();
+        assert!(s.stored_bytes() < expected);
+    }
+
+    #[test]
+    fn restore_same_agent_replaces_capsule() {
+        let mut s = DeactivatedStore::new();
+        s.store(capsule(1, 10));
+        s.store(capsule(1, 500));
+        assert_eq!(s.len(), 1);
+        let c = s.load(AgentId(1)).unwrap();
+        assert!(c.wire_size() > 400);
+        assert_eq!(s.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn counters_track_lifetime_operations() {
+        let mut s = DeactivatedStore::new();
+        s.store(capsule(1, 1));
+        s.store(capsule(2, 1));
+        s.load(AgentId(1));
+        s.load(AgentId(3)); // miss, not counted
+        assert_eq!(s.counters(), (2, 1));
+    }
+}

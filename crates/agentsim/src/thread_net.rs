@@ -1,0 +1,780 @@
+//! Thread-backed runtime: one OS thread per host, crossbeam channels as
+//! the network.
+//!
+//! The same [`Agent`] implementations that run on the deterministic
+//! [`crate::sim::SimWorld`] run unchanged here on real concurrency. This
+//! runtime exists to demonstrate that the platform API is runtime-agnostic
+//! (and to catch accidental determinism assumptions in agent code); all
+//! benchmarks use the DES world because wall-clock interleavings are not
+//! reproducible.
+//!
+//! Unsupported relative to the DES world: link latency/loss modelling
+//! (channels deliver as fast as the OS schedules) — timers are honoured via
+//! real `thread::sleep`.
+
+use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx};
+use crate::clock::SimTime;
+use crate::error::{PlatformError, Result};
+use crate::ids::{AgentId, HostId, MessageId};
+use crate::message::Message;
+use crate::metrics::Metrics;
+use crate::security::{Authenticator, TravelPermit};
+use crate::storage::DeactivatedStore;
+use crate::trace::Trace;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+enum Envelope {
+    Deliver(Message),
+    Arrive(AgentCapsule),
+    Create { id: AgentId, agent: Box<dyn Agent> },
+    Timer { agent: AgentId, tag: u64 },
+    AdminDeactivate(AgentId),
+    AdminActivate(AgentId),
+    AdminRetract { agent: AgentId, to: HostId },
+    Shutdown,
+}
+
+struct Shared {
+    routes: Mutex<HashMap<HostId, Sender<Envelope>>>,
+    locations: Mutex<HashMap<AgentId, HostId>>,
+    homes: Mutex<HashMap<AgentId, HostId>>,
+    in_flight: AtomicI64,
+    next_agent_id: AtomicU64,
+    next_msg_id: AtomicU64,
+    registry: AgentRegistry,
+    trace: Mutex<Trace>,
+    metrics: Mutex<Metrics>,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn send_envelope(&self, host: HostId, env: Envelope) -> bool {
+        let routes = self.routes.lock();
+        if let Some(tx) = routes.get(&host) {
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            if tx.send(env).is_ok() {
+                return true;
+            }
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+        false
+    }
+}
+
+/// Builder for a [`ThreadWorld`].
+pub struct ThreadWorldBuilder {
+    seed: u64,
+    registry: AgentRegistry,
+    host_names: Vec<String>,
+}
+
+impl ThreadWorldBuilder {
+    /// Start building a thread world; `seed` feeds each host's RNG.
+    pub fn new(seed: u64) -> Self {
+        ThreadWorldBuilder { seed, registry: AgentRegistry::new(), host_names: Vec::new() }
+    }
+
+    /// Register an agent factory (same semantics as
+    /// [`AgentRegistry::register_serde`]).
+    pub fn register_serde<A>(&mut self, agent_type: &str) -> &mut Self
+    where
+        A: Agent + serde::de::DeserializeOwned + 'static,
+    {
+        self.registry.register_serde::<A>(agent_type);
+        self
+    }
+
+    /// Direct registry access (for bulk registration helpers).
+    pub fn registry_mut(&mut self) -> &mut AgentRegistry {
+        &mut self.registry
+    }
+
+    /// Declare a host; ids are assigned in declaration order starting at 1.
+    pub fn add_host(&mut self, name: impl Into<String>) -> HostId {
+        self.host_names.push(name.into());
+        HostId(self.host_names.len() as u32)
+    }
+
+    /// Spawn one thread per declared host and return the running world.
+    pub fn start(self) -> ThreadWorld {
+        let shared = Arc::new(Shared {
+            routes: Mutex::new(HashMap::new()),
+            locations: Mutex::new(HashMap::new()),
+            homes: Mutex::new(HashMap::new()),
+            in_flight: AtomicI64::new(0),
+            next_agent_id: AtomicU64::new(1),
+            next_msg_id: AtomicU64::new(1),
+            registry: self.registry,
+            trace: Mutex::new(Trace::new()),
+            metrics: Mutex::new(Metrics::new()),
+            epoch: Instant::now(),
+        });
+        let mut handles = Vec::new();
+        let mut hosts = Vec::new();
+        for (i, _name) in self.host_names.iter().enumerate() {
+            let id = HostId(i as u32 + 1);
+            hosts.push(id);
+            let (tx, rx) = unbounded();
+            shared.routes.lock().insert(id, tx);
+            let shared2 = Arc::clone(&shared);
+            let seed = self.seed.wrapping_add(i as u64 + 1);
+            handles.push(thread::spawn(move || host_loop(id, seed, rx, shared2)));
+        }
+        ThreadWorld { shared, handles, hosts }
+    }
+}
+
+/// A running thread-backed world.
+///
+/// Create via [`ThreadWorldBuilder`]; drive with
+/// [`ThreadWorld::create_agent`] and [`ThreadWorld::send_external`]; wait
+/// with [`ThreadWorld::run_until_idle`]; finish with
+/// [`ThreadWorld::shutdown`].
+pub struct ThreadWorld {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    hosts: Vec<HostId>,
+}
+
+impl ThreadWorld {
+    /// Host ids in declaration order.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// Create `agent` on `host`. Returns the id immediately; `on_creation`
+    /// runs on the host thread.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownHost`] if the host does not exist.
+    pub fn create_agent(&self, host: HostId, agent: Box<dyn Agent>) -> Result<AgentId> {
+        let id = AgentId(self.shared.next_agent_id.fetch_add(1, Ordering::SeqCst));
+        self.shared.locations.lock().insert(id, host);
+        self.shared.homes.lock().insert(id, host);
+        if !self.shared.send_envelope(host, Envelope::Create { id, agent }) {
+            self.shared.locations.lock().remove(&id);
+            return Err(PlatformError::UnknownHost(host));
+        }
+        Ok(id)
+    }
+
+    /// Inject an external message to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownAgent`] if the agent's location is unknown.
+    pub fn send_external(&self, to: AgentId, mut msg: Message) -> Result<MessageId> {
+        let host = {
+            let locs = self.shared.locations.lock();
+            locs.get(&to).copied()
+        }
+        .ok_or(PlatformError::UnknownAgent(to))?;
+        msg.id = MessageId(self.shared.next_msg_id.fetch_add(1, Ordering::SeqCst));
+        msg.from = None;
+        msg.to = to;
+        let id = msg.id;
+        if !self.shared.send_envelope(host, Envelope::Deliver(msg)) {
+            return Err(PlatformError::UnknownHost(host));
+        }
+        Ok(id)
+    }
+
+    /// Administratively deactivate / activate an agent (mirrors the DES
+    /// world's admin API).
+    pub fn deactivate_agent(&self, agent: AgentId) -> Result<()> {
+        let host = self
+            .shared
+            .locations
+            .lock()
+            .get(&agent)
+            .copied()
+            .ok_or(PlatformError::UnknownAgent(agent))?;
+        self.shared.send_envelope(host, Envelope::AdminDeactivate(agent));
+        Ok(())
+    }
+
+    /// See [`ThreadWorld::deactivate_agent`].
+    pub fn activate_agent(&self, agent: AgentId) -> Result<()> {
+        let host = self
+            .shared
+            .locations
+            .lock()
+            .get(&agent)
+            .copied()
+            .ok_or(PlatformError::UnknownAgent(agent))?;
+        self.shared.send_envelope(host, Envelope::AdminActivate(agent));
+        Ok(())
+    }
+
+    /// Block until no envelopes are in flight (the world is quiescent) or
+    /// `timeout` elapses. Returns `true` if quiescent.
+    pub fn run_until_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+                // settle: double-check after a short pause to avoid racing
+                // a thread between dequeue and counter decrement
+                thread::sleep(Duration::from_millis(2));
+                if self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Stop all host threads and return the merged metrics and trace.
+    pub fn shutdown(self) -> (Metrics, Trace) {
+        {
+            let routes = self.shared.routes.lock();
+            for tx in routes.values() {
+                let _ = tx.send(Envelope::Shutdown);
+            }
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+        let metrics = self.shared.metrics.lock().clone();
+        let trace = self.shared.trace.lock().clone();
+        (metrics, trace)
+    }
+}
+
+struct HostState {
+    id: HostId,
+    active: HashMap<AgentId, Box<dyn Agent>>,
+    store: DeactivatedStore,
+    auth: Authenticator,
+    pending: HashMap<AgentId, Vec<Message>>,
+    carried_permits: HashMap<AgentId, TravelPermit>,
+    rng: StdRng,
+    /// Local id allocation window fetched in batches from the shared
+    /// counter so `Ctx` keeps its simple `&mut u64` interface.
+    id_cursor: u64,
+    id_end: u64,
+}
+
+const ID_BATCH: u64 = 1 << 16;
+
+fn host_loop(id: HostId, seed: u64, rx: Receiver<Envelope>, shared: Arc<Shared>) {
+    let mut host = HostState {
+        id,
+        active: HashMap::new(),
+        store: DeactivatedStore::new(),
+        auth: Authenticator::new(seed ^ 0x5ee5_ee5e),
+        pending: HashMap::new(),
+        carried_permits: HashMap::new(),
+        rng: StdRng::seed_from_u64(seed),
+        id_cursor: 0,
+        id_end: 0,
+    };
+    while let Ok(env) = rx.recv() {
+        let shutdown = matches!(env, Envelope::Shutdown);
+        handle_envelope(&mut host, env, &shared);
+        if !shutdown {
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+        if shutdown {
+            break;
+        }
+    }
+}
+
+fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
+    match env {
+        Envelope::Deliver(msg) => {
+            let to = msg.to;
+            if host.active.contains_key(&to) {
+                shared.metrics.lock().messages_delivered += 1;
+                run_callback(host, shared, to, move |a, ctx| a.on_message(ctx, msg));
+            } else if host.store.contains(to) {
+                host.pending.entry(to).or_default().push(msg);
+            } else {
+                shared.metrics.lock().messages_dead_lettered += 1;
+            }
+        }
+        Envelope::Arrive(capsule) => handle_arrival(host, capsule, shared),
+        Envelope::Create { id, agent } => {
+            host.active.insert(id, agent);
+            shared.metrics.lock().agents_created += 1;
+            run_callback(host, shared, id, |a, ctx| a.on_creation(ctx));
+        }
+        Envelope::Timer { agent, tag } => {
+            if host.active.contains_key(&agent) {
+                shared.metrics.lock().timers_fired += 1;
+                run_callback(host, shared, agent, move |a, ctx| a.on_timer(ctx, tag));
+            }
+        }
+        Envelope::AdminDeactivate(agent) => do_deactivate(host, shared, agent),
+        Envelope::AdminActivate(agent) => do_activate(host, shared, agent),
+        Envelope::AdminRetract { agent, to } => {
+            if host.active.contains_key(&agent) {
+                do_dispatch(host, shared, agent, to);
+            }
+        }
+        Envelope::Shutdown => {}
+    }
+}
+
+fn handle_arrival(host: &mut HostState, capsule: AgentCapsule, shared: &Arc<Shared>) {
+    let id = capsule.id;
+    if capsule.home == host.id && host.auth.expects(id) {
+        let ok = capsule
+            .permit
+            .map(|p| host.auth.verify(id, &p))
+            .unwrap_or(false);
+        if !ok {
+            shared.metrics.lock().migrations_rejected += 1;
+            shared.locations.lock().remove(&id);
+            shared.trace.lock().record(
+                shared.now(),
+                Some(id),
+                format!("arrival rejected at {}: authentication failed", host.id),
+            );
+            return;
+        }
+    } else if let Some(p) = capsule.permit {
+        host.carried_permits.insert(id, p);
+    }
+    match shared.registry.rehydrate(&capsule) {
+        Ok(agent) => {
+            {
+                let mut m = shared.metrics.lock();
+                m.migrations += 1;
+                m.migration_bytes += capsule.wire_size() as u64;
+            }
+            host.active.insert(id, agent);
+            shared.locations.lock().insert(id, host.id);
+            run_callback(host, shared, id, |a, ctx| a.on_arrival(ctx));
+        }
+        Err(e) => {
+            shared.metrics.lock().migrations_rejected += 1;
+            shared.locations.lock().remove(&id);
+            shared
+                .trace
+                .lock()
+                .record(shared.now(), Some(id), format!("arrival rejected: {e}"));
+        }
+    }
+}
+
+fn run_callback<F>(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, f: F)
+where
+    F: FnOnce(&mut dyn Agent, &mut Ctx<'_>),
+{
+    let Some(mut agent) = host.active.remove(&id) else {
+        return;
+    };
+    if host.id_end - host.id_cursor < 1024 {
+        host.id_cursor = shared.next_agent_id.fetch_add(ID_BATCH, Ordering::SeqCst);
+        host.id_end = host.id_cursor + ID_BATCH;
+    }
+    let mut actions = Vec::new();
+    {
+        let mut ctx = Ctx::new(
+            id,
+            host.id,
+            shared.now(),
+            &mut host.rng,
+            &mut actions,
+            &mut host.id_cursor,
+        );
+        f(agent.as_mut(), &mut ctx);
+    }
+    host.active.insert(id, agent);
+    apply_actions(host, shared, id, actions);
+}
+
+fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, actions: Vec<Action>) {
+    for action in actions {
+        match action {
+            Action::Send { to, mut msg } => {
+                msg.id = MessageId(shared.next_msg_id.fetch_add(1, Ordering::SeqCst));
+                let dest = shared.locations.lock().get(&to).copied();
+                match dest {
+                    Some(h) => {
+                        if h != host.id {
+                            shared.metrics.lock().remote_message_bytes += msg.wire_size() as u64;
+                        }
+                        shared.send_envelope(h, Envelope::Deliver(msg));
+                    }
+                    None => {
+                        shared.metrics.lock().messages_dead_lettered += 1;
+                    }
+                }
+            }
+            Action::Create { id, agent } => {
+                host.active.insert(id, agent);
+                shared.locations.lock().insert(id, host.id);
+                shared.homes.lock().insert(id, host.id);
+                shared.metrics.lock().agents_created += 1;
+                run_callback(host, shared, id, |a, ctx| a.on_creation(ctx));
+            }
+            Action::CreateOfType { id, agent_type, state } => {
+                let capsule = AgentCapsule {
+                    id,
+                    agent_type,
+                    state,
+                    home: host.id,
+                    permit: None,
+                };
+                match shared.registry.rehydrate(&capsule) {
+                    Ok(agent) => {
+                        host.active.insert(id, agent);
+                        shared.locations.lock().insert(id, host.id);
+                        shared.homes.lock().insert(id, host.id);
+                        shared.metrics.lock().agents_created += 1;
+                        run_callback(host, shared, id, |a, ctx| a.on_creation(ctx));
+                    }
+                    Err(e) => {
+                        shared.trace.lock().record(
+                            shared.now(),
+                            Some(actor),
+                            format!("create-of-type failed for {id}: {e}"),
+                        );
+                    }
+                }
+            }
+            Action::DispatchSelf { dest } => do_dispatch(host, shared, actor, dest),
+            Action::CloneSelf { id } => {
+                let Some((agent_type, state)) = host
+                    .active
+                    .get(&actor)
+                    .map(|a| (a.agent_type().to_string(), a.snapshot()))
+                else {
+                    continue;
+                };
+                let capsule = AgentCapsule {
+                    id,
+                    agent_type,
+                    state,
+                    home: host.id,
+                    permit: None,
+                };
+                match shared.registry.rehydrate(&capsule) {
+                    Ok(copy) => {
+                        host.active.insert(id, copy);
+                        shared.locations.lock().insert(id, host.id);
+                        shared.homes.lock().insert(id, host.id);
+                        shared.metrics.lock().agents_created += 1;
+                        run_callback(host, shared, id, |a, ctx| a.on_clone(ctx));
+                    }
+                    Err(e) => {
+                        shared.trace.lock().record(
+                            shared.now(),
+                            Some(actor),
+                            format!("clone failed for {actor}: {e}"),
+                        );
+                    }
+                }
+            }
+            Action::Retract { id, to } => {
+                let location = shared.locations.lock().get(&id).copied();
+                match location {
+                    Some(at) if at == host.id => do_dispatch(host, shared, id, to),
+                    Some(at) => {
+                        shared.send_envelope(at, Envelope::AdminRetract { agent: id, to });
+                    }
+                    None => {
+                        shared.metrics.lock().messages_dead_lettered += 1;
+                    }
+                }
+            }
+            Action::Deactivate { id } => do_deactivate(host, shared, id),
+            Action::Activate { id } => do_activate(host, shared, id),
+            Action::Dispose { id } => {
+                if host.active.contains_key(&id) {
+                    run_callback(host, shared, id, |a, ctx| a.on_disposal(ctx));
+                    host.active.remove(&id);
+                    host.pending.remove(&id);
+                    shared.locations.lock().remove(&id);
+                    shared.metrics.lock().agents_disposed += 1;
+                } else if host.store.contains(id) {
+                    host.store.load(id);
+                    shared.locations.lock().remove(&id);
+                    shared.metrics.lock().agents_disposed += 1;
+                }
+            }
+            Action::SetTimer { id, delay, tag } => {
+                let shared2 = Arc::clone(shared);
+                let host_id = host.id;
+                shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                thread::spawn(move || {
+                    thread::sleep(Duration::from_micros(delay.as_micros()));
+                    // route to wherever the agent is now
+                    let dest =
+                        shared2.locations.lock().get(&id).copied().unwrap_or(host_id);
+                    shared2.send_envelope(dest, Envelope::Timer { agent: id, tag });
+                    shared2.in_flight.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Action::Note { label } => {
+                shared.trace.lock().record(shared.now(), Some(actor), label);
+            }
+        }
+    }
+}
+
+fn do_dispatch(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, dest: HostId) {
+    if !shared.routes.lock().contains_key(&dest) {
+        shared
+            .trace
+            .lock()
+            .record(shared.now(), Some(id), format!("dispatch failed: unknown {dest}"));
+        return;
+    }
+    if !host.active.contains_key(&id) {
+        return;
+    }
+    run_callback(host, shared, id, |a, ctx| a.on_dispatch(ctx));
+    let Some(agent) = host.active.remove(&id) else {
+        return;
+    };
+    let home = shared.homes.lock().get(&id).copied().unwrap_or(host.id);
+    let permit = if host.id == home {
+        Some(host.auth.issue(id))
+    } else {
+        host.carried_permits.remove(&id)
+    };
+    let capsule = AgentCapsule {
+        id,
+        agent_type: agent.agent_type().to_string(),
+        state: agent.snapshot(),
+        home,
+        permit,
+    };
+    shared.locations.lock().remove(&id);
+    shared.send_envelope(dest, Envelope::Arrive(capsule));
+}
+
+fn do_deactivate(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
+    if !host.active.contains_key(&id) {
+        return;
+    }
+    run_callback(host, shared, id, |a, ctx| a.on_deactivation(ctx));
+    let Some(agent) = host.active.remove(&id) else {
+        return;
+    };
+    let home = shared.homes.lock().get(&id).copied().unwrap_or(host.id);
+    host.store.store(AgentCapsule {
+        id,
+        agent_type: agent.agent_type().to_string(),
+        state: agent.snapshot(),
+        home,
+        permit: None,
+    });
+    shared.metrics.lock().deactivations += 1;
+}
+
+fn do_activate(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
+    let Some(capsule) = host.store.load(id) else {
+        return;
+    };
+    match shared.registry.rehydrate(&capsule) {
+        Ok(agent) => {
+            host.active.insert(id, agent);
+            shared.metrics.lock().activations += 1;
+            run_callback(host, shared, id, |a, ctx| a.on_activation(ctx));
+            let pending = host.pending.remove(&id).unwrap_or_default();
+            for msg in pending {
+                shared.send_envelope(host.id, Envelope::Deliver(msg));
+            }
+        }
+        Err(_) => {
+            host.store.store(capsule);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Default, Serialize, Deserialize)]
+    struct Hopper {
+        hops: u32,
+    }
+
+    impl Agent for Hopper {
+        fn agent_type(&self) -> &'static str {
+            "hopper"
+        }
+        fn snapshot(&self) -> serde_json::Value {
+            serde_json::to_value(self).unwrap()
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if msg.is("hop") {
+                let dest: u32 = msg.payload_as().unwrap();
+                ctx.dispatch_self(HostId(dest));
+            }
+        }
+        fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+            self.hops += 1;
+            ctx.note(format!("hopper arrived at {} (hops={})", ctx.host(), self.hops));
+        }
+    }
+
+    #[test]
+    fn threaded_world_delivers_and_migrates() {
+        let mut builder = ThreadWorldBuilder::new(11);
+        builder.register_serde::<Hopper>("hopper");
+        let a = builder.add_host("a");
+        let b = builder.add_host("b");
+        let world = builder.start();
+        let id = world.create_agent(a, Box::new(Hopper::default())).unwrap();
+        world.send_external(id, Message::new("hop").with_payload(&b.0).unwrap()).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)), "world must quiesce");
+        let (metrics, trace) = world.shutdown();
+        assert_eq!(metrics.migrations, 1);
+        assert_eq!(metrics.migrations_rejected, 0);
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.label.contains("hopper arrived at host-2")));
+    }
+
+    #[test]
+    fn threaded_round_trip_authenticates() {
+        let mut builder = ThreadWorldBuilder::new(13);
+        builder.register_serde::<Hopper>("hopper");
+        let a = builder.add_host("a");
+        let b = builder.add_host("b");
+        let world = builder.start();
+        let id = world.create_agent(a, Box::new(Hopper::default())).unwrap();
+        world.send_external(id, Message::new("hop").with_payload(&b.0).unwrap()).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)));
+        world.send_external(id, Message::new("hop").with_payload(&a.0).unwrap()).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)));
+        let (metrics, _) = world.shutdown();
+        assert_eq!(metrics.migrations, 2);
+        assert_eq!(metrics.migrations_rejected, 0);
+    }
+
+    #[test]
+    fn threaded_deactivate_activate_cycle() {
+        let mut builder = ThreadWorldBuilder::new(17);
+        builder.register_serde::<Hopper>("hopper");
+        let a = builder.add_host("a");
+        let world = builder.start();
+        let id = world.create_agent(a, Box::new(Hopper { hops: 4 })).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)));
+        world.deactivate_agent(id).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)));
+        world.activate_agent(id).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)));
+        let (metrics, _) = world.shutdown();
+        assert_eq!(metrics.deactivations, 1);
+        assert_eq!(metrics.activations, 1);
+    }
+
+    #[test]
+    fn unknown_host_create_is_an_error() {
+        let builder = ThreadWorldBuilder::new(1);
+        let world = builder.start();
+        assert!(world.create_agent(HostId(42), Box::new(Hopper::default())).is_err());
+        world.shutdown();
+    }
+
+    /// Clones itself once on request; the clone notes its arrival.
+    #[derive(Debug, Default, Serialize, Deserialize)]
+    struct Mitosis {
+        generation: u32,
+    }
+
+    impl Agent for Mitosis {
+        fn agent_type(&self) -> &'static str {
+            "mitosis"
+        }
+        fn snapshot(&self) -> serde_json::Value {
+            serde_json::to_value(self).unwrap()
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if msg.is("divide") {
+                self.generation += 1;
+                ctx.clone_self();
+            }
+        }
+        fn on_clone(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.note(format!("clone born at generation {}", self.generation));
+        }
+    }
+
+    #[test]
+    fn threaded_clone_copies_state() {
+        let mut builder = ThreadWorldBuilder::new(19);
+        builder.register_serde::<Mitosis>("mitosis");
+        let a = builder.add_host("a");
+        let world = builder.start();
+        let cell = world.create_agent(a, Box::new(Mitosis::default())).unwrap();
+        world.send_external(cell, Message::new("divide")).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)));
+        let (metrics, trace) = world.shutdown();
+        assert_eq!(metrics.agents_created, 2, "original + clone");
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.label.contains("clone born at generation 1")));
+    }
+
+    /// Manager that retracts a named agent home on request.
+    #[derive(Debug, Serialize, Deserialize)]
+    struct Manager {
+        target: AgentId,
+        home: HostId,
+    }
+
+    impl Agent for Manager {
+        fn agent_type(&self) -> &'static str {
+            "manager"
+        }
+        fn snapshot(&self) -> serde_json::Value {
+            serde_json::to_value(self).unwrap()
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if msg.is("recall") {
+                ctx.retract(self.target, self.home);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_retract_pulls_agent_home() {
+        let mut builder = ThreadWorldBuilder::new(23);
+        builder.register_serde::<Hopper>("hopper");
+        builder.register_serde::<Manager>("manager");
+        let a = builder.add_host("a");
+        let b = builder.add_host("b");
+        let world = builder.start();
+        let hopper = world.create_agent(a, Box::new(Hopper::default())).unwrap();
+        let manager =
+            world.create_agent(a, Box::new(Manager { target: hopper, home: a })).unwrap();
+        world.send_external(hopper, Message::new("hop").with_payload(&b.0).unwrap()).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)));
+        world.send_external(manager, Message::new("recall")).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)));
+        let (metrics, trace) = world.shutdown();
+        assert_eq!(metrics.migrations, 2, "hop out + retracted home");
+        assert_eq!(metrics.migrations_rejected, 0, "retraction passes authentication");
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.label.contains("hopper arrived at host-1 (hops=2)")));
+    }
+}

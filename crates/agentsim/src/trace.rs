@@ -1,0 +1,119 @@
+//! World trace: an ordered record of labelled events.
+//!
+//! Workflow implementations call [`crate::agent::Ctx::note`] with labels
+//! like `"fig4.2/step3"`; tests assert the label sequence matches the
+//! paper's numbered figures (experiments E2–E4).
+
+use crate::clock::SimTime;
+use crate::ids::AgentId;
+use serde::{Deserialize, Serialize};
+
+/// One labelled trace event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time the note was recorded.
+    pub at: SimTime,
+    /// Agent that emitted the note, if any (world-level notes have none).
+    pub agent: Option<AgentId>,
+    /// Free-form label, conventionally `"<figure>/<step>"` for workflow
+    /// steps.
+    pub label: String,
+}
+
+/// Append-only event trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn record(&mut self, at: SimTime, agent: Option<AgentId>, label: impl Into<String>) {
+        self.events.push(TraceEvent { at, agent, label: label.into() });
+    }
+
+    /// All events in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Labels only, in order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.events.iter().map(|e| e.label.as_str()).collect()
+    }
+
+    /// Labels starting with `prefix`, in order. Workflow tests use this to
+    /// extract one figure's steps from an interleaved trace.
+    pub fn labels_with_prefix(&self, prefix: &str) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter(|e| e.label.starts_with(prefix))
+            .map(|e| e.label.as_str())
+            .collect()
+    }
+
+    /// First event carrying `label`, if any.
+    pub fn find(&self, label: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.label == label)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all events (used between bench iterations).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_preserve_order() {
+        let mut t = Trace::new();
+        t.record(SimTime(1), None, "a");
+        t.record(SimTime(2), Some(AgentId(1)), "b");
+        assert_eq!(t.labels(), vec!["a", "b"]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn prefix_filter_extracts_one_workflow() {
+        let mut t = Trace::new();
+        t.record(SimTime(1), None, "fig4.2/step1");
+        t.record(SimTime(2), None, "fig4.3/step1");
+        t.record(SimTime(3), None, "fig4.2/step2");
+        assert_eq!(t.labels_with_prefix("fig4.2/"), vec!["fig4.2/step1", "fig4.2/step2"]);
+    }
+
+    #[test]
+    fn find_returns_first_match() {
+        let mut t = Trace::new();
+        t.record(SimTime(1), None, "x");
+        t.record(SimTime(5), None, "x");
+        assert_eq!(t.find("x").unwrap().at, SimTime(1));
+        assert!(t.find("y").is_none());
+    }
+
+    #[test]
+    fn clear_empties_the_trace() {
+        let mut t = Trace::new();
+        t.record(SimTime(1), None, "a");
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

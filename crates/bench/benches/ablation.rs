@@ -1,0 +1,171 @@
+//! E10 — ablations and the §5.2 future-work features.
+//!
+//! Series printed:
+//! * the similarity-discard / collaborative-weight ablation table;
+//! * the learning-rate α row of E5 for cross-reference;
+//! * weekly-hottest and tied-sale demonstrations (future work 2);
+//! * community graph statistics (future work 3).
+//!
+//! Criterion times the similarity kernel with and without the discard
+//! rule, and community-graph construction.
+
+use abcrm_core::extensions::{CommunityGraph, TiedSale, WeeklyHottest};
+use abcrm_core::learning::BehaviorKind;
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::similarity::{profile_similarity, SimilarityConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecp::merchandise::ItemId;
+use eval::harness::build_store;
+use eval::sweep::{ablation, make_workload, SweepSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ablation_tables() {
+    let spec = SweepSpec { items: 100, consumers: 40, ..SweepSpec::default() };
+    println!("\n[E10] {}", ablation(&spec, 15));
+}
+
+fn future_work_demos() {
+    let spec = SweepSpec { items: 60, consumers: 24, ..SweepSpec::default() };
+    let w = make_workload(&spec);
+    let mut rng = StdRng::seed_from_u64(103);
+    let history = w.population.sample_history(&w.listings, 15, &mut rng);
+    let mut store = build_store(&w.listings, &history);
+
+    // weekly hottest: feed the purchase stream with ticks
+    let mut hottest = WeeklyHottest::new();
+    let mut tick = 0u64;
+    for (_, item, kind) in &history {
+        if matches!(kind, BehaviorKind::Purchase) {
+            tick += 1;
+            hottest.record_sale(tick, item.id);
+        }
+    }
+    println!("[E10] weekly hottest (window = last 50 sales vs all time)");
+    println!("{:>14} {:>14}", "recent top", "all-time top");
+    let recent = hottest.hottest(tick, 50, 3);
+    let alltime = hottest.hottest(tick, u64::MAX, 3);
+    for i in 0..3 {
+        println!(
+            "{:>14} {:>14}",
+            recent.get(i).map(|(x, n)| format!("{x}({n})")).unwrap_or_default(),
+            alltime.get(i).map(|(x, n)| format!("{x}({n})")).unwrap_or_default()
+        );
+    }
+
+    // tied-sale: synthesize co-purchase baskets from each consumer's top
+    // purchases
+    for truth in &w.population.consumers {
+        let owned: Vec<ItemId> = store.purchased_by(truth.id).into_iter().take(3).collect();
+        if owned.len() >= 2 {
+            store.record_basket(truth.id, &owned);
+        }
+    }
+    let miner = TiedSale::new(2);
+    let probe = store.top_sellers(1).first().map(|(i, _)| *i).unwrap_or(ItemId(1));
+    let companions = miner.companions(&store, probe, 3);
+    println!("\n[E10] tied-sale companions of {probe}: {companions:?}");
+
+    // community graph
+    let graph = CommunityGraph::build(&store, &SimilarityConfig::default(), 0.3);
+    let communities = graph.communities();
+    println!(
+        "[E10] community graph: {} connected consumers, {} communities, sizes {:?}",
+        graph.len(),
+        communities.len(),
+        communities.iter().map(|c| c.len()).collect::<Vec<_>>()
+    );
+    println!();
+}
+
+fn negotiation_tactics() {
+    use ecp::merchandise::Money;
+    use ecp::negotiation::{negotiate, BuyerPolicy, ConcessionStrategy, SellerPolicy};
+    println!("[E10] seller concession tactics vs one buyer (list $100, reservation $50, budget $95)");
+    println!("{:>22} {:>12} {:>8}", "tactic", "deal price", "rounds");
+    let base = SellerPolicy::with_margin(Money::from_units(100), 0.5, 0.1);
+    let buyer = BuyerPolicy {
+        budget: Money::from_units(95),
+        opening_fraction: 0.4,
+        raise: 0.15,
+        max_rounds: 20,
+    };
+    let tactics: Vec<(&str, SellerPolicy)> = vec![
+        ("proportional-0.10", base),
+        (
+            "boulware (e=4)",
+            base.with_strategy(ConcessionStrategy::TimeDependent {
+                deadline_rounds: 12,
+                exponent: 4.0,
+            }),
+        ),
+        (
+            "linear (e=1)",
+            base.with_strategy(ConcessionStrategy::TimeDependent {
+                deadline_rounds: 12,
+                exponent: 1.0,
+            }),
+        ),
+        (
+            "conceder (e=0.25)",
+            base.with_strategy(ConcessionStrategy::TimeDependent {
+                deadline_rounds: 12,
+                exponent: 0.25,
+            }),
+        ),
+    ];
+    for (label, policy) in tactics {
+        let outcome = negotiate(policy, buyer);
+        match outcome {
+            ecp::negotiation::Outcome::Deal { price, rounds } => {
+                println!("{:>22} {:>12} {:>8}", label, price.to_string(), rounds);
+            }
+            ecp::negotiation::Outcome::NoDeal { rounds } => {
+                println!("{:>22} {:>12} {:>8}", label, "no deal", rounds);
+            }
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_tables();
+    future_work_demos();
+    negotiation_tactics();
+
+    let spec = SweepSpec { items: 80, consumers: 30, ..SweepSpec::default() };
+    let w = make_workload(&spec);
+    let mut rng = StdRng::seed_from_u64(104);
+    let history = w.population.sample_history(&w.listings, 15, &mut rng);
+    let store = build_store(&w.listings, &history);
+    let profiles: Vec<_> = store.profiles().map(|(_, p)| p.clone()).collect();
+
+    let mut group = c.benchmark_group("E10_kernels");
+    group.bench_function("similarity_with_discard", |b| {
+        let cfg = SimilarityConfig::default();
+        b.iter(|| profile_similarity(&profiles[0], &profiles[1], &cfg));
+    });
+    group.bench_function("similarity_without_discard", |b| {
+        let cfg = SimilarityConfig { discard_threshold: None, ..SimilarityConfig::default() };
+        b.iter(|| profile_similarity(&profiles[0], &profiles[1], &cfg));
+    });
+    group.bench_function("community_graph_30_users", |b| {
+        let cfg = SimilarityConfig::default();
+        b.iter(|| CommunityGraph::build(&store, &cfg, 0.3));
+    });
+    group.bench_function("neighbour_search_30_users", |b| {
+        let cfg = SimilarityConfig::default();
+        b.iter(|| {
+            abcrm_core::similarity::nearest_neighbours(
+                &profiles[0],
+                store.profiles().filter(|(id, _)| *id != ConsumerId(1)),
+                &cfg,
+                10,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

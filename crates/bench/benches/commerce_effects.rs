@@ -1,0 +1,111 @@
+//! E9 — the §2.3 commerce effects: browsers→buyers, cross-sell, loyalty.
+//!
+//! Series printed:
+//! * one marketplace-day with vs without recommendations (conversion,
+//!   order size, spend, recommendation-attributed purchases);
+//! * a loyalty simulation: consumers return next round with probability
+//!   `base + boost · satisfaction`, so better recommendations retain
+//!   more consumers over time.
+//!
+//! Criterion times one full shopping session.
+
+use abcrm_core::server::Platform;
+use bench::{bench_listings, bench_population};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workload::catalog::split_across_markets;
+use workload::population::Population;
+use workload::session::{run_population_sessions, run_session, SessionConfig};
+
+fn day_comparison() {
+    println!("\n[E9] marketplace day: with vs without recommendations");
+    println!(
+        "{:>8} {:>11} {:>11} {:>10} {:>10} {:>13} {:>13}",
+        "recs", "conversion", "order size", "bought", "via recs", "spend", "satisfaction"
+    );
+    let listings = bench_listings(60, 91);
+    let population = bench_population(&listings, 10, 92);
+    for use_recs in [false, true] {
+        let mut platform = Platform::builder(93)
+            .marketplaces(split_across_markets(listings.clone(), 2))
+            .build();
+        let mut rng = StdRng::seed_from_u64(94);
+        let config = SessionConfig { use_recommendations: use_recs, ..SessionConfig::default() };
+        let report = run_population_sessions(&mut platform, &population, &config, &mut rng);
+        println!(
+            "{:>8} {:>11.2} {:>11.2} {:>10} {:>10} {:>13} {:>13.2}",
+            if use_recs { "on" } else { "off" },
+            report.conversion_rate(),
+            report.average_order_size(),
+            report.purchases,
+            report.recommended_purchases,
+            report.spent.to_string(),
+            report.mean_satisfaction
+        );
+    }
+    println!();
+}
+
+fn loyalty_simulation() {
+    println!("[E9] loyalty: active consumers per round (return prob = 0.2 + 0.75*satisfaction)");
+    println!("{:>6} {:>14} {:>14}", "round", "with recs", "without recs");
+    let listings = bench_listings(60, 95);
+    let population = bench_population(&listings, 12, 96);
+    let mut actives: Vec<Vec<usize>> = Vec::new();
+    for use_recs in [true, false] {
+        let mut platform = Platform::builder(97)
+            .marketplaces(split_across_markets(listings.clone(), 2))
+            .build();
+        let mut rng = StdRng::seed_from_u64(98);
+        let config = SessionConfig {
+            queries: 2,
+            use_recommendations: use_recs,
+            ..SessionConfig::default()
+        };
+        let mut active: Vec<bool> = vec![true; population.consumers.len()];
+        let mut counts = Vec::new();
+        for _round in 0..5 {
+            counts.push(active.iter().filter(|a| **a).count());
+            let mut next = active.clone();
+            for (i, truth) in population.consumers.iter().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                let outcome = run_session(&mut platform, truth, &config, &mut rng);
+                let p_return = 0.2 + 0.75 * outcome.satisfaction();
+                next[i] = rng.gen::<f64>() < p_return;
+            }
+            active = next;
+        }
+        actives.push(counts);
+    }
+    for (round, (with_recs, without)) in
+        actives[0].iter().zip(actives[1].iter()).enumerate()
+    {
+        println!("{:>6} {:>14} {:>14}", round + 1, with_recs, without);
+    }
+    println!("(higher satisfaction with recommendations retains more consumers)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    day_comparison();
+    loyalty_simulation();
+    let listings = bench_listings(60, 99);
+    let population = bench_population(&listings, 4, 100);
+    let mut group = c.benchmark_group("E9_sessions");
+    group.sample_size(10);
+    group.bench_function("full_shopping_session", |b| {
+        let mut platform = Platform::builder(101)
+            .marketplaces(split_across_markets(listings.clone(), 2))
+            .build();
+        let mut rng = StdRng::seed_from_u64(102);
+        let config = SessionConfig::default();
+        let single = Population { consumers: vec![population.consumers[0].clone()] };
+        b.iter(|| run_session(&mut platform, &single.consumers[0], &config, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

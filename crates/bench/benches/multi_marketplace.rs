@@ -1,0 +1,74 @@
+//! E7 — §5.1 claim 3: the MBA collects merchandise information across
+//! two or more marketplaces.
+//!
+//! Series printed: offers found, best price and MBA tour sim-time vs
+//! marketplace count (nested price-jittered replicas, so best price is
+//! monotone in coverage). Criterion times the multi-market query.
+
+use abcrm_core::agents::msg::ResponseBody;
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::server::Platform;
+use abcrm_core::workflow::{self, FIG_QUERY};
+use bench::bench_listings;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::catalog::replicate_with_price_jitter;
+
+fn discovery_series() {
+    println!("\n[E7] price discovery vs marketplace count (±20% price jitter, LAN)");
+    println!(
+        "{:>8} {:>8} {:>12} {:>14} {:>12}",
+        "markets", "offers", "best price", "tour sim-ms", "migrations"
+    );
+    let base = bench_listings(20, 71);
+    let mut rng = StdRng::seed_from_u64(72);
+    let all = replicate_with_price_jitter(&base, 8, 0.2, &mut rng);
+    let keyword = base[0].item.name.clone();
+    for n in [1usize, 2, 4, 6, 8] {
+        let mut platform =
+            Platform::builder(70 + n as u64).marketplaces(all[..n].to_vec()).build();
+        platform.login(ConsumerId(1));
+        let migrations_before = platform.world().metrics().migrations;
+        let responses = platform.query(ConsumerId(1), &[keyword.as_str()], 3);
+        let times = workflow::step_times(platform.world().trace(), FIG_QUERY);
+        let tour =
+            times[15].expect("step15").since(times[1].expect("step1")).as_millis_f64();
+        for r in responses {
+            if let ResponseBody::Recommendations { offers, .. } = r {
+                let best = offers.iter().map(|o| o.price).min();
+                println!(
+                    "{:>8} {:>8} {:>12} {:>14.3} {:>12}",
+                    n,
+                    offers.len(),
+                    best.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+                    tour,
+                    platform.world().metrics().migrations - migrations_before
+                );
+            }
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    discovery_series();
+    let base = bench_listings(20, 73);
+    let mut rng = StdRng::seed_from_u64(74);
+    let all = replicate_with_price_jitter(&base, 8, 0.2, &mut rng);
+    let keyword = base[0].item.name.clone();
+    let mut group = c.benchmark_group("E7_multi_market_query");
+    group.sample_size(10);
+    for n in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("tour", n), &n, |b, &n| {
+            let mut platform =
+                Platform::builder(75 + n as u64).marketplaces(all[..n].to_vec()).build();
+            platform.login(ConsumerId(1));
+            b.iter(|| platform.query(ConsumerId(1), &[keyword.as_str()], 3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

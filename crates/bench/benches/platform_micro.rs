@@ -1,0 +1,340 @@
+//! E8 — platform microbenchmarks: the §1 mobile-agent claims.
+//!
+//! Series printed:
+//! * migration round-trip sim-time vs agent payload size, LAN and WAN;
+//! * mobile-agent vs RPC-style chatter under WAN latency ("overcome
+//!   network latency", "reduce the network load");
+//! * deactivation memory accounting ("BRA stored to mechanism storage").
+//!
+//! Criterion times: local/remote message delivery throughput in the DES,
+//! capsule snapshot/rehydrate, deactivate/activate cycles, and the
+//! threaded runtime's real message throughput.
+
+use agentsim::agent::{Agent, Ctx};
+use agentsim::clock::SimDuration;
+use agentsim::ids::{AgentId, HostId};
+use agentsim::message::Message;
+use agentsim::net::{LinkSpec, Topology};
+use agentsim::sim::SimWorld;
+use agentsim::thread_net::ThreadWorldBuilder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Agent with a configurable payload that hops to a host and back.
+#[derive(Debug, Serialize, Deserialize)]
+struct Luggage {
+    home: HostId,
+    away: HostId,
+    ballast: Vec<u8>,
+    trips: u32,
+}
+
+impl Agent for Luggage {
+    fn agent_type(&self) -> &'static str {
+        "luggage"
+    }
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).unwrap()
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is("trip") {
+            ctx.dispatch_self(self.away);
+        }
+    }
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.host() == self.home {
+            self.trips += 1;
+            ctx.note(format!("trip {} done", self.trips));
+        } else {
+            ctx.dispatch_self(self.home);
+        }
+    }
+}
+
+/// RPC-style requester: N sequential request/response round trips.
+#[derive(Debug, Serialize, Deserialize)]
+struct Requester {
+    peer: AgentId,
+    remaining: u32,
+}
+
+impl Agent for Requester {
+    fn agent_type(&self) -> &'static str {
+        "requester"
+    }
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).unwrap()
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        match msg.kind.as_str() {
+            "start" | "pong" => {
+                if msg.is("pong") {
+                    self.remaining = self.remaining.saturating_sub(1);
+                }
+                if self.remaining > 0 {
+                    ctx.send(self.peer, Message::new("ping"));
+                } else {
+                    ctx.note("rpc chatter done");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Echo service (a marketplace stand-in).
+#[derive(Debug, Serialize, Deserialize)]
+struct Echo;
+
+impl Agent for Echo {
+    fn agent_type(&self) -> &'static str {
+        "echo"
+    }
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::json!(null)
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is("ping") {
+            ctx.reply(&msg, Message::new("pong"));
+        }
+    }
+}
+
+/// Touring agent: migrates to the service, N local pings, returns.
+#[derive(Debug, Serialize, Deserialize)]
+struct Tourist {
+    home: HostId,
+    away: HostId,
+    peer: AgentId,
+    remaining: u32,
+}
+
+impl Agent for Tourist {
+    fn agent_type(&self) -> &'static str {
+        "tourist"
+    }
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).unwrap()
+    }
+    fn on_creation(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.dispatch_self(self.away);
+    }
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.host() == self.home {
+            ctx.note("agent chatter done");
+        } else {
+            ctx.send(self.peer, Message::new("ping"));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is("pong") {
+            self.remaining = self.remaining.saturating_sub(1);
+            if self.remaining > 0 {
+                ctx.send(self.peer, Message::new("ping"));
+            } else {
+                ctx.dispatch_self(self.home);
+            }
+        }
+    }
+}
+
+fn migration_series() {
+    println!("\n[E8] migration round trip sim-time vs payload (LAN vs WAN)");
+    println!("{:>12} {:>14} {:>14}", "payload (B)", "LAN (ms)", "WAN (ms)");
+    for payload in [0usize, 1_000, 10_000, 100_000] {
+        let mut row = Vec::new();
+        for link in [LinkSpec::lan(), LinkSpec::wan()] {
+            let mut world = SimWorld::with_topology(8, Topology::uniform(link));
+            world.registry_mut().register_serde::<Luggage>("luggage");
+            let home = world.add_host("home");
+            let away = world.add_host("away");
+            let agent = world
+                .create_agent(
+                    home,
+                    Box::new(Luggage { home, away, ballast: vec![7; payload], trips: 0 }),
+                )
+                .unwrap();
+            world.send_external(agent, Message::new("trip")).unwrap();
+            let t0 = world.now();
+            world.run_until_idle();
+            row.push(world.now().since(t0).as_millis_f64());
+        }
+        println!("{:>12} {:>14.3} {:>14.3}", payload, row[0], row[1]);
+    }
+    println!();
+}
+
+fn chatter_series() {
+    println!("[E8] N-interaction conversation under WAN latency: RPC vs mobile agent");
+    println!("{:>6} {:>14} {:>14} {:>14} {:>14}", "N", "rpc sim-ms", "agent sim-ms", "rpc B", "agent B");
+    for n in [1u32, 5, 20, 100] {
+        // RPC
+        let mut world = SimWorld::with_topology(9, Topology::uniform(LinkSpec::wan()));
+        world.registry_mut().register_serde::<Requester>("requester");
+        world.registry_mut().register_serde::<Echo>("echo");
+        let client_host = world.add_host("client");
+        let server_host = world.add_host("server");
+        let echo = world.create_agent(server_host, Box::new(Echo)).unwrap();
+        let requester = world
+            .create_agent(client_host, Box::new(Requester { peer: echo, remaining: n }))
+            .unwrap();
+        world.send_external(requester, Message::new("start")).unwrap();
+        let t0 = world.now();
+        world.run_until_idle();
+        let rpc_time = world.now().since(t0).as_millis_f64();
+        let rpc_bytes = world.metrics().total_network_bytes();
+
+        // mobile agent
+        let mut world = SimWorld::with_topology(9, Topology::uniform(LinkSpec::wan()));
+        world.registry_mut().register_serde::<Tourist>("tourist");
+        world.registry_mut().register_serde::<Echo>("echo");
+        let client_host = world.add_host("client");
+        let server_host = world.add_host("server");
+        let echo = world.create_agent(server_host, Box::new(Echo)).unwrap();
+        let t0 = world.now();
+        world
+            .create_agent(
+                client_host,
+                Box::new(Tourist { home: client_host, away: server_host, peer: echo, remaining: n }),
+            )
+            .unwrap();
+        world.run_until_idle();
+        let agent_time = world.now().since(t0).as_millis_f64();
+        let agent_bytes = world.metrics().total_network_bytes();
+        println!(
+            "{:>6} {:>14.1} {:>14.1} {:>14} {:>14}",
+            n, rpc_time, agent_time, rpc_bytes, agent_bytes
+        );
+    }
+    println!("(the crossover is where migrating once beats paying WAN latency per call)\n");
+}
+
+fn deactivation_series() {
+    println!("[E8] deactivation frees memory: resident agents vs stored bytes");
+    println!("{:>10} {:>14} {:>14}", "parked", "active", "stored B");
+    let mut world = SimWorld::new(10);
+    world.registry_mut().register_serde::<Luggage>("luggage");
+    let host = world.add_host("buyer-server");
+    let away = world.add_host("away");
+    let mut agents = Vec::new();
+    for _ in 0..64 {
+        agents.push(
+            world
+                .create_agent(
+                    host,
+                    Box::new(Luggage { home: host, away, ballast: vec![7; 2_000], trips: 0 }),
+                )
+                .unwrap(),
+        );
+    }
+    for (i, agent) in agents.iter().enumerate() {
+        if i % 16 == 0 {
+            println!(
+                "{:>10} {:>14} {:>14}",
+                i,
+                world.active_count(host),
+                world.stored_bytes(host)
+            );
+        }
+        world.deactivate_agent(*agent).unwrap();
+    }
+    println!(
+        "{:>10} {:>14} {:>14}\n",
+        agents.len(),
+        world.active_count(host),
+        world.stored_bytes(host)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    migration_series();
+    chatter_series();
+    deactivation_series();
+
+    let mut group = c.benchmark_group("E8_platform");
+    group.bench_function("des_local_message", |b| {
+        let mut world = SimWorld::new(1);
+        world.registry_mut().register_serde::<Echo>("echo");
+        let host = world.add_host("h");
+        let echo = world.create_agent(host, Box::new(Echo)).unwrap();
+        b.iter(|| {
+            world.send_external(echo, Message::new("noop")).unwrap();
+            world.run_until_idle();
+        });
+    });
+    group.bench_function("des_remote_ping_pong", |b| {
+        let mut world = SimWorld::new(2);
+        world.registry_mut().register_serde::<Requester>("requester");
+        world.registry_mut().register_serde::<Echo>("echo");
+        let ch = world.add_host("c");
+        let sh = world.add_host("s");
+        let echo = world.create_agent(sh, Box::new(Echo)).unwrap();
+        let req = world
+            .create_agent(ch, Box::new(Requester { peer: echo, remaining: u32::MAX }))
+            .unwrap();
+        world.send_external(req, Message::new("start")).unwrap();
+        b.iter(|| {
+            for _ in 0..100 {
+                world.step();
+            }
+        });
+    });
+    group.bench_function("migration_round_trip_1kb", |b| {
+        let mut world = SimWorld::new(3);
+        world.registry_mut().register_serde::<Luggage>("luggage");
+        let home = world.add_host("home");
+        let away = world.add_host("away");
+        let agent = world
+            .create_agent(
+                home,
+                Box::new(Luggage { home, away, ballast: vec![7; 1_000], trips: 0 }),
+            )
+            .unwrap();
+        b.iter(|| {
+            world.send_external(agent, Message::new("trip")).unwrap();
+            world.run_until_idle();
+        });
+    });
+    group.bench_function("deactivate_activate_cycle_2kb", |b| {
+        let mut world = SimWorld::new(4);
+        world.registry_mut().register_serde::<Luggage>("luggage");
+        let host = world.add_host("h");
+        let away = world.add_host("a");
+        let agent = world
+            .create_agent(
+                host,
+                Box::new(Luggage { home: host, away, ballast: vec![7; 2_000], trips: 0 }),
+            )
+            .unwrap();
+        b.iter(|| {
+            world.deactivate_agent(agent).unwrap();
+            world.activate_agent(agent).unwrap();
+            world.run_until_idle();
+        });
+    });
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("thread_world_messages", 1000),
+        &1000u32,
+        |b, &n| {
+            b.iter(|| {
+                let mut builder = ThreadWorldBuilder::new(5);
+                builder.register_serde::<Echo>("echo");
+                let h = builder.add_host("h");
+                let world = builder.start();
+                let echo = world.create_agent(h, Box::new(Echo)).unwrap();
+                for _ in 0..n {
+                    world.send_external(echo, Message::new("noop")).unwrap();
+                }
+                assert!(world.run_until_idle(Duration::from_secs(10)));
+                world.shutdown()
+            });
+        },
+    );
+    group.finish();
+    let _ = SimDuration::ZERO; // keep the import exercised on all paths
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

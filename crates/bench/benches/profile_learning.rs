@@ -1,0 +1,66 @@
+//! E5 — Figs 4.4/4.5: profile representation and learning rule.
+//!
+//! Series printed: profile→truth cosine alignment after 25/50/75/100% of
+//! a behaviour stream, per learning rate α. Criterion times a single
+//! Fig 4.5 update and a full similarity computation.
+
+use abcrm_core::learning::{BehaviorEvent, BehaviorKind, LearnerConfig, ProfileLearner};
+use abcrm_core::profile::Profile;
+use abcrm_core::similarity::{profile_similarity, SimilarityConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecp::merchandise::CategoryPath;
+use ecp::terms::TermVector;
+use eval::sweep::{alpha_convergence, SweepSpec};
+
+fn convergence_table() {
+    let spec = SweepSpec::default();
+    println!("\n[E5] {}", alpha_convergence(&spec, &[0.05, 0.1, 0.3, 0.6, 1.0], 80));
+}
+
+fn sample_event(i: u64) -> BehaviorEvent {
+    BehaviorEvent::new(
+        BehaviorKind::Purchase,
+        CategoryPath::new("books", "programming"),
+        TermVector::from_pairs([
+            (format!("t{}", i % 16), 1.0),
+            (format!("t{}", (i + 3) % 16), 0.5),
+        ]),
+    )
+}
+
+fn rich_profile(n: usize) -> Profile {
+    let learner = ProfileLearner::new(LearnerConfig::default());
+    let mut p = Profile::new();
+    for i in 0..n as u64 {
+        learner.apply(&mut p, &sample_event(i));
+    }
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    convergence_table();
+    let mut group = c.benchmark_group("E5_profile");
+    group.bench_function("fig45_update_single_event", |b| {
+        let learner = ProfileLearner::new(LearnerConfig::default());
+        let mut p = rich_profile(100);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            learner.apply(&mut p, &sample_event(i));
+        });
+    });
+    group.bench_function("profile_similarity_64_terms", |b| {
+        let a = rich_profile(200);
+        let q = rich_profile(150);
+        let cfg = SimilarityConfig::default();
+        b.iter(|| profile_similarity(&a, &q, &cfg));
+    });
+    group.bench_function("profile_flatten", |b| {
+        let a = rich_profile(200);
+        b.iter(|| a.flatten());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E6 — recommendation quality: the paper's hybrid vs the §2.3
+//! baselines, across the sparsity axis and the cold-start scenarios.
+//!
+//! Series printed: the full sparsity sweep table and the cold-start
+//! table (the data EXPERIMENTS.md reports). Criterion times one
+//! `recommend()` call per strategy at a fixed store size.
+
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::recommend::{
+    CfRecommender, ContentRecommender, HybridRecommender, QueryContext, Recommender,
+    TopSellerRecommender,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::harness::build_store;
+use eval::sweep::{cold_start_eval, make_workload, sparsity_sweep, SweepSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quality_tables() {
+    let spec = SweepSpec { items: 100, consumers: 40, ..SweepSpec::default() };
+    println!("\n[E6] {}", sparsity_sweep(&spec, &[1, 3, 7, 15, 30]));
+    println!("[E6] {}", cold_start_eval(&spec, 15));
+}
+
+fn bench(c: &mut Criterion) {
+    quality_tables();
+    let spec = SweepSpec { items: 200, consumers: 60, ..SweepSpec::default() };
+    let w = make_workload(&spec);
+    let mut rng = StdRng::seed_from_u64(61);
+    let history = w.population.sample_history(&w.listings, 20, &mut rng);
+    let store = build_store(&w.listings, &history);
+    let ctx = QueryContext::default();
+    let user = ConsumerId(1);
+
+    let mut group = c.benchmark_group("E6_recommend_latency");
+    group.bench_function("hybrid", |b| {
+        let rec = HybridRecommender::default();
+        b.iter(|| rec.recommend(&store, user, &ctx, 10));
+    });
+    group.bench_function("cf_knn", |b| {
+        let rec = CfRecommender::default();
+        b.iter(|| rec.recommend(&store, user, &ctx, 10));
+    });
+    group.bench_function("content_if", |b| {
+        b.iter(|| ContentRecommender.recommend(&store, user, &ctx, 10));
+    });
+    group.bench_function("top_seller", |b| {
+        b.iter(|| TopSellerRecommender.recommend(&store, user, &ctx, 10));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E4 — Fig 4.3: the buy / auction workflow.
+//!
+//! Series printed: sim-time and message cost of direct buy vs negotiated
+//! buy (by negotiation distance) vs auction. Criterion times each
+//! variant end to end.
+
+use abcrm_core::agents::msg::BuyMode;
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::workflow::{self, FIG_TRANSACT};
+use bench::bench_platform;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecp::merchandise::{ItemId, Money};
+
+fn negotiate_mode(budget_units: u64) -> BuyMode {
+    BuyMode::Negotiate {
+        budget: Money::from_units(budget_units),
+        opening_fraction: 0.5,
+        raise: 0.1,
+        max_rounds: 25,
+    }
+}
+
+fn transact_series() {
+    println!("\n[E4] Fig 4.3 trade variants: sim-time and messages (1 marketplace, LAN)");
+    println!("{:>22} {:>14} {:>10} {:>10}", "variant", "sim-ms", "messages", "outcome");
+    // catalog item 1 always exists; its price is seed-dependent, so use a
+    // generous budget for the "easy" negotiation and a tiny one for the
+    // walk-away
+    let variants: Vec<(&str, BuyMode)> = vec![
+        ("direct", BuyMode::Direct),
+        ("negotiate-generous", negotiate_mode(100_000)),
+        ("negotiate-hopeless", negotiate_mode(1)),
+    ];
+    for (label, mode) in variants {
+        let mut platform = bench_platform(40, 1, 31);
+        let before_msgs = platform.world().metrics().messages_delivered;
+        let responses = platform.buy(ConsumerId(1), ItemId(1), 0, mode);
+        let times = workflow::step_times(platform.world().trace(), FIG_TRANSACT);
+        let (t1, t14) = (times[1].expect("step1"), times[14].expect("step14"));
+        let outcome = match &responses[0] {
+            abcrm_core::agents::msg::ResponseBody::Receipt { .. } => "bought",
+            abcrm_core::agents::msg::ResponseBody::Error(_) => "no-deal",
+            _ => "other",
+        };
+        println!(
+            "{:>22} {:>14.3} {:>10} {:>10}",
+            label,
+            t14.since(t1).as_millis_f64(),
+            platform.world().metrics().messages_delivered - before_msgs,
+            outcome
+        );
+    }
+    // auction variant
+    let mut platform = bench_platform(40, 1, 31);
+    platform.open_auction(
+        0,
+        ItemId(1),
+        Money::from_units(5),
+        Money::from_units(1),
+        agentsim::clock::SimDuration::from_secs(10),
+    );
+    let before_msgs = platform.world().metrics().messages_delivered;
+    let responses = platform.auction(ConsumerId(1), ItemId(1), 0, Money::from_units(100_000));
+    let times = workflow::step_times(platform.world().trace(), FIG_TRANSACT);
+    let (t1, t14) = (times[1].expect("step1"), times[14].expect("step14"));
+    let outcome = match &responses[0] {
+        abcrm_core::agents::msg::ResponseBody::AuctionResult { won: true, .. } => "won",
+        _ => "other",
+    };
+    println!(
+        "{:>22} {:>14.3} {:>10} {:>10}",
+        "auction-solo",
+        t14.since(t1).as_millis_f64(),
+        platform.world().metrics().messages_delivered - before_msgs,
+        outcome
+    );
+    println!("(auction sim-time is dominated by the 10s auction deadline)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    transact_series();
+    let mut group = c.benchmark_group("E4_transact");
+    group.sample_size(10);
+    group.bench_function("direct_buy_workflow", |b| {
+        let mut platform = bench_platform(40, 1, 32);
+        b.iter(|| platform.buy(ConsumerId(1), ItemId(1), 0, BuyMode::Direct));
+    });
+    group.bench_function("negotiated_buy_workflow", |b| {
+        let mut platform = bench_platform(40, 1, 33);
+        b.iter(|| platform.buy(ConsumerId(1), ItemId(1), 0, negotiate_mode(100_000)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

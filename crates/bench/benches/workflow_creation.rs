@@ -1,0 +1,58 @@
+//! E2 — Fig 4.1: the mechanism-creation workflow.
+//!
+//! Series printed: simulated time to complete steps 1–6 vs number of
+//! marketplaces in the domain. Criterion times the full platform build
+//! (coordinator round trip + BSMA dispatch + PA/HttpA creation + DB
+//! init).
+
+use abcrm_core::server::Platform;
+use abcrm_core::workflow::{self, FIG_CREATION};
+use bench::bench_listings;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workload::catalog::split_across_markets;
+
+fn creation_series() {
+    println!("\n[E2] Fig 4.1 creation workflow: sim-time to ready vs marketplaces");
+    println!("{:>13} {:>16} {:>10}", "marketplaces", "sim-time (ms)", "steps");
+    for markets in [1usize, 2, 4, 8] {
+        let listings = bench_listings(40, 11);
+        let platform = Platform::builder(5)
+            .marketplaces(split_across_markets(listings, markets))
+            .build();
+        workflow::validate(platform.world().trace(), FIG_CREATION).expect("fig 4.1");
+        let times = workflow::step_times(platform.world().trace(), FIG_CREATION);
+        let t1 = times[1].expect("step 1");
+        let t6 = times[6].expect("step 6");
+        println!(
+            "{:>13} {:>16.3} {:>10}",
+            markets,
+            t6.since(t1).as_millis_f64(),
+            workflow::steps_of(platform.world().trace(), FIG_CREATION).len()
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    creation_series();
+    let mut group = c.benchmark_group("E2_creation");
+    group.sample_size(10);
+    for markets in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("build_platform", markets),
+            &markets,
+            |b, &markets| {
+                b.iter(|| {
+                    let listings = bench_listings(40, 11);
+                    Platform::builder(5)
+                        .marketplaces(split_across_markets(listings, markets))
+                        .build()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E3 — Fig 4.2: the merchandise-query workflow.
+//!
+//! Series printed: (a) per-step simulated latency breakdown of one
+//! 15-step query, (b) end-to-end query sim-time vs marketplace count.
+//! Criterion times the full workflow (wall clock).
+
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::workflow::{self, FIG_QUERY};
+use bench::{bench_listings, bench_platform, probe_keyword};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn step_breakdown() {
+    println!("\n[E3] Fig 4.2 per-step sim-time breakdown (2 marketplaces, LAN)");
+    let mut platform = bench_platform(40, 2, 21);
+    let listings = bench_listings(40, 21);
+    let keyword = probe_keyword(&listings);
+    platform.query(ConsumerId(1), &[keyword.as_str()], 5);
+    let times = workflow::step_times(platform.world().trace(), FIG_QUERY);
+    let t0 = times[1].expect("step 1");
+    println!("{:>6} {:>14}", "step", "at +us");
+    for (step, time) in times.iter().enumerate().skip(1) {
+        if let Some(t) = time {
+            println!("{:>6} {:>14}", step, t.since(t0).as_micros());
+        }
+    }
+    println!();
+}
+
+fn tour_series() {
+    println!("[E3] end-to-end query sim-time vs marketplaces (LAN)");
+    println!("{:>13} {:>16} {:>12}", "marketplaces", "sim-time (ms)", "migrations");
+    for markets in [1usize, 2, 4, 8] {
+        let mut platform = bench_platform(40, markets, 22);
+        let listings = bench_listings(40, 22);
+        let keyword = probe_keyword(&listings);
+        let migrations_before = platform.world().metrics().migrations;
+        platform.query(ConsumerId(1), &[keyword.as_str()], 5);
+        let times = workflow::step_times(platform.world().trace(), FIG_QUERY);
+        let (t1, t15) = (times[1].expect("step1"), times[15].expect("step15"));
+        println!(
+            "{:>13} {:>16.3} {:>12}",
+            markets,
+            t15.since(t1).as_millis_f64(),
+            platform.world().metrics().migrations - migrations_before
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    step_breakdown();
+    tour_series();
+    let mut group = c.benchmark_group("E3_query");
+    group.sample_size(10);
+    for markets in [1usize, 4] {
+        let listings = bench_listings(40, 23);
+        let keyword = probe_keyword(&listings);
+        group.bench_with_input(
+            BenchmarkId::new("full_query_workflow", markets),
+            &markets,
+            |b, &markets| {
+                let mut platform = bench_platform(40, markets, 23);
+                b.iter(|| platform.query(ConsumerId(1), &[keyword.as_str()], 5));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerate every experiment table (E5, E6, E10 offline series) in one
+//! shot, without Criterion timing overhead. The workflow / platform
+//! series (E2–E4, E7–E9) print from their benches; this binary covers
+//! the pure-algorithm tables so EXPERIMENTS.md can be refreshed quickly.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin run_experiments
+//! ```
+
+use eval::sweep::{
+    ablation, alpha_convergence, cold_start_eval, prediction_accuracy, replicated_quality,
+    sparsity_sweep, SweepSpec,
+};
+
+fn main() {
+    let spec = SweepSpec { items: 100, consumers: 40, clusters: 3, ..SweepSpec::default() };
+    println!("workload: {} items, {} consumers, {} clusters, k={}\n",
+        spec.items, spec.consumers, spec.clusters, spec.k);
+    println!("{}", alpha_convergence(&spec, &[0.05, 0.1, 0.3, 0.6, 1.0], 80));
+    println!("{}", sparsity_sweep(&spec, &[1, 3, 7, 15, 30]));
+    println!("{}", cold_start_eval(&spec, 15));
+    println!("{}", prediction_accuracy(&spec, &[3, 7, 15, 30]));
+    println!("{}", ablation(&spec, 15));
+    println!("{}", replicated_quality(&spec, &[11, 22, 33, 44, 55], 15));
+}

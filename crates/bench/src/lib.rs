@@ -1,0 +1,64 @@
+//! Shared fixtures for the benchmark suite (experiments E2–E10).
+//!
+//! Every bench prints its experiment's data series (the "figure" being
+//! regenerated) once, then runs Criterion timings on the hot path. The
+//! series land in `bench_output.txt` and are transcribed into
+//! EXPERIMENTS.md.
+
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::server::Platform;
+use ecp::protocol::Listing;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::catalog::{generate_listings, split_across_markets, CatalogSpec};
+use workload::population::{Population, PopulationSpec};
+use workload::taxonomy::{Taxonomy, TaxonomySpec};
+
+/// Standard synthetic catalog for platform benches.
+pub fn bench_listings(items: usize, seed: u64) -> Vec<Listing> {
+    let taxonomy = Taxonomy::generate(TaxonomySpec::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_listings(&taxonomy, &CatalogSpec { items, ..CatalogSpec::default() }, 1, &mut rng)
+}
+
+/// Platform with `markets` marketplaces sharing a split of `items`
+/// listings, plus a logged-in consumer 1.
+pub fn bench_platform(items: usize, markets: usize, seed: u64) -> Platform {
+    let listings = bench_listings(items, seed);
+    let mut platform = Platform::builder(seed)
+        .marketplaces(split_across_markets(listings, markets))
+        .build();
+    platform.login(ConsumerId(1));
+    platform
+}
+
+/// Population over the given listings.
+pub fn bench_population(listings: &[Listing], consumers: usize, seed: u64) -> Population {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Population::generate(
+        &PopulationSpec { consumers, clusters: 3, ..PopulationSpec::default() },
+        listings,
+        &mut rng,
+    )
+}
+
+/// A keyword guaranteed to match at least one listing.
+pub fn probe_keyword(listings: &[Listing]) -> String {
+    listings[0].item.name.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let listings = bench_listings(10, 1);
+        assert_eq!(listings.len(), 10);
+        let platform = bench_platform(10, 2, 1);
+        assert_eq!(platform.markets().len(), 2);
+        let population = bench_population(&listings, 5, 1);
+        assert_eq!(population.consumers.len(), 5);
+        assert!(!probe_keyword(&listings).is_empty());
+    }
+}

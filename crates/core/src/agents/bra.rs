@@ -1,0 +1,496 @@
+//! The Buyer Recommend Agent (BRA).
+//!
+//! §3.3: *"A BRA stands for online consumer. The main functions of BRA
+//! are: (1) Loading Profiles. (2) Providing the assistance of merchandise
+//! query and the other bargain functions. (3) Creating recommendation
+//! information."*
+//!
+//! One BRA exists per logged-in consumer (§4.1 principle 1: created at
+//! login, disposed at logout). On a task it loads the profile from the
+//! PA, creates and dispatches an MBA, and is deactivated by the BSMA
+//! while the MBA roams. When the MBA returns (and its result is replayed
+//! to the reactivated BRA) the BRA asks the PA for similar users'
+//! preferences and generates the recommendation information it sends back
+//! through the HttpA.
+
+use crate::agents::mba::{MbaTask, MobileBuyerAgent};
+use crate::agents::msg::{
+    kinds, BraResponse, ConsumerTask, MarketRef, MbaLost, MbaRegister, MbaResult,
+    PaLoad, PaProfile, PaRecord, PaSimilar, PaSimilarReply, RecommendedItem, ResponseBody,
+    RoutedTask,
+};
+use crate::learning::BehaviorKind;
+use crate::profile::{ConsumerId, Profile};
+use agentsim::agent::{Agent, Ctx};
+use agentsim::ids::AgentId;
+use agentsim::message::Message;
+use ecp::merchandise::Merchandise;
+use ecp::protocol::Offer;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Agent-type tag of [`BuyerRecommendAgent`].
+pub const BRA_TYPE: &str = "bra";
+
+/// Task state the BRA is driving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::enum_variant_names)] // Await* reads better than bare nouns
+enum Pending {
+    /// Waiting for the PA profile before dispatching the MBA.
+    AwaitProfile { task: ConsumerTask },
+    /// MBA dispatched; awaiting its result (arrives after reactivation).
+    AwaitMba { task: ConsumerTask },
+    /// Offers in hand; awaiting the PA's similar-user data.
+    AwaitSimilar { task: ConsumerTask, offers: Vec<Offer> },
+}
+
+/// The Buyer Recommend Agent.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BuyerRecommendAgent {
+    consumer: ConsumerId,
+    bsma: AgentId,
+    pa: AgentId,
+    httpa: AgentId,
+    markets: Vec<MarketRef>,
+    profile: Option<Profile>,
+    pending: Option<Pending>,
+    /// Weight of the collaborative term when ranking.
+    collaborative_weight: f64,
+    /// Neighbours requested from the PA.
+    k_neighbours: usize,
+    /// Microseconds before a roaming MBA is presumed lost.
+    mba_timeout_us: u64,
+    /// Recommendations produced over this session (for inspection).
+    recommendations_made: u32,
+}
+
+impl BuyerRecommendAgent {
+    /// Create a BRA for `consumer`, wired to its server-side peers.
+    pub fn new(
+        consumer: ConsumerId,
+        bsma: AgentId,
+        pa: AgentId,
+        httpa: AgentId,
+        markets: Vec<MarketRef>,
+    ) -> Self {
+        BuyerRecommendAgent {
+            consumer,
+            bsma,
+            pa,
+            httpa,
+            markets,
+            profile: None,
+            pending: None,
+            collaborative_weight: 0.7,
+            k_neighbours: 10,
+            mba_timeout_us: 600_000_000, // 10 simulated minutes
+            recommendations_made: 0,
+        }
+    }
+
+    /// Override the hybrid ranking weight (ablation knob).
+    pub fn with_collaborative_weight(mut self, w: f64) -> Self {
+        self.collaborative_weight = w.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Override the MBA loss timeout.
+    pub fn with_mba_timeout_us(mut self, us: u64) -> Self {
+        self.mba_timeout_us = us;
+        self
+    }
+
+    fn respond(&mut self, ctx: &mut Ctx<'_>, body: ResponseBody) {
+        let msg = Message::new(kinds::BRA_RESPONSE)
+            .with_payload(&BraResponse { consumer: self.consumer, body })
+            .expect("response serializes");
+        ctx.send(self.httpa, msg);
+    }
+
+    fn start_task(&mut self, ctx: &mut Ctx<'_>, task: ConsumerTask) {
+        if self.pending.is_some() {
+            self.respond(ctx, ResponseBody::Error("busy with a previous task".into()));
+            return;
+        }
+        let fig = task.figure();
+        ctx.note(format!("{fig}/step04 bra requests profile from pa"));
+        let load = Message::new(kinds::PA_LOAD)
+            .with_payload(&PaLoad { consumer: self.consumer, figure: fig.to_string() })
+            .expect("load serializes");
+        ctx.send(self.pa, load);
+        self.pending = Some(Pending::AwaitProfile { task });
+    }
+
+    fn dispatch_mba(&mut self, ctx: &mut Ctx<'_>, task: ConsumerTask) {
+        let fig = task.figure();
+        let (mba_task, itinerary) = match &task {
+            ConsumerTask::Query { keywords, category, max_results } => (
+                MbaTask::Query {
+                    keywords: keywords.clone(),
+                    category: category.clone(),
+                    max_results: *max_results,
+                },
+                self.markets.clone(),
+            ),
+            ConsumerTask::Buy { item, market, mode } => {
+                (MbaTask::Buy { item: *item, mode: *mode }, vec![*market])
+            }
+            ConsumerTask::Auction { item, market, limit } => {
+                (MbaTask::Auction { item: *item, limit: *limit }, vec![*market])
+            }
+        };
+        let create_step = if fig == "fig4.2" { "step07" } else { "step06" };
+        ctx.note(format!("{fig}/{create_step} bra creates mba and assigns task"));
+        let mba = ctx.create_agent(Box::new(MobileBuyerAgent::new(
+            ctx.host(),
+            self.bsma,
+            ctx.self_id(),
+            self.consumer,
+            mba_task,
+            itinerary,
+        )));
+        let register_step = if fig == "fig4.2" { "step08" } else { "step07" };
+        ctx.note(format!("{fig}/{register_step} bra registers mba with bsma"));
+        let register = Message::new(kinds::MBA_REGISTER)
+            .with_payload(&MbaRegister {
+                mba,
+                bra: ctx.self_id(),
+                consumer: self.consumer,
+                timeout_us: self.mba_timeout_us,
+                figure: fig.to_string(),
+            })
+            .expect("register serializes");
+        ctx.send(self.bsma, register);
+        self.pending = Some(Pending::AwaitMba { task });
+    }
+
+    /// Rank candidates: the paper's combination of similar users'
+    /// preferences with the queried merchandise information and the
+    /// consumer's own profile.
+    fn generate_recommendations(
+        &self,
+        offers: &[Offer],
+        data: &PaSimilarReply,
+        task: &ConsumerTask,
+        k: usize,
+    ) -> Vec<RecommendedItem> {
+        let (keywords, category) = match task {
+            ConsumerTask::Query { keywords, category, .. } => (keywords.clone(), category.clone()),
+            _ => (Vec::new(), None),
+        };
+        let context = crate::recommend::QueryContext { keywords, category };
+        // candidate pool: queried offers + neighbour preferences
+        let mut pool: BTreeMap<u64, (Merchandise, f64)> = BTreeMap::new();
+        for (m, w) in &data.neighbour_preferences {
+            pool.insert(m.id.0, (m.clone(), *w));
+        }
+        for offer in offers {
+            pool.entry(offer.item.id.0).or_insert((offer.item.clone(), 0.0));
+        }
+        let cw = self.collaborative_weight;
+        let n_neighbours = data.neighbours.len();
+        let mut recs: Vec<RecommendedItem> = pool
+            .into_values()
+            .map(|(m, collab)| {
+                let affinity = {
+                    let a = data.profile.affinity(&m.category, &m.terms);
+                    a / (1.0 + a)
+                };
+                let relevance = context.relevance(&m);
+                let content = 0.5 * affinity + 0.5 * relevance;
+                let score = cw * collab + (1.0 - cw) * content;
+                // explanation: name the dominant signal
+                let collab_part = cw * collab;
+                let affinity_part = (1.0 - cw) * 0.5 * affinity;
+                let relevance_part = (1.0 - cw) * 0.5 * relevance;
+                let reason = if collab_part >= affinity_part && collab_part >= relevance_part
+                {
+                    format!("preferred by {n_neighbours} consumers with similar taste")
+                } else if affinity_part >= relevance_part {
+                    format!("matches your interest in {}", m.category)
+                } else {
+                    "matches your search".to_string()
+                };
+                RecommendedItem { item: m, score, reason }
+            })
+            .filter(|r| r.score > 0.0)
+            .collect();
+        recs.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.id.cmp(&b.item.id))
+        });
+        recs.truncate(k);
+        recs
+    }
+
+    fn record_behavior(
+        &self,
+        ctx: &mut Ctx<'_>,
+        item: &Merchandise,
+        kind: BehaviorKind,
+        price: Option<ecp::merchandise::Money>,
+    ) {
+        let record = Message::new(kinds::PA_RECORD)
+            .with_payload(&PaRecord {
+                consumer: self.consumer,
+                item: item.clone(),
+                kind,
+                price,
+                at_us: ctx.now().as_micros(),
+            })
+            .expect("record serializes");
+        ctx.send(self.pa, record);
+    }
+
+    fn handle_mba_result(&mut self, ctx: &mut Ctx<'_>, result: MbaResult) {
+        let Some(Pending::AwaitMba { task }) = self.pending.take() else {
+            ctx.note("bra: unexpected mba result dropped");
+            return;
+        };
+        match result {
+            MbaResult::Offers(offers) => {
+                // record the query behaviour against the top offers
+                for offer in offers.iter().take(3) {
+                    self.record_behavior(ctx, &offer.item, BehaviorKind::Query, None);
+                }
+                let similar = Message::new(kinds::PA_SIMILAR)
+                    .with_payload(&PaSimilar {
+                        consumer: self.consumer,
+                        offers: offers.iter().map(|o| o.item.clone()).collect(),
+                        k_neighbours: self.k_neighbours,
+                    })
+                    .expect("similar serializes");
+                ctx.send(self.pa, similar);
+                self.pending = Some(Pending::AwaitSimilar { task, offers });
+            }
+            MbaResult::Bought { item, price, negotiated, rounds } => {
+                ctx.note("fig4.3/step13 bra records transaction and pa updates profile");
+                let kind = if negotiated {
+                    BehaviorKind::Negotiate
+                } else {
+                    BehaviorKind::Purchase
+                };
+                // negotiation that closed a deal is still a purchase
+                self.record_behavior(ctx, &item, BehaviorKind::Purchase, Some(price));
+                if negotiated {
+                    self.record_behavior(ctx, &item, kind, Some(price));
+                }
+                ctx.note("fig4.3/step14 bra responds with receipt");
+                self.respond(
+                    ctx,
+                    ResponseBody::Receipt {
+                        item,
+                        price,
+                        channel: if negotiated {
+                            format!("negotiated in {rounds} rounds")
+                        } else {
+                            "direct".into()
+                        },
+                    },
+                );
+            }
+            MbaResult::BuyFailed { reason, .. } => {
+                ctx.note("fig4.3/step13 bra records failed trade");
+                ctx.note("fig4.3/step14 bra responds with failure");
+                self.respond(ctx, ResponseBody::Error(reason));
+            }
+            MbaResult::AuctionDone { item, won, price, bids } => {
+                ctx.note("fig4.3/step13 bra records auction outcome");
+                if bids > 0 {
+                    self.record_behavior(ctx, &item, BehaviorKind::Bid, None);
+                }
+                if won {
+                    self.record_behavior(ctx, &item, BehaviorKind::AuctionWin, price);
+                }
+                ctx.note("fig4.3/step14 bra responds with auction result");
+                self.respond(ctx, ResponseBody::AuctionResult { item, won, price });
+            }
+        }
+    }
+}
+
+impl Agent for BuyerRecommendAgent {
+    fn agent_type(&self) -> &'static str {
+        BRA_TYPE
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("bra state serializes")
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        match msg.kind.as_str() {
+            kinds::BRA_TASK => {
+                if let Ok(routed) = msg.payload_as::<RoutedTask>() {
+                    self.start_task(ctx, routed.task);
+                }
+            }
+            kinds::PA_PROFILE => {
+                let Ok(profile) = msg.payload_as::<PaProfile>() else {
+                    return;
+                };
+                self.profile = Some(profile.profile);
+                let Some(Pending::AwaitProfile { task }) = self.pending.take() else {
+                    return;
+                };
+                let fig = task.figure();
+                let step = if fig == "fig4.2" { "step06" } else { "step05" };
+                ctx.note(format!("{fig}/{step} bra received profile"));
+                self.dispatch_mba(ctx, task);
+            }
+            kinds::MBA_RESULT => {
+                if let Ok(result) = msg.payload_as::<MbaResult>() {
+                    self.handle_mba_result(ctx, result);
+                }
+            }
+            kinds::PA_SIMILAR_REPLY => {
+                let Ok(data) = msg.payload_as::<PaSimilarReply>() else {
+                    return;
+                };
+                let Some(Pending::AwaitSimilar { task, offers }) = self.pending.take() else {
+                    return;
+                };
+                ctx.note(
+                    "fig4.2/step14 bra generates recommendation from similar users and offers",
+                );
+                self.profile = Some(data.profile.clone());
+                let max = match &task {
+                    ConsumerTask::Query { max_results, .. } => (*max_results).max(5),
+                    _ => 5,
+                };
+                let recommendations = self.generate_recommendations(&offers, &data, &task, max);
+                self.recommendations_made += 1;
+                ctx.note("fig4.2/step15 bra responds with recommendations");
+                self.respond(ctx, ResponseBody::Recommendations { offers, recommendations });
+            }
+            kinds::MBA_LOST => {
+                if let Ok(lost) = msg.payload_as::<MbaLost>() {
+                    ctx.note(format!("bra: mba {} presumed lost", lost.mba));
+                    self.pending = None;
+                    self.respond(
+                        ctx,
+                        ResponseBody::Error("mobile buyer agent lost in transit".into()),
+                    );
+                }
+            }
+            other => {
+                ctx.note(format!("bra: unhandled kind {other}"));
+            }
+        }
+    }
+
+    fn on_disposal(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.note(format!("bra for {} terminated at logout", self.consumer));
+    }
+}
+
+// Integration-style tests for the BRA live in the server module and the
+// workspace `tests/` directory, where a full Buyer Agent Server exists;
+// unit tests here cover the pure ranking logic.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp::merchandise::{CategoryPath, ItemId, Money};
+    use ecp::terms::TermVector;
+
+    fn merch(id: u64, name: &str) -> Merchandise {
+        Merchandise {
+            id: ItemId(id),
+            name: name.into(),
+            category: CategoryPath::new("books", "programming"),
+            terms: TermVector::from_pairs([(name.to_lowercase(), 1.0)]),
+            list_price: Money::from_units(10),
+            seller: 1,
+        }
+    }
+
+    fn bra() -> BuyerRecommendAgent {
+        BuyerRecommendAgent::new(
+            ConsumerId(1),
+            AgentId(2),
+            AgentId(3),
+            AgentId(4),
+            vec![],
+        )
+    }
+
+    fn reply_with(prefs: Vec<(Merchandise, f64)>) -> PaSimilarReply {
+        let mut profile = Profile::new();
+        profile.category_mut("books").sub_mut("programming").set("rustbook1", 1.0);
+        PaSimilarReply {
+            consumer: ConsumerId(1),
+            profile,
+            neighbours: vec![(ConsumerId(2), 0.9)],
+            neighbour_preferences: prefs,
+        }
+    }
+
+    #[test]
+    fn recommendations_prefer_neighbour_endorsed_items() {
+        let b = bra();
+        let offers = vec![Offer {
+            item: merch(1, "rustbook1"),
+            marketplace: agentsim::ids::HostId(1),
+            price: Money::from_units(10),
+        }];
+        let data = reply_with(vec![(merch(2, "rustbook2"), 0.9)]);
+        let task = ConsumerTask::Query {
+            keywords: vec!["rustbook1".into()],
+            category: None,
+            max_results: 5,
+        };
+        let recs = b.generate_recommendations(&offers, &data, &task, 5);
+        assert_eq!(recs.len(), 2);
+        // neighbour-endorsed item 2 has collab 0.9; offer item 1 has high
+        // content relevance. With cw=0.7, item 2 should lead.
+        assert_eq!(recs[0].item.id, ItemId(2));
+        assert!(recs[0].score > recs[1].score);
+        // explanations name the dominant signal
+        assert!(
+            recs[0].reason.contains("similar taste"),
+            "neighbour-driven item must say so: {}",
+            recs[0].reason
+        );
+    }
+
+    #[test]
+    fn zero_collaborative_weight_makes_content_dominate() {
+        let b = bra().with_collaborative_weight(0.0);
+        let offers = vec![Offer {
+            item: merch(1, "rustbook1"),
+            marketplace: agentsim::ids::HostId(1),
+            price: Money::from_units(10),
+        }];
+        let data = reply_with(vec![(merch(2, "unrelated-thing"), 0.99)]);
+        let task = ConsumerTask::Query {
+            keywords: vec!["rustbook1".into()],
+            category: None,
+            max_results: 5,
+        };
+        let recs = b.generate_recommendations(&offers, &data, &task, 5);
+        assert_eq!(recs[0].item.id, ItemId(1), "pure content ranks the matching offer first");
+    }
+
+    #[test]
+    fn recommendations_truncate_at_k() {
+        let b = bra();
+        let data = reply_with(
+            (1..=20).map(|i| (merch(i, &format!("rustbook{i}")), 0.5)).collect(),
+        );
+        let task =
+            ConsumerTask::Query { keywords: vec![], category: None, max_results: 20 };
+        let recs = b.generate_recommendations(&[], &data, &task, 3);
+        assert_eq!(recs.len(), 3);
+    }
+
+    #[test]
+    fn bra_state_round_trips_serde() {
+        let b = bra().with_collaborative_weight(0.4);
+        let v = serde_json::to_value(&b).unwrap();
+        let back: BuyerRecommendAgent = serde_json::from_value(v).unwrap();
+        assert_eq!(back.consumer, ConsumerId(1));
+        assert!((back.collaborative_weight - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! The Http Agent (HttpA).
+//!
+//! §3.3: *"HttpA provides the Web interface, let users can use the
+//! browser to use all service of Buyer Agent Server. HttpA can translate
+//! the aglet message between Web interface and agent or mobile agent."*
+//!
+//! The "browser" is modelled as external messages injected with
+//! [`agentsim::sim::SimWorld::send_external`]; responses accumulate in
+//! the HttpA's state, where the driving harness reads them back — the
+//! same request/translate/respond path a servlet front would take.
+
+use crate::agents::msg::{
+    kinds, BraResponse, FrontRequest, FrontRequestBody, FrontResponse, ResponseBody,
+    RoutedTask, SessionOpen, SessionRequest,
+};
+use agentsim::agent::{Agent, Ctx};
+use agentsim::ids::AgentId;
+use agentsim::message::Message;
+use serde::{Deserialize, Serialize};
+
+/// Agent-type tag of [`HttpAgent`].
+pub const HTTPA_TYPE: &str = "httpa";
+
+/// The Http front agent.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct HttpAgent {
+    bsma: AgentId,
+    responses: Vec<FrontResponse>,
+    requests_seen: u32,
+}
+
+impl HttpAgent {
+    /// Front agent wired to its BSMA.
+    pub fn new(bsma: AgentId) -> Self {
+        HttpAgent { bsma, responses: Vec::new(), requests_seen: 0 }
+    }
+
+    /// Responses delivered so far (the browser's view).
+    pub fn responses(&self) -> &[FrontResponse] {
+        &self.responses
+    }
+
+    /// Number of front requests processed.
+    pub fn requests_seen(&self) -> u32 {
+        self.requests_seen
+    }
+}
+
+impl Agent for HttpAgent {
+    fn agent_type(&self) -> &'static str {
+        HTTPA_TYPE
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("httpa state serializes")
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        match msg.kind.as_str() {
+            kinds::FRONT_REQUEST => {
+                let Ok(req) = msg.payload_as::<FrontRequest>() else {
+                    ctx.note("httpa: malformed front request");
+                    return;
+                };
+                self.requests_seen += 1;
+                match req.body {
+                    FrontRequestBody::Login => {
+                        let login = Message::new(kinds::LOGIN)
+                            .with_payload(&SessionRequest { consumer: req.consumer })
+                            .expect("login serializes");
+                        ctx.send(self.bsma, login);
+                    }
+                    FrontRequestBody::Logout => {
+                        let logout = Message::new(kinds::LOGOUT)
+                            .with_payload(&SessionRequest { consumer: req.consumer })
+                            .expect("logout serializes");
+                        ctx.send(self.bsma, logout);
+                    }
+                    FrontRequestBody::Task(task) => {
+                        let fig = task.figure();
+                        ctx.note(format!("{fig}/step01 buyer request received by httpa"));
+                        ctx.note(format!("{fig}/step02 httpa forwards to bsma"));
+                        let route = Message::new(kinds::ROUTE_TASK)
+                            .with_payload(&RoutedTask { consumer: req.consumer, task })
+                            .expect("route serializes");
+                        ctx.send(self.bsma, route);
+                    }
+                }
+            }
+            kinds::SESSION_OPEN => {
+                if let Ok(open) = msg.payload_as::<SessionOpen>() {
+                    self.responses.push(FrontResponse {
+                        consumer: open.consumer,
+                        body: ResponseBody::LoggedIn,
+                    });
+                }
+            }
+            kinds::SESSION_CLOSED => {
+                if let Ok(req) = msg.payload_as::<SessionRequest>() {
+                    self.responses.push(FrontResponse {
+                        consumer: req.consumer,
+                        body: ResponseBody::LoggedOut,
+                    });
+                }
+            }
+            kinds::NO_SESSION => {
+                if let Ok(req) = msg.payload_as::<SessionRequest>() {
+                    self.responses.push(FrontResponse {
+                        consumer: req.consumer,
+                        body: ResponseBody::Error("not logged in".into()),
+                    });
+                }
+            }
+            kinds::BRA_RESPONSE => {
+                if let Ok(resp) = msg.payload_as::<BraResponse>() {
+                    self.responses.push(FrontResponse {
+                        consumer: resp.consumer,
+                        body: resp.body,
+                    });
+                }
+            }
+            other => {
+                ctx.note(format!("httpa: unhandled kind {other}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ConsumerId;
+
+    #[test]
+    fn httpa_state_round_trips() {
+        let mut h = HttpAgent::new(AgentId(5));
+        h.responses.push(FrontResponse {
+            consumer: ConsumerId(1),
+            body: ResponseBody::LoggedIn,
+        });
+        let back: HttpAgent = serde_json::from_value(h.snapshot()).unwrap();
+        assert_eq!(back.responses().len(), 1);
+        assert_eq!(back.bsma, AgentId(5));
+    }
+}

@@ -1,0 +1,823 @@
+//! The Mobile Buyer Agent (MBA).
+//!
+//! §3.3: *"MBA created by BRA. When consumer decides to query, buy or
+//! auction BRA will create MBA and assign specified tasks. MBA will
+//! migrate to marketplaces in E-Commerce and represent consumer to
+//! complete the assigned task."*
+//!
+//! The MBA is the only routinely-migrating agent: it carries its task and
+//! collected results as serde state, visits one or more marketplaces
+//! (§5.1 claim 3: *"the MBA can collect merchandise information between
+//! more th\[a\]n two online marketplaces"*), then returns home where the
+//! platform authenticates its travel permit before the BSMA reactivates
+//! the waiting BRA.
+
+use crate::agents::msg::{kinds, BuyMode, MarketRef, MbaResult, MbaReturned};
+use crate::profile::ConsumerId;
+use agentsim::agent::{Agent, Ctx};
+use agentsim::ids::{AgentId, HostId};
+use agentsim::message::Message;
+use ecp::merchandise::{CategoryPath, ItemId, Money};
+use ecp::negotiation::{BuyerMove, BuyerPolicy, BuyerSession};
+use ecp::protocol::{
+    self as ecpk, AuctionBid, AuctionClosed, AuctionJoin, AuctionStatus, BuyConfirm, BuyRequest,
+    NegotiateAccept, NegotiateCounter, NegotiateOffer, Offer, QueryRequest, QueryResponse,
+};
+use serde::{Deserialize, Serialize};
+
+/// Agent-type tag of [`MobileBuyerAgent`].
+pub const MBA_TYPE: &str = "mba";
+
+/// The MBA's assigned task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MbaTask {
+    /// Collect offers across the itinerary.
+    Query {
+        /// Search keywords.
+        keywords: Vec<String>,
+        /// Optional category filter.
+        category: Option<CategoryPath>,
+        /// Offers per marketplace.
+        max_results: usize,
+    },
+    /// Buy one item at the (single) target marketplace.
+    Buy {
+        /// Item to buy.
+        item: ItemId,
+        /// Buying mode.
+        mode: BuyMode,
+    },
+    /// Bid in an auction up to `limit`.
+    Auction {
+        /// Auctioned item.
+        item: ItemId,
+        /// Price ceiling.
+        limit: Money,
+    },
+}
+
+impl MbaTask {
+    fn figure(&self) -> &'static str {
+        match self {
+            MbaTask::Query { .. } => "fig4.2",
+            _ => "fig4.3",
+        }
+    }
+}
+
+/// The Mobile Buyer Agent.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct MobileBuyerAgent {
+    home: HostId,
+    bsma: AgentId,
+    bra: AgentId,
+    consumer: ConsumerId,
+    task: MbaTask,
+    markets: Vec<MarketRef>,
+    next_market: usize,
+    offers: Vec<Offer>,
+    result: Option<MbaResult>,
+    negotiation: Option<BuyerSession>,
+    my_last_bid: Option<Money>,
+    bids_placed: u32,
+}
+
+impl MobileBuyerAgent {
+    /// Create an MBA for `task`, visiting `markets` in order.
+    pub fn new(
+        home: HostId,
+        bsma: AgentId,
+        bra: AgentId,
+        consumer: ConsumerId,
+        task: MbaTask,
+        markets: Vec<MarketRef>,
+    ) -> Self {
+        MobileBuyerAgent {
+            home,
+            bsma,
+            bra,
+            consumer,
+            task,
+            markets,
+            next_market: 0,
+            offers: Vec::new(),
+            result: None,
+            negotiation: None,
+            my_last_bid: None,
+            bids_placed: 0,
+        }
+    }
+
+    fn current_market(&self) -> Option<MarketRef> {
+        self.markets.get(self.next_market).copied()
+    }
+
+    fn go_home(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.dispatch_self(self.home);
+    }
+
+    fn advance_or_home(&mut self, ctx: &mut Ctx<'_>) {
+        self.next_market += 1;
+        match self.current_market() {
+            Some(market) if matches!(self.task, MbaTask::Query { .. }) => {
+                ctx.dispatch_self(market.host);
+            }
+            _ => {
+                if self.result.is_none() {
+                    self.result = Some(MbaResult::Offers(self.offers.clone()));
+                }
+                self.go_home(ctx);
+            }
+        }
+    }
+
+    fn finish_with(&mut self, ctx: &mut Ctx<'_>, result: MbaResult) {
+        let fig = self.task.figure();
+        let step = if fig == "fig4.2" { "step11" } else { "step10" };
+        ctx.note(format!("{fig}/{step} marketplace result received by mba"));
+        self.result = Some(result);
+        self.go_home(ctx);
+    }
+
+    fn start_at_market(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(market) = self.current_market() else {
+            // empty itinerary: nothing to do
+            self.result = Some(MbaResult::Offers(Vec::new()));
+            self.go_home(ctx);
+            return;
+        };
+        let fig = self.task.figure();
+        let step = if fig == "fig4.2" { "step10" } else { "step09" };
+        ctx.note(format!("{fig}/{step} mba at {} executing task", ctx.host()));
+        match &self.task {
+            MbaTask::Query { keywords, category, max_results } => {
+                let req = QueryRequest {
+                    keywords: keywords.clone(),
+                    category: category.clone(),
+                    max_results: *max_results,
+                };
+                let msg = Message::new(ecpk::kinds::QUERY_REQUEST)
+                    .with_payload(&req)
+                    .expect("query serializes");
+                ctx.send(market.agent, msg);
+            }
+            MbaTask::Buy { item, mode } => match mode {
+                BuyMode::Direct => {
+                    let msg = Message::new(ecpk::kinds::BUY_REQUEST)
+                        .with_payload(&BuyRequest { item: *item })
+                        .expect("buy serializes");
+                    ctx.send(market.agent, msg);
+                }
+                BuyMode::Negotiate { budget, opening_fraction, raise, max_rounds } => {
+                    let policy = BuyerPolicy {
+                        budget: *budget,
+                        opening_fraction: *opening_fraction,
+                        raise: *raise,
+                        max_rounds: *max_rounds,
+                    };
+                    // the budget doubles as the price reference for the
+                    // opening offer; the seller's counters steer from there
+                    let mut session = BuyerSession::open(policy, *budget);
+                    let opening = session.opening_offer();
+                    self.negotiation = Some(session);
+                    let msg = Message::new(ecpk::kinds::NEGOTIATE_OFFER)
+                        .with_payload(&NegotiateOffer { item: *item, offer: opening })
+                        .expect("offer serializes");
+                    ctx.send(market.agent, msg);
+                }
+            },
+            MbaTask::Auction { item, .. } => {
+                let msg = Message::new(ecpk::kinds::AUCTION_JOIN)
+                    .with_payload(&AuctionJoin { item: *item })
+                    .expect("join serializes");
+                ctx.send(market.agent, msg);
+            }
+        }
+    }
+
+    fn maybe_bid(&mut self, ctx: &mut Ctx<'_>, status: &AuctionStatus) {
+        let MbaTask::Auction { item, limit } = &self.task else {
+            return;
+        };
+        if !status.open {
+            return;
+        }
+        if status.sealed {
+            // Vickrey: bid the true limit once — the dominant strategy —
+            // then wait for the close.
+            if self.my_last_bid.is_none() && status.minimum_bid <= *limit {
+                let Some(market) = self.current_market() else {
+                    return;
+                };
+                self.my_last_bid = Some(*limit);
+                self.bids_placed += 1;
+                let msg = Message::new(ecpk::kinds::AUCTION_BID)
+                    .with_payload(&AuctionBid { item: *item, amount: *limit })
+                    .expect("bid serializes");
+                ctx.send(market.agent, msg);
+            }
+            return;
+        }
+        let leading_ours = match (self.my_last_bid, status.leading_bid) {
+            (Some(mine), Some(lead)) => lead <= mine,
+            _ => false,
+        };
+        if leading_ours {
+            return; // still winning; wait
+        }
+        if status.minimum_bid <= *limit {
+            let Some(market) = self.current_market() else {
+                return;
+            };
+            let amount = status.minimum_bid;
+            self.my_last_bid = Some(amount);
+            self.bids_placed += 1;
+            let msg = Message::new(ecpk::kinds::AUCTION_BID)
+                .with_payload(&AuctionBid { item: *item, amount })
+                .expect("bid serializes");
+            ctx.send(market.agent, msg);
+        }
+        // above the limit: stay joined, await the close notification
+    }
+}
+
+impl Agent for MobileBuyerAgent {
+    fn agent_type(&self) -> &'static str {
+        MBA_TYPE
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("mba state serializes")
+    }
+
+    fn on_creation(&mut self, ctx: &mut Ctx<'_>) {
+        // created at home by the BRA; head straight out
+        match self.current_market() {
+            Some(market) => ctx.dispatch_self(market.host),
+            None => {
+                // degenerate task with no marketplaces
+                self.result = Some(MbaResult::Offers(Vec::new()));
+                let msg = Message::new(kinds::MBA_RESULT)
+                    .with_payload(self.result.as_ref().expect("set above"))
+                    .expect("result serializes");
+                ctx.send(self.bra, msg);
+                let notice = Message::new(kinds::MBA_RETURNED)
+                    .with_payload(&MbaReturned { mba: ctx.self_id(), bra: self.bra })
+                    .expect("returned serializes");
+                ctx.send(self.bsma, notice);
+                ctx.dispose_self();
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.host() == self.home {
+            // back home; the platform already verified the travel permit
+            let fig = self.task.figure();
+            let step = if fig == "fig4.2" { "step12" } else { "step11" };
+            ctx.note(format!("{fig}/{step} mba returned home and authenticated"));
+            let result = self
+                .result
+                .clone()
+                .unwrap_or(MbaResult::Offers(self.offers.clone()));
+            let msg = Message::new(kinds::MBA_RESULT)
+                .with_payload(&result)
+                .expect("result serializes");
+            ctx.send(self.bra, msg);
+            let notice = Message::new(kinds::MBA_RETURNED)
+                .with_payload(&MbaReturned { mba: ctx.self_id(), bra: self.bra })
+                .expect("returned serializes");
+            ctx.send(self.bsma, notice);
+            ctx.dispose_self();
+        } else {
+            self.start_at_market(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        match msg.kind.as_str() {
+            ecpk::kinds::QUERY_RESPONSE => {
+                if let Ok(resp) = msg.payload_as::<QueryResponse>() {
+                    ctx.note(format!(
+                        "fig4.2/step11 offers received at {} ({})",
+                        ctx.host(),
+                        resp.offers.len()
+                    ));
+                    self.offers.extend(resp.offers);
+                    self.advance_or_home(ctx);
+                }
+            }
+            ecpk::kinds::BUY_CONFIRM => {
+                if let Ok(confirm) = msg.payload_as::<BuyConfirm>() {
+                    self.finish_with(
+                        ctx,
+                        MbaResult::Bought {
+                            item: confirm.item,
+                            price: confirm.price,
+                            negotiated: false,
+                            rounds: 0,
+                        },
+                    );
+                }
+            }
+            ecpk::kinds::BUY_REJECT => {
+                let item = match &self.task {
+                    MbaTask::Buy { item, .. } => *item,
+                    _ => ItemId(0),
+                };
+                self.finish_with(
+                    ctx,
+                    MbaResult::BuyFailed { item, reason: "marketplace rejected".into() },
+                );
+            }
+            ecpk::kinds::NEGOTIATE_COUNTER => {
+                let Ok(counter) = msg.payload_as::<NegotiateCounter>() else {
+                    return;
+                };
+                let Some(session) = self.negotiation.as_mut() else {
+                    return;
+                };
+                match session.respond(counter.ask) {
+                    BuyerMove::Offer(next) | BuyerMove::Accept(next) => {
+                        let offer = Message::new(ecpk::kinds::NEGOTIATE_OFFER)
+                            .with_payload(&NegotiateOffer { item: counter.item, offer: next })
+                            .expect("offer serializes");
+                        ctx.reply(&msg, offer);
+                    }
+                    BuyerMove::Abort => {
+                        let rounds = session.rounds();
+                        self.finish_with(
+                            ctx,
+                            MbaResult::BuyFailed {
+                                item: counter.item,
+                                reason: format!("no deal after {rounds} offers"),
+                            },
+                        );
+                    }
+                }
+            }
+            ecpk::kinds::NEGOTIATE_ACCEPT => {
+                if let Ok(accept) = msg.payload_as::<NegotiateAccept>() {
+                    let rounds = self.negotiation.as_ref().map(|s| s.rounds()).unwrap_or(0);
+                    self.finish_with(
+                        ctx,
+                        MbaResult::Bought {
+                            item: accept.item,
+                            price: accept.price,
+                            negotiated: true,
+                            rounds,
+                        },
+                    );
+                }
+            }
+            ecpk::kinds::NEGOTIATE_REJECT => {
+                let item = match &self.task {
+                    MbaTask::Buy { item, .. } => *item,
+                    _ => ItemId(0),
+                };
+                self.finish_with(
+                    ctx,
+                    MbaResult::BuyFailed { item, reason: "negotiation rejected".into() },
+                );
+            }
+            ecpk::kinds::AUCTION_STATUS | ecpk::kinds::BID_ACCEPTED => {
+                if let Ok(status) = msg.payload_as::<AuctionStatus>() {
+                    self.maybe_bid(ctx, &status);
+                }
+            }
+            ecpk::kinds::BID_REJECTED => {
+                match msg.payload_as::<AuctionStatus>() {
+                    Ok(status) if status.sealed => {
+                        // sealed bids are one-shot; stay joined and wait
+                        // for the close notification
+                    }
+                    Ok(status) => {
+                        // our optimistic last bid never landed
+                        self.my_last_bid = None;
+                        self.maybe_bid(ctx, &status)
+                    }
+                    Err(_) => {
+                        // no auction exists at all
+                        let item = match &self.task {
+                            MbaTask::Auction { item, .. } => *item,
+                            _ => ItemId(0),
+                        };
+                        self.finish_with(
+                            ctx,
+                            MbaResult::BuyFailed {
+                                item,
+                                reason: "auction unavailable".into(),
+                            },
+                        );
+                    }
+                }
+            }
+            ecpk::kinds::AUCTION_CLOSED => {
+                if let Ok(closed) = msg.payload_as::<AuctionClosed>() {
+                    let bids = self.bids_placed;
+                    self.finish_with(
+                        ctx,
+                        MbaResult::AuctionDone {
+                            item: closed.item,
+                            won: closed.you_won,
+                            price: closed.outcome.price(),
+                            bids,
+                        },
+                    );
+                }
+            }
+            other => {
+                ctx.note(format!("mba: unhandled kind {other}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim::sim::SimWorld;
+    use ecp::marketplace::{MarketplaceAgent, MARKETPLACE_TYPE};
+    use ecp::protocol::Listing;
+    use ecp::seller::{SellerAgent, SELLER_TYPE};
+    use ecp::terms::TermVector;
+
+    fn listing(id: u64, name: &str, price: u64) -> Listing {
+        Listing {
+            item: ecp::merchandise::Merchandise {
+                id: ItemId(id),
+                name: name.into(),
+                category: CategoryPath::new("books", "programming"),
+                terms: TermVector::from_pairs([(name.to_lowercase(), 1.0)]),
+                list_price: Money::from_units(price),
+                seller: 1,
+            },
+            reservation: Money::from_units(price * 7 / 10),
+            concession: 0.1,
+        }
+    }
+
+    /// Collects MBA_RESULT / MBA_RETURNED messages (stands in for BRA and
+    /// BSMA).
+    #[derive(Debug, Default, Serialize, Deserialize)]
+    struct Home {
+        results: Vec<MbaResult>,
+        returned: u32,
+    }
+
+    impl Agent for Home {
+        fn agent_type(&self) -> &'static str {
+            "home"
+        }
+        fn snapshot(&self) -> serde_json::Value {
+            serde_json::to_value(self).unwrap()
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+            match msg.kind.as_str() {
+                kinds::MBA_RESULT => {
+                    self.results.push(msg.payload_as().unwrap());
+                }
+                kinds::MBA_RETURNED => {
+                    self.returned += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    struct Fix {
+        world: SimWorld,
+        home_host: HostId,
+        home_agent: AgentId,
+        markets: Vec<MarketRef>,
+    }
+
+    fn fix(n_markets: usize) -> Fix {
+        let mut world = SimWorld::new(21);
+        world.registry_mut().register_serde::<MobileBuyerAgent>(MBA_TYPE);
+        world.registry_mut().register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
+        world.registry_mut().register_serde::<SellerAgent>(SELLER_TYPE);
+        world.registry_mut().register_serde::<Home>("home");
+        let home_host = world.add_host("buyer-server");
+        let home_agent = world.create_agent(home_host, Box::new(Home::default())).unwrap();
+        let mut markets = Vec::new();
+        for i in 0..n_markets {
+            let mh = world.add_host(format!("market-{i}"));
+            let agent = world
+                .create_agent(mh, Box::new(MarketplaceAgent::new(format!("m{i}"))))
+                .unwrap();
+            markets.push(MarketRef { host: mh, agent });
+            // each market gets two listings, ids disjoint per market
+            let base = (i as u64) * 10;
+            let sh = world.add_host(format!("seller-{i}"));
+            world
+                .create_agent(
+                    sh,
+                    Box::new(SellerAgent::new(
+                        i as u32 + 1,
+                        format!("s{i}"),
+                        vec![
+                            listing(base + 1, &format!("rustbook{}", base + 1), 30),
+                            listing(base + 2, &format!("gobook{}", base + 2), 25),
+                        ],
+                        vec![agent],
+                    )),
+                )
+                .unwrap();
+        }
+        world.run_until_idle();
+        Fix { world, home_host, home_agent, markets }
+    }
+
+    fn launch(f: &mut Fix, task: MbaTask, markets: Vec<MarketRef>) -> AgentId {
+        let mba = MobileBuyerAgent::new(
+            f.home_host,
+            f.home_agent,
+            f.home_agent,
+            ConsumerId(1),
+            task,
+            markets,
+        );
+        f.world.create_agent(f.home_host, Box::new(mba)).unwrap()
+    }
+
+    fn home_state(f: &Fix) -> Home {
+        serde_json::from_value(f.world.snapshot_of(f.home_agent).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn query_task_collects_offers_from_all_markets_and_returns() {
+        let mut f = fix(3);
+        let markets = f.markets.clone();
+        let mba = launch(
+            &mut f,
+            MbaTask::Query {
+                keywords: vec!["rustbook1".into(), "rustbook11".into(), "rustbook21".into()],
+                category: None,
+                max_results: 5,
+            },
+            markets,
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert_eq!(h.returned, 1);
+        assert_eq!(h.results.len(), 1);
+        match &h.results[0] {
+            MbaResult::Offers(offers) => {
+                assert_eq!(offers.len(), 3, "one matching offer per market");
+                let hosts: std::collections::BTreeSet<_> =
+                    offers.iter().map(|o| o.marketplace).collect();
+                assert_eq!(hosts.len(), 3, "offers must come from 3 distinct marketplaces");
+            }
+            other => panic!("expected offers, got {other:?}"),
+        }
+        // the MBA disposed itself after reporting
+        assert_eq!(f.world.location(mba), None);
+        // 4 migrations: home->m0->m1->m2->home
+        assert_eq!(f.world.metrics().migrations, 4);
+        assert_eq!(f.world.metrics().migrations_rejected, 0);
+    }
+
+    #[test]
+    fn direct_buy_returns_receipt() {
+        let mut f = fix(1);
+        let market = f.markets[0];
+        launch(
+            &mut f,
+            MbaTask::Buy { item: ItemId(1), mode: BuyMode::Direct },
+            vec![market],
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        match &h.results[0] {
+            MbaResult::Bought { item, price, negotiated, rounds } => {
+                assert_eq!(item.id, ItemId(1));
+                assert_eq!(*price, Money::from_units(30));
+                assert!(!negotiated);
+                assert_eq!(*rounds, 0);
+            }
+            other => panic!("expected purchase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buy_unknown_item_fails_gracefully() {
+        let mut f = fix(1);
+        let market = f.markets[0];
+        launch(
+            &mut f,
+            MbaTask::Buy { item: ItemId(999), mode: BuyMode::Direct },
+            vec![market],
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert!(matches!(&h.results[0], MbaResult::BuyFailed { item, .. } if *item == ItemId(999)));
+        assert_eq!(h.returned, 1, "mba must still come home after failure");
+    }
+
+    #[test]
+    fn negotiation_with_sufficient_budget_closes_a_deal() {
+        let mut f = fix(1);
+        let market = f.markets[0];
+        launch(
+            &mut f,
+            MbaTask::Buy {
+                item: ItemId(1),
+                mode: BuyMode::Negotiate {
+                    budget: Money::from_units(28),
+                    opening_fraction: 0.6,
+                    raise: 0.1,
+                    max_rounds: 20,
+                },
+            },
+            vec![market],
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        match &h.results[0] {
+            MbaResult::Bought { price, negotiated, rounds, .. } => {
+                assert!(*negotiated);
+                assert!(*rounds >= 1);
+                assert!(*price <= Money::from_units(28), "never above budget");
+                assert!(
+                    *price >= Money::from_units(21),
+                    "never below the seller's reservation (21): {price}"
+                );
+            }
+            other => panic!("expected negotiated purchase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negotiation_with_hopeless_budget_walks_away() {
+        let mut f = fix(1);
+        let market = f.markets[0];
+        launch(
+            &mut f,
+            MbaTask::Buy {
+                item: ItemId(1),
+                mode: BuyMode::Negotiate {
+                    budget: Money::from_units(5), // reservation is 21
+                    opening_fraction: 0.5,
+                    raise: 0.1,
+                    max_rounds: 10,
+                },
+            },
+            vec![market],
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert!(
+            matches!(&h.results[0], MbaResult::BuyFailed { reason, .. } if reason.contains("no deal")),
+            "got {:?}",
+            h.results[0]
+        );
+    }
+
+    #[test]
+    fn auction_task_bids_and_learns_outcome() {
+        let mut f = fix(1);
+        let market = f.markets[0];
+        // open an auction externally (a seller would normally do this)
+        let open = Message::new(ecpk::kinds::AUCTION_OPEN)
+            .with_payload(&ecp::protocol::AuctionOpen {
+                item: ItemId(1),
+                reserve: Money::from_units(10),
+                increment: Money::from_units(1),
+                duration_us: 50_000_000,
+                sealed: false,
+            })
+            .unwrap();
+        f.world.send_external(market.agent, open).unwrap();
+        f.world.run_for(agentsim::clock::SimDuration::from_millis(10));
+        launch(
+            &mut f,
+            MbaTask::Auction { item: ItemId(1), limit: Money::from_units(50) },
+            vec![market],
+        );
+        f.world.run_until_idle(); // runs past the deadline; auction settles
+        let h = home_state(&f);
+        match &h.results[0] {
+            MbaResult::AuctionDone { won, price, bids, .. } => {
+                assert!(*won, "sole bidder must win");
+                assert_eq!(*price, Some(Money::from_units(10)), "wins at the reserve");
+                assert_eq!(*bids, 1);
+            }
+            other => panic!("expected auction outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_mbas_bid_against_each_other() {
+        let mut f = fix(1);
+        let market = f.markets[0];
+        let open = Message::new(ecpk::kinds::AUCTION_OPEN)
+            .with_payload(&ecp::protocol::AuctionOpen {
+                item: ItemId(1),
+                reserve: Money::from_units(10),
+                increment: Money::from_units(1),
+                duration_us: 50_000_000,
+                sealed: false,
+            })
+            .unwrap();
+        f.world.send_external(market.agent, open).unwrap();
+        f.world.run_for(agentsim::clock::SimDuration::from_millis(1));
+        launch(
+            &mut f,
+            MbaTask::Auction { item: ItemId(1), limit: Money::from_units(20) },
+            vec![market],
+        );
+        launch(
+            &mut f,
+            MbaTask::Auction { item: ItemId(1), limit: Money::from_units(40) },
+            vec![market],
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert_eq!(h.results.len(), 2);
+        let wins: Vec<bool> = h
+            .results
+            .iter()
+            .map(|r| matches!(r, MbaResult::AuctionDone { won: true, .. }))
+            .collect();
+        assert_eq!(wins.iter().filter(|w| **w).count(), 1, "exactly one winner");
+        // the deeper-pocketed MBA wins, paying above the poorer one's limit
+        for r in &h.results {
+            if let MbaResult::AuctionDone { won: true, price, .. } = r {
+                let p = price.expect("sold");
+                assert!(p > Money::from_units(20), "winner outbid the $20 limit: {p}");
+                assert!(p <= Money::from_units(40));
+            }
+        }
+    }
+
+    #[test]
+    fn auction_on_missing_item_fails_gracefully() {
+        let mut f = fix(1);
+        let market = f.markets[0];
+        launch(
+            &mut f,
+            MbaTask::Auction { item: ItemId(777), limit: Money::from_units(50) },
+            vec![market],
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert!(
+            matches!(&h.results[0], MbaResult::BuyFailed { reason, .. } if reason.contains("auction unavailable"))
+        );
+    }
+
+    #[test]
+    fn empty_itinerary_reports_immediately() {
+        let mut f = fix(0);
+        launch(
+            &mut f,
+            MbaTask::Query { keywords: vec!["x".into()], category: None, max_results: 5 },
+            vec![],
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert!(matches!(&h.results[0], MbaResult::Offers(o) if o.is_empty()));
+        assert_eq!(h.returned, 1);
+    }
+
+    #[test]
+    fn lost_mba_never_reports() {
+        let mut f = fix(1);
+        let market = f.markets[0];
+        // make the link fully lossy: the MBA dies in transit
+        f.world
+            .topology_mut()
+            .set_link_symmetric(f.home_host, market.host, ecp_lossy_link());
+        let mba = launch(
+            &mut f,
+            MbaTask::Buy { item: ItemId(1), mode: BuyMode::Direct },
+            vec![market],
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert!(h.results.is_empty());
+        assert_eq!(h.returned, 0);
+        assert_eq!(f.world.location(mba), None);
+    }
+
+    fn ecp_lossy_link() -> agentsim::net::LinkSpec {
+        agentsim::net::LinkSpec::lan().lossy(1.0)
+    }
+
+    #[test]
+    fn mba_state_round_trips_serde() {
+        let mba = MobileBuyerAgent::new(
+            HostId(1),
+            AgentId(2),
+            AgentId(3),
+            ConsumerId(4),
+            MbaTask::Query { keywords: vec!["x".into()], category: None, max_results: 5 },
+            vec![MarketRef { host: HostId(9), agent: AgentId(10) }],
+        );
+        let v = mba.snapshot();
+        let back: MobileBuyerAgent = serde_json::from_value(v).unwrap();
+        assert_eq!(back.home, HostId(1));
+        assert_eq!(back.task, mba.task);
+    }
+}

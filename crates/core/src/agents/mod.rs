@@ -1,0 +1,58 @@
+//! The functional agents of the Buyer Agent Server (paper Fig 3.2).
+//!
+//! | Agent | Module | Paper role (§3.3) |
+//! |-------|--------|-------------------|
+//! | BSMA  | [`bsma`]  | manager: login/registration, agent & mobile-agent management |
+//! | HttpA | [`httpa`] | web front, translates browser ↔ agent messages |
+//! | PA    | [`pa`]    | creates/updates consumer profiles, owns UserDB |
+//! | BRA   | [`bra`]   | one per online consumer; drives tasks, creates recommendation information |
+//! | MBA   | [`mba`]   | mobile; migrates to marketplaces and trades on the consumer's behalf |
+//!
+//! [`msg`] defines the message protocol between them.
+
+pub mod bra;
+pub mod bsma;
+pub mod httpa;
+pub mod mba;
+pub mod msg;
+pub mod pa;
+
+pub use bra::{BuyerRecommendAgent, BRA_TYPE};
+pub use bsma::{Bsma, BsmaConfig, BSMA_TYPE};
+pub use httpa::{HttpAgent, HTTPA_TYPE};
+pub use mba::{MbaTask, MobileBuyerAgent, MBA_TYPE};
+pub use pa::{ProfileAgent, PA_TYPE};
+
+/// Register every Buyer-Agent-Server agent type plus the ecp platform
+/// agents with a world registry, so capsules rehydrate anywhere.
+pub fn register_all(registry: &mut agentsim::agent::AgentRegistry) {
+    registry.register_serde::<Bsma>(BSMA_TYPE);
+    registry.register_serde::<HttpAgent>(HTTPA_TYPE);
+    registry.register_serde::<ProfileAgent>(PA_TYPE);
+    registry.register_serde::<BuyerRecommendAgent>(BRA_TYPE);
+    registry.register_serde::<MobileBuyerAgent>(MBA_TYPE);
+    registry.register_serde::<ecp::CoordinatorAgent>(ecp::COORDINATOR_TYPE);
+    registry.register_serde::<ecp::MarketplaceAgent>(ecp::MARKETPLACE_TYPE);
+    registry.register_serde::<ecp::SellerAgent>(ecp::SELLER_TYPE);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn register_all_covers_every_type() {
+        let mut reg = agentsim::agent::AgentRegistry::new();
+        super::register_all(&mut reg);
+        for t in [
+            super::BSMA_TYPE,
+            super::HTTPA_TYPE,
+            super::PA_TYPE,
+            super::BRA_TYPE,
+            super::MBA_TYPE,
+            ecp::COORDINATOR_TYPE,
+            ecp::MARKETPLACE_TYPE,
+            ecp::SELLER_TYPE,
+        ] {
+            assert!(reg.knows(t), "registry must know {t}");
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Future-work features (paper §5.2), implemented.
+//!
+//! The paper lists four improvement directions; three are recommendation
+//! features built here (the fourth — hardened MBA return authentication —
+//! lives in [`agentsim::security`]):
+//!
+//! 2. *"Provide the more kinds of recommendation information such as
+//!    weekly hottest merchandise, and tied-sale information"* —
+//!    [`WeeklyHottest`] and [`TiedSale`];
+//! 3. *"Increase the scope of recommendation mechanism. And apply the
+//!    interaction of consumer community"* — [`CommunityGraph`].
+
+use crate::profile::ConsumerId;
+use crate::similarity::{profile_similarity, SimilarityConfig};
+use crate::store::RecommendStore;
+use ecp::merchandise::ItemId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Sliding-window sales ranking: "weekly hottest merchandise".
+///
+/// Time is whatever unit the caller feeds (`tick` per sale event); the
+/// window covers the most recent `window` ticks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WeeklyHottest {
+    events: Vec<(u64, u64)>, // (tick, item)
+}
+
+impl WeeklyHottest {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sale of `item` at `tick`. Ticks must be non-decreasing.
+    pub fn record_sale(&mut self, tick: u64, item: ItemId) {
+        self.events.push((tick, item.0));
+    }
+
+    /// Hottest items within `(now - window, now]`, as `(item, sales)`,
+    /// hottest first, at most `k`.
+    pub fn hottest(&self, now: u64, window: u64, k: usize) -> Vec<(ItemId, u32)> {
+        let floor = now.saturating_sub(window);
+        let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+        for (tick, item) in &self.events {
+            if *tick > floor && *tick <= now {
+                *counts.entry(*item).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(ItemId, u32)> =
+            counts.into_iter().map(|(i, n)| (ItemId(i), n)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Drop events at or before `floor` (keeps memory bounded).
+    pub fn prune(&mut self, floor: u64) {
+        self.events.retain(|(tick, _)| *tick > floor);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Tied-sale (co-purchase) association miner: "customers who bought X
+/// also bought Y", from the checkout baskets recorded in the store.
+#[derive(Debug, Clone, Default)]
+pub struct TiedSale {
+    /// Minimum number of co-occurrences for a pair to be reported.
+    pub min_support: u32,
+}
+
+impl TiedSale {
+    /// Miner with the given support threshold.
+    pub fn new(min_support: u32) -> Self {
+        TiedSale { min_support }
+    }
+
+    /// Items most often bought together with `item`, as
+    /// `(other, co-occurrences)`, strongest first, at most `k`.
+    pub fn companions(
+        &self,
+        store: &RecommendStore,
+        item: ItemId,
+        k: usize,
+    ) -> Vec<(ItemId, u32)> {
+        let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+        for basket in store.baskets() {
+            if basket.contains(&item) {
+                for other in basket {
+                    if other != item {
+                        *counts.entry(other.0).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<(ItemId, u32)> = counts
+            .into_iter()
+            .filter(|(_, n)| *n >= self.min_support)
+            .map(|(i, n)| (ItemId(i), n))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Bundle suggestion for a cart: companions of every cart item,
+    /// merged, excluding the cart itself.
+    pub fn bundle_for_cart(
+        &self,
+        store: &RecommendStore,
+        cart: &[ItemId],
+        k: usize,
+    ) -> Vec<(ItemId, u32)> {
+        let mut merged: BTreeMap<u64, u32> = BTreeMap::new();
+        for item in cart {
+            for (other, n) in self.companions(store, *item, usize::MAX) {
+                if !cart.contains(&other) {
+                    *merged.entry(other.0).or_insert(0) += n;
+                }
+            }
+        }
+        let mut ranked: Vec<(ItemId, u32)> =
+            merged.into_iter().map(|(i, n)| (ItemId(i), n)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// Consumer community graph: who is similar to whom, built from profile
+/// similarity. §2.3: *"if web site creates relationships between
+/// customers can also increase loyalty."*
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommunityGraph {
+    edges: BTreeMap<u64, Vec<(u64, f64)>>,
+}
+
+impl CommunityGraph {
+    /// Build the graph: an edge between every pair with similarity above
+    /// `min_similarity`.
+    pub fn build(
+        store: &RecommendStore,
+        config: &SimilarityConfig,
+        min_similarity: f64,
+    ) -> Self {
+        let profiles: Vec<(ConsumerId, &crate::profile::Profile)> = store.profiles().collect();
+        let mut edges: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
+        for i in 0..profiles.len() {
+            for j in (i + 1)..profiles.len() {
+                let (a, pa) = profiles[i];
+                let (b, pb) = profiles[j];
+                let sim = profile_similarity(pa, pb, config);
+                if sim >= min_similarity && sim > 0.0 {
+                    edges.entry(a.0).or_default().push((b.0, sim));
+                    edges.entry(b.0).or_default().push((a.0, sim));
+                }
+            }
+        }
+        for list in edges.values_mut() {
+            list.sort_by(|x, y| {
+                y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal).then(x.0.cmp(&y.0))
+            });
+        }
+        CommunityGraph { edges }
+    }
+
+    /// Similar consumers of `consumer`, best first.
+    pub fn neighbours(&self, consumer: ConsumerId) -> Vec<(ConsumerId, f64)> {
+        self.edges
+            .get(&consumer.0)
+            .map(|l| l.iter().map(|(c, s)| (ConsumerId(*c), *s)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Connected communities (undirected components), each sorted, largest
+    /// first.
+    pub fn communities(&self) -> Vec<Vec<ConsumerId>> {
+        let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut out: Vec<Vec<ConsumerId>> = Vec::new();
+        for &start in self.edges.keys() {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut component = Vec::new();
+            while let Some(node) = stack.pop() {
+                if !seen.insert(node) {
+                    continue;
+                }
+                component.push(ConsumerId(node));
+                if let Some(neigh) = self.edges.get(&node) {
+                    stack.extend(neigh.iter().map(|(n, _)| *n));
+                }
+            }
+            component.sort();
+            out.push(component);
+        }
+        out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.first().cmp(&b.first())));
+        out
+    }
+
+    /// Number of consumers with at least one edge.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learning::BehaviorKind;
+    use ecp::merchandise::{CategoryPath, Merchandise, Money};
+    use ecp::terms::TermVector;
+
+    fn merch(id: u64, name: &str, cat: &str) -> Merchandise {
+        Merchandise {
+            id: ItemId(id),
+            name: name.into(),
+            category: CategoryPath::new(cat, "general"),
+            terms: TermVector::from_pairs([(name.to_lowercase(), 1.0)]),
+            list_price: Money::from_units(10),
+            seller: 1,
+        }
+    }
+
+    #[test]
+    fn weekly_hottest_respects_the_window() {
+        let mut h = WeeklyHottest::new();
+        // old sales of item 1, recent sales of item 2
+        for t in 1..=5 {
+            h.record_sale(t, ItemId(1));
+        }
+        for t in 100..103 {
+            h.record_sale(t, ItemId(2));
+        }
+        h.record_sale(101, ItemId(1));
+        let hot = h.hottest(103, 10, 5);
+        assert_eq!(hot[0], (ItemId(2), 3));
+        assert_eq!(hot[1], (ItemId(1), 1), "only the in-window sale counts");
+        // full-history window sees everything
+        let all = h.hottest(103, 1000, 5);
+        assert_eq!(all[0], (ItemId(1), 6));
+    }
+
+    #[test]
+    fn weekly_hottest_prune_drops_old_events() {
+        let mut h = WeeklyHottest::new();
+        h.record_sale(1, ItemId(1));
+        h.record_sale(50, ItemId(2));
+        h.prune(10);
+        assert_eq!(h.len(), 1);
+        assert!(h.hottest(50, 100, 5).iter().all(|(i, _)| *i == ItemId(2)));
+    }
+
+    fn basket_store() -> RecommendStore {
+        let mut s = RecommendStore::new();
+        for id in 1..=5 {
+            s.upsert_item(merch(id, &format!("item{id}"), "books"));
+        }
+        // camera (1) + memory card (2) bought together often
+        for u in 1..=4u64 {
+            s.record_basket(ConsumerId(u), &[ItemId(1), ItemId(2)]);
+        }
+        s.record_basket(ConsumerId(5), &[ItemId(1), ItemId(3)]);
+        s
+    }
+
+    #[test]
+    fn tied_sale_finds_frequent_companions() {
+        let s = basket_store();
+        let miner = TiedSale::new(2);
+        let comp = miner.companions(&s, ItemId(1), 5);
+        assert_eq!(comp, vec![(ItemId(2), 4)], "item 3 is below support 2");
+        let lax = TiedSale::new(1);
+        let comp = lax.companions(&s, ItemId(1), 5);
+        assert_eq!(comp.len(), 2);
+    }
+
+    #[test]
+    fn tied_sale_bundle_excludes_cart_items() {
+        let s = basket_store();
+        let miner = TiedSale::new(1);
+        let bundle = miner.bundle_for_cart(&s, &[ItemId(1), ItemId(3)], 5);
+        assert!(bundle.iter().all(|(i, _)| *i != ItemId(1) && *i != ItemId(3)));
+        assert_eq!(bundle[0].0, ItemId(2));
+    }
+
+    fn community_store() -> RecommendStore {
+        let mut s = RecommendStore::new();
+        for id in 1..=4 {
+            s.upsert_item(merch(id, &format!("book{id}"), "books"));
+        }
+        for id in 5..=8 {
+            s.upsert_item(merch(id, &format!("record{id}"), "music"));
+        }
+        // two taste communities
+        for u in 1..=3u64 {
+            for i in 1..=4u64 {
+                s.record_event(ConsumerId(u), ItemId(i), BehaviorKind::Purchase);
+            }
+        }
+        for u in 10..=12u64 {
+            for i in 5..=8u64 {
+                s.record_event(ConsumerId(u), ItemId(i), BehaviorKind::Purchase);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn community_graph_separates_taste_clusters() {
+        let s = community_store();
+        let g = CommunityGraph::build(&s, &SimilarityConfig::default(), 0.5);
+        let communities = g.communities();
+        assert_eq!(communities.len(), 2);
+        assert!(communities.iter().any(|c| c.contains(&ConsumerId(1))
+            && c.contains(&ConsumerId(3))
+            && !c.contains(&ConsumerId(10))));
+    }
+
+    #[test]
+    fn community_neighbours_are_ranked() {
+        let s = community_store();
+        let g = CommunityGraph::build(&s, &SimilarityConfig::default(), 0.1);
+        let n = g.neighbours(ConsumerId(1));
+        assert_eq!(n.len(), 2);
+        assert!(n[0].1 >= n[1].1);
+        assert!(g.neighbours(ConsumerId(999)).is_empty());
+    }
+
+    #[test]
+    fn empty_store_builds_empty_graph() {
+        let s = RecommendStore::new();
+        let g = CommunityGraph::build(&s, &SimilarityConfig::default(), 0.1);
+        assert!(g.is_empty());
+        assert!(g.communities().is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Item-based collaborative filtering — the second classic CF baseline.
+//!
+//! Where user-kNN ([`crate::recommend::CfRecommender`]) asks *"which
+//! consumers are like you?"*, item-based CF asks *"which items are
+//! co-preferred with what you already like?"*. It is included because
+//! every serious recommender comparison of the era (and since) reports
+//! both; experiment E6 runs it alongside the paper's hybrid.
+
+use crate::profile::ConsumerId;
+use crate::ratings::RatingsMatrix;
+use crate::recommend::{QueryContext, Recommendation, Recommender};
+use crate::store::RecommendStore;
+use ecp::merchandise::ItemId;
+use std::collections::BTreeMap;
+
+/// Cosine similarity between two items' rating columns.
+///
+/// `None` when either item has no raters or fewer than `min_overlap`
+/// users rated both.
+pub fn item_cosine(
+    ratings: &RatingsMatrix,
+    a: ItemId,
+    b: ItemId,
+    min_overlap: usize,
+) -> Option<f64> {
+    let raters_a = ratings.item_raters(a);
+    let raters_b = ratings.item_raters(b);
+    if raters_a.is_empty() || raters_b.is_empty() {
+        return None;
+    }
+    let (small, large) = if raters_a.len() <= raters_b.len() {
+        (&raters_a, &raters_b)
+    } else {
+        (&raters_b, &raters_a)
+    };
+    let large_set: std::collections::BTreeSet<ConsumerId> = large.iter().copied().collect();
+    let mut dot = 0.0;
+    let mut overlap = 0usize;
+    for user in small.iter() {
+        if large_set.contains(user) {
+            overlap += 1;
+            let ra = ratings.rating(*user, a).unwrap_or(0.0);
+            let rb = ratings.rating(*user, b).unwrap_or(0.0);
+            dot += ra * rb;
+        }
+    }
+    if overlap < min_overlap.max(1) {
+        return None;
+    }
+    let norm = |item: ItemId, raters: &[ConsumerId]| -> f64 {
+        raters
+            .iter()
+            .map(|u| ratings.rating(*u, item).unwrap_or(0.0).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let denom = norm(a, &raters_a) * norm(b, &raters_b);
+    if denom == 0.0 {
+        None
+    } else {
+        Some((dot / denom).clamp(0.0, 1.0))
+    }
+}
+
+/// Item-based CF recommender.
+#[derive(Debug, Clone, Copy)]
+pub struct ItemCfRecommender {
+    /// Similar items considered per liked item.
+    pub k_similar: usize,
+    /// Minimum co-rater overlap for an item pair to count.
+    pub min_overlap: usize,
+}
+
+impl Default for ItemCfRecommender {
+    fn default() -> Self {
+        ItemCfRecommender { k_similar: 20, min_overlap: 2 }
+    }
+}
+
+impl Recommender for ItemCfRecommender {
+    fn name(&self) -> &'static str {
+        "cf-item"
+    }
+
+    fn recommend(
+        &self,
+        store: &RecommendStore,
+        user: ConsumerId,
+        context: &QueryContext,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        let ratings = store.ratings();
+        let liked = ratings.user_ratings(user);
+        if liked.is_empty() {
+            return Vec::new();
+        }
+        let owned = store.purchased_by(user);
+        // score candidates by rating-weighted similarity to liked items
+        let mut scores: BTreeMap<u64, (f64, f64)> = BTreeMap::new(); // item -> (sum sim*rating, sum sim)
+        for (liked_item, rating) in &liked {
+            // candidate pool: items co-rated with this liked item
+            let raters = ratings.item_raters(*liked_item);
+            let mut candidates: std::collections::BTreeSet<ItemId> =
+                std::collections::BTreeSet::new();
+            for rater in raters {
+                for (other, _) in ratings.user_ratings(rater) {
+                    if other != *liked_item && !owned.contains(&other) {
+                        candidates.insert(other);
+                    }
+                }
+            }
+            let mut sims: Vec<(ItemId, f64)> = candidates
+                .into_iter()
+                .filter_map(|c| {
+                    item_cosine(ratings, *liked_item, c, self.min_overlap).map(|s| (c, s))
+                })
+                .filter(|(_, s)| *s > 0.0)
+                .collect();
+            sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            sims.truncate(self.k_similar);
+            for (candidate, sim) in sims {
+                let entry = scores.entry(candidate.0).or_insert((0.0, 0.0));
+                entry.0 += sim * rating;
+                entry.1 += sim;
+            }
+        }
+        let mut recs: Vec<Recommendation> = scores
+            .into_iter()
+            .filter_map(|(item, (weighted, sim_sum))| {
+                if sim_sum <= 0.0 {
+                    return None;
+                }
+                let item = ItemId(item);
+                let merch = store.catalog().get(item)?;
+                if let Some(cat) = &context.category {
+                    if &merch.category != cat {
+                        return None;
+                    }
+                }
+                let relevance = context.relevance(merch);
+                Some(Recommendation { item, score: (weighted / sim_sum) * (0.2 + relevance) })
+            })
+            .filter(|r| r.score > 0.0)
+            .collect();
+        recs.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.cmp(&b.item))
+        });
+        recs.truncate(k);
+        recs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learning::BehaviorKind;
+    use ecp::merchandise::{CategoryPath, Merchandise, Money};
+    use ecp::terms::TermVector;
+
+    fn merch(id: u64) -> Merchandise {
+        Merchandise {
+            id: ItemId(id),
+            name: format!("item{id}"),
+            category: CategoryPath::new("books", "programming"),
+            terms: TermVector::from_pairs([(format!("item{id}"), 1.0)]),
+            list_price: Money::from_units(10),
+            seller: 1,
+        }
+    }
+
+    /// Items 1 and 2 are co-purchased by everyone; item 3 is loved by a
+    /// different crowd.
+    fn co_purchase_store() -> RecommendStore {
+        let mut s = RecommendStore::new();
+        for id in 1..=4 {
+            s.upsert_item(merch(id));
+        }
+        for u in 1..=5u64 {
+            s.record_event(ConsumerId(u), ItemId(1), BehaviorKind::Purchase);
+            s.record_event(ConsumerId(u), ItemId(2), BehaviorKind::Purchase);
+        }
+        for u in 10..=12u64 {
+            s.record_event(ConsumerId(u), ItemId(3), BehaviorKind::Purchase);
+            s.record_event(ConsumerId(u), ItemId(4), BehaviorKind::Purchase);
+        }
+        // the probe user bought item 1 only
+        s.record_event(ConsumerId(99), ItemId(1), BehaviorKind::Purchase);
+        s
+    }
+
+    #[test]
+    fn item_cosine_finds_co_purchased_pairs() {
+        let s = co_purchase_store();
+        let sim_12 = item_cosine(s.ratings(), ItemId(1), ItemId(2), 2).unwrap();
+        assert!(sim_12 > 0.8, "co-purchased items must be similar: {sim_12}");
+        assert_eq!(
+            item_cosine(s.ratings(), ItemId(1), ItemId(3), 2),
+            None,
+            "no co-raters at all"
+        );
+        assert_eq!(item_cosine(s.ratings(), ItemId(1), ItemId(999), 1), None);
+    }
+
+    #[test]
+    fn item_cosine_is_symmetric() {
+        let s = co_purchase_store();
+        let ab = item_cosine(s.ratings(), ItemId(1), ItemId(2), 2);
+        let ba = item_cosine(s.ratings(), ItemId(2), ItemId(1), 2);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn recommends_companion_of_owned_item() {
+        let s = co_purchase_store();
+        let recs = ItemCfRecommender::default().recommend(
+            &s,
+            ConsumerId(99),
+            &QueryContext::default(),
+            5,
+        );
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].item, ItemId(2), "item 2 is the classic companion of item 1");
+        // items from the other crowd don't appear (no co-raters)
+        assert!(recs.iter().all(|r| r.item != ItemId(3) && r.item != ItemId(4)));
+    }
+
+    #[test]
+    fn cold_user_gets_nothing() {
+        let s = co_purchase_store();
+        let recs = ItemCfRecommender::default().recommend(
+            &s,
+            ConsumerId(1234),
+            &QueryContext::default(),
+            5,
+        );
+        assert!(recs.is_empty(), "item CF needs at least one rating from the user");
+    }
+
+    #[test]
+    fn owned_items_are_never_recommended() {
+        let s = co_purchase_store();
+        let recs = ItemCfRecommender::default().recommend(
+            &s,
+            ConsumerId(1),
+            &QueryContext::default(),
+            5,
+        );
+        assert!(recs.iter().all(|r| r.item != ItemId(1) && r.item != ItemId(2)));
+    }
+
+    #[test]
+    fn category_filter_applies() {
+        let mut s = co_purchase_store();
+        let mut odd = merch(5);
+        odd.category = CategoryPath::new("music", "jazz");
+        s.upsert_item(odd);
+        for u in 1..=5u64 {
+            s.record_event(ConsumerId(u), ItemId(5), BehaviorKind::Purchase);
+        }
+        let ctx = QueryContext {
+            keywords: vec![],
+            category: Some(CategoryPath::new("music", "jazz")),
+        };
+        let recs = ItemCfRecommender::default().recommend(&s, ConsumerId(99), &ctx, 5);
+        assert!(recs.iter().all(|r| r.item == ItemId(5)), "{recs:?}");
+    }
+}

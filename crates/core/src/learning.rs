@@ -1,0 +1,308 @@
+//! The profile update rule — the paper's Fig 4.5.
+//!
+//! ```text
+//! New_profile_of_Category_c = W_ci + α · Σ_j (w_ji · quality_of_feedback)
+//!
+//!   W_ci  the weight of term i in category c
+//!   w_ji  the weight of term i from document j
+//!   α     the learning rate
+//! ```
+//!
+//! "Documents" here are merchandise the consumer interacted with; the
+//! *quality of feedback* depends on how strong the behaviour was (a
+//! purchase says more than a query — §3.3: the mechanism records
+//! "merchandise query, buy, negotiation, and auction"). The paper quotes
+//! the rule from Middleton's mini-thesis \[10\] without fixing the
+//! constants, so the qualities and α are configuration, swept in
+//! experiment E10.
+
+use crate::profile::Profile;
+use ecp::merchandise::{CategoryPath, Money};
+use ecp::terms::TermVector;
+use serde::{Deserialize, Serialize};
+
+/// The kinds of consumer behaviour the mechanism observes (§3.3 item 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BehaviorKind {
+    /// Queried for merchandise like this.
+    Query,
+    /// Viewed a recommendation / offer.
+    Browse,
+    /// Entered price negotiation.
+    Negotiate,
+    /// Placed an auction bid.
+    Bid,
+    /// Won an auction.
+    AuctionWin,
+    /// Bought the item.
+    Purchase,
+}
+
+/// Feedback-quality mapping: how much each behaviour kind reinforces the
+/// profile (the `quality_of_feedback` factor of Fig 4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackQuality {
+    /// Quality of a query.
+    pub query: f64,
+    /// Quality of a browse/click.
+    pub browse: f64,
+    /// Quality of entering a negotiation.
+    pub negotiate: f64,
+    /// Quality of placing a bid.
+    pub bid: f64,
+    /// Quality of winning an auction.
+    pub auction_win: f64,
+    /// Quality of a purchase.
+    pub purchase: f64,
+}
+
+impl FeedbackQuality {
+    /// Quality for a behaviour kind.
+    pub fn of(&self, kind: BehaviorKind) -> f64 {
+        match kind {
+            BehaviorKind::Query => self.query,
+            BehaviorKind::Browse => self.browse,
+            BehaviorKind::Negotiate => self.negotiate,
+            BehaviorKind::Bid => self.bid,
+            BehaviorKind::AuctionWin => self.auction_win,
+            BehaviorKind::Purchase => self.purchase,
+        }
+    }
+}
+
+impl Default for FeedbackQuality {
+    fn default() -> Self {
+        FeedbackQuality {
+            query: 0.1,
+            browse: 0.2,
+            negotiate: 0.5,
+            bid: 0.6,
+            auction_win: 0.9,
+            purchase: 1.0,
+        }
+    }
+}
+
+/// One observed behaviour event: a consumer interacted with merchandise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorEvent {
+    /// What the consumer did.
+    pub kind: BehaviorKind,
+    /// Category of the merchandise involved.
+    pub category: CategoryPath,
+    /// Description terms of the merchandise ("document j" of Fig 4.5).
+    pub terms: TermVector,
+    /// Price involved, if any (purchases, bids).
+    pub price: Option<Money>,
+}
+
+impl BehaviorEvent {
+    /// Convenience constructor without a price.
+    pub fn new(kind: BehaviorKind, category: CategoryPath, terms: TermVector) -> Self {
+        BehaviorEvent { kind, category, terms, price: None }
+    }
+}
+
+/// Configuration of the learner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearnerConfig {
+    /// Learning rate α of Fig 4.5.
+    pub alpha: f64,
+    /// Feedback-quality mapping.
+    pub quality: FeedbackQuality,
+    /// Multiplicative decay applied to the touched category before the
+    /// update (1.0 = no decay). Models drifting interest.
+    pub decay: f64,
+    /// Per-vector term cap enforced after updates.
+    pub max_terms: usize,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        LearnerConfig {
+            alpha: 0.3,
+            quality: FeedbackQuality::default(),
+            decay: 1.0,
+            max_terms: 64,
+        }
+    }
+}
+
+/// Applies Fig 4.5 updates to profiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileLearner {
+    /// Learner parameters.
+    pub config: LearnerConfig,
+}
+
+impl ProfileLearner {
+    /// Learner with the given config.
+    pub fn new(config: LearnerConfig) -> Self {
+        ProfileLearner { config }
+    }
+
+    /// Apply one behaviour event to `profile`:
+    /// `W_ci += α · w_ji · quality(kind)` for every term `i` of the
+    /// merchandise, at both the category and the sub-category level.
+    pub fn apply(&self, profile: &mut Profile, event: &BehaviorEvent) {
+        let factor = self.config.alpha * self.config.quality.of(event.kind);
+        if factor <= 0.0 {
+            return;
+        }
+        let cp = profile.category_mut(&event.category.category);
+        if self.config.decay < 1.0 {
+            cp.terms.scale(self.config.decay);
+        }
+        cp.terms.add_scaled(&event.terms, factor);
+        let sub = cp.sub_mut(&event.category.sub_category);
+        if self.config.decay < 1.0 {
+            sub.scale(self.config.decay);
+        }
+        sub.add_scaled(&event.terms, factor);
+        profile.compact(self.config.max_terms);
+    }
+
+    /// Apply a batch of events in order.
+    pub fn apply_all<'a, I>(&self, profile: &mut Profile, events: I)
+    where
+        I: IntoIterator<Item = &'a BehaviorEvent>,
+    {
+        for e in events {
+            self.apply(profile, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: BehaviorKind) -> BehaviorEvent {
+        BehaviorEvent::new(
+            kind,
+            CategoryPath::new("books", "programming"),
+            TermVector::from_pairs([("rust", 1.0), ("systems", 0.5)]),
+        )
+    }
+
+    #[test]
+    fn update_follows_fig_4_5_arithmetic() {
+        let learner = ProfileLearner::new(LearnerConfig {
+            alpha: 0.3,
+            quality: FeedbackQuality::default(),
+            decay: 1.0,
+            max_terms: 64,
+        });
+        let mut p = Profile::new();
+        learner.apply(&mut p, &event(BehaviorKind::Purchase));
+        // W = 0 + 0.3 * 1.0 (quality) * 1.0 (term weight)
+        let books = p.category("books").unwrap();
+        assert!((books.terms.weight("rust") - 0.3).abs() < 1e-12);
+        assert!((books.terms.weight("systems") - 0.15).abs() < 1e-12);
+        // sub-category mirrors
+        assert!((books.sub("programming").unwrap().weight("rust") - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purchase_reinforces_more_than_query() {
+        let learner = ProfileLearner::default();
+        let mut p_query = Profile::new();
+        let mut p_buy = Profile::new();
+        learner.apply(&mut p_query, &event(BehaviorKind::Query));
+        learner.apply(&mut p_buy, &event(BehaviorKind::Purchase));
+        assert!(
+            p_buy.total_interest() > p_query.total_interest(),
+            "a purchase must move the profile more than a query"
+        );
+    }
+
+    #[test]
+    fn repeated_events_converge_to_preference_direction() {
+        let learner = ProfileLearner::default();
+        let mut p = Profile::new();
+        for _ in 0..50 {
+            learner.apply(&mut p, &event(BehaviorKind::Purchase));
+        }
+        let flat = p.flatten();
+        let rust = flat.weight("books//rust");
+        let systems = flat.weight("books//systems");
+        // proportions of the merchandise terms are preserved
+        assert!((rust / systems - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decay_shrinks_old_interest() {
+        let config = LearnerConfig { decay: 0.5, ..LearnerConfig::default() };
+        let learner = ProfileLearner::new(config);
+        let mut p = Profile::new();
+        learner.apply(&mut p, &event(BehaviorKind::Purchase));
+        let w1 = p.category("books").unwrap().terms.weight("rust");
+        // second event on a different item decays "rust"
+        let other = BehaviorEvent::new(
+            BehaviorKind::Purchase,
+            CategoryPath::new("books", "programming"),
+            TermVector::from_pairs([("go", 1.0)]),
+        );
+        learner.apply(&mut p, &other);
+        let w2 = p.category("books").unwrap().terms.weight("rust");
+        assert!(w2 < w1, "decay must shrink untouched terms: {w2} !< {w1}");
+    }
+
+    #[test]
+    fn zero_alpha_is_a_noop() {
+        let config = LearnerConfig { alpha: 0.0, ..LearnerConfig::default() };
+        let learner = ProfileLearner::new(config);
+        let mut p = Profile::new();
+        learner.apply(&mut p, &event(BehaviorKind::Purchase));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn max_terms_bounds_profile_growth() {
+        let config = LearnerConfig { max_terms: 5, ..LearnerConfig::default() };
+        let learner = ProfileLearner::new(config);
+        let mut p = Profile::new();
+        for i in 0..50 {
+            let e = BehaviorEvent::new(
+                BehaviorKind::Purchase,
+                CategoryPath::new("books", "programming"),
+                TermVector::from_pairs([(format!("t{i}"), 1.0 + i as f64)]),
+            );
+            learner.apply(&mut p, &e);
+        }
+        assert!(p.category("books").unwrap().terms.len() <= 5);
+    }
+
+    #[test]
+    fn apply_all_matches_sequential_apply() {
+        let learner = ProfileLearner::default();
+        let events = vec![event(BehaviorKind::Query), event(BehaviorKind::Purchase)];
+        let mut a = Profile::new();
+        let mut b = Profile::new();
+        learner.apply_all(&mut a, &events);
+        for e in &events {
+            learner.apply(&mut b, e);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quality_mapping_covers_all_kinds() {
+        let q = FeedbackQuality::default();
+        let kinds = [
+            BehaviorKind::Query,
+            BehaviorKind::Browse,
+            BehaviorKind::Negotiate,
+            BehaviorKind::Bid,
+            BehaviorKind::AuctionWin,
+            BehaviorKind::Purchase,
+        ];
+        let mut last = 0.0;
+        for k in kinds {
+            let v = q.of(k);
+            assert!(v > 0.0);
+            assert!(v >= last, "default qualities are monotone in commitment");
+            last = v;
+        }
+    }
+}

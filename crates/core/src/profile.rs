@@ -1,0 +1,257 @@
+//! Consumer profiles — the representation of the paper's Fig 4.4.
+//!
+//! ```text
+//! Profile = <Category, Terms_of_Category,
+//!            <Sub_Category, Terms_of_Sub_Category>>
+//! ```
+//!
+//! A [`Profile`] holds, per main category, a weighted term vector plus one
+//! weighted term vector per sub-category. Profiles are updated by the
+//! learning rule of Fig 4.5 ([`crate::learning`]) and compared by the
+//! similarity algorithm ([`crate::similarity`]).
+
+use ecp::merchandise::CategoryPath;
+use ecp::terms::TermVector;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a consumer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ConsumerId(pub u64);
+
+impl fmt::Display for ConsumerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "consumer-{}", self.0)
+    }
+}
+
+/// Per-category slice of a profile: the category's own terms plus one
+/// term vector per sub-category (Fig 4.4).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CategoryProfile {
+    /// `Terms_of_Category`: weighted terms describing the consumer's
+    /// interest in the main category.
+    pub terms: TermVector,
+    /// `Sub_Category → Terms_of_Sub_Category`.
+    pub subs: BTreeMap<String, TermVector>,
+}
+
+impl CategoryProfile {
+    /// Total interest mass in this category (sum of all term weights,
+    /// category-level and sub-category-level).
+    pub fn interest(&self) -> f64 {
+        self.terms.total_weight() + self.subs.values().map(|v| v.total_weight()).sum::<f64>()
+    }
+
+    /// Term vector of a sub-category, if present.
+    pub fn sub(&self, sub_category: &str) -> Option<&TermVector> {
+        self.subs.get(sub_category)
+    }
+
+    /// Mutable term vector of a sub-category, created on demand.
+    pub fn sub_mut(&mut self, sub_category: &str) -> &mut TermVector {
+        self.subs.entry(sub_category.to_string()).or_default()
+    }
+}
+
+/// A consumer's full profile: one [`CategoryProfile`] per main category.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    categories: BTreeMap<String, CategoryProfile>,
+}
+
+impl Profile {
+    /// Empty profile (a cold-start consumer).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The profile slice for `category`, if the consumer has shown any
+    /// interest in it.
+    pub fn category(&self, category: &str) -> Option<&CategoryProfile> {
+        self.categories.get(category)
+    }
+
+    /// Mutable slice for `category`, created on demand.
+    pub fn category_mut(&mut self, category: &str) -> &mut CategoryProfile {
+        self.categories.entry(category.to_string()).or_default()
+    }
+
+    /// Category names the consumer has interest in, most interested
+    /// first.
+    pub fn top_categories(&self, k: usize) -> Vec<(&str, f64)> {
+        let mut cats: Vec<(&str, f64)> = self
+            .categories
+            .iter()
+            .map(|(c, p)| (c.as_str(), p.interest()))
+            .collect();
+        cats.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        cats.truncate(k);
+        cats
+    }
+
+    /// Iterate `(category, profile)` in category order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CategoryProfile)> {
+        self.categories.iter().map(|(c, p)| (c.as_str(), p))
+    }
+
+    /// Mutable iteration over `(category, profile)` (maintenance passes).
+    pub fn iter_mut_categories(
+        &mut self,
+    ) -> impl Iterator<Item = (&str, &mut CategoryProfile)> {
+        self.categories.iter_mut().map(|(c, p)| (c.as_str(), p))
+    }
+
+    /// Number of categories with interest.
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Whether the profile records no interest at all.
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty() || self.total_interest() == 0.0
+    }
+
+    /// Sum of interest mass over all categories.
+    pub fn total_interest(&self) -> f64 {
+        self.categories.values().map(|p| p.interest()).sum()
+    }
+
+    /// Flatten the profile into one term vector. Category terms keep
+    /// their weight; sub-category terms are namespaced as
+    /// `"category/sub/term"` and plain terms as `"category//term"` so
+    /// that interest in `"rust"` under `books/programming` does not
+    /// collide with `"rust"` under `garden/tools`.
+    pub fn flatten(&self) -> TermVector {
+        let mut out = TermVector::new();
+        for (cat, cp) in &self.categories {
+            for (t, w) in cp.terms.iter() {
+                out.add(format!("{cat}//{t}"), w);
+            }
+            for (sub, terms) in &cp.subs {
+                for (t, w) in terms.iter() {
+                    out.add(format!("{cat}/{sub}/{t}"), w);
+                }
+            }
+        }
+        out
+    }
+
+    /// Interest weight the profile assigns to an item described by
+    /// `(path, terms)`: the dot product of the item's terms with the
+    /// matching category and sub-category vectors, plus a small bonus for
+    /// plain category presence.
+    pub fn affinity(&self, path: &CategoryPath, terms: &TermVector) -> f64 {
+        let Some(cp) = self.categories.get(&path.category) else {
+            return 0.0;
+        };
+        let mut score = cp.terms.dot(terms);
+        if let Some(sub) = cp.sub(&path.sub_category) {
+            score += 2.0 * sub.dot(terms);
+        }
+        // interest in the category at all counts a little, even without
+        // term overlap (serendipity floor)
+        score + 0.05 * cp.interest()
+    }
+
+    /// Drop categories and terms whose weight decayed to (near) zero and
+    /// cap each vector at `max_terms` — keeps long-lived profiles
+    /// bounded.
+    pub fn compact(&mut self, max_terms: usize) {
+        for cp in self.categories.values_mut() {
+            cp.terms.truncate_top(max_terms);
+            cp.subs.retain(|_, v| {
+                v.truncate_top(max_terms);
+                !v.is_empty()
+            });
+        }
+        self.categories.retain(|_, cp| cp.interest() > 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with_interest() -> Profile {
+        let mut p = Profile::new();
+        let books = p.category_mut("books");
+        books.terms.set("bestseller", 0.5);
+        books.sub_mut("programming").set("rust", 2.0);
+        let music = p.category_mut("music");
+        music.sub_mut("jazz").set("miles", 0.3);
+        p
+    }
+
+    #[test]
+    fn empty_profile_is_cold() {
+        let p = Profile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.total_interest(), 0.0);
+        assert!(p.category("books").is_none());
+    }
+
+    #[test]
+    fn interest_sums_category_and_sub_terms() {
+        let p = profile_with_interest();
+        let books = p.category("books").unwrap();
+        assert!((books.interest() - 2.5).abs() < 1e-12);
+        assert!((p.total_interest() - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_categories_ranks_by_interest() {
+        let p = profile_with_interest();
+        let top = p.top_categories(2);
+        assert_eq!(top[0].0, "books");
+        assert_eq!(top[1].0, "music");
+        assert_eq!(p.top_categories(1).len(), 1);
+    }
+
+    #[test]
+    fn flatten_namespaces_terms_by_category() {
+        let mut p = Profile::new();
+        p.category_mut("books").sub_mut("programming").set("rust", 1.0);
+        p.category_mut("garden").sub_mut("tools").set("rust", 1.0);
+        let flat = p.flatten();
+        assert_eq!(flat.len(), 2, "same term in different categories must not collide");
+        assert!(flat.weight("books/programming/rust") > 0.0);
+        assert!(flat.weight("garden/tools/rust") > 0.0);
+    }
+
+    #[test]
+    fn affinity_prefers_matching_subcategory() {
+        let p = profile_with_interest();
+        let terms = TermVector::from_pairs([("rust", 1.0)]);
+        let hit = p.affinity(&CategoryPath::new("books", "programming"), &terms);
+        let wrong_sub = p.affinity(&CategoryPath::new("books", "cooking"), &terms);
+        let wrong_cat = p.affinity(&CategoryPath::new("garden", "tools"), &terms);
+        assert!(hit > wrong_sub, "sub-category match must dominate: {hit} vs {wrong_sub}");
+        assert!(wrong_sub > wrong_cat, "category interest still counts");
+        assert_eq!(wrong_cat, 0.0);
+    }
+
+    #[test]
+    fn compact_prunes_dead_categories_and_long_tails() {
+        let mut p = Profile::new();
+        let cp = p.category_mut("books");
+        for i in 0..100 {
+            cp.terms.set(format!("t{i}"), (i + 1) as f64 / 100.0);
+        }
+        p.category_mut("ghost"); // zero-interest category
+        p.compact(10);
+        assert_eq!(p.category("books").unwrap().terms.len(), 10);
+        assert!(p.category("ghost").is_none());
+    }
+
+    #[test]
+    fn profile_round_trips_serde() {
+        let p = profile_with_interest();
+        let back: Profile =
+            serde_json::from_value(serde_json::to_value(&p).unwrap()).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,348 @@
+//! Observational ratings — the data behind collaborative filtering.
+//!
+//! §2.3: *"a number of systems have begun to use observational ratings;
+//! the system infers user preferences from actions rather than requiring
+//! the user to explicitly rate an item."* The mechanism never asks for
+//! stars; it maps behaviour ([`BehaviorKind`]) to an implied rating in
+//! `[0, 1]` and stores it in a user × item matrix. The matrix also
+//! exposes the sparsity measurements that experiment E6 sweeps (the
+//! sparsity / cold-start limitations the paper attributes to CF).
+
+use crate::learning::BehaviorKind;
+use crate::profile::ConsumerId;
+use ecp::merchandise::ItemId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Implied rating of a behaviour (how strongly it signals preference).
+pub fn implied_rating(kind: BehaviorKind) -> f64 {
+    match kind {
+        BehaviorKind::Query => 0.2,
+        BehaviorKind::Browse => 0.3,
+        BehaviorKind::Negotiate => 0.6,
+        BehaviorKind::Bid => 0.7,
+        BehaviorKind::AuctionWin => 0.9,
+        BehaviorKind::Purchase => 1.0,
+    }
+}
+
+/// Sparse user × item matrix of ratings in `[0, 1]`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RatingsMatrix {
+    by_user: BTreeMap<u64, BTreeMap<u64, f64>>,
+    by_item: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+impl RatingsMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation; repeated observations keep the *strongest*
+    /// signal (a purchase is not weakened by a later query).
+    pub fn observe(&mut self, user: ConsumerId, item: ItemId, rating: f64) {
+        let rating = rating.clamp(0.0, 1.0);
+        let slot = self.by_user.entry(user.0).or_default().entry(item.0).or_insert(0.0);
+        if rating > *slot {
+            *slot = rating;
+        }
+        self.by_item.entry(item.0).or_default().insert(user.0);
+    }
+
+    /// Record a behaviour via [`implied_rating`].
+    pub fn observe_behavior(&mut self, user: ConsumerId, item: ItemId, kind: BehaviorKind) {
+        self.observe(user, item, implied_rating(kind));
+    }
+
+    /// Rating of `(user, item)`, if observed.
+    pub fn rating(&self, user: ConsumerId, item: ItemId) -> Option<f64> {
+        self.by_user.get(&user.0)?.get(&item.0).copied()
+    }
+
+    /// All ratings of `user` as `(item, rating)`.
+    pub fn user_ratings(&self, user: ConsumerId) -> Vec<(ItemId, f64)> {
+        self.by_user
+            .get(&user.0)
+            .map(|m| m.iter().map(|(i, r)| (ItemId(*i), *r)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Users who rated `item`.
+    pub fn item_raters(&self, item: ItemId) -> Vec<ConsumerId> {
+        self.by_item
+            .get(&item.0)
+            .map(|s| s.iter().map(|u| ConsumerId(*u)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All users with at least one rating.
+    pub fn users(&self) -> Vec<ConsumerId> {
+        self.by_user.keys().map(|u| ConsumerId(*u)).collect()
+    }
+
+    /// All rated items.
+    pub fn items(&self) -> Vec<ItemId> {
+        self.by_item.keys().map(|i| ItemId(*i)).collect()
+    }
+
+    /// Total number of stored ratings.
+    pub fn len(&self) -> usize {
+        self.by_user.values().map(|m| m.len()).sum()
+    }
+
+    /// Whether the matrix holds no ratings.
+    pub fn is_empty(&self) -> bool {
+        self.by_user.is_empty()
+    }
+
+    /// Fraction of the user × item grid that is *unfilled* — the sparsity
+    /// problem of §2.3. 1.0 for an empty matrix.
+    pub fn sparsity(&self) -> f64 {
+        let users = self.by_user.len();
+        let items = self.by_item.len();
+        if users == 0 || items == 0 {
+            return 1.0;
+        }
+        1.0 - self.len() as f64 / (users * items) as f64
+    }
+
+    /// Mean rating of a user (None if unrated).
+    pub fn user_mean(&self, user: ConsumerId) -> Option<f64> {
+        let m = self.by_user.get(&user.0)?;
+        if m.is_empty() {
+            return None;
+        }
+        Some(m.values().sum::<f64>() / m.len() as f64)
+    }
+
+    /// Pearson correlation between two users over co-rated items.
+    /// `None` if they co-rated fewer than `min_overlap` items.
+    pub fn pearson(
+        &self,
+        a: ConsumerId,
+        b: ConsumerId,
+        min_overlap: usize,
+    ) -> Option<f64> {
+        let ma = self.by_user.get(&a.0)?;
+        let mb = self.by_user.get(&b.0)?;
+        let (small, large) = if ma.len() <= mb.len() { (ma, mb) } else { (mb, ma) };
+        let shared: Vec<(f64, f64)> = small
+            .iter()
+            .filter_map(|(i, ra)| large.get(i).map(|rb| (*ra, *rb)))
+            .collect();
+        if shared.len() < min_overlap.max(2) {
+            return None;
+        }
+        let n = shared.len() as f64;
+        let mean_x = shared.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let mean_y = shared.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (x, y) in &shared {
+            cov += (x - mean_x) * (y - mean_y);
+            vx += (x - mean_x).powi(2);
+            vy += (y - mean_y).powi(2);
+        }
+        let denom = (vx * vy).sqrt();
+        if denom == 0.0 {
+            // flat co-ratings: agreeing perfectly on everything they share
+            Some(if shared.iter().all(|(x, y)| (x - y).abs() < 1e-9) { 1.0 } else { 0.0 })
+        } else {
+            Some((cov / denom).clamp(-1.0, 1.0))
+        }
+    }
+
+    /// Cosine similarity between two users' rating vectors (over the
+    /// union of their items). `None` if either is unknown.
+    pub fn cosine(&self, a: ConsumerId, b: ConsumerId) -> Option<f64> {
+        let ma = self.by_user.get(&a.0)?;
+        let mb = self.by_user.get(&b.0)?;
+        let dot: f64 = ma
+            .iter()
+            .filter_map(|(i, ra)| mb.get(i).map(|rb| ra * rb))
+            .sum();
+        let na: f64 = ma.values().map(|r| r * r).sum::<f64>().sqrt();
+        let nb: f64 = mb.values().map(|r| r * r).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return Some(0.0);
+        }
+        Some((dot / (na * nb)).clamp(0.0, 1.0))
+    }
+
+    /// Predict `user`'s rating of `item` by user-kNN: the
+    /// similarity-weighted mean-offset prediction over the `k` most
+    /// similar users who rated the item.
+    ///
+    /// Returns `None` when no neighbour evidence exists (the CF
+    /// cold-start of §2.3: *"new items cannot be recommended until some
+    /// users have taken the time to evaluate them"*).
+    pub fn predict(
+        &self,
+        user: ConsumerId,
+        item: ItemId,
+        k: usize,
+        min_overlap: usize,
+    ) -> Option<f64> {
+        let user_mean = self.user_mean(user)?;
+        let raters = self.by_item.get(&item.0)?;
+        let mut neighbours: Vec<(f64, f64)> = Vec::new(); // (similarity, their rating offset)
+        for r in raters {
+            let other = ConsumerId(*r);
+            if other == user {
+                continue;
+            }
+            let Some(sim) = self.pearson(user, other, min_overlap) else {
+                continue;
+            };
+            if sim <= 0.0 {
+                continue;
+            }
+            let their_rating = self.rating(other, item).expect("rater has rating");
+            let their_mean = self.user_mean(other).expect("rater has mean");
+            neighbours.push((sim, their_rating - their_mean));
+        }
+        if neighbours.is_empty() {
+            return None;
+        }
+        neighbours.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        neighbours.truncate(k);
+        let weight: f64 = neighbours.iter().map(|(s, _)| s).sum();
+        let offset: f64 = neighbours.iter().map(|(s, o)| s * o).sum::<f64>() / weight;
+        Some((user_mean + offset).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u64) -> ConsumerId {
+        ConsumerId(n)
+    }
+    fn i(n: u64) -> ItemId {
+        ItemId(n)
+    }
+
+    #[test]
+    fn observe_keeps_strongest_signal() {
+        let mut m = RatingsMatrix::new();
+        m.observe_behavior(u(1), i(1), BehaviorKind::Purchase);
+        m.observe_behavior(u(1), i(1), BehaviorKind::Query);
+        assert_eq!(m.rating(u(1), i(1)), Some(1.0));
+        // and upgrades work
+        m.observe_behavior(u(1), i(2), BehaviorKind::Query);
+        m.observe_behavior(u(1), i(2), BehaviorKind::Purchase);
+        assert_eq!(m.rating(u(1), i(2)), Some(1.0));
+    }
+
+    #[test]
+    fn implied_ratings_are_monotone_in_commitment() {
+        assert!(implied_rating(BehaviorKind::Query) < implied_rating(BehaviorKind::Browse));
+        assert!(implied_rating(BehaviorKind::Bid) < implied_rating(BehaviorKind::Purchase));
+    }
+
+    #[test]
+    fn sparsity_reflects_fill_fraction() {
+        let mut m = RatingsMatrix::new();
+        assert_eq!(m.sparsity(), 1.0);
+        // 2 users x 2 items, 2 ratings -> sparsity 0.5
+        m.observe(u(1), i(1), 1.0);
+        m.observe(u(2), i(2), 1.0);
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+        m.observe(u(1), i(2), 1.0);
+        m.observe(u(2), i(1), 1.0);
+        assert_eq!(m.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn pearson_identifies_like_minded_users() {
+        let mut m = RatingsMatrix::new();
+        // a and b agree; a and c disagree
+        for (item, ra, rb, rc) in [(1, 1.0, 0.9, 0.1), (2, 0.2, 0.3, 0.9), (3, 0.8, 0.7, 0.2)]
+        {
+            m.observe(u(1), i(item), ra);
+            m.observe(u(2), i(item), rb);
+            m.observe(u(3), i(item), rc);
+        }
+        let sim_ab = m.pearson(u(1), u(2), 2).unwrap();
+        let sim_ac = m.pearson(u(1), u(3), 2).unwrap();
+        assert!(sim_ab > 0.8, "agreeing users must correlate: {sim_ab}");
+        assert!(sim_ac < 0.0, "disagreeing users must anticorrelate: {sim_ac}");
+    }
+
+    #[test]
+    fn pearson_requires_overlap() {
+        let mut m = RatingsMatrix::new();
+        m.observe(u(1), i(1), 1.0);
+        m.observe(u(2), i(2), 1.0);
+        assert_eq!(m.pearson(u(1), u(2), 2), None);
+    }
+
+    #[test]
+    fn prediction_recovers_taste_clusters() {
+        let mut m = RatingsMatrix::new();
+        // cluster A (users 1-3) loves odd items, cluster B (4-6) loves even
+        for user in 1..=3u64 {
+            for item in 1..=10u64 {
+                let r = if item % 2 == 1 { 0.9 } else { 0.1 };
+                // leave (1, 9) unrated: that's what we predict
+                if user == 1 && item == 9 {
+                    continue;
+                }
+                m.observe(u(user), i(item), r);
+            }
+        }
+        for user in 4..=6u64 {
+            for item in 1..=10u64 {
+                let r = if item % 2 == 0 { 0.9 } else { 0.1 };
+                m.observe(u(user), i(item), r);
+            }
+        }
+        let p = m.predict(u(1), i(9), 5, 2).expect("prediction exists");
+        assert!(p > 0.7, "user 1 should be predicted to like item 9: {p}");
+    }
+
+    #[test]
+    fn prediction_fails_for_unrated_item_cold_start() {
+        let mut m = RatingsMatrix::new();
+        m.observe(u(1), i(1), 1.0);
+        m.observe(u(2), i(1), 1.0);
+        assert_eq!(m.predict(u(1), i(99), 5, 2), None, "cold-start item has no raters");
+    }
+
+    #[test]
+    fn cosine_bounds_and_zero_overlap() {
+        let mut m = RatingsMatrix::new();
+        m.observe(u(1), i(1), 1.0);
+        m.observe(u(2), i(2), 1.0);
+        assert_eq!(m.cosine(u(1), u(2)), Some(0.0));
+        m.observe(u(2), i(1), 1.0);
+        let c = m.cosine(u(1), u(2)).unwrap();
+        assert!(c > 0.0 && c <= 1.0);
+        assert_eq!(m.cosine(u(1), u(99)), None);
+    }
+
+    #[test]
+    fn accessors_enumerate_users_and_items() {
+        let mut m = RatingsMatrix::new();
+        m.observe(u(2), i(5), 0.5);
+        m.observe(u(1), i(5), 0.7);
+        assert_eq!(m.users(), vec![u(1), u(2)]);
+        assert_eq!(m.items(), vec![i(5)]);
+        assert_eq!(m.item_raters(i(5)), vec![u(1), u(2)]);
+        assert_eq!(m.user_ratings(u(1)), vec![(i(5), 0.7)]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn flat_coratings_count_as_perfect_agreement() {
+        let mut m = RatingsMatrix::new();
+        for item in 1..=3 {
+            m.observe(u(1), i(item), 0.5);
+            m.observe(u(2), i(item), 0.5);
+        }
+        assert_eq!(m.pearson(u(1), u(2), 2), Some(1.0));
+    }
+}

@@ -1,0 +1,729 @@
+//! The full platform harness: builds the Fig 3.1 architecture and drives
+//! consumer workflows end to end.
+//!
+//! [`Platform`] assembles a Coordinator Server, N Marketplaces with their
+//! Seller Servers, and a Buyer Agent Server provisioned through the
+//! Coordinator exactly as Fig 4.1 describes. It then exposes
+//! browser-level operations (`login`, `query`, `buy`, `auction`,
+//! `logout`) that inject [`FrontRequest`]s at the HttpA and read back the
+//! [`FrontResponse`]s — every hop in between is real agent traffic on the
+//! simulated network.
+
+use crate::agents::msg::{
+    BuyMode, ConsumerTask, FrontRequest, FrontRequestBody, FrontResponse, MarketRef,
+    ResponseBody, kinds as msgkinds,
+};
+use crate::agents::{register_all, Bsma, BsmaConfig};
+use crate::learning::{BehaviorKind, LearnerConfig};
+use crate::profile::ConsumerId;
+use crate::similarity::SimilarityConfig;
+use agentsim::clock::SimDuration;
+use agentsim::ids::{AgentId, HostId};
+use agentsim::message::Message;
+use agentsim::net::Topology;
+use agentsim::sim::SimWorld;
+use ecp::merchandise::{ItemId, Merchandise, Money};
+use ecp::protocol::{
+    kinds as ecpk, AuctionOpen, Listing, RegisterServer, RequestBuyerServer, ServerRole,
+};
+use ecp::{CoordinatorAgent, MarketplaceAgent, SellerAgent};
+
+/// Builder for a [`Platform`].
+#[derive(Debug)]
+pub struct PlatformBuilder {
+    seed: u64,
+    topology: Topology,
+    listings_per_market: Vec<Vec<Listing>>,
+    learner: LearnerConfig,
+    similarity: SimilarityConfig,
+    collaborative_weight: f64,
+    mba_timeout_us: u64,
+}
+
+impl PlatformBuilder {
+    /// Start building with a seed; defaults to one marketplace with no
+    /// listings and a LAN topology.
+    pub fn new(seed: u64) -> Self {
+        PlatformBuilder {
+            seed,
+            topology: Topology::lan(),
+            listings_per_market: vec![Vec::new()],
+            learner: LearnerConfig::default(),
+            similarity: SimilarityConfig::default(),
+            collaborative_weight: 0.7,
+            mba_timeout_us: 600_000_000,
+        }
+    }
+
+    /// Use an explicit topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// One entry per marketplace: the listings its seller provides.
+    pub fn marketplaces(mut self, listings_per_market: Vec<Vec<Listing>>) -> Self {
+        self.listings_per_market = listings_per_market;
+        self
+    }
+
+    /// Profile learner configuration.
+    pub fn learner(mut self, learner: LearnerConfig) -> Self {
+        self.learner = learner;
+        self
+    }
+
+    /// Similarity configuration.
+    pub fn similarity(mut self, similarity: SimilarityConfig) -> Self {
+        self.similarity = similarity;
+        self
+    }
+
+    /// Hybrid collaborative weight (ablation knob).
+    pub fn collaborative_weight(mut self, w: f64) -> Self {
+        self.collaborative_weight = w;
+        self
+    }
+
+    /// MBA loss timeout in simulated microseconds.
+    pub fn mba_timeout_us(mut self, us: u64) -> Self {
+        self.mba_timeout_us = us;
+        self
+    }
+
+    /// Assemble the world and run the Fig 4.1 creation workflow.
+    pub fn build(self) -> Platform {
+        let mut world = SimWorld::with_topology(self.seed, self.topology);
+        register_all(world.registry_mut());
+
+        // Coordinator Server with its CA.
+        let coordinator_host = world.add_host("coordinator-server");
+        let coordinator = world
+            .create_agent(coordinator_host, Box::new(CoordinatorAgent::new()))
+            .expect("create coordinator");
+
+        // Marketplaces + their seller servers.
+        let mut markets = Vec::new();
+        for (i, listings) in self.listings_per_market.iter().enumerate() {
+            let market_host = world.add_host(format!("marketplace-{i}"));
+            let market_agent = world
+                .create_agent(market_host, Box::new(MarketplaceAgent::new(format!("m{i}"))))
+                .expect("create marketplace");
+            markets.push(MarketRef { host: market_host, agent: market_agent });
+            let reg = Message::new(ecpk::REGISTER_SERVER)
+                .with_payload(&RegisterServer {
+                    role: ServerRole::Marketplace,
+                    host: market_host,
+                    agent: market_agent,
+                    name: format!("m{i}"),
+                })
+                .expect("register serializes");
+            world.send_external(coordinator, reg).expect("register marketplace");
+            let seller_host = world.add_host(format!("seller-{i}"));
+            world
+                .create_agent(
+                    seller_host,
+                    Box::new(SellerAgent::new(
+                        i as u32 + 1,
+                        format!("seller-{i}"),
+                        listings.clone(),
+                        vec![market_agent],
+                    )),
+                )
+                .expect("create seller");
+        }
+        world.run_until_idle();
+
+        // Buyer Agent Server, provisioned through the Coordinator
+        // (Fig 4.1 steps 1-6).
+        let buyer_host = world.add_host("buyer-agent-server");
+        let config = BsmaConfig {
+            target: buyer_host,
+            coordinator,
+            markets: markets.clone(),
+            name: "buyer-agent-server".into(),
+            learner: self.learner,
+            similarity: self.similarity,
+            mba_timeout_us: self.mba_timeout_us,
+            collaborative_weight: self.collaborative_weight,
+        };
+        let request = Message::new(ecpk::REQUEST_BUYER_SERVER)
+            .with_payload(&RequestBuyerServer {
+                host: buyer_host,
+                bsma_type: crate::agents::BSMA_TYPE.to_string(),
+                config: serde_json::json!({ "config": config }),
+            })
+            .expect("request serializes");
+        world.send_external(coordinator, request).expect("request buyer server");
+        world.run_until_idle();
+
+        // Locate the BSMA (it migrated to the buyer host) and its
+        // children.
+        let mut bsma_id = None;
+        let mut bsma_state = None;
+        for id in world.agents_on(buyer_host) {
+            if let Ok(snapshot) = world.snapshot_of(id) {
+                if let Ok(state) = serde_json::from_value::<Bsma>(snapshot) {
+                    if state.is_ready() {
+                        bsma_id = Some(id);
+                        bsma_state = Some(state);
+                        break;
+                    }
+                }
+            }
+        }
+        let bsma = bsma_id.expect("bsma reached the buyer host and set up");
+        let state = bsma_state.expect("bsma state available");
+        let httpa = state.httpa().expect("httpa created");
+        let pa = state.pa().expect("pa created");
+
+        Platform {
+            world,
+            coordinator,
+            buyer_host,
+            bsma,
+            httpa,
+            pa,
+            markets,
+            responses_read: 0,
+        }
+    }
+}
+
+/// A fully assembled e-commerce platform with one Buyer Agent Server.
+pub struct Platform {
+    world: SimWorld,
+    coordinator: AgentId,
+    buyer_host: HostId,
+    bsma: AgentId,
+    httpa: AgentId,
+    pa: AgentId,
+    markets: Vec<MarketRef>,
+    responses_read: usize,
+}
+
+impl Platform {
+    /// Start building a platform.
+    pub fn builder(seed: u64) -> PlatformBuilder {
+        PlatformBuilder::new(seed)
+    }
+
+    /// The underlying world (trace, metrics, clock).
+    pub fn world(&self) -> &SimWorld {
+        &self.world
+    }
+
+    /// Mutable world access (topology changes, manual messages).
+    pub fn world_mut(&mut self) -> &mut SimWorld {
+        &mut self.world
+    }
+
+    /// Marketplace references, in creation order.
+    pub fn markets(&self) -> &[MarketRef] {
+        &self.markets
+    }
+
+    /// The BSMA's agent id.
+    pub fn bsma(&self) -> AgentId {
+        self.bsma
+    }
+
+    /// The PA's agent id.
+    pub fn pa(&self) -> AgentId {
+        self.pa
+    }
+
+    /// The HttpA's agent id.
+    pub fn httpa(&self) -> AgentId {
+        self.httpa
+    }
+
+    /// The Coordinator Agent's id.
+    pub fn coordinator(&self) -> AgentId {
+        self.coordinator
+    }
+
+    /// The Buyer Agent Server's host.
+    pub fn buyer_host(&self) -> HostId {
+        self.buyer_host
+    }
+
+    fn send_front(&mut self, request: FrontRequest) {
+        let msg = Message::new(msgkinds::FRONT_REQUEST)
+            .with_payload(&request)
+            .expect("front request serializes");
+        self.world.send_external(self.httpa, msg).expect("httpa reachable");
+    }
+
+    /// Drain responses addressed to `consumer` that arrived since the
+    /// last call.
+    fn drain_responses(&mut self, consumer: ConsumerId) -> Vec<ResponseBody> {
+        let snapshot = self.world.snapshot_of(self.httpa).expect("httpa active");
+        let state: crate::agents::HttpAgent =
+            serde_json::from_value(snapshot).expect("httpa state parses");
+        let all: Vec<FrontResponse> = state.responses().to_vec();
+        let fresh: Vec<ResponseBody> = all[self.responses_read.min(all.len())..]
+            .iter()
+            .filter(|r| r.consumer == consumer)
+            .map(|r| r.body.clone())
+            .collect();
+        self.responses_read = all.len();
+        fresh
+    }
+
+    fn run_task(&mut self, consumer: ConsumerId, body: FrontRequestBody) -> Vec<ResponseBody> {
+        self.send_front(FrontRequest { consumer, body });
+        self.world.run_until_idle();
+        self.drain_responses(consumer)
+    }
+
+    /// Log `consumer` in (creates their BRA).
+    pub fn login(&mut self, consumer: ConsumerId) -> Vec<ResponseBody> {
+        self.run_task(consumer, FrontRequestBody::Login)
+    }
+
+    /// Log `consumer` out (disposes their BRA).
+    pub fn logout(&mut self, consumer: ConsumerId) -> Vec<ResponseBody> {
+        self.run_task(consumer, FrontRequestBody::Logout)
+    }
+
+    /// Run the Fig 4.2 merchandise-query workflow.
+    pub fn query(
+        &mut self,
+        consumer: ConsumerId,
+        keywords: &[&str],
+        max_results: usize,
+    ) -> Vec<ResponseBody> {
+        self.run_task(
+            consumer,
+            FrontRequestBody::Task(ConsumerTask::Query {
+                keywords: keywords.iter().map(|s| s.to_string()).collect(),
+                category: None,
+                max_results,
+            }),
+        )
+    }
+
+    /// Run the Fig 4.3 buy workflow against marketplace `market_index`.
+    pub fn buy(
+        &mut self,
+        consumer: ConsumerId,
+        item: ItemId,
+        market_index: usize,
+        mode: BuyMode,
+    ) -> Vec<ResponseBody> {
+        let market = self.markets[market_index];
+        self.run_task(
+            consumer,
+            FrontRequestBody::Task(ConsumerTask::Buy { item, market, mode }),
+        )
+    }
+
+    /// Open an English auction on `item` at marketplace `market_index`
+    /// (a seller action, injected directly).
+    pub fn open_auction(
+        &mut self,
+        market_index: usize,
+        item: ItemId,
+        reserve: Money,
+        increment: Money,
+        duration: SimDuration,
+    ) {
+        self.open_auction_with(market_index, item, reserve, increment, duration, false);
+    }
+
+    /// Open a descending-price (Dutch) auction: the price starts at
+    /// `start` and drops by `decrement` every `tick` until taken or
+    /// `floor` is reached.
+    pub fn open_dutch_auction(
+        &mut self,
+        market_index: usize,
+        item: ItemId,
+        start: Money,
+        floor: Money,
+        decrement: Money,
+        tick: SimDuration,
+    ) {
+        let market = self.markets[market_index];
+        let msg = Message::new(ecpk::DUTCH_OPEN)
+            .with_payload(&ecp::protocol::DutchOpen {
+                item,
+                start,
+                floor,
+                decrement,
+                tick_us: tick.as_micros(),
+            })
+            .expect("dutch open serializes");
+        self.world.send_external(market.agent, msg).expect("marketplace reachable");
+        self.world.run_for(SimDuration::from_millis(5));
+    }
+
+    /// Open a sealed-bid second-price (Vickrey) auction.
+    pub fn open_sealed_auction(
+        &mut self,
+        market_index: usize,
+        item: ItemId,
+        reserve: Money,
+        duration: SimDuration,
+    ) {
+        self.open_auction_with(market_index, item, reserve, Money(0), duration, true);
+    }
+
+    fn open_auction_with(
+        &mut self,
+        market_index: usize,
+        item: ItemId,
+        reserve: Money,
+        increment: Money,
+        duration: SimDuration,
+        sealed: bool,
+    ) {
+        let market = self.markets[market_index];
+        let msg = Message::new(ecpk::AUCTION_OPEN)
+            .with_payload(&AuctionOpen {
+                item,
+                reserve,
+                increment,
+                duration_us: duration.as_micros(),
+                sealed,
+            })
+            .expect("auction open serializes");
+        self.world.send_external(market.agent, msg).expect("marketplace reachable");
+        // deliver the open without firing the close timer
+        self.world.run_for(SimDuration::from_millis(5));
+    }
+
+    /// Run the Fig 4.3 auction workflow: the consumer's MBA joins and
+    /// bids up to `limit`. Runs until the auction settles.
+    pub fn auction(
+        &mut self,
+        consumer: ConsumerId,
+        item: ItemId,
+        market_index: usize,
+        limit: Money,
+    ) -> Vec<ResponseBody> {
+        let market = self.markets[market_index];
+        self.run_task(
+            consumer,
+            FrontRequestBody::Task(ConsumerTask::Auction { item, market, limit }),
+        )
+    }
+
+    /// Submit a task without running the world — use with
+    /// [`Platform::run_and_drain`] to let several consumers' tasks (e.g.
+    /// competing auction bids) overlap in time.
+    pub fn submit_task(&mut self, consumer: ConsumerId, task: ConsumerTask) {
+        self.send_front(FrontRequest { consumer, body: FrontRequestBody::Task(task) });
+    }
+
+    /// Run the world to idle, then return every fresh response as
+    /// `(consumer, body)` pairs.
+    pub fn run_and_drain(&mut self) -> Vec<(ConsumerId, ResponseBody)> {
+        self.world.run_until_idle();
+        let snapshot = self.world.snapshot_of(self.httpa).expect("httpa active");
+        let state: crate::agents::HttpAgent =
+            serde_json::from_value(snapshot).expect("httpa state parses");
+        let all: Vec<FrontResponse> = state.responses().to_vec();
+        let fresh: Vec<(ConsumerId, ResponseBody)> = all
+            [self.responses_read.min(all.len())..]
+            .iter()
+            .map(|r| (r.consumer, r.body.clone()))
+            .collect();
+        self.responses_read = all.len();
+        fresh
+    }
+
+    /// Seed the PA's UserDB offline with behaviour history (population
+    /// bootstrap for experiments). Each tuple is one event.
+    pub fn seed_events(&mut self, events: &[(ConsumerId, Merchandise, BehaviorKind)]) {
+        for (consumer, item, kind) in events {
+            let record = Message::new(msgkinds::PA_RECORD)
+                .with_payload(&crate::agents::msg::PaRecord {
+                    consumer: *consumer,
+                    item: item.clone(),
+                    kind: *kind,
+                    price: None,
+                    at_us: self.world.now().as_micros(),
+                })
+                .expect("record serializes");
+            self.world.send_external(self.pa, record).expect("pa reachable");
+        }
+        self.world.run_until_idle();
+    }
+
+    /// Snapshot of the PA (store + UserDB) for inspection.
+    pub fn pa_state(&self) -> crate::agents::ProfileAgent {
+        serde_json::from_value(self.world.snapshot_of(self.pa).expect("pa active"))
+            .expect("pa state parses")
+    }
+
+    /// Snapshot of the BSMA for inspection.
+    pub fn bsma_state(&self) -> Bsma {
+        serde_json::from_value(self.world.snapshot_of(self.bsma).expect("bsma active"))
+            .expect("bsma state parses")
+    }
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("markets", &self.markets.len())
+            .field("buyer_host", &self.buyer_host)
+            .finish()
+    }
+}
+
+/// Convenience: build a listing.
+pub fn listing(
+    id: u64,
+    name: &str,
+    category: &str,
+    sub: &str,
+    price_units: u64,
+    terms: &[(&str, f64)],
+) -> Listing {
+    let mut tv = ecp::terms::TermVector::from_pairs(
+        terms.iter().map(|(t, w)| (t.to_string(), *w)),
+    );
+    tv.add(name.to_lowercase(), 1.0);
+    Listing {
+        item: Merchandise {
+            id: ItemId(id),
+            name: name.into(),
+            category: ecp::merchandise::CategoryPath::new(category, sub),
+            terms: tv,
+            list_price: Money::from_units(price_units),
+            seller: 0,
+        },
+        reservation: Money::from_units(price_units * 7 / 10),
+        concession: 0.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow;
+
+    fn small_platform(seed: u64) -> Platform {
+        Platform::builder(seed)
+            .marketplaces(vec![
+                vec![
+                    listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
+                    listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
+                ],
+                vec![listing(11, "Jazz Record", "music", "jazz", 15, &[("jazz", 1.0)])],
+            ])
+            .build()
+    }
+
+    #[test]
+    fn creation_workflow_matches_fig_4_1() {
+        let p = small_platform(1);
+        workflow::validate(p.world().trace(), workflow::FIG_CREATION)
+            .expect("fig 4.1 trace must be complete and ordered");
+        let state = p.bsma_state();
+        assert!(state.is_ready());
+        assert_eq!(state.config.markets.len(), 2);
+    }
+
+    #[test]
+    fn login_creates_bra_and_logout_disposes_it() {
+        let mut p = small_platform(2);
+        let responses = p.login(ConsumerId(1));
+        assert_eq!(responses, vec![ResponseBody::LoggedIn]);
+        assert_eq!(p.bsma_state().sessions().len(), 1);
+        let responses = p.logout(ConsumerId(1));
+        assert_eq!(responses, vec![ResponseBody::LoggedOut]);
+        assert_eq!(p.bsma_state().sessions().len(), 0);
+    }
+
+    #[test]
+    fn query_without_login_is_an_error() {
+        let mut p = small_platform(3);
+        let responses = p.query(ConsumerId(1), &["rust"], 5);
+        assert!(matches!(&responses[0], ResponseBody::Error(e) if e.contains("not logged in")));
+    }
+
+    #[test]
+    fn query_workflow_matches_fig_4_2_and_returns_offers() {
+        let mut p = small_platform(4);
+        p.login(ConsumerId(1));
+        let responses = p.query(ConsumerId(1), &["book"], 5);
+        assert_eq!(responses.len(), 1);
+        match &responses[0] {
+            ResponseBody::Recommendations { offers, recommendations } => {
+                assert_eq!(offers.len(), 2, "both books match, jazz does not");
+                assert!(!recommendations.is_empty());
+            }
+            other => panic!("expected recommendations, got {other:?}"),
+        }
+        workflow::validate(p.world().trace(), workflow::FIG_QUERY)
+            .expect("fig 4.2 trace must be complete and ordered");
+    }
+
+    #[test]
+    fn buy_workflow_matches_fig_4_3_and_updates_profile() {
+        let mut p = small_platform(5);
+        p.login(ConsumerId(1));
+        let responses = p.buy(ConsumerId(1), ItemId(1), 0, BuyMode::Direct);
+        match &responses[0] {
+            ResponseBody::Receipt { item, price, channel } => {
+                assert_eq!(item.id, ItemId(1));
+                assert_eq!(*price, Money::from_units(30));
+                assert_eq!(channel, "direct");
+            }
+            other => panic!("expected receipt, got {other:?}"),
+        }
+        workflow::validate(p.world().trace(), workflow::FIG_TRANSACT)
+            .expect("fig 4.3 trace must be complete and ordered");
+        // the PA recorded the purchase and persisted the profile
+        let pa = p.pa_state();
+        assert!(pa.store().profile(ConsumerId(1)).unwrap().total_interest() > 0.0);
+        assert_eq!(pa.userdb().transaction_count(), 1);
+    }
+
+    #[test]
+    fn negotiated_buy_closes_within_budget() {
+        let mut p = small_platform(6);
+        p.login(ConsumerId(1));
+        let responses = p.buy(
+            ConsumerId(1),
+            ItemId(1),
+            0,
+            BuyMode::Negotiate {
+                budget: Money::from_units(28),
+                opening_fraction: 0.6,
+                raise: 0.1,
+                max_rounds: 20,
+            },
+        );
+        match &responses[0] {
+            ResponseBody::Receipt { price, channel, .. } => {
+                assert!(*price <= Money::from_units(28));
+                assert!(channel.contains("negotiated"));
+            }
+            other => panic!("expected receipt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auction_workflow_reports_result() {
+        let mut p = small_platform(7);
+        p.login(ConsumerId(1));
+        p.open_auction(
+            0,
+            ItemId(2),
+            Money::from_units(5),
+            Money::from_units(1),
+            SimDuration::from_secs(30),
+        );
+        let responses = p.auction(ConsumerId(1), ItemId(2), 0, Money::from_units(40));
+        match &responses[0] {
+            ResponseBody::AuctionResult { won, price, .. } => {
+                assert!(won);
+                assert_eq!(*price, Some(Money::from_units(5)));
+            }
+            other => panic!("expected auction result, got {other:?}"),
+        }
+        workflow::validate(p.world().trace(), workflow::FIG_TRANSACT)
+            .expect("fig 4.3 trace for auctions");
+    }
+
+    #[test]
+    fn bra_is_deactivated_while_mba_roams() {
+        let mut p = small_platform(8);
+        p.login(ConsumerId(1));
+        // run the query only partway: the MBA is out, the BRA must be
+        // in stable storage
+        p.send_front(FrontRequest {
+            consumer: ConsumerId(1),
+            body: FrontRequestBody::Task(ConsumerTask::Query {
+                keywords: vec!["book".into()],
+                category: None,
+                max_results: 5,
+            }),
+        });
+        // enough time for dispatch + deactivation (~6us of local hops)
+        // but well under the ~200us LAN migration to the marketplace
+        p.world_mut().run_for(SimDuration::from_micros(100));
+        assert!(
+            p.world().stored_count(p.buyer_host()) >= 1,
+            "the BRA must be deactivated to storage while its MBA roams"
+        );
+        assert!(p.world().stored_bytes(p.buyer_host()) > 0);
+        p.world_mut().run_until_idle();
+        // afterwards the BRA is live again and produced a response
+        let got = p.drain_responses(ConsumerId(1));
+        assert!(got.iter().any(|r| matches!(r, ResponseBody::Recommendations { .. })));
+        assert_eq!(p.world().metrics().deactivations, 1);
+        assert_eq!(p.world().metrics().activations, 1);
+    }
+
+    #[test]
+    fn lost_mba_triggers_watchdog_and_error_response() {
+        let mut p = Platform::builder(9)
+            .marketplaces(vec![vec![listing(
+                1,
+                "Rust Book",
+                "books",
+                "programming",
+                30,
+                &[("rust", 1.0)],
+            )]])
+            .mba_timeout_us(2_000_000)
+            .build();
+        p.login(ConsumerId(1));
+        // kill the link so the MBA dies in transit
+        let market_host = p.markets()[0].host;
+        let buyer_host = p.buyer_host();
+        p.world_mut().topology_mut().set_link_symmetric(
+            buyer_host,
+            market_host,
+            agentsim::net::LinkSpec::lan().lossy(1.0),
+        );
+        let responses = p.query(ConsumerId(1), &["rust"], 5);
+        assert!(
+            matches!(&responses[0], ResponseBody::Error(e) if e.contains("lost")),
+            "watchdog must report the lost MBA: {responses:?}"
+        );
+        // the BRA is active again and can serve new tasks after healing
+        p.world_mut().topology_mut().set_link_symmetric(
+            buyer_host,
+            market_host,
+            agentsim::net::LinkSpec::lan(),
+        );
+        let responses = p.query(ConsumerId(1), &["rust"], 5);
+        assert!(matches!(&responses[0], ResponseBody::Recommendations { .. }));
+    }
+
+    #[test]
+    fn recommendations_reflect_similar_users() {
+        let mut p = small_platform(10);
+        // seed: consumers 2 and 3 share user 1's taste and also bought
+        // the go book
+        let rust = listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]).item;
+        let go = listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]).item;
+        let mut events = Vec::new();
+        for c in [2u64, 3] {
+            events.push((ConsumerId(c), rust.clone(), BehaviorKind::Purchase));
+            events.push((ConsumerId(c), go.clone(), BehaviorKind::Purchase));
+        }
+        events.push((ConsumerId(1), rust.clone(), BehaviorKind::Purchase));
+        p.seed_events(&events);
+        p.login(ConsumerId(1));
+        let responses = p.query(ConsumerId(1), &["book"], 5);
+        match &responses[0] {
+            ResponseBody::Recommendations { recommendations, .. } => {
+                assert!(
+                    recommendations.iter().any(|r| r.item.id == ItemId(2)),
+                    "neighbours' go book must be recommended: {recommendations:?}"
+                );
+                // and the already-purchased rust book is not re-recommended
+                // at the top via collaborative weight alone
+                assert_eq!(recommendations[0].item.id, ItemId(2));
+            }
+            other => panic!("expected recommendations, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Consumer similarity — the paper's Fig 4.5 similarity step.
+//!
+//! §4.4: *"The generation of recommendation information is to find the
+//! similar user's profile through the similarity. If Consumer X's
+//! preference merchandise item value Tx different from other consumer Y's
+//! preference merchandise item value Ty, the similarity result will be
+//! discard. The higher similarity value means that consumer X is more
+//! similar to consumer Y."*
+//!
+//! Implemented as vector similarity over flattened profiles with the
+//! paper's *threshold discard*: term pairs whose weights disagree by more
+//! than a relative threshold are excluded from the comparison, and if too
+//! little evidence survives the pair of consumers is discarded entirely
+//! (similarity 0). Cosine is the default; Pearson and Jaccard are
+//! provided for the CF baselines and the ablation (E10).
+
+use crate::profile::Profile;
+use ecp::terms::TermVector;
+use serde::{Deserialize, Serialize};
+
+/// Similarity measure over term/rating vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimilarityMethod {
+    /// Cosine of the angle between weight vectors (default).
+    Cosine,
+    /// Pearson correlation over co-occurring terms.
+    Pearson,
+    /// Jaccard overlap of term sets (ignores weights).
+    Jaccard,
+}
+
+/// Configuration of profile similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityConfig {
+    /// Vector measure.
+    pub method: SimilarityMethod,
+    /// Fig 4.5 discard rule: a shared term whose weights differ by more
+    /// than this *relative* factor (larger/smaller > threshold) is
+    /// dropped from the comparison. `None` disables the rule.
+    pub discard_threshold: Option<f64>,
+    /// Minimum number of surviving shared terms for the pair to count at
+    /// all; fewer ⇒ similarity 0 ("the similarity result will be
+    /// discard").
+    pub min_overlap: usize,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        SimilarityConfig {
+            method: SimilarityMethod::Cosine,
+            discard_threshold: Some(4.0),
+            min_overlap: 1,
+        }
+    }
+}
+
+/// Compute similarity between two raw term vectors under `config`.
+pub fn vector_similarity(a: &TermVector, b: &TermVector, config: &SimilarityConfig) -> f64 {
+    // Collect shared terms, applying the discard rule.
+    let mut shared: Vec<(f64, f64)> = Vec::new();
+    for (t, wa) in a.iter() {
+        let wb = b.weight(t);
+        if wb <= 0.0 {
+            continue;
+        }
+        if let Some(threshold) = config.discard_threshold {
+            let ratio = if wa >= wb { wa / wb } else { wb / wa };
+            if ratio > threshold {
+                continue; // Tx too different from Ty: discard this pair
+            }
+        }
+        shared.push((wa, wb));
+    }
+    if shared.len() < config.min_overlap {
+        return 0.0;
+    }
+    match config.method {
+        SimilarityMethod::Cosine => {
+            // Norms over the full vectors, dot over surviving pairs: a
+            // consumer with many unshared interests is less similar.
+            let dot: f64 = shared.iter().map(|(x, y)| x * y).sum();
+            let denom = a.norm() * b.norm();
+            if denom == 0.0 {
+                0.0
+            } else {
+                (dot / denom).clamp(0.0, 1.0)
+            }
+        }
+        SimilarityMethod::Pearson => {
+            let n = shared.len() as f64;
+            if shared.len() < 2 {
+                return 0.0;
+            }
+            let mean_x = shared.iter().map(|(x, _)| x).sum::<f64>() / n;
+            let mean_y = shared.iter().map(|(_, y)| y).sum::<f64>() / n;
+            let mut cov = 0.0;
+            let mut var_x = 0.0;
+            let mut var_y = 0.0;
+            for (x, y) in &shared {
+                cov += (x - mean_x) * (y - mean_y);
+                var_x += (x - mean_x).powi(2);
+                var_y += (y - mean_y).powi(2);
+            }
+            let denom = (var_x * var_y).sqrt();
+            if denom == 0.0 {
+                0.0
+            } else {
+                (cov / denom).clamp(-1.0, 1.0)
+            }
+        }
+        SimilarityMethod::Jaccard => {
+            let union = a.len() + b.len() - shared.len();
+            if union == 0 {
+                0.0
+            } else {
+                shared.len() as f64 / union as f64
+            }
+        }
+    }
+}
+
+/// Similarity between two consumer profiles: the configured measure over
+/// their flattened (category-namespaced) term vectors.
+pub fn profile_similarity(a: &Profile, b: &Profile, config: &SimilarityConfig) -> f64 {
+    vector_similarity(&a.flatten(), &b.flatten(), config)
+}
+
+/// Rank `candidates` by similarity to `target`, dropping discarded
+/// (zero-similarity) pairs, best first, at most `k`.
+pub fn nearest_neighbours<'a, I>(
+    target: &Profile,
+    candidates: I,
+    config: &SimilarityConfig,
+    k: usize,
+) -> Vec<(crate::profile::ConsumerId, f64)>
+where
+    I: IntoIterator<Item = (crate::profile::ConsumerId, &'a Profile)>,
+{
+    let flat = target.flatten();
+    let mut scored: Vec<(crate::profile::ConsumerId, f64)> = candidates
+        .into_iter()
+        .map(|(id, p)| (id, vector_similarity(&flat, &p.flatten(), config)))
+        .filter(|(_, s)| *s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ConsumerId;
+
+    fn profile(pairs: &[(&str, &str, &str, f64)]) -> Profile {
+        // (category, sub, term, weight)
+        let mut p = Profile::new();
+        for (cat, sub, term, w) in pairs {
+            p.category_mut(cat).sub_mut(sub).set(*term, *w);
+        }
+        p
+    }
+
+    #[test]
+    fn identical_profiles_are_maximally_similar() {
+        let a = profile(&[("books", "prog", "rust", 1.0), ("music", "jazz", "sax", 0.5)]);
+        let s = profile_similarity(&a, &a.clone(), &SimilarityConfig::default());
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_profiles_have_zero_similarity() {
+        let a = profile(&[("books", "prog", "rust", 1.0)]);
+        let b = profile(&[("garden", "tools", "spade", 1.0)]);
+        assert_eq!(profile_similarity(&a, &b, &SimilarityConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = profile(&[("books", "prog", "rust", 1.0), ("books", "prog", "go", 0.4)]);
+        let b = profile(&[("books", "prog", "rust", 0.7), ("music", "jazz", "sax", 1.0)]);
+        let cfg = SimilarityConfig::default();
+        assert!(
+            (profile_similarity(&a, &b, &cfg) - profile_similarity(&b, &a, &cfg)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn discard_rule_drops_wildly_different_term_values() {
+        let a = profile(&[("books", "prog", "rust", 10.0)]);
+        let b = profile(&[("books", "prog", "rust", 1.0)]);
+        let strict = SimilarityConfig {
+            discard_threshold: Some(2.0),
+            ..SimilarityConfig::default()
+        };
+        assert_eq!(
+            profile_similarity(&a, &b, &strict),
+            0.0,
+            "Tx=10 vs Ty=1 exceeds the threshold: pair discarded"
+        );
+        let lax = SimilarityConfig { discard_threshold: None, ..SimilarityConfig::default() };
+        assert!(profile_similarity(&a, &b, &lax) > 0.0);
+    }
+
+    #[test]
+    fn min_overlap_discards_thin_evidence() {
+        let a = profile(&[("books", "prog", "rust", 1.0), ("books", "prog", "go", 1.0)]);
+        let b = profile(&[("books", "prog", "rust", 1.0), ("music", "jazz", "sax", 1.0)]);
+        let cfg = SimilarityConfig { min_overlap: 2, ..SimilarityConfig::default() };
+        assert_eq!(profile_similarity(&a, &b, &cfg), 0.0);
+        let cfg1 = SimilarityConfig { min_overlap: 1, ..SimilarityConfig::default() };
+        assert!(profile_similarity(&a, &b, &cfg1) > 0.0);
+    }
+
+    #[test]
+    fn more_shared_interest_means_higher_similarity() {
+        let target = profile(&[
+            ("books", "prog", "rust", 1.0),
+            ("books", "prog", "go", 1.0),
+            ("music", "jazz", "sax", 1.0),
+        ]);
+        let close = profile(&[
+            ("books", "prog", "rust", 1.0),
+            ("books", "prog", "go", 1.0),
+            ("music", "jazz", "sax", 0.8),
+        ]);
+        let far = profile(&[("books", "prog", "rust", 1.0), ("garden", "t", "x", 3.0)]);
+        let cfg = SimilarityConfig::default();
+        assert!(
+            profile_similarity(&target, &close, &cfg) > profile_similarity(&target, &far, &cfg)
+        );
+    }
+
+    #[test]
+    fn jaccard_ignores_weights() {
+        let a = TermVector::from_pairs([("x", 100.0), ("y", 1.0)]);
+        let b = TermVector::from_pairs([("x", 0.1), ("z", 1.0)]);
+        let cfg = SimilarityConfig {
+            method: SimilarityMethod::Jaccard,
+            discard_threshold: None,
+            min_overlap: 1,
+        };
+        // shared {x}, union {x,y,z}
+        assert!((vector_similarity(&a, &b, &cfg) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let a = TermVector::from_pairs([("x", 1.0), ("y", 2.0), ("z", 3.0)]);
+        let b = TermVector::from_pairs([("x", 3.0), ("y", 2.0), ("z", 1.0)]);
+        let cfg = SimilarityConfig {
+            method: SimilarityMethod::Pearson,
+            discard_threshold: None,
+            min_overlap: 2,
+        };
+        assert!(vector_similarity(&a, &b, &cfg) < 0.0);
+    }
+
+    #[test]
+    fn nearest_neighbours_ranks_and_truncates() {
+        let target = profile(&[("books", "prog", "rust", 1.0)]);
+        let n1 = profile(&[("books", "prog", "rust", 1.0)]);
+        let n2 = profile(&[("books", "prog", "rust", 0.9), ("music", "j", "s", 2.0)]);
+        let n3 = profile(&[("garden", "t", "x", 1.0)]);
+        let candidates =
+            vec![(ConsumerId(1), &n1), (ConsumerId(2), &n2), (ConsumerId(3), &n3)];
+        let cfg = SimilarityConfig::default();
+        let nn = nearest_neighbours(&target, candidates.clone(), &cfg, 10);
+        assert_eq!(nn.len(), 2, "disjoint candidate discarded");
+        assert_eq!(nn[0].0, ConsumerId(1));
+        let nn1 = nearest_neighbours(&target, candidates, &cfg, 1);
+        assert_eq!(nn1.len(), 1);
+    }
+
+    #[test]
+    fn empty_profiles_never_match() {
+        let empty = Profile::new();
+        let full = profile(&[("books", "prog", "rust", 1.0)]);
+        let cfg = SimilarityConfig::default();
+        assert_eq!(profile_similarity(&empty, &full, &cfg), 0.0);
+        assert_eq!(profile_similarity(&empty, &empty.clone(), &cfg), 0.0);
+    }
+}

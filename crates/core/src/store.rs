@@ -1,0 +1,237 @@
+//! The recommendation mechanism's working data: profiles, ratings,
+//! catalog knowledge and sales — an in-memory view of UserDB.
+//!
+//! Every consumer behaviour flows through [`RecommendStore::record_event`],
+//! which simultaneously (a) updates the consumer profile by the Fig 4.5
+//! rule, (b) files an observational rating for CF, and (c) maintains the
+//! sales ledger and purchase baskets used by the top-seller baseline and
+//! the tied-sale extension.
+
+use crate::learning::{BehaviorEvent, BehaviorKind, LearnerConfig, ProfileLearner};
+use crate::profile::{ConsumerId, Profile};
+use crate::ratings::RatingsMatrix;
+use ecp::merchandise::{Catalog, ItemId, Merchandise};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Aggregated mechanism state the recommenders read.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RecommendStore {
+    /// Profile learner applied on every event.
+    pub learner: ProfileLearner,
+    profiles: BTreeMap<u64, Profile>,
+    ratings: RatingsMatrix,
+    catalog: Catalog,
+    sales: BTreeMap<u64, u32>,
+    purchased: BTreeMap<u64, BTreeSet<u64>>,
+    baskets: Vec<Vec<u64>>,
+}
+
+impl RecommendStore {
+    /// Empty store with default learner configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty store with an explicit learner configuration.
+    pub fn with_learner(config: LearnerConfig) -> Self {
+        RecommendStore { learner: ProfileLearner::new(config), ..Self::default() }
+    }
+
+    /// Make an item known to the mechanism (from marketplace offers or
+    /// seller catalogs).
+    pub fn upsert_item(&mut self, item: Merchandise) {
+        self.catalog.add(item);
+    }
+
+    /// Known catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Record one behaviour event against a known item: updates profile,
+    /// ratings, and (for purchases and auction wins) the sales ledger.
+    pub fn record_event(&mut self, consumer: ConsumerId, item: ItemId, kind: BehaviorKind) {
+        let Some(merch) = self.catalog.get(item).cloned() else {
+            return;
+        };
+        let event = BehaviorEvent::new(kind, merch.category.clone(), merch.terms.clone());
+        let profile = self.profiles.entry(consumer.0).or_default();
+        self.learner.apply(profile, &event);
+        self.ratings.observe_behavior(consumer, item, kind);
+        if matches!(kind, BehaviorKind::Purchase | BehaviorKind::AuctionWin) {
+            *self.sales.entry(item.0).or_insert(0) += 1;
+            self.purchased.entry(consumer.0).or_default().insert(item.0);
+        }
+    }
+
+    /// Record a multi-item checkout basket (drives tied-sale mining).
+    pub fn record_basket(&mut self, consumer: ConsumerId, items: &[ItemId]) {
+        for item in items {
+            self.record_event(consumer, *item, BehaviorKind::Purchase);
+        }
+        if items.len() > 1 {
+            self.baskets.push(items.iter().map(|i| i.0).collect());
+        }
+    }
+
+    /// Profile of `consumer`, if any behaviour was recorded.
+    pub fn profile(&self, consumer: ConsumerId) -> Option<&Profile> {
+        self.profiles.get(&consumer.0)
+    }
+
+    /// Insert or replace a profile wholesale (used when loading from
+    /// UserDB).
+    pub fn put_profile(&mut self, consumer: ConsumerId, profile: Profile) {
+        self.profiles.insert(consumer.0, profile);
+    }
+
+    /// Iterate `(consumer, profile)`.
+    pub fn profiles(&self) -> impl Iterator<Item = (ConsumerId, &Profile)> {
+        self.profiles.iter().map(|(c, p)| (ConsumerId(*c), p))
+    }
+
+    /// Number of consumers with profiles.
+    pub fn consumer_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The observational ratings matrix.
+    pub fn ratings(&self) -> &RatingsMatrix {
+        &self.ratings
+    }
+
+    /// Units sold of `item` (purchases + auction wins).
+    pub fn units_sold(&self, item: ItemId) -> u32 {
+        self.sales.get(&item.0).copied().unwrap_or(0)
+    }
+
+    /// Items `consumer` has purchased.
+    pub fn purchased_by(&self, consumer: ConsumerId) -> BTreeSet<ItemId> {
+        self.purchased
+            .get(&consumer.0)
+            .map(|s| s.iter().map(|i| ItemId(*i)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Best sellers as `(item, units)`, best first.
+    pub fn top_sellers(&self, k: usize) -> Vec<(ItemId, u32)> {
+        let mut ranked: Vec<(ItemId, u32)> =
+            self.sales.iter().map(|(i, n)| (ItemId(*i), *n)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Recorded multi-item baskets (for association mining).
+    pub fn baskets(&self) -> impl Iterator<Item = Vec<ItemId>> + '_ {
+        self.baskets.iter().map(|b| b.iter().map(|i| ItemId(*i)).collect())
+    }
+
+    /// Decay every profile's interest by `factor` and compact to the
+    /// learner's term budget — the PA's periodic maintenance pass
+    /// (drifting interests fade; empty profiles disappear).
+    pub fn decay_all_profiles(&mut self, factor: f64) {
+        let max_terms = self.learner.config.max_terms;
+        for profile in self.profiles.values_mut() {
+            for (_, cp) in profile.iter_mut_categories() {
+                cp.terms.scale(factor);
+                for v in cp.subs.values_mut() {
+                    v.scale(factor);
+                }
+            }
+            profile.compact(max_terms);
+        }
+        self.profiles.retain(|_, p| !p.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp::merchandise::{CategoryPath, Money};
+    use ecp::terms::TermVector;
+
+    fn merch(id: u64, name: &str) -> Merchandise {
+        Merchandise {
+            id: ItemId(id),
+            name: name.into(),
+            category: CategoryPath::new("books", "programming"),
+            terms: TermVector::from_pairs([(name.to_lowercase(), 1.0)]),
+            list_price: Money::from_units(10),
+            seller: 1,
+        }
+    }
+
+    fn store_with_items(n: u64) -> RecommendStore {
+        let mut s = RecommendStore::new();
+        for id in 1..=n {
+            s.upsert_item(merch(id, &format!("item{id}")));
+        }
+        s
+    }
+
+    #[test]
+    fn record_event_touches_profile_ratings_and_sales() {
+        let mut s = store_with_items(2);
+        s.record_event(ConsumerId(1), ItemId(1), BehaviorKind::Purchase);
+        assert!(s.profile(ConsumerId(1)).unwrap().total_interest() > 0.0);
+        assert_eq!(s.ratings().rating(ConsumerId(1), ItemId(1)), Some(1.0));
+        assert_eq!(s.units_sold(ItemId(1)), 1);
+        assert!(s.purchased_by(ConsumerId(1)).contains(&ItemId(1)));
+    }
+
+    #[test]
+    fn query_events_do_not_count_as_sales() {
+        let mut s = store_with_items(1);
+        s.record_event(ConsumerId(1), ItemId(1), BehaviorKind::Query);
+        assert_eq!(s.units_sold(ItemId(1)), 0);
+        assert!(s.purchased_by(ConsumerId(1)).is_empty());
+        assert!(s.ratings().rating(ConsumerId(1), ItemId(1)).is_some());
+    }
+
+    #[test]
+    fn unknown_item_events_are_ignored() {
+        let mut s = store_with_items(1);
+        s.record_event(ConsumerId(1), ItemId(99), BehaviorKind::Purchase);
+        assert!(s.profile(ConsumerId(1)).is_none());
+        assert_eq!(s.ratings().len(), 0);
+    }
+
+    #[test]
+    fn top_sellers_rank_by_units() {
+        let mut s = store_with_items(3);
+        for _ in 0..3 {
+            s.record_event(ConsumerId(1), ItemId(2), BehaviorKind::Purchase);
+        }
+        s.record_event(ConsumerId(1), ItemId(1), BehaviorKind::Purchase);
+        let top = s.top_sellers(2);
+        assert_eq!(top[0].0, ItemId(2));
+        assert_eq!(top[0].1, 3);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn baskets_record_only_multi_item_checkouts() {
+        let mut s = store_with_items(3);
+        s.record_basket(ConsumerId(1), &[ItemId(1)]);
+        s.record_basket(ConsumerId(1), &[ItemId(2), ItemId(3)]);
+        let baskets: Vec<Vec<ItemId>> = s.baskets().collect();
+        assert_eq!(baskets.len(), 1);
+        assert_eq!(baskets[0], vec![ItemId(2), ItemId(3)]);
+        // all items still counted as purchases
+        assert_eq!(s.units_sold(ItemId(1)), 1);
+        assert_eq!(s.units_sold(ItemId(2)), 1);
+    }
+
+    #[test]
+    fn put_profile_round_trips() {
+        let mut s = RecommendStore::new();
+        let mut p = Profile::new();
+        p.category_mut("books").terms.set("x", 1.0);
+        s.put_profile(ConsumerId(9), p.clone());
+        assert_eq!(s.profile(ConsumerId(9)), Some(&p));
+        assert_eq!(s.consumer_count(), 1);
+        assert_eq!(s.profiles().count(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Workflow trace validation — the executable form of the paper's
+//! numbered figures.
+//!
+//! Workflow participants emit trace notes labelled `"<figure>/step<N>
+//! <description>"`. This module parses and validates those traces against
+//! the figures:
+//!
+//! * **Fig 4.1** (mechanism creation): 6 steps;
+//! * **Fig 4.2** (merchandise query): 15 steps;
+//! * **Fig 4.3** (buy / auction): 14 steps.
+//!
+//! The paper's figures number the arrows without naming every one in
+//! prose; the step-to-actor mapping used here (documented on each agent)
+//! follows the figure's arrow order and the §4.1 operating principles.
+
+use agentsim::trace::Trace;
+
+/// Figure identifier of the creation workflow (Fig 4.1).
+pub const FIG_CREATION: &str = "fig4.1";
+/// Figure identifier of the merchandise-query workflow (Fig 4.2).
+pub const FIG_QUERY: &str = "fig4.2";
+/// Figure identifier of the buy/auction workflow (Fig 4.3).
+pub const FIG_TRANSACT: &str = "fig4.3";
+
+/// Number of numbered steps in each figure.
+pub fn step_count(figure: &str) -> Option<u32> {
+    match figure {
+        FIG_CREATION => Some(6),
+        FIG_QUERY => Some(15),
+        FIG_TRANSACT => Some(14),
+        _ => None,
+    }
+}
+
+/// Extract the ordered step numbers recorded for `figure`.
+pub fn steps_of(trace: &Trace, figure: &str) -> Vec<u32> {
+    let prefix = format!("{figure}/step");
+    trace
+        .events()
+        .iter()
+        .filter_map(|e| {
+            let rest = e.label.strip_prefix(&prefix)?;
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().ok()
+        })
+        .collect()
+}
+
+/// Validate that the trace contains a complete, ordered run of `figure`:
+/// every step `1..=N` appears, and first occurrences appear in increasing
+/// order (steps may repeat, e.g. the query/offer steps once per visited
+/// marketplace).
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate(trace: &Trace, figure: &str) -> Result<(), String> {
+    let n = step_count(figure).ok_or_else(|| format!("unknown figure `{figure}`"))?;
+    let steps = steps_of(trace, figure);
+    if steps.is_empty() {
+        return Err(format!("no {figure} steps recorded"));
+    }
+    let mut first_seen: Vec<Option<usize>> = vec![None; (n + 1) as usize];
+    for (pos, step) in steps.iter().enumerate() {
+        if *step == 0 || *step > n {
+            return Err(format!("{figure} has out-of-range step {step}"));
+        }
+        let slot = &mut first_seen[*step as usize];
+        if slot.is_none() {
+            *slot = Some(pos);
+        }
+    }
+    let mut last_pos = 0usize;
+    for step in 1..=n {
+        match first_seen[step as usize] {
+            None => return Err(format!("{figure} is missing step {step}")),
+            Some(pos) => {
+                if pos < last_pos {
+                    return Err(format!(
+                        "{figure} step {step} first occurs before its predecessor"
+                    ));
+                }
+                last_pos = pos;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-step first-occurrence simulated times, for latency breakdowns
+/// (bench E3). Index 0 is unused.
+pub fn step_times(trace: &Trace, figure: &str) -> Vec<Option<agentsim::clock::SimTime>> {
+    let n = step_count(figure).unwrap_or(0);
+    let prefix = format!("{figure}/step");
+    let mut times: Vec<Option<agentsim::clock::SimTime>> = vec![None; (n + 1) as usize];
+    for e in trace.events() {
+        if let Some(rest) = e.label.strip_prefix(&prefix) {
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(step) = digits.parse::<usize>() {
+                if step >= 1 && step <= n as usize && times[step].is_none() {
+                    times[step] = Some(e.at);
+                }
+            }
+        }
+    }
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentsim::clock::SimTime;
+
+    fn trace_with(labels: &[&str]) -> Trace {
+        let mut t = Trace::new();
+        for (i, l) in labels.iter().enumerate() {
+            t.record(SimTime(i as u64), None, *l);
+        }
+        t
+    }
+
+    #[test]
+    fn complete_ordered_run_validates() {
+        let labels: Vec<String> =
+            (1..=6).map(|i| format!("fig4.1/step{i} something")).collect();
+        let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+        assert!(validate(&trace_with(&refs), FIG_CREATION).is_ok());
+    }
+
+    #[test]
+    fn missing_step_is_detected() {
+        let t = trace_with(&[
+            "fig4.1/step1 a",
+            "fig4.1/step2 b",
+            "fig4.1/step4 d",
+            "fig4.1/step5 e",
+            "fig4.1/step6 f",
+        ]);
+        let err = validate(&t, FIG_CREATION).unwrap_err();
+        assert!(err.contains("missing step 3"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_first_occurrence_is_detected() {
+        let t = trace_with(&[
+            "fig4.1/step2 b",
+            "fig4.1/step1 a",
+            "fig4.1/step3 c",
+            "fig4.1/step4 d",
+            "fig4.1/step5 e",
+            "fig4.1/step6 f",
+        ]);
+        assert!(validate(&t, FIG_CREATION).is_err());
+    }
+
+    #[test]
+    fn repeated_steps_are_allowed() {
+        // multi-market query repeats steps 10-11
+        let mut labels: Vec<String> =
+            (1..=9).map(|i| format!("fig4.2/step{i:02} x")).collect();
+        for _ in 0..3 {
+            labels.push("fig4.2/step10 at market".into());
+            labels.push("fig4.2/step11 offers".into());
+        }
+        for i in 12..=15 {
+            labels.push(format!("fig4.2/step{i} x"));
+        }
+        let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+        assert!(validate(&trace_with(&refs), FIG_QUERY).is_ok());
+    }
+
+    #[test]
+    fn zero_padding_parses() {
+        assert_eq!(
+            steps_of(&trace_with(&["fig4.2/step01 x", "fig4.2/step12 y"]), FIG_QUERY),
+            vec![1, 12]
+        );
+    }
+
+    #[test]
+    fn unknown_figure_is_an_error() {
+        assert!(validate(&Trace::new(), "fig9.9").is_err());
+        assert!(validate(&Trace::new(), FIG_QUERY).is_err());
+    }
+
+    #[test]
+    fn step_times_capture_first_occurrence() {
+        let t = trace_with(&["fig4.1/step1 a", "fig4.1/step1 again", "fig4.1/step2 b"]);
+        let times = step_times(&t, FIG_CREATION);
+        assert_eq!(times[1], Some(SimTime(0)));
+        assert_eq!(times[2], Some(SimTime(2)));
+        assert_eq!(times[3], None);
+    }
+}

@@ -1,0 +1,177 @@
+//! The Coordinator Server's agent (CA).
+//!
+//! Paper §3.2: *"There is a Coordinator Agent (CA) in Coordinator Server.
+//! The CA is static in Coordinator Server and manages an E-Commerce (EC)
+//! domain."* The CA keeps the domain registry (marketplaces, sellers,
+//! buyer agent servers) and provisions new Buyer Agent Servers
+//! (Fig 4.1 steps 1–3): on [`kinds::REQUEST_BUYER_SERVER`] it creates a
+//! BSMA of the requested agent type and the BSMA dispatches itself to the
+//! requesting host.
+
+use crate::protocol::{
+    kinds, ListServers, RegisterServer, RequestBuyerServer, ServerInfo, ServerList,
+};
+use agentsim::agent::{Agent, Ctx};
+use agentsim::message::Message;
+use serde::{Deserialize, Serialize};
+
+/// The Coordinator Agent. Static (never migrates); safe to snapshot.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct CoordinatorAgent {
+    domain: Vec<ServerInfo>,
+}
+
+/// Agent-type tag of [`CoordinatorAgent`].
+pub const COORDINATOR_TYPE: &str = "coordinator";
+
+impl CoordinatorAgent {
+    /// Create a coordinator with an empty domain registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registered servers (for tests and inspection via snapshot).
+    pub fn domain(&self) -> &[ServerInfo] {
+        &self.domain
+    }
+}
+
+impl Agent for CoordinatorAgent {
+    fn agent_type(&self) -> &'static str {
+        COORDINATOR_TYPE
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("coordinator state serializes")
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        match msg.kind.as_str() {
+            kinds::REGISTER_SERVER => {
+                let Ok(reg) = msg.payload_as::<RegisterServer>() else {
+                    ctx.note("coordinator: malformed register-server");
+                    return;
+                };
+                // Re-registration (same agent) replaces the entry.
+                self.domain.retain(|s| s.agent != reg.agent);
+                self.domain.push(ServerInfo {
+                    role: reg.role,
+                    host: reg.host,
+                    agent: reg.agent,
+                    name: reg.name,
+                });
+                let ack = Message::new(kinds::REGISTER_ACK);
+                ctx.reply(&msg, ack);
+            }
+            kinds::LIST_SERVERS => {
+                let Ok(req) = msg.payload_as::<ListServers>() else {
+                    ctx.note("coordinator: malformed list-servers");
+                    return;
+                };
+                let servers: Vec<ServerInfo> = self
+                    .domain
+                    .iter()
+                    .filter(|s| s.role == req.role)
+                    .cloned()
+                    .collect();
+                let reply = Message::new(kinds::SERVER_LIST)
+                    .with_payload(&ServerList { servers })
+                    .expect("server list serializes");
+                ctx.reply(&msg, reply);
+            }
+            kinds::REQUEST_BUYER_SERVER => {
+                let Ok(req) = msg.payload_as::<RequestBuyerServer>() else {
+                    ctx.note("coordinator: malformed request-buyer-server");
+                    return;
+                };
+                ctx.note("fig4.1/step1 request to be buyer agent server");
+                // Step 2: create the BSMA here, in the Coordinator Server.
+                ctx.note("fig4.1/step2 create bsma agent");
+                ctx.create_agent_of_type(req.bsma_type, req.config);
+                // Step 3 (dispatch) is performed by the BSMA itself in its
+                // on_creation, which reads the target host from its config.
+            }
+            other => {
+                ctx.note(format!("coordinator: unhandled message kind {other}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ServerRole;
+    use agentsim::ids::{AgentId, HostId};
+    use agentsim::sim::SimWorld;
+
+    fn setup() -> (SimWorld, HostId, AgentId) {
+        let mut w = SimWorld::new(5);
+        w.registry_mut().register_serde::<CoordinatorAgent>(COORDINATOR_TYPE);
+        let h = w.add_host("coordinator");
+        let ca = w.create_agent(h, Box::new(CoordinatorAgent::new())).unwrap();
+        (w, h, ca)
+    }
+
+    #[test]
+    fn registration_is_recorded_and_listable() {
+        let (mut w, h, ca) = setup();
+        let reg = RegisterServer {
+            role: ServerRole::Marketplace,
+            host: HostId(9),
+            agent: AgentId(100),
+            name: "market-1".into(),
+        };
+        w.send_external(ca, Message::new(kinds::REGISTER_SERVER).with_payload(&reg).unwrap())
+            .unwrap();
+        w.run_until_idle();
+        let snap = w.snapshot_of(ca).unwrap();
+        let state: CoordinatorAgent = serde_json::from_value(snap).unwrap();
+        assert_eq!(state.domain().len(), 1);
+        assert_eq!(state.domain()[0].name, "market-1");
+        let _ = h;
+    }
+
+    #[test]
+    fn reregistration_replaces_entry() {
+        let (mut w, _, ca) = setup();
+        for name in ["m-old", "m-new"] {
+            let reg = RegisterServer {
+                role: ServerRole::Marketplace,
+                host: HostId(9),
+                agent: AgentId(100),
+                name: name.into(),
+            };
+            w.send_external(
+                ca,
+                Message::new(kinds::REGISTER_SERVER).with_payload(&reg).unwrap(),
+            )
+            .unwrap();
+            w.run_until_idle();
+        }
+        let state: CoordinatorAgent =
+            serde_json::from_value(w.snapshot_of(ca).unwrap()).unwrap();
+        assert_eq!(state.domain().len(), 1);
+        assert_eq!(state.domain()[0].name, "m-new");
+    }
+
+    #[test]
+    fn malformed_payloads_are_noted_not_fatal() {
+        let (mut w, _, ca) = setup();
+        w.send_external(ca, Message::new(kinds::REGISTER_SERVER)).unwrap();
+        w.run_until_idle();
+        assert!(w
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.label.contains("malformed register-server")));
+    }
+
+    #[test]
+    fn unhandled_kind_is_noted() {
+        let (mut w, _, ca) = setup();
+        w.send_external(ca, Message::new("mystery")).unwrap();
+        w.run_until_idle();
+        assert!(w.trace().events().iter().any(|e| e.label.contains("unhandled message kind")));
+    }
+}

@@ -1,0 +1,43 @@
+//! # ecp — the agent-based e-commerce platform substrate
+//!
+//! This crate implements the e-commerce platform the recommendation
+//! mechanism of *"An Agent-Based Consumer Recommendation Mechanism"*
+//! (Wang, Hwang & Wang, AINA 2004) plugs into — the architecture of the
+//! paper's Fig 3.1:
+//!
+//! * [`coordinator::CoordinatorAgent`] — the CA managing an EC domain:
+//!   server registration/lookup and Buyer-Agent-Server provisioning
+//!   (Fig 4.1 steps 1–3);
+//! * [`marketplace::MarketplaceAgent`] — the trading services of §3.2:
+//!   information **query**, **negotiation** ([`negotiation`]) and
+//!   **auctions** ([`auction`]), plus the sales ledger behind the
+//!   "top overall sellers" baseline of §2.3;
+//! * [`seller::SellerAgent`] — merchandise integration and cataloging;
+//! * [`merchandise`] — money, the two-level category taxonomy of Fig 4.4,
+//!   items, catalogs; [`terms`] — the weighted term vectors shared with
+//!   consumer profiles;
+//! * [`protocol`] — every message kind and payload on the wire.
+//!
+//! All agents run on the [`agentsim`] platform and are pure serde state
+//! machines, so they survive snapshot/migration and run identically on
+//! the deterministic and the threaded runtime.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod auction;
+pub mod coordinator;
+pub mod marketplace;
+pub mod merchandise;
+pub mod negotiation;
+pub mod protocol;
+pub mod seller;
+pub mod terms;
+
+pub use auction::{AuctionOutcome, BidderId, DutchAuction, EnglishAuction, VickreyAuction};
+pub use coordinator::{CoordinatorAgent, COORDINATOR_TYPE};
+pub use marketplace::{MarketplaceAgent, MARKETPLACE_TYPE};
+pub use merchandise::{Catalog, CategoryPath, ItemId, Merchandise, Money};
+pub use negotiation::{negotiate, BuyerPolicy, ConcessionStrategy, Outcome, SellerPolicy};
+pub use seller::{SellerAgent, SELLER_TYPE};
+pub use terms::TermVector;

@@ -1,0 +1,318 @@
+//! Merchandise: money, category taxonomy, items and catalogs.
+//!
+//! The paper's Seller Server *"integrat\[es\] and catalog\[s\] merchandise"*
+//! (§3.2). Items live in a two-level category taxonomy matching the
+//! profile presentation of Fig 4.4 (`Category` / `Sub_Category`), and
+//! carry a weighted term description used by content matching.
+
+use crate::terms::TermVector;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Money in integer cents — exact arithmetic, no float drift in prices.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(pub u64);
+
+impl Money {
+    /// From whole currency units.
+    pub fn from_units(units: u64) -> Self {
+        Money(units * 100)
+    }
+
+    /// Cents.
+    pub fn cents(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Money) -> Money {
+        Money(self.0.saturating_sub(other.0))
+    }
+
+    /// Price scaled by a factor (rounded to nearest cent, saturating).
+    pub fn scale(self, factor: f64) -> Money {
+        let v = (self.0 as f64 * factor).round().max(0.0);
+        Money(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}.{:02}", self.0 / 100, self.0 % 100)
+    }
+}
+
+impl std::ops::Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::iter::Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money(0), |a, b| a + b)
+    }
+}
+
+/// A two-level category path: `Category / Sub_Category` (Fig 4.4).
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CategoryPath {
+    /// Main category (e.g. `"books"`).
+    pub category: String,
+    /// Sub category (e.g. `"programming"`).
+    pub sub_category: String,
+}
+
+impl CategoryPath {
+    /// Construct from the two levels.
+    pub fn new(category: impl Into<String>, sub_category: impl Into<String>) -> Self {
+        CategoryPath { category: category.into(), sub_category: sub_category.into() }
+    }
+
+    /// `"category/sub_category"` form used as an index key.
+    pub fn as_key(&self) -> String {
+        format!("{}/{}", self.category, self.sub_category)
+    }
+}
+
+impl fmt::Display for CategoryPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.category, self.sub_category)
+    }
+}
+
+/// Identifier of a merchandise item, unique per catalog ecosystem.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ItemId(pub u64);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item-{}", self.0)
+    }
+}
+
+/// One merchandise item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Merchandise {
+    /// Stable item id.
+    pub id: ItemId,
+    /// Display name.
+    pub name: String,
+    /// Taxonomy position.
+    pub category: CategoryPath,
+    /// Weighted description terms (drives content matching).
+    pub terms: TermVector,
+    /// Seller's list price.
+    pub list_price: Money,
+    /// Identifier of the seller server offering the item.
+    pub seller: u32,
+}
+
+impl Merchandise {
+    /// Keyword match score against a free-text query: fraction of query
+    /// keywords present in the name or terms, weighted by term weight.
+    pub fn keyword_score(&self, keywords: &[String]) -> f64 {
+        if keywords.is_empty() {
+            return 0.0;
+        }
+        let name_lower = self.name.to_lowercase();
+        let mut score = 0.0;
+        for kw in keywords {
+            let kw = kw.to_lowercase();
+            if name_lower.contains(&kw) {
+                score += 1.0;
+            }
+            score += self.terms.weight(&kw);
+        }
+        score / keywords.len() as f64
+    }
+}
+
+/// An ordered collection of merchandise with category and keyword search.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    items: BTreeMap<ItemId, Merchandise>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace an item.
+    pub fn add(&mut self, item: Merchandise) {
+        self.items.insert(item.id, item);
+    }
+
+    /// Item by id.
+    pub fn get(&self, id: ItemId) -> Option<&Merchandise> {
+        self.items.get(&id)
+    }
+
+    /// Remove an item.
+    pub fn remove(&mut self, id: ItemId) -> Option<Merchandise> {
+        self.items.remove(&id)
+    }
+
+    /// All items in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Merchandise> {
+        self.items.values()
+    }
+
+    /// Items in the given main category.
+    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a Merchandise> {
+        self.items.values().filter(move |m| m.category.category == category)
+    }
+
+    /// Items under the full category path.
+    pub fn by_path<'a>(&'a self, path: &'a CategoryPath) -> impl Iterator<Item = &'a Merchandise> {
+        self.items.values().filter(move |m| &m.category == path)
+    }
+
+    /// Keyword search: items scoring above zero, best first, capped at
+    /// `limit`.
+    pub fn search(&self, keywords: &[String], limit: usize) -> Vec<&Merchandise> {
+        let mut scored: Vec<(&Merchandise, f64)> = self
+            .items
+            .values()
+            .map(|m| (m, m.keyword_score(keywords)))
+            .filter(|(_, s)| *s > 0.0)
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.id.cmp(&b.0.id))
+        });
+        scored.into_iter().take(limit).map(|(m, _)| m).collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Merge all of `other`'s items into `self` (seller integration).
+    pub fn merge(&mut self, other: &Catalog) {
+        for item in other.iter() {
+            self.add(item.clone());
+        }
+    }
+
+    /// Distinct main categories present, in order.
+    pub fn categories(&self) -> Vec<&str> {
+        let mut cats: Vec<&str> =
+            self.items.values().map(|m| m.category.category.as_str()).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        cats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: u64, name: &str, cat: &str, sub: &str, price: u64) -> Merchandise {
+        Merchandise {
+            id: ItemId(id),
+            name: name.into(),
+            category: CategoryPath::new(cat, sub),
+            terms: TermVector::from_pairs([(name.to_lowercase(), 1.0), (sub.to_string(), 0.5)]),
+            list_price: Money::from_units(price),
+            seller: 1,
+        }
+    }
+
+    #[test]
+    fn money_displays_cents() {
+        assert_eq!(Money(12345).to_string(), "$123.45");
+        assert_eq!(Money(5).to_string(), "$0.05");
+    }
+
+    #[test]
+    fn money_arithmetic_saturates() {
+        assert_eq!(Money(10) + Money(5), Money(15));
+        assert_eq!(Money(10).saturating_sub(Money(50)), Money(0));
+        assert_eq!(Money(100).scale(0.5), Money(50));
+        assert_eq!(Money(100).scale(-1.0), Money(0));
+    }
+
+    #[test]
+    fn money_sums() {
+        let total: Money = [Money(1), Money(2), Money(3)].into_iter().sum();
+        assert_eq!(total, Money(6));
+    }
+
+    #[test]
+    fn category_path_key_is_two_level() {
+        let p = CategoryPath::new("books", "programming");
+        assert_eq!(p.as_key(), "books/programming");
+        assert_eq!(p.to_string(), "books/programming");
+    }
+
+    #[test]
+    fn catalog_search_ranks_by_keyword_score() {
+        let mut c = Catalog::new();
+        c.add(item(1, "Rust Book", "books", "programming", 30));
+        c.add(item(2, "Cookbook", "books", "cooking", 20));
+        c.add(item(3, "Rust Mug", "kitchen", "mugs", 10));
+        let hits = c.search(&["rust".to_string()], 10);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|m| m.name.to_lowercase().contains("rust")));
+        // limit respected
+        assert_eq!(c.search(&["rust".to_string()], 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_keywords_match_nothing() {
+        let mut c = Catalog::new();
+        c.add(item(1, "Rust Book", "books", "programming", 30));
+        assert!(c.search(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn category_filters_work() {
+        let mut c = Catalog::new();
+        c.add(item(1, "A", "books", "programming", 30));
+        c.add(item(2, "B", "books", "cooking", 20));
+        c.add(item(3, "C", "kitchen", "mugs", 10));
+        assert_eq!(c.by_category("books").count(), 2);
+        let path = CategoryPath::new("books", "cooking");
+        assert_eq!(c.by_path(&path).count(), 1);
+        assert_eq!(c.categories(), vec!["books", "kitchen"]);
+    }
+
+    #[test]
+    fn merge_integrates_catalogs() {
+        let mut a = Catalog::new();
+        a.add(item(1, "A", "books", "x", 1));
+        let mut b = Catalog::new();
+        b.add(item(2, "B", "books", "x", 2));
+        b.add(item(1, "A2", "books", "x", 3)); // overrides
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(ItemId(1)).unwrap().name, "A2");
+    }
+
+    #[test]
+    fn keyword_score_counts_name_and_terms() {
+        let m = item(1, "Rust Book", "books", "programming", 30);
+        assert!(m.keyword_score(&["rust".to_string()]) >= 1.0);
+        assert!(m.keyword_score(&["programming".to_string()]) > 0.0);
+        assert_eq!(m.keyword_score(&["zzz".to_string()]), 0.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! The Seller Server agent.
+//!
+//! Paper §3.2: *"Seller Server stands for the seller and merchandise
+//! provider. The seller server's function contains integrating and
+//! cataloging merchandise."* The [`SellerAgent`] owns a catalog of
+//! listings and pushes it to marketplaces via [`kinds::CATALOG_SYNC`]; a
+//! `restock` message adds listings later and re-syncs.
+
+use crate::merchandise::{ItemId, Money};
+use crate::protocol::{kinds, AuctionOpen, CatalogSync, Listing};
+use agentsim::agent::{Agent, Ctx};
+use agentsim::ids::AgentId;
+use agentsim::message::Message;
+use serde::{Deserialize, Serialize};
+
+/// Agent-type tag of [`SellerAgent`].
+pub const SELLER_TYPE: &str = "seller";
+
+/// Message kind understood by the seller in addition to the platform
+/// protocol: add listings and re-sync marketplaces.
+pub const RESTOCK: &str = "restock";
+
+/// Payload of a [`RESTOCK`] message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Restock {
+    /// Listings to add to the catalog.
+    pub listings: Vec<Listing>,
+}
+
+/// An auction the seller schedules on one of its listings at provisioning
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuctionPlan {
+    /// Listed item to put under the hammer.
+    pub item: ItemId,
+    /// Reserve price.
+    pub reserve: Money,
+    /// Minimum increment (open auctions).
+    pub increment: Money,
+    /// Duration in simulated microseconds.
+    pub duration_us: u64,
+    /// Sealed-bid (Vickrey) instead of open ascending.
+    pub sealed: bool,
+}
+
+/// The seller server agent. Static; safe to snapshot.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SellerAgent {
+    /// Seller identifier stamped on every listing.
+    seller_id: u32,
+    name: String,
+    listings: Vec<Listing>,
+    /// Marketplace agents to provision.
+    marketplaces: Vec<AgentId>,
+    acks: u32,
+    /// Auctions to open once the catalog is acknowledged.
+    #[serde(default)]
+    planned_auctions: Vec<AuctionPlan>,
+}
+
+impl SellerAgent {
+    /// Create a seller with an initial catalog and target marketplaces.
+    /// The catalog is pushed on creation.
+    pub fn new(
+        seller_id: u32,
+        name: impl Into<String>,
+        listings: Vec<Listing>,
+        marketplaces: Vec<AgentId>,
+    ) -> Self {
+        let mut listings = listings;
+        for l in &mut listings {
+            l.item.seller = seller_id;
+        }
+        SellerAgent {
+            seller_id,
+            name: name.into(),
+            listings,
+            marketplaces,
+            acks: 0,
+            planned_auctions: Vec::new(),
+        }
+    }
+
+    /// Schedule auctions to open on every marketplace once the catalog
+    /// sync is acknowledged.
+    pub fn with_auctions(mut self, auctions: Vec<AuctionPlan>) -> Self {
+        self.planned_auctions = auctions;
+        self
+    }
+
+    /// Number of catalog-sync acknowledgements received.
+    pub fn acks(&self) -> u32 {
+        self.acks
+    }
+
+    /// Current catalog size.
+    pub fn listing_count(&self) -> usize {
+        self.listings.len()
+    }
+
+    fn sync_all(&self, ctx: &mut Ctx<'_>) {
+        for market in &self.marketplaces {
+            let sync = Message::new(kinds::CATALOG_SYNC)
+                .with_payload(&CatalogSync {
+                    seller: self.seller_id,
+                    listings: self.listings.clone(),
+                })
+                .expect("catalog sync serializes");
+            ctx.send(*market, sync);
+        }
+        ctx.note(format!(
+            "seller {} synced {} listings to {} marketplaces",
+            self.name,
+            self.listings.len(),
+            self.marketplaces.len()
+        ));
+    }
+}
+
+impl Agent for SellerAgent {
+    fn agent_type(&self) -> &'static str {
+        SELLER_TYPE
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("seller state serializes")
+    }
+
+    fn on_creation(&mut self, ctx: &mut Ctx<'_>) {
+        self.sync_all(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        match msg.kind.as_str() {
+            kinds::CATALOG_ACK => {
+                self.acks += 1;
+                // the marketplace now has the listings; open any planned
+                // auctions there
+                let plans = std::mem::take(&mut self.planned_auctions);
+                if !plans.is_empty() {
+                    let Some(market) = msg.from else {
+                        return;
+                    };
+                    for plan in &plans {
+                        let open = Message::new(kinds::AUCTION_OPEN)
+                            .with_payload(&AuctionOpen {
+                                item: plan.item,
+                                reserve: plan.reserve,
+                                increment: plan.increment,
+                                duration_us: plan.duration_us,
+                                sealed: plan.sealed,
+                            })
+                            .expect("auction open serializes");
+                        ctx.send(market, open);
+                    }
+                    ctx.note(format!(
+                        "seller {} opened {} auctions at {market}",
+                        self.name,
+                        plans.len()
+                    ));
+                }
+            }
+            RESTOCK => {
+                if let Ok(restock) = msg.payload_as::<Restock>() {
+                    let mut listings = restock.listings;
+                    for l in &mut listings {
+                        l.item.seller = self.seller_id;
+                    }
+                    self.listings.extend(listings);
+                    self.sync_all(ctx);
+                }
+            }
+            other => {
+                ctx.note(format!("seller {}: unhandled kind {other}", self.name));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marketplace::{MarketplaceAgent, MARKETPLACE_TYPE};
+    use crate::merchandise::{CategoryPath, ItemId, Merchandise, Money};
+    use crate::terms::TermVector;
+    use agentsim::sim::SimWorld;
+
+    fn listing(id: u64, name: &str) -> Listing {
+        Listing {
+            item: Merchandise {
+                id: ItemId(id),
+                name: name.into(),
+                category: CategoryPath::new("books", "misc"),
+                terms: TermVector::from_pairs([(name.to_lowercase(), 1.0)]),
+                list_price: Money::from_units(10),
+                seller: 0,
+            },
+            reservation: Money::from_units(7),
+            concession: 0.1,
+        }
+    }
+
+    #[test]
+    fn seller_provisions_marketplaces_on_creation() {
+        let mut w = SimWorld::new(3);
+        w.registry_mut().register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
+        w.registry_mut().register_serde::<SellerAgent>(SELLER_TYPE);
+        let mh = w.add_host("market");
+        let sh = w.add_host("seller");
+        let market = w.create_agent(mh, Box::new(MarketplaceAgent::new("m"))).unwrap();
+        let seller = w
+            .create_agent(
+                sh,
+                Box::new(SellerAgent::new(
+                    7,
+                    "s",
+                    vec![listing(1, "A"), listing(2, "B")],
+                    vec![market],
+                )),
+            )
+            .unwrap();
+        w.run_until_idle();
+        let m: MarketplaceAgent =
+            serde_json::from_value(w.snapshot_of(market).unwrap()).unwrap();
+        assert_eq!(m.listing_count(), 2);
+        let s: SellerAgent = serde_json::from_value(w.snapshot_of(seller).unwrap()).unwrap();
+        assert_eq!(s.acks(), 1);
+    }
+
+    #[test]
+    fn restock_adds_listings_and_resyncs() {
+        let mut w = SimWorld::new(3);
+        w.registry_mut().register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
+        w.registry_mut().register_serde::<SellerAgent>(SELLER_TYPE);
+        let mh = w.add_host("market");
+        let sh = w.add_host("seller");
+        let market = w.create_agent(mh, Box::new(MarketplaceAgent::new("m"))).unwrap();
+        let seller = w
+            .create_agent(
+                sh,
+                Box::new(SellerAgent::new(7, "s", vec![listing(1, "A")], vec![market])),
+            )
+            .unwrap();
+        w.run_until_idle();
+        w.send_external(
+            seller,
+            Message::new(RESTOCK)
+                .with_payload(&Restock { listings: vec![listing(2, "B")] })
+                .unwrap(),
+        )
+        .unwrap();
+        w.run_until_idle();
+        let m: MarketplaceAgent =
+            serde_json::from_value(w.snapshot_of(market).unwrap()).unwrap();
+        assert_eq!(m.listing_count(), 2);
+        let s: SellerAgent = serde_json::from_value(w.snapshot_of(seller).unwrap()).unwrap();
+        assert_eq!(s.listing_count(), 2);
+        assert_eq!(s.acks(), 2);
+    }
+
+    #[test]
+    fn seller_stamps_its_id_on_listings() {
+        let s = SellerAgent::new(42, "s", vec![listing(1, "A")], vec![]);
+        assert_eq!(s.listings[0].item.seller, 42);
+    }
+
+    #[test]
+    fn planned_auctions_open_after_catalog_ack() {
+        use crate::merchandise::Money;
+        let mut w = SimWorld::new(4);
+        w.registry_mut().register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
+        w.registry_mut().register_serde::<SellerAgent>(SELLER_TYPE);
+        let mh = w.add_host("market");
+        let sh = w.add_host("seller");
+        let market = w.create_agent(mh, Box::new(MarketplaceAgent::new("m"))).unwrap();
+        w.create_agent(
+            sh,
+            Box::new(
+                SellerAgent::new(7, "s", vec![listing(1, "A")], vec![market]).with_auctions(
+                    vec![super::AuctionPlan {
+                        item: ItemId(1),
+                        reserve: Money::from_units(5),
+                        increment: Money::from_units(1),
+                        duration_us: 60_000_000,
+                        sealed: false,
+                    }],
+                ),
+            ),
+        )
+        .unwrap();
+        // deliver the sync + ack + auction-open, but not the 60s deadline
+        w.run_for(agentsim::clock::SimDuration::from_millis(50));
+        assert!(
+            w.trace().events().iter().any(|e| e.label.contains("auction opened on item-1")),
+            "the marketplace must have opened the planned auction"
+        );
+        assert!(w
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.label.contains("seller s opened 1 auctions")));
+    }
+}

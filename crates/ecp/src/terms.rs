@@ -1,0 +1,258 @@
+//! Weighted term vectors.
+//!
+//! Profiles (paper Fig 4.4) and merchandise descriptions are both bags of
+//! weighted terms; the similarity algorithm (Fig 4.5, quoting Middleton
+//! \[10\]) compares them. [`TermVector`] is that shared representation:
+//! a sparse map from term to non-negative weight.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sparse vector of non-negative term weights.
+///
+/// ```
+/// use ecp::terms::TermVector;
+///
+/// let mut a = TermVector::new();
+/// a.set("rust", 1.0);
+/// a.set("book", 0.5);
+/// let mut b = TermVector::new();
+/// b.set("rust", 0.8);
+/// assert!(a.cosine(&b) > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TermVector {
+    weights: BTreeMap<String, f64>,
+}
+
+impl TermVector {
+    /// Empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(term, weight)` pairs; non-positive weights are
+    /// dropped, duplicate terms accumulate.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let mut v = TermVector::new();
+        for (t, w) in pairs {
+            v.add(t.into(), w);
+        }
+        v
+    }
+
+    /// Set the weight of `term` (removing it if `weight <= 0`).
+    pub fn set(&mut self, term: impl Into<String>, weight: f64) {
+        let term = term.into();
+        if weight > 0.0 {
+            self.weights.insert(term, weight);
+        } else {
+            self.weights.remove(&term);
+        }
+    }
+
+    /// Add `delta` to the weight of `term`, clamping at zero.
+    pub fn add(&mut self, term: impl Into<String>, delta: f64) {
+        let term = term.into();
+        let w = self.weights.get(&term).copied().unwrap_or(0.0) + delta;
+        self.set(term, w);
+    }
+
+    /// Weight of `term` (0 if absent).
+    pub fn weight(&self, term: &str) -> f64 {
+        self.weights.get(term).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate `(term, weight)` in term order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.weights.iter().map(|(t, w)| (t.as_str(), *w))
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the vector has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.weights.values().map(|w| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Dot product with `other`.
+    pub fn dot(&self, other: &TermVector) -> f64 {
+        // iterate the smaller map
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .weights
+            .iter()
+            .map(|(t, w)| w * large.weight(t))
+            .sum()
+    }
+
+    /// Cosine similarity in `[0, 1]` (weights are non-negative). Zero if
+    /// either vector is empty.
+    pub fn cosine(&self, other: &TermVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(0.0, 1.0)
+        }
+    }
+
+    /// `self += factor * other` (Middleton-style profile feedback step).
+    pub fn add_scaled(&mut self, other: &TermVector, factor: f64) {
+        for (t, w) in &other.weights {
+            self.add(t.clone(), w * factor);
+        }
+    }
+
+    /// Scale all weights by `factor` (used for interest decay).
+    pub fn scale(&mut self, factor: f64) {
+        if factor <= 0.0 {
+            self.weights.clear();
+            return;
+        }
+        for w in self.weights.values_mut() {
+            *w *= factor;
+        }
+    }
+
+    /// Keep only the `k` heaviest terms (ties broken by term order).
+    pub fn truncate_top(&mut self, k: usize) {
+        if self.weights.len() <= k {
+            return;
+        }
+        let mut entries: Vec<(String, f64)> =
+            self.weights.iter().map(|(t, w)| (t.clone(), *w)).collect();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        entries.truncate(k);
+        self.weights = entries.into_iter().collect();
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.values().sum()
+    }
+
+    /// The heaviest `k` terms as `(term, weight)`, heaviest first.
+    pub fn top_terms(&self, k: usize) -> Vec<(&str, f64)> {
+        let mut entries: Vec<(&str, f64)> = self.iter().collect();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        entries.truncate(k);
+        entries
+    }
+}
+
+impl fmt::Display for TermVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (t, w)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}: {w:.3}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_weight_round_trip() {
+        let mut v = TermVector::new();
+        v.set("a", 1.0);
+        v.add("a", 0.5);
+        assert!((v.weight("a") - 1.5).abs() < 1e-12);
+        assert_eq!(v.weight("missing"), 0.0);
+    }
+
+    #[test]
+    fn nonpositive_weights_are_removed() {
+        let mut v = TermVector::new();
+        v.set("a", 1.0);
+        v.add("a", -2.0);
+        assert!(v.is_empty());
+        v.set("b", -1.0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn cosine_is_one_for_parallel_and_zero_for_disjoint() {
+        let a = TermVector::from_pairs([("x", 2.0), ("y", 4.0)]);
+        let b = TermVector::from_pairs([("x", 1.0), ("y", 2.0)]);
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-9);
+        let c = TermVector::from_pairs([("z", 1.0)]);
+        assert_eq!(a.cosine(&c), 0.0);
+        assert_eq!(a.cosine(&TermVector::new()), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_symmetric() {
+        let a = TermVector::from_pairs([("x", 1.0), ("y", 3.0)]);
+        let b = TermVector::from_pairs([("y", 2.0), ("z", 1.0)]);
+        assert!((a.cosine(&b) - b.cosine(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut profile = TermVector::from_pairs([("books", 1.0)]);
+        let doc = TermVector::from_pairs([("books", 0.5), ("rust", 1.0)]);
+        profile.add_scaled(&doc, 0.2);
+        assert!((profile.weight("books") - 1.1).abs() < 1e-12);
+        assert!((profile.weight("rust") - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_decays_or_clears() {
+        let mut v = TermVector::from_pairs([("a", 2.0)]);
+        v.scale(0.5);
+        assert!((v.weight("a") - 1.0).abs() < 1e-12);
+        v.scale(0.0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn truncate_keeps_heaviest() {
+        let mut v = TermVector::from_pairs([("a", 1.0), ("b", 3.0), ("c", 2.0)]);
+        v.truncate_top(2);
+        assert_eq!(v.len(), 2);
+        assert!(v.weight("b") > 0.0 && v.weight("c") > 0.0);
+        assert_eq!(v.weight("a"), 0.0);
+    }
+
+    #[test]
+    fn top_terms_orders_by_weight() {
+        let v = TermVector::from_pairs([("a", 1.0), ("b", 3.0), ("c", 2.0)]);
+        let top: Vec<&str> = v.top_terms(2).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(top, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn duplicate_pairs_accumulate() {
+        let v = TermVector::from_pairs([("a", 1.0), ("a", 2.0)]);
+        assert!((v.weight("a") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty_for_empty_vector() {
+        assert_eq!(TermVector::new().to_string(), "{}");
+    }
+}

@@ -1,0 +1,20 @@
+//! # eval — metrics and experiment harness
+//!
+//! The measurement side of the reproduction:
+//!
+//! * [`metrics`] — precision/recall/F1/NDCG/hit-rate at k, MAE/RMSE,
+//!   coverage and intra-list diversity;
+//! * [`harness`] — store construction from behaviour histories, held-out
+//!   splits, batch evaluation and printable [`harness::Table`]s;
+//! * [`sweep`] — the parameter sweeps behind experiments E5 (profile
+//!   convergence), E6 (sparsity & cold-start) and E10 (ablations).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+pub mod metrics;
+pub mod sweep;
+
+pub use harness::{build_store, evaluate, split_history, EvalResult, Table};
+pub use sweep::{make_workload, SweepSpec, Workload};

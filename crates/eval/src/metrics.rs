@@ -1,0 +1,226 @@
+//! Ranking and rating metrics.
+//!
+//! Standard recommender evaluation: precision/recall/F1 at k, average
+//! precision, NDCG, hit rate, MAE/RMSE for rating prediction, catalog
+//! coverage and intra-list (category) diversity.
+
+use ecp::merchandise::ItemId;
+use std::collections::BTreeSet;
+
+/// Precision@k: fraction of the top-k that is relevant.
+pub fn precision_at_k(ranked: &[ItemId], relevant: &BTreeSet<ItemId>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let top: Vec<&ItemId> = ranked.iter().take(k).collect();
+    if top.is_empty() {
+        return 0.0;
+    }
+    let hits = top.iter().filter(|i| relevant.contains(**i)).count();
+    hits as f64 / top.len() as f64
+}
+
+/// Recall@k: fraction of the relevant set found in the top-k.
+pub fn recall_at_k(ranked: &[ItemId], relevant: &BTreeSet<ItemId>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|i| relevant.contains(*i)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// F1@k: harmonic mean of precision@k and recall@k.
+pub fn f1_at_k(ranked: &[ItemId], relevant: &BTreeSet<ItemId>, k: usize) -> f64 {
+    let p = precision_at_k(ranked, relevant, k);
+    let r = recall_at_k(ranked, relevant, k);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Hit rate@k: 1 if any relevant item appears in the top-k.
+pub fn hit_at_k(ranked: &[ItemId], relevant: &BTreeSet<ItemId>, k: usize) -> f64 {
+    if ranked.iter().take(k).any(|i| relevant.contains(i)) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Average precision over the full ranking (AP; mean over users = MAP).
+pub fn average_precision(ranked: &[ItemId], relevant: &BTreeSet<ItemId>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, item) in ranked.iter().enumerate() {
+        if relevant.contains(item) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// NDCG@k with binary relevance.
+pub fn ndcg_at_k(ranked: &[ItemId], relevant: &BTreeSet<ItemId>, k: usize) -> f64 {
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, i)| relevant.contains(*i))
+        .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
+    let ideal_hits = relevant.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Mean absolute error of rating predictions.
+pub fn mae(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|(p, a)| (p - a).abs()).sum::<f64>() / pairs.len() as f64
+}
+
+/// Root-mean-square error of rating predictions.
+pub fn rmse(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    (pairs.iter().map(|(p, a)| (p - a).powi(2)).sum::<f64>() / pairs.len() as f64).sqrt()
+}
+
+/// Catalog coverage: fraction of the catalog that appears in at least
+/// one of the recommendation lists.
+pub fn coverage(lists: &[Vec<ItemId>], catalog_size: usize) -> f64 {
+    if catalog_size == 0 {
+        return 0.0;
+    }
+    let distinct: BTreeSet<ItemId> = lists.iter().flatten().copied().collect();
+    distinct.len() as f64 / catalog_size as f64
+}
+
+/// Intra-list diversity: mean fraction of *distinct* labels (e.g.
+/// categories) within each list. 1.0 = every item from a different
+/// label.
+pub fn intra_list_diversity(label_lists: &[Vec<String>]) -> f64 {
+    if label_lists.is_empty() {
+        return 0.0;
+    }
+    let per_list: f64 = label_lists
+        .iter()
+        .map(|labels| {
+            if labels.is_empty() {
+                return 0.0;
+            }
+            let distinct: BTreeSet<&String> = labels.iter().collect();
+            distinct.len() as f64 / labels.len() as f64
+        })
+        .sum();
+    per_list / label_lists.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[u64]) -> Vec<ItemId> {
+        ids.iter().map(|i| ItemId(*i)).collect()
+    }
+
+    fn relevant(ids: &[u64]) -> BTreeSet<ItemId> {
+        ids.iter().map(|i| ItemId(*i)).collect()
+    }
+
+    #[test]
+    fn precision_counts_hits_in_top_k() {
+        let ranked = items(&[1, 2, 3, 4]);
+        let rel = relevant(&[1, 3, 9]);
+        assert!((precision_at_k(&ranked, &rel, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&ranked, &rel, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_k(&ranked, &rel, 0), 0.0);
+        assert_eq!(precision_at_k(&[], &rel, 3), 0.0);
+    }
+
+    #[test]
+    fn recall_normalizes_by_relevant_size() {
+        let ranked = items(&[1, 2, 3]);
+        let rel = relevant(&[1, 3, 9, 10]);
+        assert!((recall_at_k(&ranked, &rel, 3) - 0.5).abs() < 1e-12);
+        assert_eq!(recall_at_k(&ranked, &BTreeSet::new(), 3), 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let ranked = items(&[1, 2]);
+        let rel = relevant(&[1]);
+        let p = precision_at_k(&ranked, &rel, 2); // 0.5
+        let r = recall_at_k(&ranked, &rel, 2); // 1.0
+        let f1 = f1_at_k(&ranked, &rel, 2);
+        assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        assert_eq!(f1_at_k(&items(&[5]), &rel, 1), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_binary() {
+        let rel = relevant(&[7]);
+        assert_eq!(hit_at_k(&items(&[1, 7]), &rel, 2), 1.0);
+        assert_eq!(hit_at_k(&items(&[1, 7]), &rel, 1), 0.0);
+    }
+
+    #[test]
+    fn average_precision_rewards_early_hits() {
+        let rel = relevant(&[1, 2]);
+        let early = average_precision(&items(&[1, 2, 3]), &rel);
+        let late = average_precision(&items(&[3, 1, 2]), &rel);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-12, "perfect ranking has AP 1: {early}");
+    }
+
+    #[test]
+    fn ndcg_is_one_for_ideal_ranking() {
+        let rel = relevant(&[1, 2]);
+        assert!((ndcg_at_k(&items(&[1, 2, 3]), &rel, 3) - 1.0).abs() < 1e-12);
+        let worse = ndcg_at_k(&items(&[3, 1, 2]), &rel, 3);
+        assert!(worse < 1.0 && worse > 0.0);
+        assert_eq!(ndcg_at_k(&items(&[1]), &BTreeSet::new(), 3), 0.0);
+    }
+
+    #[test]
+    fn mae_rmse_basics() {
+        let pairs = [(1.0, 0.0), (0.0, 1.0)];
+        assert!((mae(&pairs) - 1.0).abs() < 1e-12);
+        assert!((rmse(&pairs) - 1.0).abs() < 1e-12);
+        assert_eq!(mae(&[]), 0.0);
+        assert_eq!(rmse(&[]), 0.0);
+        // rmse penalizes outliers more
+        let pairs = [(2.0, 0.0), (0.0, 0.0)];
+        assert!(rmse(&pairs) > mae(&pairs));
+    }
+
+    #[test]
+    fn coverage_counts_distinct_recommended_items() {
+        let lists = vec![items(&[1, 2]), items(&[2, 3])];
+        assert!((coverage(&lists, 10) - 0.3).abs() < 1e-12);
+        assert_eq!(coverage(&lists, 0), 0.0);
+    }
+
+    #[test]
+    fn diversity_rewards_distinct_labels() {
+        let lists = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["a".to_string(), "a".to_string()],
+        ];
+        assert!((intra_list_diversity(&lists) - 0.75).abs() < 1e-12);
+        assert_eq!(intra_list_diversity(&[]), 0.0);
+    }
+}

@@ -1,0 +1,612 @@
+//! Parameter sweeps for the E5/E6/E10 experiments.
+//!
+//! Each sweep builds fresh workloads at every parameter point (same
+//! seed ⇒ same workload), evaluates the configured recommenders, and
+//! returns one [`Table`] ready to print — the exact series EXPERIMENTS.md
+//! reports.
+
+use crate::harness::{build_store, evaluate, EvalResult, Table};
+use abcrm_core::learning::{BehaviorKind, LearnerConfig, ProfileLearner};
+use abcrm_core::profile::{ConsumerId, Profile};
+use abcrm_core::recommend::{
+    CfRecommender, ContentRecommender, HybridRecommender, RandomRecommender, Recommender,
+    TopSellerRecommender,
+};
+use abcrm_core::similarity::SimilarityConfig;
+use ecp::merchandise::ItemId;
+use ecp::protocol::Listing;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use workload::catalog::{generate_listings, CatalogSpec};
+use workload::population::{Population, PopulationSpec};
+use workload::taxonomy::{Taxonomy, TaxonomySpec};
+
+/// Workload shape shared by the sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Catalog size.
+    pub items: usize,
+    /// Population size.
+    pub consumers: usize,
+    /// Taste clusters.
+    pub clusters: usize,
+    /// Relevance-set size as a catalog fraction.
+    pub relevance_fraction: f64,
+    /// Recommendation list length.
+    pub k: usize,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            seed: 42,
+            items: 80,
+            consumers: 30,
+            clusters: 3,
+            relevance_fraction: 0.15,
+            k: 10,
+        }
+    }
+}
+
+/// Generated workload bundle.
+pub struct Workload {
+    /// The catalog.
+    pub listings: Vec<Listing>,
+    /// The population with ground truth.
+    pub population: Population,
+}
+
+/// Generate the workload for a spec.
+pub fn make_workload(spec: &SweepSpec) -> Workload {
+    let taxonomy = Taxonomy::generate(TaxonomySpec::default());
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let listings = generate_listings(
+        &taxonomy,
+        &CatalogSpec { items: spec.items, ..CatalogSpec::default() },
+        1,
+        &mut rng,
+    );
+    let population = Population::generate(
+        &PopulationSpec {
+            consumers: spec.consumers,
+            clusters: spec.clusters,
+            ..PopulationSpec::default()
+        },
+        &listings,
+        &mut rng,
+    );
+    Workload { listings, population }
+}
+
+/// Ground-truth relevance minus what each consumer already owns — a
+/// recommender is only asked about items it is allowed to recommend.
+pub fn oracle_relevance(
+    w: &Workload,
+    store: &abcrm_core::store::RecommendStore,
+    fraction: f64,
+) -> BTreeMap<ConsumerId, BTreeSet<ItemId>> {
+    w.population
+        .consumers
+        .iter()
+        .map(|c| {
+            let owned = store.purchased_by(c.id);
+            let rel: BTreeSet<ItemId> = w
+                .population
+                .relevant_items(c.id, &w.listings, fraction)
+                .into_iter()
+                .filter(|i| !owned.contains(i))
+                .collect();
+            (c.id, rel)
+        })
+        .filter(|(_, rel)| !rel.is_empty())
+        .collect()
+}
+
+/// E6 (part 1): recommendation quality vs history density (the sparsity
+/// axis). Returns one table; rows are `(events/consumer, recommender,
+/// metrics…)`.
+pub fn sparsity_sweep(spec: &SweepSpec, densities: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E6: quality vs history density (sparsity sweep)",
+        &{
+            let mut cols = vec!["events/user", "sparsity"];
+            cols.extend(Table::eval_columns());
+            cols
+        },
+    );
+    let w = make_workload(spec);
+    for &density in densities {
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xD15EA5E);
+        let history = w.population.sample_history(&w.listings, density, &mut rng);
+        let store = build_store(&w.listings, &history);
+        let relevance = oracle_relevance(&w, &store, spec.relevance_fraction);
+        let sparsity = store.ratings().sparsity();
+        let results = run_all(&store, &relevance, spec.k);
+        for r in results {
+            let mut row = vec![density.to_string(), format!("{sparsity:.3}")];
+            row.extend(eval_cells(&r));
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// E6 (part 2): cold-start. Evaluates quality for (a) brand-new users
+/// with no history, and (b) established users against brand-new items
+/// that nobody has rated.
+pub fn cold_start_eval(spec: &SweepSpec, density: usize) -> Table {
+    let mut table = Table::new("E6: cold-start scenarios", &{
+        let mut cols = vec!["scenario"];
+        cols.extend(Table::eval_columns());
+        cols
+    });
+    let w = make_workload(spec);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xC01D);
+    // hold out the last 20% of consumers entirely (cold users)
+    let n_warm = w.population.consumers.len() * 8 / 10;
+    let warm: Vec<_> = w.population.consumers[..n_warm].to_vec();
+    let cold: Vec<_> = w.population.consumers[n_warm..].to_vec();
+    let warm_pop = Population { consumers: warm };
+    let history = warm_pop.sample_history(&w.listings, density, &mut rng);
+    let store = build_store(&w.listings, &history);
+
+    // (a) cold users: relevance exists, but no history in the store
+    let cold_relevance: BTreeMap<ConsumerId, BTreeSet<ItemId>> = cold
+        .iter()
+        .map(|c| (c.id, w.population.relevant_items(c.id, &w.listings, spec.relevance_fraction)))
+        .collect();
+    for r in run_all(&store, &cold_relevance, spec.k) {
+        let mut row = vec!["cold-user".to_string()];
+        row.extend(eval_cells(&r));
+        table.push_row(row);
+    }
+
+    // (b) cold items: the catalog gains a batch of brand-new items the
+    // history never touched (standard held-out-items protocol). Content
+    // information exists — ratings do not.
+    let n_established = w.listings.len() * 8 / 10;
+    let established = &w.listings[..n_established];
+    let new_items = &w.listings[n_established..];
+    let history = warm_pop.sample_history(established, density, &mut rng);
+    let mut store = build_store(established, &history);
+    for l in new_items {
+        store.upsert_item(l.item.clone());
+    }
+    let warm_cold_item_relevance: BTreeMap<ConsumerId, BTreeSet<ItemId>> = warm_pop
+        .consumers
+        .iter()
+        .map(|c| (c.id, w.population.relevant_items(c.id, new_items, 0.3)))
+        .filter(|(_, rel)| !rel.is_empty())
+        .collect();
+    for r in run_all(&store, &warm_cold_item_relevance, spec.k) {
+        let mut row = vec!["cold-item".to_string()];
+        row.extend(eval_cells(&r));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Build a [`Profile`] from a namespaced (`category/sub/term`)
+/// preference vector, e.g. to seed a declared registration profile.
+pub fn profile_from_preference(preference: &ecp::terms::TermVector) -> Profile {
+    let mut profile = Profile::new();
+    for (namespaced, w) in preference.iter() {
+        let mut parts = namespaced.splitn(3, '/');
+        let (Some(cat), Some(sub), Some(term)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        profile.category_mut(cat).sub_mut(sub).set(term, w);
+    }
+    profile
+}
+
+/// E5: learning-rate sensitivity — behaviour overriding a stale declared
+/// profile.
+///
+/// §2.2 contrasts knowledge-based profiles ("questionnaires and
+/// interviews") with behaviour-based ones. Here a consumer registered
+/// with a *stale* declared profile (a different cluster's taste) and
+/// then behaves according to their true taste. The Fig 4.5 rate α
+/// governs how fast behavioural evidence outweighs the fixed prior.
+/// (A pure Fig 4.5 stream from an *empty* profile is direction-wise
+/// α-invariant — α scales all weights equally — so the prior is what
+/// makes this experiment meaningful; the test suite pins both facts.)
+pub fn alpha_convergence(spec: &SweepSpec, alphas: &[f64], events: usize) -> Table {
+    let mut table = Table::new(
+        "E5: behaviour vs stale declared profile — alignment with true taste",
+        &["alpha", "25%", "50%", "75%", "100%"],
+    );
+    let w = make_workload(spec);
+    let truth = w.population.consumers[0].clone();
+    let stale = w
+        .population
+        .consumers
+        .iter()
+        .find(|c| c.cluster != truth.cluster)
+        .expect("at least two clusters")
+        .clone();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xA1FA);
+    let stream = Population { consumers: vec![truth.clone()] }
+        .sample_history(&w.listings, events, &mut rng);
+    let quarter = (stream.len() / 4).max(1);
+    for &alpha in alphas {
+        let learner = ProfileLearner::new(LearnerConfig { alpha, ..LearnerConfig::default() });
+        // registration seeded the *wrong* (stale) declared interests
+        let mut profile = profile_from_preference(&stale.preference);
+        let mut checkpoints = Vec::new();
+        for (i, (_, item, kind)) in stream.iter().enumerate() {
+            let event = abcrm_core::learning::BehaviorEvent::new(
+                *kind,
+                item.category.clone(),
+                item.terms.clone(),
+            );
+            learner.apply(&mut profile, &event);
+            if (i + 1) % quarter == 0 && checkpoints.len() < 4 {
+                checkpoints.push(profile.flatten().cosine(&truth.preference));
+            }
+        }
+        while checkpoints.len() < 4 {
+            checkpoints.push(*checkpoints.last().unwrap_or(&0.0));
+        }
+        table.push_row(vec![
+            format!("{alpha:.2}"),
+            format!("{:.3}", checkpoints[0]),
+            format!("{:.3}", checkpoints[1]),
+            format!("{:.3}", checkpoints[2]),
+            format!("{:.3}", checkpoints[3]),
+        ]);
+    }
+    table
+}
+
+/// E10: ablation of the similarity discard threshold and the hybrid
+/// collaborative weight.
+pub fn ablation(spec: &SweepSpec, density: usize) -> Table {
+    let mut table = Table::new("E10: ablation (threshold, collaborative weight)", &{
+        let mut cols = vec!["variant"];
+        cols.extend(Table::eval_columns());
+        cols
+    });
+    let w = make_workload(spec);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xAB1A);
+    let history = w.population.sample_history(&w.listings, density, &mut rng);
+    let store = build_store(&w.listings, &history);
+    let relevance = oracle_relevance(&w, &store, spec.relevance_fraction);
+
+    let mut variants: Vec<(String, HybridRecommender)> = Vec::new();
+    for threshold in [None, Some(2.0), Some(4.0), Some(8.0)] {
+        let label = match threshold {
+            None => "discard=off".to_string(),
+            Some(t) => format!("discard={t}"),
+        };
+        variants.push((
+            label,
+            HybridRecommender {
+                similarity: SimilarityConfig {
+                    discard_threshold: threshold,
+                    ..SimilarityConfig::default()
+                },
+                ..HybridRecommender::default()
+            },
+        ));
+    }
+    for cw in [0.0, 0.3, 0.7, 1.0] {
+        variants.push((
+            format!("cw={cw}"),
+            HybridRecommender { collaborative_weight: cw, ..HybridRecommender::default() },
+        ));
+    }
+    for (label, rec) in &variants {
+        let results = evaluate(&store, &relevance, &[rec as &dyn Recommender], spec.k);
+        let mut row = vec![label.clone()];
+        row.extend(eval_cells(&results[0]));
+        table.push_row(row);
+    }
+    table
+}
+
+/// E6 (part 3): rating-prediction accuracy. Per-user, the last few
+/// observed ratings are held out; user-kNN predicts them; MAE/RMSE are
+/// reported against the held-out implied ratings, across the density
+/// axis.
+pub fn prediction_accuracy(spec: &SweepSpec, densities: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E6: rating prediction accuracy (user-kNN) vs density",
+        &["events/user", "sparsity", "pairs", "MAE", "RMSE", "unpredictable"],
+    );
+    let w = make_workload(spec);
+    for &density in densities {
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xACC);
+        let history = w.population.sample_history(&w.listings, density, &mut rng);
+        let (train, test) = crate::harness::split_history(&history, 2);
+        let store = build_store(&w.listings, &train);
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        let mut unpredictable = 0usize;
+        for (consumer, items) in &test {
+            for item in items {
+                // held-out purchases imply rating 1.0
+                let actual = 1.0;
+                match store.ratings().predict(*consumer, *item, 20, 2) {
+                    Some(p) => pairs.push((p, actual)),
+                    None => unpredictable += 1,
+                }
+            }
+        }
+        table.push_row(vec![
+            density.to_string(),
+            format!("{:.3}", store.ratings().sparsity()),
+            pairs.len().to_string(),
+            format!("{:.3}", crate::metrics::mae(&pairs)),
+            format!("{:.3}", crate::metrics::rmse(&pairs)),
+            unpredictable.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Run the standard recommender set.
+pub fn run_all(
+    store: &abcrm_core::store::RecommendStore,
+    relevance: &BTreeMap<ConsumerId, BTreeSet<ItemId>>,
+    k: usize,
+) -> Vec<EvalResult> {
+    let hybrid = HybridRecommender::default();
+    let cf = CfRecommender::default();
+    let item_cf = abcrm_core::itemcf::ItemCfRecommender::default();
+    let content = ContentRecommender;
+    let top = TopSellerRecommender;
+    let random = RandomRecommender { seed: 7 };
+    let recs: Vec<&dyn Recommender> =
+        vec![&hybrid, &cf, &item_cf, &content, &top, &random];
+    evaluate(store, relevance, &recs, k)
+}
+
+fn eval_cells(r: &EvalResult) -> Vec<String> {
+    vec![
+        r.name.clone(),
+        format!("{:.3}", r.precision),
+        format!("{:.3}", r.recall),
+        format!("{:.3}", r.f1),
+        format!("{:.3}", r.ndcg),
+        format!("{:.3}", r.hit_rate),
+        format!("{:.3}", r.coverage),
+        format!("{:.3}", r.diversity),
+        format!("{}/{}", r.served_users, r.total_users),
+    ]
+}
+
+/// Mark a purchase-like behaviour (helper shared by benches).
+pub fn is_strong(kind: BehaviorKind) -> bool {
+    matches!(kind, BehaviorKind::Purchase | BehaviorKind::AuctionWin)
+}
+
+/// Multi-seed replication: run the standard recommender comparison at a
+/// fixed density across several seeds and report mean ± sample std-dev
+/// per recommender — the confidence companion to the single-seed E6
+/// tables.
+pub fn replicated_quality(spec: &SweepSpec, seeds: &[u64], density: usize) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E6: replicated quality over {} seeds (density {density})",
+            seeds.len()
+        ),
+        &["recommender", "f1 mean", "f1 std", "recall mean", "recall std", "ndcg mean"],
+    );
+    type MetricSamples = (Vec<f64>, Vec<f64>, Vec<f64>); // (f1, recall, ndcg)
+    let mut samples: BTreeMap<String, MetricSamples> = BTreeMap::new();
+    for &seed in seeds {
+        let run_spec = SweepSpec { seed, ..*spec };
+        let w = make_workload(&run_spec);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let history = w.population.sample_history(&w.listings, density, &mut rng);
+        let store = build_store(&w.listings, &history);
+        let relevance = oracle_relevance(&w, &store, spec.relevance_fraction);
+        for r in run_all(&store, &relevance, spec.k) {
+            let entry = samples.entry(r.name).or_default();
+            entry.0.push(r.f1);
+            entry.1.push(r.recall);
+            entry.2.push(r.ndcg);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let std = |v: &[f64]| {
+        if v.len() < 2 {
+            return 0.0;
+        }
+        let m = mean(v);
+        (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (v.len() - 1) as f64).sqrt()
+    };
+    for (name, (f1s, recalls, ndcgs)) in samples {
+        table.push_row(vec![
+            name,
+            format!("{:.3}", mean(&f1s)),
+            format!("{:.3}", std(&f1s)),
+            format!("{:.3}", mean(&recalls)),
+            format!("{:.3}", std(&recalls)),
+            format!("{:.3}", mean(&ndcgs)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec { items: 40, consumers: 12, ..SweepSpec::default() }
+    }
+
+    #[test]
+    fn sparsity_sweep_produces_rows_per_density_and_recommender() {
+        let table = sparsity_sweep(&small_spec(), &[3, 10]);
+        assert_eq!(table.rows.len(), 2 * 6);
+        // denser history must not be sparser
+        let s_low: f64 = table.rows[0][1].parse().unwrap();
+        let s_high: f64 = table.rows[5][1].parse().unwrap();
+        assert!(s_high <= s_low, "more events/user lowers sparsity: {s_low} -> {s_high}");
+    }
+
+    #[test]
+    fn denser_history_helps_the_hybrid_and_cf() {
+        // precision across densities is ceiling-limited (purchased items
+        // leave the relevance set), so compare recall@k
+        let table = sparsity_sweep(&small_spec(), &[1, 20]);
+        let recall_of = |name: &str, row_block: usize| -> f64 {
+            table
+                .rows
+                .iter()
+                .filter(|r| r[2] == name)
+                .nth(row_block)
+                .map(|r| r[4].parse().unwrap())
+                .unwrap()
+        };
+        let hybrid_sparse = recall_of("hybrid-abcrm", 0);
+        let hybrid_dense = recall_of("hybrid-abcrm", 1);
+        assert!(
+            hybrid_dense >= hybrid_sparse,
+            "hybrid recall must grow with data: {hybrid_sparse} -> {hybrid_dense}"
+        );
+        let cf_sparse = recall_of("cf-knn", 0);
+        let cf_dense = recall_of("cf-knn", 1);
+        assert!(
+            cf_dense > cf_sparse,
+            "CF must recover as sparsity falls (§2.3): {cf_sparse} -> {cf_dense}"
+        );
+        // and the hybrid dominates the unpersonalized baseline when dense
+        let top_dense = recall_of("top-seller", 1);
+        assert!(hybrid_dense > top_dense);
+    }
+
+    #[test]
+    fn cold_start_table_shows_cf_failing_on_cold_items() {
+        let table = cold_start_eval(&small_spec(), 12);
+        let cf_cold_item: Vec<&Vec<String>> = table
+            .rows
+            .iter()
+            .filter(|r| r[0] == "cold-item" && r[1] == "cf-knn")
+            .collect();
+        assert_eq!(cf_cold_item.len(), 1);
+        let prec: f64 = cf_cold_item[0][2].parse().unwrap();
+        assert_eq!(prec, 0.0, "CF cannot hit unrated items (§2.3 cold-start)");
+        // content-based IF must do better than CF on cold items
+        let if_cold: f64 = table
+            .rows
+            .iter()
+            .find(|r| r[0] == "cold-item" && r[1] == "content-if")
+            .unwrap()[2]
+            .parse()
+            .unwrap();
+        assert!(if_cold >= prec);
+    }
+
+    #[test]
+    fn alpha_convergence_improves_with_stream_position() {
+        let table = alpha_convergence(&small_spec(), &[0.3], 40);
+        let row = &table.rows[0];
+        let q1: f64 = row[1].parse().unwrap();
+        let q4: f64 = row[4].parse().unwrap();
+        assert!(q4 >= q1, "profile must converge toward the truth: {q1} -> {q4}");
+        assert!(q4 > 0.3, "final alignment should be substantial: {q4}");
+    }
+
+    #[test]
+    fn higher_alpha_overrides_the_stale_prior_faster() {
+        let table = alpha_convergence(&small_spec(), &[0.01, 0.3], 40);
+        // by mid-stream, a healthy alpha has moved well past the stale
+        // prior while a tiny alpha is still anchored to it
+        let slow_mid: f64 = table.rows[0][2].parse().unwrap();
+        let fast_mid: f64 = table.rows[1][2].parse().unwrap();
+        assert!(
+            fast_mid > slow_mid + 0.05,
+            "alpha=0.3 must clearly outpace alpha=0.01 by 50%: {fast_mid} vs {slow_mid}"
+        );
+    }
+
+    #[test]
+    fn fig_4_5_updates_from_empty_profile_are_direction_invariant_in_alpha() {
+        // mathematical property the E5 design leans on: without a prior,
+        // alpha scales every weight equally, so the flattened direction
+        // (and hence cosine similarity) is identical across alphas
+        use abcrm_core::learning::{BehaviorEvent, BehaviorKind};
+        use ecp::merchandise::CategoryPath;
+        use ecp::terms::TermVector;
+        let events: Vec<BehaviorEvent> = (0..20)
+            .map(|i| {
+                BehaviorEvent::new(
+                    if i % 2 == 0 { BehaviorKind::Purchase } else { BehaviorKind::Query },
+                    CategoryPath::new("c", "s"),
+                    TermVector::from_pairs([(format!("t{}", i % 5), 1.0 + i as f64 * 0.1)]),
+                )
+            })
+            .collect();
+        let mut flats = Vec::new();
+        for alpha in [0.1, 0.9] {
+            let learner =
+                ProfileLearner::new(LearnerConfig { alpha, ..LearnerConfig::default() });
+            let mut p = Profile::new();
+            learner.apply_all(&mut p, &events);
+            flats.push(p.flatten());
+        }
+        assert!(
+            (flats[0].cosine(&flats[1]) - 1.0).abs() < 1e-9,
+            "directions must coincide regardless of alpha"
+        );
+    }
+
+    #[test]
+    fn prediction_accuracy_improves_with_density() {
+        let table = prediction_accuracy(&small_spec(), &[3, 25]);
+        assert_eq!(table.rows.len(), 2);
+        let unpredictable_sparse: usize = table.rows[0][5].parse().unwrap();
+        let unpredictable_dense: usize = table.rows[1][5].parse().unwrap();
+        // a denser matrix leaves fewer unpredictable holdouts (the §2.3
+        // sparsity story in MAE form)
+        assert!(
+            unpredictable_dense <= unpredictable_sparse,
+            "{unpredictable_sparse} -> {unpredictable_dense}"
+        );
+        let pairs_dense: usize = table.rows[1][2].parse().unwrap();
+        assert!(pairs_dense > 0, "dense run must predict something");
+        let mae_dense: f64 = table.rows[1][3].parse().unwrap();
+        assert!(mae_dense < 0.6, "predictions should beat random guessing: {mae_dense}");
+    }
+
+    #[test]
+    fn replication_reports_stable_rankings() {
+        let table = replicated_quality(&small_spec(), &[1, 2, 3], 10);
+        assert_eq!(table.rows.len(), 6, "one row per recommender");
+        let row = |name: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("row {name} missing"))
+        };
+        let hybrid_f1: f64 = row("hybrid-abcrm")[1].parse().unwrap();
+        let random_f1: f64 = row("random")[1].parse().unwrap();
+        assert!(
+            hybrid_f1 > random_f1 + 0.1,
+            "hybrid must dominate random across seeds: {hybrid_f1} vs {random_f1}"
+        );
+        // std-devs are finite, non-negative numbers
+        for r in &table.rows {
+            let std: f64 = r[2].parse().unwrap();
+            assert!(std >= 0.0 && std.is_finite());
+        }
+    }
+
+    #[test]
+    fn ablation_produces_all_variants() {
+        let table = ablation(&small_spec(), 8);
+        assert_eq!(table.rows.len(), 8);
+        let labels: Vec<&str> = table.rows.iter().map(|r| r[0].as_str()).collect();
+        assert!(labels.contains(&"discard=off"));
+        assert!(labels.contains(&"cw=0"));
+    }
+}

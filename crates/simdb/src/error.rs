@@ -1,0 +1,64 @@
+//! Error types for database operations.
+
+use std::fmt;
+
+/// Errors returned by simdb operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Insert with a key that is already present.
+    DuplicateKey(String),
+    /// Get/update/delete of an absent key.
+    MissingRow(String),
+    /// Lookup against an index name that was never registered.
+    UnknownIndex(String),
+    /// A table name was not found in the store.
+    UnknownTable(String),
+    /// (De)serialization of a row or log record failed.
+    Serialization(String),
+    /// The write-ahead log contains an undecodable record.
+    WalCorrupt {
+        /// Zero-based index of the corrupt record.
+        record: usize,
+        /// Decoder error description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            DbError::MissingRow(k) => write!(f, "missing row {k}"),
+            DbError::UnknownIndex(n) => write!(f, "unknown index `{n}`"),
+            DbError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
+            DbError::Serialization(e) => write!(f, "serialization failed: {e}"),
+            DbError::WalCorrupt { record, reason } => {
+                write!(f, "wal record {record} is corrupt: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        assert_eq!(DbError::DuplicateKey("u1".into()).to_string(), "duplicate key u1");
+        assert!(DbError::WalCorrupt { record: 3, reason: "eof".into() }
+            .to_string()
+            .contains("record 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<DbError>();
+    }
+}

@@ -1,0 +1,402 @@
+//! Typed in-memory tables with secondary indexes.
+//!
+//! A [`Table<K, V>`] stores rows ordered by primary key and maintains any
+//! number of named secondary indexes, each defined by an extractor that
+//! maps a row to the index keys it should appear under (multi-valued, so a
+//! consumer row can be indexed under every category it likes).
+
+use crate::error::{DbError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+type Extractor<V> = Box<dyn Fn(&V) -> Vec<String> + Send + Sync>;
+
+struct Index<K> {
+    map: BTreeMap<String, BTreeSet<K>>,
+}
+
+/// An ordered table keyed by `K` with secondary indexes.
+///
+/// ```
+/// use simdb::table::Table;
+///
+/// # fn main() -> Result<(), simdb::error::DbError> {
+/// let mut users: Table<u64, String> = Table::new("users");
+/// users.add_index("first-letter", |name: &String| {
+///     name.chars().next().map(|c| c.to_string()).into_iter().collect()
+/// });
+/// users.insert(1, "alice".to_string())?;
+/// users.insert(2, "bob".to_string())?;
+/// assert_eq!(users.lookup("first-letter", "a")?, vec![1]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Table<K, V> {
+    name: String,
+    rows: BTreeMap<K, V>,
+    extractors: BTreeMap<String, Extractor<V>>,
+    indexes: BTreeMap<String, Index<K>>,
+    /// Monotone version, bumped on every mutation. Lets caches detect
+    /// staleness cheaply.
+    version: u64,
+}
+
+impl<K, V> Table<K, V>
+where
+    K: Ord + Clone,
+{
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            rows: BTreeMap::new(),
+            extractors: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+            version: 0,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register a secondary index. Existing rows are indexed immediately.
+    pub fn add_index<F>(&mut self, index: impl Into<String>, extractor: F)
+    where
+        F: Fn(&V) -> Vec<String> + Send + Sync + 'static,
+    {
+        let index = index.into();
+        let mut map: BTreeMap<String, BTreeSet<K>> = BTreeMap::new();
+        for (k, v) in &self.rows {
+            for ik in extractor(v) {
+                map.entry(ik).or_default().insert(k.clone());
+            }
+        }
+        self.extractors.insert(index.clone(), Box::new(extractor));
+        self.indexes.insert(index, Index { map });
+    }
+
+    fn index_row(&mut self, key: &K, value: &V) {
+        for (name, extractor) in &self.extractors {
+            let idx = self.indexes.get_mut(name).expect("index exists for extractor");
+            for ik in extractor(value) {
+                idx.map.entry(ik).or_default().insert(key.clone());
+            }
+        }
+    }
+
+    fn unindex_row(&mut self, key: &K, value: &V) {
+        for (name, extractor) in &self.extractors {
+            let idx = self.indexes.get_mut(name).expect("index exists for extractor");
+            for ik in extractor(value) {
+                if let Some(set) = idx.map.get_mut(&ik) {
+                    set.remove(key);
+                    if set.is_empty() {
+                        idx.map.remove(&ik);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert a fresh row.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::DuplicateKey`] if the key is already present.
+    pub fn insert(&mut self, key: K, value: V) -> Result<()>
+    where
+        K: fmt::Debug,
+    {
+        if self.rows.contains_key(&key) {
+            return Err(DbError::DuplicateKey(format!("{key:?}")));
+        }
+        self.index_row(&key, &value);
+        self.rows.insert(key, value);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Insert or replace; returns the previous row if any.
+    pub fn upsert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(old) = self.rows.remove(&key) {
+            self.unindex_row(&key, &old);
+            self.index_row(&key, &value);
+            self.rows.insert(key, value);
+            self.version += 1;
+            Some(old)
+        } else {
+            self.index_row(&key, &value);
+            self.rows.insert(key, value);
+            self.version += 1;
+            None
+        }
+    }
+
+    /// Shared access to a row.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.rows.get(key)
+    }
+
+    /// Whether a key exists.
+    pub fn contains(&self, key: &K) -> bool {
+        self.rows.contains_key(key)
+    }
+
+    /// Apply `f` to the row at `key`, reindexing afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::MissingRow`] if absent.
+    pub fn update<F>(&mut self, key: &K, f: F) -> Result<()>
+    where
+        K: fmt::Debug,
+        F: FnOnce(&mut V),
+    {
+        let Some(mut value) = self.rows.remove(key) else {
+            return Err(DbError::MissingRow(format!("{key:?}")));
+        };
+        self.unindex_row(key, &value);
+        f(&mut value);
+        self.index_row(key, &value);
+        self.rows.insert(key.clone(), value);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Remove and return the row at `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let value = self.rows.remove(key)?;
+        self.unindex_row(key, &value);
+        self.version += 1;
+        Some(value)
+    }
+
+    /// Rows whose index entry under `index` equals `index_key`, in primary
+    /// key order.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownIndex`] if no such index was registered.
+    pub fn lookup(&self, index: &str, index_key: &str) -> Result<Vec<K>> {
+        let idx = self
+            .indexes
+            .get(index)
+            .ok_or_else(|| DbError::UnknownIndex(index.to_string()))?;
+        Ok(idx
+            .map
+            .get(index_key)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default())
+    }
+
+    /// All distinct index keys under `index`, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownIndex`] if no such index was registered.
+    pub fn index_keys(&self, index: &str) -> Result<Vec<&str>> {
+        let idx = self
+            .indexes
+            .get(index)
+            .ok_or_else(|| DbError::UnknownIndex(index.to_string()))?;
+        Ok(idx.map.keys().map(|s| s.as_str()).collect())
+    }
+
+    /// Iterate rows in primary-key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.rows.iter()
+    }
+
+    /// Rows satisfying `pred`, in primary-key order.
+    pub fn select<'a, P>(&'a self, pred: P) -> impl Iterator<Item = (&'a K, &'a V)>
+    where
+        P: Fn(&V) -> bool + 'a,
+    {
+        self.rows.iter().filter(move |(_, v)| pred(v))
+    }
+
+    /// Rows with keys in `range`, in order.
+    pub fn range<R>(&self, range: R) -> impl Iterator<Item = (&K, &V)>
+    where
+        R: std::ops::RangeBounds<K>,
+    {
+        self.rows.range(range)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Monotone mutation counter.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Verify every index agrees with a full scan; used by property tests.
+    ///
+    /// Returns the first inconsistency found, as a description.
+    pub fn check_index_consistency(&self) -> std::result::Result<(), String> {
+        for (name, extractor) in &self.extractors {
+            let idx = &self.indexes[name];
+            // every indexed key must match a scan
+            let mut expected: BTreeMap<String, BTreeSet<K>> = BTreeMap::new();
+            for (k, v) in &self.rows {
+                for ik in extractor(v) {
+                    expected.entry(ik).or_default().insert(k.clone());
+                }
+            }
+            if expected != idx.map {
+                return Err(format!("index `{name}` disagrees with scan"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, V: fmt::Debug> fmt::Debug for Table<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("rows", &self.rows.len())
+            .field("indexes", &self.indexes.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct User {
+        name: String,
+        likes: Vec<String>,
+    }
+
+    fn table() -> Table<u64, User> {
+        let mut t = Table::new("users");
+        t.add_index("likes", |u: &User| u.likes.clone());
+        t
+    }
+
+    fn user(name: &str, likes: &[&str]) -> User {
+        User { name: name.into(), likes: likes.iter().map(|s| s.to_string()).collect() }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = table();
+        t.insert(1, user("alice", &["books"])).unwrap();
+        assert_eq!(t.get(&1).unwrap().name, "alice");
+        assert!(t.contains(&1));
+        let removed = t.remove(&1).unwrap();
+        assert_eq!(removed.name, "alice");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut t = table();
+        t.insert(1, user("a", &[])).unwrap();
+        assert!(matches!(t.insert(1, user("b", &[])), Err(DbError::DuplicateKey(_))));
+        assert_eq!(t.get(&1).unwrap().name, "a");
+    }
+
+    #[test]
+    fn multi_valued_index_lookup() {
+        let mut t = table();
+        t.insert(1, user("alice", &["books", "music"])).unwrap();
+        t.insert(2, user("bob", &["music"])).unwrap();
+        assert_eq!(t.lookup("likes", "music").unwrap(), vec![1, 2]);
+        assert_eq!(t.lookup("likes", "books").unwrap(), vec![1]);
+        assert!(t.lookup("likes", "cars").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_index_errors() {
+        let t = table();
+        assert!(matches!(t.lookup("nope", "x"), Err(DbError::UnknownIndex(_))));
+    }
+
+    #[test]
+    fn update_reindexes() {
+        let mut t = table();
+        t.insert(1, user("alice", &["books"])).unwrap();
+        t.update(&1, |u| u.likes = vec!["cars".into()]).unwrap();
+        assert!(t.lookup("likes", "books").unwrap().is_empty());
+        assert_eq!(t.lookup("likes", "cars").unwrap(), vec![1]);
+        t.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_missing_row_errors() {
+        let mut t = table();
+        assert!(matches!(t.update(&9, |_| {}), Err(DbError::MissingRow(_))));
+    }
+
+    #[test]
+    fn upsert_replaces_and_reindexes() {
+        let mut t = table();
+        t.insert(1, user("alice", &["books"])).unwrap();
+        let old = t.upsert(1, user("alice2", &["music"]));
+        assert_eq!(old.unwrap().name, "alice");
+        assert_eq!(t.lookup("likes", "music").unwrap(), vec![1]);
+        assert!(t.lookup("likes", "books").unwrap().is_empty());
+        assert!(t.upsert(2, user("bob", &[])).is_none());
+    }
+
+    #[test]
+    fn remove_cleans_indexes() {
+        let mut t = table();
+        t.insert(1, user("alice", &["books"])).unwrap();
+        t.remove(&1);
+        assert!(t.lookup("likes", "books").unwrap().is_empty());
+        assert!(t.index_keys("likes").unwrap().is_empty());
+        t.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn add_index_covers_existing_rows() {
+        let mut t: Table<u64, User> = Table::new("users");
+        t.insert(1, user("alice", &["books"])).unwrap();
+        t.add_index("likes", |u: &User| u.likes.clone());
+        assert_eq!(t.lookup("likes", "books").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn select_and_range_filter_rows() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(i, user(&format!("u{i}"), &[])).unwrap();
+        }
+        assert_eq!(t.select(|u| u.name.ends_with('3')).count(), 1);
+        assert_eq!(t.range(2..5).count(), 3);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut t = table();
+        let v0 = t.version();
+        t.insert(1, user("a", &[])).unwrap();
+        t.update(&1, |u| u.name.push('x')).unwrap();
+        t.upsert(1, user("b", &[]));
+        t.remove(&1);
+        assert_eq!(t.version(), v0 + 4);
+    }
+
+    #[test]
+    fn index_keys_lists_distinct_values() {
+        let mut t = table();
+        t.insert(1, user("a", &["x", "y"])).unwrap();
+        t.insert(2, user("b", &["y"])).unwrap();
+        assert_eq!(t.index_keys("likes").unwrap(), vec!["x", "y"]);
+    }
+}

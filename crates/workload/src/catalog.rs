@@ -1,0 +1,241 @@
+//! Synthetic merchandise catalogs.
+//!
+//! Items are placed on taxonomy leaves with Zipf-skewed leaf popularity
+//! (a few hot sub-categories carry most of the catalog, as real stores
+//! do), draw weighted terms from their leaf's vocabulary, and get
+//! log-uniform-ish prices. Output is [`Listing`]s ready to hand to seller
+//! servers.
+
+use crate::taxonomy::Taxonomy;
+use ecp::merchandise::{ItemId, Merchandise, Money};
+use ecp::protocol::Listing;
+use ecp::terms::TermVector;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Shape of a generated catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogSpec {
+    /// Number of items.
+    pub items: usize,
+    /// Zipf skew over taxonomy leaves (0 = uniform).
+    pub zipf_s: f64,
+    /// Terms sampled per item.
+    pub terms_per_item: usize,
+    /// Minimum price in whole units.
+    pub price_min: u64,
+    /// Maximum price in whole units.
+    pub price_max: u64,
+    /// Seller reservation as a fraction of list price.
+    pub reservation_fraction: f64,
+    /// Per-round seller concession in negotiation.
+    pub concession: f64,
+}
+
+impl Default for CatalogSpec {
+    fn default() -> Self {
+        CatalogSpec {
+            items: 100,
+            zipf_s: 1.0,
+            terms_per_item: 4,
+            price_min: 5,
+            price_max: 200,
+            reservation_fraction: 0.7,
+            concession: 0.1,
+        }
+    }
+}
+
+/// Sample an index in `[0, n)` from a Zipf(s) distribution.
+pub fn zipf_index(rng: &mut StdRng, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    if s <= 0.0 {
+        return rng.gen_range(0..n);
+    }
+    let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+    let mut target = rng.gen::<f64>() * norm;
+    for k in 1..=n {
+        target -= 1.0 / (k as f64).powf(s);
+        if target <= 0.0 {
+            return k - 1;
+        }
+    }
+    n - 1
+}
+
+/// Generate `spec.items` listings over `taxonomy`, with ids starting at
+/// `first_id`.
+pub fn generate_listings(
+    taxonomy: &Taxonomy,
+    spec: &CatalogSpec,
+    first_id: u64,
+    rng: &mut StdRng,
+) -> Vec<Listing> {
+    let leaves = taxonomy.leaf_count();
+    (0..spec.items)
+        .map(|i| {
+            let id = first_id + i as u64;
+            let leaf = zipf_index(rng, leaves, spec.zipf_s);
+            let (cat, sub) = taxonomy.leaf(leaf);
+            let mut terms = TermVector::new();
+            for _ in 0..spec.terms_per_item {
+                let t = &sub.vocabulary[rng.gen_range(0..sub.vocabulary.len())];
+                terms.add(t.clone(), 0.5 + rng.gen::<f64>());
+            }
+            let name = format!("{}-item{:04}", sub.name, id);
+            terms.add(name.clone(), 1.0);
+            let price_units = rng.gen_range(spec.price_min..=spec.price_max);
+            let list_price = Money::from_units(price_units);
+            Listing {
+                item: Merchandise {
+                    id: ItemId(id),
+                    name,
+                    category: ecp::merchandise::CategoryPath::new(
+                        cat.name.clone(),
+                        sub.name.clone(),
+                    ),
+                    terms,
+                    list_price,
+                    seller: 0,
+                },
+                reservation: list_price.scale(spec.reservation_fraction.clamp(0.0, 1.0)),
+                concession: spec.concession,
+            }
+        })
+        .collect()
+}
+
+/// Split listings round-robin across `n` marketplaces (every marketplace
+/// gets a disjoint slice of the catalog).
+pub fn split_across_markets(listings: Vec<Listing>, n: usize) -> Vec<Vec<Listing>> {
+    let mut out: Vec<Vec<Listing>> = (0..n.max(1)).map(|_| Vec::new()).collect();
+    for (i, l) in listings.into_iter().enumerate() {
+        out[i % n.max(1)].push(l);
+    }
+    out
+}
+
+/// Duplicate the same listings to every marketplace, with per-market
+/// price jitter — the multi-marketplace price-discovery scenario (E7).
+pub fn replicate_with_price_jitter(
+    listings: &[Listing],
+    n: usize,
+    jitter: f64,
+    rng: &mut StdRng,
+) -> Vec<Vec<Listing>> {
+    (0..n)
+        .map(|_| {
+            listings
+                .iter()
+                .map(|l| {
+                    let factor = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+                    let mut l2 = l.clone();
+                    l2.item.list_price = l.item.list_price.scale(factor.max(0.05));
+                    l2.reservation = l2.item.list_price.scale(0.7);
+                    l2
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::TaxonomySpec;
+    use rand::SeedableRng;
+
+    fn taxonomy() -> Taxonomy {
+        Taxonomy::generate(TaxonomySpec::default())
+    }
+
+    #[test]
+    fn generates_requested_number_with_unique_ids() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let listings =
+            generate_listings(&taxonomy(), &CatalogSpec::default(), 100, &mut rng);
+        assert_eq!(listings.len(), 100);
+        let mut ids: Vec<u64> = listings.iter().map(|l| l.item.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+        assert_eq!(ids[0], 100);
+    }
+
+    #[test]
+    fn prices_respect_bounds_and_reservation_below_list() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = CatalogSpec { price_min: 10, price_max: 20, ..CatalogSpec::default() };
+        for l in generate_listings(&taxonomy(), &spec, 1, &mut rng) {
+            assert!(l.item.list_price >= Money::from_units(10));
+            assert!(l.item.list_price <= Money::from_units(20));
+            assert!(l.reservation <= l.item.list_price);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_leaf_popularity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[zipf_index(&mut rng, 10, 1.2)] += 1;
+        }
+        assert!(
+            counts[0] > counts[9] * 4,
+            "head leaf must dominate tail: {counts:?}"
+        );
+        // uniform when s = 0
+        let mut counts = vec![0u32; 4];
+        for _ in 0..8_000 {
+            counts[zipf_index(&mut rng, 4, 0.0)] += 1;
+        }
+        for c in counts {
+            assert!(c > 1_500, "uniform sampling should balance: {c}");
+        }
+    }
+
+    #[test]
+    fn split_across_markets_is_disjoint_and_complete() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let listings = generate_listings(&taxonomy(), &CatalogSpec::default(), 1, &mut rng);
+        let split = split_across_markets(listings.clone(), 3);
+        assert_eq!(split.len(), 3);
+        let total: usize = split.iter().map(|v| v.len()).sum();
+        assert_eq!(total, listings.len());
+        let mut all_ids: Vec<u64> = split
+            .iter()
+            .flat_map(|v| v.iter().map(|l| l.item.id.0))
+            .collect();
+        all_ids.sort_unstable();
+        all_ids.dedup();
+        assert_eq!(all_ids.len(), listings.len());
+    }
+
+    #[test]
+    fn replicate_jitters_prices_but_keeps_items() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = CatalogSpec { items: 10, ..CatalogSpec::default() };
+        let listings = generate_listings(&taxonomy(), &spec, 1, &mut rng);
+        let markets = replicate_with_price_jitter(&listings, 4, 0.2, &mut rng);
+        assert_eq!(markets.len(), 4);
+        for m in &markets {
+            assert_eq!(m.len(), 10);
+        }
+        // at least one item must differ in price across markets
+        let differs = (0..10).any(|i| {
+            let p0 = markets[0][i].item.list_price;
+            markets.iter().any(|m| m[i].item.list_price != p0)
+        });
+        assert!(differs, "jitter must create price differences");
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let t = taxonomy();
+        let spec = CatalogSpec::default();
+        let a = generate_listings(&t, &spec, 1, &mut StdRng::seed_from_u64(9));
+        let b = generate_listings(&t, &spec, 1, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,29 @@
+//! # workload — synthetic data and session generators
+//!
+//! The paper evaluates nothing quantitatively and names no dataset, so
+//! every experiment in this reproduction runs on synthetic workloads
+//! (documented as a substitution in `DESIGN.md`):
+//!
+//! * [`taxonomy`] — deterministic two-level category taxonomy matching
+//!   the profile presentation of Fig 4.4;
+//! * [`catalog`] — merchandise listings with Zipf leaf popularity and
+//!   per-marketplace splitting / price-jittered replication;
+//! * [`population`] — consumers with latent taste clusters, ground-truth
+//!   affinity, relevance sets, and behaviour-history sampling with
+//!   controllable density (the §2.3 sparsity axis);
+//! * [`session`] — browser-level shopping sessions over a live
+//!   [`abcrm_core::server::Platform`], measuring conversion, order size
+//!   and recommendation satisfaction (the §2.3 commerce-effect claims).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod population;
+pub mod session;
+pub mod taxonomy;
+
+pub use catalog::{generate_listings, split_across_markets, CatalogSpec};
+pub use population::{ConsumerTruth, Population, PopulationSpec};
+pub use session::{run_population_sessions, run_session, CommerceReport, SessionConfig};
+pub use taxonomy::{Taxonomy, TaxonomySpec};

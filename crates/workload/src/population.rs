@@ -1,0 +1,337 @@
+//! Synthetic consumer populations with latent taste clusters.
+//!
+//! Each cluster is a prototype preference over taxonomy leaves and terms;
+//! consumers are noisy copies of their cluster's prototype. The
+//! prototype is the **ground truth** experiments evaluate against: an
+//! item is *relevant* to a consumer when its true affinity ranks in the
+//! consumer's top fraction of the catalog. Behaviour histories (queries,
+//! purchases …) are sampled from the ground truth with a controllable
+//! density, which is how experiment E6 sweeps the §2.3 sparsity axis.
+
+use crate::catalog::zipf_index;
+use abcrm_core::learning::BehaviorKind;
+use abcrm_core::profile::ConsumerId;
+use ecp::merchandise::{ItemId, Merchandise};
+use ecp::protocol::Listing;
+use ecp::terms::TermVector;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Shape of a generated population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Number of consumers.
+    pub consumers: usize,
+    /// Number of latent taste clusters.
+    pub clusters: usize,
+    /// Taxonomy leaves each cluster favours.
+    pub leaves_per_cluster: usize,
+    /// Noise amplitude on individual preferences (0 = clones).
+    pub noise: f64,
+}
+
+impl Default for PopulationSpec {
+    fn default() -> Self {
+        PopulationSpec { consumers: 30, clusters: 3, leaves_per_cluster: 2, noise: 0.15 }
+    }
+}
+
+/// Ground truth for one consumer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerTruth {
+    /// Consumer id.
+    pub id: ConsumerId,
+    /// Cluster index.
+    pub cluster: usize,
+    /// True preference over namespaced terms (`category/sub/term`).
+    pub preference: TermVector,
+    /// Favoured `(category, sub)` keys.
+    pub favoured_leaves: Vec<String>,
+}
+
+impl ConsumerTruth {
+    /// True affinity of this consumer for an item: preference weight of
+    /// the item's leaf plus term overlap.
+    pub fn affinity(&self, item: &Merchandise) -> f64 {
+        let leaf_key = item.category.as_key();
+        let leaf_bonus = if self.favoured_leaves.contains(&leaf_key) { 1.0 } else { 0.0 };
+        let mut term_score = 0.0;
+        for (t, w) in item.terms.iter() {
+            let namespaced = format!(
+                "{}/{}/{}",
+                item.category.category, item.category.sub_category, t
+            );
+            term_score += w * self.preference.weight(&namespaced);
+        }
+        leaf_bonus + term_score
+    }
+
+    /// A query keyword this consumer would plausibly type: a term from a
+    /// favoured leaf's vocabulary.
+    pub fn sample_keyword(&self, rng: &mut StdRng) -> Option<String> {
+        let terms: Vec<&str> = self.preference.iter().map(|(t, _)| t).collect();
+        if terms.is_empty() {
+            return None;
+        }
+        let namespaced = terms[rng.gen_range(0..terms.len())];
+        // strip the "category/sub/" namespace to get the raw term
+        namespaced.rsplit('/').next().map(|s| s.to_string())
+    }
+}
+
+/// A generated population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    /// All consumers' ground truth.
+    pub consumers: Vec<ConsumerTruth>,
+}
+
+impl Population {
+    /// Generate a population over the leaves/vocabulary present in
+    /// `listings` (clusters favour leaves that actually have items).
+    pub fn generate(
+        spec: &PopulationSpec,
+        listings: &[Listing],
+        rng: &mut StdRng,
+    ) -> Population {
+        // collect distinct leaves with their term vocabularies from the
+        // catalog itself
+        let mut leaves: Vec<(String, Vec<String>)> = Vec::new();
+        for l in listings {
+            let key = l.item.category.as_key();
+            match leaves.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, vocab)) => {
+                    for (t, _) in l.item.terms.iter() {
+                        if !vocab.iter().any(|v| v == t) {
+                            vocab.push(t.to_string());
+                        }
+                    }
+                }
+                None => {
+                    leaves.push((
+                        key,
+                        l.item.terms.iter().map(|(t, _)| t.to_string()).collect(),
+                    ));
+                }
+            }
+        }
+        assert!(!leaves.is_empty(), "population needs a non-empty catalog");
+
+        // cluster prototypes
+        let mut prototypes: Vec<(Vec<usize>, TermVector)> = Vec::new();
+        for c in 0..spec.clusters.max(1) {
+            let mut chosen = BTreeSet::new();
+            // deterministic spread: cluster c starts at a distinct leaf,
+            // then adds zipf-sampled extras
+            chosen.insert(c * leaves.len() / spec.clusters.max(1) % leaves.len());
+            while chosen.len() < spec.leaves_per_cluster.min(leaves.len()) {
+                chosen.insert(zipf_index(rng, leaves.len(), 0.8));
+            }
+            let mut pref = TermVector::new();
+            for &leaf in &chosen {
+                let (key, vocab) = &leaves[leaf];
+                for t in vocab.iter().take(8) {
+                    pref.add(format!("{key}/{t}"), 0.5 + rng.gen::<f64>());
+                }
+            }
+            prototypes.push((chosen.into_iter().collect(), pref));
+        }
+
+        let consumers = (0..spec.consumers)
+            .map(|i| {
+                let cluster = i % prototypes.len();
+                let (leaf_idx, proto) = &prototypes[cluster];
+                let mut preference = proto.clone();
+                // individual noise
+                if spec.noise > 0.0 {
+                    let terms: Vec<String> =
+                        preference.iter().map(|(t, _)| t.to_string()).collect();
+                    for t in terms {
+                        let jitter = spec.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+                        preference.add(t, jitter);
+                    }
+                }
+                ConsumerTruth {
+                    id: ConsumerId(i as u64 + 1),
+                    cluster,
+                    preference,
+                    favoured_leaves: leaf_idx.iter().map(|&l| leaves[l].0.clone()).collect(),
+                }
+            })
+            .collect();
+        Population { consumers }
+    }
+
+    /// Ground truth of `consumer`, if generated.
+    pub fn truth(&self, consumer: ConsumerId) -> Option<&ConsumerTruth> {
+        self.consumers.iter().find(|c| c.id == consumer)
+    }
+
+    /// The top `fraction` of the catalog by true affinity — the
+    /// relevance set used by precision/recall.
+    pub fn relevant_items(
+        &self,
+        consumer: ConsumerId,
+        listings: &[Listing],
+        fraction: f64,
+    ) -> BTreeSet<ItemId> {
+        let Some(truth) = self.truth(consumer) else {
+            return BTreeSet::new();
+        };
+        let mut scored: Vec<(ItemId, f64)> = listings
+            .iter()
+            .map(|l| (l.item.id, truth.affinity(&l.item)))
+            .filter(|(_, a)| *a > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let k = ((listings.len() as f64 * fraction).ceil() as usize).max(1);
+        scored.into_iter().take(k).map(|(i, _)| i).collect()
+    }
+
+    /// Sample a behaviour history: each consumer interacts with
+    /// `events_per_consumer` items, biased toward high-affinity items;
+    /// high-affinity interactions become purchases, weaker ones queries
+    /// or browses. Density directly controls ratings-matrix sparsity.
+    pub fn sample_history(
+        &self,
+        listings: &[Listing],
+        events_per_consumer: usize,
+        rng: &mut StdRng,
+    ) -> Vec<(ConsumerId, Merchandise, BehaviorKind)> {
+        let mut events = Vec::new();
+        for truth in &self.consumers {
+            // rank items by affinity once per consumer
+            let mut scored: Vec<(&Listing, f64)> =
+                listings.iter().map(|l| (l, truth.affinity(&l.item))).collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for _ in 0..events_per_consumer {
+                // zipf over the affinity ranking: mostly loved items,
+                // occasionally exploration
+                let idx = zipf_index(rng, scored.len().clamp(1, 40), 1.1);
+                let (l, affinity) = scored[idx.min(scored.len() - 1)];
+                let kind = if affinity >= 1.0 && rng.gen::<f64>() < 0.7 {
+                    BehaviorKind::Purchase
+                } else if rng.gen::<f64>() < 0.5 {
+                    BehaviorKind::Browse
+                } else {
+                    BehaviorKind::Query
+                };
+                events.push((truth.id, l.item.clone(), kind));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{generate_listings, CatalogSpec};
+    use crate::taxonomy::{Taxonomy, TaxonomySpec};
+    use rand::SeedableRng;
+
+    fn listings() -> Vec<Listing> {
+        let taxonomy = Taxonomy::generate(TaxonomySpec::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        generate_listings(&taxonomy, &CatalogSpec::default(), 1, &mut rng)
+    }
+
+    fn population(ls: &[Listing]) -> Population {
+        let mut rng = StdRng::seed_from_u64(8);
+        Population::generate(&PopulationSpec::default(), ls, &mut rng)
+    }
+
+    #[test]
+    fn population_has_requested_size_and_clusters() {
+        let ls = listings();
+        let p = population(&ls);
+        assert_eq!(p.consumers.len(), 30);
+        let clusters: BTreeSet<usize> = p.consumers.iter().map(|c| c.cluster).collect();
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn cluster_mates_share_taste_more_than_strangers() {
+        let ls = listings();
+        let p = population(&ls);
+        let a = &p.consumers[0]; // cluster 0
+        let b = &p.consumers[3]; // cluster 0 (30 consumers, 3 clusters, i%3)
+        let c = &p.consumers[1]; // cluster 1
+        let sim_ab = a.preference.cosine(&b.preference);
+        let sim_ac = a.preference.cosine(&c.preference);
+        assert!(
+            sim_ab > sim_ac,
+            "cluster-mates must be more similar: {sim_ab} vs {sim_ac}"
+        );
+    }
+
+    #[test]
+    fn affinity_is_higher_on_favoured_leaves() {
+        let ls = listings();
+        let p = population(&ls);
+        let truth = &p.consumers[0];
+        let favoured: Vec<f64> = ls
+            .iter()
+            .filter(|l| truth.favoured_leaves.contains(&l.item.category.as_key()))
+            .map(|l| truth.affinity(&l.item))
+            .collect();
+        let other: Vec<f64> = ls
+            .iter()
+            .filter(|l| !truth.favoured_leaves.contains(&l.item.category.as_key()))
+            .map(|l| truth.affinity(&l.item))
+            .collect();
+        assert!(!favoured.is_empty() && !other.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&favoured) > mean(&other) + 0.5);
+    }
+
+    #[test]
+    fn relevant_items_fraction_bounds_set_size() {
+        let ls = listings();
+        let p = population(&ls);
+        let rel = p.relevant_items(ConsumerId(1), &ls, 0.1);
+        assert!(!rel.is_empty());
+        assert!(rel.len() <= (ls.len() / 10) + 1);
+        assert!(p.relevant_items(ConsumerId(999), &ls, 0.1).is_empty());
+    }
+
+    #[test]
+    fn history_is_biased_toward_relevant_items() {
+        let ls = listings();
+        let p = population(&ls);
+        let mut rng = StdRng::seed_from_u64(9);
+        let history = p.sample_history(&ls, 20, &mut rng);
+        assert_eq!(history.len(), 30 * 20);
+        let rel = p.relevant_items(ConsumerId(1), &ls, 0.2);
+        let mine: Vec<_> =
+            history.iter().filter(|(c, _, _)| *c == ConsumerId(1)).collect();
+        let hits = mine.iter().filter(|(_, m, _)| rel.contains(&m.id)).count();
+        assert!(
+            hits * 2 > mine.len(),
+            "most sampled events should touch relevant items: {hits}/{}",
+            mine.len()
+        );
+    }
+
+    #[test]
+    fn keywords_come_from_preference_vocabulary() {
+        let ls = listings();
+        let p = population(&ls);
+        let mut rng = StdRng::seed_from_u64(10);
+        let kw = p.consumers[0].sample_keyword(&mut rng).unwrap();
+        assert!(!kw.contains('/'), "keyword must be un-namespaced: {kw}");
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let ls = listings();
+        let spec = PopulationSpec::default();
+        let a = Population::generate(&spec, &ls, &mut StdRng::seed_from_u64(3));
+        let b = Population::generate(&spec, &ls, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

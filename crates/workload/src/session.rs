@@ -1,0 +1,435 @@
+//! Shopping-session simulation over a live [`Platform`].
+//!
+//! Drives the browser-level API (login → queries → purchase decisions →
+//! logout) using a consumer's ground-truth preferences to decide what to
+//! search for and what to buy. Experiment E9 uses the outcomes to
+//! quantify the §2.3 claims: browsers→buyers (conversion), cross-sell
+//! (order size) and loyalty (repeat visits driven by recommendation
+//! satisfaction).
+
+use crate::population::{ConsumerTruth, Population};
+use abcrm_core::agents::msg::ResponseBody;
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::server::Platform;
+use ecp::merchandise::{ItemId, Money};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Session behaviour parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Queries issued per session.
+    pub queries: usize,
+    /// Minimum true affinity for the consumer to buy an item they see.
+    pub buy_threshold: f64,
+    /// Probability of buying a sufficiently-liked raw offer.
+    pub buy_probability: f64,
+    /// Whether the consumer also considers the mechanism's
+    /// recommendations (off = query results only).
+    pub use_recommendations: bool,
+    /// Offers requested per query.
+    pub max_results: usize,
+    /// Haggle instead of paying list price: `Some(budget_factor)` makes
+    /// every purchase a negotiation with budget = list × factor (so
+    /// factors below the sellers' reservation fraction produce walk-aways).
+    pub negotiate_budget_factor: Option<f64>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            queries: 3,
+            buy_threshold: 1.0,
+            buy_probability: 0.8,
+            use_recommendations: true,
+            max_results: 5,
+            negotiate_budget_factor: None,
+        }
+    }
+}
+
+/// What happened in one session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// Queries issued.
+    pub queries: u32,
+    /// Items bought in total.
+    pub purchases: u32,
+    /// Purchases attributable to recommendations (item was recommended
+    /// but not among the raw offers of that query).
+    pub recommended_purchases: u32,
+    /// Money spent.
+    pub spent: Money,
+    /// Recommendations shown in total.
+    pub recommendations_shown: u32,
+    /// Shown recommendations that were truly relevant (affinity above
+    /// the buy threshold) — the satisfaction signal behind loyalty.
+    pub relevant_recommendations: u32,
+    /// Items bought.
+    pub items: Vec<ItemId>,
+    /// Purchases closed through negotiation.
+    pub negotiated_purchases: u32,
+    /// Negotiations that ended without a deal.
+    pub failed_negotiations: u32,
+}
+
+impl SessionOutcome {
+    /// Fraction of shown recommendations that were relevant (0 when none
+    /// were shown).
+    pub fn satisfaction(&self) -> f64 {
+        if self.recommendations_shown == 0 {
+            0.0
+        } else {
+            self.relevant_recommendations as f64 / self.recommendations_shown as f64
+        }
+    }
+
+    /// Whether the session converted (bought anything).
+    pub fn converted(&self) -> bool {
+        self.purchases > 0
+    }
+}
+
+/// Run one shopping session for `consumer`.
+pub fn run_session(
+    platform: &mut Platform,
+    truth: &ConsumerTruth,
+    config: &SessionConfig,
+    rng: &mut StdRng,
+) -> SessionOutcome {
+    let consumer = truth.id;
+    let mut outcome = SessionOutcome::default();
+    platform.login(consumer);
+    for _ in 0..config.queries {
+        let Some(keyword) = truth.sample_keyword(rng) else {
+            continue;
+        };
+        outcome.queries += 1;
+        let responses = platform.query(consumer, &[keyword.as_str()], config.max_results);
+        for response in responses {
+            let ResponseBody::Recommendations { offers, recommendations } = response else {
+                continue;
+            };
+            let offered: Vec<ItemId> = offers.iter().map(|o| o.item.id).collect();
+            // decide purchases among raw offers
+            for offer in &offers {
+                if outcome.items.contains(&offer.item.id) {
+                    continue;
+                }
+                let affinity = truth.affinity(&offer.item);
+                if affinity >= config.buy_threshold && rng.gen::<f64>() < config.buy_probability
+                {
+                    buy(
+                        platform,
+                        consumer,
+                        offer.item.id,
+                        offer.item.list_price,
+                        offer.marketplace,
+                        config,
+                        &mut outcome,
+                    );
+                }
+            }
+            // and among recommendations, if enabled
+            if config.use_recommendations {
+                for rec in &recommendations {
+                    outcome.recommendations_shown += 1;
+                    let affinity = truth.affinity(&rec.item);
+                    if affinity >= config.buy_threshold {
+                        outcome.relevant_recommendations += 1;
+                    }
+                    if outcome.items.contains(&rec.item.id) {
+                        continue;
+                    }
+                    if affinity >= config.buy_threshold
+                        && rng.gen::<f64>() < config.buy_probability
+                    {
+                        let was_offered = offered.contains(&rec.item.id);
+                        let market = platform
+                            .markets()
+                            .iter()
+                            .position(|_| true)
+                            .unwrap_or(0);
+                        // find which marketplace lists the item: try them
+                        // in order (the buy fails gracefully otherwise)
+                        let before = outcome.purchases;
+                        try_buy_anywhere(
+                            platform,
+                            consumer,
+                            rec.item.id,
+                            rec.item.list_price,
+                            config,
+                            &mut outcome,
+                        );
+                        if outcome.purchases > before && !was_offered {
+                            outcome.recommended_purchases += 1;
+                        }
+                        let _ = market;
+                    }
+                }
+            }
+        }
+    }
+    platform.logout(consumer);
+    outcome
+}
+
+fn buy_mode(config: &SessionConfig, list_price: Money) -> abcrm_core::agents::msg::BuyMode {
+    match config.negotiate_budget_factor {
+        None => abcrm_core::agents::msg::BuyMode::Direct,
+        Some(factor) => abcrm_core::agents::msg::BuyMode::Negotiate {
+            budget: list_price.scale(factor.max(0.01)),
+            opening_fraction: 0.6,
+            raise: 0.1,
+            max_rounds: 20,
+        },
+    }
+}
+
+fn record_buy_responses(
+    responses: Vec<ResponseBody>,
+    config: &SessionConfig,
+    outcome: &mut SessionOutcome,
+) -> bool {
+    let mut bought = false;
+    for r in responses {
+        match r {
+            ResponseBody::Receipt { item: item_bought, price, channel } => {
+                outcome.purchases += 1;
+                outcome.spent = outcome.spent + price;
+                outcome.items.push(item_bought.id);
+                if channel.contains("negotiated") {
+                    outcome.negotiated_purchases += 1;
+                }
+                bought = true;
+            }
+            ResponseBody::Error(_) if config.negotiate_budget_factor.is_some() => {
+                outcome.failed_negotiations += 1;
+            }
+            _ => {}
+        }
+    }
+    bought
+}
+
+fn buy(
+    platform: &mut Platform,
+    consumer: ConsumerId,
+    item: ItemId,
+    list_price: Money,
+    marketplace: agentsim::ids::HostId,
+    config: &SessionConfig,
+    outcome: &mut SessionOutcome,
+) {
+    let Some(index) = platform.markets().iter().position(|m| m.host == marketplace) else {
+        return;
+    };
+    let responses = platform.buy(consumer, item, index, buy_mode(config, list_price));
+    record_buy_responses(responses, config, outcome);
+}
+
+fn try_buy_anywhere(
+    platform: &mut Platform,
+    consumer: ConsumerId,
+    item: ItemId,
+    list_price: Money,
+    config: &SessionConfig,
+    outcome: &mut SessionOutcome,
+) {
+    for index in 0..platform.markets().len() {
+        let responses = platform.buy(consumer, item, index, buy_mode(config, list_price));
+        if record_buy_responses(responses, config, outcome) {
+            return;
+        }
+    }
+}
+
+/// Aggregate commerce effects over many sessions (E9's measurement).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommerceReport {
+    /// Sessions run.
+    pub sessions: u32,
+    /// Sessions that bought at least one item.
+    pub converted_sessions: u32,
+    /// Total purchases.
+    pub purchases: u32,
+    /// Purchases attributable to recommendations.
+    pub recommended_purchases: u32,
+    /// Total spend.
+    pub spent: Money,
+    /// Mean recommendation satisfaction.
+    pub mean_satisfaction: f64,
+}
+
+impl CommerceReport {
+    /// Conversion rate (browsers → buyers).
+    pub fn conversion_rate(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.converted_sessions as f64 / self.sessions as f64
+        }
+    }
+
+    /// Average order size in items per converted session (cross-sell).
+    pub fn average_order_size(&self) -> f64 {
+        if self.converted_sessions == 0 {
+            0.0
+        } else {
+            self.purchases as f64 / self.converted_sessions as f64
+        }
+    }
+}
+
+/// Run one session for every consumer in `population` and aggregate.
+pub fn run_population_sessions(
+    platform: &mut Platform,
+    population: &Population,
+    config: &SessionConfig,
+    rng: &mut StdRng,
+) -> CommerceReport {
+    let mut report = CommerceReport::default();
+    let mut satisfaction_sum = 0.0;
+    for truth in &population.consumers {
+        let outcome = run_session(platform, truth, config, rng);
+        report.sessions += 1;
+        if outcome.converted() {
+            report.converted_sessions += 1;
+        }
+        report.purchases += outcome.purchases;
+        report.recommended_purchases += outcome.recommended_purchases;
+        report.spent = report.spent + outcome.spent;
+        satisfaction_sum += outcome.satisfaction();
+    }
+    if report.sessions > 0 {
+        report.mean_satisfaction = satisfaction_sum / report.sessions as f64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{generate_listings, split_across_markets, CatalogSpec};
+    use crate::population::PopulationSpec;
+    use crate::taxonomy::{Taxonomy, TaxonomySpec};
+    use rand::SeedableRng;
+
+    fn setup() -> (Platform, Population) {
+        let taxonomy = Taxonomy::generate(TaxonomySpec {
+            categories: 3,
+            subs_per_category: 2,
+            terms_per_sub: 8,
+        });
+        let mut rng = StdRng::seed_from_u64(31);
+        let listings = generate_listings(
+            &taxonomy,
+            &CatalogSpec { items: 30, ..CatalogSpec::default() },
+            1,
+            &mut rng,
+        );
+        let population = Population::generate(
+            &PopulationSpec { consumers: 6, clusters: 2, ..PopulationSpec::default() },
+            &listings,
+            &mut rng,
+        );
+        let platform = Platform::builder(32)
+            .marketplaces(split_across_markets(listings, 2))
+            .build();
+        (platform, population)
+    }
+
+    #[test]
+    fn session_logs_in_queries_and_logs_out() {
+        let (mut platform, population) = setup();
+        let mut rng = StdRng::seed_from_u64(33);
+        let outcome = run_session(
+            &mut platform,
+            &population.consumers[0],
+            &SessionConfig::default(),
+            &mut rng,
+        );
+        assert!(outcome.queries >= 1);
+        // session ended: no open sessions remain
+        assert_eq!(platform.bsma_state().sessions().len(), 0);
+    }
+
+    #[test]
+    fn population_sessions_aggregate_sanely() {
+        let (mut platform, population) = setup();
+        let mut rng = StdRng::seed_from_u64(34);
+        let config = SessionConfig { queries: 2, ..SessionConfig::default() };
+        let report =
+            run_population_sessions(&mut platform, &population, &config, &mut rng);
+        assert_eq!(report.sessions, 6);
+        assert!(report.conversion_rate() >= 0.0 && report.conversion_rate() <= 1.0);
+        if report.converted_sessions > 0 {
+            assert!(report.average_order_size() >= 1.0);
+            assert!(report.spent > Money(0));
+        }
+    }
+
+    #[test]
+    fn satisfaction_is_zero_without_recommendations_shown() {
+        let outcome = SessionOutcome::default();
+        assert_eq!(outcome.satisfaction(), 0.0);
+        assert!(!outcome.converted());
+    }
+
+    #[test]
+    fn negotiating_sessions_pay_less_than_list() {
+        let (mut platform, population) = setup();
+        let mut rng = StdRng::seed_from_u64(36);
+        // generous haggling: budget at 95% of list — the catalog's
+        // reservation is 70%, so deals close below list price
+        let config = SessionConfig {
+            negotiate_budget_factor: Some(0.95),
+            use_recommendations: false,
+            ..SessionConfig::default()
+        };
+        let mut total = SessionOutcome::default();
+        for truth in &population.consumers {
+            let o = run_session(&mut platform, truth, &config, &mut rng);
+            total.purchases += o.purchases;
+            total.negotiated_purchases += o.negotiated_purchases;
+            total.spent = total.spent + o.spent;
+        }
+        if total.purchases > 0 {
+            assert_eq!(
+                total.negotiated_purchases, total.purchases,
+                "with a negotiation factor every purchase goes through bargaining"
+            );
+        }
+    }
+
+    #[test]
+    fn hopeless_negotiation_factor_produces_walk_aways() {
+        let (mut platform, population) = setup();
+        let mut rng = StdRng::seed_from_u64(37);
+        // budget at 10% of list — far below the 70% reservation
+        let config = SessionConfig {
+            negotiate_budget_factor: Some(0.1),
+            use_recommendations: false,
+            ..SessionConfig::default()
+        };
+        let mut total = SessionOutcome::default();
+        for truth in &population.consumers {
+            let o = run_session(&mut platform, truth, &config, &mut rng);
+            total.purchases += o.purchases;
+            total.failed_negotiations += o.failed_negotiations;
+        }
+        assert_eq!(total.purchases, 0, "nobody sells at 10% of list");
+    }
+
+    #[test]
+    fn disabling_recommendations_never_counts_recommended_purchases() {
+        let (mut platform, population) = setup();
+        let mut rng = StdRng::seed_from_u64(35);
+        let config = SessionConfig { use_recommendations: false, ..SessionConfig::default() };
+        let report =
+            run_population_sessions(&mut platform, &population, &config, &mut rng);
+        assert_eq!(report.recommended_purchases, 0);
+        assert_eq!(report.mean_satisfaction, 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Synthetic category taxonomy and vocabulary.
+//!
+//! The paper gives no dataset; workloads are generated over a two-level
+//! taxonomy matching the profile presentation of Fig 4.4. Category,
+//! sub-category and term names are deterministic (`cat03`,
+//! `cat03-sub1`, `t-c3-s1-k7`), so experiments are reproducible and
+//! failures are readable.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of the generated taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaxonomySpec {
+    /// Number of main categories.
+    pub categories: usize,
+    /// Sub-categories per category.
+    pub subs_per_category: usize,
+    /// Vocabulary terms per sub-category.
+    pub terms_per_sub: usize,
+}
+
+impl Default for TaxonomySpec {
+    fn default() -> Self {
+        TaxonomySpec { categories: 5, subs_per_category: 3, terms_per_sub: 12 }
+    }
+}
+
+/// One sub-category with its vocabulary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubCategoryDef {
+    /// Sub-category name.
+    pub name: String,
+    /// Terms items in this sub-category draw from.
+    pub vocabulary: Vec<String>,
+}
+
+/// One main category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryDef {
+    /// Category name.
+    pub name: String,
+    /// Its sub-categories.
+    pub subs: Vec<SubCategoryDef>,
+}
+
+/// A generated taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Taxonomy {
+    /// Categories in index order.
+    pub categories: Vec<CategoryDef>,
+}
+
+impl Taxonomy {
+    /// Generate the deterministic taxonomy for `spec`.
+    pub fn generate(spec: TaxonomySpec) -> Self {
+        let categories = (0..spec.categories)
+            .map(|c| CategoryDef {
+                name: format!("cat{c:02}"),
+                subs: (0..spec.subs_per_category)
+                    .map(|s| SubCategoryDef {
+                        name: format!("cat{c:02}-sub{s}"),
+                        vocabulary: (0..spec.terms_per_sub)
+                            .map(|k| format!("t-c{c}-s{s}-k{k}"))
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Taxonomy { categories }
+    }
+
+    /// Total number of `(category, sub)` leaf positions.
+    pub fn leaf_count(&self) -> usize {
+        self.categories.iter().map(|c| c.subs.len()).sum()
+    }
+
+    /// The `i`-th leaf as `(category, sub)` definitions, row-major.
+    pub fn leaf(&self, i: usize) -> (&CategoryDef, &SubCategoryDef) {
+        let mut idx = i;
+        for c in &self.categories {
+            if idx < c.subs.len() {
+                return (c, &c.subs[idx]);
+            }
+            idx -= c.subs.len();
+        }
+        panic!("leaf index {i} out of range ({} leaves)", self.leaf_count());
+    }
+
+    /// Full category path of leaf `i`.
+    pub fn leaf_path(&self, i: usize) -> ecp::merchandise::CategoryPath {
+        let (c, s) = self.leaf(i);
+        ecp::merchandise::CategoryPath::new(c.name.clone(), s.name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_matches_spec_shape() {
+        let t = Taxonomy::generate(TaxonomySpec {
+            categories: 3,
+            subs_per_category: 2,
+            terms_per_sub: 4,
+        });
+        assert_eq!(t.categories.len(), 3);
+        assert_eq!(t.leaf_count(), 6);
+        assert_eq!(t.categories[1].subs[0].vocabulary.len(), 4);
+    }
+
+    #[test]
+    fn names_are_unique_across_taxonomy() {
+        let t = Taxonomy::generate(TaxonomySpec::default());
+        let mut terms: Vec<&String> = t
+            .categories
+            .iter()
+            .flat_map(|c| c.subs.iter())
+            .flat_map(|s| s.vocabulary.iter())
+            .collect();
+        let before = terms.len();
+        terms.sort();
+        terms.dedup();
+        assert_eq!(before, terms.len());
+    }
+
+    #[test]
+    fn leaf_indexing_is_row_major() {
+        let t = Taxonomy::generate(TaxonomySpec {
+            categories: 2,
+            subs_per_category: 2,
+            terms_per_sub: 1,
+        });
+        assert_eq!(t.leaf(0).0.name, "cat00");
+        assert_eq!(t.leaf(0).1.name, "cat00-sub0");
+        assert_eq!(t.leaf(3).0.name, "cat01");
+        assert_eq!(t.leaf(3).1.name, "cat01-sub1");
+        assert_eq!(t.leaf_path(3).as_key(), "cat01/cat01-sub1");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn leaf_out_of_range_panics() {
+        let t = Taxonomy::generate(TaxonomySpec {
+            categories: 1,
+            subs_per_category: 1,
+            terms_per_sub: 1,
+        });
+        t.leaf(1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = TaxonomySpec::default();
+        assert_eq!(Taxonomy::generate(spec), Taxonomy::generate(spec));
+    }
+}

@@ -1,0 +1,71 @@
+//! A day at the marketplace: a synthetic population shops on the full
+//! platform, with and without the recommendation mechanism, and the
+//! commerce effects of §2.3 (browsers→buyers, cross-sell, loyalty) are
+//! compared.
+//!
+//! ```bash
+//! cargo run --release --example marketplace_day
+//! ```
+
+use abcrm::core::server::Platform;
+use abcrm::workload::catalog::{generate_listings, split_across_markets, CatalogSpec};
+use abcrm::workload::population::{Population, PopulationSpec};
+use abcrm::workload::session::{run_population_sessions, SessionConfig};
+use abcrm::workload::taxonomy::{Taxonomy, TaxonomySpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let taxonomy = Taxonomy::generate(TaxonomySpec {
+        categories: 4,
+        subs_per_category: 3,
+        terms_per_sub: 10,
+    });
+    let mut rng = StdRng::seed_from_u64(2004);
+    let listings = generate_listings(
+        &taxonomy,
+        &CatalogSpec { items: 60, ..CatalogSpec::default() },
+        1,
+        &mut rng,
+    );
+    let population = Population::generate(
+        &PopulationSpec { consumers: 12, clusters: 3, ..PopulationSpec::default() },
+        &listings,
+        &mut rng,
+    );
+
+    println!("catalog: {} items across {} marketplaces", listings.len(), 2);
+    println!("population: {} consumers in 3 taste clusters\n", population.consumers.len());
+
+    for (label, use_recs) in [("WITHOUT recommendations", false), ("WITH recommendations", true)]
+    {
+        let mut platform = Platform::builder(7)
+            .marketplaces(split_across_markets(listings.clone(), 2))
+            .build();
+        let mut rng = StdRng::seed_from_u64(99);
+        let config = SessionConfig {
+            queries: 3,
+            use_recommendations: use_recs,
+            ..SessionConfig::default()
+        };
+        let report = run_population_sessions(&mut platform, &population, &config, &mut rng);
+        println!("--- {label} ---");
+        println!("sessions:              {}", report.sessions);
+        println!("conversion rate:       {:.2}", report.conversion_rate());
+        println!("average order size:    {:.2} items", report.average_order_size());
+        println!("purchases:             {}", report.purchases);
+        println!("  via recommendations: {}", report.recommended_purchases);
+        println!("total spend:           {}", report.spent);
+        println!("mean satisfaction:     {:.2}", report.mean_satisfaction);
+        let m = platform.world().metrics();
+        println!(
+            "platform work:         {} messages, {} migrations, {} deactivations\n",
+            m.messages_delivered, m.migrations, m.deactivations
+        );
+    }
+
+    println!(
+        "The WITH run should show more purchases (cross-sell via recommended \n\
+         items the queries alone did not surface) — the §2.3 claims in action."
+    );
+}

@@ -1,0 +1,75 @@
+//! Multi-marketplace price discovery — the paper's §5.1 claim 3: *"The
+//! MBA can collect merchandise information between more then two online
+//! marketplaces in the E-Commerce platform."*
+//!
+//! The same catalog is replicated across 1..=6 marketplaces with ±20%
+//! price jitter; one MBA tours all of them per query. More marketplaces
+//! ⇒ better best price found, at the cost of a longer tour.
+//!
+//! ```bash
+//! cargo run --release --example multi_marketplace
+//! ```
+
+use abcrm::core::agents::msg::ResponseBody;
+use abcrm::core::profile::ConsumerId;
+use abcrm::core::server::Platform;
+use abcrm::workload::catalog::{generate_listings, replicate_with_price_jitter, CatalogSpec};
+use abcrm::workload::taxonomy::{Taxonomy, TaxonomySpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let taxonomy = Taxonomy::generate(TaxonomySpec::default());
+    let mut rng = StdRng::seed_from_u64(55);
+    let base = generate_listings(
+        &taxonomy,
+        &CatalogSpec { items: 20, ..CatalogSpec::default() },
+        1,
+        &mut rng,
+    );
+    let probe_name = base[0].item.name.clone();
+
+    // Jitter once for 6 marketplaces, then use prefixes: visiting more
+    // marketplaces means seeing a superset of prices, so the best found
+    // price is monotone by construction — the pure discovery effect.
+    let all_markets = replicate_with_price_jitter(&base, 6, 0.2, &mut rng);
+
+    println!("item probed: {probe_name}");
+    println!("{:>12} {:>12} {:>14} {:>14}", "marketplaces", "offers", "best price", "tour (ms)");
+
+    for n in 1..=6usize {
+        let markets = all_markets[..n].to_vec();
+        let mut platform = Platform::builder(100 + n as u64).marketplaces(markets).build();
+        let alice = ConsumerId(1);
+        platform.login(alice);
+        let responses = platform.query(alice, &[probe_name.as_str()], 3);
+        // tour latency: first step01 to first step15 in the trace (the
+        // world clock itself runs on past the MBA watchdog timer)
+        let times =
+            abcrm::core::workflow::step_times(platform.world().trace(), "fig4.2");
+        let elapsed = match (times.get(1).copied().flatten(), times.get(15).copied().flatten())
+        {
+            (Some(t1), Some(t15)) => t15.since(t1).as_millis_f64(),
+            _ => f64::NAN,
+        };
+        for r in responses {
+            if let ResponseBody::Recommendations { offers, .. } = r {
+                let best = offers.iter().map(|o| o.price).min();
+                println!(
+                    "{:>12} {:>12} {:>14} {:>14.2}",
+                    n,
+                    offers.len(),
+                    best.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+                    elapsed
+                );
+            }
+        }
+        platform.logout(alice);
+    }
+
+    println!(
+        "\nbest price improves (or holds) with marketplace count while the\n\
+         MBA's tour time grows linearly — the trade the paper's conclusion\n\
+         claims the mobile agent makes worthwhile."
+    );
+}

@@ -1,0 +1,94 @@
+//! Quickstart: build the full platform of the paper's Fig 3.1, log a
+//! consumer in, run a merchandise query (Fig 4.2) and a purchase
+//! (Fig 4.3), and print the numbered workflow trace.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use abcrm::core::agents::msg::{BuyMode, ResponseBody};
+use abcrm::core::profile::ConsumerId;
+use abcrm::core::server::{listing, Platform};
+use abcrm::core::workflow;
+use abcrm::ecp::merchandise::ItemId;
+
+fn main() {
+    // Two marketplaces, each provisioned by its own seller server.
+    let mut platform = Platform::builder(42)
+        .marketplaces(vec![
+            vec![
+                listing(1, "Rust in Action", "books", "programming", 35, &[("rust", 1.0)]),
+                listing(2, "The Go Book", "books", "programming", 30, &[("go", 1.0)]),
+                listing(3, "Sourdough Basics", "books", "cooking", 20, &[("bread", 1.0)]),
+            ],
+            vec![
+                listing(11, "Systems Programming", "books", "programming", 40, &[("rust", 0.8)]),
+                listing(12, "Kind of Blue LP", "music", "jazz", 25, &[("jazz", 1.0)]),
+            ],
+        ])
+        .build();
+
+    println!("platform up: {} marketplaces, buyer server on {}\n",
+        platform.markets().len(), platform.buyer_host());
+
+    // The Fig 4.1 creation workflow already ran during build; verify it.
+    workflow::validate(platform.world().trace(), workflow::FIG_CREATION)
+        .expect("fig 4.1 creation trace");
+    println!("fig 4.1 creation workflow: OK (6 steps)");
+
+    let alice = ConsumerId(1);
+    platform.login(alice);
+    println!("alice logged in (BRA created)\n");
+
+    // Fig 4.2: merchandise query. The MBA visits both marketplaces.
+    let responses = platform.query(alice, &["rust"], 5);
+    for response in &responses {
+        if let ResponseBody::Recommendations { offers, recommendations } = response {
+            println!("query \"rust\" returned {} offers:", offers.len());
+            for offer in offers {
+                println!("  {} at {} (marketplace {})",
+                    offer.item.name, offer.price, offer.marketplace);
+            }
+            println!("recommendations:");
+            for rec in recommendations {
+                println!("  {:.3}  {}  ({})", rec.score, rec.item.name, rec.reason);
+            }
+        }
+    }
+    workflow::validate(platform.world().trace(), workflow::FIG_QUERY)
+        .expect("fig 4.2 query trace");
+    println!("fig 4.2 query workflow: OK (15 steps)\n");
+
+    // Fig 4.3: negotiated purchase.
+    let responses = platform.buy(
+        alice,
+        ItemId(1),
+        0,
+        BuyMode::Negotiate {
+            budget: abcrm::ecp::merchandise::Money::from_units(32),
+            opening_fraction: 0.6,
+            raise: 0.1,
+            max_rounds: 20,
+        },
+    );
+    for response in &responses {
+        if let ResponseBody::Receipt { item, price, channel } = response {
+            println!("bought {} for {price} ({channel})", item.name);
+        }
+    }
+    workflow::validate(platform.world().trace(), workflow::FIG_TRANSACT)
+        .expect("fig 4.3 buy trace");
+    println!("fig 4.3 buy workflow: OK (14 steps)\n");
+
+    platform.logout(alice);
+
+    // Show the numbered steps the run produced.
+    println!("--- fig 4.2 trace ---");
+    for label in platform.world().trace().labels_with_prefix("fig4.2/") {
+        println!("  {label}");
+    }
+
+    let m = platform.world().metrics();
+    println!("\nplatform metrics: {} messages, {} migrations, {} bytes over the network",
+        m.messages_delivered, m.migrations, m.total_network_bytes());
+}

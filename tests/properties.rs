@@ -1,0 +1,260 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants (proptest).
+
+use abcrm::core::learning::{BehaviorEvent, BehaviorKind, LearnerConfig, ProfileLearner};
+use abcrm::core::profile::{ConsumerId, Profile};
+use abcrm::core::ratings::RatingsMatrix;
+use abcrm::core::similarity::{profile_similarity, SimilarityConfig};
+use abcrm::ecp::auction::{BidderId, EnglishAuction, VickreyAuction};
+use abcrm::ecp::merchandise::{CategoryPath, ItemId, Money};
+use abcrm::ecp::negotiation::{negotiate, BuyerPolicy, Outcome, SellerPolicy};
+use abcrm::ecp::terms::TermVector;
+use abcrm::simdb::{JsonStore, Wal};
+use proptest::prelude::*;
+
+fn term_vector_strategy() -> impl Strategy<Value = TermVector> {
+    proptest::collection::vec(("[a-f]{1,4}", 0.01f64..10.0), 0..8)
+        .prop_map(TermVector::from_pairs)
+}
+
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    proptest::collection::vec(("[a-c]{1}", "[x-z]{1}", "[a-f]{1,4}", 0.01f64..5.0), 0..10)
+        .prop_map(|entries| {
+            let mut p = Profile::new();
+            for (cat, sub, term, w) in entries {
+                p.category_mut(&cat).sub_mut(&sub).add(term, w);
+            }
+            p
+        })
+}
+
+proptest! {
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in term_vector_strategy(), b in term_vector_strategy()) {
+        let ab = a.cosine(&b);
+        let ba = b.cosine(&a);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-9);
+        // self-similarity is 1 for non-empty vectors
+        if !a.is_empty() {
+            prop_assert!((a.cosine(&a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn term_vector_weights_never_negative(
+        ops in proptest::collection::vec(("[a-d]{1,2}", -5.0f64..5.0), 0..30)
+    ) {
+        let mut v = TermVector::new();
+        for (t, delta) in ops {
+            v.add(t, delta);
+        }
+        for (_, w) in v.iter() {
+            prop_assert!(w > 0.0, "stored weights are strictly positive: {w}");
+        }
+    }
+
+    #[test]
+    fn profile_similarity_bounded_symmetric(a in profile_strategy(), b in profile_strategy()) {
+        let cfg = SimilarityConfig::default();
+        let ab = profile_similarity(&a, &b, &cfg);
+        let ba = profile_similarity(&b, &a, &cfg);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learner_never_creates_unbounded_profiles(
+        events in proptest::collection::vec(
+            ("[a-c]{1}", "[x-z]{1}", proptest::collection::vec(("[a-f]{1,3}", 0.01f64..3.0), 1..5)),
+            0..40,
+        ),
+        alpha in 0.01f64..1.0,
+    ) {
+        let learner = ProfileLearner::new(LearnerConfig { alpha, max_terms: 16, ..LearnerConfig::default() });
+        let mut profile = Profile::new();
+        for (cat, sub, terms) in events {
+            let event = BehaviorEvent::new(
+                BehaviorKind::Purchase,
+                CategoryPath::new(cat, sub),
+                TermVector::from_pairs(terms),
+            );
+            learner.apply(&mut profile, &event);
+        }
+        for (_, cp) in profile.iter() {
+            prop_assert!(cp.terms.len() <= 16);
+            for (_, sub) in cp.subs.iter() {
+                prop_assert!(sub.len() <= 16);
+            }
+        }
+        prop_assert!(profile.total_interest().is_finite());
+    }
+
+    #[test]
+    fn negotiation_deals_respect_both_parties(
+        list in 10u64..500,
+        reservation_frac in 0.1f64..1.0,
+        budget in 1u64..600,
+        opening in 0.1f64..1.0,
+        raise in 0.01f64..0.5,
+        concession in 0.01f64..0.5,
+    ) {
+        let seller = SellerPolicy {
+            list: Money::from_units(list),
+            reservation: Money::from_units(list).scale(reservation_frac),
+            concession,
+            strategy: Default::default(),
+        };
+        let buyer = BuyerPolicy {
+            budget: Money::from_units(budget),
+            opening_fraction: opening,
+            raise,
+            max_rounds: 30,
+        };
+        match negotiate(seller, buyer) {
+            Outcome::Deal { price, rounds } => {
+                prop_assert!(price >= seller.reservation, "deal below reservation: {price}");
+                prop_assert!(price <= buyer.budget, "deal above budget: {price}");
+                prop_assert!(price <= seller.list, "deal above list: {price}");
+                prop_assert!((1..=30).contains(&rounds));
+            }
+            Outcome::NoDeal { rounds } => {
+                prop_assert!(rounds <= 30);
+            }
+        }
+    }
+
+    #[test]
+    fn english_auction_winner_paid_a_valid_bid(
+        reserve in 1u64..100,
+        increment in 1u64..10,
+        bids in proptest::collection::vec((1u64..20, 1u64..500), 0..30),
+    ) {
+        let mut auction = EnglishAuction::open(
+            ItemId(1),
+            Money::from_units(reserve),
+            Money::from_units(increment),
+        );
+        let mut highest_accepted: Option<Money> = None;
+        for (bidder, amount) in bids {
+            let amount = Money::from_units(amount);
+            if auction.place_bid(BidderId(bidder), amount).is_ok() {
+                if let Some(prev) = highest_accepted {
+                    prop_assert!(amount >= prev + Money::from_units(increment));
+                }
+                highest_accepted = Some(amount);
+            }
+        }
+        match auction.close() {
+            abcrm::ecp::auction::AuctionOutcome::Sold { price, .. } => {
+                prop_assert_eq!(Some(price), highest_accepted);
+                prop_assert!(price >= Money::from_units(reserve));
+            }
+            abcrm::ecp::auction::AuctionOutcome::Unsold => {
+                prop_assert!(highest_accepted.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn vickrey_price_never_exceeds_winning_bid(
+        reserve in 1u64..100,
+        bids in proptest::collection::vec((1u64..50, 1u64..500), 0..20),
+    ) {
+        let mut auction = VickreyAuction::open(ItemId(1), Money::from_units(reserve));
+        let mut accepted: Vec<(BidderId, Money)> = Vec::new();
+        for (bidder, amount) in bids {
+            let amount = Money::from_units(amount);
+            if auction.place_bid(BidderId(bidder), amount).is_ok() {
+                accepted.push((BidderId(bidder), amount));
+            }
+        }
+        match auction.close() {
+            abcrm::ecp::auction::AuctionOutcome::Sold { winner, price } => {
+                let winning_bid = accepted
+                    .iter()
+                    .find(|(b, _)| *b == winner)
+                    .map(|(_, a)| *a)
+                    .expect("winner placed a bid");
+                let max_bid = accepted.iter().map(|(_, a)| *a).max().unwrap();
+                prop_assert_eq!(winning_bid, max_bid, "highest bidder wins");
+                prop_assert!(price <= winning_bid, "second-price never above the winning bid");
+                prop_assert!(price >= Money::from_units(reserve));
+            }
+            abcrm::ecp::auction::AuctionOutcome::Unsold => {
+                prop_assert!(accepted.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ratings_observe_is_monotone_and_bounded(
+        observations in proptest::collection::vec((1u64..10, 1u64..10, -1.0f64..2.0), 0..50)
+    ) {
+        let mut m = RatingsMatrix::new();
+        for (user, item, rating) in observations {
+            let before = m.rating(ConsumerId(user), ItemId(item));
+            m.observe(ConsumerId(user), ItemId(item), rating);
+            let after = m.rating(ConsumerId(user), ItemId(item)).unwrap();
+            prop_assert!((0.0..=1.0).contains(&after));
+            if let Some(b) = before {
+                prop_assert!(after >= b, "ratings keep the strongest signal");
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&m.sparsity()));
+    }
+
+    #[test]
+    fn wal_encode_decode_round_trips(
+        records in proptest::collection::vec(
+            ("[a-z]{1,6}", "[a-z0-9]{1,8}", 0i64..1000),
+            0..30,
+        )
+    ) {
+        let mut wal = Wal::new();
+        for (table, key, value) in &records {
+            wal.append(abcrm::simdb::LogRecord::Put {
+                table: table.clone(),
+                key: key.clone(),
+                value: serde_json::json!(value),
+            });
+        }
+        let decoded = Wal::decode(&wal.encode()).unwrap();
+        prop_assert_eq!(decoded, wal);
+    }
+
+    #[test]
+    fn store_recovery_equals_live_state(
+        ops in proptest::collection::vec(
+            (0usize..3, "[a-c]{1}", "[a-d]{1,3}", 0i64..100),
+            0..40,
+        )
+    ) {
+        let mut live = JsonStore::new("t");
+        for (op, table, key, value) in &ops {
+            live.create_table(table).unwrap();
+            match op {
+                0 | 1 => live.put(table, key, serde_json::json!(value)).unwrap(),
+                _ => {
+                    let _ = live.delete(table, key).unwrap();
+                }
+            }
+        }
+        let recovered = JsonStore::recover("t", b"", &live.wal_bytes()).unwrap();
+        for table in live.table_names() {
+            let live_rows: Vec<_> = live.scan(table).unwrap().collect();
+            let rec_rows: Vec<_> = recovered.scan(table).unwrap().collect();
+            prop_assert_eq!(live_rows, rec_rows);
+        }
+    }
+
+    #[test]
+    fn money_scale_is_monotone_and_bounded(cents in 0u64..1_000_000, f in 0.0f64..4.0) {
+        let m = Money(cents);
+        let scaled = m.scale(f);
+        if f <= 1.0 {
+            prop_assert!(scaled <= m + Money(1)); // rounding slack
+        }
+        prop_assert!(scaled.cents() < u64::MAX);
+    }
+}

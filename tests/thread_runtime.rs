@@ -1,0 +1,109 @@
+//! The same agent code, on real threads: the full buyer-server stack
+//! (coordinator, marketplace, seller, BSMA/PA/HttpA/BRA/MBA) running on
+//! [`agentsim::thread_net::ThreadWorld`] instead of the deterministic
+//! DES. Inspection goes through the shared trace and merged metrics —
+//! thread-world agents' state lives on their host threads.
+
+use abcrm::core::agents::msg::{
+    kinds as msgkinds, ConsumerTask, MarketRef, RoutedTask, SessionRequest,
+};
+use abcrm::core::agents::{register_all, Bsma, BsmaConfig};
+use abcrm::core::profile::ConsumerId;
+use abcrm::core::server::listing;
+use abcrm::ecp::{MarketplaceAgent, SellerAgent};
+use agentsim::message::Message;
+use agentsim::thread_net::ThreadWorldBuilder;
+use std::time::Duration;
+
+#[test]
+fn full_query_workflow_runs_on_the_threaded_runtime() {
+    let mut builder = ThreadWorldBuilder::new(7);
+    register_all(builder.registry_mut());
+    let market_host = builder.add_host("marketplace");
+    let seller_host = builder.add_host("seller");
+    let buyer_host = builder.add_host("buyer-agent-server");
+    let world = builder.start();
+
+    // marketplace + seller
+    let market = world
+        .create_agent(market_host, Box::new(MarketplaceAgent::new("m0")))
+        .unwrap();
+    world
+        .create_agent(
+            seller_host,
+            Box::new(SellerAgent::new(
+                1,
+                "s0",
+                vec![
+                    listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
+                    listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
+                ],
+                vec![market],
+            )),
+        )
+        .unwrap();
+    assert!(world.run_until_idle(Duration::from_secs(10)), "provisioning quiesces");
+
+    // buyer agent server, created in place (no coordinator hop needed on
+    // this runtime test; the DES tests cover the full Fig 4.1 path)
+    let bsma = world
+        .create_agent(
+            buyer_host,
+            Box::new(Bsma::new(BsmaConfig {
+                target: buyer_host,
+                markets: vec![MarketRef { host: market_host, agent: market }],
+                mba_timeout_us: 200_000, // 0.2s real time on this runtime
+                ..BsmaConfig::default()
+            })),
+        )
+        .unwrap();
+    assert!(world.run_until_idle(Duration::from_secs(10)), "bsma setup quiesces");
+
+    // drive the workflow BSMA-first (the HttpA id lives inside the BSMA's
+    // thread; the DES tests cover the browser front)
+    world
+        .send_external(
+            bsma,
+            Message::new(msgkinds::LOGIN)
+                .with_payload(&SessionRequest { consumer: ConsumerId(1) })
+                .unwrap(),
+        )
+        .unwrap();
+    assert!(world.run_until_idle(Duration::from_secs(10)), "login quiesces");
+
+    world
+        .send_external(
+            bsma,
+            Message::new(msgkinds::ROUTE_TASK)
+                .with_payload(&RoutedTask {
+                    consumer: ConsumerId(1),
+                    task: ConsumerTask::Query {
+                        keywords: vec!["rust".into()],
+                        category: None,
+                        max_results: 5,
+                    },
+                })
+                .unwrap(),
+        )
+        .unwrap();
+    assert!(
+        world.run_until_idle(Duration::from_secs(20)),
+        "query workflow (incl. watchdog timer) quiesces"
+    );
+
+    let (metrics, trace) = world.shutdown();
+    // the MBA made a round trip and authenticated
+    assert_eq!(metrics.migrations, 2, "mba out and back");
+    assert_eq!(metrics.migrations_rejected, 0);
+    // the BRA was parked while the MBA roamed, then reactivated
+    assert_eq!(metrics.deactivations, 1);
+    assert_eq!(metrics.activations, 1);
+    // every workflow step from the BSMA handoff onward is in the trace
+    let steps = abcrm::core::workflow::steps_of(&trace, "fig4.2");
+    for expected in 3..=15u32 {
+        assert!(
+            steps.contains(&expected),
+            "fig4.2 step {expected} missing on threaded runtime; got {steps:?}"
+        );
+    }
+}
