@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, tier-1 tests (default and
+# `parallel` feature). Run from the repo root; exits non-zero on the
+# first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (default features)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy (--features parallel)"
+cargo clippy --workspace --all-targets --features parallel -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1)"
+cargo test -q
+
+echo "==> cargo test --features parallel"
+cargo test -q --features parallel
+
+echo "CI green."

@@ -81,7 +81,11 @@ pub enum Action {
     Create { id: AgentId, agent: Box<dyn Agent> },
     /// Create an agent on the local host by rehydrating `state` through
     /// the world's registry under `agent_type` (mobile-code style).
-    CreateOfType { id: AgentId, agent_type: String, state: serde_json::Value },
+    CreateOfType {
+        id: AgentId,
+        agent_type: String,
+        state: serde_json::Value,
+    },
     /// Migrate the calling agent to `dest`.
     DispatchSelf { dest: HostId },
     /// Clone the calling agent on the local host under a fresh id
@@ -98,7 +102,11 @@ pub enum Action {
     /// Destroy agent `id` (same host).
     Dispose { id: AgentId },
     /// Deliver `on_timer(tag)` to the calling agent after `delay`.
-    SetTimer { id: AgentId, delay: SimDuration, tag: u64 },
+    SetTimer {
+        id: AgentId,
+        delay: SimDuration,
+        tag: u64,
+    },
     /// Append a labelled event to the world trace.
     Note { label: String },
 }
@@ -133,7 +141,14 @@ impl<'a> Ctx<'a> {
         actions: &'a mut Vec<Action>,
         next_agent_id: &'a mut u64,
     ) -> Self {
-        Ctx { self_id, host, now, rng, actions, next_agent_id }
+        Ctx {
+            self_id,
+            host,
+            now,
+            rng,
+            actions,
+            next_agent_id,
+        }
     }
 
     /// Id of the agent whose callback is running.
@@ -198,7 +213,11 @@ impl<'a> Ctx<'a> {
     ) -> AgentId {
         let id = AgentId(*self.next_agent_id);
         *self.next_agent_id += 1;
-        self.actions.push(Action::CreateOfType { id, agent_type: agent_type.into(), state });
+        self.actions.push(Action::CreateOfType {
+            id,
+            agent_type: agent_type.into(),
+            state,
+        });
         id
     }
 
@@ -260,13 +279,19 @@ impl<'a> Ctx<'a> {
 
     /// Ask the world to call `on_timer(tag)` on this agent after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
-        self.actions.push(Action::SetTimer { id: self.self_id, delay, tag });
+        self.actions.push(Action::SetTimer {
+            id: self.self_id,
+            delay,
+            tag,
+        });
     }
 
     /// Append a labelled event to the world trace. Workflow implementations
     /// use this to emit the paper's numbered figure steps.
     pub fn note(&mut self, label: impl Into<String>) {
-        self.actions.push(Action::Note { label: label.into() });
+        self.actions.push(Action::Note {
+            label: label.into(),
+        });
     }
 }
 
@@ -294,7 +319,9 @@ impl AgentCapsule {
     /// network model).
     pub fn wire_size(&self) -> usize {
         64 + self.agent_type.len()
-            + serde_json::to_string(&self.state).map(|s| s.len()).unwrap_or(0)
+            + serde_json::to_string(&self.state)
+                .map(|s| s.len())
+                .unwrap_or(0)
     }
 }
 
@@ -323,7 +350,8 @@ impl AgentRegistry {
     where
         F: Fn(serde_json::Value) -> Result<Box<dyn Agent>> + Send + Sync + 'static,
     {
-        self.factories.insert(agent_type.to_string(), Box::new(factory));
+        self.factories
+            .insert(agent_type.to_string(), Box::new(factory));
     }
 
     /// Convenience: register a factory for a serde-deserializable agent.
@@ -362,7 +390,9 @@ impl fmt::Debug for AgentRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut types: Vec<&str> = self.factories.keys().map(|s| s.as_str()).collect();
         types.sort_unstable();
-        f.debug_struct("AgentRegistry").field("types", &types).finish()
+        f.debug_struct("AgentRegistry")
+            .field("types", &types)
+            .finish()
     }
 }
 
@@ -395,7 +425,14 @@ mod tests {
     #[test]
     fn ctx_send_stamps_sender_and_destination() {
         let (mut rng, mut actions, mut next) = test_ctx_parts();
-        let mut ctx = Ctx::new(AgentId(7), HostId(1), SimTime(5), &mut rng, &mut actions, &mut next);
+        let mut ctx = Ctx::new(
+            AgentId(7),
+            HostId(1),
+            SimTime(5),
+            &mut rng,
+            &mut actions,
+            &mut next,
+        );
         ctx.send(AgentId(9), Message::new("hello"));
         match &actions[0] {
             Action::Send { to, msg } => {
@@ -410,7 +447,14 @@ mod tests {
     #[test]
     fn ctx_create_agent_allocates_fresh_ids() {
         let (mut rng, mut actions, mut next) = test_ctx_parts();
-        let mut ctx = Ctx::new(AgentId(1), HostId(1), SimTime(0), &mut rng, &mut actions, &mut next);
+        let mut ctx = Ctx::new(
+            AgentId(1),
+            HostId(1),
+            SimTime(0),
+            &mut rng,
+            &mut actions,
+            &mut next,
+        );
         let a = ctx.create_agent(Box::new(Counter { count: 0 }));
         let b = ctx.create_agent(Box::new(Counter { count: 0 }));
         assert_eq!(a, AgentId(100));
@@ -421,7 +465,14 @@ mod tests {
     #[test]
     fn ctx_reply_routes_to_original_sender() {
         let (mut rng, mut actions, mut next) = test_ctx_parts();
-        let mut ctx = Ctx::new(AgentId(1), HostId(1), SimTime(0), &mut rng, &mut actions, &mut next);
+        let mut ctx = Ctx::new(
+            AgentId(1),
+            HostId(1),
+            SimTime(0),
+            &mut rng,
+            &mut actions,
+            &mut next,
+        );
         let mut original = Message::new("ask");
         original.id = crate::ids::MessageId(55);
         original.from = Some(AgentId(3));
@@ -438,7 +489,14 @@ mod tests {
     #[test]
     fn ctx_reply_to_external_message_becomes_note() {
         let (mut rng, mut actions, mut next) = test_ctx_parts();
-        let mut ctx = Ctx::new(AgentId(1), HostId(1), SimTime(0), &mut rng, &mut actions, &mut next);
+        let mut ctx = Ctx::new(
+            AgentId(1),
+            HostId(1),
+            SimTime(0),
+            &mut rng,
+            &mut actions,
+            &mut next,
+        );
         let original = Message::new("external");
         ctx.reply(&original, Message::new("answer"));
         assert!(matches!(actions[0], Action::Note { .. }));
@@ -487,7 +545,10 @@ mod tests {
             home: HostId(0),
             permit: None,
         };
-        assert!(matches!(reg.rehydrate(&capsule), Err(PlatformError::RestoreFailed(_))));
+        assert!(matches!(
+            reg.rehydrate(&capsule),
+            Err(PlatformError::RestoreFailed(_))
+        ));
     }
 
     #[test]

@@ -76,7 +76,11 @@ impl SimDuration {
     /// bandwidth.
     pub fn mul_f64(self, factor: f64) -> Self {
         let v = (self.0 as f64 * factor).max(0.0);
-        SimDuration(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+        SimDuration(if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        })
     }
 }
 

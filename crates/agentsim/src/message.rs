@@ -87,7 +87,10 @@ impl Message {
     /// derive transfer time.
     pub fn wire_size(&self) -> usize {
         // kind + payload dominate; fixed header estimated at 32 bytes.
-        32 + self.kind.len() + serde_json::to_string(&self.payload).map(|s| s.len()).unwrap_or(0)
+        32 + self.kind.len()
+            + serde_json::to_string(&self.payload)
+                .map(|s| s.len())
+                .unwrap_or(0)
     }
 
     /// Whether this message is of the given kind.
@@ -108,14 +111,19 @@ mod tests {
 
     #[test]
     fn typed_payload_round_trips() {
-        let q = Quote { item: "book".into(), price: 120 };
+        let q = Quote {
+            item: "book".into(),
+            price: 120,
+        };
         let msg = Message::new("quote").with_payload(&q).unwrap();
         assert_eq!(msg.payload_as::<Quote>().unwrap(), q);
     }
 
     #[test]
     fn payload_type_mismatch_is_an_error() {
-        let msg = Message::new("quote").with_payload(&"just a string").unwrap();
+        let msg = Message::new("quote")
+            .with_payload(&"just a string")
+            .unwrap();
         assert!(msg.payload_as::<Quote>().is_err());
     }
 

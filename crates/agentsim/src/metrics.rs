@@ -67,15 +67,26 @@ mod tests {
 
     #[test]
     fn live_agents_never_underflows() {
-        let m = Metrics { agents_created: 2, agents_disposed: 5, ..Metrics::default() };
+        let m = Metrics {
+            agents_created: 2,
+            agents_disposed: 5,
+            ..Metrics::default()
+        };
         assert_eq!(m.live_agents(), 0);
-        let m = Metrics { agents_created: 5, agents_disposed: 2, ..Metrics::default() };
+        let m = Metrics {
+            agents_created: 5,
+            agents_disposed: 2,
+            ..Metrics::default()
+        };
         assert_eq!(m.live_agents(), 3);
     }
 
     #[test]
     fn metrics_round_trip_serde() {
-        let m = Metrics { messages_delivered: 7, ..Metrics::default() };
+        let m = Metrics {
+            messages_delivered: 7,
+            ..Metrics::default()
+        };
         let back: Metrics = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
         assert_eq!(m, back);
     }

@@ -45,7 +45,11 @@ impl LinkSpec {
 
     /// A link with the given latency and infinite bandwidth.
     pub fn with_latency(latency: SimDuration) -> Self {
-        LinkSpec { latency, bandwidth_bps: 0, loss: 0.0 }
+        LinkSpec {
+            latency,
+            bandwidth_bps: 0,
+            loss: 0.0,
+        }
     }
 
     /// Set the loss probability (clamped to `[0, 1]`).
@@ -117,7 +121,10 @@ impl Topology {
 
     /// Link spec between two (distinct) hosts.
     pub fn link(&self, from: HostId, to: HostId) -> LinkSpec {
-        self.links.get(&(from, to)).copied().unwrap_or(self.default_link)
+        self.links
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
     }
 
     /// Same-host delivery delay.
@@ -187,7 +194,10 @@ mod tests {
     fn local_delivery_is_cheap_and_lossless() {
         let mut topo = Topology::uniform(LinkSpec::wan().lossy(0.5));
         topo.set_local_delay(SimDuration::from_micros(2));
-        assert_eq!(topo.delivery_time(HostId(3), HostId(3), 1_000_000), SimDuration(2));
+        assert_eq!(
+            topo.delivery_time(HostId(3), HostId(3), 1_000_000),
+            SimDuration(2)
+        );
         assert_eq!(topo.loss(HostId(3), HostId(3)), 0.0);
         assert!(topo.loss(HostId(3), HostId(4)) > 0.4);
     }

@@ -60,7 +60,12 @@ fn mac(secret: u64, agent: AgentId, nonce: u64) -> u64 {
 impl Authenticator {
     /// Create an authenticator with the given host secret.
     pub fn new(secret: u64) -> Self {
-        Authenticator { secret, next_nonce: 1, outstanding: HashMap::new(), rejections: 0 }
+        Authenticator {
+            secret,
+            next_nonce: 1,
+            outstanding: HashMap::new(),
+            rejections: 0,
+        }
     }
 
     /// Issue a permit for `agent` about to be dispatched. Any previous
@@ -69,7 +74,11 @@ impl Authenticator {
         let nonce = self.next_nonce;
         self.next_nonce += 1;
         self.outstanding.insert(agent, nonce);
-        TravelPermit { agent, nonce, mac: mac(self.secret, agent, nonce) }
+        TravelPermit {
+            agent,
+            nonce,
+            mac: mac(self.secret, agent, nonce),
+        }
     }
 
     /// Whether the host expects `agent` to return (an unburned permit is
@@ -124,7 +133,10 @@ mod tests {
         let mut auth = Authenticator::new(42);
         let permit = auth.issue(AgentId(5));
         assert!(auth.verify(AgentId(5), &permit));
-        assert!(!auth.verify(AgentId(5), &permit), "nonce must be single-use");
+        assert!(
+            !auth.verify(AgentId(5), &permit),
+            "nonce must be single-use"
+        );
         assert_eq!(auth.rejections(), 1);
     }
 
@@ -160,7 +172,10 @@ mod tests {
         let mut auth = Authenticator::new(42);
         let old = auth.issue(AgentId(5));
         let new = auth.issue(AgentId(5));
-        assert!(!auth.verify(AgentId(5), &old), "superseded permit must fail");
+        assert!(
+            !auth.verify(AgentId(5), &old),
+            "superseded permit must fail"
+        );
         assert!(auth.verify(AgentId(5), &new));
     }
 

@@ -49,7 +49,7 @@ use crate::trace::Trace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Where an agent currently is, from the world's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,7 +318,10 @@ impl SimWorld {
 
     /// Bytes of deactivated capsules in `host`'s stable store.
     pub fn stored_bytes(&self, host: HostId) -> usize {
-        self.hosts.get(&host).map(|h| h.store.stored_bytes()).unwrap_or(0)
+        self.hosts
+            .get(&host)
+            .map(|h| h.store.stored_bytes())
+            .unwrap_or(0)
     }
 
     /// Number of deactivated agents stored on `host`.
@@ -338,7 +341,10 @@ impl SimWorld {
 
     /// Count of failed return-authentications on `host`.
     pub fn auth_rejections(&self, host: HostId) -> u64 {
-        self.hosts.get(&host).map(|h| h.auth.rejections()).unwrap_or(0)
+        self.hosts
+            .get(&host)
+            .map(|h| h.auth.rejections())
+            .unwrap_or(0)
     }
 
     /// Snapshot of an *active* agent's state, for inspection in tests.
@@ -350,8 +356,14 @@ impl SimWorld {
         let Some(Location::Active(host)) = self.locations.get(&agent).copied() else {
             return Err(PlatformError::UnknownAgent(agent));
         };
-        let h = self.hosts.get(&host).ok_or(PlatformError::UnknownHost(host))?;
-        let a = h.active.get(&agent).ok_or(PlatformError::UnknownAgent(agent))?;
+        let h = self
+            .hosts
+            .get(&host)
+            .ok_or(PlatformError::UnknownHost(host))?;
+        let a = h
+            .active
+            .get(&agent)
+            .ok_or(PlatformError::UnknownAgent(agent))?;
         Ok(a.snapshot())
     }
 
@@ -451,7 +463,11 @@ impl SimWorld {
                     self.metrics.agents_created += 1;
                     self.run_callback(id, |agent, ctx| agent.on_creation(ctx));
                 }
-                Action::CreateOfType { id, agent_type, state } => {
+                Action::CreateOfType {
+                    id,
+                    agent_type,
+                    state,
+                } => {
                     let capsule = AgentCapsule {
                         id,
                         agent_type,
@@ -479,28 +495,26 @@ impl SimWorld {
                 }
                 Action::DispatchSelf { dest } => self.do_dispatch(host, actor, dest),
                 Action::CloneSelf { id } => self.do_clone(host, actor, id),
-                Action::Retract { id, to } => {
-                    match self.locations.get(&id).copied() {
-                        Some(Location::Active(at)) => {
-                            if at == to {
-                                self.trace.record(
-                                    self.now,
-                                    Some(actor),
-                                    format!("retract ignored: {id} already at {to}"),
-                                );
-                            } else {
-                                self.do_dispatch(at, id, to);
-                            }
-                        }
-                        other => {
+                Action::Retract { id, to } => match self.locations.get(&id).copied() {
+                    Some(Location::Active(at)) => {
+                        if at == to {
                             self.trace.record(
                                 self.now,
                                 Some(actor),
-                                format!("retract failed: {id} not active ({other:?})"),
+                                format!("retract ignored: {id} already at {to}"),
                             );
+                        } else {
+                            self.do_dispatch(at, id, to);
                         }
                     }
-                }
+                    other => {
+                        self.trace.record(
+                            self.now,
+                            Some(actor),
+                            format!("retract failed: {id} not active ({other:?})"),
+                        );
+                    }
+                },
                 Action::Deactivate { id } => {
                     if self.locations.get(&id) == Some(&Location::Active(host)) {
                         self.do_deactivate(host, id);
@@ -590,8 +604,12 @@ impl SimWorld {
     /// Clone `actor` (active on `host`) under the fresh id `clone_id`.
     fn do_clone(&mut self, host: HostId, actor: AgentId, clone_id: AgentId) {
         let (agent_type, state) = {
-            let Some(h) = self.hosts.get(&host) else { return };
-            let Some(agent) = h.active.get(&actor) else { return };
+            let Some(h) = self.hosts.get(&host) else {
+                return;
+            };
+            let Some(agent) = h.active.get(&actor) else {
+                return;
+            };
             (agent.agent_type().to_string(), agent.snapshot())
         };
         let capsule = AgentCapsule {
@@ -644,7 +662,11 @@ impl SimWorld {
 
     fn do_dispatch(&mut self, host: HostId, id: AgentId, dest: HostId) {
         if !self.hosts.contains_key(&dest) {
-            self.trace.record(self.now, Some(id), format!("dispatch failed: unknown {dest}"));
+            self.trace.record(
+                self.now,
+                Some(id),
+                format!("dispatch failed: unknown {dest}"),
+            );
             return;
         }
         if self.locations.get(&id) != Some(&Location::Active(host)) {
@@ -685,7 +707,11 @@ impl SimWorld {
             self.locations.remove(&id);
             self.permits.remove(&id);
             self.metrics.messages_lost += 1;
-            self.trace.record(self.now, Some(id), format!("agent lost in transit to {dest}"));
+            self.trace.record(
+                self.now,
+                Some(id),
+                format!("agent lost in transit to {dest}"),
+            );
             return;
         }
         self.metrics.migration_bytes += bytes as u64;
@@ -697,7 +723,11 @@ impl SimWorld {
         let id = capsule.id;
         // Returning home: the paper demands authentication (§4.1 p.2).
         if dest == capsule.home {
-            let expects = self.hosts.get(&dest).map(|h| h.auth.expects(id)).unwrap_or(false);
+            let expects = self
+                .hosts
+                .get(&dest)
+                .map(|h| h.auth.expects(id))
+                .unwrap_or(false);
             if expects {
                 let ok = match capsule.permit {
                     Some(permit) => self
@@ -708,7 +738,11 @@ impl SimWorld {
                     None => {
                         if let Some(h) = self.hosts.get_mut(&dest) {
                             // no permit presented: count as a rejection
-                            let bogus = TravelPermit { agent: id, nonce: 0, mac: 0 };
+                            let bogus = TravelPermit {
+                                agent: id,
+                                nonce: 0,
+                                mac: 0,
+                            };
                             h.auth.verify(id, &bogus);
                         }
                         false
@@ -777,7 +811,10 @@ impl SimWorld {
 
     fn do_activate(&mut self, host: HostId, id: AgentId) -> Result<()> {
         let capsule = {
-            let h = self.hosts.get_mut(&host).ok_or(PlatformError::UnknownHost(host))?;
+            let h = self
+                .hosts
+                .get_mut(&host)
+                .ok_or(PlatformError::UnknownHost(host))?;
             h.store.load(id).ok_or(PlatformError::UnknownAgent(id))?
         };
         let agent = match self.registry.rehydrate(&capsule) {
@@ -941,7 +978,8 @@ mod tests {
     fn migration_moves_state_across_hosts() {
         let (mut w, a, b) = world_with_two_hosts();
         let id = w.create_agent(a, Box::new(Worker { count: 10 })).unwrap();
-        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap())
+            .unwrap();
         w.run_until_idle();
         assert_eq!(w.location(id), Some(Location::Active(b)));
         // count incremented by the "go" message, preserved across the hop
@@ -955,10 +993,12 @@ mod tests {
     fn round_trip_home_passes_authentication() {
         let (mut w, a, b) = world_with_two_hosts();
         let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
-        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap())
+            .unwrap();
         w.run_until_idle();
         assert_eq!(w.location(id), Some(Location::Active(b)));
-        w.send_external(id, Message::new("go").with_payload(&a.0).unwrap()).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&a.0).unwrap())
+            .unwrap();
         w.run_until_idle();
         assert_eq!(w.location(id), Some(Location::Active(a)));
         assert_eq!(w.metrics().migrations, 2);
@@ -1016,7 +1056,8 @@ mod tests {
     fn dispatch_to_unknown_host_is_a_noop_with_trace() {
         let (mut w, a, _) = world_with_two_hosts();
         let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
-        w.send_external(id, Message::new("go").with_payload(&999u32).unwrap()).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&999u32).unwrap())
+            .unwrap();
         w.run_until_idle();
         assert_eq!(w.location(id), Some(Location::Active(a)));
         assert!(w
@@ -1033,7 +1074,8 @@ mod tests {
         let a = w.add_host("a");
         let b = w.add_host("b");
         let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
-        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap())
+            .unwrap();
         w.run_until_idle();
         assert_eq!(w.metrics().migrations_rejected, 1);
         assert_eq!(w.location(id), None);
@@ -1048,10 +1090,19 @@ mod tests {
         w.topology_mut()
             .set_link_symmetric(a, b, crate::net::LinkSpec::lan().lossy(1.0));
         let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
-        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.send_external(id, Message::new("go").with_payload(&b.0).unwrap())
+            .unwrap();
         w.run_until_idle();
-        assert_eq!(w.location(id), None, "agent must be lost on a fully lossy link");
-        assert!(w.trace().events().iter().any(|e| e.label.contains("lost in transit")));
+        assert_eq!(
+            w.location(id),
+            None,
+            "agent must be lost on a fully lossy link"
+        );
+        assert!(w
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.label.contains("lost in transit")));
     }
 
     #[test]
@@ -1082,7 +1133,11 @@ mod tests {
         w.send_external(id, Message::new("clone")).unwrap();
         w.run_until_idle();
         assert_eq!(w.active_count(a), 1);
-        assert!(w.trace().events().iter().any(|e| e.label.contains("clone failed")));
+        assert!(w
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.label.contains("clone failed")));
     }
 
     #[test]
@@ -1090,26 +1145,34 @@ mod tests {
         let (mut w, a, b) = world_with_two_hosts();
         let roamer = w.create_agent(a, Box::new(Worker::default())).unwrap();
         let manager = w.create_agent(a, Box::new(Worker::default())).unwrap();
-        w.send_external(roamer, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.send_external(roamer, Message::new("go").with_payload(&b.0).unwrap())
+            .unwrap();
         w.run_until_idle();
         assert_eq!(w.location(roamer), Some(Location::Active(b)));
         // the manager retracts the roamer home
         w.send_external(
             manager,
-            Message::new("retract").with_payload(&(roamer.0, a.0)).unwrap(),
+            Message::new("retract")
+                .with_payload(&(roamer.0, a.0))
+                .unwrap(),
         )
         .unwrap();
         w.run_until_idle();
         assert_eq!(w.location(roamer), Some(Location::Active(a)));
         assert_eq!(w.metrics().migrations, 2);
-        assert_eq!(w.metrics().migrations_rejected, 0, "retracted return passes auth");
+        assert_eq!(
+            w.metrics().migrations_rejected,
+            0,
+            "retracted return passes auth"
+        );
     }
 
     #[test]
     fn admin_retract_api_works_and_validates() {
         let (mut w, a, b) = world_with_two_hosts();
         let roamer = w.create_agent(a, Box::new(Worker::default())).unwrap();
-        w.send_external(roamer, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+        w.send_external(roamer, Message::new("go").with_payload(&b.0).unwrap())
+            .unwrap();
         w.run_until_idle();
         w.retract_agent(roamer, a).unwrap();
         w.run_until_idle();
@@ -1135,7 +1198,8 @@ mod tests {
             for _ in 0..5 {
                 w.send_external(id, Message::new("ping")).unwrap();
             }
-            w.send_external(id, Message::new("go").with_payload(&b.0).unwrap()).unwrap();
+            w.send_external(id, Message::new("go").with_payload(&b.0).unwrap())
+                .unwrap();
             w.run_until_idle();
             let labels = w.trace().labels().iter().map(|s| s.to_string()).collect();
             (labels, w.metrics().messages_delivered)
@@ -1192,7 +1256,8 @@ mod tests {
         let idb = w.create_agent(b, Box::new(Worker::default())).unwrap();
         let before = w.now();
         // b sends "ping" to a (one 10ms hop), a replies "pong" (another)
-        w.send_external(idb, Message::new("sendto").with_payload(&ida.0).unwrap()).unwrap();
+        w.send_external(idb, Message::new("sendto").with_payload(&ida.0).unwrap())
+            .unwrap();
         w.run_until_idle();
         assert!(
             w.now().since(before) >= SimDuration::from_millis(20),

@@ -83,7 +83,11 @@ pub struct ThreadWorldBuilder {
 impl ThreadWorldBuilder {
     /// Start building a thread world; `seed` feeds each host's RNG.
     pub fn new(seed: u64) -> Self {
-        ThreadWorldBuilder { seed, registry: AgentRegistry::new(), host_names: Vec::new() }
+        ThreadWorldBuilder {
+            seed,
+            registry: AgentRegistry::new(),
+            host_names: Vec::new(),
+        }
     }
 
     /// Register an agent factory (same semantics as
@@ -132,7 +136,11 @@ impl ThreadWorldBuilder {
             let seed = self.seed.wrapping_add(i as u64 + 1);
             handles.push(thread::spawn(move || host_loop(id, seed, rx, shared2)));
         }
-        ThreadWorld { shared, handles, hosts }
+        ThreadWorld {
+            shared,
+            handles,
+            hosts,
+        }
     }
 }
 
@@ -164,7 +172,10 @@ impl ThreadWorld {
         let id = AgentId(self.shared.next_agent_id.fetch_add(1, Ordering::SeqCst));
         self.shared.locations.lock().insert(id, host);
         self.shared.homes.lock().insert(id, host);
-        if !self.shared.send_envelope(host, Envelope::Create { id, agent }) {
+        if !self
+            .shared
+            .send_envelope(host, Envelope::Create { id, agent })
+        {
             self.shared.locations.lock().remove(&id);
             return Err(PlatformError::UnknownHost(host));
         }
@@ -202,7 +213,8 @@ impl ThreadWorld {
             .get(&agent)
             .copied()
             .ok_or(PlatformError::UnknownAgent(agent))?;
-        self.shared.send_envelope(host, Envelope::AdminDeactivate(agent));
+        self.shared
+            .send_envelope(host, Envelope::AdminDeactivate(agent));
         Ok(())
     }
 
@@ -215,7 +227,8 @@ impl ThreadWorld {
             .get(&agent)
             .copied()
             .ok_or(PlatformError::UnknownAgent(agent))?;
-        self.shared.send_envelope(host, Envelope::AdminActivate(agent));
+        self.shared
+            .send_envelope(host, Envelope::AdminActivate(agent));
         Ok(())
     }
 
@@ -426,7 +439,11 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                 shared.metrics.lock().agents_created += 1;
                 run_callback(host, shared, id, |a, ctx| a.on_creation(ctx));
             }
-            Action::CreateOfType { id, agent_type, state } => {
+            Action::CreateOfType {
+                id,
+                agent_type,
+                state,
+            } => {
                 let capsule = AgentCapsule {
                     id,
                     agent_type,
@@ -518,8 +535,12 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                 thread::spawn(move || {
                     thread::sleep(Duration::from_micros(delay.as_micros()));
                     // route to wherever the agent is now
-                    let dest =
-                        shared2.locations.lock().get(&id).copied().unwrap_or(host_id);
+                    let dest = shared2
+                        .locations
+                        .lock()
+                        .get(&id)
+                        .copied()
+                        .unwrap_or(host_id);
                     shared2.send_envelope(dest, Envelope::Timer { agent: id, tag });
                     shared2.in_flight.fetch_sub(1, Ordering::SeqCst);
                 });
@@ -533,10 +554,11 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
 
 fn do_dispatch(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, dest: HostId) {
     if !shared.routes.lock().contains_key(&dest) {
-        shared
-            .trace
-            .lock()
-            .record(shared.now(), Some(id), format!("dispatch failed: unknown {dest}"));
+        shared.trace.lock().record(
+            shared.now(),
+            Some(id),
+            format!("dispatch failed: unknown {dest}"),
+        );
         return;
     }
     if !host.active.contains_key(&id) {
@@ -627,7 +649,11 @@ mod tests {
         }
         fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
             self.hops += 1;
-            ctx.note(format!("hopper arrived at {} (hops={})", ctx.host(), self.hops));
+            ctx.note(format!(
+                "hopper arrived at {} (hops={})",
+                ctx.host(),
+                self.hops
+            ));
         }
     }
 
@@ -639,8 +665,13 @@ mod tests {
         let b = builder.add_host("b");
         let world = builder.start();
         let id = world.create_agent(a, Box::new(Hopper::default())).unwrap();
-        world.send_external(id, Message::new("hop").with_payload(&b.0).unwrap()).unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(5)), "world must quiesce");
+        world
+            .send_external(id, Message::new("hop").with_payload(&b.0).unwrap())
+            .unwrap();
+        assert!(
+            world.run_until_idle(Duration::from_secs(5)),
+            "world must quiesce"
+        );
         let (metrics, trace) = world.shutdown();
         assert_eq!(metrics.migrations, 1);
         assert_eq!(metrics.migrations_rejected, 0);
@@ -658,9 +689,13 @@ mod tests {
         let b = builder.add_host("b");
         let world = builder.start();
         let id = world.create_agent(a, Box::new(Hopper::default())).unwrap();
-        world.send_external(id, Message::new("hop").with_payload(&b.0).unwrap()).unwrap();
+        world
+            .send_external(id, Message::new("hop").with_payload(&b.0).unwrap())
+            .unwrap();
         assert!(world.run_until_idle(Duration::from_secs(5)));
-        world.send_external(id, Message::new("hop").with_payload(&a.0).unwrap()).unwrap();
+        world
+            .send_external(id, Message::new("hop").with_payload(&a.0).unwrap())
+            .unwrap();
         assert!(world.run_until_idle(Duration::from_secs(5)));
         let (metrics, _) = world.shutdown();
         assert_eq!(metrics.migrations, 2);
@@ -688,7 +723,9 @@ mod tests {
     fn unknown_host_create_is_an_error() {
         let builder = ThreadWorldBuilder::new(1);
         let world = builder.start();
-        assert!(world.create_agent(HostId(42), Box::new(Hopper::default())).is_err());
+        assert!(world
+            .create_agent(HostId(42), Box::new(Hopper::default()))
+            .is_err());
         world.shutdown();
     }
 
@@ -763,15 +800,29 @@ mod tests {
         let b = builder.add_host("b");
         let world = builder.start();
         let hopper = world.create_agent(a, Box::new(Hopper::default())).unwrap();
-        let manager =
-            world.create_agent(a, Box::new(Manager { target: hopper, home: a })).unwrap();
-        world.send_external(hopper, Message::new("hop").with_payload(&b.0).unwrap()).unwrap();
+        let manager = world
+            .create_agent(
+                a,
+                Box::new(Manager {
+                    target: hopper,
+                    home: a,
+                }),
+            )
+            .unwrap();
+        world
+            .send_external(hopper, Message::new("hop").with_payload(&b.0).unwrap())
+            .unwrap();
         assert!(world.run_until_idle(Duration::from_secs(5)));
-        world.send_external(manager, Message::new("recall")).unwrap();
+        world
+            .send_external(manager, Message::new("recall"))
+            .unwrap();
         assert!(world.run_until_idle(Duration::from_secs(5)));
         let (metrics, trace) = world.shutdown();
         assert_eq!(metrics.migrations, 2, "hop out + retracted home");
-        assert_eq!(metrics.migrations_rejected, 0, "retraction passes authentication");
+        assert_eq!(
+            metrics.migrations_rejected, 0,
+            "retraction passes authentication"
+        );
         assert!(trace
             .events()
             .iter()

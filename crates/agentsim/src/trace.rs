@@ -34,7 +34,11 @@ impl Trace {
 
     /// Append an event.
     pub fn record(&mut self, at: SimTime, agent: Option<AgentId>, label: impl Into<String>) {
-        self.events.push(TraceEvent { at, agent, label: label.into() });
+        self.events.push(TraceEvent {
+            at,
+            agent,
+            label: label.into(),
+        });
     }
 
     /// All events in recording order.
@@ -97,7 +101,10 @@ mod tests {
         t.record(SimTime(1), None, "fig4.2/step1");
         t.record(SimTime(2), None, "fig4.3/step1");
         t.record(SimTime(3), None, "fig4.2/step2");
-        assert_eq!(t.labels_with_prefix("fig4.2/"), vec!["fig4.2/step1", "fig4.2/step2"]);
+        assert_eq!(
+            t.labels_with_prefix("fig4.2/"),
+            vec!["fig4.2/step1", "fig4.2/step2"]
+        );
     }
 
     #[test]

@@ -21,12 +21,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn ablation_tables() {
-    let spec = SweepSpec { items: 100, consumers: 40, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        items: 100,
+        consumers: 40,
+        ..SweepSpec::default()
+    };
     println!("\n[E10] {}", ablation(&spec, 15));
 }
 
 fn future_work_demos() {
-    let spec = SweepSpec { items: 60, consumers: 24, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        items: 60,
+        consumers: 24,
+        ..SweepSpec::default()
+    };
     let w = make_workload(&spec);
     let mut rng = StdRng::seed_from_u64(103);
     let history = w.population.sample_history(&w.listings, 15, &mut rng);
@@ -48,8 +56,14 @@ fn future_work_demos() {
     for i in 0..3 {
         println!(
             "{:>14} {:>14}",
-            recent.get(i).map(|(x, n)| format!("{x}({n})")).unwrap_or_default(),
-            alltime.get(i).map(|(x, n)| format!("{x}({n})")).unwrap_or_default()
+            recent
+                .get(i)
+                .map(|(x, n)| format!("{x}({n})"))
+                .unwrap_or_default(),
+            alltime
+                .get(i)
+                .map(|(x, n)| format!("{x}({n})"))
+                .unwrap_or_default()
         );
     }
 
@@ -62,7 +76,11 @@ fn future_work_demos() {
         }
     }
     let miner = TiedSale::new(2);
-    let probe = store.top_sellers(1).first().map(|(i, _)| *i).unwrap_or(ItemId(1));
+    let probe = store
+        .top_sellers(1)
+        .first()
+        .map(|(i, _)| *i)
+        .unwrap_or(ItemId(1));
     let companions = miner.companions(&store, probe, 3);
     println!("\n[E10] tied-sale companions of {probe}: {companions:?}");
 
@@ -81,7 +99,9 @@ fn future_work_demos() {
 fn negotiation_tactics() {
     use ecp::merchandise::Money;
     use ecp::negotiation::{negotiate, BuyerPolicy, ConcessionStrategy, SellerPolicy};
-    println!("[E10] seller concession tactics vs one buyer (list $100, reservation $50, budget $95)");
+    println!(
+        "[E10] seller concession tactics vs one buyer (list $100, reservation $50, budget $95)"
+    );
     println!("{:>22} {:>12} {:>8}", "tactic", "deal price", "rounds");
     let base = SellerPolicy::with_margin(Money::from_units(100), 0.5, 0.1);
     let buyer = BuyerPolicy {
@@ -133,7 +153,11 @@ fn bench(c: &mut Criterion) {
     future_work_demos();
     negotiation_tactics();
 
-    let spec = SweepSpec { items: 80, consumers: 30, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        items: 80,
+        consumers: 30,
+        ..SweepSpec::default()
+    };
     let w = make_workload(&spec);
     let mut rng = StdRng::seed_from_u64(104);
     let history = w.population.sample_history(&w.listings, 15, &mut rng);
@@ -146,7 +170,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| profile_similarity(&profiles[0], &profiles[1], &cfg));
     });
     group.bench_function("similarity_without_discard", |b| {
-        let cfg = SimilarityConfig { discard_threshold: None, ..SimilarityConfig::default() };
+        let cfg = SimilarityConfig {
+            discard_threshold: None,
+            ..SimilarityConfig::default()
+        };
         b.iter(|| profile_similarity(&profiles[0], &profiles[1], &cfg));
     });
     group.bench_function("community_graph_30_users", |b| {

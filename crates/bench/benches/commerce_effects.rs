@@ -31,7 +31,10 @@ fn day_comparison() {
             .marketplaces(split_across_markets(listings.clone(), 2))
             .build();
         let mut rng = StdRng::seed_from_u64(94);
-        let config = SessionConfig { use_recommendations: use_recs, ..SessionConfig::default() };
+        let config = SessionConfig {
+            use_recommendations: use_recs,
+            ..SessionConfig::default()
+        };
         let report = run_population_sessions(&mut platform, &population, &config, &mut rng);
         println!(
             "{:>8} {:>11.2} {:>11.2} {:>10} {:>10} {:>13} {:>13.2}",
@@ -80,9 +83,7 @@ fn loyalty_simulation() {
         }
         actives.push(counts);
     }
-    for (round, (with_recs, without)) in
-        actives[0].iter().zip(actives[1].iter()).enumerate()
-    {
+    for (round, (with_recs, without)) in actives[0].iter().zip(actives[1].iter()).enumerate() {
         println!("{:>6} {:>14} {:>14}", round + 1, with_recs, without);
     }
     println!("(higher satisfaction with recommendations retains more consumers)\n");
@@ -101,7 +102,9 @@ fn bench(c: &mut Criterion) {
             .build();
         let mut rng = StdRng::seed_from_u64(102);
         let config = SessionConfig::default();
-        let single = Population { consumers: vec![population.consumers[0].clone()] };
+        let single = Population {
+            consumers: vec![population.consumers[0].clone()],
+        };
         b.iter(|| run_session(&mut platform, &single.consumers[0], &config, &mut rng));
     });
     group.finish();

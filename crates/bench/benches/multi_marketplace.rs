@@ -26,14 +26,17 @@ fn discovery_series() {
     let all = replicate_with_price_jitter(&base, 8, 0.2, &mut rng);
     let keyword = base[0].item.name.clone();
     for n in [1usize, 2, 4, 6, 8] {
-        let mut platform =
-            Platform::builder(70 + n as u64).marketplaces(all[..n].to_vec()).build();
+        let mut platform = Platform::builder(70 + n as u64)
+            .marketplaces(all[..n].to_vec())
+            .build();
         platform.login(ConsumerId(1));
         let migrations_before = platform.world().metrics().migrations;
         let responses = platform.query(ConsumerId(1), &[keyword.as_str()], 3);
         let times = workflow::step_times(platform.world().trace(), FIG_QUERY);
-        let tour =
-            times[15].expect("step15").since(times[1].expect("step1")).as_millis_f64();
+        let tour = times[15]
+            .expect("step15")
+            .since(times[1].expect("step1"))
+            .as_millis_f64();
         for r in responses {
             if let ResponseBody::Recommendations { offers, .. } = r {
                 let best = offers.iter().map(|o| o.price).min();
@@ -61,8 +64,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [1usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("tour", n), &n, |b, &n| {
-            let mut platform =
-                Platform::builder(75 + n as u64).marketplaces(all[..n].to_vec()).build();
+            let mut platform = Platform::builder(75 + n as u64)
+                .marketplaces(all[..n].to_vec())
+                .build();
             platform.login(ConsumerId(1));
             b.iter(|| platform.query(ConsumerId(1), &[keyword.as_str()], 3));
         });

@@ -141,7 +141,10 @@ impl Agent for Tourist {
 
 fn migration_series() {
     println!("\n[E8] migration round trip sim-time vs payload (LAN vs WAN)");
-    println!("{:>12} {:>14} {:>14}", "payload (B)", "LAN (ms)", "WAN (ms)");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "payload (B)", "LAN (ms)", "WAN (ms)"
+    );
     for payload in [0usize, 1_000, 10_000, 100_000] {
         let mut row = Vec::new();
         for link in [LinkSpec::lan(), LinkSpec::wan()] {
@@ -152,7 +155,12 @@ fn migration_series() {
             let agent = world
                 .create_agent(
                     home,
-                    Box::new(Luggage { home, away, ballast: vec![7; payload], trips: 0 }),
+                    Box::new(Luggage {
+                        home,
+                        away,
+                        ballast: vec![7; payload],
+                        trips: 0,
+                    }),
                 )
                 .unwrap();
             world.send_external(agent, Message::new("trip")).unwrap();
@@ -167,19 +175,32 @@ fn migration_series() {
 
 fn chatter_series() {
     println!("[E8] N-interaction conversation under WAN latency: RPC vs mobile agent");
-    println!("{:>6} {:>14} {:>14} {:>14} {:>14}", "N", "rpc sim-ms", "agent sim-ms", "rpc B", "agent B");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "N", "rpc sim-ms", "agent sim-ms", "rpc B", "agent B"
+    );
     for n in [1u32, 5, 20, 100] {
         // RPC
         let mut world = SimWorld::with_topology(9, Topology::uniform(LinkSpec::wan()));
-        world.registry_mut().register_serde::<Requester>("requester");
+        world
+            .registry_mut()
+            .register_serde::<Requester>("requester");
         world.registry_mut().register_serde::<Echo>("echo");
         let client_host = world.add_host("client");
         let server_host = world.add_host("server");
         let echo = world.create_agent(server_host, Box::new(Echo)).unwrap();
         let requester = world
-            .create_agent(client_host, Box::new(Requester { peer: echo, remaining: n }))
+            .create_agent(
+                client_host,
+                Box::new(Requester {
+                    peer: echo,
+                    remaining: n,
+                }),
+            )
             .unwrap();
-        world.send_external(requester, Message::new("start")).unwrap();
+        world
+            .send_external(requester, Message::new("start"))
+            .unwrap();
         let t0 = world.now();
         world.run_until_idle();
         let rpc_time = world.now().since(t0).as_millis_f64();
@@ -196,7 +217,12 @@ fn chatter_series() {
         world
             .create_agent(
                 client_host,
-                Box::new(Tourist { home: client_host, away: server_host, peer: echo, remaining: n }),
+                Box::new(Tourist {
+                    home: client_host,
+                    away: server_host,
+                    peer: echo,
+                    remaining: n,
+                }),
             )
             .unwrap();
         world.run_until_idle();
@@ -223,7 +249,12 @@ fn deactivation_series() {
             world
                 .create_agent(
                     host,
-                    Box::new(Luggage { home: host, away, ballast: vec![7; 2_000], trips: 0 }),
+                    Box::new(Luggage {
+                        home: host,
+                        away,
+                        ballast: vec![7; 2_000],
+                        trips: 0,
+                    }),
                 )
                 .unwrap(),
         );
@@ -265,13 +296,21 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("des_remote_ping_pong", |b| {
         let mut world = SimWorld::new(2);
-        world.registry_mut().register_serde::<Requester>("requester");
+        world
+            .registry_mut()
+            .register_serde::<Requester>("requester");
         world.registry_mut().register_serde::<Echo>("echo");
         let ch = world.add_host("c");
         let sh = world.add_host("s");
         let echo = world.create_agent(sh, Box::new(Echo)).unwrap();
         let req = world
-            .create_agent(ch, Box::new(Requester { peer: echo, remaining: u32::MAX }))
+            .create_agent(
+                ch,
+                Box::new(Requester {
+                    peer: echo,
+                    remaining: u32::MAX,
+                }),
+            )
             .unwrap();
         world.send_external(req, Message::new("start")).unwrap();
         b.iter(|| {
@@ -288,7 +327,12 @@ fn bench(c: &mut Criterion) {
         let agent = world
             .create_agent(
                 home,
-                Box::new(Luggage { home, away, ballast: vec![7; 1_000], trips: 0 }),
+                Box::new(Luggage {
+                    home,
+                    away,
+                    ballast: vec![7; 1_000],
+                    trips: 0,
+                }),
             )
             .unwrap();
         b.iter(|| {
@@ -304,7 +348,12 @@ fn bench(c: &mut Criterion) {
         let agent = world
             .create_agent(
                 host,
-                Box::new(Luggage { home: host, away, ballast: vec![7; 2_000], trips: 0 }),
+                Box::new(Luggage {
+                    home: host,
+                    away,
+                    ballast: vec![7; 2_000],
+                    trips: 0,
+                }),
             )
             .unwrap();
         b.iter(|| {

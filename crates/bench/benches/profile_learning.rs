@@ -14,7 +14,10 @@ use eval::sweep::{alpha_convergence, SweepSpec};
 
 fn convergence_table() {
     let spec = SweepSpec::default();
-    println!("\n[E5] {}", alpha_convergence(&spec, &[0.05, 0.1, 0.3, 0.6, 1.0], 80));
+    println!(
+        "\n[E5] {}",
+        alpha_convergence(&spec, &[0.05, 0.1, 0.3, 0.6, 1.0], 80)
+    );
 }
 
 fn sample_event(i: u64) -> BehaviorEvent {

@@ -1,0 +1,107 @@
+//! Query-serving hot path: indexed store vs the reference full scan.
+//!
+//! Builds synthetic stores at 1k / 10k / 100k consumers (50 taste
+//! clusters, each with its own slice of the catalog, so posting-list
+//! pruning has realistic selectivity) and times:
+//!
+//! * `HybridRecommender::recommend` (indexed) vs `recommend_naive`
+//!   (full profile scan) — the acceptance metric;
+//! * `RecommendStore::nearest_neighbours` vs the free-function scan;
+//! * `ItemCfRecommender::recommend` (memoized cosines) vs
+//!   `recommend_naive`.
+//!
+//! Naive variants are skipped at 100k consumers — a single full-scan
+//! query at that size takes longer than the whole indexed series.
+
+use abcrm_core::learning::BehaviorKind;
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::recommend::{HybridRecommender, QueryContext, Recommender};
+use abcrm_core::store::RecommendStore;
+use abcrm_core::ItemCfRecommender;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecp::merchandise::{CategoryPath, ItemId, Merchandise, Money};
+use ecp::terms::TermVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CLUSTERS: u64 = 50;
+const ITEMS_PER_CLUSTER: u64 = 20;
+const EVENTS_PER_USER: u32 = 6;
+
+fn merch(cluster: u64, slot: u64) -> Merchandise {
+    let id = cluster * ITEMS_PER_CLUSTER + slot + 1;
+    Merchandise {
+        id: ItemId(id),
+        name: format!("c{cluster}i{slot}"),
+        category: CategoryPath::new(format!("cat{}", cluster % 10), format!("sub{cluster}")),
+        terms: TermVector::from_pairs([
+            (format!("c{cluster}t{}", slot % 8), 1.0),
+            (format!("c{cluster}common"), 0.4),
+        ]),
+        list_price: Money::from_units(10 + id % 50),
+        seller: 1,
+    }
+}
+
+fn build_store(users: u64) -> RecommendStore {
+    let mut store = RecommendStore::new();
+    for cluster in 0..CLUSTERS {
+        for slot in 0..ITEMS_PER_CLUSTER {
+            store.upsert_item(merch(cluster, slot));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(42);
+    let kinds = [
+        BehaviorKind::Browse,
+        BehaviorKind::Query,
+        BehaviorKind::Purchase,
+    ];
+    for user in 1..=users {
+        let cluster = user % CLUSTERS;
+        for _ in 0..EVENTS_PER_USER {
+            let slot = rng.gen_range(0..ITEMS_PER_CLUSTER);
+            let item = ItemId(cluster * ITEMS_PER_CLUSTER + slot + 1);
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            store.record_event(ConsumerId(user), item, kind);
+        }
+    }
+    store
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_hot_path");
+    group.sample_size(10);
+    let hybrid = HybridRecommender::default();
+    let itemcf = ItemCfRecommender::default();
+    let ctx = QueryContext::default();
+    let probe = ConsumerId(1);
+
+    for users in [1_000u64, 10_000, 100_000] {
+        let store = build_store(users);
+        let cfg = hybrid.similarity;
+        group.bench_with_input(BenchmarkId::new("hybrid_indexed", users), &store, |b, s| {
+            b.iter(|| hybrid.recommend(s, probe, &ctx, 10));
+        });
+        group.bench_with_input(BenchmarkId::new("nn_indexed", users), &store, |b, s| {
+            b.iter(|| s.nearest_neighbours(probe, &cfg, 10));
+        });
+        group.bench_with_input(BenchmarkId::new("itemcf_cached", users), &store, |b, s| {
+            b.iter(|| itemcf.recommend(s, probe, &ctx, 10));
+        });
+        if users <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("hybrid_naive", users), &store, |b, s| {
+                b.iter(|| hybrid.recommend_naive(s, probe, &ctx, 10));
+            });
+            group.bench_with_input(BenchmarkId::new("nn_naive", users), &store, |b, s| {
+                b.iter(|| s.nearest_neighbours_naive(probe, &cfg, 10));
+            });
+            group.bench_with_input(BenchmarkId::new("itemcf_naive", users), &store, |b, s| {
+                b.iter(|| itemcf.recommend_naive(s, probe, &ctx, 10));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

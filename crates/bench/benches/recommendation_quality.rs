@@ -17,14 +17,22 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn quality_tables() {
-    let spec = SweepSpec { items: 100, consumers: 40, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        items: 100,
+        consumers: 40,
+        ..SweepSpec::default()
+    };
     println!("\n[E6] {}", sparsity_sweep(&spec, &[1, 3, 7, 15, 30]));
     println!("[E6] {}", cold_start_eval(&spec, 15));
 }
 
 fn bench(c: &mut Criterion) {
     quality_tables();
-    let spec = SweepSpec { items: 200, consumers: 60, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        items: 200,
+        consumers: 60,
+        ..SweepSpec::default()
+    };
     let w = make_workload(&spec);
     let mut rng = StdRng::seed_from_u64(61);
     let history = w.population.sample_history(&w.listings, 20, &mut rng);

@@ -22,7 +22,10 @@ fn negotiate_mode(budget_units: u64) -> BuyMode {
 
 fn transact_series() {
     println!("\n[E4] Fig 4.3 trade variants: sim-time and messages (1 marketplace, LAN)");
-    println!("{:>22} {:>14} {:>10} {:>10}", "variant", "sim-ms", "messages", "outcome");
+    println!(
+        "{:>22} {:>14} {:>10} {:>10}",
+        "variant", "sim-ms", "messages", "outcome"
+    );
     // catalog item 1 always exists; its price is seed-dependent, so use a
     // generous budget for the "easy" negotiation and a tiny one for the
     // walk-away

@@ -13,7 +13,10 @@ use workload::catalog::split_across_markets;
 
 fn creation_series() {
     println!("\n[E2] Fig 4.1 creation workflow: sim-time to ready vs marketplaces");
-    println!("{:>13} {:>16} {:>10}", "marketplaces", "sim-time (ms)", "steps");
+    println!(
+        "{:>13} {:>16} {:>10}",
+        "marketplaces", "sim-time (ms)", "steps"
+    );
     for markets in [1usize, 2, 4, 8] {
         let listings = bench_listings(40, 11);
         let platform = Platform::builder(5)

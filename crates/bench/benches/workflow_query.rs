@@ -28,7 +28,10 @@ fn step_breakdown() {
 
 fn tour_series() {
     println!("[E3] end-to-end query sim-time vs marketplaces (LAN)");
-    println!("{:>13} {:>16} {:>12}", "marketplaces", "sim-time (ms)", "migrations");
+    println!(
+        "{:>13} {:>16} {:>12}",
+        "marketplaces", "sim-time (ms)", "migrations"
+    );
     for markets in [1usize, 2, 4, 8] {
         let mut platform = bench_platform(40, markets, 22);
         let listings = bench_listings(40, 22);

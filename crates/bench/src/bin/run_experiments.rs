@@ -13,10 +13,20 @@ use eval::sweep::{
 };
 
 fn main() {
-    let spec = SweepSpec { items: 100, consumers: 40, clusters: 3, ..SweepSpec::default() };
-    println!("workload: {} items, {} consumers, {} clusters, k={}\n",
-        spec.items, spec.consumers, spec.clusters, spec.k);
-    println!("{}", alpha_convergence(&spec, &[0.05, 0.1, 0.3, 0.6, 1.0], 80));
+    let spec = SweepSpec {
+        items: 100,
+        consumers: 40,
+        clusters: 3,
+        ..SweepSpec::default()
+    };
+    println!(
+        "workload: {} items, {} consumers, {} clusters, k={}\n",
+        spec.items, spec.consumers, spec.clusters, spec.k
+    );
+    println!(
+        "{}",
+        alpha_convergence(&spec, &[0.05, 0.1, 0.3, 0.6, 1.0], 80)
+    );
     println!("{}", sparsity_sweep(&spec, &[1, 3, 7, 15, 30]));
     println!("{}", cold_start_eval(&spec, 15));
     println!("{}", prediction_accuracy(&spec, &[3, 7, 15, 30]));

@@ -18,7 +18,15 @@ use workload::taxonomy::{Taxonomy, TaxonomySpec};
 pub fn bench_listings(items: usize, seed: u64) -> Vec<Listing> {
     let taxonomy = Taxonomy::generate(TaxonomySpec::default());
     let mut rng = StdRng::seed_from_u64(seed);
-    generate_listings(&taxonomy, &CatalogSpec { items, ..CatalogSpec::default() }, 1, &mut rng)
+    generate_listings(
+        &taxonomy,
+        &CatalogSpec {
+            items,
+            ..CatalogSpec::default()
+        },
+        1,
+        &mut rng,
+    )
 }
 
 /// Platform with `markets` marketplaces sharing a split of `items`
@@ -36,7 +44,11 @@ pub fn bench_platform(items: usize, markets: usize, seed: u64) -> Platform {
 pub fn bench_population(listings: &[Listing], consumers: usize, seed: u64) -> Population {
     let mut rng = StdRng::seed_from_u64(seed);
     Population::generate(
-        &PopulationSpec { consumers, clusters: 3, ..PopulationSpec::default() },
+        &PopulationSpec {
+            consumers,
+            clusters: 3,
+            ..PopulationSpec::default()
+        },
         listings,
         &mut rng,
     )

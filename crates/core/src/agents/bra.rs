@@ -15,9 +15,8 @@
 
 use crate::agents::mba::{MbaTask, MobileBuyerAgent};
 use crate::agents::msg::{
-    kinds, BraResponse, ConsumerTask, MarketRef, MbaLost, MbaRegister, MbaResult,
-    PaLoad, PaProfile, PaRecord, PaSimilar, PaSimilarReply, RecommendedItem, ResponseBody,
-    RoutedTask,
+    kinds, BraResponse, ConsumerTask, MarketRef, MbaLost, MbaRegister, MbaResult, PaLoad,
+    PaProfile, PaRecord, PaSimilar, PaSimilarReply, RecommendedItem, ResponseBody, RoutedTask,
 };
 use crate::learning::BehaviorKind;
 use crate::profile::{ConsumerId, Profile};
@@ -41,7 +40,10 @@ enum Pending {
     /// MBA dispatched; awaiting its result (arrives after reactivation).
     AwaitMba { task: ConsumerTask },
     /// Offers in hand; awaiting the PA's similar-user data.
-    AwaitSimilar { task: ConsumerTask, offers: Vec<Offer> },
+    AwaitSimilar {
+        task: ConsumerTask,
+        offers: Vec<Offer>,
+    },
 }
 
 /// The Buyer Recommend Agent.
@@ -102,7 +104,10 @@ impl BuyerRecommendAgent {
 
     fn respond(&mut self, ctx: &mut Ctx<'_>, body: ResponseBody) {
         let msg = Message::new(kinds::BRA_RESPONSE)
-            .with_payload(&BraResponse { consumer: self.consumer, body })
+            .with_payload(&BraResponse {
+                consumer: self.consumer,
+                body,
+            })
             .expect("response serializes");
         ctx.send(self.httpa, msg);
     }
@@ -115,7 +120,10 @@ impl BuyerRecommendAgent {
         let fig = task.figure();
         ctx.note(format!("{fig}/step04 bra requests profile from pa"));
         let load = Message::new(kinds::PA_LOAD)
-            .with_payload(&PaLoad { consumer: self.consumer, figure: fig.to_string() })
+            .with_payload(&PaLoad {
+                consumer: self.consumer,
+                figure: fig.to_string(),
+            })
             .expect("load serializes");
         ctx.send(self.pa, load);
         self.pending = Some(Pending::AwaitProfile { task });
@@ -124,7 +132,11 @@ impl BuyerRecommendAgent {
     fn dispatch_mba(&mut self, ctx: &mut Ctx<'_>, task: ConsumerTask) {
         let fig = task.figure();
         let (mba_task, itinerary) = match &task {
-            ConsumerTask::Query { keywords, category, max_results } => (
+            ConsumerTask::Query {
+                keywords,
+                category,
+                max_results,
+            } => (
                 MbaTask::Query {
                     keywords: keywords.clone(),
                     category: category.clone(),
@@ -132,15 +144,29 @@ impl BuyerRecommendAgent {
                 },
                 self.markets.clone(),
             ),
-            ConsumerTask::Buy { item, market, mode } => {
-                (MbaTask::Buy { item: *item, mode: *mode }, vec![*market])
-            }
-            ConsumerTask::Auction { item, market, limit } => {
-                (MbaTask::Auction { item: *item, limit: *limit }, vec![*market])
-            }
+            ConsumerTask::Buy { item, market, mode } => (
+                MbaTask::Buy {
+                    item: *item,
+                    mode: *mode,
+                },
+                vec![*market],
+            ),
+            ConsumerTask::Auction {
+                item,
+                market,
+                limit,
+            } => (
+                MbaTask::Auction {
+                    item: *item,
+                    limit: *limit,
+                },
+                vec![*market],
+            ),
         };
         let create_step = if fig == "fig4.2" { "step07" } else { "step06" };
-        ctx.note(format!("{fig}/{create_step} bra creates mba and assigns task"));
+        ctx.note(format!(
+            "{fig}/{create_step} bra creates mba and assigns task"
+        ));
         let mba = ctx.create_agent(Box::new(MobileBuyerAgent::new(
             ctx.host(),
             self.bsma,
@@ -175,7 +201,9 @@ impl BuyerRecommendAgent {
         k: usize,
     ) -> Vec<RecommendedItem> {
         let (keywords, category) = match task {
-            ConsumerTask::Query { keywords, category, .. } => (keywords.clone(), category.clone()),
+            ConsumerTask::Query {
+                keywords, category, ..
+            } => (keywords.clone(), category.clone()),
             _ => (Vec::new(), None),
         };
         let context = crate::recommend::QueryContext { keywords, category };
@@ -185,7 +213,8 @@ impl BuyerRecommendAgent {
             pool.insert(m.id.0, (m.clone(), *w));
         }
         for offer in offers {
-            pool.entry(offer.item.id.0).or_insert((offer.item.clone(), 0.0));
+            pool.entry(offer.item.id.0)
+                .or_insert((offer.item.clone(), 0.0));
         }
         let cw = self.collaborative_weight;
         let n_neighbours = data.neighbours.len();
@@ -203,15 +232,18 @@ impl BuyerRecommendAgent {
                 let collab_part = cw * collab;
                 let affinity_part = (1.0 - cw) * 0.5 * affinity;
                 let relevance_part = (1.0 - cw) * 0.5 * relevance;
-                let reason = if collab_part >= affinity_part && collab_part >= relevance_part
-                {
+                let reason = if collab_part >= affinity_part && collab_part >= relevance_part {
                     format!("preferred by {n_neighbours} consumers with similar taste")
                 } else if affinity_part >= relevance_part {
                     format!("matches your interest in {}", m.category)
                 } else {
                     "matches your search".to_string()
                 };
-                RecommendedItem { item: m, score, reason }
+                RecommendedItem {
+                    item: m,
+                    score,
+                    reason,
+                }
             })
             .filter(|r| r.score > 0.0)
             .collect();
@@ -265,7 +297,12 @@ impl BuyerRecommendAgent {
                 ctx.send(self.pa, similar);
                 self.pending = Some(Pending::AwaitSimilar { task, offers });
             }
-            MbaResult::Bought { item, price, negotiated, rounds } => {
+            MbaResult::Bought {
+                item,
+                price,
+                negotiated,
+                rounds,
+            } => {
                 ctx.note("fig4.3/step13 bra records transaction and pa updates profile");
                 let kind = if negotiated {
                     BehaviorKind::Negotiate
@@ -296,7 +333,12 @@ impl BuyerRecommendAgent {
                 ctx.note("fig4.3/step14 bra responds with failure");
                 self.respond(ctx, ResponseBody::Error(reason));
             }
-            MbaResult::AuctionDone { item, won, price, bids } => {
+            MbaResult::AuctionDone {
+                item,
+                won,
+                price,
+                bids,
+            } => {
                 ctx.note("fig4.3/step13 bra records auction outcome");
                 if bids > 0 {
                     self.record_behavior(ctx, &item, BehaviorKind::Bid, None);
@@ -363,7 +405,13 @@ impl Agent for BuyerRecommendAgent {
                 let recommendations = self.generate_recommendations(&offers, &data, &task, max);
                 self.recommendations_made += 1;
                 ctx.note("fig4.2/step15 bra responds with recommendations");
-                self.respond(ctx, ResponseBody::Recommendations { offers, recommendations });
+                self.respond(
+                    ctx,
+                    ResponseBody::Recommendations {
+                        offers,
+                        recommendations,
+                    },
+                );
             }
             kinds::MBA_LOST => {
                 if let Ok(lost) = msg.payload_as::<MbaLost>() {
@@ -407,18 +455,15 @@ mod tests {
     }
 
     fn bra() -> BuyerRecommendAgent {
-        BuyerRecommendAgent::new(
-            ConsumerId(1),
-            AgentId(2),
-            AgentId(3),
-            AgentId(4),
-            vec![],
-        )
+        BuyerRecommendAgent::new(ConsumerId(1), AgentId(2), AgentId(3), AgentId(4), vec![])
     }
 
     fn reply_with(prefs: Vec<(Merchandise, f64)>) -> PaSimilarReply {
         let mut profile = Profile::new();
-        profile.category_mut("books").sub_mut("programming").set("rustbook1", 1.0);
+        profile
+            .category_mut("books")
+            .sub_mut("programming")
+            .set("rustbook1", 1.0);
         PaSimilarReply {
             consumer: ConsumerId(1),
             profile,
@@ -470,17 +515,26 @@ mod tests {
             max_results: 5,
         };
         let recs = b.generate_recommendations(&offers, &data, &task, 5);
-        assert_eq!(recs[0].item.id, ItemId(1), "pure content ranks the matching offer first");
+        assert_eq!(
+            recs[0].item.id,
+            ItemId(1),
+            "pure content ranks the matching offer first"
+        );
     }
 
     #[test]
     fn recommendations_truncate_at_k() {
         let b = bra();
         let data = reply_with(
-            (1..=20).map(|i| (merch(i, &format!("rustbook{i}")), 0.5)).collect(),
+            (1..=20)
+                .map(|i| (merch(i, &format!("rustbook{i}")), 0.5))
+                .collect(),
         );
-        let task =
-            ConsumerTask::Query { keywords: vec![], category: None, max_results: 20 };
+        let task = ConsumerTask::Query {
+            keywords: vec![],
+            category: None,
+            max_results: 20,
+        };
         let recs = b.generate_recommendations(&[], &data, &task, 3);
         assert_eq!(recs.len(), 3);
     }

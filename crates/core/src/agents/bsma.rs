@@ -27,9 +27,7 @@ use agentsim::agent::{Agent, Ctx};
 use agentsim::clock::SimDuration;
 use agentsim::ids::{AgentId, HostId};
 use agentsim::message::Message;
-use ecp::protocol::{
-    kinds as ecpk, ListServers, RegisterServer, ServerList, ServerRole,
-};
+use ecp::protocol::{kinds as ecpk, ListServers, RegisterServer, ServerList, ServerRole};
 use serde::{Deserialize, Serialize};
 use simdb::JsonStore;
 
@@ -137,7 +135,10 @@ impl Bsma {
     }
 
     fn session_of(&self, consumer: u64) -> Option<AgentId> {
-        self.sessions.iter().find(|(c, _)| *c == consumer).map(|(_, b)| *b)
+        self.sessions
+            .iter()
+            .find(|(c, _)| *c == consumer)
+            .map(|(_, b)| *b)
     }
 
     fn setup(&mut self, ctx: &mut Ctx<'_>) {
@@ -152,9 +153,15 @@ impl Bsma {
         self.httpa = Some(httpa);
         ctx.note("fig4.1/step6 bsma initializes bsmdb and userdb");
         self.bsmdb = JsonStore::new("bsmdb");
-        self.bsmdb.create_table("marketplaces").expect("create marketplaces table");
-        self.bsmdb.create_table("sessions").expect("create sessions table");
-        self.bsmdb.create_table("mba-registry").expect("create mba table");
+        self.bsmdb
+            .create_table("marketplaces")
+            .expect("create marketplaces table");
+        self.bsmdb
+            .create_table("sessions")
+            .expect("create sessions table");
+        self.bsmdb
+            .create_table("mba-registry")
+            .expect("create mba table");
         for market in &self.config.markets.clone() {
             self.store_market(ctx, *market);
         }
@@ -170,7 +177,9 @@ impl Bsma {
                 .expect("register serializes");
             ctx.send(self.config.coordinator, register);
             let list = Message::new(ecpk::LIST_SERVERS)
-                .with_payload(&ListServers { role: ServerRole::Marketplace })
+                .with_payload(&ListServers {
+                    role: ServerRole::Marketplace,
+                })
                 .expect("list serializes");
             ctx.send(self.config.coordinator, list);
         }
@@ -178,11 +187,10 @@ impl Bsma {
     }
 
     fn store_market(&mut self, ctx: &mut Ctx<'_>, market: MarketRef) {
-        if let Err(e) = self.bsmdb.put_typed(
-            "marketplaces",
-            &market.agent.to_string(),
-            &market,
-        ) {
+        if let Err(e) = self
+            .bsmdb
+            .put_typed("marketplaces", &market.agent.to_string(), &market)
+        {
             ctx.note(format!("bsma: bsmdb marketplace write failed: {e}"));
         }
     }
@@ -211,18 +219,20 @@ impl Bsma {
                 ));
                 ctx.note(format!("bsma: bra {bra} created for {}", req.consumer));
                 self.sessions.push((req.consumer.0, bra));
-                if let Err(e) = self.bsmdb.put_typed(
-                    "sessions",
-                    &req.consumer.0.to_string(),
-                    &bra.0,
-                ) {
+                if let Err(e) =
+                    self.bsmdb
+                        .put_typed("sessions", &req.consumer.0.to_string(), &bra.0)
+                {
                     ctx.note(format!("bsma: bsmdb session write failed: {e}"));
                 }
                 bra
             }
         };
         let reply = Message::new(kinds::SESSION_OPEN)
-            .with_payload(&SessionOpen { consumer: req.consumer, bra })
+            .with_payload(&SessionOpen {
+                consumer: req.consumer,
+                bra,
+            })
             .expect("session serializes");
         ctx.reply(msg, reply);
     }
@@ -236,7 +246,9 @@ impl Bsma {
             }
         }
         let reply = Message::new(kinds::SESSION_CLOSED)
-            .with_payload(&SessionRequest { consumer: req.consumer })
+            .with_payload(&SessionRequest {
+                consumer: req.consumer,
+            })
             .expect("session serializes");
         ctx.reply(msg, reply);
     }
@@ -253,7 +265,9 @@ impl Bsma {
             }
             None => {
                 let reply = Message::new(kinds::NO_SESSION)
-                    .with_payload(&SessionRequest { consumer: routed.consumer })
+                    .with_payload(&SessionRequest {
+                        consumer: routed.consumer,
+                    })
                     .expect("session serializes");
                 ctx.reply(msg, reply);
             }
@@ -266,15 +280,19 @@ impl Bsma {
         ctx.note(format!(
             "{fig}/{step} bsma records mba in bsmdb and deactivates bra"
         ));
-        if let Err(e) =
-            self.bsmdb.put_typed("mba-registry", &register.mba.to_string(), &register)
+        if let Err(e) = self
+            .bsmdb
+            .put_typed("mba-registry", &register.mba.to_string(), &register)
         {
             ctx.note(format!("bsma: bsmdb mba write failed: {e}"));
         }
         // §4.1 principle 3: Aglet.deactivate() on the BRA while the MBA
         // roams
         ctx.deactivate(register.bra);
-        ctx.set_timer(SimDuration::from_micros(register.timeout_us), register.mba.0);
+        ctx.set_timer(
+            SimDuration::from_micros(register.timeout_us),
+            register.mba.0,
+        );
         self.mba_watch.push(WatchEntry { register });
     }
 
@@ -284,7 +302,10 @@ impl Bsma {
             .iter()
             .position(|w| w.register.mba == returned.mba)
         else {
-            ctx.note(format!("bsma: unknown mba {} reported return", returned.mba));
+            ctx.note(format!(
+                "bsma: unknown mba {} reported return",
+                returned.mba
+            ));
             return;
         };
         let entry = self.mba_watch.remove(pos);
@@ -372,8 +393,10 @@ impl Agent for Bsma {
                 if let Ok(list) = msg.payload_as::<ServerList>() {
                     for server in list.servers {
                         if server.role == ServerRole::Marketplace {
-                            let market =
-                                MarketRef { host: server.host, agent: server.agent };
+                            let market = MarketRef {
+                                host: server.host,
+                                agent: server.agent,
+                            };
                             if !self.config.markets.contains(&market) {
                                 self.config.markets.push(market);
                                 self.store_market(ctx, market);
@@ -400,12 +423,17 @@ impl Agent for Bsma {
             "bsma: mba {} overdue; reactivating bra and reporting loss",
             entry.register.mba
         ));
-        if let Err(e) = self.bsmdb.delete("mba-registry", &entry.register.mba.to_string()) {
+        if let Err(e) = self
+            .bsmdb
+            .delete("mba-registry", &entry.register.mba.to_string())
+        {
             ctx.note(format!("bsma: bsmdb mba delete failed: {e}"));
         }
         ctx.activate(entry.register.bra);
         let lost = Message::new(kinds::MBA_LOST)
-            .with_payload(&MbaLost { mba: entry.register.mba })
+            .with_payload(&MbaLost {
+                mba: entry.register.mba,
+            })
             .expect("lost serializes");
         ctx.send(entry.register.bra, lost);
     }
@@ -427,7 +455,10 @@ mod tests {
     fn bsma_state_deserializes_from_bare_config() {
         // the Coordinator provisions a BSMA from just {"config": ...};
         // runtime fields default
-        let config = BsmaConfig { name: "b1".into(), ..BsmaConfig::default() };
+        let config = BsmaConfig {
+            name: "b1".into(),
+            ..BsmaConfig::default()
+        };
         let state = serde_json::json!({ "config": config });
         let bsma: Bsma = serde_json::from_value(state).unwrap();
         assert_eq!(bsma.config.name, "b1");

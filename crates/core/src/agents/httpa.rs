@@ -10,8 +10,8 @@
 //! same request/translate/respond path a servlet front would take.
 
 use crate::agents::msg::{
-    kinds, BraResponse, FrontRequest, FrontRequestBody, FrontResponse, ResponseBody,
-    RoutedTask, SessionOpen, SessionRequest,
+    kinds, BraResponse, FrontRequest, FrontRequestBody, FrontResponse, ResponseBody, RoutedTask,
+    SessionOpen, SessionRequest,
 };
 use agentsim::agent::{Agent, Ctx};
 use agentsim::ids::AgentId;
@@ -32,7 +32,11 @@ pub struct HttpAgent {
 impl HttpAgent {
     /// Front agent wired to its BSMA.
     pub fn new(bsma: AgentId) -> Self {
-        HttpAgent { bsma, responses: Vec::new(), requests_seen: 0 }
+        HttpAgent {
+            bsma,
+            responses: Vec::new(),
+            requests_seen: 0,
+        }
     }
 
     /// Responses delivered so far (the browser's view).
@@ -66,13 +70,17 @@ impl Agent for HttpAgent {
                 match req.body {
                     FrontRequestBody::Login => {
                         let login = Message::new(kinds::LOGIN)
-                            .with_payload(&SessionRequest { consumer: req.consumer })
+                            .with_payload(&SessionRequest {
+                                consumer: req.consumer,
+                            })
                             .expect("login serializes");
                         ctx.send(self.bsma, login);
                     }
                     FrontRequestBody::Logout => {
                         let logout = Message::new(kinds::LOGOUT)
-                            .with_payload(&SessionRequest { consumer: req.consumer })
+                            .with_payload(&SessionRequest {
+                                consumer: req.consumer,
+                            })
                             .expect("logout serializes");
                         ctx.send(self.bsma, logout);
                     }
@@ -81,7 +89,10 @@ impl Agent for HttpAgent {
                         ctx.note(format!("{fig}/step01 buyer request received by httpa"));
                         ctx.note(format!("{fig}/step02 httpa forwards to bsma"));
                         let route = Message::new(kinds::ROUTE_TASK)
-                            .with_payload(&RoutedTask { consumer: req.consumer, task })
+                            .with_payload(&RoutedTask {
+                                consumer: req.consumer,
+                                task,
+                            })
                             .expect("route serializes");
                         ctx.send(self.bsma, route);
                     }

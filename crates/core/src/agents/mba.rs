@@ -150,7 +150,11 @@ impl MobileBuyerAgent {
         let step = if fig == "fig4.2" { "step10" } else { "step09" };
         ctx.note(format!("{fig}/{step} mba at {} executing task", ctx.host()));
         match &self.task {
-            MbaTask::Query { keywords, category, max_results } => {
+            MbaTask::Query {
+                keywords,
+                category,
+                max_results,
+            } => {
                 let req = QueryRequest {
                     keywords: keywords.clone(),
                     category: category.clone(),
@@ -168,7 +172,12 @@ impl MobileBuyerAgent {
                         .expect("buy serializes");
                     ctx.send(market.agent, msg);
                 }
-                BuyMode::Negotiate { budget, opening_fraction, raise, max_rounds } => {
+                BuyMode::Negotiate {
+                    budget,
+                    opening_fraction,
+                    raise,
+                    max_rounds,
+                } => {
                     let policy = BuyerPolicy {
                         budget: *budget,
                         opening_fraction: *opening_fraction,
@@ -181,7 +190,10 @@ impl MobileBuyerAgent {
                     let opening = session.opening_offer();
                     self.negotiation = Some(session);
                     let msg = Message::new(ecpk::kinds::NEGOTIATE_OFFER)
-                        .with_payload(&NegotiateOffer { item: *item, offer: opening })
+                        .with_payload(&NegotiateOffer {
+                            item: *item,
+                            offer: opening,
+                        })
                         .expect("offer serializes");
                     ctx.send(market.agent, msg);
                 }
@@ -212,7 +224,10 @@ impl MobileBuyerAgent {
                 self.my_last_bid = Some(*limit);
                 self.bids_placed += 1;
                 let msg = Message::new(ecpk::kinds::AUCTION_BID)
-                    .with_payload(&AuctionBid { item: *item, amount: *limit })
+                    .with_payload(&AuctionBid {
+                        item: *item,
+                        amount: *limit,
+                    })
                     .expect("bid serializes");
                 ctx.send(market.agent, msg);
             }
@@ -233,7 +248,10 @@ impl MobileBuyerAgent {
             self.my_last_bid = Some(amount);
             self.bids_placed += 1;
             let msg = Message::new(ecpk::kinds::AUCTION_BID)
-                .with_payload(&AuctionBid { item: *item, amount })
+                .with_payload(&AuctionBid {
+                    item: *item,
+                    amount,
+                })
                 .expect("bid serializes");
             ctx.send(market.agent, msg);
         }
@@ -262,7 +280,10 @@ impl Agent for MobileBuyerAgent {
                     .expect("result serializes");
                 ctx.send(self.bra, msg);
                 let notice = Message::new(kinds::MBA_RETURNED)
-                    .with_payload(&MbaReturned { mba: ctx.self_id(), bra: self.bra })
+                    .with_payload(&MbaReturned {
+                        mba: ctx.self_id(),
+                        bra: self.bra,
+                    })
                     .expect("returned serializes");
                 ctx.send(self.bsma, notice);
                 ctx.dispose_self();
@@ -285,7 +306,10 @@ impl Agent for MobileBuyerAgent {
                 .expect("result serializes");
             ctx.send(self.bra, msg);
             let notice = Message::new(kinds::MBA_RETURNED)
-                .with_payload(&MbaReturned { mba: ctx.self_id(), bra: self.bra })
+                .with_payload(&MbaReturned {
+                    mba: ctx.self_id(),
+                    bra: self.bra,
+                })
                 .expect("returned serializes");
             ctx.send(self.bsma, notice);
             ctx.dispose_self();
@@ -327,7 +351,10 @@ impl Agent for MobileBuyerAgent {
                 };
                 self.finish_with(
                     ctx,
-                    MbaResult::BuyFailed { item, reason: "marketplace rejected".into() },
+                    MbaResult::BuyFailed {
+                        item,
+                        reason: "marketplace rejected".into(),
+                    },
                 );
             }
             ecpk::kinds::NEGOTIATE_COUNTER => {
@@ -340,7 +367,10 @@ impl Agent for MobileBuyerAgent {
                 match session.respond(counter.ask) {
                     BuyerMove::Offer(next) | BuyerMove::Accept(next) => {
                         let offer = Message::new(ecpk::kinds::NEGOTIATE_OFFER)
-                            .with_payload(&NegotiateOffer { item: counter.item, offer: next })
+                            .with_payload(&NegotiateOffer {
+                                item: counter.item,
+                                offer: next,
+                            })
                             .expect("offer serializes");
                         ctx.reply(&msg, offer);
                     }
@@ -377,7 +407,10 @@ impl Agent for MobileBuyerAgent {
                 };
                 self.finish_with(
                     ctx,
-                    MbaResult::BuyFailed { item, reason: "negotiation rejected".into() },
+                    MbaResult::BuyFailed {
+                        item,
+                        reason: "negotiation rejected".into(),
+                    },
                 );
             }
             ecpk::kinds::AUCTION_STATUS | ecpk::kinds::BID_ACCEPTED => {
@@ -494,12 +527,20 @@ mod tests {
 
     fn fix(n_markets: usize) -> Fix {
         let mut world = SimWorld::new(21);
-        world.registry_mut().register_serde::<MobileBuyerAgent>(MBA_TYPE);
-        world.registry_mut().register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
-        world.registry_mut().register_serde::<SellerAgent>(SELLER_TYPE);
+        world
+            .registry_mut()
+            .register_serde::<MobileBuyerAgent>(MBA_TYPE);
+        world
+            .registry_mut()
+            .register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
+        world
+            .registry_mut()
+            .register_serde::<SellerAgent>(SELLER_TYPE);
         world.registry_mut().register_serde::<Home>("home");
         let home_host = world.add_host("buyer-server");
-        let home_agent = world.create_agent(home_host, Box::new(Home::default())).unwrap();
+        let home_agent = world
+            .create_agent(home_host, Box::new(Home::default()))
+            .unwrap();
         let mut markets = Vec::new();
         for i in 0..n_markets {
             let mh = world.add_host(format!("market-{i}"));
@@ -526,7 +567,12 @@ mod tests {
                 .unwrap();
         }
         world.run_until_idle();
-        Fix { world, home_host, home_agent, markets }
+        Fix {
+            world,
+            home_host,
+            home_agent,
+            markets,
+        }
     }
 
     fn launch(f: &mut Fix, task: MbaTask, markets: Vec<MarketRef>) -> AgentId {
@@ -567,7 +613,11 @@ mod tests {
                 assert_eq!(offers.len(), 3, "one matching offer per market");
                 let hosts: std::collections::BTreeSet<_> =
                     offers.iter().map(|o| o.marketplace).collect();
-                assert_eq!(hosts.len(), 3, "offers must come from 3 distinct marketplaces");
+                assert_eq!(
+                    hosts.len(),
+                    3,
+                    "offers must come from 3 distinct marketplaces"
+                );
             }
             other => panic!("expected offers, got {other:?}"),
         }
@@ -584,13 +634,21 @@ mod tests {
         let market = f.markets[0];
         launch(
             &mut f,
-            MbaTask::Buy { item: ItemId(1), mode: BuyMode::Direct },
+            MbaTask::Buy {
+                item: ItemId(1),
+                mode: BuyMode::Direct,
+            },
             vec![market],
         );
         f.world.run_until_idle();
         let h = home_state(&f);
         match &h.results[0] {
-            MbaResult::Bought { item, price, negotiated, rounds } => {
+            MbaResult::Bought {
+                item,
+                price,
+                negotiated,
+                rounds,
+            } => {
                 assert_eq!(item.id, ItemId(1));
                 assert_eq!(*price, Money::from_units(30));
                 assert!(!negotiated);
@@ -606,7 +664,10 @@ mod tests {
         let market = f.markets[0];
         launch(
             &mut f,
-            MbaTask::Buy { item: ItemId(999), mode: BuyMode::Direct },
+            MbaTask::Buy {
+                item: ItemId(999),
+                mode: BuyMode::Direct,
+            },
             vec![market],
         );
         f.world.run_until_idle();
@@ -635,7 +696,12 @@ mod tests {
         f.world.run_until_idle();
         let h = home_state(&f);
         match &h.results[0] {
-            MbaResult::Bought { price, negotiated, rounds, .. } => {
+            MbaResult::Bought {
+                price,
+                negotiated,
+                rounds,
+                ..
+            } => {
                 assert!(*negotiated);
                 assert!(*rounds >= 1);
                 assert!(*price <= Money::from_units(28), "never above budget");
@@ -689,16 +755,22 @@ mod tests {
             })
             .unwrap();
         f.world.send_external(market.agent, open).unwrap();
-        f.world.run_for(agentsim::clock::SimDuration::from_millis(10));
+        f.world
+            .run_for(agentsim::clock::SimDuration::from_millis(10));
         launch(
             &mut f,
-            MbaTask::Auction { item: ItemId(1), limit: Money::from_units(50) },
+            MbaTask::Auction {
+                item: ItemId(1),
+                limit: Money::from_units(50),
+            },
             vec![market],
         );
         f.world.run_until_idle(); // runs past the deadline; auction settles
         let h = home_state(&f);
         match &h.results[0] {
-            MbaResult::AuctionDone { won, price, bids, .. } => {
+            MbaResult::AuctionDone {
+                won, price, bids, ..
+            } => {
                 assert!(*won, "sole bidder must win");
                 assert_eq!(*price, Some(Money::from_units(10)), "wins at the reserve");
                 assert_eq!(*bids, 1);
@@ -721,15 +793,22 @@ mod tests {
             })
             .unwrap();
         f.world.send_external(market.agent, open).unwrap();
-        f.world.run_for(agentsim::clock::SimDuration::from_millis(1));
+        f.world
+            .run_for(agentsim::clock::SimDuration::from_millis(1));
         launch(
             &mut f,
-            MbaTask::Auction { item: ItemId(1), limit: Money::from_units(20) },
+            MbaTask::Auction {
+                item: ItemId(1),
+                limit: Money::from_units(20),
+            },
             vec![market],
         );
         launch(
             &mut f,
-            MbaTask::Auction { item: ItemId(1), limit: Money::from_units(40) },
+            MbaTask::Auction {
+                item: ItemId(1),
+                limit: Money::from_units(40),
+            },
             vec![market],
         );
         f.world.run_until_idle();
@@ -743,9 +822,15 @@ mod tests {
         assert_eq!(wins.iter().filter(|w| **w).count(), 1, "exactly one winner");
         // the deeper-pocketed MBA wins, paying above the poorer one's limit
         for r in &h.results {
-            if let MbaResult::AuctionDone { won: true, price, .. } = r {
+            if let MbaResult::AuctionDone {
+                won: true, price, ..
+            } = r
+            {
                 let p = price.expect("sold");
-                assert!(p > Money::from_units(20), "winner outbid the $20 limit: {p}");
+                assert!(
+                    p > Money::from_units(20),
+                    "winner outbid the $20 limit: {p}"
+                );
                 assert!(p <= Money::from_units(40));
             }
         }
@@ -757,7 +842,10 @@ mod tests {
         let market = f.markets[0];
         launch(
             &mut f,
-            MbaTask::Auction { item: ItemId(777), limit: Money::from_units(50) },
+            MbaTask::Auction {
+                item: ItemId(777),
+                limit: Money::from_units(50),
+            },
             vec![market],
         );
         f.world.run_until_idle();
@@ -772,7 +860,11 @@ mod tests {
         let mut f = fix(0);
         launch(
             &mut f,
-            MbaTask::Query { keywords: vec!["x".into()], category: None, max_results: 5 },
+            MbaTask::Query {
+                keywords: vec!["x".into()],
+                category: None,
+                max_results: 5,
+            },
             vec![],
         );
         f.world.run_until_idle();
@@ -791,7 +883,10 @@ mod tests {
             .set_link_symmetric(f.home_host, market.host, ecp_lossy_link());
         let mba = launch(
             &mut f,
-            MbaTask::Buy { item: ItemId(1), mode: BuyMode::Direct },
+            MbaTask::Buy {
+                item: ItemId(1),
+                mode: BuyMode::Direct,
+            },
             vec![market],
         );
         f.world.run_until_idle();
@@ -812,8 +907,15 @@ mod tests {
             AgentId(2),
             AgentId(3),
             ConsumerId(4),
-            MbaTask::Query { keywords: vec!["x".into()], category: None, max_results: 5 },
-            vec![MarketRef { host: HostId(9), agent: AgentId(10) }],
+            MbaTask::Query {
+                keywords: vec!["x".into()],
+                category: None,
+                max_results: 5,
+            },
+            vec![MarketRef {
+                host: HostId(9),
+                agent: AgentId(10),
+            }],
         );
         let v = mba.snapshot();
         let back: MobileBuyerAgent = serde_json::from_value(v).unwrap();

@@ -390,17 +390,27 @@ mod tests {
 
     #[test]
     fn consumer_task_maps_to_figures() {
-        let q = ConsumerTask::Query { keywords: vec![], category: None, max_results: 5 };
+        let q = ConsumerTask::Query {
+            keywords: vec![],
+            category: None,
+            max_results: 5,
+        };
         assert_eq!(q.figure(), "fig4.2");
         let b = ConsumerTask::Buy {
             item: ItemId(1),
-            market: MarketRef { host: HostId(1), agent: AgentId(1) },
+            market: MarketRef {
+                host: HostId(1),
+                agent: AgentId(1),
+            },
             mode: BuyMode::Direct,
         };
         assert_eq!(b.figure(), "fig4.3");
         let a = ConsumerTask::Auction {
             item: ItemId(1),
-            market: MarketRef { host: HostId(1), agent: AgentId(1) },
+            market: MarketRef {
+                host: HostId(1),
+                agent: AgentId(1),
+            },
             limit: Money(100),
         };
         assert_eq!(a.figure(), "fig4.3");
@@ -425,7 +435,10 @@ mod tests {
     fn mba_result_variants_round_trip() {
         let results = vec![
             MbaResult::Offers(vec![]),
-            MbaResult::BuyFailed { item: ItemId(1), reason: "no deal".into() },
+            MbaResult::BuyFailed {
+                item: ItemId(1),
+                reason: "no deal".into(),
+            },
         ];
         for r in results {
             let v = serde_json::to_value(&r).unwrap();

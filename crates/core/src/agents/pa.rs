@@ -15,7 +15,7 @@
 use crate::agents::msg::{kinds, PaLoad, PaProfile, PaRecord, PaSimilar, PaSimilarReply};
 use crate::learning::{BehaviorKind, LearnerConfig};
 use crate::profile::Profile;
-use crate::similarity::{nearest_neighbours, SimilarityConfig};
+use crate::similarity::SimilarityConfig;
 use crate::store::RecommendStore;
 use crate::userdb::{TradeChannel, TransactionRecord, UserDb};
 use agentsim::agent::{Agent, Ctx};
@@ -98,7 +98,12 @@ impl ProfileAgent {
             return p.clone();
         }
         // not in memory: try the durable store, else fresh
-        let loaded = self.userdb.load_profile(consumer).ok().flatten().unwrap_or_default();
+        let loaded = self
+            .userdb
+            .load_profile(consumer)
+            .ok()
+            .flatten()
+            .unwrap_or_default();
         self.store.put_profile(consumer, loaded.clone());
         loaded
     }
@@ -137,12 +142,12 @@ impl ProfileAgent {
             self.store.upsert_item(offer.clone());
         }
         let profile = self.load_or_create(req.consumer);
-        let neighbours = nearest_neighbours(
-            &profile,
-            self.store.profiles().filter(|(id, _)| *id != req.consumer),
-            &self.similarity,
-            req.k_neighbours,
-        );
+        // load_or_create guarantees the consumer is in the store (and
+        // thus the index), so the indexed search answers exactly what
+        // the full profile scan would.
+        let neighbours =
+            self.store
+                .nearest_neighbours(req.consumer, &self.similarity, req.k_neighbours);
         // similarity-weighted neighbour preferences
         let mut prefs: BTreeMap<u64, f64> = BTreeMap::new();
         let mut total_sim = 0.0;
@@ -213,8 +218,11 @@ impl Agent for ProfileAgent {
             self.maintenance_passes, m.decay
         ));
         // persist the decayed profiles
-        for (consumer, profile) in
-            self.store.profiles().map(|(c, p)| (c, p.clone())).collect::<Vec<_>>()
+        for (consumer, profile) in self
+            .store
+            .profiles()
+            .map(|(c, p)| (c, p.clone()))
+            .collect::<Vec<_>>()
         {
             if let Err(e) = self.userdb.save_profile(consumer, &profile) {
                 ctx.note(format!("pa: decayed profile persist failed: {e}"));
@@ -236,7 +244,10 @@ impl Agent for ProfileAgent {
                     }
                     let profile = self.load_or_create(req.consumer);
                     let reply = Message::new(kinds::PA_PROFILE)
-                        .with_payload(&PaProfile { consumer: req.consumer, profile })
+                        .with_payload(&PaProfile {
+                            consumer: req.consumer,
+                            profile,
+                        })
                         .expect("profile serializes");
                     ctx.reply(&msg, reply);
                 }
@@ -261,7 +272,6 @@ impl Agent for ProfileAgent {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -354,7 +364,10 @@ mod tests {
         send_to_pa(
             &mut f,
             kinds::PA_LOAD,
-            &PaLoad { consumer: ConsumerId(1), figure: String::new() },
+            &PaLoad {
+                consumer: ConsumerId(1),
+                figure: String::new(),
+            },
         );
         let s = sink_state(&f);
         assert_eq!(s.replies.len(), 1);
@@ -437,19 +450,32 @@ mod tests {
         send_to_pa(
             &mut f,
             kinds::PA_SIMILAR,
-            &PaSimilar { consumer: ConsumerId(2), offers: vec![], k_neighbours: 5 },
+            &PaSimilar {
+                consumer: ConsumerId(2),
+                offers: vec![],
+                k_neighbours: 5,
+            },
         );
         let s = sink_state(&f);
         let reply: PaSimilarReply =
             serde_json::from_value(s.replies.last().unwrap().1.clone()).unwrap();
-        assert!(!reply.neighbours.is_empty(), "consumer 3 should be a neighbour");
+        assert!(
+            !reply.neighbours.is_empty(),
+            "consumer 3 should be a neighbour"
+        );
         assert_eq!(reply.neighbours[0].0, ConsumerId(3));
         assert!(
-            reply.neighbour_preferences.iter().any(|(m, _)| m.id == ItemId(9)),
+            reply
+                .neighbour_preferences
+                .iter()
+                .any(|(m, _)| m.id == ItemId(9)),
             "item 9 must appear among neighbour preferences"
         );
         // items consumer 2 already bought are excluded
-        assert!(reply.neighbour_preferences.iter().all(|(m, _)| m.id != ItemId(1)));
+        assert!(reply
+            .neighbour_preferences
+            .iter()
+            .all(|(m, _)| m.id != ItemId(1)));
     }
 
     #[test]
@@ -485,15 +511,16 @@ mod tests {
         });
         world.send_external(sink, msg).unwrap();
         world.run_until(SimTime::ZERO + SimDuration::from_millis(100));
-        let before: ProfileAgent =
-            serde_json::from_value(world.snapshot_of(pa).unwrap()).unwrap();
-        let interest_before =
-            before.store().profile(ConsumerId(1)).unwrap().total_interest();
+        let before: ProfileAgent = serde_json::from_value(world.snapshot_of(pa).unwrap()).unwrap();
+        let interest_before = before
+            .store()
+            .profile(ConsumerId(1))
+            .unwrap()
+            .total_interest();
         // run past three maintenance intervals (never run_until_idle —
         // the cycle re-arms forever)
         world.run_until(SimTime::ZERO + SimDuration::from_micros(3_500_000));
-        let after: ProfileAgent =
-            serde_json::from_value(world.snapshot_of(pa).unwrap()).unwrap();
+        let after: ProfileAgent = serde_json::from_value(world.snapshot_of(pa).unwrap()).unwrap();
         assert_eq!(after.maintenance_passes(), 3);
         let interest_after = after
             .store()
@@ -512,7 +539,11 @@ mod tests {
         send_to_pa(
             &mut f,
             kinds::PA_SIMILAR,
-            &PaSimilar { consumer: ConsumerId(42), offers: vec![merch(1, "x")], k_neighbours: 5 },
+            &PaSimilar {
+                consumer: ConsumerId(42),
+                offers: vec![merch(1, "x")],
+                k_neighbours: 5,
+            },
         );
         let s = sink_state(&f);
         let reply: PaSimilarReply =

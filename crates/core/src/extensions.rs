@@ -86,12 +86,7 @@ impl TiedSale {
 
     /// Items most often bought together with `item`, as
     /// `(other, co-occurrences)`, strongest first, at most `k`.
-    pub fn companions(
-        &self,
-        store: &RecommendStore,
-        item: ItemId,
-        k: usize,
-    ) -> Vec<(ItemId, u32)> {
+    pub fn companions(&self, store: &RecommendStore, item: ItemId, k: usize) -> Vec<(ItemId, u32)> {
         let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
         for basket in store.baskets() {
             if basket.contains(&item) {
@@ -147,11 +142,7 @@ pub struct CommunityGraph {
 impl CommunityGraph {
     /// Build the graph: an edge between every pair with similarity above
     /// `min_similarity`.
-    pub fn build(
-        store: &RecommendStore,
-        config: &SimilarityConfig,
-        min_similarity: f64,
-    ) -> Self {
+    pub fn build(store: &RecommendStore, config: &SimilarityConfig, min_similarity: f64) -> Self {
         let profiles: Vec<(ConsumerId, &crate::profile::Profile)> = store.profiles().collect();
         let mut edges: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
         for i in 0..profiles.len() {
@@ -167,7 +158,9 @@ impl CommunityGraph {
         }
         for list in edges.values_mut() {
             list.sort_by(|x, y| {
-                y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal).then(x.0.cmp(&y.0))
+                y.1.partial_cmp(&x.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.0.cmp(&y.0))
             });
         }
         CommunityGraph { edges }
@@ -295,7 +288,9 @@ mod tests {
         let s = basket_store();
         let miner = TiedSale::new(1);
         let bundle = miner.bundle_for_cart(&s, &[ItemId(1), ItemId(3)], 5);
-        assert!(bundle.iter().all(|(i, _)| *i != ItemId(1) && *i != ItemId(3)));
+        assert!(bundle
+            .iter()
+            .all(|(i, _)| *i != ItemId(1) && *i != ItemId(3)));
         assert_eq!(bundle[0].0, ItemId(2));
     }
 

@@ -1,0 +1,385 @@
+//! Query-serving indexes over the recommendation store.
+//!
+//! The naive similarity step of Fig 4.5 flattens every profile and scores
+//! every consumer on every query — O(consumers × terms) per request. This
+//! module holds the derived structures [`crate::store::RecommendStore`]
+//! maintains incrementally so the hot path only touches plausible
+//! candidates:
+//!
+//! * [`FlatProfile`] — a profile's flattened term vector plus its
+//!   precomputed norm, so neither is recomputed per query;
+//! * [`ProfileIndex`] — the flat-profile cache plus an inverted
+//!   term → consumers posting-list index. Consumers sharing no term with
+//!   the target score exactly `0.0` under every similarity method, so
+//!   (for a non-negative neighbour floor) scoring only posting-list
+//!   candidates is lossless;
+//! * [`ItemSimCache`] — memoized item–item cosine similarities for
+//!   item-based CF, invalidated wholesale whenever the ratings matrix
+//!   version changes;
+//! * a bounded top-k selector replicating the reference
+//!   "sort by (score desc, id asc), truncate(k)" ranking without sorting
+//!   the full candidate list.
+//!
+//! All structures are rebuildable from the store's primary data; they are
+//! never serialized.
+
+use crate::profile::Profile;
+use ecp::terms::TermVector;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A consumer profile flattened for similarity scoring: the namespaced
+/// term vector of [`Profile::flatten`] plus its Euclidean norm.
+#[derive(Debug, Clone, Default)]
+pub struct FlatProfile {
+    /// Flattened (category-namespaced) term vector.
+    pub vector: TermVector,
+    /// `vector.norm()`, precomputed.
+    pub norm: f64,
+}
+
+impl FlatProfile {
+    /// Flatten `profile` and precompute its norm.
+    pub fn of(profile: &Profile) -> Self {
+        let vector = profile.flatten();
+        let norm = vector.norm();
+        FlatProfile { vector, norm }
+    }
+}
+
+/// Flat-profile cache plus inverted term → consumer posting lists.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileIndex {
+    flats: BTreeMap<u64, FlatProfile>,
+    postings: BTreeMap<String, BTreeSet<u64>>,
+}
+
+impl ProfileIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an index over `profiles` from scratch.
+    pub fn rebuild<'a, I>(profiles: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, &'a Profile)>,
+    {
+        let mut index = ProfileIndex::new();
+        for (id, profile) in profiles {
+            index.update(id, profile);
+        }
+        index
+    }
+
+    /// Insert or refresh the entry for `id` after its profile changed.
+    pub fn update(&mut self, id: u64, profile: &Profile) {
+        self.unlink(id);
+        let flat = FlatProfile::of(profile);
+        for (term, _) in flat.vector.iter() {
+            self.postings
+                .entry(term.to_string())
+                .or_default()
+                .insert(id);
+        }
+        self.flats.insert(id, flat);
+    }
+
+    /// Drop the entry for `id` (profile removed from the store).
+    pub fn remove(&mut self, id: u64) {
+        self.unlink(id);
+        self.flats.remove(&id);
+    }
+
+    fn unlink(&mut self, id: u64) {
+        if let Some(old) = self.flats.get(&id) {
+            for (term, _) in old.vector.iter() {
+                if let Some(set) = self.postings.get_mut(term) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.postings.remove(term);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cached flat profile of `id`, if indexed.
+    pub fn flat(&self, id: u64) -> Option<&FlatProfile> {
+        self.flats.get(&id)
+    }
+
+    /// Iterate `(consumer, flat profile)` in ascending id order.
+    pub fn flats(&self) -> impl Iterator<Item = (u64, &FlatProfile)> {
+        self.flats.iter().map(|(id, f)| (*id, f))
+    }
+
+    /// Consumers sharing at least one term with `target`, ascending,
+    /// deduplicated — the only consumers that can score above zero.
+    pub fn candidates(&self, target: &TermVector) -> Vec<u64> {
+        let mut out: BTreeSet<u64> = BTreeSet::new();
+        for (term, _) in target.iter() {
+            if let Some(set) = self.postings.get(term) {
+                out.extend(set.iter().copied());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Number of indexed consumers.
+    pub fn len(&self) -> usize {
+        self.flats.len()
+    }
+
+    /// Whether no consumer is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.flats.is_empty()
+    }
+
+    /// Number of distinct indexed terms (posting lists).
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// Memoized item–item cosine similarities, keyed by
+/// `(min(a, b), max(a, b), min_overlap)` — [`crate::itemcf::item_cosine`]
+/// is symmetric, bitwise — and valid only for one ratings-matrix version.
+#[derive(Debug, Clone, Default)]
+pub struct ItemSimCache {
+    version: u64,
+    sims: HashMap<(u64, u64, usize), Option<f64>>,
+}
+
+impl ItemSimCache {
+    /// Cached similarity for `key`, if computed at `version`. A version
+    /// mismatch clears the cache (the ratings matrix changed).
+    pub fn lookup(&mut self, version: u64, key: (u64, u64, usize)) -> Option<Option<f64>> {
+        self.roll(version);
+        self.sims.get(&key).copied()
+    }
+
+    /// Record a computed similarity at `version`.
+    pub fn insert(&mut self, version: u64, key: (u64, u64, usize), sim: Option<f64>) {
+        self.roll(version);
+        self.sims.insert(key, sim);
+    }
+
+    fn roll(&mut self, version: u64) {
+        if self.version != version {
+            self.sims.clear();
+            self.version = version;
+        }
+    }
+
+    /// Number of cached pairs (for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Whether the cache holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+}
+
+/// One scored candidate during top-k selection. `Ord` is "better":
+/// greater means higher score, ties broken towards the *smaller* id —
+/// exactly the reference comparator
+/// `sort_by(score desc, id asc)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RankEntry {
+    pub id: u64,
+    pub score: f64,
+}
+
+impl Ord for RankEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for RankEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for RankEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for RankEntry {}
+
+/// Best `k` of `scored` under the reference ordering
+/// `sort_by(score desc, id asc); truncate(k)`, selected with a bounded
+/// min-heap instead of a full sort. Output is identical to the reference
+/// because the ordering is total over unique ids.
+pub(crate) fn top_k(scored: Vec<(u64, f64)>, k: usize) -> Vec<(u64, f64)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Reverse<RankEntry>> = BinaryHeap::with_capacity(k + 1);
+    for (id, score) in scored {
+        let entry = RankEntry { id, score };
+        if heap.len() < k {
+            heap.push(Reverse(entry));
+        } else if let Some(Reverse(worst)) = heap.peek() {
+            if entry > *worst {
+                heap.pop();
+                heap.push(Reverse(entry));
+            }
+        }
+    }
+    let mut best: Vec<RankEntry> = heap.into_iter().map(|Reverse(e)| e).collect();
+    best.sort_by(|a, b| b.cmp(a));
+    best.into_iter().map(|e| (e.id, e.score)).collect()
+}
+
+/// Map `f` over `items` on all available cores, preserving order — the
+/// result is element-for-element identical to `items.iter().map(f)`.
+/// Chunks are scored independently and concatenated in chunk order, so
+/// the merge is deterministic.
+#[cfg(feature = "parallel")]
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("par_map worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(pairs: &[(&str, &str, &str, f64)]) -> Profile {
+        let mut p = Profile::new();
+        for (cat, sub, term, w) in pairs {
+            p.category_mut(cat).sub_mut(sub).set(*term, *w);
+        }
+        p
+    }
+
+    #[test]
+    fn update_replaces_old_postings() {
+        let mut index = ProfileIndex::new();
+        index.update(1, &profile(&[("books", "prog", "rust", 1.0)]));
+        assert_eq!(
+            index.candidates(&index.flat(1).unwrap().vector.clone()),
+            vec![1]
+        );
+        // profile drifts to a different term: the old posting must vanish
+        index.update(1, &profile(&[("music", "jazz", "sax", 1.0)]));
+        let old_term = TermVector::from_pairs([("books/prog/rust", 1.0)]);
+        assert!(index.candidates(&old_term).is_empty());
+        let new_term = TermVector::from_pairs([("music/jazz/sax", 1.0)]);
+        assert_eq!(index.candidates(&new_term), vec![1]);
+        assert_eq!(index.term_count(), 1);
+    }
+
+    #[test]
+    fn remove_unlinks_everything() {
+        let mut index = ProfileIndex::new();
+        index.update(1, &profile(&[("books", "prog", "rust", 1.0)]));
+        index.update(2, &profile(&[("books", "prog", "rust", 1.0)]));
+        index.remove(1);
+        assert!(index.flat(1).is_none());
+        let term = TermVector::from_pairs([("books/prog/rust", 1.0)]);
+        assert_eq!(index.candidates(&term), vec![2]);
+        index.remove(2);
+        assert!(index.is_empty());
+        assert_eq!(index.term_count(), 0);
+    }
+
+    #[test]
+    fn candidates_union_is_sorted_and_deduplicated() {
+        let mut index = ProfileIndex::new();
+        index.update(3, &profile(&[("b", "p", "x", 1.0), ("b", "p", "y", 1.0)]));
+        index.update(1, &profile(&[("b", "p", "x", 1.0)]));
+        index.update(2, &profile(&[("b", "p", "y", 1.0)]));
+        let target = TermVector::from_pairs([("b/p/x", 1.0), ("b/p/y", 1.0)]);
+        assert_eq!(index.candidates(&target), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn flat_norm_matches_fresh_computation() {
+        let p = profile(&[
+            ("books", "prog", "rust", 2.0),
+            ("music", "jazz", "sax", 0.5),
+        ]);
+        let flat = FlatProfile::of(&p);
+        assert_eq!(flat.vector, p.flatten());
+        assert_eq!(flat.norm.to_bits(), p.flatten().norm().to_bits());
+    }
+
+    #[test]
+    fn top_k_matches_reference_sort() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..40usize);
+            let scored: Vec<(u64, f64)> = (0..n)
+                .map(|i| (i as u64, (rng.gen_range(0..5u32) as f64) / 4.0))
+                .collect();
+            for k in [0usize, 1, 3, 10, 100] {
+                let mut reference = scored.clone();
+                reference.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                reference.truncate(k);
+                assert_eq!(top_k(scored.clone(), k), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn item_sim_cache_invalidates_on_version_change() {
+        let mut cache = ItemSimCache::default();
+        cache.insert(1, (1, 2, 2), Some(0.5));
+        assert_eq!(cache.lookup(1, (1, 2, 2)), Some(Some(0.5)));
+        // same version, unknown key
+        assert_eq!(cache.lookup(1, (1, 3, 2)), None);
+        // version moves on: everything is stale
+        assert_eq!(cache.lookup(2, (1, 2, 2)), None);
+        assert!(cache.is_empty());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(par_map(&items, |x| x * 3 + 1), seq);
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+    }
+}

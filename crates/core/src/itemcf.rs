@@ -16,45 +16,41 @@ use std::collections::BTreeMap;
 /// Cosine similarity between two items' rating columns.
 ///
 /// `None` when either item has no raters or fewer than `min_overlap`
-/// users rated both.
+/// users rated both. Reads [`RatingsMatrix::item_column`] directly: the
+/// dot product walks the smaller column once with lookups into the
+/// larger, and the norms are single passes over each column — no
+/// per-user row lookups. Symmetric down to the bit: the dot sums over
+/// the co-rater intersection in ascending user order either way, and
+/// `f64` multiplication commutes.
 pub fn item_cosine(
     ratings: &RatingsMatrix,
     a: ItemId,
     b: ItemId,
     min_overlap: usize,
 ) -> Option<f64> {
-    let raters_a = ratings.item_raters(a);
-    let raters_b = ratings.item_raters(b);
-    if raters_a.is_empty() || raters_b.is_empty() {
+    let col_a = ratings.item_column(a)?;
+    let col_b = ratings.item_column(b)?;
+    if col_a.is_empty() || col_b.is_empty() {
         return None;
     }
-    let (small, large) = if raters_a.len() <= raters_b.len() {
-        (&raters_a, &raters_b)
+    let (small, large) = if col_a.len() <= col_b.len() {
+        (col_a, col_b)
     } else {
-        (&raters_b, &raters_a)
+        (col_b, col_a)
     };
-    let large_set: std::collections::BTreeSet<ConsumerId> = large.iter().copied().collect();
     let mut dot = 0.0;
     let mut overlap = 0usize;
-    for user in small.iter() {
-        if large_set.contains(user) {
+    for (user, rs) in small {
+        if let Some(rl) = large.get(user) {
             overlap += 1;
-            let ra = ratings.rating(*user, a).unwrap_or(0.0);
-            let rb = ratings.rating(*user, b).unwrap_or(0.0);
-            dot += ra * rb;
+            dot += rs * rl;
         }
     }
     if overlap < min_overlap.max(1) {
         return None;
     }
-    let norm = |item: ItemId, raters: &[ConsumerId]| -> f64 {
-        raters
-            .iter()
-            .map(|u| ratings.rating(*u, item).unwrap_or(0.0).powi(2))
-            .sum::<f64>()
-            .sqrt()
-    };
-    let denom = norm(a, &raters_a) * norm(b, &raters_b);
+    let norm = |col: &BTreeMap<u64, f64>| col.values().map(|r| r * r).sum::<f64>().sqrt();
+    let denom = norm(col_a) * norm(col_b);
     if denom == 0.0 {
         None
     } else {
@@ -73,21 +69,37 @@ pub struct ItemCfRecommender {
 
 impl Default for ItemCfRecommender {
     fn default() -> Self {
-        ItemCfRecommender { k_similar: 20, min_overlap: 2 }
+        ItemCfRecommender {
+            k_similar: 20,
+            min_overlap: 2,
+        }
     }
 }
 
-impl Recommender for ItemCfRecommender {
-    fn name(&self) -> &'static str {
-        "cf-item"
-    }
-
-    fn recommend(
+impl ItemCfRecommender {
+    /// Reference implementation recomputing every item–item similarity
+    /// from scratch — bypasses the store's memo cache. Used by the
+    /// equivalence tests and benchmarks; prefer
+    /// [`Recommender::recommend`].
+    pub fn recommend_naive(
         &self,
         store: &RecommendStore,
         user: ConsumerId,
         context: &QueryContext,
         k: usize,
+    ) -> Vec<Recommendation> {
+        self.recommend_impl(store, user, context, k, |a, b| {
+            item_cosine(store.ratings(), a, b, self.min_overlap)
+        })
+    }
+
+    fn recommend_impl(
+        &self,
+        store: &RecommendStore,
+        user: ConsumerId,
+        context: &QueryContext,
+        k: usize,
+        sim: impl Fn(ItemId, ItemId) -> Option<f64>,
     ) -> Vec<Recommendation> {
         let ratings = store.ratings();
         let liked = ratings.user_ratings(user);
@@ -99,11 +111,15 @@ impl Recommender for ItemCfRecommender {
         let mut scores: BTreeMap<u64, (f64, f64)> = BTreeMap::new(); // item -> (sum sim*rating, sum sim)
         for (liked_item, rating) in &liked {
             // candidate pool: items co-rated with this liked item
-            let raters = ratings.item_raters(*liked_item);
+            let raters = ratings
+                .item_column(*liked_item)
+                .map(|c| c.keys())
+                .into_iter()
+                .flatten();
             let mut candidates: std::collections::BTreeSet<ItemId> =
                 std::collections::BTreeSet::new();
             for rater in raters {
-                for (other, _) in ratings.user_ratings(rater) {
+                for (other, _) in ratings.user_ratings(ConsumerId(*rater)) {
                     if other != *liked_item && !owned.contains(&other) {
                         candidates.insert(other);
                     }
@@ -111,9 +127,7 @@ impl Recommender for ItemCfRecommender {
             }
             let mut sims: Vec<(ItemId, f64)> = candidates
                 .into_iter()
-                .filter_map(|c| {
-                    item_cosine(ratings, *liked_item, c, self.min_overlap).map(|s| (c, s))
-                })
+                .filter_map(|c| sim(*liked_item, c).map(|s| (c, s)))
                 .filter(|(_, s)| *s > 0.0)
                 .collect();
             sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -138,7 +152,10 @@ impl Recommender for ItemCfRecommender {
                     }
                 }
                 let relevance = context.relevance(merch);
-                Some(Recommendation { item, score: (weighted / sim_sum) * (0.2 + relevance) })
+                Some(Recommendation {
+                    item,
+                    score: (weighted / sim_sum) * (0.2 + relevance),
+                })
             })
             .filter(|r| r.score > 0.0)
             .collect();
@@ -150,6 +167,26 @@ impl Recommender for ItemCfRecommender {
         });
         recs.truncate(k);
         recs
+    }
+}
+
+impl Recommender for ItemCfRecommender {
+    fn name(&self) -> &'static str {
+        "cf-item"
+    }
+
+    fn recommend(
+        &self,
+        store: &RecommendStore,
+        user: ConsumerId,
+        context: &QueryContext,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        // same pipeline as `recommend_naive`, but item–item similarities
+        // come from the store's version-checked memo cache
+        self.recommend_impl(store, user, context, k, |a, b| {
+            store.item_cosine_cached(a, b, self.min_overlap)
+        })
     }
 }
 
@@ -215,16 +252,18 @@ mod tests {
     #[test]
     fn recommends_companion_of_owned_item() {
         let s = co_purchase_store();
-        let recs = ItemCfRecommender::default().recommend(
-            &s,
-            ConsumerId(99),
-            &QueryContext::default(),
-            5,
-        );
+        let recs =
+            ItemCfRecommender::default().recommend(&s, ConsumerId(99), &QueryContext::default(), 5);
         assert!(!recs.is_empty());
-        assert_eq!(recs[0].item, ItemId(2), "item 2 is the classic companion of item 1");
+        assert_eq!(
+            recs[0].item,
+            ItemId(2),
+            "item 2 is the classic companion of item 1"
+        );
         // items from the other crowd don't appear (no co-raters)
-        assert!(recs.iter().all(|r| r.item != ItemId(3) && r.item != ItemId(4)));
+        assert!(recs
+            .iter()
+            .all(|r| r.item != ItemId(3) && r.item != ItemId(4)));
     }
 
     #[test]
@@ -236,19 +275,20 @@ mod tests {
             &QueryContext::default(),
             5,
         );
-        assert!(recs.is_empty(), "item CF needs at least one rating from the user");
+        assert!(
+            recs.is_empty(),
+            "item CF needs at least one rating from the user"
+        );
     }
 
     #[test]
     fn owned_items_are_never_recommended() {
         let s = co_purchase_store();
-        let recs = ItemCfRecommender::default().recommend(
-            &s,
-            ConsumerId(1),
-            &QueryContext::default(),
-            5,
-        );
-        assert!(recs.iter().all(|r| r.item != ItemId(1) && r.item != ItemId(2)));
+        let recs =
+            ItemCfRecommender::default().recommend(&s, ConsumerId(1), &QueryContext::default(), 5);
+        assert!(recs
+            .iter()
+            .all(|r| r.item != ItemId(1) && r.item != ItemId(2)));
     }
 
     #[test]

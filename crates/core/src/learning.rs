@@ -99,7 +99,12 @@ pub struct BehaviorEvent {
 impl BehaviorEvent {
     /// Convenience constructor without a price.
     pub fn new(kind: BehaviorKind, category: CategoryPath, terms: TermVector) -> Self {
-        BehaviorEvent { kind, category, terms, price: None }
+        BehaviorEvent {
+            kind,
+            category,
+            terms,
+            price: None,
+        }
     }
 }
 
@@ -232,7 +237,10 @@ mod tests {
 
     #[test]
     fn decay_shrinks_old_interest() {
-        let config = LearnerConfig { decay: 0.5, ..LearnerConfig::default() };
+        let config = LearnerConfig {
+            decay: 0.5,
+            ..LearnerConfig::default()
+        };
         let learner = ProfileLearner::new(config);
         let mut p = Profile::new();
         learner.apply(&mut p, &event(BehaviorKind::Purchase));
@@ -250,7 +258,10 @@ mod tests {
 
     #[test]
     fn zero_alpha_is_a_noop() {
-        let config = LearnerConfig { alpha: 0.0, ..LearnerConfig::default() };
+        let config = LearnerConfig {
+            alpha: 0.0,
+            ..LearnerConfig::default()
+        };
         let learner = ProfileLearner::new(config);
         let mut p = Profile::new();
         learner.apply(&mut p, &event(BehaviorKind::Purchase));
@@ -259,7 +270,10 @@ mod tests {
 
     #[test]
     fn max_terms_bounds_profile_growth() {
-        let config = LearnerConfig { max_terms: 5, ..LearnerConfig::default() };
+        let config = LearnerConfig {
+            max_terms: 5,
+            ..LearnerConfig::default()
+        };
         let learner = ProfileLearner::new(config);
         let mut p = Profile::new();
         for i in 0..50 {

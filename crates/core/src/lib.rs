@@ -11,6 +11,7 @@
 
 pub mod agents;
 pub mod extensions;
+pub mod index;
 pub mod itemcf;
 pub mod learning;
 pub mod profile;
@@ -22,15 +23,16 @@ pub mod store;
 pub mod userdb;
 pub mod workflow;
 
+pub use index::{FlatProfile, ItemSimCache, ProfileIndex};
 pub use itemcf::ItemCfRecommender;
 pub use learning::{BehaviorEvent, BehaviorKind, FeedbackQuality, LearnerConfig, ProfileLearner};
 pub use profile::{CategoryProfile, ConsumerId, Profile};
 pub use ratings::RatingsMatrix;
 pub use recommend::{
-    CfRecommender, ContentRecommender, HybridRecommender, QueryContext, Recommendation,
-    Recommender, RandomRecommender, TopSellerRecommender,
+    CfRecommender, ContentRecommender, HybridRecommender, QueryContext, RandomRecommender,
+    Recommendation, Recommender, TopSellerRecommender,
 };
-pub use similarity::{profile_similarity, SimilarityConfig, SimilarityMethod};
 pub use server::{listing, Platform, PlatformBuilder};
+pub use similarity::{profile_similarity, SimilarityConfig, SimilarityMethod};
 pub use store::RecommendStore;
 pub use userdb::{TradeChannel, TransactionRecord, UserDb};

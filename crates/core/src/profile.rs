@@ -17,9 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a consumer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ConsumerId(pub u64);
 
 impl fmt::Display for ConsumerId {
@@ -99,9 +97,7 @@ impl Profile {
     }
 
     /// Mutable iteration over `(category, profile)` (maintenance passes).
-    pub fn iter_mut_categories(
-        &mut self,
-    ) -> impl Iterator<Item = (&str, &mut CategoryProfile)> {
+    pub fn iter_mut_categories(&mut self) -> impl Iterator<Item = (&str, &mut CategoryProfile)> {
         self.categories.iter_mut().map(|(c, p)| (c.as_str(), p))
     }
 
@@ -214,10 +210,16 @@ mod tests {
     #[test]
     fn flatten_namespaces_terms_by_category() {
         let mut p = Profile::new();
-        p.category_mut("books").sub_mut("programming").set("rust", 1.0);
+        p.category_mut("books")
+            .sub_mut("programming")
+            .set("rust", 1.0);
         p.category_mut("garden").sub_mut("tools").set("rust", 1.0);
         let flat = p.flatten();
-        assert_eq!(flat.len(), 2, "same term in different categories must not collide");
+        assert_eq!(
+            flat.len(),
+            2,
+            "same term in different categories must not collide"
+        );
         assert!(flat.weight("books/programming/rust") > 0.0);
         assert!(flat.weight("garden/tools/rust") > 0.0);
     }
@@ -229,7 +231,10 @@ mod tests {
         let hit = p.affinity(&CategoryPath::new("books", "programming"), &terms);
         let wrong_sub = p.affinity(&CategoryPath::new("books", "cooking"), &terms);
         let wrong_cat = p.affinity(&CategoryPath::new("garden", "tools"), &terms);
-        assert!(hit > wrong_sub, "sub-category match must dominate: {hit} vs {wrong_sub}");
+        assert!(
+            hit > wrong_sub,
+            "sub-category match must dominate: {hit} vs {wrong_sub}"
+        );
         assert!(wrong_sub > wrong_cat, "category interest still counts");
         assert_eq!(wrong_cat, 0.0);
     }
@@ -250,8 +255,7 @@ mod tests {
     #[test]
     fn profile_round_trips_serde() {
         let p = profile_with_interest();
-        let back: Profile =
-            serde_json::from_value(serde_json::to_value(&p).unwrap()).unwrap();
+        let back: Profile = serde_json::from_value(serde_json::to_value(&p).unwrap()).unwrap();
         assert_eq!(back, p);
     }
 }

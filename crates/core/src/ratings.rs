@@ -12,7 +12,7 @@ use crate::learning::BehaviorKind;
 use crate::profile::ConsumerId;
 use ecp::merchandise::ItemId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Implied rating of a behaviour (how strongly it signals preference).
 pub fn implied_rating(kind: BehaviorKind) -> f64 {
@@ -26,11 +26,17 @@ pub fn implied_rating(kind: BehaviorKind) -> f64 {
     }
 }
 
-/// Sparse user × item matrix of ratings in `[0, 1]`.
+/// Sparse user × item matrix of ratings in `[0, 1]`, mirrored by row
+/// (`by_user`) and by column (`by_item`) so both user-kNN and item-based
+/// CF read their natural axis without transposing on the fly.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RatingsMatrix {
     by_user: BTreeMap<u64, BTreeMap<u64, f64>>,
-    by_item: BTreeMap<u64, BTreeSet<u64>>,
+    by_item: BTreeMap<u64, BTreeMap<u64, f64>>,
+    /// Bumped on every observation — lets derived caches (the store's
+    /// item-similarity memo) detect staleness with one comparison.
+    #[serde(default)]
+    version: u64,
 }
 
 impl RatingsMatrix {
@@ -43,11 +49,21 @@ impl RatingsMatrix {
     /// signal (a purchase is not weakened by a later query).
     pub fn observe(&mut self, user: ConsumerId, item: ItemId, rating: f64) {
         let rating = rating.clamp(0.0, 1.0);
-        let slot = self.by_user.entry(user.0).or_default().entry(item.0).or_insert(0.0);
+        self.version += 1;
+        let slot = self
+            .by_user
+            .entry(user.0)
+            .or_default()
+            .entry(item.0)
+            .or_insert(0.0);
         if rating > *slot {
             *slot = rating;
         }
-        self.by_item.entry(item.0).or_default().insert(user.0);
+        let stored = *slot;
+        self.by_item
+            .entry(item.0)
+            .or_default()
+            .insert(user.0, stored);
     }
 
     /// Record a behaviour via [`implied_rating`].
@@ -72,8 +88,21 @@ impl RatingsMatrix {
     pub fn item_raters(&self, item: ItemId) -> Vec<ConsumerId> {
         self.by_item
             .get(&item.0)
-            .map(|s| s.iter().map(|u| ConsumerId(*u)).collect())
+            .map(|s| s.keys().map(|u| ConsumerId(*u)).collect())
             .unwrap_or_default()
+    }
+
+    /// The full rating column of `item` — `user → rating`, ascending by
+    /// user — if anyone rated it. Item-based CF iterates this directly.
+    pub fn item_column(&self, item: ItemId) -> Option<&BTreeMap<u64, f64>> {
+        self.by_item.get(&item.0)
+    }
+
+    /// Monotone observation counter; changes whenever any rating may
+    /// have changed. Caches keyed on this version are safe to reuse
+    /// while it stands still.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// All users with at least one rating.
@@ -118,15 +147,14 @@ impl RatingsMatrix {
 
     /// Pearson correlation between two users over co-rated items.
     /// `None` if they co-rated fewer than `min_overlap` items.
-    pub fn pearson(
-        &self,
-        a: ConsumerId,
-        b: ConsumerId,
-        min_overlap: usize,
-    ) -> Option<f64> {
+    pub fn pearson(&self, a: ConsumerId, b: ConsumerId, min_overlap: usize) -> Option<f64> {
         let ma = self.by_user.get(&a.0)?;
         let mb = self.by_user.get(&b.0)?;
-        let (small, large) = if ma.len() <= mb.len() { (ma, mb) } else { (mb, ma) };
+        let (small, large) = if ma.len() <= mb.len() {
+            (ma, mb)
+        } else {
+            (mb, ma)
+        };
         let shared: Vec<(f64, f64)> = small
             .iter()
             .filter_map(|(i, ra)| large.get(i).map(|rb| (*ra, *rb)))
@@ -148,7 +176,11 @@ impl RatingsMatrix {
         let denom = (vx * vy).sqrt();
         if denom == 0.0 {
             // flat co-ratings: agreeing perfectly on everything they share
-            Some(if shared.iter().all(|(x, y)| (x - y).abs() < 1e-9) { 1.0 } else { 0.0 })
+            Some(if shared.iter().all(|(x, y)| (x - y).abs() < 1e-9) {
+                1.0
+            } else {
+                0.0
+            })
         } else {
             Some((cov / denom).clamp(-1.0, 1.0))
         }
@@ -188,7 +220,7 @@ impl RatingsMatrix {
         let user_mean = self.user_mean(user)?;
         let raters = self.by_item.get(&item.0)?;
         let mut neighbours: Vec<(f64, f64)> = Vec::new(); // (similarity, their rating offset)
-        for r in raters {
+        for r in raters.keys() {
             let other = ConsumerId(*r);
             if other == user {
                 continue;
@@ -260,8 +292,7 @@ mod tests {
     fn pearson_identifies_like_minded_users() {
         let mut m = RatingsMatrix::new();
         // a and b agree; a and c disagree
-        for (item, ra, rb, rc) in [(1, 1.0, 0.9, 0.1), (2, 0.2, 0.3, 0.9), (3, 0.8, 0.7, 0.2)]
-        {
+        for (item, ra, rb, rc) in [(1, 1.0, 0.9, 0.1), (2, 0.2, 0.3, 0.9), (3, 0.8, 0.7, 0.2)] {
             m.observe(u(1), i(item), ra);
             m.observe(u(2), i(item), rb);
             m.observe(u(3), i(item), rc);
@@ -269,7 +300,10 @@ mod tests {
         let sim_ab = m.pearson(u(1), u(2), 2).unwrap();
         let sim_ac = m.pearson(u(1), u(3), 2).unwrap();
         assert!(sim_ab > 0.8, "agreeing users must correlate: {sim_ab}");
-        assert!(sim_ac < 0.0, "disagreeing users must anticorrelate: {sim_ac}");
+        assert!(
+            sim_ac < 0.0,
+            "disagreeing users must anticorrelate: {sim_ac}"
+        );
     }
 
     #[test]
@@ -309,7 +343,11 @@ mod tests {
         let mut m = RatingsMatrix::new();
         m.observe(u(1), i(1), 1.0);
         m.observe(u(2), i(1), 1.0);
-        assert_eq!(m.predict(u(1), i(99), 5, 2), None, "cold-start item has no raters");
+        assert_eq!(
+            m.predict(u(1), i(99), 5, 2),
+            None,
+            "cold-start item has no raters"
+        );
     }
 
     #[test]
@@ -334,6 +372,29 @@ mod tests {
         assert_eq!(m.item_raters(i(5)), vec![u(1), u(2)]);
         assert_eq!(m.user_ratings(u(1)), vec![(i(5), 0.7)]);
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn item_column_mirrors_rows_and_version_advances() {
+        let mut m = RatingsMatrix::new();
+        assert_eq!(m.version(), 0);
+        m.observe_behavior(u(1), i(5), BehaviorKind::Query);
+        m.observe_behavior(u(2), i(5), BehaviorKind::Purchase);
+        assert_eq!(m.version(), 2);
+        let col = m.item_column(i(5)).unwrap();
+        assert_eq!(col.get(&1), Some(&0.2));
+        assert_eq!(col.get(&2), Some(&1.0));
+        // the strongest-signal rule is mirrored into the column
+        m.observe_behavior(u(1), i(5), BehaviorKind::Purchase);
+        assert_eq!(m.item_column(i(5)).unwrap().get(&1), Some(&1.0));
+        m.observe_behavior(u(1), i(5), BehaviorKind::Query);
+        assert_eq!(m.item_column(i(5)).unwrap().get(&1), Some(&1.0));
+        assert_eq!(
+            m.version(),
+            4,
+            "even a no-op observation advances the version"
+        );
+        assert!(m.item_column(i(99)).is_none());
     }
 
     #[test]

@@ -114,7 +114,11 @@ fn candidates<'a>(
     let owned = store.purchased_by(user);
     store.catalog().iter().filter(move |m| {
         !owned.contains(&m.id)
-            && context.category.as_ref().map(|c| &m.category == c).unwrap_or(true)
+            && context
+                .category
+                .as_ref()
+                .map(|c| &m.category == c)
+                .unwrap_or(true)
     })
 }
 
@@ -170,7 +174,10 @@ impl Recommender for RandomRecommender {
                 h ^= m.id.0.wrapping_mul(0xbf58_476d_1ce4_e5b9);
                 h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
                 h ^= h >> 31;
-                Recommendation { item: m.id, score: (h % 10_000) as f64 / 10_000.0 + 1e-4 }
+                Recommendation {
+                    item: m.id,
+                    score: (h % 10_000) as f64 / 10_000.0 + 1e-4,
+                }
             })
             .collect();
         rank(scored, k)
@@ -197,14 +204,20 @@ impl Recommender for ContentRecommender {
         let Some(profile) = store.profile(user) else {
             // Cold-start consumer: fall back to context relevance alone.
             let scored = candidates(store, user, context)
-                .map(|m| Recommendation { item: m.id, score: context.relevance(m) })
+                .map(|m| Recommendation {
+                    item: m.id,
+                    score: context.relevance(m),
+                })
                 .collect();
             return rank(scored, k);
         };
         let scored = candidates(store, user, context)
             .map(|m| {
                 let affinity = profile.affinity(&m.category, &m.terms);
-                Recommendation { item: m.id, score: affinity * (0.2 + context.relevance(m)) }
+                Recommendation {
+                    item: m.id,
+                    score: affinity * (0.2 + context.relevance(m)),
+                }
             })
             .collect();
         rank(scored, k)
@@ -223,7 +236,10 @@ pub struct CfRecommender {
 
 impl Default for CfRecommender {
     fn default() -> Self {
-        CfRecommender { k_neighbours: 20, min_overlap: 2 }
+        CfRecommender {
+            k_neighbours: 20,
+            min_overlap: 2,
+        }
     }
 }
 
@@ -290,21 +306,20 @@ impl Default for HybridRecommender {
     }
 }
 
-impl Recommender for HybridRecommender {
-    fn name(&self) -> &'static str {
-        "hybrid-abcrm"
-    }
-
-    fn recommend(
+impl HybridRecommender {
+    /// Reference implementation running the neighbour step as a full
+    /// scan ([`nearest_neighbours`] over every profile, re-flattening
+    /// each) instead of through the store's index. Output is identical
+    /// to [`Recommender::recommend`]; kept for equivalence tests and
+    /// benchmarks.
+    pub fn recommend_naive(
         &self,
         store: &RecommendStore,
         user: ConsumerId,
         context: &QueryContext,
         k: usize,
     ) -> Vec<Recommendation> {
-        let own_profile = store.profile(user);
-        // Step 1: similar users from UserDB.
-        let neighbours = match own_profile {
+        let neighbours = match store.profile(user) {
             Some(p) => nearest_neighbours(
                 p,
                 store.profiles().filter(|(id, _)| *id != user),
@@ -313,10 +328,23 @@ impl Recommender for HybridRecommender {
             ),
             None => Vec::new(),
         };
+        self.recommend_with_neighbours(store, user, context, k, &neighbours)
+    }
+
+    /// Steps 2–4 of the mechanism, given the step-1 neighbour list.
+    fn recommend_with_neighbours(
+        &self,
+        store: &RecommendStore,
+        user: ConsumerId,
+        context: &QueryContext,
+        k: usize,
+        neighbours: &[(ConsumerId, f64)],
+    ) -> Vec<Recommendation> {
+        let own_profile = store.profile(user);
         // Step 2: neighbours' merchandise preferences, similarity-weighted.
         let mut collab: BTreeMap<u64, f64> = BTreeMap::new();
         let mut total_sim = 0.0;
-        for (nid, sim) in &neighbours {
+        for (nid, sim) in neighbours {
             total_sim += sim;
             for (item, rating) in store.ratings().user_ratings(*nid) {
                 *collab.entry(item.0).or_insert(0.0) += sim * rating;
@@ -344,25 +372,52 @@ impl Recommender for HybridRecommender {
             1.0
         };
         let cw = self.collaborative_weight.clamp(0.0, 1.0);
-        let scored = candidates(store, user, context)
-            .map(|m| {
-                let collaborative = if cold {
-                    store.units_sold(m.id) as f64 / max_sales
-                } else {
-                    collab.get(&m.id.0).copied().unwrap_or(0.0)
-                };
-                let affinity = own_profile
-                    .map(|p| {
-                        let a = p.affinity(&m.category, &m.terms);
-                        a / (1.0 + a)
-                    })
-                    .unwrap_or(0.0);
-                let content = 0.5 * affinity + 0.5 * context.relevance(m);
-                let score = cw * collaborative + (1.0 - cw) * content;
-                Recommendation { item: m.id, score }
-            })
-            .collect();
+        let score_one = |m: &&Merchandise| {
+            let collaborative = if cold {
+                store.units_sold(m.id) as f64 / max_sales
+            } else {
+                collab.get(&m.id.0).copied().unwrap_or(0.0)
+            };
+            let affinity = own_profile
+                .map(|p| {
+                    let a = p.affinity(&m.category, &m.terms);
+                    a / (1.0 + a)
+                })
+                .unwrap_or(0.0);
+            let content = 0.5 * affinity + 0.5 * context.relevance(m);
+            let score = cw * collaborative + (1.0 - cw) * content;
+            Recommendation { item: m.id, score }
+        };
+        // Candidate scoring is pure per item, so fanning it out over
+        // cores and concatenating in chunk order is byte-identical to
+        // the sequential map.
+        let pool: Vec<&Merchandise> = candidates(store, user, context).collect();
+        #[cfg(feature = "parallel")]
+        if pool.len() >= 256 {
+            return rank(crate::index::par_map(&pool, score_one), k);
+        }
+        let scored = pool.iter().map(score_one).collect();
         rank(scored, k)
+    }
+}
+
+impl Recommender for HybridRecommender {
+    fn name(&self) -> &'static str {
+        "hybrid-abcrm"
+    }
+
+    fn recommend(
+        &self,
+        store: &RecommendStore,
+        user: ConsumerId,
+        context: &QueryContext,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        // Step 1: similar users — served from the store's posting-list
+        // index and flat-profile cache (identical to the full scan the
+        // naive path runs; see `RecommendStore::nearest_neighbours`).
+        let neighbours = store.nearest_neighbours(user, &self.similarity, self.k_neighbours);
+        self.recommend_with_neighbours(store, user, context, k, &neighbours)
     }
 }
 
@@ -419,12 +474,8 @@ mod tests {
     #[test]
     fn hybrid_recommends_cluster_mates_items() {
         let s = clustered_store();
-        let recs = HybridRecommender::default().recommend(
-            &s,
-            ConsumerId(1),
-            &QueryContext::default(),
-            5,
-        );
+        let recs =
+            HybridRecommender::default().recommend(&s, ConsumerId(1), &QueryContext::default(), 5);
         assert!(!recs.is_empty());
         let items: Vec<ItemId> = recs.iter().map(|r| r.item).collect();
         assert!(
@@ -432,19 +483,18 @@ mod tests {
             "item 10 is loved by user 1's neighbours: {items:?}"
         );
         // nothing from the jazz cluster should outrank programming books
-        assert!(items[0].0 <= 10, "top item must be a programming book: {items:?}");
+        assert!(
+            items[0].0 <= 10,
+            "top item must be a programming book: {items:?}"
+        );
     }
 
     #[test]
     fn hybrid_excludes_already_purchased() {
         let s = clustered_store();
         let owned = s.purchased_by(ConsumerId(1));
-        let recs = HybridRecommender::default().recommend(
-            &s,
-            ConsumerId(1),
-            &QueryContext::default(),
-            20,
-        );
+        let recs =
+            HybridRecommender::default().recommend(&s, ConsumerId(1), &QueryContext::default(), 20);
         assert!(recs.iter().all(|r| !owned.contains(&r.item)));
     }
 
@@ -459,7 +509,10 @@ mod tests {
             &QueryContext::keywords(["jazzrecord11"]),
             3,
         );
-        assert!(!recs.is_empty(), "cold-start with context must still produce output");
+        assert!(
+            !recs.is_empty(),
+            "cold-start with context must still produce output"
+        );
         assert_eq!(recs[0].item, ItemId(11));
     }
 
@@ -468,22 +521,13 @@ mod tests {
         let mut s = clustered_store();
         // brand-new item nobody rated
         s.upsert_item(merch(50, "rustbook50", "books", "programming"));
-        let cf = CfRecommender::default().recommend(
-            &s,
-            ConsumerId(1),
-            &QueryContext::default(),
-            50,
-        );
+        let cf =
+            CfRecommender::default().recommend(&s, ConsumerId(1), &QueryContext::default(), 50);
         assert!(
             cf.iter().all(|r| r.item != ItemId(50)),
             "CF cannot recommend an unrated item (§2.3 cold-start)"
         );
-        let content = ContentRecommender.recommend(
-            &s,
-            ConsumerId(1),
-            &QueryContext::default(),
-            50,
-        );
+        let content = ContentRecommender.recommend(&s, ConsumerId(1), &QueryContext::default(), 50);
         assert!(
             content.iter().any(|r| r.item == ItemId(50)),
             "IF matches new content without ratings (§2.3)"
@@ -493,13 +537,15 @@ mod tests {
     #[test]
     fn content_matches_own_taste() {
         let s = clustered_store();
-        let recs =
-            ContentRecommender.recommend(&s, ConsumerId(1), &QueryContext::default(), 5);
+        let recs = ContentRecommender.recommend(&s, ConsumerId(1), &QueryContext::default(), 5);
         assert!(!recs.is_empty());
         // user 1 only ever bought programming books
         for r in &recs {
             let m = s.catalog().get(r.item).unwrap();
-            assert_eq!(m.category.category, "books", "IF must stay in the user's taste");
+            assert_eq!(
+                m.category.category, "books",
+                "IF must stay in the user's taste"
+            );
         }
     }
 
@@ -507,8 +553,7 @@ mod tests {
     fn top_seller_is_unpersonalized() {
         let s = clustered_store();
         let a = TopSellerRecommender.recommend(&s, ConsumerId(99), &QueryContext::default(), 3);
-        let b =
-            TopSellerRecommender.recommend(&s, ConsumerId(100), &QueryContext::default(), 3);
+        let b = TopSellerRecommender.recommend(&s, ConsumerId(100), &QueryContext::default(), 3);
         assert_eq!(a, b, "top-seller output must not depend on the user");
         assert!(!a.is_empty());
     }
@@ -516,25 +561,13 @@ mod tests {
     #[test]
     fn random_is_deterministic_per_seed() {
         let s = clustered_store();
-        let r1 = RandomRecommender { seed: 7 }.recommend(
-            &s,
-            ConsumerId(1),
-            &QueryContext::default(),
-            5,
-        );
-        let r2 = RandomRecommender { seed: 7 }.recommend(
-            &s,
-            ConsumerId(1),
-            &QueryContext::default(),
-            5,
-        );
+        let r1 =
+            RandomRecommender { seed: 7 }.recommend(&s, ConsumerId(1), &QueryContext::default(), 5);
+        let r2 =
+            RandomRecommender { seed: 7 }.recommend(&s, ConsumerId(1), &QueryContext::default(), 5);
         assert_eq!(r1, r2);
-        let r3 = RandomRecommender { seed: 8 }.recommend(
-            &s,
-            ConsumerId(1),
-            &QueryContext::default(),
-            5,
-        );
+        let r3 =
+            RandomRecommender { seed: 8 }.recommend(&s, ConsumerId(1), &QueryContext::default(), 5);
         assert_ne!(r1, r3, "different seed should reshuffle");
     }
 
@@ -559,12 +592,8 @@ mod tests {
     #[test]
     fn k_truncates_output() {
         let s = clustered_store();
-        let recs = HybridRecommender::default().recommend(
-            &s,
-            ConsumerId(1),
-            &QueryContext::default(),
-            2,
-        );
+        let recs =
+            HybridRecommender::default().recommend(&s, ConsumerId(1), &QueryContext::default(), 2);
         assert!(recs.len() <= 2);
     }
 

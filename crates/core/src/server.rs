@@ -10,8 +10,8 @@
 //! simulated network.
 
 use crate::agents::msg::{
-    BuyMode, ConsumerTask, FrontRequest, FrontRequestBody, FrontResponse, MarketRef,
-    ResponseBody, kinds as msgkinds,
+    kinds as msgkinds, BuyMode, ConsumerTask, FrontRequest, FrontRequestBody, FrontResponse,
+    MarketRef, ResponseBody,
 };
 use crate::agents::{register_all, Bsma, BsmaConfig};
 use crate::learning::{BehaviorKind, LearnerConfig};
@@ -107,9 +107,15 @@ impl PlatformBuilder {
         for (i, listings) in self.listings_per_market.iter().enumerate() {
             let market_host = world.add_host(format!("marketplace-{i}"));
             let market_agent = world
-                .create_agent(market_host, Box::new(MarketplaceAgent::new(format!("m{i}"))))
+                .create_agent(
+                    market_host,
+                    Box::new(MarketplaceAgent::new(format!("m{i}"))),
+                )
                 .expect("create marketplace");
-            markets.push(MarketRef { host: market_host, agent: market_agent });
+            markets.push(MarketRef {
+                host: market_host,
+                agent: market_agent,
+            });
             let reg = Message::new(ecpk::REGISTER_SERVER)
                 .with_payload(&RegisterServer {
                     role: ServerRole::Marketplace,
@@ -118,7 +124,9 @@ impl PlatformBuilder {
                     name: format!("m{i}"),
                 })
                 .expect("register serializes");
-            world.send_external(coordinator, reg).expect("register marketplace");
+            world
+                .send_external(coordinator, reg)
+                .expect("register marketplace");
             let seller_host = world.add_host(format!("seller-{i}"));
             world
                 .create_agent(
@@ -154,7 +162,9 @@ impl PlatformBuilder {
                 config: serde_json::json!({ "config": config }),
             })
             .expect("request serializes");
-        world.send_external(coordinator, request).expect("request buyer server");
+        world
+            .send_external(coordinator, request)
+            .expect("request buyer server");
         world.run_until_idle();
 
         // Locate the BSMA (it migrated to the buyer host) and its
@@ -252,7 +262,9 @@ impl Platform {
         let msg = Message::new(msgkinds::FRONT_REQUEST)
             .with_payload(&request)
             .expect("front request serializes");
-        self.world.send_external(self.httpa, msg).expect("httpa reachable");
+        self.world
+            .send_external(self.httpa, msg)
+            .expect("httpa reachable");
     }
 
     /// Drain responses addressed to `consumer` that arrived since the
@@ -354,7 +366,9 @@ impl Platform {
                 tick_us: tick.as_micros(),
             })
             .expect("dutch open serializes");
-        self.world.send_external(market.agent, msg).expect("marketplace reachable");
+        self.world
+            .send_external(market.agent, msg)
+            .expect("marketplace reachable");
         self.world.run_for(SimDuration::from_millis(5));
     }
 
@@ -388,7 +402,9 @@ impl Platform {
                 sealed,
             })
             .expect("auction open serializes");
-        self.world.send_external(market.agent, msg).expect("marketplace reachable");
+        self.world
+            .send_external(market.agent, msg)
+            .expect("marketplace reachable");
         // deliver the open without firing the close timer
         self.world.run_for(SimDuration::from_millis(5));
     }
@@ -405,7 +421,11 @@ impl Platform {
         let market = self.markets[market_index];
         self.run_task(
             consumer,
-            FrontRequestBody::Task(ConsumerTask::Auction { item, market, limit }),
+            FrontRequestBody::Task(ConsumerTask::Auction {
+                item,
+                market,
+                limit,
+            }),
         )
     }
 
@@ -413,7 +433,10 @@ impl Platform {
     /// [`Platform::run_and_drain`] to let several consumers' tasks (e.g.
     /// competing auction bids) overlap in time.
     pub fn submit_task(&mut self, consumer: ConsumerId, task: ConsumerTask) {
-        self.send_front(FrontRequest { consumer, body: FrontRequestBody::Task(task) });
+        self.send_front(FrontRequest {
+            consumer,
+            body: FrontRequestBody::Task(task),
+        });
     }
 
     /// Run the world to idle, then return every fresh response as
@@ -424,8 +447,7 @@ impl Platform {
         let state: crate::agents::HttpAgent =
             serde_json::from_value(snapshot).expect("httpa state parses");
         let all: Vec<FrontResponse> = state.responses().to_vec();
-        let fresh: Vec<(ConsumerId, ResponseBody)> = all
-            [self.responses_read.min(all.len())..]
+        let fresh: Vec<(ConsumerId, ResponseBody)> = all[self.responses_read.min(all.len())..]
             .iter()
             .map(|r| (r.consumer, r.body.clone()))
             .collect();
@@ -446,7 +468,9 @@ impl Platform {
                     at_us: self.world.now().as_micros(),
                 })
                 .expect("record serializes");
-            self.world.send_external(self.pa, record).expect("pa reachable");
+            self.world
+                .send_external(self.pa, record)
+                .expect("pa reachable");
         }
         self.world.run_until_idle();
     }
@@ -482,9 +506,7 @@ pub fn listing(
     price_units: u64,
     terms: &[(&str, f64)],
 ) -> Listing {
-    let mut tv = ecp::terms::TermVector::from_pairs(
-        terms.iter().map(|(t, w)| (t.to_string(), *w)),
-    );
+    let mut tv = ecp::terms::TermVector::from_pairs(terms.iter().map(|(t, w)| (t.to_string(), *w)));
     tv.add(name.to_lowercase(), 1.0);
     Listing {
         item: Merchandise {
@@ -512,7 +534,14 @@ mod tests {
                     listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
                     listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
                 ],
-                vec![listing(11, "Jazz Record", "music", "jazz", 15, &[("jazz", 1.0)])],
+                vec![listing(
+                    11,
+                    "Jazz Record",
+                    "music",
+                    "jazz",
+                    15,
+                    &[("jazz", 1.0)],
+                )],
             ])
             .build()
     }
@@ -552,7 +581,10 @@ mod tests {
         let responses = p.query(ConsumerId(1), &["book"], 5);
         assert_eq!(responses.len(), 1);
         match &responses[0] {
-            ResponseBody::Recommendations { offers, recommendations } => {
+            ResponseBody::Recommendations {
+                offers,
+                recommendations,
+            } => {
                 assert_eq!(offers.len(), 2, "both books match, jazz does not");
                 assert!(!recommendations.is_empty());
             }
@@ -568,7 +600,11 @@ mod tests {
         p.login(ConsumerId(1));
         let responses = p.buy(ConsumerId(1), ItemId(1), 0, BuyMode::Direct);
         match &responses[0] {
-            ResponseBody::Receipt { item, price, channel } => {
+            ResponseBody::Receipt {
+                item,
+                price,
+                channel,
+            } => {
                 assert_eq!(item.id, ItemId(1));
                 assert_eq!(*price, Money::from_units(30));
                 assert_eq!(channel, "direct");
@@ -655,7 +691,9 @@ mod tests {
         p.world_mut().run_until_idle();
         // afterwards the BRA is live again and produced a response
         let got = p.drain_responses(ConsumerId(1));
-        assert!(got.iter().any(|r| matches!(r, ResponseBody::Recommendations { .. })));
+        assert!(got
+            .iter()
+            .any(|r| matches!(r, ResponseBody::Recommendations { .. })));
         assert_eq!(p.world().metrics().deactivations, 1);
         assert_eq!(p.world().metrics().activations, 1);
     }
@@ -694,7 +732,10 @@ mod tests {
             agentsim::net::LinkSpec::lan(),
         );
         let responses = p.query(ConsumerId(1), &["rust"], 5);
-        assert!(matches!(&responses[0], ResponseBody::Recommendations { .. }));
+        assert!(matches!(
+            &responses[0],
+            ResponseBody::Recommendations { .. }
+        ));
     }
 
     #[test]
@@ -714,7 +755,9 @@ mod tests {
         p.login(ConsumerId(1));
         let responses = p.query(ConsumerId(1), &["book"], 5);
         match &responses[0] {
-            ResponseBody::Recommendations { recommendations, .. } => {
+            ResponseBody::Recommendations {
+                recommendations, ..
+            } => {
                 assert!(
                     recommendations.iter().any(|r| r.item.id == ItemId(2)),
                     "neighbours' go book must be recommended: {recommendations:?}"

@@ -42,6 +42,15 @@ pub struct SimilarityConfig {
     /// all; fewer ⇒ similarity 0 ("the similarity result will be
     /// discard").
     pub min_overlap: usize,
+    /// Neighbour admission cutoff: [`nearest_neighbours`] keeps only
+    /// candidates with similarity strictly above this floor. The default
+    /// `0.0` reproduces the historical behaviour (positive similarity
+    /// only). A negative floor admits anticorrelated neighbours under
+    /// [`SimilarityMethod::Pearson`] — note that this disables the
+    /// store's posting-list pruning, which is only lossless when
+    /// zero-similarity candidates are filtered out.
+    #[serde(default)]
+    pub neighbour_floor: f64,
 }
 
 impl Default for SimilarityConfig {
@@ -50,19 +59,49 @@ impl Default for SimilarityConfig {
             method: SimilarityMethod::Cosine,
             discard_threshold: Some(4.0),
             min_overlap: 1,
+            neighbour_floor: 0.0,
         }
     }
 }
 
 /// Compute similarity between two raw term vectors under `config`.
 pub fn vector_similarity(a: &TermVector, b: &TermVector, config: &SimilarityConfig) -> f64 {
-    // Collect shared terms, applying the discard rule.
+    similarity_impl(a, b, None, config)
+}
+
+/// [`vector_similarity`] with the vectors' precomputed norms supplied by
+/// the caller (the store's flat-profile cache), so the cosine
+/// denominator is not recomputed per query. Bitwise identical to
+/// [`vector_similarity`] when `a_norm == a.norm()` and
+/// `b_norm == b.norm()`.
+pub fn vector_similarity_with_norms(
+    a: &TermVector,
+    a_norm: f64,
+    b: &TermVector,
+    b_norm: f64,
+    config: &SimilarityConfig,
+) -> f64 {
+    similarity_impl(a, b, Some((a_norm, b_norm)), config)
+}
+
+fn similarity_impl(
+    a: &TermVector,
+    b: &TermVector,
+    norms: Option<(f64, f64)>,
+    config: &SimilarityConfig,
+) -> f64 {
+    // Collect shared terms, applying the discard rule. `intersection`
+    // counts every shared term, surviving or not: Jaccard is about term
+    // *sets*, so the discard rule shrinks its numerator (evidence), not
+    // its universe.
     let mut shared: Vec<(f64, f64)> = Vec::new();
+    let mut intersection = 0usize;
     for (t, wa) in a.iter() {
         let wb = b.weight(t);
         if wb <= 0.0 {
             continue;
         }
+        intersection += 1;
         if let Some(threshold) = config.discard_threshold {
             let ratio = if wa >= wb { wa / wb } else { wb / wa };
             if ratio > threshold {
@@ -79,7 +118,10 @@ pub fn vector_similarity(a: &TermVector, b: &TermVector, config: &SimilarityConf
             // Norms over the full vectors, dot over surviving pairs: a
             // consumer with many unshared interests is less similar.
             let dot: f64 = shared.iter().map(|(x, y)| x * y).sum();
-            let denom = a.norm() * b.norm();
+            let denom = match norms {
+                Some((na, nb)) => na * nb,
+                None => a.norm() * b.norm(),
+            };
             if denom == 0.0 {
                 0.0
             } else {
@@ -109,7 +151,10 @@ pub fn vector_similarity(a: &TermVector, b: &TermVector, config: &SimilarityConf
             }
         }
         SimilarityMethod::Jaccard => {
-            let union = a.len() + b.len() - shared.len();
+            // |A ∪ B| = |A| + |B| − |A ∩ B| over *all* shared terms —
+            // using the post-discard survivor count here would inflate
+            // the union and deflate every Jaccard score.
+            let union = a.len() + b.len() - intersection;
             if union == 0 {
                 0.0
             } else {
@@ -125,8 +170,13 @@ pub fn profile_similarity(a: &Profile, b: &Profile, config: &SimilarityConfig) -
     vector_similarity(&a.flatten(), &b.flatten(), config)
 }
 
-/// Rank `candidates` by similarity to `target`, dropping discarded
-/// (zero-similarity) pairs, best first, at most `k`.
+/// Rank `candidates` by similarity to `target`, keeping only candidates
+/// strictly above [`SimilarityConfig::neighbour_floor`] (by default,
+/// dropping discarded zero-similarity pairs), best first, at most `k`.
+///
+/// This is the reference full-scan implementation; the store's
+/// [`crate::store::RecommendStore::nearest_neighbours`] serves the same
+/// answer from its posting-list index.
 pub fn nearest_neighbours<'a, I>(
     target: &Profile,
     candidates: I,
@@ -140,7 +190,7 @@ where
     let mut scored: Vec<(crate::profile::ConsumerId, f64)> = candidates
         .into_iter()
         .map(|(id, p)| (id, vector_similarity(&flat, &p.flatten(), config)))
-        .filter(|(_, s)| *s > 0.0)
+        .filter(|(_, s)| *s > config.neighbour_floor)
         .collect();
     scored.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
@@ -167,7 +217,10 @@ mod tests {
 
     #[test]
     fn identical_profiles_are_maximally_similar() {
-        let a = profile(&[("books", "prog", "rust", 1.0), ("music", "jazz", "sax", 0.5)]);
+        let a = profile(&[
+            ("books", "prog", "rust", 1.0),
+            ("music", "jazz", "sax", 0.5),
+        ]);
         let s = profile_similarity(&a, &a.clone(), &SimilarityConfig::default());
         assert!((s - 1.0).abs() < 1e-9);
     }
@@ -176,13 +229,19 @@ mod tests {
     fn disjoint_profiles_have_zero_similarity() {
         let a = profile(&[("books", "prog", "rust", 1.0)]);
         let b = profile(&[("garden", "tools", "spade", 1.0)]);
-        assert_eq!(profile_similarity(&a, &b, &SimilarityConfig::default()), 0.0);
+        assert_eq!(
+            profile_similarity(&a, &b, &SimilarityConfig::default()),
+            0.0
+        );
     }
 
     #[test]
     fn similarity_is_symmetric() {
         let a = profile(&[("books", "prog", "rust", 1.0), ("books", "prog", "go", 0.4)]);
-        let b = profile(&[("books", "prog", "rust", 0.7), ("music", "jazz", "sax", 1.0)]);
+        let b = profile(&[
+            ("books", "prog", "rust", 0.7),
+            ("music", "jazz", "sax", 1.0),
+        ]);
         let cfg = SimilarityConfig::default();
         assert!(
             (profile_similarity(&a, &b, &cfg) - profile_similarity(&b, &a, &cfg)).abs() < 1e-12
@@ -202,17 +261,29 @@ mod tests {
             0.0,
             "Tx=10 vs Ty=1 exceeds the threshold: pair discarded"
         );
-        let lax = SimilarityConfig { discard_threshold: None, ..SimilarityConfig::default() };
+        let lax = SimilarityConfig {
+            discard_threshold: None,
+            ..SimilarityConfig::default()
+        };
         assert!(profile_similarity(&a, &b, &lax) > 0.0);
     }
 
     #[test]
     fn min_overlap_discards_thin_evidence() {
         let a = profile(&[("books", "prog", "rust", 1.0), ("books", "prog", "go", 1.0)]);
-        let b = profile(&[("books", "prog", "rust", 1.0), ("music", "jazz", "sax", 1.0)]);
-        let cfg = SimilarityConfig { min_overlap: 2, ..SimilarityConfig::default() };
+        let b = profile(&[
+            ("books", "prog", "rust", 1.0),
+            ("music", "jazz", "sax", 1.0),
+        ]);
+        let cfg = SimilarityConfig {
+            min_overlap: 2,
+            ..SimilarityConfig::default()
+        };
         assert_eq!(profile_similarity(&a, &b, &cfg), 0.0);
-        let cfg1 = SimilarityConfig { min_overlap: 1, ..SimilarityConfig::default() };
+        let cfg1 = SimilarityConfig {
+            min_overlap: 1,
+            ..SimilarityConfig::default()
+        };
         assert!(profile_similarity(&a, &b, &cfg1) > 0.0);
     }
 
@@ -243,9 +314,83 @@ mod tests {
             method: SimilarityMethod::Jaccard,
             discard_threshold: None,
             min_overlap: 1,
+            ..SimilarityConfig::default()
         };
         // shared {x}, union {x,y,z}
         assert!((vector_similarity(&a, &b, &cfg) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_union_ignores_the_discard_rule() {
+        // Shared terms {x, y}; y's weights differ 10:1 and are discarded
+        // as evidence, but y is still a shared *term*: the union is
+        // {x, y, w} (3), not |a| + |b| − survivors = 2 + 3 − 1 = 4.
+        let a = TermVector::from_pairs([("x", 1.0), ("y", 10.0)]);
+        let b = TermVector::from_pairs([("x", 1.0), ("y", 1.0), ("w", 1.0)]);
+        let cfg = SimilarityConfig {
+            method: SimilarityMethod::Jaccard,
+            discard_threshold: Some(2.0),
+            min_overlap: 1,
+            ..SimilarityConfig::default()
+        };
+        assert!((vector_similarity(&a, &b, &cfg) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_norms_variant_is_bitwise_identical() {
+        let a = TermVector::from_pairs([("x", 1.3), ("y", 0.2), ("z", 7.5)]);
+        let b = TermVector::from_pairs([("x", 0.9), ("z", 2.1), ("w", 4.0)]);
+        for method in [
+            SimilarityMethod::Cosine,
+            SimilarityMethod::Pearson,
+            SimilarityMethod::Jaccard,
+        ] {
+            let cfg = SimilarityConfig {
+                method,
+                ..SimilarityConfig::default()
+            };
+            let plain = vector_similarity(&a, &b, &cfg);
+            let cached = vector_similarity_with_norms(&a, a.norm(), &b, b.norm(), &cfg);
+            assert_eq!(plain.to_bits(), cached.to_bits());
+        }
+    }
+
+    #[test]
+    fn negative_neighbour_floor_admits_anticorrelated_pearson_neighbours() {
+        let target = profile(&[
+            ("b", "p", "x", 1.0),
+            ("b", "p", "y", 2.0),
+            ("b", "p", "z", 3.0),
+        ]);
+        let opposite = profile(&[
+            ("b", "p", "x", 3.0),
+            ("b", "p", "y", 2.0),
+            ("b", "p", "z", 1.0),
+        ]);
+        let cfg = SimilarityConfig {
+            method: SimilarityMethod::Pearson,
+            discard_threshold: None,
+            min_overlap: 2,
+            ..SimilarityConfig::default()
+        };
+        let candidates = vec![(ConsumerId(1), &opposite)];
+        assert!(
+            nearest_neighbours(&target, candidates.clone(), &cfg, 5).is_empty(),
+            "default floor 0.0 keeps only positive similarity"
+        );
+        // floor below −1 so even perfect anticorrelation (exactly −1.0)
+        // passes the strict `>` filter
+        let open = SimilarityConfig {
+            neighbour_floor: -1.5,
+            ..cfg
+        };
+        let nn = nearest_neighbours(&target, candidates, &open, 5);
+        assert_eq!(nn.len(), 1);
+        assert!(
+            nn[0].1 < 0.0,
+            "anticorrelated neighbour admitted: {}",
+            nn[0].1
+        );
     }
 
     #[test]
@@ -256,6 +401,7 @@ mod tests {
             method: SimilarityMethod::Pearson,
             discard_threshold: None,
             min_overlap: 2,
+            ..SimilarityConfig::default()
         };
         assert!(vector_similarity(&a, &b, &cfg) < 0.0);
     }
@@ -266,8 +412,11 @@ mod tests {
         let n1 = profile(&[("books", "prog", "rust", 1.0)]);
         let n2 = profile(&[("books", "prog", "rust", 0.9), ("music", "j", "s", 2.0)]);
         let n3 = profile(&[("garden", "t", "x", 1.0)]);
-        let candidates =
-            vec![(ConsumerId(1), &n1), (ConsumerId(2), &n2), (ConsumerId(3), &n3)];
+        let candidates = vec![
+            (ConsumerId(1), &n1),
+            (ConsumerId(2), &n2),
+            (ConsumerId(3), &n3),
+        ];
         let cfg = SimilarityConfig::default();
         let nn = nearest_neighbours(&target, candidates.clone(), &cfg, 10);
         assert_eq!(nn.len(), 2, "disjoint candidate discarded");

@@ -7,15 +7,26 @@
 //! sales ledger and purchase baskets used by the top-seller baseline and
 //! the tied-sale extension.
 
+use crate::index::{FlatProfile, ItemSimCache, ProfileIndex};
 use crate::learning::{BehaviorEvent, BehaviorKind, LearnerConfig, ProfileLearner};
 use crate::profile::{ConsumerId, Profile};
 use crate::ratings::RatingsMatrix;
+use crate::similarity::{vector_similarity_with_norms, SimilarityConfig};
 use ecp::merchandise::{Catalog, ItemId, Merchandise};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Aggregated mechanism state the recommenders read.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Alongside the primary data the store maintains two derived
+/// structures (see [`crate::index`]): a [`ProfileIndex`] kept in lock
+/// step with `profiles` by every mutating method, and an [`ItemSimCache`]
+/// memoizing item–item cosines per ratings-matrix version. Neither is
+/// serialized — deserialization rebuilds the index from the profiles and
+/// starts with a cold cache, so round-tripping a store preserves every
+/// query answer.
+#[derive(Debug, Default)]
 pub struct RecommendStore {
     /// Profile learner applied on every event.
     pub learner: ProfileLearner,
@@ -25,6 +36,60 @@ pub struct RecommendStore {
     sales: BTreeMap<u64, u32>,
     purchased: BTreeMap<u64, BTreeSet<u64>>,
     baskets: Vec<Vec<u64>>,
+    index: ProfileIndex,
+    item_sims: Mutex<ItemSimCache>,
+}
+
+impl Clone for RecommendStore {
+    fn clone(&self) -> Self {
+        RecommendStore {
+            learner: self.learner,
+            profiles: self.profiles.clone(),
+            ratings: self.ratings.clone(),
+            catalog: self.catalog.clone(),
+            sales: self.sales.clone(),
+            purchased: self.purchased.clone(),
+            baskets: self.baskets.clone(),
+            index: self.index.clone(),
+            item_sims: Mutex::new(self.item_sims.lock().clone()),
+        }
+    }
+}
+
+// Manual serde impls: the JSON shape is exactly what the old derive
+// produced for the seven data fields (PA snapshots embed this store), and
+// the derived structures stay out of the payload.
+impl Serialize for RecommendStore {
+    fn serialize_value(&self) -> serde::value::Value {
+        let mut m = serde::value::Map::new();
+        m.insert("learner".to_string(), self.learner.serialize_value());
+        m.insert("profiles".to_string(), self.profiles.serialize_value());
+        m.insert("ratings".to_string(), self.ratings.serialize_value());
+        m.insert("catalog".to_string(), self.catalog.serialize_value());
+        m.insert("sales".to_string(), self.sales.serialize_value());
+        m.insert("purchased".to_string(), self.purchased.serialize_value());
+        m.insert("baskets".to_string(), self.baskets.serialize_value());
+        serde::value::Value::Object(m)
+    }
+}
+
+impl Deserialize for RecommendStore {
+    fn deserialize_value(v: &serde::value::Value) -> Result<Self, serde::Error> {
+        let m = serde::__expect_object(v, "RecommendStore")?;
+        let profiles: BTreeMap<u64, Profile> = serde::__get_field(m, "RecommendStore", "profiles")?;
+        let index = ProfileIndex::rebuild(profiles.iter().map(|(id, p)| (*id, p)));
+        Ok(RecommendStore {
+            learner: serde::__get_field(m, "RecommendStore", "learner")?,
+            ratings: serde::__get_field(m, "RecommendStore", "ratings")?,
+            catalog: serde::__get_field(m, "RecommendStore", "catalog")?,
+            sales: serde::__get_field(m, "RecommendStore", "sales")?,
+            purchased: serde::__get_field(m, "RecommendStore", "purchased")?,
+            baskets: serde::__get_field(m, "RecommendStore", "baskets")?,
+            profiles,
+            index,
+            item_sims: Mutex::new(ItemSimCache::default()),
+        })
+    }
 }
 
 impl RecommendStore {
@@ -35,7 +100,10 @@ impl RecommendStore {
 
     /// Empty store with an explicit learner configuration.
     pub fn with_learner(config: LearnerConfig) -> Self {
-        RecommendStore { learner: ProfileLearner::new(config), ..Self::default() }
+        RecommendStore {
+            learner: ProfileLearner::new(config),
+            ..Self::default()
+        }
     }
 
     /// Make an item known to the mechanism (from marketplace offers or
@@ -58,6 +126,7 @@ impl RecommendStore {
         let event = BehaviorEvent::new(kind, merch.category.clone(), merch.terms.clone());
         let profile = self.profiles.entry(consumer.0).or_default();
         self.learner.apply(profile, &event);
+        self.index.update(consumer.0, profile);
         self.ratings.observe_behavior(consumer, item, kind);
         if matches!(kind, BehaviorKind::Purchase | BehaviorKind::AuctionWin) {
             *self.sales.entry(item.0).or_insert(0) += 1;
@@ -83,6 +152,7 @@ impl RecommendStore {
     /// Insert or replace a profile wholesale (used when loading from
     /// UserDB).
     pub fn put_profile(&mut self, consumer: ConsumerId, profile: Profile) {
+        self.index.update(consumer.0, &profile);
         self.profiles.insert(consumer.0, profile);
     }
 
@@ -125,7 +195,9 @@ impl RecommendStore {
 
     /// Recorded multi-item baskets (for association mining).
     pub fn baskets(&self) -> impl Iterator<Item = Vec<ItemId>> + '_ {
-        self.baskets.iter().map(|b| b.iter().map(|i| ItemId(*i)).collect())
+        self.baskets
+            .iter()
+            .map(|b| b.iter().map(|i| ItemId(*i)).collect())
     }
 
     /// Decay every profile's interest by `factor` and compact to the
@@ -143,6 +215,129 @@ impl RecommendStore {
             profile.compact(max_terms);
         }
         self.profiles.retain(|_, p| !p.is_empty());
+        // every profile changed: rebuilding wholesale costs the same as
+        // touching each entry and leaves no stale postings behind
+        self.index = ProfileIndex::rebuild(self.profiles.iter().map(|(id, p)| (*id, p)));
+    }
+
+    /// The query-serving profile index (flat-profile cache + posting
+    /// lists), maintained in lock step with the profiles.
+    pub fn profile_index(&self) -> &ProfileIndex {
+        &self.index
+    }
+
+    /// Cached flattened profile (vector + norm) of `consumer`, if any.
+    pub fn flat_profile(&self, consumer: ConsumerId) -> Option<&FlatProfile> {
+        self.index.flat(consumer.0)
+    }
+
+    /// The `k` consumers most similar to `consumer`, best first —
+    /// identical output to running
+    /// [`crate::similarity::nearest_neighbours`] over
+    /// [`Self::profiles`] minus the consumer themself, but served from
+    /// the index: only consumers sharing at least one flattened term
+    /// with the target are scored (lossless, because zero-overlap pairs
+    /// score exactly `0.0` under every method and the default
+    /// `neighbour_floor` of `0.0` filters them), the flattened vectors
+    /// and norms come from the cache, and the ranking uses a bounded
+    /// top-k heap instead of a full sort. A negative
+    /// [`SimilarityConfig::neighbour_floor`] admits zero-similarity
+    /// candidates, so pruning would be lossy — that case falls back to
+    /// scanning every cached flat profile.
+    pub fn nearest_neighbours(
+        &self,
+        consumer: ConsumerId,
+        config: &SimilarityConfig,
+        k: usize,
+    ) -> Vec<(ConsumerId, f64)> {
+        let Some(target) = self.index.flat(consumer.0) else {
+            return Vec::new();
+        };
+        let candidates: Vec<u64> = if config.neighbour_floor < 0.0 {
+            self.index
+                .flats()
+                .map(|(id, _)| id)
+                .filter(|id| *id != consumer.0)
+                .collect()
+        } else {
+            let mut ids = self.index.candidates(&target.vector);
+            ids.retain(|id| *id != consumer.0);
+            ids
+        };
+        let scored = self.score_profile_candidates(target, &candidates, config);
+        crate::index::top_k(scored, k)
+            .into_iter()
+            .map(|(id, s)| (ConsumerId(id), s))
+            .collect()
+    }
+
+    /// Reference full-scan neighbour search (flattens every profile per
+    /// call). Kept for equivalence tests and benchmarks; prefer
+    /// [`Self::nearest_neighbours`].
+    pub fn nearest_neighbours_naive(
+        &self,
+        consumer: ConsumerId,
+        config: &SimilarityConfig,
+        k: usize,
+    ) -> Vec<(ConsumerId, f64)> {
+        let Some(profile) = self.profile(consumer) else {
+            return Vec::new();
+        };
+        crate::similarity::nearest_neighbours(
+            profile,
+            self.profiles().filter(|(id, _)| *id != consumer),
+            config,
+            k,
+        )
+    }
+
+    fn score_profile_candidates(
+        &self,
+        target: &FlatProfile,
+        candidates: &[u64],
+        config: &SimilarityConfig,
+    ) -> Vec<(u64, f64)> {
+        let score_one = |id: &u64| -> Option<(u64, f64)> {
+            let flat = self.index.flat(*id)?;
+            let s = vector_similarity_with_norms(
+                &target.vector,
+                target.norm,
+                &flat.vector,
+                flat.norm,
+                config,
+            );
+            (s > config.neighbour_floor).then_some((*id, s))
+        };
+        #[cfg(feature = "parallel")]
+        if candidates.len() >= 64 {
+            return crate::index::par_map(candidates, score_one)
+                .into_iter()
+                .flatten()
+                .collect();
+        }
+        candidates.iter().filter_map(score_one).collect()
+    }
+
+    /// [`crate::itemcf::item_cosine`] served through the store's
+    /// memoized cache. The cache key is the unordered item pair plus
+    /// `min_overlap` (the cosine is symmetric), and the whole cache is
+    /// dropped whenever the ratings matrix version moves — so the answer
+    /// is always identical to recomputing from scratch.
+    pub fn item_cosine_cached(&self, a: ItemId, b: ItemId, min_overlap: usize) -> Option<f64> {
+        let key = (a.0.min(b.0), a.0.max(b.0), min_overlap);
+        let version = self.ratings.version();
+        let mut cache = self.item_sims.lock();
+        if let Some(hit) = cache.lookup(version, key) {
+            return hit;
+        }
+        let sim = crate::itemcf::item_cosine(&self.ratings, a, b, min_overlap);
+        cache.insert(version, key, sim);
+        sim
+    }
+
+    /// Number of item pairs currently memoized (tests and diagnostics).
+    pub fn item_sim_cache_len(&self) -> usize {
+        self.item_sims.lock().len()
     }
 }
 
@@ -233,5 +428,96 @@ mod tests {
         assert_eq!(s.profile(ConsumerId(9)), Some(&p));
         assert_eq!(s.consumer_count(), 1);
         assert_eq!(s.profiles().count(), 1);
+    }
+
+    /// The incrementally maintained index must always equal a from-scratch
+    /// rebuild of the current profiles.
+    fn assert_index_fresh(s: &RecommendStore) {
+        let rebuilt = crate::index::ProfileIndex::rebuild(s.profiles().map(|(c, p)| (c.0, p)));
+        assert_eq!(s.profile_index().len(), rebuilt.len());
+        assert_eq!(s.profile_index().term_count(), rebuilt.term_count());
+        for (id, flat) in rebuilt.flats() {
+            let live = s.profile_index().flat(id).expect("indexed consumer");
+            assert_eq!(live.vector, flat.vector);
+            assert_eq!(live.norm.to_bits(), flat.norm.to_bits());
+        }
+    }
+
+    #[test]
+    fn index_tracks_every_mutation_path() {
+        let mut s = store_with_items(3);
+        assert_index_fresh(&s);
+        s.record_event(ConsumerId(1), ItemId(1), BehaviorKind::Purchase);
+        s.record_event(ConsumerId(2), ItemId(2), BehaviorKind::Browse);
+        assert_index_fresh(&s);
+        let mut p = Profile::new();
+        p.category_mut("garden").sub_mut("tools").set("spade", 2.0);
+        s.put_profile(ConsumerId(1), p);
+        assert_index_fresh(&s);
+        s.decay_all_profiles(1e-12); // decays everyone to (near) nothing
+        assert_index_fresh(&s);
+        assert_eq!(s.consumer_count(), 0);
+        assert!(s.profile_index().is_empty());
+    }
+
+    #[test]
+    fn indexed_neighbours_match_reference_scan() {
+        let mut s = store_with_items(3);
+        for u in 1..=6u64 {
+            s.record_event(ConsumerId(u), ItemId(1 + u % 3), BehaviorKind::Purchase);
+            s.record_event(ConsumerId(u), ItemId(1 + (u + 1) % 3), BehaviorKind::Browse);
+        }
+        let cfg = crate::similarity::SimilarityConfig::default();
+        for u in 1..=6u64 {
+            assert_eq!(
+                s.nearest_neighbours(ConsumerId(u), &cfg, 3),
+                s.nearest_neighbours_naive(ConsumerId(u), &cfg, 3),
+            );
+        }
+        assert!(s.nearest_neighbours(ConsumerId(999), &cfg, 3).is_empty());
+    }
+
+    #[test]
+    fn item_cosine_cache_hits_and_invalidates() {
+        let mut s = store_with_items(2);
+        for u in 1..=4u64 {
+            s.record_event(ConsumerId(u), ItemId(1), BehaviorKind::Purchase);
+            s.record_event(ConsumerId(u), ItemId(2), BehaviorKind::Purchase);
+        }
+        let fresh = crate::itemcf::item_cosine(s.ratings(), ItemId(1), ItemId(2), 2);
+        assert_eq!(s.item_cosine_cached(ItemId(1), ItemId(2), 2), fresh);
+        assert_eq!(s.item_sim_cache_len(), 1);
+        // symmetric argument order hits the same entry
+        assert_eq!(s.item_cosine_cached(ItemId(2), ItemId(1), 2), fresh);
+        assert_eq!(s.item_sim_cache_len(), 1);
+        // a new observation moves the ratings version: cache must refill
+        s.record_event(ConsumerId(9), ItemId(1), BehaviorKind::Query);
+        let updated = crate::itemcf::item_cosine(s.ratings(), ItemId(1), ItemId(2), 2);
+        assert_eq!(s.item_cosine_cached(ItemId(1), ItemId(2), 2), updated);
+        assert_eq!(s.item_sim_cache_len(), 1);
+        assert_ne!(fresh, updated, "norm of item 1 changed with the new rater");
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_the_index() {
+        let mut s = store_with_items(3);
+        s.record_event(ConsumerId(1), ItemId(1), BehaviorKind::Purchase);
+        s.record_event(ConsumerId(2), ItemId(2), BehaviorKind::AuctionWin);
+        s.item_cosine_cached(ItemId(1), ItemId(2), 1); // warm the cache
+        let back: RecommendStore =
+            serde_json::from_value(serde_json::to_value(&s).unwrap()).unwrap();
+        assert_index_fresh(&back);
+        assert_eq!(back.consumer_count(), s.consumer_count());
+        assert_eq!(back.ratings(), s.ratings());
+        assert_eq!(
+            back.item_sim_cache_len(),
+            0,
+            "cache starts cold after deserialize"
+        );
+        let cfg = crate::similarity::SimilarityConfig::default();
+        assert_eq!(
+            back.nearest_neighbours(ConsumerId(1), &cfg, 5),
+            s.nearest_neighbours(ConsumerId(1), &cfg, 5),
+        );
     }
 }

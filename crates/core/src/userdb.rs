@@ -53,7 +53,9 @@ impl UserDb {
     pub fn new() -> Self {
         let mut store = JsonStore::new("userdb");
         store.create_table(PROFILES).expect("create profiles table");
-        store.create_table(TRANSACTIONS).expect("create transactions table");
+        store
+            .create_table(TRANSACTIONS)
+            .expect("create transactions table");
         store
             .add_index(TRANSACTIONS, "by-consumer", "consumer")
             .expect("index transactions by consumer");
@@ -66,7 +68,8 @@ impl UserDb {
     ///
     /// Propagates [`DbError`] from the store.
     pub fn save_profile(&mut self, consumer: ConsumerId, profile: &Profile) -> Result<(), DbError> {
-        self.store.put_typed(PROFILES, &consumer.0.to_string(), profile)
+        self.store
+            .put_typed(PROFILES, &consumer.0.to_string(), profile)
     }
 
     /// Load the profile of `consumer`, if saved.
@@ -129,17 +132,13 @@ impl UserDb {
     /// # Errors
     ///
     /// Propagates [`DbError`] from the store.
-    pub fn transactions_of(
-        &self,
-        consumer: ConsumerId,
-    ) -> Result<Vec<TransactionRecord>, DbError> {
+    pub fn transactions_of(&self, consumer: ConsumerId) -> Result<Vec<TransactionRecord>, DbError> {
         let rows = self
             .store
             .lookup_rows(TRANSACTIONS, "by-consumer", &consumer.0.to_string())?;
         rows.into_iter()
             .map(|(_, v)| {
-                serde_json::from_value(v.clone())
-                    .map_err(|e| DbError::Serialization(e.to_string()))
+                serde_json::from_value(v.clone()).map_err(|e| DbError::Serialization(e.to_string()))
             })
             .collect()
     }
@@ -253,7 +252,8 @@ mod tests {
     #[test]
     fn crash_recovery_preserves_everything() {
         let mut db = UserDb::new();
-        db.save_profile(ConsumerId(1), &profile_with("books", "rust", 1.0)).unwrap();
+        db.save_profile(ConsumerId(1), &profile_with("books", "rust", 1.0))
+            .unwrap();
         db.record_transaction(&tx(1, 10, 5)).unwrap();
         let (snapshot, wal) = db.durable_state();
         let recovered = UserDb::recover(&snapshot, &wal).unwrap();
@@ -272,7 +272,11 @@ mod tests {
         let (snap, wal) = db.durable_state();
         let mut recovered = UserDb::recover(&snap, &wal).unwrap();
         recovered.record_transaction(&tx(2, 11, 6)).unwrap();
-        assert_eq!(recovered.transaction_count(), 2, "sequence must not overwrite");
+        assert_eq!(
+            recovered.transaction_count(),
+            2,
+            "sequence must not overwrite"
+        );
     }
 
     #[test]
@@ -306,7 +310,10 @@ mod tests {
         assert_eq!(db.profile_count(), 2);
         let mut restored = RecommendStore::new();
         db.sync_into(&mut restored).unwrap();
-        assert_eq!(restored.profile(ConsumerId(1)), memory.profile(ConsumerId(1)));
+        assert_eq!(
+            restored.profile(ConsumerId(1)),
+            memory.profile(ConsumerId(1))
+        );
         assert_eq!(restored.consumer_count(), 2);
     }
 }

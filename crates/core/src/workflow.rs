@@ -121,8 +121,9 @@ mod tests {
 
     #[test]
     fn complete_ordered_run_validates() {
-        let labels: Vec<String> =
-            (1..=6).map(|i| format!("fig4.1/step{i} something")).collect();
+        let labels: Vec<String> = (1..=6)
+            .map(|i| format!("fig4.1/step{i} something"))
+            .collect();
         let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
         assert!(validate(&trace_with(&refs), FIG_CREATION).is_ok());
     }
@@ -156,8 +157,7 @@ mod tests {
     #[test]
     fn repeated_steps_are_allowed() {
         // multi-market query repeats steps 10-11
-        let mut labels: Vec<String> =
-            (1..=9).map(|i| format!("fig4.2/step{i:02} x")).collect();
+        let mut labels: Vec<String> = (1..=9).map(|i| format!("fig4.2/step{i:02} x")).collect();
         for _ in 0..3 {
             labels.push("fig4.2/step10 at market".into());
             labels.push("fig4.2/step11 offers".into());
@@ -172,7 +172,10 @@ mod tests {
     #[test]
     fn zero_padding_parses() {
         assert_eq!(
-            steps_of(&trace_with(&["fig4.2/step01 x", "fig4.2/step12 y"]), FIG_QUERY),
+            steps_of(
+                &trace_with(&["fig4.2/step01 x", "fig4.2/step12 y"]),
+                FIG_QUERY
+            ),
             vec![1, 12]
         );
     }

@@ -11,9 +11,7 @@ use std::fmt;
 
 /// Identifier a bidder uses inside one auction (the MBA's agent id in the
 /// platform, an arbitrary u64 in pure use).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BidderId(pub u64);
 
 impl fmt::Display for BidderId {
@@ -94,7 +92,14 @@ pub struct EnglishAuction {
 impl EnglishAuction {
     /// Open an auction with a reserve price and minimum increment.
     pub fn open(item: ItemId, reserve: Money, increment: Money) -> Self {
-        EnglishAuction { item, reserve, increment, high: None, bids: 0, closed: false }
+        EnglishAuction {
+            item,
+            reserve,
+            increment,
+            high: None,
+            bids: 0,
+            closed: false,
+        }
     }
 
     /// Lowest bid that would currently be accepted.
@@ -132,7 +137,10 @@ impl EnglishAuction {
         }
         let minimum = self.minimum_bid();
         if amount < minimum {
-            return Err(AuctionError::BidTooLow { offered: amount, minimum });
+            return Err(AuctionError::BidTooLow {
+                offered: amount,
+                minimum,
+            });
         }
         self.high = Some((bidder, amount));
         self.bids += 1;
@@ -167,7 +175,12 @@ pub struct VickreyAuction {
 impl VickreyAuction {
     /// Open a sealed-bid auction with a reserve price.
     pub fn open(item: ItemId, reserve: Money) -> Self {
-        VickreyAuction { item, reserve, bids: Vec::new(), closed: false }
+        VickreyAuction {
+            item,
+            reserve,
+            bids: Vec::new(),
+            closed: false,
+        }
     }
 
     /// Number of sealed bids received.
@@ -200,7 +213,10 @@ impl VickreyAuction {
             return Err(AuctionError::AlreadyBid(bidder));
         }
         if amount < self.reserve {
-            return Err(AuctionError::BidTooLow { offered: amount, minimum: self.reserve });
+            return Err(AuctionError::BidTooLow {
+                offered: amount,
+                minimum: self.reserve,
+            });
         }
         self.bids.push((bidder, amount));
         Ok(())
@@ -217,7 +233,11 @@ impl VickreyAuction {
         // stable sort: ties keep submission order, earliest wins
         sorted.sort_by_key(|b| std::cmp::Reverse(b.1));
         let (winner, _) = sorted[0];
-        let price = sorted.get(1).map(|(_, p)| *p).unwrap_or(self.reserve).max(self.reserve);
+        let price = sorted
+            .get(1)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.reserve)
+            .max(self.reserve);
         AuctionOutcome::Sold { winner, price }
     }
 }
@@ -289,7 +309,10 @@ impl DutchAuction {
             return Err(AuctionError::Closed);
         }
         if amount < self.current {
-            return Err(AuctionError::BidTooLow { offered: amount, minimum: self.current });
+            return Err(AuctionError::BidTooLow {
+                offered: amount,
+                minimum: self.current,
+            });
         }
         self.winner = Some((bidder, self.current));
         self.closed = true;
@@ -349,7 +372,10 @@ mod tests {
             AuctionOutcome::Unsold => panic!("expected sale"),
         }
         assert!(a.is_closed());
-        assert!(matches!(a.place_bid(BidderId(3), money(99)), Err(AuctionError::Closed)));
+        assert!(matches!(
+            a.place_bid(BidderId(3), money(99)),
+            Err(AuctionError::Closed)
+        ));
     }
 
     #[test]
@@ -379,7 +405,10 @@ mod tests {
         a.place_bid(BidderId(1), money(30)).unwrap();
         assert_eq!(
             a.close(),
-            AuctionOutcome::Sold { winner: BidderId(1), price: money(10) }
+            AuctionOutcome::Sold {
+                winner: BidderId(1),
+                price: money(10)
+            }
         );
     }
 
@@ -417,7 +446,11 @@ mod tests {
     #[test]
     fn outcome_price_accessor() {
         assert_eq!(
-            AuctionOutcome::Sold { winner: BidderId(1), price: money(5) }.price(),
+            AuctionOutcome::Sold {
+                winner: BidderId(1),
+                price: money(5)
+            }
+            .price(),
             Some(money(5))
         );
         assert_eq!(AuctionOutcome::Unsold.price(), None);
@@ -450,10 +483,16 @@ mod tests {
         assert!(a.is_closed());
         assert_eq!(
             a.close(),
-            AuctionOutcome::Sold { winner: BidderId(2), price: money(80) },
+            AuctionOutcome::Sold {
+                winner: BidderId(2),
+                price: money(80)
+            },
             "winner pays the clock price, not their bid"
         );
-        assert!(matches!(a.place_bid(BidderId(3), money(100)), Err(AuctionError::Closed)));
+        assert!(matches!(
+            a.place_bid(BidderId(3), money(100)),
+            Err(AuctionError::Closed)
+        ));
     }
 
     #[test]

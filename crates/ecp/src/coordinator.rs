@@ -107,9 +107,12 @@ mod tests {
 
     fn setup() -> (SimWorld, HostId, AgentId) {
         let mut w = SimWorld::new(5);
-        w.registry_mut().register_serde::<CoordinatorAgent>(COORDINATOR_TYPE);
+        w.registry_mut()
+            .register_serde::<CoordinatorAgent>(COORDINATOR_TYPE);
         let h = w.add_host("coordinator");
-        let ca = w.create_agent(h, Box::new(CoordinatorAgent::new())).unwrap();
+        let ca = w
+            .create_agent(h, Box::new(CoordinatorAgent::new()))
+            .unwrap();
         (w, h, ca)
     }
 
@@ -122,8 +125,13 @@ mod tests {
             agent: AgentId(100),
             name: "market-1".into(),
         };
-        w.send_external(ca, Message::new(kinds::REGISTER_SERVER).with_payload(&reg).unwrap())
-            .unwrap();
+        w.send_external(
+            ca,
+            Message::new(kinds::REGISTER_SERVER)
+                .with_payload(&reg)
+                .unwrap(),
+        )
+        .unwrap();
         w.run_until_idle();
         let snap = w.snapshot_of(ca).unwrap();
         let state: CoordinatorAgent = serde_json::from_value(snap).unwrap();
@@ -144,13 +152,14 @@ mod tests {
             };
             w.send_external(
                 ca,
-                Message::new(kinds::REGISTER_SERVER).with_payload(&reg).unwrap(),
+                Message::new(kinds::REGISTER_SERVER)
+                    .with_payload(&reg)
+                    .unwrap(),
             )
             .unwrap();
             w.run_until_idle();
         }
-        let state: CoordinatorAgent =
-            serde_json::from_value(w.snapshot_of(ca).unwrap()).unwrap();
+        let state: CoordinatorAgent = serde_json::from_value(w.snapshot_of(ca).unwrap()).unwrap();
         assert_eq!(state.domain().len(), 1);
         assert_eq!(state.domain()[0].name, "m-new");
     }
@@ -158,7 +167,8 @@ mod tests {
     #[test]
     fn malformed_payloads_are_noted_not_fatal() {
         let (mut w, _, ca) = setup();
-        w.send_external(ca, Message::new(kinds::REGISTER_SERVER)).unwrap();
+        w.send_external(ca, Message::new(kinds::REGISTER_SERVER))
+            .unwrap();
         w.run_until_idle();
         assert!(w
             .trace()
@@ -172,6 +182,10 @@ mod tests {
         let (mut w, _, ca) = setup();
         w.send_external(ca, Message::new("mystery")).unwrap();
         w.run_until_idle();
-        assert!(w.trace().events().iter().any(|e| e.label.contains("unhandled message kind")));
+        assert!(w
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.label.contains("unhandled message kind")));
     }
 }

@@ -17,9 +17,8 @@ use crate::merchandise::{ItemId, Merchandise};
 use crate::negotiation::{SellerPolicy, SellerResponse, SellerSession};
 use crate::protocol::{
     kinds, AuctionBid, AuctionClosed, AuctionJoin, AuctionOpen, AuctionStatus, BuyConfirm,
-    DutchOpen,
-    BuyRequest, CatalogSync, Listing, NegotiateAccept, NegotiateCounter, NegotiateOffer, Offer,
-    QueryRequest, QueryResponse, TopSellers, TopSellersList,
+    BuyRequest, CatalogSync, DutchOpen, Listing, NegotiateAccept, NegotiateCounter, NegotiateOffer,
+    Offer, QueryRequest, QueryResponse, TopSellers, TopSellersList,
 };
 use agentsim::agent::{Agent, Ctx};
 use agentsim::clock::SimDuration;
@@ -163,10 +162,13 @@ impl MarketplaceAgent {
                     .unwrap_or(true)
             })
             .map(|l| (l, l.item.keyword_score(&req.keywords)))
-            .filter(|(l, s)| *s > 0.0 || (req.keywords.is_empty() && req.category.is_some() && {
-                let _ = l;
-                true
-            }))
+            .filter(|(l, s)| {
+                *s > 0.0
+                    || (req.keywords.is_empty() && req.category.is_some() && {
+                        let _ = l;
+                        true
+                    })
+            })
             .collect();
         scored.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -249,7 +251,10 @@ impl MarketplaceAgent {
             }
             SellerResponse::Counter(ask) => {
                 let reply = Message::new(kinds::NEGOTIATE_COUNTER)
-                    .with_payload(&NegotiateCounter { item: offer.item, ask })
+                    .with_payload(&NegotiateCounter {
+                        item: offer.item,
+                        ask,
+                    })
                     .expect("counter serializes");
                 ctx.reply(msg, reply);
             }
@@ -284,11 +289,19 @@ impl MarketplaceAgent {
         let engine = if open.sealed {
             AuctionEngine::Sealed(VickreyAuction::open(open.item, open.reserve))
         } else {
-            AuctionEngine::English(EnglishAuction::open(open.item, open.reserve, open.increment))
+            AuctionEngine::English(EnglishAuction::open(
+                open.item,
+                open.reserve,
+                open.increment,
+            ))
         };
         self.auctions.insert(
             open.item.0,
-            OpenAuction { engine, joiners: BTreeSet::new(), tick_us: None },
+            OpenAuction {
+                engine,
+                joiners: BTreeSet::new(),
+                tick_us: None,
+            },
         );
         ctx.set_timer(SimDuration::from_micros(open.duration_us), open.item.0);
         ctx.note(format!(
@@ -317,7 +330,11 @@ impl MarketplaceAgent {
         ));
         self.auctions.insert(
             open.item.0,
-            OpenAuction { engine, joiners: BTreeSet::new(), tick_us: Some(open.tick_us) },
+            OpenAuction {
+                engine,
+                joiners: BTreeSet::new(),
+                tick_us: Some(open.tick_us),
+            },
         );
         ctx.set_timer(
             SimDuration::from_micros(open.tick_us),
@@ -442,7 +459,11 @@ impl MarketplaceAgent {
                 AuctionOutcome::Sold { winner, .. } if winner == BidderId(joiner.0)
             );
             let notice = Message::new(kinds::AUCTION_CLOSED)
-                .with_payload(&AuctionClosed { item: item.clone(), outcome, you_won })
+                .with_payload(&AuctionClosed {
+                    item: item.clone(),
+                    outcome,
+                    you_won,
+                })
                 .expect("closed notice serializes");
             ctx.send(*joiner, notice);
         }
@@ -602,19 +623,27 @@ mod tests {
 
     fn fixture() -> Fixture {
         let mut world = SimWorld::new(77);
-        world.registry_mut().register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
+        world
+            .registry_mut()
+            .register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
         world.registry_mut().register_serde::<Probe>("probe");
         let mh = world.add_host("market");
         let bh = world.add_host("buyer");
         let mut m = MarketplaceAgent::new("m1");
-        for (i, (name, price)) in
-            [("Rust Book", 30u64), ("Go Book", 25), ("Cook Book", 20)].iter().enumerate()
+        for (i, (name, price)) in [("Rust Book", 30u64), ("Go Book", 25), ("Cook Book", 20)]
+            .iter()
+            .enumerate()
         {
-            m.listings.insert(i as u64 + 1, listing(i as u64 + 1, name, *price));
+            m.listings
+                .insert(i as u64 + 1, listing(i as u64 + 1, name, *price));
         }
         let market = world.create_agent(mh, Box::new(m)).unwrap();
         let probe = world.create_agent(bh, Box::new(Probe::default())).unwrap();
-        Fixture { world, market, probe }
+        Fixture {
+            world,
+            market,
+            probe,
+        }
     }
 
     /// Sends `kind`+`payload` from the probe to the market and runs idle.
@@ -627,7 +656,8 @@ mod tests {
     /// auction deadline, do not fire); runs a bounded slice of time.
     fn via_probe_bounded<T: Serialize>(f: &mut Fixture, kind: &str, payload: &T) {
         send_via_probe(f, kind, payload);
-        f.world.run_for(agentsim::clock::SimDuration::from_millis(10));
+        f.world
+            .run_for(agentsim::clock::SimDuration::from_millis(10));
     }
 
     fn send_via_probe<T: Serialize>(f: &mut Fixture, kind: &str, payload: &T) {
@@ -651,7 +681,11 @@ mod tests {
         via_probe(
             &mut f,
             kinds::QUERY_REQUEST,
-            &QueryRequest { keywords: vec!["book".into()], category: None, max_results: 10 },
+            &QueryRequest {
+                keywords: vec!["book".into()],
+                category: None,
+                max_results: 10,
+            },
         );
         let p = probe_state(&f);
         assert_eq!(p.last_kind.as_deref(), Some(kinds::QUERY_RESPONSE));
@@ -690,8 +724,15 @@ mod tests {
     #[test]
     fn buy_unknown_item_rejected() {
         let mut f = fixture();
-        via_probe(&mut f, kinds::BUY_REQUEST, &BuyRequest { item: ItemId(999) });
-        assert_eq!(probe_state(&f).last_kind.as_deref(), Some(kinds::BUY_REJECT));
+        via_probe(
+            &mut f,
+            kinds::BUY_REQUEST,
+            &BuyRequest { item: ItemId(999) },
+        );
+        assert_eq!(
+            probe_state(&f).last_kind.as_deref(),
+            Some(kinds::BUY_REJECT)
+        );
     }
 
     #[test]
@@ -700,13 +741,22 @@ mod tests {
         via_probe(
             &mut f,
             kinds::NEGOTIATE_OFFER,
-            &NegotiateOffer { item: ItemId(1), offer: Money::from_units(1) },
+            &NegotiateOffer {
+                item: ItemId(1),
+                offer: Money::from_units(1),
+            },
         );
-        assert_eq!(probe_state(&f).last_kind.as_deref(), Some(kinds::NEGOTIATE_COUNTER));
+        assert_eq!(
+            probe_state(&f).last_kind.as_deref(),
+            Some(kinds::NEGOTIATE_COUNTER)
+        );
         via_probe(
             &mut f,
             kinds::NEGOTIATE_OFFER,
-            &NegotiateOffer { item: ItemId(1), offer: Money::from_units(30) },
+            &NegotiateOffer {
+                item: ItemId(1),
+                offer: Money::from_units(30),
+            },
         );
         let p = probe_state(&f);
         assert_eq!(p.last_kind.as_deref(), Some(kinds::NEGOTIATE_ACCEPT));
@@ -720,9 +770,15 @@ mod tests {
         via_probe(
             &mut f,
             kinds::NEGOTIATE_OFFER,
-            &NegotiateOffer { item: ItemId(42), offer: Money::from_units(10) },
+            &NegotiateOffer {
+                item: ItemId(42),
+                offer: Money::from_units(10),
+            },
         );
-        assert_eq!(probe_state(&f).last_kind.as_deref(), Some(kinds::NEGOTIATE_REJECT));
+        assert_eq!(
+            probe_state(&f).last_kind.as_deref(),
+            Some(kinds::NEGOTIATE_REJECT)
+        );
     }
 
     #[test]
@@ -739,20 +795,35 @@ mod tests {
                 sealed: false,
             },
         );
-        assert_eq!(probe_state(&f).last_kind.as_deref(), Some(kinds::AUCTION_STATUS));
+        assert_eq!(
+            probe_state(&f).last_kind.as_deref(),
+            Some(kinds::AUCTION_STATUS)
+        );
         via_probe_bounded(
             &mut f,
             kinds::AUCTION_BID,
-            &AuctionBid { item: ItemId(2), amount: Money::from_units(12) },
+            &AuctionBid {
+                item: ItemId(2),
+                amount: Money::from_units(12),
+            },
         );
-        assert_eq!(probe_state(&f).last_kind.as_deref(), Some(kinds::BID_ACCEPTED));
+        assert_eq!(
+            probe_state(&f).last_kind.as_deref(),
+            Some(kinds::BID_ACCEPTED)
+        );
         // low bid rejected
         via_probe_bounded(
             &mut f,
             kinds::AUCTION_BID,
-            &AuctionBid { item: ItemId(2), amount: Money::from_units(5) },
+            &AuctionBid {
+                item: ItemId(2),
+                amount: Money::from_units(5),
+            },
         );
-        assert_eq!(probe_state(&f).last_kind.as_deref(), Some(kinds::BID_REJECTED));
+        assert_eq!(
+            probe_state(&f).last_kind.as_deref(),
+            Some(kinds::BID_REJECTED)
+        );
         // run past the deadline: timer fires, auction settles
         f.world.run_until_idle();
         let p = probe_state(&f);
@@ -789,7 +860,10 @@ mod tests {
         via_probe_bounded(
             &mut f,
             kinds::AUCTION_BID,
-            &AuctionBid { item: ItemId(2), amount: Money::from_units(40) },
+            &AuctionBid {
+                item: ItemId(2),
+                amount: Money::from_units(40),
+            },
         );
         let p = probe_state(&f);
         assert_eq!(p.last_kind.as_deref(), Some(kinds::BID_ACCEPTED));
@@ -800,9 +874,15 @@ mod tests {
         via_probe_bounded(
             &mut f,
             kinds::AUCTION_BID,
-            &AuctionBid { item: ItemId(2), amount: Money::from_units(50) },
+            &AuctionBid {
+                item: ItemId(2),
+                amount: Money::from_units(50),
+            },
         );
-        assert_eq!(probe_state(&f).last_kind.as_deref(), Some(kinds::BID_REJECTED));
+        assert_eq!(
+            probe_state(&f).last_kind.as_deref(),
+            Some(kinds::BID_REJECTED)
+        );
         // sole sealed bidder wins at the reserve
         f.world.run_until_idle();
         let p = probe_state(&f);
@@ -832,7 +912,11 @@ mod tests {
             serde_json::from_value(p.last_payload.clone().unwrap()).unwrap();
         assert_eq!(status.minimum_bid, Money::from_units(20));
         // join so we hear the price drops and the close
-        via_probe_bounded(&mut f, kinds::AUCTION_JOIN, &AuctionJoin { item: ItemId(1) });
+        via_probe_bounded(
+            &mut f,
+            kinds::AUCTION_JOIN,
+            &AuctionJoin { item: ItemId(1) },
+        );
         // a Dutch clock closes at the floor on its own, so running idle
         // is safe
         f.world.run_until_idle();
@@ -843,10 +927,16 @@ mod tests {
             .iter()
             .filter(|k| *k == kinds::AUCTION_STATUS)
             .count();
-        assert!(drops >= 2, "price-drop broadcasts must have arrived: {drops}");
-        let closed: AuctionClosed =
-            serde_json::from_value(p.last_payload.unwrap()).unwrap();
-        assert_eq!(closed.outcome.price(), None, "nobody bid: unsold at the floor");
+        assert!(
+            drops >= 2,
+            "price-drop broadcasts must have arrived: {drops}"
+        );
+        let closed: AuctionClosed = serde_json::from_value(p.last_payload.unwrap()).unwrap();
+        assert_eq!(
+            closed.outcome.price(),
+            None,
+            "nobody bid: unsold at the floor"
+        );
     }
 
     #[test]
@@ -866,7 +956,10 @@ mod tests {
         via_probe_bounded(
             &mut f,
             kinds::AUCTION_BID,
-            &AuctionBid { item: ItemId(1), amount: Money::from_units(25) },
+            &AuctionBid {
+                item: ItemId(1),
+                amount: Money::from_units(25),
+            },
         );
         let p = probe_state(&f);
         // accepted, then immediately closed at the clock price

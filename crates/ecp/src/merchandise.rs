@@ -35,7 +35,11 @@ impl Money {
     /// Price scaled by a factor (rounded to nearest cent, saturating).
     pub fn scale(self, factor: f64) -> Money {
         let v = (self.0 as f64 * factor).round().max(0.0);
-        Money(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+        Money(if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        })
     }
 }
 
@@ -59,9 +63,7 @@ impl std::iter::Sum for Money {
 }
 
 /// A two-level category path: `Category / Sub_Category` (Fig 4.4).
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CategoryPath {
     /// Main category (e.g. `"books"`).
     pub category: String,
@@ -72,7 +74,10 @@ pub struct CategoryPath {
 impl CategoryPath {
     /// Construct from the two levels.
     pub fn new(category: impl Into<String>, sub_category: impl Into<String>) -> Self {
-        CategoryPath { category: category.into(), sub_category: sub_category.into() }
+        CategoryPath {
+            category: category.into(),
+            sub_category: sub_category.into(),
+        }
     }
 
     /// `"category/sub_category"` form used as an index key.
@@ -88,9 +93,7 @@ impl fmt::Display for CategoryPath {
 }
 
 /// Identifier of a merchandise item, unique per catalog ecosystem.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ItemId(pub u64);
 
 impl fmt::Display for ItemId {
@@ -170,7 +173,9 @@ impl Catalog {
 
     /// Items in the given main category.
     pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a Merchandise> {
-        self.items.values().filter(move |m| m.category.category == category)
+        self.items
+            .values()
+            .filter(move |m| m.category.category == category)
     }
 
     /// Items under the full category path.
@@ -214,8 +219,11 @@ impl Catalog {
 
     /// Distinct main categories present, in order.
     pub fn categories(&self) -> Vec<&str> {
-        let mut cats: Vec<&str> =
-            self.items.values().map(|m| m.category.category.as_str()).collect();
+        let mut cats: Vec<&str> = self
+            .items
+            .values()
+            .map(|m| m.category.category.as_str())
+            .collect();
         cats.sort_unstable();
         cats.dedup();
         cats

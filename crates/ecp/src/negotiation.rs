@@ -13,8 +13,7 @@ use crate::merchandise::Money;
 use serde::{Deserialize, Serialize};
 
 /// How the seller's ask descends over the rounds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ConcessionStrategy {
     /// Multiplicative: each round the ask shrinks by the policy's
     /// `concession` fraction (floored at the reservation).
@@ -32,7 +31,6 @@ pub enum ConcessionStrategy {
         exponent: f64,
     },
 }
-
 
 /// Seller-side negotiation parameters for one listing.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -128,7 +126,11 @@ pub struct SellerSession {
 impl SellerSession {
     /// Open a session; the initial ask is the list price.
     pub fn open(policy: SellerPolicy) -> Self {
-        SellerSession { policy, ask: policy.list, rounds: 0 }
+        SellerSession {
+            policy,
+            ask: policy.list,
+            rounds: 0,
+        }
     }
 
     /// Current ask.
@@ -143,7 +145,10 @@ impl SellerSession {
                 .policy
                 .reservation
                 .max(self.ask.scale(1.0 - self.policy.concession)),
-            ConcessionStrategy::TimeDependent { deadline_rounds, exponent } => {
+            ConcessionStrategy::TimeDependent {
+                deadline_rounds,
+                exponent,
+            } => {
                 let t = (round as f64 / deadline_rounds.max(1) as f64).clamp(0.0, 1.0);
                 let span = self.policy.list.saturating_sub(self.policy.reservation);
                 let conceded = span.scale(t.powf(exponent.max(1e-6)));
@@ -200,8 +205,15 @@ pub enum BuyerMove {
 impl BuyerSession {
     /// Open a session against a listing advertised at `list`.
     pub fn open(policy: BuyerPolicy, list: Money) -> Self {
-        let opening = list.scale(policy.opening_fraction.clamp(0.0, 1.0)).min(policy.budget);
-        BuyerSession { policy, offer: opening, rounds: 0, opened: false }
+        let opening = list
+            .scale(policy.opening_fraction.clamp(0.0, 1.0))
+            .min(policy.budget);
+        BuyerSession {
+            policy,
+            offer: opening,
+            rounds: 0,
+            opened: false,
+        }
     }
 
     /// The buyer's first offer.
@@ -222,7 +234,10 @@ impl BuyerSession {
             return BuyerMove::Abort;
         }
         self.rounds += 1;
-        self.offer = self.offer.scale(1.0 + self.policy.raise).min(self.policy.budget);
+        self.offer = self
+            .offer
+            .scale(1.0 + self.policy.raise)
+            .min(self.policy.budget);
         BuyerMove::Offer(self.offer)
     }
 
@@ -244,11 +259,17 @@ pub fn negotiate(seller: SellerPolicy, buyer: BuyerPolicy) -> Outcome {
     loop {
         match s.respond(offer) {
             SellerResponse::Accept(price) => {
-                return Outcome::Deal { price, rounds: b.rounds() }
+                return Outcome::Deal {
+                    price,
+                    rounds: b.rounds(),
+                }
             }
             SellerResponse::Counter(counter) => match b.respond(counter) {
                 BuyerMove::Accept(price) => {
-                    return Outcome::Deal { price, rounds: b.rounds() }
+                    return Outcome::Deal {
+                        price,
+                        rounds: b.rounds(),
+                    }
                 }
                 BuyerMove::Offer(next) => offer = next,
                 BuyerMove::Abort => return Outcome::NoDeal { rounds: b.rounds() },
@@ -283,8 +304,14 @@ mod tests {
     fn generous_buyer_gets_a_deal() {
         match negotiate(seller(100, 70), buyer(120)) {
             Outcome::Deal { price, rounds } => {
-                assert!(price >= Money::from_units(70), "never below reservation: {price}");
-                assert!(price <= Money::from_units(120), "never above budget: {price}");
+                assert!(
+                    price >= Money::from_units(70),
+                    "never below reservation: {price}"
+                );
+                assert!(
+                    price <= Money::from_units(120),
+                    "never above budget: {price}"
+                );
                 assert!(rounds >= 1);
             }
             Outcome::NoDeal { .. } => panic!("expected a deal"),
@@ -358,13 +385,21 @@ mod tests {
         let p = SellerPolicy::with_margin(Money::from_units(100), 0.7, 0.1);
         assert_eq!(p.reservation, Money::from_units(70));
         let p = SellerPolicy::with_margin(Money::from_units(100), 2.0, 0.1);
-        assert_eq!(p.reservation, Money::from_units(100), "fraction clamps to 1");
+        assert_eq!(
+            p.reservation,
+            Money::from_units(100),
+            "fraction clamps to 1"
+        );
     }
 
     #[test]
     fn outcome_price_accessor() {
         assert_eq!(
-            Outcome::Deal { price: Money(5), rounds: 1 }.price(),
+            Outcome::Deal {
+                price: Money(5),
+                rounds: 1
+            }
+            .price(),
             Some(Money(5))
         );
         assert_eq!(Outcome::NoDeal { rounds: 3 }.price(), None);
@@ -372,11 +407,12 @@ mod tests {
 
     #[test]
     fn time_dependent_ask_reaches_reservation_at_the_deadline() {
-        let policy = SellerPolicy::with_margin(Money::from_units(100), 0.6, 0.0)
-            .with_strategy(ConcessionStrategy::TimeDependent {
+        let policy = SellerPolicy::with_margin(Money::from_units(100), 0.6, 0.0).with_strategy(
+            ConcessionStrategy::TimeDependent {
                 deadline_rounds: 5,
                 exponent: 2.0,
-            });
+            },
+        );
         let mut s = SellerSession::open(policy);
         let mut last_ask = policy.list;
         for round in 1..=5 {
@@ -388,18 +424,26 @@ mod tests {
                 SellerResponse::Accept(_) => panic!("$1 is never acceptable"),
             }
         }
-        assert_eq!(last_ask, Money::from_units(60), "deadline ask = reservation");
+        assert_eq!(
+            last_ask,
+            Money::from_units(60),
+            "deadline ask = reservation"
+        );
     }
 
     #[test]
     fn boulware_holds_higher_asks_than_conceder_early() {
         let base = SellerPolicy::with_margin(Money::from_units(100), 0.5, 0.0);
-        let mut boulware = SellerSession::open(base.with_strategy(
-            ConcessionStrategy::TimeDependent { deadline_rounds: 10, exponent: 4.0 },
-        ));
-        let mut conceder = SellerSession::open(base.with_strategy(
-            ConcessionStrategy::TimeDependent { deadline_rounds: 10, exponent: 0.25 },
-        ));
+        let mut boulware =
+            SellerSession::open(base.with_strategy(ConcessionStrategy::TimeDependent {
+                deadline_rounds: 10,
+                exponent: 4.0,
+            }));
+        let mut conceder =
+            SellerSession::open(base.with_strategy(ConcessionStrategy::TimeDependent {
+                deadline_rounds: 10,
+                exponent: 0.25,
+            }));
         // after 3 lowball rounds, the Boulware ask is far above the
         // Conceder ask
         let mut asks = (Money(0), Money(0));

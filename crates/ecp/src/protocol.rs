@@ -350,17 +350,29 @@ mod tests {
         assert_eq!(msg.payload_as::<QueryRequest>().unwrap(), q);
 
         let r = QueryResponse {
-            offers: vec![Offer { item: item(), marketplace: HostId(2), price: Money(100) }],
+            offers: vec![Offer {
+                item: item(),
+                marketplace: HostId(2),
+                price: Money(100),
+            }],
         };
-        let msg = Message::new(kinds::QUERY_RESPONSE).with_payload(&r).unwrap();
+        let msg = Message::new(kinds::QUERY_RESPONSE)
+            .with_payload(&r)
+            .unwrap();
         assert_eq!(msg.payload_as::<QueryResponse>().unwrap(), r);
     }
 
     #[test]
     fn server_roles_serialize_distinctly() {
-        let roles = [ServerRole::Marketplace, ServerRole::Seller, ServerRole::BuyerServer];
-        let encoded: Vec<String> =
-            roles.iter().map(|r| serde_json::to_string(r).unwrap()).collect();
+        let roles = [
+            ServerRole::Marketplace,
+            ServerRole::Seller,
+            ServerRole::BuyerServer,
+        ];
+        let encoded: Vec<String> = roles
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
         let mut unique = encoded.clone();
         unique.dedup();
         assert_eq!(encoded.len(), unique.len());

@@ -203,11 +203,14 @@ mod tests {
     #[test]
     fn seller_provisions_marketplaces_on_creation() {
         let mut w = SimWorld::new(3);
-        w.registry_mut().register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
+        w.registry_mut()
+            .register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
         w.registry_mut().register_serde::<SellerAgent>(SELLER_TYPE);
         let mh = w.add_host("market");
         let sh = w.add_host("seller");
-        let market = w.create_agent(mh, Box::new(MarketplaceAgent::new("m"))).unwrap();
+        let market = w
+            .create_agent(mh, Box::new(MarketplaceAgent::new("m")))
+            .unwrap();
         let seller = w
             .create_agent(
                 sh,
@@ -220,8 +223,7 @@ mod tests {
             )
             .unwrap();
         w.run_until_idle();
-        let m: MarketplaceAgent =
-            serde_json::from_value(w.snapshot_of(market).unwrap()).unwrap();
+        let m: MarketplaceAgent = serde_json::from_value(w.snapshot_of(market).unwrap()).unwrap();
         assert_eq!(m.listing_count(), 2);
         let s: SellerAgent = serde_json::from_value(w.snapshot_of(seller).unwrap()).unwrap();
         assert_eq!(s.acks(), 1);
@@ -230,28 +232,37 @@ mod tests {
     #[test]
     fn restock_adds_listings_and_resyncs() {
         let mut w = SimWorld::new(3);
-        w.registry_mut().register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
+        w.registry_mut()
+            .register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
         w.registry_mut().register_serde::<SellerAgent>(SELLER_TYPE);
         let mh = w.add_host("market");
         let sh = w.add_host("seller");
-        let market = w.create_agent(mh, Box::new(MarketplaceAgent::new("m"))).unwrap();
+        let market = w
+            .create_agent(mh, Box::new(MarketplaceAgent::new("m")))
+            .unwrap();
         let seller = w
             .create_agent(
                 sh,
-                Box::new(SellerAgent::new(7, "s", vec![listing(1, "A")], vec![market])),
+                Box::new(SellerAgent::new(
+                    7,
+                    "s",
+                    vec![listing(1, "A")],
+                    vec![market],
+                )),
             )
             .unwrap();
         w.run_until_idle();
         w.send_external(
             seller,
             Message::new(RESTOCK)
-                .with_payload(&Restock { listings: vec![listing(2, "B")] })
+                .with_payload(&Restock {
+                    listings: vec![listing(2, "B")],
+                })
                 .unwrap(),
         )
         .unwrap();
         w.run_until_idle();
-        let m: MarketplaceAgent =
-            serde_json::from_value(w.snapshot_of(market).unwrap()).unwrap();
+        let m: MarketplaceAgent = serde_json::from_value(w.snapshot_of(market).unwrap()).unwrap();
         assert_eq!(m.listing_count(), 2);
         let s: SellerAgent = serde_json::from_value(w.snapshot_of(seller).unwrap()).unwrap();
         assert_eq!(s.listing_count(), 2);
@@ -268,30 +279,36 @@ mod tests {
     fn planned_auctions_open_after_catalog_ack() {
         use crate::merchandise::Money;
         let mut w = SimWorld::new(4);
-        w.registry_mut().register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
+        w.registry_mut()
+            .register_serde::<MarketplaceAgent>(MARKETPLACE_TYPE);
         w.registry_mut().register_serde::<SellerAgent>(SELLER_TYPE);
         let mh = w.add_host("market");
         let sh = w.add_host("seller");
-        let market = w.create_agent(mh, Box::new(MarketplaceAgent::new("m"))).unwrap();
+        let market = w
+            .create_agent(mh, Box::new(MarketplaceAgent::new("m")))
+            .unwrap();
         w.create_agent(
             sh,
             Box::new(
-                SellerAgent::new(7, "s", vec![listing(1, "A")], vec![market]).with_auctions(
-                    vec![super::AuctionPlan {
+                SellerAgent::new(7, "s", vec![listing(1, "A")], vec![market]).with_auctions(vec![
+                    super::AuctionPlan {
                         item: ItemId(1),
                         reserve: Money::from_units(5),
                         increment: Money::from_units(1),
                         duration_us: 60_000_000,
                         sealed: false,
-                    }],
-                ),
+                    },
+                ]),
             ),
         )
         .unwrap();
         // deliver the sync + ack + auction-open, but not the 60s deadline
         w.run_for(agentsim::clock::SimDuration::from_millis(50));
         assert!(
-            w.trace().events().iter().any(|e| e.label.contains("auction opened on item-1")),
+            w.trace()
+                .events()
+                .iter()
+                .any(|e| e.label.contains("auction opened on item-1")),
             "the marketplace must have opened the planned auction"
         );
         assert!(w

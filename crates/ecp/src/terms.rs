@@ -96,11 +96,7 @@ impl TermVector {
         } else {
             (other, self)
         };
-        small
-            .weights
-            .iter()
-            .map(|(t, w)| w * large.weight(t))
-            .sum()
+        small.weights.iter().map(|(t, w)| w * large.weight(t)).sum()
     }
 
     /// Cosine similarity in `[0, 1]` (weights are non-negative). Zero if

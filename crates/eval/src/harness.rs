@@ -237,7 +237,11 @@ impl fmt::Display for Table {
             .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
             .collect();
         writeln!(f, "{}", header.join("  "))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
@@ -267,12 +271,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let listings = generate_listings(
             &taxonomy,
-            &CatalogSpec { items: 60, ..CatalogSpec::default() },
+            &CatalogSpec {
+                items: 60,
+                ..CatalogSpec::default()
+            },
             1,
             &mut rng,
         );
         let population = Population::generate(
-            &PopulationSpec { consumers: 20, clusters: 2, ..PopulationSpec::default() },
+            &PopulationSpec {
+                consumers: 20,
+                clusters: 2,
+                ..PopulationSpec::default()
+            },
             &listings,
             &mut rng,
         );

@@ -25,7 +25,11 @@ pub fn recall_at_k(ranked: &[ItemId], relevant: &BTreeSet<ItemId>, k: usize) -> 
     if relevant.is_empty() {
         return 0.0;
     }
-    let hits = ranked.iter().take(k).filter(|i| relevant.contains(*i)).count();
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|i| relevant.contains(*i))
+        .count();
     hits as f64 / relevant.len() as f64
 }
 
@@ -75,7 +79,9 @@ pub fn ndcg_at_k(ranked: &[ItemId], relevant: &BTreeSet<ItemId>, k: usize) -> f6
         .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
         .sum();
     let ideal_hits = relevant.len().min(k);
-    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    let idcg: f64 = (0..ideal_hits)
+        .map(|pos| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
     if idcg == 0.0 {
         0.0
     } else {
@@ -183,7 +189,10 @@ mod tests {
         let early = average_precision(&items(&[1, 2, 3]), &rel);
         let late = average_precision(&items(&[3, 1, 2]), &rel);
         assert!(early > late);
-        assert!((early - 1.0).abs() < 1e-12, "perfect ranking has AP 1: {early}");
+        assert!(
+            (early - 1.0).abs() < 1e-12,
+            "perfect ranking has AP 1: {early}"
+        );
     }
 
     #[test]

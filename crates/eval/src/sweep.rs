@@ -66,7 +66,10 @@ pub fn make_workload(spec: &SweepSpec) -> Workload {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let listings = generate_listings(
         &taxonomy,
-        &CatalogSpec { items: spec.items, ..CatalogSpec::default() },
+        &CatalogSpec {
+            items: spec.items,
+            ..CatalogSpec::default()
+        },
         1,
         &mut rng,
     );
@@ -79,7 +82,10 @@ pub fn make_workload(spec: &SweepSpec) -> Workload {
         &listings,
         &mut rng,
     );
-    Workload { listings, population }
+    Workload {
+        listings,
+        population,
+    }
 }
 
 /// Ground-truth relevance minus what each consumer already owns — a
@@ -110,14 +116,11 @@ pub fn oracle_relevance(
 /// axis). Returns one table; rows are `(events/consumer, recommender,
 /// metrics…)`.
 pub fn sparsity_sweep(spec: &SweepSpec, densities: &[usize]) -> Table {
-    let mut table = Table::new(
-        "E6: quality vs history density (sparsity sweep)",
-        &{
-            let mut cols = vec!["events/user", "sparsity"];
-            cols.extend(Table::eval_columns());
-            cols
-        },
-    );
+    let mut table = Table::new("E6: quality vs history density (sparsity sweep)", &{
+        let mut cols = vec!["events/user", "sparsity"];
+        cols.extend(Table::eval_columns());
+        cols
+    });
     let w = make_workload(spec);
     for &density in densities {
         let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xD15EA5E);
@@ -157,7 +160,13 @@ pub fn cold_start_eval(spec: &SweepSpec, density: usize) -> Table {
     // (a) cold users: relevance exists, but no history in the store
     let cold_relevance: BTreeMap<ConsumerId, BTreeSet<ItemId>> = cold
         .iter()
-        .map(|c| (c.id, w.population.relevant_items(c.id, &w.listings, spec.relevance_fraction)))
+        .map(|c| {
+            (
+                c.id,
+                w.population
+                    .relevant_items(c.id, &w.listings, spec.relevance_fraction),
+            )
+        })
         .collect();
     for r in run_all(&store, &cold_relevance, spec.k) {
         let mut row = vec!["cold-user".to_string()];
@@ -196,8 +205,7 @@ pub fn profile_from_preference(preference: &ecp::terms::TermVector) -> Profile {
     let mut profile = Profile::new();
     for (namespaced, w) in preference.iter() {
         let mut parts = namespaced.splitn(3, '/');
-        let (Some(cat), Some(sub), Some(term)) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(cat), Some(sub), Some(term)) = (parts.next(), parts.next(), parts.next()) else {
             continue;
         };
         profile.category_mut(cat).sub_mut(sub).set(term, w);
@@ -231,11 +239,16 @@ pub fn alpha_convergence(spec: &SweepSpec, alphas: &[f64], events: usize) -> Tab
         .expect("at least two clusters")
         .clone();
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xA1FA);
-    let stream = Population { consumers: vec![truth.clone()] }
-        .sample_history(&w.listings, events, &mut rng);
+    let stream = Population {
+        consumers: vec![truth.clone()],
+    }
+    .sample_history(&w.listings, events, &mut rng);
     let quarter = (stream.len() / 4).max(1);
     for &alpha in alphas {
-        let learner = ProfileLearner::new(LearnerConfig { alpha, ..LearnerConfig::default() });
+        let learner = ProfileLearner::new(LearnerConfig {
+            alpha,
+            ..LearnerConfig::default()
+        });
         // registration seeded the *wrong* (stale) declared interests
         let mut profile = profile_from_preference(&stale.preference);
         let mut checkpoints = Vec::new();
@@ -298,7 +311,10 @@ pub fn ablation(spec: &SweepSpec, density: usize) -> Table {
     for cw in [0.0, 0.3, 0.7, 1.0] {
         variants.push((
             format!("cw={cw}"),
-            HybridRecommender { collaborative_weight: cw, ..HybridRecommender::default() },
+            HybridRecommender {
+                collaborative_weight: cw,
+                ..HybridRecommender::default()
+            },
         ));
     }
     for (label, rec) in &variants {
@@ -317,7 +333,14 @@ pub fn ablation(spec: &SweepSpec, density: usize) -> Table {
 pub fn prediction_accuracy(spec: &SweepSpec, densities: &[usize]) -> Table {
     let mut table = Table::new(
         "E6: rating prediction accuracy (user-kNN) vs density",
-        &["events/user", "sparsity", "pairs", "MAE", "RMSE", "unpredictable"],
+        &[
+            "events/user",
+            "sparsity",
+            "pairs",
+            "MAE",
+            "RMSE",
+            "unpredictable",
+        ],
     );
     let w = make_workload(spec);
     for &density in densities {
@@ -361,8 +384,7 @@ pub fn run_all(
     let content = ContentRecommender;
     let top = TopSellerRecommender;
     let random = RandomRecommender { seed: 7 };
-    let recs: Vec<&dyn Recommender> =
-        vec![&hybrid, &cf, &item_cf, &content, &top, &random];
+    let recs: Vec<&dyn Recommender> = vec![&hybrid, &cf, &item_cf, &content, &top, &random];
     evaluate(store, relevance, &recs, k)
 }
 
@@ -395,7 +417,14 @@ pub fn replicated_quality(spec: &SweepSpec, seeds: &[u64], density: usize) -> Ta
             "E6: replicated quality over {} seeds (density {density})",
             seeds.len()
         ),
-        &["recommender", "f1 mean", "f1 std", "recall mean", "recall std", "ndcg mean"],
+        &[
+            "recommender",
+            "f1 mean",
+            "f1 std",
+            "recall mean",
+            "recall std",
+            "ndcg mean",
+        ],
     );
     type MetricSamples = (Vec<f64>, Vec<f64>, Vec<f64>); // (f1, recall, ndcg)
     let mut samples: BTreeMap<String, MetricSamples> = BTreeMap::new();
@@ -439,7 +468,11 @@ mod tests {
     use super::*;
 
     fn small_spec() -> SweepSpec {
-        SweepSpec { items: 40, consumers: 12, ..SweepSpec::default() }
+        SweepSpec {
+            items: 40,
+            consumers: 12,
+            ..SweepSpec::default()
+        }
     }
 
     #[test]
@@ -449,7 +482,10 @@ mod tests {
         // denser history must not be sparser
         let s_low: f64 = table.rows[0][1].parse().unwrap();
         let s_high: f64 = table.rows[5][1].parse().unwrap();
-        assert!(s_high <= s_low, "more events/user lowers sparsity: {s_low} -> {s_high}");
+        assert!(
+            s_high <= s_low,
+            "more events/user lowers sparsity: {s_low} -> {s_high}"
+        );
     }
 
     #[test]
@@ -511,7 +547,10 @@ mod tests {
         let row = &table.rows[0];
         let q1: f64 = row[1].parse().unwrap();
         let q4: f64 = row[4].parse().unwrap();
-        assert!(q4 >= q1, "profile must converge toward the truth: {q1} -> {q4}");
+        assert!(
+            q4 >= q1,
+            "profile must converge toward the truth: {q1} -> {q4}"
+        );
         assert!(q4 > 0.3, "final alignment should be substantial: {q4}");
     }
 
@@ -539,7 +578,11 @@ mod tests {
         let events: Vec<BehaviorEvent> = (0..20)
             .map(|i| {
                 BehaviorEvent::new(
-                    if i % 2 == 0 { BehaviorKind::Purchase } else { BehaviorKind::Query },
+                    if i % 2 == 0 {
+                        BehaviorKind::Purchase
+                    } else {
+                        BehaviorKind::Query
+                    },
                     CategoryPath::new("c", "s"),
                     TermVector::from_pairs([(format!("t{}", i % 5), 1.0 + i as f64 * 0.1)]),
                 )
@@ -547,8 +590,10 @@ mod tests {
             .collect();
         let mut flats = Vec::new();
         for alpha in [0.1, 0.9] {
-            let learner =
-                ProfileLearner::new(LearnerConfig { alpha, ..LearnerConfig::default() });
+            let learner = ProfileLearner::new(LearnerConfig {
+                alpha,
+                ..LearnerConfig::default()
+            });
             let mut p = Profile::new();
             learner.apply_all(&mut p, &events);
             flats.push(p.flatten());
@@ -574,7 +619,10 @@ mod tests {
         let pairs_dense: usize = table.rows[1][2].parse().unwrap();
         assert!(pairs_dense > 0, "dense run must predict something");
         let mae_dense: f64 = table.rows[1][3].parse().unwrap();
-        assert!(mae_dense < 0.6, "predictions should beat random guessing: {mae_dense}");
+        assert!(
+            mae_dense < 0.6,
+            "predictions should beat random guessing: {mae_dense}"
+        );
     }
 
     #[test]

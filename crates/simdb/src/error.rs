@@ -50,10 +50,16 @@ mod tests {
 
     #[test]
     fn display_is_specific() {
-        assert_eq!(DbError::DuplicateKey("u1".into()).to_string(), "duplicate key u1");
-        assert!(DbError::WalCorrupt { record: 3, reason: "eof".into() }
-            .to_string()
-            .contains("record 3"));
+        assert_eq!(
+            DbError::DuplicateKey("u1".into()).to_string(),
+            "duplicate key u1"
+        );
+        assert!(DbError::WalCorrupt {
+            record: 3,
+            reason: "eof".into()
+        }
+        .to_string()
+        .contains("record 3"));
     }
 
     #[test]

@@ -98,7 +98,10 @@ pub struct JsonStore {
 impl JsonStore {
     /// Create an empty store.
     pub fn new(name: impl Into<String>) -> Self {
-        JsonStore { name: name.into(), ..Default::default() }
+        JsonStore {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Store name (e.g. `"userdb"`).
@@ -114,7 +117,9 @@ impl JsonStore {
     /// Currently infallible; returns `Result` for forward compatibility.
     pub fn create_table(&mut self, table: &str) -> Result<()> {
         if !self.tables.contains_key(table) {
-            self.wal.append(LogRecord::CreateTable { table: table.to_string() });
+            self.wal.append(LogRecord::CreateTable {
+                table: table.to_string(),
+            });
             self.tables.insert(table.to_string(), Rows::new());
         }
         Ok(())
@@ -194,8 +199,10 @@ impl JsonStore {
             .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
         let removed = rows.remove(key);
         if let Some(old) = &removed {
-            self.wal
-                .append(LogRecord::Delete { table: table.to_string(), key: key.to_string() });
+            self.wal.append(LogRecord::Delete {
+                table: table.to_string(),
+                key: key.to_string(),
+            });
             if let Some(table_indexes) = self.indexes.get_mut(table) {
                 for index in table_indexes.values_mut() {
                     index.remove(key, old);
@@ -219,8 +226,10 @@ impl JsonStore {
             .tables
             .get(table)
             .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
-        let mut field_index =
-            FieldIndex { field_path: field_path.to_string(), map: BTreeMap::new() };
+        let mut field_index = FieldIndex {
+            field_path: field_path.to_string(),
+            map: BTreeMap::new(),
+        };
         for (key, row) in rows {
             field_index.insert(key, row);
         }
@@ -298,7 +307,9 @@ impl JsonStore {
 
     /// Serialize the current table contents (not the WAL).
     pub fn snapshot(&self) -> Vec<u8> {
-        let snap = Snapshot { tables: self.tables.clone() };
+        let snap = Snapshot {
+            tables: self.tables.clone(),
+        };
         serde_json::to_vec(&snap).expect("snapshot serializes")
     }
 
@@ -331,11 +342,13 @@ impl JsonStore {
         let snap: Snapshot = if snapshot.is_empty() {
             Snapshot::default()
         } else {
-            serde_json::from_slice(snapshot)
-                .map_err(|e| DbError::Serialization(e.to_string()))?
+            serde_json::from_slice(snapshot).map_err(|e| DbError::Serialization(e.to_string()))?
         };
-        let mut store =
-            JsonStore { name: name.into(), tables: snap.tables, ..Default::default() };
+        let mut store = JsonStore {
+            name: name.into(),
+            tables: snap.tables,
+            ..Default::default()
+        };
         let wal = Wal::decode(wal_bytes)?;
         for record in wal.records() {
             match record {
@@ -389,8 +402,14 @@ mod tests {
     #[test]
     fn unknown_table_operations_error() {
         let mut db = JsonStore::new("test");
-        assert!(matches!(db.put("nope", "k", json!(1)), Err(DbError::UnknownTable(_))));
-        assert!(matches!(db.delete("nope", "k"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            db.put("nope", "k", json!(1)),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.delete("nope", "k"),
+            Err(DbError::UnknownTable(_))
+        ));
         assert!(db.scan("nope").is_err());
         assert_eq!(db.table_len("nope"), 0);
     }
@@ -425,7 +444,11 @@ mod tests {
         assert_eq!(recovered.get("t", "a"), None);
         assert_eq!(recovered.get("t", "b"), Some(&json!({"x": [1, 2]})));
         assert_eq!(recovered.get("t2", "z"), Some(&json!(9)));
-        assert_eq!(recovered.wal_len(), 0, "recovered store starts with a clean wal");
+        assert_eq!(
+            recovered.wal_len(),
+            0,
+            "recovered store starts with a clean wal"
+        );
     }
 
     #[test]
@@ -462,12 +485,21 @@ mod tests {
     fn field_index_lookup_finds_rows_by_field() {
         let mut db = JsonStore::new("test");
         db.create_table("tx").unwrap();
-        db.put("tx", "1", json!({"consumer": "u1", "amount": 5})).unwrap();
-        db.put("tx", "2", json!({"consumer": "u2", "amount": 7})).unwrap();
-        db.put("tx", "3", json!({"consumer": "u1", "amount": 9})).unwrap();
+        db.put("tx", "1", json!({"consumer": "u1", "amount": 5}))
+            .unwrap();
+        db.put("tx", "2", json!({"consumer": "u2", "amount": 7}))
+            .unwrap();
+        db.put("tx", "3", json!({"consumer": "u1", "amount": 9}))
+            .unwrap();
         db.add_index("tx", "by-consumer", "consumer").unwrap();
-        assert_eq!(db.lookup("tx", "by-consumer", "u1").unwrap(), vec!["1", "3"]);
-        assert_eq!(db.lookup("tx", "by-consumer", "u9").unwrap(), Vec::<&str>::new());
+        assert_eq!(
+            db.lookup("tx", "by-consumer", "u1").unwrap(),
+            vec!["1", "3"]
+        );
+        assert_eq!(
+            db.lookup("tx", "by-consumer", "u9").unwrap(),
+            Vec::<&str>::new()
+        );
         let rows = db.lookup_rows("tx", "by-consumer", "u2").unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1["amount"], json!(7));

@@ -79,7 +79,10 @@ where
 
     fn index_row(&mut self, key: &K, value: &V) {
         for (name, extractor) in &self.extractors {
-            let idx = self.indexes.get_mut(name).expect("index exists for extractor");
+            let idx = self
+                .indexes
+                .get_mut(name)
+                .expect("index exists for extractor");
             for ik in extractor(value) {
                 idx.map.entry(ik).or_default().insert(key.clone());
             }
@@ -88,7 +91,10 @@ where
 
     fn unindex_row(&mut self, key: &K, value: &V) {
         for (name, extractor) in &self.extractors {
-            let idx = self.indexes.get_mut(name).expect("index exists for extractor");
+            let idx = self
+                .indexes
+                .get_mut(name)
+                .expect("index exists for extractor");
             for ik in extractor(value) {
                 if let Some(set) = idx.map.get_mut(&ik) {
                     set.remove(key);
@@ -288,7 +294,10 @@ mod tests {
     }
 
     fn user(name: &str, likes: &[&str]) -> User {
-        User { name: name.into(), likes: likes.iter().map(|s| s.to_string()).collect() }
+        User {
+            name: name.into(),
+            likes: likes.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     #[test]
@@ -306,7 +315,10 @@ mod tests {
     fn duplicate_insert_is_rejected() {
         let mut t = table();
         t.insert(1, user("a", &[])).unwrap();
-        assert!(matches!(t.insert(1, user("b", &[])), Err(DbError::DuplicateKey(_))));
+        assert!(matches!(
+            t.insert(1, user("b", &[])),
+            Err(DbError::DuplicateKey(_))
+        ));
         assert_eq!(t.get(&1).unwrap().name, "a");
     }
 
@@ -323,7 +335,10 @@ mod tests {
     #[test]
     fn unknown_index_errors() {
         let t = table();
-        assert!(matches!(t.lookup("nope", "x"), Err(DbError::UnknownIndex(_))));
+        assert!(matches!(
+            t.lookup("nope", "x"),
+            Err(DbError::UnknownIndex(_))
+        ));
     }
 
     #[test]

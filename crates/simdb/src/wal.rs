@@ -105,7 +105,10 @@ impl Wal {
                     break;
                 }
                 Err(e) => {
-                    return Err(DbError::WalCorrupt { record: i, reason: e.to_string() })
+                    return Err(DbError::WalCorrupt {
+                        record: i,
+                        reason: e.to_string(),
+                    })
                 }
             }
         }
@@ -130,7 +133,10 @@ mod tests {
         let mut wal = Wal::new();
         wal.append(LogRecord::CreateTable { table: "t".into() });
         wal.append(put("t", "a", 1));
-        wal.append(LogRecord::Delete { table: "t".into(), key: "a".into() });
+        wal.append(LogRecord::Delete {
+            table: "t".into(),
+            key: "a".into(),
+        });
         let decoded = Wal::decode(&wal.encode()).unwrap();
         assert_eq!(decoded, wal);
     }

@@ -153,8 +153,7 @@ mod tests {
     #[test]
     fn generates_requested_number_with_unique_ids() {
         let mut rng = StdRng::seed_from_u64(1);
-        let listings =
-            generate_listings(&taxonomy(), &CatalogSpec::default(), 100, &mut rng);
+        let listings = generate_listings(&taxonomy(), &CatalogSpec::default(), 100, &mut rng);
         assert_eq!(listings.len(), 100);
         let mut ids: Vec<u64> = listings.iter().map(|l| l.item.id.0).collect();
         ids.sort_unstable();
@@ -166,7 +165,11 @@ mod tests {
     #[test]
     fn prices_respect_bounds_and_reservation_below_list() {
         let mut rng = StdRng::seed_from_u64(2);
-        let spec = CatalogSpec { price_min: 10, price_max: 20, ..CatalogSpec::default() };
+        let spec = CatalogSpec {
+            price_min: 10,
+            price_max: 20,
+            ..CatalogSpec::default()
+        };
         for l in generate_listings(&taxonomy(), &spec, 1, &mut rng) {
             assert!(l.item.list_price >= Money::from_units(10));
             assert!(l.item.list_price <= Money::from_units(20));
@@ -215,7 +218,10 @@ mod tests {
     #[test]
     fn replicate_jitters_prices_but_keeps_items() {
         let mut rng = StdRng::seed_from_u64(5);
-        let spec = CatalogSpec { items: 10, ..CatalogSpec::default() };
+        let spec = CatalogSpec {
+            items: 10,
+            ..CatalogSpec::default()
+        };
         let listings = generate_listings(&taxonomy(), &spec, 1, &mut rng);
         let markets = replicate_with_price_jitter(&listings, 4, 0.2, &mut rng);
         assert_eq!(markets.len(), 4);

@@ -34,7 +34,12 @@ pub struct PopulationSpec {
 
 impl Default for PopulationSpec {
     fn default() -> Self {
-        PopulationSpec { consumers: 30, clusters: 3, leaves_per_cluster: 2, noise: 0.15 }
+        PopulationSpec {
+            consumers: 30,
+            clusters: 3,
+            leaves_per_cluster: 2,
+            noise: 0.15,
+        }
     }
 }
 
@@ -56,7 +61,11 @@ impl ConsumerTruth {
     /// the item's leaf plus term overlap.
     pub fn affinity(&self, item: &Merchandise) -> f64 {
         let leaf_key = item.category.as_key();
-        let leaf_bonus = if self.favoured_leaves.contains(&leaf_key) { 1.0 } else { 0.0 };
+        let leaf_bonus = if self.favoured_leaves.contains(&leaf_key) {
+            1.0
+        } else {
+            0.0
+        };
         let mut term_score = 0.0;
         for (t, w) in item.terms.iter() {
             let namespaced = format!(
@@ -91,11 +100,7 @@ pub struct Population {
 impl Population {
     /// Generate a population over the leaves/vocabulary present in
     /// `listings` (clusters favour leaves that actually have items).
-    pub fn generate(
-        spec: &PopulationSpec,
-        listings: &[Listing],
-        rng: &mut StdRng,
-    ) -> Population {
+    pub fn generate(spec: &PopulationSpec, listings: &[Listing], rng: &mut StdRng) -> Population {
         // collect distinct leaves with their term vocabularies from the
         // catalog itself
         let mut leaves: Vec<(String, Vec<String>)> = Vec::new();
@@ -203,11 +208,11 @@ impl Population {
         let mut events = Vec::new();
         for truth in &self.consumers {
             // rank items by affinity once per consumer
-            let mut scored: Vec<(&Listing, f64)> =
-                listings.iter().map(|l| (l, truth.affinity(&l.item))).collect();
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            let mut scored: Vec<(&Listing, f64)> = listings
+                .iter()
+                .map(|l| (l, truth.affinity(&l.item)))
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             for _ in 0..events_per_consumer {
                 // zipf over the affinity ranking: mostly loved items,
                 // occasionally exploration
@@ -307,8 +312,10 @@ mod tests {
         let history = p.sample_history(&ls, 20, &mut rng);
         assert_eq!(history.len(), 30 * 20);
         let rel = p.relevant_items(ConsumerId(1), &ls, 0.2);
-        let mine: Vec<_> =
-            history.iter().filter(|(c, _, _)| *c == ConsumerId(1)).collect();
+        let mine: Vec<_> = history
+            .iter()
+            .filter(|(c, _, _)| *c == ConsumerId(1))
+            .collect();
         let hits = mine.iter().filter(|(_, m, _)| rel.contains(&m.id)).count();
         assert!(
             hits * 2 > mine.len(),

@@ -108,7 +108,11 @@ pub fn run_session(
         outcome.queries += 1;
         let responses = platform.query(consumer, &[keyword.as_str()], config.max_results);
         for response in responses {
-            let ResponseBody::Recommendations { offers, recommendations } = response else {
+            let ResponseBody::Recommendations {
+                offers,
+                recommendations,
+            } = response
+            else {
                 continue;
             };
             let offered: Vec<ItemId> = offers.iter().map(|o| o.item.id).collect();
@@ -118,8 +122,7 @@ pub fn run_session(
                     continue;
                 }
                 let affinity = truth.affinity(&offer.item);
-                if affinity >= config.buy_threshold && rng.gen::<f64>() < config.buy_probability
-                {
+                if affinity >= config.buy_threshold && rng.gen::<f64>() < config.buy_probability {
                     buy(
                         platform,
                         consumer,
@@ -142,15 +145,10 @@ pub fn run_session(
                     if outcome.items.contains(&rec.item.id) {
                         continue;
                     }
-                    if affinity >= config.buy_threshold
-                        && rng.gen::<f64>() < config.buy_probability
+                    if affinity >= config.buy_threshold && rng.gen::<f64>() < config.buy_probability
                     {
                         let was_offered = offered.contains(&rec.item.id);
-                        let market = platform
-                            .markets()
-                            .iter()
-                            .position(|_| true)
-                            .unwrap_or(0);
+                        let market = platform.markets().iter().position(|_| true).unwrap_or(0);
                         // find which marketplace lists the item: try them
                         // in order (the buy fails gracefully otherwise)
                         let before = outcome.purchases;
@@ -195,7 +193,11 @@ fn record_buy_responses(
     let mut bought = false;
     for r in responses {
         match r {
-            ResponseBody::Receipt { item: item_bought, price, channel } => {
+            ResponseBody::Receipt {
+                item: item_bought,
+                price,
+                channel,
+            } => {
                 outcome.purchases += 1;
                 outcome.spent = outcome.spent + price;
                 outcome.items.push(item_bought.id);
@@ -222,7 +224,11 @@ fn buy(
     config: &SessionConfig,
     outcome: &mut SessionOutcome,
 ) {
-    let Some(index) = platform.markets().iter().position(|m| m.host == marketplace) else {
+    let Some(index) = platform
+        .markets()
+        .iter()
+        .position(|m| m.host == marketplace)
+    else {
         return;
     };
     let responses = platform.buy(consumer, item, index, buy_mode(config, list_price));
@@ -325,12 +331,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let listings = generate_listings(
             &taxonomy,
-            &CatalogSpec { items: 30, ..CatalogSpec::default() },
+            &CatalogSpec {
+                items: 30,
+                ..CatalogSpec::default()
+            },
             1,
             &mut rng,
         );
         let population = Population::generate(
-            &PopulationSpec { consumers: 6, clusters: 2, ..PopulationSpec::default() },
+            &PopulationSpec {
+                consumers: 6,
+                clusters: 2,
+                ..PopulationSpec::default()
+            },
             &listings,
             &mut rng,
         );
@@ -359,9 +372,11 @@ mod tests {
     fn population_sessions_aggregate_sanely() {
         let (mut platform, population) = setup();
         let mut rng = StdRng::seed_from_u64(34);
-        let config = SessionConfig { queries: 2, ..SessionConfig::default() };
-        let report =
-            run_population_sessions(&mut platform, &population, &config, &mut rng);
+        let config = SessionConfig {
+            queries: 2,
+            ..SessionConfig::default()
+        };
+        let report = run_population_sessions(&mut platform, &population, &config, &mut rng);
         assert_eq!(report.sessions, 6);
         assert!(report.conversion_rate() >= 0.0 && report.conversion_rate() <= 1.0);
         if report.converted_sessions > 0 {
@@ -426,9 +441,11 @@ mod tests {
     fn disabling_recommendations_never_counts_recommended_purchases() {
         let (mut platform, population) = setup();
         let mut rng = StdRng::seed_from_u64(35);
-        let config = SessionConfig { use_recommendations: false, ..SessionConfig::default() };
-        let report =
-            run_population_sessions(&mut platform, &population, &config, &mut rng);
+        let config = SessionConfig {
+            use_recommendations: false,
+            ..SessionConfig::default()
+        };
+        let report = run_population_sessions(&mut platform, &population, &config, &mut rng);
         assert_eq!(report.recommended_purchases, 0);
         assert_eq!(report.mean_satisfaction, 0.0);
     }

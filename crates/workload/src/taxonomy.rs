@@ -21,7 +21,11 @@ pub struct TaxonomySpec {
 
 impl Default for TaxonomySpec {
     fn default() -> Self {
-        TaxonomySpec { categories: 5, subs_per_category: 3, terms_per_sub: 12 }
+        TaxonomySpec {
+            categories: 5,
+            subs_per_category: 3,
+            terms_per_sub: 12,
+        }
     }
 }
 

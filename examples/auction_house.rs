@@ -15,8 +15,22 @@ use agentsim::clock::SimDuration;
 fn main() {
     let mut platform = Platform::builder(1001)
         .marketplaces(vec![vec![
-            listing(1, "Signed First Edition", "books", "collectibles", 100, &[("rare", 1.0)]),
-            listing(2, "Vintage Pressing", "music", "collectibles", 80, &[("rare", 1.0)]),
+            listing(
+                1,
+                "Signed First Edition",
+                "books",
+                "collectibles",
+                100,
+                &[("rare", 1.0)],
+            ),
+            listing(
+                2,
+                "Vintage Pressing",
+                "music",
+                "collectibles",
+                80,
+                &[("rare", 1.0)],
+            ),
         ]])
         .build();
 

@@ -16,13 +16,21 @@
 use abcrm::eval::sweep::{alpha_convergence, cold_start_eval, sparsity_sweep, SweepSpec};
 
 fn main() {
-    let spec = SweepSpec { items: 80, consumers: 30, clusters: 3, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        items: 80,
+        consumers: 30,
+        clusters: 3,
+        ..SweepSpec::default()
+    };
 
     println!("{}", sparsity_sweep(&spec, &[1, 3, 7, 15, 30]));
     println!();
     println!("{}", cold_start_eval(&spec, 15));
     println!();
-    println!("{}", alpha_convergence(&spec, &[0.05, 0.1, 0.3, 0.6, 1.0], 60));
+    println!(
+        "{}",
+        alpha_convergence(&spec, &[0.05, 0.1, 0.3, 0.6, 1.0], 60)
+    );
     println!();
     println!(
         "Reading guide: cf-knn collapses at high sparsity and scores zero on\n\

@@ -15,7 +15,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let spec = SweepSpec { items: 60, consumers: 24, clusters: 3, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        items: 60,
+        consumers: 24,
+        clusters: 3,
+        ..SweepSpec::default()
+    };
     let w = make_workload(&spec);
     let mut rng = StdRng::seed_from_u64(2026);
     let history = w.population.sample_history(&w.listings, 15, &mut rng);
@@ -38,7 +43,11 @@ fn main() {
     }
     println!("weekly hottest (last 40 sales window):");
     for (item, n) in hottest.hottest(tick, 40, 5) {
-        let name = store.catalog().get(item).map(|m| m.name.clone()).unwrap_or_default();
+        let name = store
+            .catalog()
+            .get(item)
+            .map(|m| m.name.clone())
+            .unwrap_or_default();
         println!("  {n:>3} sold  {name}");
     }
 
@@ -51,11 +60,18 @@ fn main() {
     }
     let miner = TiedSale::new(2);
     if let Some((top_item, _)) = store.top_sellers(1).first().copied() {
-        let name = store.catalog().get(top_item).map(|m| m.name.clone()).unwrap_or_default();
+        let name = store
+            .catalog()
+            .get(top_item)
+            .map(|m| m.name.clone())
+            .unwrap_or_default();
         println!("\ntied-sale companions of the best seller ({name}):");
         for (item, n) in miner.companions(&store, top_item, 5) {
-            let cname =
-                store.catalog().get(item).map(|m| m.name.clone()).unwrap_or_default();
+            let cname = store
+                .catalog()
+                .get(item)
+                .map(|m| m.name.clone())
+                .unwrap_or_default();
             println!("  bought together {n:>2}x  {cname}");
         }
     }

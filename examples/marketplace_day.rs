@@ -24,21 +24,37 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2004);
     let listings = generate_listings(
         &taxonomy,
-        &CatalogSpec { items: 60, ..CatalogSpec::default() },
+        &CatalogSpec {
+            items: 60,
+            ..CatalogSpec::default()
+        },
         1,
         &mut rng,
     );
     let population = Population::generate(
-        &PopulationSpec { consumers: 12, clusters: 3, ..PopulationSpec::default() },
+        &PopulationSpec {
+            consumers: 12,
+            clusters: 3,
+            ..PopulationSpec::default()
+        },
         &listings,
         &mut rng,
     );
 
-    println!("catalog: {} items across {} marketplaces", listings.len(), 2);
-    println!("population: {} consumers in 3 taste clusters\n", population.consumers.len());
+    println!(
+        "catalog: {} items across {} marketplaces",
+        listings.len(),
+        2
+    );
+    println!(
+        "population: {} consumers in 3 taste clusters\n",
+        population.consumers.len()
+    );
 
-    for (label, use_recs) in [("WITHOUT recommendations", false), ("WITH recommendations", true)]
-    {
+    for (label, use_recs) in [
+        ("WITHOUT recommendations", false),
+        ("WITH recommendations", true),
+    ] {
         let mut platform = Platform::builder(7)
             .marketplaces(split_across_markets(listings.clone(), 2))
             .build();
@@ -52,7 +68,10 @@ fn main() {
         println!("--- {label} ---");
         println!("sessions:              {}", report.sessions);
         println!("conversion rate:       {:.2}", report.conversion_rate());
-        println!("average order size:    {:.2} items", report.average_order_size());
+        println!(
+            "average order size:    {:.2} items",
+            report.average_order_size()
+        );
         println!("purchases:             {}", report.purchases);
         println!("  via recommendations: {}", report.recommended_purchases);
         println!("total spend:           {}", report.spent);

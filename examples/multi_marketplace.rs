@@ -23,7 +23,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(55);
     let base = generate_listings(
         &taxonomy,
-        &CatalogSpec { items: 20, ..CatalogSpec::default() },
+        &CatalogSpec {
+            items: 20,
+            ..CatalogSpec::default()
+        },
         1,
         &mut rng,
     );
@@ -35,20 +38,26 @@ fn main() {
     let all_markets = replicate_with_price_jitter(&base, 6, 0.2, &mut rng);
 
     println!("item probed: {probe_name}");
-    println!("{:>12} {:>12} {:>14} {:>14}", "marketplaces", "offers", "best price", "tour (ms)");
+    println!(
+        "{:>12} {:>12} {:>14} {:>14}",
+        "marketplaces", "offers", "best price", "tour (ms)"
+    );
 
     for n in 1..=6usize {
         let markets = all_markets[..n].to_vec();
-        let mut platform = Platform::builder(100 + n as u64).marketplaces(markets).build();
+        let mut platform = Platform::builder(100 + n as u64)
+            .marketplaces(markets)
+            .build();
         let alice = ConsumerId(1);
         platform.login(alice);
         let responses = platform.query(alice, &[probe_name.as_str()], 3);
         // tour latency: first step01 to first step15 in the trace (the
         // world clock itself runs on past the MBA watchdog timer)
-        let times =
-            abcrm::core::workflow::step_times(platform.world().trace(), "fig4.2");
-        let elapsed = match (times.get(1).copied().flatten(), times.get(15).copied().flatten())
-        {
+        let times = abcrm::core::workflow::step_times(platform.world().trace(), "fig4.2");
+        let elapsed = match (
+            times.get(1).copied().flatten(),
+            times.get(15).copied().flatten(),
+        ) {
             (Some(t1), Some(t15)) => t15.since(t1).as_millis_f64(),
             _ => f64::NAN,
         };

@@ -17,19 +17,43 @@ fn main() {
     let mut platform = Platform::builder(42)
         .marketplaces(vec![
             vec![
-                listing(1, "Rust in Action", "books", "programming", 35, &[("rust", 1.0)]),
+                listing(
+                    1,
+                    "Rust in Action",
+                    "books",
+                    "programming",
+                    35,
+                    &[("rust", 1.0)],
+                ),
                 listing(2, "The Go Book", "books", "programming", 30, &[("go", 1.0)]),
-                listing(3, "Sourdough Basics", "books", "cooking", 20, &[("bread", 1.0)]),
+                listing(
+                    3,
+                    "Sourdough Basics",
+                    "books",
+                    "cooking",
+                    20,
+                    &[("bread", 1.0)],
+                ),
             ],
             vec![
-                listing(11, "Systems Programming", "books", "programming", 40, &[("rust", 0.8)]),
+                listing(
+                    11,
+                    "Systems Programming",
+                    "books",
+                    "programming",
+                    40,
+                    &[("rust", 0.8)],
+                ),
                 listing(12, "Kind of Blue LP", "music", "jazz", 25, &[("jazz", 1.0)]),
             ],
         ])
         .build();
 
-    println!("platform up: {} marketplaces, buyer server on {}\n",
-        platform.markets().len(), platform.buyer_host());
+    println!(
+        "platform up: {} marketplaces, buyer server on {}\n",
+        platform.markets().len(),
+        platform.buyer_host()
+    );
 
     // The Fig 4.1 creation workflow already ran during build; verify it.
     workflow::validate(platform.world().trace(), workflow::FIG_CREATION)
@@ -43,11 +67,17 @@ fn main() {
     // Fig 4.2: merchandise query. The MBA visits both marketplaces.
     let responses = platform.query(alice, &["rust"], 5);
     for response in &responses {
-        if let ResponseBody::Recommendations { offers, recommendations } = response {
+        if let ResponseBody::Recommendations {
+            offers,
+            recommendations,
+        } = response
+        {
             println!("query \"rust\" returned {} offers:", offers.len());
             for offer in offers {
-                println!("  {} at {} (marketplace {})",
-                    offer.item.name, offer.price, offer.marketplace);
+                println!(
+                    "  {} at {} (marketplace {})",
+                    offer.item.name, offer.price, offer.marketplace
+                );
             }
             println!("recommendations:");
             for rec in recommendations {
@@ -55,8 +85,7 @@ fn main() {
             }
         }
     }
-    workflow::validate(platform.world().trace(), workflow::FIG_QUERY)
-        .expect("fig 4.2 query trace");
+    workflow::validate(platform.world().trace(), workflow::FIG_QUERY).expect("fig 4.2 query trace");
     println!("fig 4.2 query workflow: OK (15 steps)\n");
 
     // Fig 4.3: negotiated purchase.
@@ -72,7 +101,12 @@ fn main() {
         },
     );
     for response in &responses {
-        if let ResponseBody::Receipt { item, price, channel } = response {
+        if let ResponseBody::Receipt {
+            item,
+            price,
+            channel,
+        } = response
+        {
             println!("bought {} for {price} ({channel})", item.name);
         }
     }
@@ -89,6 +123,10 @@ fn main() {
     }
 
     let m = platform.world().metrics();
-    println!("\nplatform metrics: {} messages, {} migrations, {} bytes over the network",
-        m.messages_delivered, m.migrations, m.total_network_bytes());
+    println!(
+        "\nplatform metrics: {} messages, {} migrations, {} bytes over the network",
+        m.messages_delivered,
+        m.migrations,
+        m.total_network_bytes()
+    );
 }

@@ -53,7 +53,10 @@ fn main() {
             buyer_host,
             Box::new(Bsma::new(BsmaConfig {
                 target: buyer_host,
-                markets: vec![MarketRef { host: market_host, agent: market }],
+                markets: vec![MarketRef {
+                    host: market_host,
+                    agent: market,
+                }],
                 mba_timeout_us: 200_000,
                 ..BsmaConfig::default()
             })),
@@ -66,7 +69,9 @@ fn main() {
         .send_external(
             bsma,
             Message::new(msgkinds::LOGIN)
-                .with_payload(&SessionRequest { consumer: ConsumerId(1) })
+                .with_payload(&SessionRequest {
+                    consumer: ConsumerId(1),
+                })
                 .unwrap(),
         )
         .unwrap();
@@ -95,7 +100,10 @@ fn main() {
         start.elapsed()
     );
     println!("  messages delivered: {}", metrics.messages_delivered);
-    println!("  MBA migrations:     {} (out + authenticated return)", metrics.migrations);
+    println!(
+        "  MBA migrations:     {} (out + authenticated return)",
+        metrics.migrations
+    );
     println!("  BRA deactivations:  {}", metrics.deactivations);
     println!("  BRA activations:    {}", metrics.activations);
     println!("\nworkflow steps observed (real-time ordering):");

@@ -1,0 +1,113 @@
+//! Offline stand-in for `crossbeam`, providing the `channel` module the
+//! workspace uses (unbounded MPSC) over `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel (clonable).
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; errors if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    ///
+    /// Unlike `std::sync::mpsc::Receiver`, crossbeam receivers are `Sync`
+    /// and clonable; we wrap in `Arc<Mutex<..>>` so either shape works
+    /// (receives still see every message exactly once).
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .try_recv()
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .recv_timeout(timeout)
+        }
+
+        /// Drain all currently queued values.
+        pub fn try_iter(&self) -> Vec<T> {
+            let guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            let mut out = Vec::new();
+            while let Ok(v) = guard.try_recv() {
+                out.push(v);
+            }
+            out
+        }
+    }
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_receive_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || {
+                tx2.send(7).unwrap();
+            });
+            tx.send(1).unwrap();
+            h.join().unwrap();
+            drop(tx);
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 7]);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

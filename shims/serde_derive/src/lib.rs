@@ -1,0 +1,503 @@
+//! Derive macros for the in-repo `serde` stand-in.
+//!
+//! Generates value-based `Serialize`/`Deserialize` impls following real
+//! serde's external-tagging conventions:
+//!
+//! - named struct      → JSON object keyed by field name
+//! - newtype struct    → the inner value
+//! - tuple struct (n>1)→ JSON array
+//! - unit variant      → `"Variant"`
+//! - newtype variant   → `{"Variant": value}`
+//! - tuple variant     → `{"Variant": [..]}`
+//! - struct variant    → `{"Variant": {..}}`
+//!
+//! Supported attribute: `#[serde(default)]` on named fields (missing key
+//! deserializes via `Default::default()`). Generic types are not
+//! supported — the workspace derives only on concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,  // field name, or tuple index as a string
+    default: bool, // #[serde(default)]
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                None => Shape::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    if n == 1 {
+                        Shape::Newtype
+                    } else {
+                        Shape::Tuple(n)
+                    }
+                }
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Does the attribute group at `tokens[i]` (the group after '#') contain
+/// `serde(default)`?
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Split a token list at top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments don't split fields.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for piece in split_top_level(stream) {
+        let mut i = 0;
+        let mut default = false;
+        // attributes
+        while let Some(TokenTree::Punct(p)) = piece.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 1;
+            if let Some(TokenTree::Group(g)) = piece.get(i) {
+                if attr_is_serde_default(g) {
+                    default = true;
+                }
+                i += 1;
+            }
+        }
+        // visibility
+        if let Some(TokenTree::Ident(id)) = piece.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = piece.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match piece.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for piece in split_top_level(stream) {
+        let mut i = 0;
+        // attributes (e.g. #[default] from derive(Default), doc comments)
+        while let Some(TokenTree::Punct(p)) = piece.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 1;
+            if matches!(piece.get(i), Some(TokenTree::Group(_))) {
+                i += 1;
+            }
+        }
+        let name = match piece.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let shape = match piece.get(i) {
+            None => Shape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n == 1 {
+                    Shape::Newtype
+                } else {
+                    Shape::Tuple(n)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim derive does not support explicit discriminants (variant `{name}`)"
+                ));
+            }
+            other => return Err(format!("unexpected variant body: {other:?}")),
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "serde::Value::Null".to_string(),
+                Shape::Newtype => "serde::Serialize::serialize_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => named_to_object(fields, "self."),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => serde::Value::String(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    Shape::Newtype => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__x0) => {{\n\
+                               let mut __m = serde::Map::new();\n\
+                               __m.insert(\"{vn}\".to_string(), serde::Serialize::serialize_value(__x0));\n\
+                               serde::Value::Object(__m)\n\
+                             }},\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                               let mut __m = serde::Map::new();\n\
+                               __m.insert(\"{vn}\".to_string(), serde::Value::Array(vec![{}]));\n\
+                               serde::Value::Object(__m)\n\
+                             }},\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let obj = named_to_object(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                               let mut __m = serde::Map::new();\n\
+                               __m.insert(\"{vn}\".to_string(), {obj});\n\
+                               serde::Value::Object(__m)\n\
+                             }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `{"f1": ..., "f2": ...}` construction. `prefix` is "self." for struct
+/// fields or "" for match-bound variant fields.
+fn named_to_object(fields: &[Field], prefix: &str) -> String {
+    let mut s = String::from("{ let mut __m = serde::Map::new();\n");
+    for f in fields {
+        let fname = &f.name;
+        let access = if prefix.is_empty() {
+            fname.clone()
+        } else {
+            format!("{prefix}{fname}")
+        };
+        s.push_str(&format!(
+            "__m.insert(\"{fname}\".to_string(), serde::Serialize::serialize_value(&{access}));\n"
+        ));
+    }
+    s.push_str("serde::Value::Object(__m) }");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!(
+                    "match __v {{ serde::Value::Null => Ok({name}), \
+                       _ => Err(serde::Error::msg(\"{name}: expected null\")) }}"
+                ),
+                Shape::Newtype => {
+                    format!("Ok({name}(serde::Deserialize::deserialize_value(__v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __a = serde::__expect_array(__v, \"{name}\", {n})?;\n\
+                           Ok({name}({})) }}",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    format!(
+                        "{{ let __m = serde::__expect_object(__v, \"{name}\")?;\n\
+                           Ok({name} {{ {} }}) }}",
+                        named_from_object(fields, name)
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &serde::Value) -> std::result::Result<Self, serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // serde also accepts {"Variant": null}? no — unit
+                        // variants are strings only under external tagging.
+                    }
+                    Shape::Newtype => {
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::deserialize_value(__payload)?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __a = serde::__expect_array(__payload, \"{name}::{vn}\", {n})?;\n\
+                               Ok({name}::{vn}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __m = serde::__expect_object(__payload, \"{name}::{vn}\")?;\n\
+                               Ok({name}::{vn} {{ {} }}) }},\n",
+                            named_from_object(fields, &format!("{name}::{vn}"))
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n\
+                         match __v {{\n\
+                             serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => Err(serde::Error::msg(format!(\"{name}: unknown variant {{__other}}\"))),\n\
+                             }},\n\
+                             serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                                 let (__k, __payload) = __m.iter().next().unwrap();\n\
+                                 match __k.as_str() {{\n\
+                                     {keyed_arms}\
+                                     __other => Err(serde::Error::msg(format!(\"{name}: unknown variant {{__other}}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             __other => Err(serde::Error::msg(format!(\"{name}: expected variant, got {{__other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_from_object(fields: &[Field], ty: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let getter = if f.default {
+            "__get_field_or_default"
+        } else {
+            "__get_field"
+        };
+        s.push_str(&format!(
+            "{fname}: serde::{getter}(__m, \"{ty}\", \"{fname}\")?,\n"
+        ));
+    }
+    s
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for `serde_json`, backed by the in-repo `serde` shim's
+//! [`Value`] tree. Supports the subset this workspace uses: `json!`,
+//! `to_value`/`from_value`, `to_string`/`to_vec`, `from_str`/`from_slice`.
+
+pub use serde::{Error, Map, Number, Value};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any `Serialize` type into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Interpret a [`Value`] as a `Deserialize` type.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    T::deserialize_value(&value)
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.serialize_value().to_string())
+}
+
+/// Serialize to a pretty JSON string (compact in this shim — callers only
+/// rely on round-tripping, not layout).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+/// Serialize to JSON bytes.
+pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Parse a JSON string into a `Deserialize` type.
+pub fn from_str<T: serde::de::DeserializeOwned>(text: &str) -> Result<T> {
+    let value = serde::value::parse(text)?;
+    T::deserialize_value(&value)
+}
+
+/// Parse JSON bytes into a `Deserialize` type.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| Error::msg(format!("invalid utf-8 in JSON input: {e}")))?;
+    from_str(text)
+}
+
+/// Build a [`Value`] from a JSON-like literal.
+///
+/// Object and array entries are token-munched so values may be arbitrary
+/// Rust expressions (`f.market.0`, `helper(x).unwrap()`), nested JSON
+/// literals, or the keywords `null`/`true`/`false`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let __vec: ::std::vec::Vec<$crate::Value> = {
+            #[allow(unused_mut)]
+            let mut __vec = ::std::vec::Vec::new();
+            $crate::__json_array!(__vec () $($tt)*);
+            __vec
+        };
+        $crate::Value::Array(__vec)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $crate::__json_object!(__map $($tt)*);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+/// Array-element muncher for [`json!`]. Accumulates tokens for one element
+/// until a top-level comma, then recurses into `json!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    // end of input, nothing accumulated (empty array or trailing comma)
+    ($vec:ident ()) => {};
+    // end of input with a pending element
+    ($vec:ident ($($val:tt)+)) => {
+        $vec.push($crate::json!($($val)+));
+    };
+    // top-level comma: flush the pending element
+    ($vec:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $vec.push($crate::json!($($val)+));
+        $crate::__json_array!($vec () $($rest)*)
+    };
+    // munch one token into the pending element
+    ($vec:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::__json_array!($vec ($($val)* $next) $($rest)*)
+    };
+}
+
+/// Object-entry muncher for [`json!`]. Keys are string literals; values are
+/// token-munched until a top-level comma, then recursed into `json!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    // end of input (empty object or after trailing comma)
+    ($map:ident) => {};
+    // `key:` — start munching the value
+    ($map:ident $key:tt : $($rest:tt)*) => {
+        $crate::__json_object!(@val $map $key () $($rest)*)
+    };
+    // top-level comma: flush the entry
+    (@val $map:ident $key:tt ($($val:tt)+) , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json!($($val)+));
+        $crate::__json_object!($map $($rest)*)
+    };
+    // end of input with a pending entry
+    (@val $map:ident $key:tt ($($val:tt)+)) => {
+        $map.insert(($key).to_string(), $crate::json!($($val)+));
+    };
+    // munch one token into the pending value
+    (@val $map:ident $key:tt ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::__json_object!(@val $map $key ($($val)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let v = json!({
+            "name": "abc",
+            "n": 3,
+            "ok": true,
+            "items": [1, 2, {"x": null}],
+        });
+        assert_eq!(v["name"].as_str(), Some("abc"));
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["items"][2]["x"], Value::Null);
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let v = json!({"a": [1.5, -2, "s\""], "b": {"c": false}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -13,8 +13,22 @@ use agentsim::sim::Location;
 fn platform(seed: u64) -> Platform {
     Platform::builder(seed)
         .marketplaces(vec![
-            vec![listing(1, "Book A", "books", "fiction", 10, &[("novel", 1.0)])],
-            vec![listing(11, "Record B", "music", "jazz", 20, &[("jazz", 1.0)])],
+            vec![listing(
+                1,
+                "Book A",
+                "books",
+                "fiction",
+                10,
+                &[("novel", 1.0)],
+            )],
+            vec![listing(
+                11,
+                "Record B",
+                "music",
+                "jazz",
+                20,
+                &[("jazz", 1.0)],
+            )],
         ])
         .build()
 }
@@ -38,9 +52,7 @@ fn every_server_role_of_fig_3_1_exists() {
         let domain = snapshot["domain"].as_array().unwrap();
         let count = domain
             .iter()
-            .filter(|s| {
-                serde_json::from_value::<ServerRole>(s["role"].clone()).unwrap() == role
-            })
+            .filter(|s| serde_json::from_value::<ServerRole>(s["role"].clone()).unwrap() == role)
             .count();
         assert_eq!(count, expected, "role {role:?}");
     }
@@ -69,7 +81,10 @@ fn bra_exists_only_while_logged_in() {
     let during = p.world().agents_on(p.buyer_host()).len();
     assert_eq!(during, before + 1, "login creates exactly the BRA");
     let bra = p.bsma_state().sessions()[0].1;
-    assert_eq!(p.world().location(bra), Some(Location::Active(p.buyer_host())));
+    assert_eq!(
+        p.world().location(bra),
+        Some(Location::Active(p.buyer_host()))
+    );
     p.logout(ConsumerId(7));
     assert_eq!(p.world().location(bra), None, "logout disposes the BRA");
     assert_eq!(p.world().agents_on(p.buyer_host()).len(), before);
@@ -117,8 +132,12 @@ fn multiple_consumers_hold_independent_sessions() {
     // interleaved tasks do not cross wires
     let r1 = p.query(ConsumerId(1), &["novel"], 5);
     let r2 = p.query(ConsumerId(2), &["jazz"], 5);
-    assert!(matches!(&r1[0], ResponseBody::Recommendations { offers, .. } if offers[0].item.name == "Book A"));
-    assert!(matches!(&r2[0], ResponseBody::Recommendations { offers, .. } if offers[0].item.name == "Record B"));
+    assert!(
+        matches!(&r1[0], ResponseBody::Recommendations { offers, .. } if offers[0].item.name == "Book A")
+    );
+    assert!(
+        matches!(&r2[0], ResponseBody::Recommendations { offers, .. } if offers[0].item.name == "Record B")
+    );
     for c in 1..=5u64 {
         p.logout(ConsumerId(c));
     }

@@ -11,7 +11,14 @@ fn run_scenario(seed: u64) -> (Vec<String>, u64, String) {
                 listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
                 listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
             ],
-            vec![listing(11, "Jazz LP", "music", "jazz", 20, &[("jazz", 1.0)])],
+            vec![listing(
+                11,
+                "Jazz LP",
+                "music",
+                "jazz",
+                20,
+                &[("jazz", 1.0)],
+            )],
         ])
         .build();
     for c in 1..=3u64 {
@@ -85,7 +92,10 @@ fn every_platform_agent_survives_snapshot_round_trip() {
             checked += 1;
         }
     }
-    assert!(checked >= 6, "coordinator, market, seller, bsma, pa, httpa, bra: {checked}");
+    assert!(
+        checked >= 6,
+        "coordinator, market, seller, bsma, pa, httpa, bra: {checked}"
+    );
 }
 
 #[test]
@@ -94,7 +104,14 @@ fn query_response_is_reproducible_across_platform_rebuilds() {
         let mut p = Platform::builder(seed)
             .marketplaces(vec![vec![
                 listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
-                listing(2, "Rust Atlas", "books", "programming", 28, &[("rust", 0.9)]),
+                listing(
+                    2,
+                    "Rust Atlas",
+                    "books",
+                    "programming",
+                    28,
+                    &[("rust", 0.9)],
+                ),
             ]])
             .build();
         p.login(ConsumerId(1));

@@ -1,0 +1,294 @@
+//! Indexed hot path ≡ reference implementation.
+//!
+//! The store's query-serving index (flat-profile cache, posting lists,
+//! bounded top-k selection, memoized item cosines, optional parallel
+//! scoring) promises *byte-identical* answers to the naive full-scan
+//! implementations it replaced. These tests hold it to that promise on
+//! randomized stores: every comparison is exact `==` on `f64` scores —
+//! no tolerances.
+
+use abcrm_core::learning::BehaviorKind;
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::recommend::{
+    CfRecommender, ContentRecommender, HybridRecommender, QueryContext, Recommendation,
+    Recommender, TopSellerRecommender,
+};
+use abcrm_core::similarity::{SimilarityConfig, SimilarityMethod};
+use abcrm_core::store::RecommendStore;
+use abcrm_core::{ItemCfRecommender, RandomRecommender};
+use ecp::merchandise::{CategoryPath, ItemId, Merchandise, Money};
+use ecp::terms::TermVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CATEGORIES: [(&str, &str); 4] = [
+    ("books", "programming"),
+    ("books", "scifi"),
+    ("music", "jazz"),
+    ("garden", "tools"),
+];
+
+fn merch(id: u64) -> Merchandise {
+    let (cat, sub) = CATEGORIES[(id % CATEGORIES.len() as u64) as usize];
+    Merchandise {
+        id: ItemId(id),
+        name: format!("item{id}"),
+        category: CategoryPath::new(cat, sub),
+        terms: TermVector::from_pairs([
+            (format!("item{id}"), 1.0),
+            (format!("shard{}", id % 7), 0.5),
+            (sub.to_string(), 0.3),
+        ]),
+        list_price: Money::from_units(10 + id % 40),
+        seller: 1 + (id % 3) as u32,
+    }
+}
+
+/// A randomized store: `users` consumers exercising every behaviour kind
+/// over a shared catalog, so profiles overlap partially, ratings are
+/// sparse, and some consumers stay cold.
+fn random_store(seed: u64, users: u64, items: u64) -> RecommendStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = RecommendStore::new();
+    for id in 1..=items {
+        store.upsert_item(merch(id));
+    }
+    let kinds = [
+        BehaviorKind::Query,
+        BehaviorKind::Browse,
+        BehaviorKind::Negotiate,
+        BehaviorKind::Bid,
+        BehaviorKind::AuctionWin,
+        BehaviorKind::Purchase,
+    ];
+    for user in 1..=users {
+        // a few users stay completely cold
+        if rng.gen_bool(0.1) {
+            continue;
+        }
+        for _ in 0..rng.gen_range(1..10u32) {
+            let item = ItemId(rng.gen_range(1..=items));
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            store.record_event(ConsumerId(user), item, kind);
+        }
+    }
+    store
+}
+
+fn contexts() -> Vec<QueryContext> {
+    vec![
+        QueryContext::default(),
+        QueryContext::keywords(["item3", "jazz"]),
+        QueryContext {
+            keywords: vec![],
+            category: Some(CategoryPath::new("books", "programming")),
+        },
+        QueryContext {
+            keywords: vec!["shard2".into()],
+            category: Some(CategoryPath::new("music", "jazz")),
+        },
+    ]
+}
+
+fn similarity_configs() -> Vec<SimilarityConfig> {
+    let mut cfgs = Vec::new();
+    for method in [
+        SimilarityMethod::Cosine,
+        SimilarityMethod::Pearson,
+        SimilarityMethod::Jaccard,
+    ] {
+        for discard_threshold in [Some(2.0), Some(4.0), None] {
+            for min_overlap in [1usize, 2] {
+                cfgs.push(SimilarityConfig {
+                    method,
+                    discard_threshold,
+                    min_overlap,
+                    ..SimilarityConfig::default()
+                });
+            }
+        }
+    }
+    // negative floor: pruning is lossy there, so the store must fall
+    // back to the full scan — and still match exactly
+    cfgs.push(SimilarityConfig {
+        method: SimilarityMethod::Pearson,
+        neighbour_floor: -1.5,
+        min_overlap: 2,
+        ..SimilarityConfig::default()
+    });
+    cfgs
+}
+
+/// Exact-equality helper with a readable failure message.
+fn assert_same_recs(indexed: &[Recommendation], naive: &[Recommendation], what: &str) {
+    assert_eq!(indexed.len(), naive.len(), "{what}: lengths differ");
+    for (a, b) in indexed.iter().zip(naive) {
+        assert_eq!(a.item, b.item, "{what}: items diverge");
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "{what}: score bits diverge on {:?}",
+            a.item
+        );
+    }
+}
+
+#[test]
+fn indexed_neighbour_search_matches_full_scan() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let store = random_store(seed, 40, 25);
+        for cfg in similarity_configs() {
+            for user in (1..=40u64).step_by(3) {
+                for k in [1usize, 5, 100] {
+                    let indexed = store.nearest_neighbours(ConsumerId(user), &cfg, k);
+                    let naive = store.nearest_neighbours_naive(ConsumerId(user), &cfg, k);
+                    assert_eq!(indexed, naive, "seed {seed} user {user} k {k} cfg {cfg:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_indexed_matches_naive() {
+    for seed in [7u64, 8, 9] {
+        let store = random_store(seed, 35, 20);
+        for cfg in similarity_configs() {
+            let rec = HybridRecommender {
+                k_neighbours: 8,
+                similarity: cfg,
+                collaborative_weight: 0.7,
+            };
+            for ctx in contexts() {
+                for user in [1u64, 5, 13, 27, 999] {
+                    let indexed = rec.recommend(&store, ConsumerId(user), &ctx, 10);
+                    let naive = rec.recommend_naive(&store, ConsumerId(user), &ctx, 10);
+                    assert_same_recs(&indexed, &naive, &format!("hybrid seed {seed} user {user}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn itemcf_cached_matches_naive_and_repeated_queries() {
+    for seed in [11u64, 12, 13] {
+        let store = random_store(seed, 30, 18);
+        let rec = ItemCfRecommender::default();
+        for ctx in contexts() {
+            for user in [1u64, 4, 17, 999] {
+                let cached = rec.recommend(&store, ConsumerId(user), &ctx, 10);
+                let naive = rec.recommend_naive(&store, ConsumerId(user), &ctx, 10);
+                assert_same_recs(&cached, &naive, &format!("itemcf seed {seed} user {user}"));
+                // second call answers from the warm cache — still identical
+                let warm = rec.recommend(&store, ConsumerId(user), &ctx, 10);
+                assert_same_recs(&warm, &naive, "itemcf warm cache");
+            }
+        }
+    }
+}
+
+#[test]
+fn mutations_invalidate_every_cache() {
+    let mut store = random_store(21, 30, 18);
+    let hybrid = HybridRecommender::default();
+    let itemcf = ItemCfRecommender::default();
+    let cfg = SimilarityConfig::default();
+    let ctx = QueryContext::default();
+    // warm all caches
+    for user in 1..=30u64 {
+        hybrid.recommend(&store, ConsumerId(user), &ctx, 10);
+        itemcf.recommend(&store, ConsumerId(user), &ctx, 10);
+    }
+    type Mutation = Box<dyn Fn(&mut RecommendStore)>;
+    let mutations: Vec<Mutation> = vec![
+        Box::new(|s| s.record_event(ConsumerId(3), ItemId(5), BehaviorKind::Purchase)),
+        Box::new(|s| {
+            let mut p = abcrm_core::Profile::new();
+            p.category_mut("garden").sub_mut("tools").set("spade", 3.0);
+            s.put_profile(ConsumerId(7), p);
+        }),
+        Box::new(|s| s.record_basket(ConsumerId(9), &[ItemId(1), ItemId(2)])),
+        Box::new(|s| s.decay_all_profiles(0.5)),
+        Box::new(|s| s.decay_all_profiles(1e-12)),
+    ];
+    for (i, mutate) in mutations.iter().enumerate() {
+        mutate(&mut store);
+        for user in (1..=30u64).step_by(4) {
+            assert_eq!(
+                store.nearest_neighbours(ConsumerId(user), &cfg, 10),
+                store.nearest_neighbours_naive(ConsumerId(user), &cfg, 10),
+                "neighbours stale after mutation {i}"
+            );
+            assert_same_recs(
+                &hybrid.recommend(&store, ConsumerId(user), &ctx, 10),
+                &hybrid.recommend_naive(&store, ConsumerId(user), &ctx, 10),
+                &format!("hybrid stale after mutation {i}"),
+            );
+            assert_same_recs(
+                &itemcf.recommend(&store, ConsumerId(user), &ctx, 10),
+                &itemcf.recommend_naive(&store, ConsumerId(user), &ctx, 10),
+                &format!("itemcf stale after mutation {i}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn serde_round_trip_preserves_every_recommender_answer() {
+    let store = random_store(31, 30, 18);
+    let back: RecommendStore =
+        serde_json::from_value(serde_json::to_value(&store).unwrap()).unwrap();
+    let recommenders: Vec<Box<dyn Recommender>> = vec![
+        Box::new(HybridRecommender::default()),
+        Box::new(ItemCfRecommender::default()),
+        Box::new(CfRecommender::default()),
+        Box::new(ContentRecommender),
+        Box::new(TopSellerRecommender),
+        Box::new(RandomRecommender { seed: 42 }),
+    ];
+    for rec in &recommenders {
+        for ctx in contexts() {
+            for user in [1u64, 6, 14, 999] {
+                let original = rec.recommend(&store, ConsumerId(user), &ctx, 10);
+                let reloaded = rec.recommend(&back, ConsumerId(user), &ctx, 10);
+                assert_same_recs(&reloaded, &original, &format!("round-trip {}", rec.name()));
+            }
+        }
+    }
+    // the rebuilt index also serves neighbour queries identically
+    let cfg = SimilarityConfig::default();
+    for user in 1..=30u64 {
+        assert_eq!(
+            back.nearest_neighbours(ConsumerId(user), &cfg, 10),
+            store.nearest_neighbours(ConsumerId(user), &cfg, 10),
+        );
+    }
+}
+
+#[test]
+fn cloned_store_serves_identical_answers_independently() {
+    let mut store = random_store(41, 25, 15);
+    let copy = store.clone();
+    let hybrid = HybridRecommender::default();
+    let ctx = QueryContext::default();
+    let before: Vec<_> = (1..=25u64)
+        .map(|u| hybrid.recommend(&copy, ConsumerId(u), &ctx, 10))
+        .collect();
+    // mutating the original must not leak into the clone (separate
+    // indexes, separate caches)
+    store.record_event(ConsumerId(1), ItemId(2), BehaviorKind::Purchase);
+    store.decay_all_profiles(0.1);
+    for (u, expected) in (1..=25u64).zip(before) {
+        assert_same_recs(
+            &hybrid.recommend(&copy, ConsumerId(u), &ctx, 10),
+            &expected,
+            "clone drifted",
+        );
+        assert_same_recs(
+            &hybrid.recommend(&copy, ConsumerId(u), &ctx, 10),
+            &hybrid.recommend_naive(&copy, ConsumerId(u), &ctx, 10),
+            "clone index stale",
+        );
+    }
+}

@@ -13,19 +13,19 @@ use abcrm::simdb::{JsonStore, Wal};
 use proptest::prelude::*;
 
 fn term_vector_strategy() -> impl Strategy<Value = TermVector> {
-    proptest::collection::vec(("[a-f]{1,4}", 0.01f64..10.0), 0..8)
-        .prop_map(TermVector::from_pairs)
+    proptest::collection::vec(("[a-f]{1,4}", 0.01f64..10.0), 0..8).prop_map(TermVector::from_pairs)
 }
 
 fn profile_strategy() -> impl Strategy<Value = Profile> {
-    proptest::collection::vec(("[a-c]{1}", "[x-z]{1}", "[a-f]{1,4}", 0.01f64..5.0), 0..10)
-        .prop_map(|entries| {
+    proptest::collection::vec(("[a-c]{1}", "[x-z]{1}", "[a-f]{1,4}", 0.01f64..5.0), 0..10).prop_map(
+        |entries| {
             let mut p = Profile::new();
             for (cat, sub, term, w) in entries {
                 p.category_mut(&cat).sub_mut(&sub).add(term, w);
             }
             p
-        })
+        },
+    )
 }
 
 proptest! {

@@ -19,7 +19,10 @@ fn big_platform(seed: u64) -> (Platform, Vec<String>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let listings = generate_listings(
         &taxonomy,
-        &CatalogSpec { items: 200, ..CatalogSpec::default() },
+        &CatalogSpec {
+            items: 200,
+            ..CatalogSpec::default()
+        },
         1,
         &mut rng,
     );
@@ -57,14 +60,20 @@ fn thirty_consumers_run_interleaved_query_workflows() {
         .iter()
         .filter(|(_, r)| matches!(r, ResponseBody::Recommendations { .. }))
         .count();
-    assert_eq!(recommendations, 30, "every consumer must get an answer: {responses:?}");
+    assert_eq!(
+        recommendations, 30,
+        "every consumer must get an answer: {responses:?}"
+    );
     let m = p.world().metrics();
     // each MBA: 1 hop out + 3 between marketplaces + 1 home = 5
     assert_eq!(m.migrations - migrations_before, 30 * 5);
     assert_eq!(m.migrations_rejected, 0);
     assert_eq!(m.deactivations, 30);
     assert_eq!(m.activations, 30);
-    assert_eq!(m.messages_dead_lettered, 0, "no message may fall on the floor");
+    assert_eq!(
+        m.messages_dead_lettered, 0,
+        "no message may fall on the floor"
+    );
 }
 
 #[test]
@@ -80,20 +89,14 @@ fn mixed_workload_with_purchases_keeps_userdb_consistent() {
             let responses = p.query(ConsumerId(c), &[keyword.as_str()], 3);
             // buy the first offer every other round
             if round % 2 == 0 {
-                if let Some(ResponseBody::Recommendations { offers, .. }) = responses.first()
-                {
+                if let Some(ResponseBody::Recommendations { offers, .. }) = responses.first() {
                     if let Some(offer) = offers.first() {
                         let market = p
                             .markets()
                             .iter()
                             .position(|m| m.host == offer.marketplace)
                             .unwrap();
-                        let bought = p.buy(
-                            ConsumerId(c),
-                            offer.item.id,
-                            market,
-                            BuyMode::Direct,
-                        );
+                        let bought = p.buy(ConsumerId(c), offer.item.id, market, BuyMode::Direct);
                         if matches!(bought.first(), Some(ResponseBody::Receipt { .. })) {
                             expected_tx += 1;
                         }

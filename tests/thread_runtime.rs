@@ -42,7 +42,10 @@ fn full_query_workflow_runs_on_the_threaded_runtime() {
             )),
         )
         .unwrap();
-    assert!(world.run_until_idle(Duration::from_secs(10)), "provisioning quiesces");
+    assert!(
+        world.run_until_idle(Duration::from_secs(10)),
+        "provisioning quiesces"
+    );
 
     // buyer agent server, created in place (no coordinator hop needed on
     // this runtime test; the DES tests cover the full Fig 4.1 path)
@@ -51,13 +54,19 @@ fn full_query_workflow_runs_on_the_threaded_runtime() {
             buyer_host,
             Box::new(Bsma::new(BsmaConfig {
                 target: buyer_host,
-                markets: vec![MarketRef { host: market_host, agent: market }],
+                markets: vec![MarketRef {
+                    host: market_host,
+                    agent: market,
+                }],
                 mba_timeout_us: 200_000, // 0.2s real time on this runtime
                 ..BsmaConfig::default()
             })),
         )
         .unwrap();
-    assert!(world.run_until_idle(Duration::from_secs(10)), "bsma setup quiesces");
+    assert!(
+        world.run_until_idle(Duration::from_secs(10)),
+        "bsma setup quiesces"
+    );
 
     // drive the workflow BSMA-first (the HttpA id lives inside the BSMA's
     // thread; the DES tests cover the browser front)
@@ -65,11 +74,16 @@ fn full_query_workflow_runs_on_the_threaded_runtime() {
         .send_external(
             bsma,
             Message::new(msgkinds::LOGIN)
-                .with_payload(&SessionRequest { consumer: ConsumerId(1) })
+                .with_payload(&SessionRequest {
+                    consumer: ConsumerId(1),
+                })
                 .unwrap(),
         )
         .unwrap();
-    assert!(world.run_until_idle(Duration::from_secs(10)), "login quiesces");
+    assert!(
+        world.run_until_idle(Duration::from_secs(10)),
+        "login quiesces"
+    );
 
     world
         .send_external(

@@ -18,8 +18,22 @@ fn platform(seed: u64) -> Platform {
                 listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
                 listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
             ],
-            vec![listing(11, "Rust Atlas", "books", "programming", 28, &[("rust", 0.9)])],
-            vec![listing(21, "Rust Map", "books", "programming", 26, &[("rust", 0.8)])],
+            vec![listing(
+                11,
+                "Rust Atlas",
+                "books",
+                "programming",
+                28,
+                &[("rust", 0.9)],
+            )],
+            vec![listing(
+                21,
+                "Rust Map",
+                "books",
+                "programming",
+                26,
+                &[("rust", 0.8)],
+            )],
         ])
         .build()
 }
@@ -29,7 +43,11 @@ fn fig_4_1_creation_runs_exactly_six_steps() {
     let p = platform(1);
     workflow::validate(p.world().trace(), FIG_CREATION).unwrap();
     let steps = workflow::steps_of(p.world().trace(), FIG_CREATION);
-    assert_eq!(steps, vec![1, 2, 3, 4, 5, 6], "creation steps run exactly once, in order");
+    assert_eq!(
+        steps,
+        vec![1, 2, 3, 4, 5, 6],
+        "creation steps run exactly once, in order"
+    );
 }
 
 #[test]
@@ -37,7 +55,9 @@ fn fig_4_2_query_covers_all_15_steps_across_three_marketplaces() {
     let mut p = platform(2);
     p.login(ConsumerId(1));
     let responses = p.query(ConsumerId(1), &["rust"], 5);
-    assert!(matches!(&responses[0], ResponseBody::Recommendations { offers, .. } if offers.len() == 3));
+    assert!(
+        matches!(&responses[0], ResponseBody::Recommendations { offers, .. } if offers.len() == 3)
+    );
     workflow::validate(p.world().trace(), FIG_QUERY).unwrap();
     let steps = workflow::steps_of(p.world().trace(), FIG_QUERY);
     // the market-visit steps (10, 11) repeat once per marketplace
@@ -57,7 +77,10 @@ fn fig_4_2_step_times_are_monotone() {
     for (step, time) in times.iter().enumerate().skip(1) {
         let t = time.unwrap_or_else(|| panic!("step {step} missing"));
         if let Some(prev) = last {
-            assert!(t >= prev, "step {step} at {t} precedes its predecessor at {prev}");
+            assert!(
+                t >= prev,
+                "step {step} at {t} precedes its predecessor at {prev}"
+            );
         }
         last = Some(t);
     }
@@ -109,7 +132,10 @@ fn fig_4_3_auction_covers_the_workflow() {
         SimDuration::from_secs(20),
     );
     let responses = p.auction(ConsumerId(1), ItemId(2), 0, Money::from_units(50));
-    assert!(matches!(&responses[0], ResponseBody::AuctionResult { won: true, .. }));
+    assert!(matches!(
+        &responses[0],
+        ResponseBody::AuctionResult { won: true, .. }
+    ));
     workflow::validate(p.world().trace(), FIG_TRANSACT).unwrap();
 }
 
@@ -119,7 +145,12 @@ fn sealed_auction_two_bidders_pay_second_price() {
     for c in [1u64, 2] {
         p.login(ConsumerId(c));
     }
-    p.open_sealed_auction(0, ItemId(2), Money::from_units(5), SimDuration::from_secs(30));
+    p.open_sealed_auction(
+        0,
+        ItemId(2),
+        Money::from_units(5),
+        SimDuration::from_secs(30),
+    );
     // both bidders' MBAs bid their true limits (Vickrey dominant strategy)
     let market = p.markets()[0];
     p.submit_task(
@@ -176,7 +207,10 @@ fn dutch_auction_mba_takes_at_the_clock_price() {
     let responses = p.auction(ConsumerId(1), ItemId(2), 0, Money::from_units(33));
     match &responses[0] {
         ResponseBody::AuctionResult { won, price, .. } => {
-            assert!(*won, "the MBA must take the item once the clock is affordable");
+            assert!(
+                *won,
+                "the MBA must take the item once the clock is affordable"
+            );
             // clock prices: 50,45,40,35,30 — first affordable is 30
             assert_eq!(*price, Some(Money::from_units(30)));
         }
@@ -212,18 +246,20 @@ fn dutch_auction_floors_out_when_nobody_can_pay() {
 fn profile_grows_with_every_workflow() {
     let mut p = platform(7);
     p.login(ConsumerId(1));
-    let interest =
-        |p: &Platform| -> f64 {
-            p.pa_state()
-                .store()
-                .profile(ConsumerId(1))
-                .map(|pr| pr.total_interest())
-                .unwrap_or(0.0)
-        };
+    let interest = |p: &Platform| -> f64 {
+        p.pa_state()
+            .store()
+            .profile(ConsumerId(1))
+            .map(|pr| pr.total_interest())
+            .unwrap_or(0.0)
+    };
     assert_eq!(interest(&p), 0.0);
     p.query(ConsumerId(1), &["rust"], 5);
     let after_query = interest(&p);
-    assert!(after_query > 0.0, "query behaviour must update the profile (§3.3 PA role)");
+    assert!(
+        after_query > 0.0,
+        "query behaviour must update the profile (§3.3 PA role)"
+    );
     p.buy(ConsumerId(1), ItemId(1), 0, BuyMode::Direct);
     let after_buy = interest(&p);
     assert!(after_buy > after_query, "purchase reinforces more");
@@ -262,7 +298,10 @@ fn busy_bra_rejects_overlapping_tasks() {
         .iter()
         .filter(|(_, r)| matches!(r, ResponseBody::Recommendations { .. }))
         .count();
-    assert_eq!(errors, 1, "the second task must be refused while the first runs");
+    assert_eq!(
+        errors, 1,
+        "the second task must be refused while the first runs"
+    );
     assert_eq!(recs, 1, "the first task must still complete");
 }
 
