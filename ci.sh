@@ -9,10 +9,10 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (default features)"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone
 
 echo "==> cargo clippy (--features parallel)"
-cargo clippy --workspace --all-targets --features parallel -- -D warnings
+cargo clippy --workspace --all-targets --features parallel -- -D warnings -D clippy::redundant_clone
 
 echo "==> cargo build --release"
 cargo build --release
@@ -22,5 +22,9 @@ cargo test -q
 
 echo "==> cargo test --features parallel"
 cargo test -q --features parallel
+
+echo "==> bench smoke (quick mode)"
+PLATFORM_BENCH_QUICK=1 cargo bench -p bench --bench platform_throughput
+cargo bench -p bench --bench query_hot_path
 
 echo "CI green."

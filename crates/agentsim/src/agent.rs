@@ -12,7 +12,9 @@
 use crate::clock::{SimDuration, SimTime};
 use crate::error::{PlatformError, Result};
 use crate::ids::{AgentId, HostId};
+use crate::intern::InternedStr;
 use crate::message::Message;
+use crate::payload::Payload;
 use crate::security::TravelPermit;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -83,8 +85,8 @@ pub enum Action {
     /// the world's registry under `agent_type` (mobile-code style).
     CreateOfType {
         id: AgentId,
-        agent_type: String,
-        state: serde_json::Value,
+        agent_type: InternedStr,
+        state: Payload,
     },
     /// Migrate the calling agent to `dest`.
     DispatchSelf { dest: HostId },
@@ -208,15 +210,15 @@ impl<'a> Ctx<'a> {
     /// concrete type it does not link against (Fig 4.1 step 2).
     pub fn create_agent_of_type(
         &mut self,
-        agent_type: impl Into<String>,
-        state: serde_json::Value,
+        agent_type: impl Into<InternedStr>,
+        state: impl Into<Payload>,
     ) -> AgentId {
         let id = AgentId(*self.next_agent_id);
         *self.next_agent_id += 1;
         self.actions.push(Action::CreateOfType {
             id,
             agent_type: agent_type.into(),
-            state,
+            state: state.into(),
         });
         id
     }
@@ -304,9 +306,10 @@ pub struct AgentCapsule {
     /// The travelling agent's id (stable across migration).
     pub id: AgentId,
     /// Type tag resolved against the [`AgentRegistry`] on arrival.
-    pub agent_type: String,
-    /// Snapshotted state.
-    pub state: serde_json::Value,
+    /// Interned: every capsule of a type shares one allocation.
+    pub agent_type: InternedStr,
+    /// Snapshotted state (shared, encode-once).
+    pub state: Payload,
     /// Host the agent considers home (where it was created).
     pub home: HostId,
     /// Travel permit issued by the home host when the agent first left.
@@ -315,18 +318,36 @@ pub struct AgentCapsule {
 }
 
 impl AgentCapsule {
+    /// Capture `agent` into a capsule: its type tag is interned and its
+    /// snapshot wrapped into a shared [`Payload`]. Used by both runtimes
+    /// for dispatch, clone and deactivation.
+    pub fn capture(
+        id: AgentId,
+        agent: &dyn Agent,
+        home: HostId,
+        permit: Option<TravelPermit>,
+    ) -> Self {
+        AgentCapsule {
+            id,
+            agent_type: InternedStr::new(agent.agent_type()),
+            state: Payload::from(agent.snapshot()),
+            home,
+            permit,
+        }
+    }
+
     /// Approximate on-the-wire size in bytes (drives transfer time in the
-    /// network model).
+    /// network model). The state's encoded length is computed once per
+    /// capsule and cached — repeated calls (transfer, storage accounting,
+    /// restore) do not re-serialize.
     pub fn wire_size(&self) -> usize {
-        64 + self.agent_type.len()
-            + serde_json::to_string(&self.state)
-                .map(|s| s.len())
-                .unwrap_or(0)
+        64 + self.agent_type.len() + self.state.encoded_len()
     }
 }
 
-/// Factory function rehydrating an agent from its snapshot.
-pub type AgentFactory = Box<dyn Fn(serde_json::Value) -> Result<Box<dyn Agent>> + Send + Sync>;
+/// Factory function rehydrating an agent from a reference to its
+/// snapshotted state (no clone of the state tree).
+pub type AgentFactory = Box<dyn Fn(&Payload) -> Result<Box<dyn Agent>> + Send + Sync>;
 
 /// Registry of agent factories, shared by all hosts of a world.
 ///
@@ -348,7 +369,7 @@ impl AgentRegistry {
     /// Register a factory for `agent_type`, replacing any previous one.
     pub fn register<F>(&mut self, agent_type: &str, factory: F)
     where
-        F: Fn(serde_json::Value) -> Result<Box<dyn Agent>> + Send + Sync + 'static,
+        F: Fn(&Payload) -> Result<Box<dyn Agent>> + Send + Sync + 'static,
     {
         self.factories
             .insert(agent_type.to_string(), Box::new(factory));
@@ -360,13 +381,15 @@ impl AgentRegistry {
         A: Agent + serde::de::DeserializeOwned + 'static,
     {
         self.register(agent_type, |state| {
-            let agent: A = serde_json::from_value(state)
+            let agent: A = state
+                .typed()
                 .map_err(|e| PlatformError::RestoreFailed(e.to_string()))?;
             Ok(Box::new(agent) as Box<dyn Agent>)
         });
     }
 
-    /// Rehydrate `capsule` into a live agent.
+    /// Rehydrate `capsule` into a live agent. The capsule's state is handed
+    /// to the factory by reference — restoring does not copy it.
     ///
     /// # Errors
     ///
@@ -375,9 +398,9 @@ impl AgentRegistry {
     pub fn rehydrate(&self, capsule: &AgentCapsule) -> Result<Box<dyn Agent>> {
         let factory = self
             .factories
-            .get(&capsule.agent_type)
-            .ok_or_else(|| PlatformError::UnknownAgentType(capsule.agent_type.clone()))?;
-        factory(capsule.state.clone())
+            .get(capsule.agent_type.as_str())
+            .ok_or_else(|| PlatformError::UnknownAgentType(capsule.agent_type.to_string()))?;
+        factory(&capsule.state)
     }
 
     /// Whether a factory exists for `agent_type`.
@@ -509,7 +532,7 @@ mod tests {
         let capsule = AgentCapsule {
             id: AgentId(1),
             agent_type: "counter".into(),
-            state: serde_json::json!({"count": 41}),
+            state: serde_json::json!({"count": 41}).into(),
             home: HostId(0),
             permit: None,
         };
@@ -524,7 +547,7 @@ mod tests {
         let capsule = AgentCapsule {
             id: AgentId(1),
             agent_type: "ghost".into(),
-            state: serde_json::Value::Null,
+            state: Payload::null(),
             home: HostId(0),
             permit: None,
         };
@@ -541,7 +564,7 @@ mod tests {
         let capsule = AgentCapsule {
             id: AgentId(1),
             agent_type: "counter".into(),
-            state: serde_json::json!({"not_count": true}),
+            state: serde_json::json!({"not_count": true}).into(),
             home: HostId(0),
             permit: None,
         };
@@ -556,17 +579,37 @@ mod tests {
         let small = AgentCapsule {
             id: AgentId(1),
             agent_type: "a".into(),
-            state: serde_json::json!(1),
+            state: serde_json::json!(1).into(),
             home: HostId(0),
             permit: None,
         };
         let big = AgentCapsule {
             id: AgentId(1),
             agent_type: "a".into(),
-            state: serde_json::json!(vec![0; 512]),
+            state: serde_json::json!(vec![0; 512]).into(),
             home: HostId(0),
             permit: None,
         };
         assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn capture_interns_type_and_wraps_snapshot() {
+        let agent = Counter { count: 12 };
+        let capsule = AgentCapsule::capture(AgentId(5), &agent, HostId(2), None);
+        assert_eq!(capsule.agent_type, "counter");
+        assert_eq!(*capsule.state, serde_json::json!({"count": 12}));
+        assert_eq!(capsule.home, HostId(2));
+    }
+
+    #[test]
+    fn capsule_wire_size_is_stable_and_matches_encoding() {
+        let agent = Counter { count: 7_654_321 };
+        let capsule = AgentCapsule::capture(AgentId(1), &agent, HostId(0), None);
+        let encoded = serde_json::to_string(capsule.state.value()).unwrap();
+        let expected = 64 + capsule.agent_type.len() + encoded.len();
+        for _ in 0..3 {
+            assert_eq!(capsule.wire_size(), expected);
+        }
     }
 }

@@ -1,0 +1,247 @@
+//! Interned immutable strings for message kinds and agent type tags.
+//!
+//! Every message carries a `kind` and every capsule an `agent_type`, and
+//! both are drawn from a small fixed vocabulary (the paper's performatives:
+//! `"query-request"`, `"mba-register"`, …). Storing them as `String` made
+//! each `Message::new` and each capsule snapshot allocate and copy; an
+//! [`InternedStr`] is an `Arc<str>` handed out by a global table, so
+//! constructing the same kind twice yields two pointer-sized handles onto
+//! one allocation, and `clone` is a reference-count bump.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide intern table. A plain mutex: lookups are a hash + lock and
+/// only unique spellings ever allocate.
+fn table() -> &'static Mutex<HashSet<Arc<str>>> {
+    static TABLE: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// A cheaply cloneable, interned, immutable string.
+///
+/// Two `InternedStr`s with equal text always share one allocation, so
+/// equality checks compare pointers before falling back to bytes.
+#[derive(Clone)]
+pub struct InternedStr(Arc<str>);
+
+impl InternedStr {
+    /// Intern `s`, returning a shared handle.
+    pub fn new(s: &str) -> Self {
+        let mut t = table().lock().expect("intern table poisoned");
+        if let Some(existing) = t.get(s) {
+            return InternedStr(Arc::clone(existing));
+        }
+        let arc: Arc<str> = Arc::from(s);
+        t.insert(Arc::clone(&arc));
+        InternedStr(arc)
+    }
+
+    /// View as a plain `&str`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Intern `s` (free-function form used by hot paths).
+pub fn intern(s: &str) -> InternedStr {
+    InternedStr::new(s)
+}
+
+impl Deref for InternedStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for InternedStr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for InternedStr {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for InternedStr {
+    fn eq(&self, other: &Self) -> bool {
+        // Interned: equal text implies the same allocation.
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for InternedStr {}
+
+impl Hash for InternedStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with `str::hash` so `Borrow<str>` lookups work.
+        self.0.hash(state);
+    }
+}
+
+impl PartialOrd for InternedStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InternedStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialEq<str> for InternedStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for InternedStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for InternedStr {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<InternedStr> for str {
+    fn eq(&self, other: &InternedStr) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<InternedStr> for &str {
+    fn eq(&self, other: &InternedStr) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<InternedStr> for String {
+    fn eq(&self, other: &InternedStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl From<&str> for InternedStr {
+    fn from(s: &str) -> Self {
+        InternedStr::new(s)
+    }
+}
+
+impl From<String> for InternedStr {
+    fn from(s: String) -> Self {
+        InternedStr::new(&s)
+    }
+}
+
+impl From<&String> for InternedStr {
+    fn from(s: &String) -> Self {
+        InternedStr::new(s)
+    }
+}
+
+impl From<InternedStr> for String {
+    fn from(s: InternedStr) -> Self {
+        s.as_str().to_string()
+    }
+}
+
+impl Default for InternedStr {
+    fn default() -> Self {
+        InternedStr::new("")
+    }
+}
+
+impl fmt::Display for InternedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for InternedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl Serialize for InternedStr {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for InternedStr {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(InternedStr::new(s)),
+            other => Err(Error::msg(format!(
+                "InternedStr: expected string, got {other}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_text_shares_one_allocation() {
+        let a = intern("query-request");
+        let b = intern("query-request");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compares_against_plain_strings() {
+        let k = intern("mba-register");
+        assert_eq!(k, "mba-register");
+        assert_eq!("mba-register", k);
+        assert_eq!(k, String::from("mba-register"));
+        assert_ne!(k, "mba-returned");
+        assert_eq!(k.as_str(), "mba-register");
+    }
+
+    #[test]
+    fn hashes_like_str_for_map_lookups() {
+        use std::collections::HashMap;
+        let mut m: HashMap<InternedStr, u32> = HashMap::new();
+        m.insert(intern("pa-load"), 7);
+        assert_eq!(m.get("pa-load"), Some(&7));
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let k = intern("buy-request");
+        let v = k.serialize_value();
+        assert_eq!(v.as_str(), Some("buy-request"));
+        let back = InternedStr::deserialize_value(&v).unwrap();
+        assert_eq!(back, k);
+        assert!(InternedStr::deserialize_value(&Value::Null).is_err());
+    }
+}

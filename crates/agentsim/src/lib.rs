@@ -66,9 +66,11 @@ pub mod agent;
 pub mod clock;
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod message;
 pub mod metrics;
 pub mod net;
+pub mod payload;
 pub mod security;
 pub mod sim;
 pub mod storage;
@@ -81,9 +83,11 @@ pub mod prelude {
     pub use crate::clock::{SimDuration, SimTime};
     pub use crate::error::PlatformError;
     pub use crate::ids::{AgentId, HostId, MessageId};
+    pub use crate::intern::{intern, InternedStr};
     pub use crate::message::Message;
     pub use crate::metrics::Metrics;
     pub use crate::net::{LinkSpec, Topology};
+    pub use crate::payload::Payload;
     pub use crate::security::{Authenticator, TravelPermit};
     pub use crate::sim::{Location, SimWorld};
     pub use crate::thread_net::{ThreadWorld, ThreadWorldBuilder};

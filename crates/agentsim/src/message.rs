@@ -2,10 +2,13 @@
 //!
 //! The paper's principle 6 (§4.1): *"The coordination of functional agents
 //! in recommendation mechanism is through the message passing."* Messages
-//! carry a string `kind` (a performative, e.g. `"query-request"`), a JSON
-//! payload, and correlation metadata for request/response protocols.
+//! carry an interned `kind` (a performative, e.g. `"query-request"`), a
+//! cheaply cloneable [`Payload`], and correlation metadata for
+//! request/response protocols.
 
 use crate::ids::{AgentId, MessageId};
+use crate::intern::InternedStr;
+use crate::payload::Payload;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
@@ -33,10 +36,11 @@ pub struct Message {
     pub from: Option<AgentId>,
     /// Destination agent.
     pub to: AgentId,
-    /// Performative / message kind, e.g. `"query-request"`.
-    pub kind: String,
-    /// Structured payload.
-    pub payload: serde_json::Value,
+    /// Performative / message kind, e.g. `"query-request"`. Interned: the
+    /// same spelling always shares one allocation.
+    pub kind: InternedStr,
+    /// Structured payload (shared, encode-once).
+    pub payload: Payload,
     /// Id of the message this one answers, if any.
     pub in_reply_to: Option<MessageId>,
 }
@@ -45,13 +49,13 @@ impl Message {
     /// Create a message of the given kind with a null payload and no
     /// addressing; the world fills in `id`, senders fill in `from`/`to`
     /// via the send API.
-    pub fn new(kind: impl Into<String>) -> Self {
+    pub fn new(kind: impl Into<InternedStr>) -> Self {
         Message {
             id: MessageId(0),
             from: None,
             to: AgentId(0),
             kind: kind.into(),
-            payload: serde_json::Value::Null,
+            payload: Payload::null(),
             in_reply_to: None,
         }
     }
@@ -63,8 +67,17 @@ impl Message {
     /// Returns the underlying `serde_json` error if `value` cannot be
     /// serialized.
     pub fn with_payload<T: Serialize>(mut self, value: &T) -> serde_json::Result<Self> {
-        self.payload = serde_json::to_value(value)?;
+        self.payload = Payload::encode(value)?;
         Ok(self)
+    }
+
+    /// Attach an already-built payload without re-serializing — the
+    /// routing-hop fast path: forwarding a received payload (or a
+    /// [`Payload::project`]ion of one) shares the tree and its cached
+    /// encoding instead of copying either.
+    pub fn carrying(mut self, payload: impl Into<Payload>) -> Self {
+        self.payload = payload.into();
+        self
     }
 
     /// Mark this message as a reply to `original`.
@@ -73,24 +86,23 @@ impl Message {
         self
     }
 
-    /// Deserialize the payload into a concrete type.
+    /// Deserialize the payload into a concrete type, by reference — the
+    /// payload tree is not cloned.
     ///
     /// # Errors
     ///
     /// Returns the underlying `serde_json` error if the payload does not
     /// match `T`.
     pub fn payload_as<T: DeserializeOwned>(&self) -> serde_json::Result<T> {
-        serde_json::from_value(self.payload.clone())
+        self.payload.typed()
     }
 
     /// Approximate on-the-wire size in bytes, used by the network model to
-    /// derive transfer time.
+    /// derive transfer time. The payload's encoded length is computed once
+    /// and cached (shared with every clone of the payload).
     pub fn wire_size(&self) -> usize {
         // kind + payload dominate; fixed header estimated at 32 bytes.
-        32 + self.kind.len()
-            + serde_json::to_string(&self.payload)
-                .map(|s| s.len())
-                .unwrap_or(0)
+        32 + self.kind.len() + self.payload.encoded_len()
     }
 
     /// Whether this message is of the given kind.
@@ -144,9 +156,44 @@ mod tests {
     }
 
     #[test]
+    fn wire_size_equals_header_plus_kind_plus_encoding() {
+        let msg = Message::new("quote")
+            .with_payload(&Quote {
+                item: "book".into(),
+                price: 120,
+            })
+            .unwrap();
+        let encoded = serde_json::to_string(msg.payload.value()).unwrap();
+        assert_eq!(msg.wire_size(), 32 + "quote".len() + encoded.len());
+    }
+
+    #[test]
     fn is_matches_kind_exactly() {
         let msg = Message::new("query-request");
         assert!(msg.is("query-request"));
         assert!(!msg.is("query"));
+    }
+
+    #[test]
+    fn clone_shares_the_payload_tree() {
+        let msg = Message::new("bulk").with_payload(&vec![7u32; 64]).unwrap();
+        let copy = msg.clone();
+        assert!(crate::payload::Payload::ptr_eq(&msg.payload, &copy.payload));
+        assert_eq!(copy.wire_size(), msg.wire_size());
+    }
+
+    #[test]
+    fn carrying_forwards_a_payload_without_reencoding() {
+        let original = Message::new("envelope")
+            .with_payload(&Quote {
+                item: "book".into(),
+                price: 9,
+            })
+            .unwrap();
+        let forwarded = Message::new("routed").carrying(original.payload.clone());
+        assert!(crate::payload::Payload::ptr_eq(
+            &original.payload,
+            &forwarded.payload
+        ));
     }
 }

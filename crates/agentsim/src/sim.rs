@@ -603,21 +603,14 @@ impl SimWorld {
 
     /// Clone `actor` (active on `host`) under the fresh id `clone_id`.
     fn do_clone(&mut self, host: HostId, actor: AgentId, clone_id: AgentId) {
-        let (agent_type, state) = {
+        let capsule = {
             let Some(h) = self.hosts.get(&host) else {
                 return;
             };
             let Some(agent) = h.active.get(&actor) else {
                 return;
             };
-            (agent.agent_type().to_string(), agent.snapshot())
-        };
-        let capsule = AgentCapsule {
-            id: clone_id,
-            agent_type,
-            state,
-            home: host,
-            permit: None,
+            AgentCapsule::capture(clone_id, agent.as_ref(), host, None)
         };
         match self.registry.rehydrate(&capsule) {
             Ok(copy) => {
@@ -691,13 +684,7 @@ impl SimWorld {
         } else {
             self.permits.get(&id).copied()
         };
-        let capsule = AgentCapsule {
-            id,
-            agent_type: agent.agent_type().to_string(),
-            state: agent.snapshot(),
-            home,
-            permit,
-        };
+        let capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
         drop(agent); // the live instance stays behind and is destroyed
         self.locations.insert(id, Location::InTransit);
         let bytes = capsule.wire_size();
@@ -796,13 +783,7 @@ impl SimWorld {
             return;
         };
         let home = self.homes.get(&id).copied().unwrap_or(host);
-        let capsule = AgentCapsule {
-            id,
-            agent_type: agent.agent_type().to_string(),
-            state: agent.snapshot(),
-            home,
-            permit: None,
-        };
+        let capsule = AgentCapsule::capture(id, agent.as_ref(), home, None);
         let h = self.hosts.get_mut(&host).expect("host exists");
         h.store.store(capsule);
         self.locations.insert(id, Location::Deactivated(host));

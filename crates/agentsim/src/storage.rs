@@ -84,7 +84,7 @@ mod tests {
         AgentCapsule {
             id: AgentId(id),
             agent_type: "t".into(),
-            state: serde_json::json!(vec![7u8; payload_len]),
+            state: serde_json::json!(vec![7u8; payload_len]).into(),
             home: HostId(0),
             permit: None,
         }

@@ -470,19 +470,12 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
             }
             Action::DispatchSelf { dest } => do_dispatch(host, shared, actor, dest),
             Action::CloneSelf { id } => {
-                let Some((agent_type, state)) = host
+                let Some(capsule) = host
                     .active
                     .get(&actor)
-                    .map(|a| (a.agent_type().to_string(), a.snapshot()))
+                    .map(|a| AgentCapsule::capture(id, a.as_ref(), host.id, None))
                 else {
                     continue;
-                };
-                let capsule = AgentCapsule {
-                    id,
-                    agent_type,
-                    state,
-                    home: host.id,
-                    permit: None,
                 };
                 match shared.registry.rehydrate(&capsule) {
                     Ok(copy) => {
@@ -574,13 +567,7 @@ fn do_dispatch(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, dest: Ho
     } else {
         host.carried_permits.remove(&id)
     };
-    let capsule = AgentCapsule {
-        id,
-        agent_type: agent.agent_type().to_string(),
-        state: agent.snapshot(),
-        home,
-        permit,
-    };
+    let capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
     shared.locations.lock().remove(&id);
     shared.send_envelope(dest, Envelope::Arrive(capsule));
 }
@@ -594,13 +581,8 @@ fn do_deactivate(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
         return;
     };
     let home = shared.homes.lock().get(&id).copied().unwrap_or(host.id);
-    host.store.store(AgentCapsule {
-        id,
-        agent_type: agent.agent_type().to_string(),
-        state: agent.snapshot(),
-        home,
-        permit: None,
-    });
+    host.store
+        .store(AgentCapsule::capture(id, agent.as_ref(), home, None));
     shared.metrics.lock().deactivations += 1;
 }
 

@@ -1,0 +1,118 @@
+//! E9 — platform throughput: the message/migration fast path under load.
+//!
+//! Series printed: wall-clock messages/sec (payload-heavy fan-out),
+//! migrations/sec (4 KB capsule hops) and sessions/sec (login/logout
+//! cycles on a full Buyer Agent Server) at 1k and 10k consumers. The
+//! numbers are recorded before/after the zero-copy payload rework in
+//! `BENCH_platform.json`.
+//!
+//! Criterion times the constituent hot paths: heavy fan-out delivery,
+//! multi-hop relay forwarding (per-hop wire sizing), migration round
+//! trips and session churn.
+//!
+//! `PLATFORM_BENCH_QUICK=1` shrinks the series scales for CI smoke runs.
+
+use agentsim::agent::{Agent, Ctx};
+use agentsim::ids::AgentId;
+use agentsim::message::Message;
+use agentsim::sim::SimWorld;
+use bench::throughput::{self, quote_sheet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::{Deserialize, Serialize};
+
+/// Forwards each "hop" message to the next agent in the chain; the tail
+/// just counts. Exercises per-hop wire sizing of an unchanged payload.
+#[derive(Debug, Serialize, Deserialize)]
+struct Relay {
+    next: Option<AgentId>,
+    delivered: u64,
+}
+
+impl Agent for Relay {
+    fn agent_type(&self) -> &'static str {
+        "relay"
+    }
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).unwrap()
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is("hop") {
+            match self.next {
+                Some(next) => ctx.send(next, msg),
+                None => self.delivered += 1,
+            }
+        }
+    }
+}
+
+fn throughput_series() {
+    let quick = std::env::var("PLATFORM_BENCH_QUICK").is_ok();
+    let scales: &[usize] = if quick { &[200] } else { &[1_000, 10_000] };
+    println!("{}", throughput::table(scales));
+}
+
+fn bench(c: &mut Criterion) {
+    throughput_series();
+
+    let mut group = c.benchmark_group("E9_throughput");
+    group.bench_function("fanout_100_heavy", |b| {
+        let mut world = SimWorld::new(21);
+        #[derive(Debug, Default, Serialize, Deserialize)]
+        struct Sink;
+        impl Agent for Sink {
+            fn agent_type(&self) -> &'static str {
+                "sink"
+            }
+            fn snapshot(&self) -> serde_json::Value {
+                serde_json::json!(null)
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+        }
+        world.registry_mut().register_serde::<Sink>("sink");
+        let host = world.add_host("edge");
+        let sinks: Vec<_> = (0..100)
+            .map(|_| world.create_agent(host, Box::new(Sink)).unwrap())
+            .collect();
+        let template = Message::new("quote")
+            .with_payload(&quote_sheet(40))
+            .unwrap();
+        b.iter(|| {
+            for sink in &sinks {
+                world.send_external(*sink, template.clone()).unwrap();
+            }
+            world.run_until_idle();
+        });
+    });
+    group.bench_function("relay_chain_16_hops_heavy", |b| {
+        let mut world = SimWorld::new(22);
+        world.registry_mut().register_serde::<Relay>("relay");
+        let host = world.add_host("h");
+        let mut next = None;
+        let mut head = None;
+        for _ in 0..16 {
+            head = Some(
+                world
+                    .create_agent(host, Box::new(Relay { next, delivered: 0 }))
+                    .unwrap(),
+            );
+            next = head;
+        }
+        let head = head.unwrap();
+        let template = Message::new("hop").with_payload(&quote_sheet(40)).unwrap();
+        b.iter(|| {
+            world.send_external(head, template.clone()).unwrap();
+            world.run_until_idle();
+        });
+    });
+    group.bench_function("migrations_10_round_trips_4kb", |b| {
+        b.iter(|| throughput::migrations_per_sec(10));
+    });
+    group.sample_size(10);
+    group.bench_function("sessions_20_cycles", |b| {
+        b.iter(|| throughput::sessions_per_sec(20));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

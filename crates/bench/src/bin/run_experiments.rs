@@ -32,4 +32,7 @@ fn main() {
     println!("{}", prediction_accuracy(&spec, &[3, 7, 15, 30]));
     println!("{}", ablation(&spec, 15));
     println!("{}", replicated_quality(&spec, &[11, 22, 33, 44, 55], 15));
+    // E9 platform throughput at report scale (the 1k/10k series lives in
+    // the platform_throughput bench)
+    println!("{}", bench::throughput::table(&[1_000]));
 }

@@ -5,6 +5,8 @@
 //! series land in `bench_output.txt` and are transcribed into
 //! EXPERIMENTS.md.
 
+pub mod throughput;
+
 use abcrm_core::profile::ConsumerId;
 use abcrm_core::server::Platform;
 use ecp::protocol::Listing;

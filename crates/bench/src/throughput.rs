@@ -1,0 +1,229 @@
+//! Shared measurement core for the `platform_throughput` bench and the
+//! `run_experiments` E9 table: wall-clock messages/sec, migrations/sec
+//! and sessions/sec on the DES platform.
+//!
+//! Everything here intentionally sticks to the stable platform API
+//! (`with_payload`, `payload_as`, `clone`, `dispatch_self`, `login`/
+//! `logout`), so the same measurement runs unchanged against builds
+//! before and after the zero-copy payload fast path — the numbers in
+//! `BENCH_platform.json` are directly comparable.
+
+use abcrm_core::profile::ConsumerId;
+use agentsim::agent::{Agent, Ctx};
+use agentsim::ids::HostId;
+use agentsim::message::Message;
+use agentsim::sim::SimWorld;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One row of a marketplace quote sheet (a payload-heavy message body).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct QuoteRow {
+    /// Item id.
+    pub id: u64,
+    /// Item name.
+    pub name: String,
+    /// Quoted price.
+    pub price: f64,
+    /// Descriptive terms.
+    pub terms: Vec<String>,
+}
+
+/// The quote sheet fanned out to every consumer.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct QuoteSheet {
+    /// Originating marketplace.
+    pub market: String,
+    /// Quoted items.
+    pub rows: Vec<QuoteRow>,
+}
+
+/// A quote sheet with `items` rows (~100 encoded bytes per row).
+pub fn quote_sheet(items: usize) -> QuoteSheet {
+    QuoteSheet {
+        market: "m0".into(),
+        rows: (0..items)
+            .map(|i| QuoteRow {
+                id: i as u64,
+                name: format!("merchandise-{i}"),
+                price: 10.25 + i as f64,
+                terms: vec![format!("term{}", i % 7), "quality".into(), "fast".into()],
+            })
+            .collect(),
+    }
+}
+
+/// Consumes fan-out quotes with a typed (hot-path) payload read.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct Reader {
+    seen: u64,
+    rows: u64,
+}
+
+impl Agent for Reader {
+    fn agent_type(&self) -> &'static str {
+        "reader"
+    }
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).unwrap()
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is("quote") {
+            let sheet: QuoteSheet = msg.payload_as().expect("quote payload");
+            self.seen += 1;
+            self.rows += sheet.rows.len() as u64;
+        }
+    }
+}
+
+/// Migrating agent with configurable state ballast: one round trip per
+/// "trip" message.
+#[derive(Debug, Serialize, Deserialize)]
+struct Carrier {
+    home: HostId,
+    away: HostId,
+    ballast: Vec<u8>,
+}
+
+impl Agent for Carrier {
+    fn agent_type(&self) -> &'static str {
+        "carrier"
+    }
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).unwrap()
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is("trip") {
+            ctx.dispatch_self(self.away);
+        }
+    }
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.host() != self.home {
+            ctx.dispatch_self(self.home);
+        }
+    }
+}
+
+/// Fan one payload-heavy message out to `consumers` readers; returns
+/// delivered messages per wall-clock second.
+pub fn messages_per_sec(consumers: usize) -> f64 {
+    let mut world = SimWorld::new(11);
+    world.registry_mut().register_serde::<Reader>("reader");
+    let edge = world.add_host("edge");
+    let readers: Vec<_> = (0..consumers)
+        .map(|_| {
+            world
+                .create_agent(edge, Box::new(Reader::default()))
+                .unwrap()
+        })
+        .collect();
+    let template = Message::new("quote")
+        .with_payload(&quote_sheet(40))
+        .expect("quote serializes");
+    let t0 = Instant::now();
+    for reader in &readers {
+        world.send_external(*reader, template.clone()).unwrap();
+    }
+    world.run_until_idle();
+    consumers as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Send `agents` carriers (4 KB state each) on a round trip; returns
+/// migrations (hops) per wall-clock second.
+pub fn migrations_per_sec(agents: usize) -> f64 {
+    let mut world = SimWorld::new(12);
+    world.registry_mut().register_serde::<Carrier>("carrier");
+    let home = world.add_host("home");
+    let away = world.add_host("away");
+    let carriers: Vec<_> = (0..agents)
+        .map(|_| {
+            world
+                .create_agent(
+                    home,
+                    Box::new(Carrier {
+                        home,
+                        away,
+                        ballast: vec![7; 4_000],
+                    }),
+                )
+                .unwrap()
+        })
+        .collect();
+    let t0 = Instant::now();
+    for carrier in &carriers {
+        world.send_external(*carrier, Message::new("trip")).unwrap();
+    }
+    world.run_until_idle();
+    (2 * agents) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Open and close a session for each of `consumers` users on a full
+/// Buyer Agent Server; returns sessions per wall-clock second.
+pub fn sessions_per_sec(consumers: usize) -> f64 {
+    let mut platform = crate::bench_platform(50, 1, 13);
+    let t0 = Instant::now();
+    for c in 1..=consumers as u64 {
+        platform.login(ConsumerId(c));
+        platform.logout(ConsumerId(c));
+    }
+    consumers as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// One measured row of the E9 table.
+#[derive(Debug)]
+pub struct ThroughputRow {
+    /// Scale (consumers / carriers / sessions).
+    pub consumers: usize,
+    /// Payload-heavy fan-out deliveries per second.
+    pub messages_per_sec: f64,
+    /// Capsule hops per second.
+    pub migrations_per_sec: f64,
+    /// Login/logout cycles per second.
+    pub sessions_per_sec: f64,
+}
+
+/// Measure all three rates at one scale.
+pub fn measure(consumers: usize) -> ThroughputRow {
+    ThroughputRow {
+        consumers,
+        messages_per_sec: messages_per_sec(consumers),
+        migrations_per_sec: migrations_per_sec(consumers / 10),
+        sessions_per_sec: sessions_per_sec(consumers / 10),
+    }
+}
+
+/// Render the E9 table at the given scales.
+pub fn table(scales: &[usize]) -> String {
+    let mut out = String::from(
+        "[E9] platform throughput (wall clock)\n\
+         consumers    messages/s  migrations/s   sessions/s\n",
+    );
+    for &scale in scales {
+        let row = measure(scale);
+        out.push_str(&format!(
+            "{:>9} {:>13.0} {:>13.0} {:>12.0}\n",
+            row.consumers, row.messages_per_sec, row.migrations_per_sec, row.sessions_per_sec
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_positive_at_small_scale() {
+        let row = measure(50);
+        assert!(row.messages_per_sec > 0.0);
+        assert!(row.migrations_per_sec > 0.0);
+        assert!(row.sessions_per_sec > 0.0);
+    }
+
+    #[test]
+    fn table_renders_one_row_per_scale() {
+        let t = table(&[20]);
+        assert!(t.contains("messages/s"));
+        assert!(t.lines().count() >= 3);
+    }
+}

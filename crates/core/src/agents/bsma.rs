@@ -162,8 +162,9 @@ impl Bsma {
         self.bsmdb
             .create_table("mba-registry")
             .expect("create mba table");
-        for market in &self.config.markets.clone() {
-            self.store_market(ctx, *market);
+        for i in 0..self.config.markets.len() {
+            let market = self.config.markets[i];
+            self.store_market(ctx, market);
         }
         // announce ourselves to the EC domain and discover marketplaces
         if self.config.coordinator != AgentId(0) {
@@ -258,9 +259,9 @@ impl Bsma {
             Some(bra) => {
                 let fig = routed.task.figure();
                 ctx.note(format!("{fig}/step03 bsma forwards task to bra"));
-                let task = Message::new(kinds::BRA_TASK)
-                    .with_payload(&routed)
-                    .expect("task serializes");
+                // forward the already-encoded payload: no re-serialization,
+                // the BRA reads the same RoutedTask bytes we received
+                let task = Message::new(kinds::BRA_TASK).carrying(msg.payload.clone());
                 ctx.send(bra, task);
             }
             None => {
@@ -489,12 +490,13 @@ mod tests {
         fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
             if let Some(target) = msg.payload.get("__send_to") {
                 let to = AgentId(target.as_u64().unwrap());
-                let mut inner = Message::new(msg.payload["kind"].as_str().unwrap());
-                inner.payload = msg.payload["payload"].clone();
+                let inner = Message::new(msg.payload["kind"].as_str().unwrap())
+                    .carrying(msg.payload.project("payload"));
                 ctx.send(to, inner);
                 return;
             }
-            self.replies.push((msg.kind.clone(), msg.payload));
+            self.replies
+                .push((msg.kind.to_string(), msg.payload.to_value()));
         }
     }
 
@@ -524,7 +526,8 @@ mod tests {
             "__send_to": bsma.0,
             "kind": kinds::EC_INFO,
             "payload": null,
-        });
+        })
+        .into();
         world.send_external(sink, msg).unwrap();
         world.run_until_idle();
         let state: Sink = serde_json::from_value(world.snapshot_of(sink).unwrap()).unwrap();

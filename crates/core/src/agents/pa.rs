@@ -308,12 +308,13 @@ mod tests {
         fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
             if let Some(target) = msg.payload.get("__send_to") {
                 let to = agentsim::ids::AgentId(target.as_u64().unwrap());
-                let mut inner = Message::new(msg.payload["kind"].as_str().unwrap());
-                inner.payload = msg.payload["payload"].clone();
+                let inner = Message::new(msg.payload["kind"].as_str().unwrap())
+                    .carrying(msg.payload.project("payload"));
                 ctx.send(to, inner);
                 return;
             }
-            self.replies.push((msg.kind.clone(), msg.payload));
+            self.replies
+                .push((msg.kind.to_string(), msg.payload.to_value()));
         }
     }
 
@@ -345,7 +346,8 @@ mod tests {
             "__send_to": f.pa.0,
             "kind": kind,
             "payload": serde_json::to_value(payload).unwrap(),
-        });
+        })
+        .into();
         f.world.send_external(f.sink, msg).unwrap();
         f.world.run_until_idle();
     }
@@ -508,7 +510,8 @@ mod tests {
                 price: None,
                 at_us: 0,
             }).unwrap(),
-        });
+        })
+        .into();
         world.send_external(sink, msg).unwrap();
         world.run_until(SimTime::ZERO + SimDuration::from_millis(100));
         let before: ProfileAgent = serde_json::from_value(world.snapshot_of(pa).unwrap()).unwrap();

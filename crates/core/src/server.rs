@@ -750,7 +750,7 @@ mod tests {
             events.push((ConsumerId(c), rust.clone(), BehaviorKind::Purchase));
             events.push((ConsumerId(c), go.clone(), BehaviorKind::Purchase));
         }
-        events.push((ConsumerId(1), rust.clone(), BehaviorKind::Purchase));
+        events.push((ConsumerId(1), rust, BehaviorKind::Purchase));
         p.seed_events(&events);
         p.login(ConsumerId(1));
         let responses = p.query(ConsumerId(1), &["book"], 5);

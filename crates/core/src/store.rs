@@ -123,7 +123,7 @@ impl RecommendStore {
         let Some(merch) = self.catalog.get(item).cloned() else {
             return;
         };
-        let event = BehaviorEvent::new(kind, merch.category.clone(), merch.terms.clone());
+        let event = BehaviorEvent::new(kind, merch.category, merch.terms);
         let profile = self.profiles.entry(consumer.0).or_default();
         self.learner.apply(profile, &event);
         self.index.update(consumer.0, profile);

@@ -604,14 +604,13 @@ mod tests {
                 // instruction: send inner message to the marketplace
                 let market = AgentId(fwd.as_u64().unwrap());
                 let kind = msg.payload["kind"].as_str().unwrap().to_string();
-                let mut inner = Message::new(kind);
-                inner.payload = msg.payload["payload"].clone();
+                let inner = Message::new(kind).carrying(msg.payload.project("payload"));
                 ctx.send(market, inner);
                 return;
             }
-            self.last_kind = Some(msg.kind.clone());
-            self.kinds_seen.push(msg.kind.clone());
-            self.last_payload = Some(msg.payload);
+            self.last_kind = Some(msg.kind.to_string());
+            self.kinds_seen.push(msg.kind.to_string());
+            self.last_payload = Some(msg.payload.to_value());
         }
     }
 
@@ -667,7 +666,7 @@ mod tests {
             "payload": serde_json::to_value(payload).unwrap(),
         });
         let mut msg = Message::new("instruction");
-        msg.payload = instruction;
+        msg.payload = instruction.into();
         f.world.send_external(f.probe, msg).unwrap();
     }
 
@@ -852,8 +851,7 @@ mod tests {
         );
         let p = probe_state(&f);
         assert_eq!(p.last_kind.as_deref(), Some(kinds::AUCTION_STATUS));
-        let status: AuctionStatus =
-            serde_json::from_value(p.last_payload.clone().unwrap()).unwrap();
+        let status: AuctionStatus = serde_json::from_value(p.last_payload.unwrap()).unwrap();
         assert!(status.sealed);
         assert_eq!(status.leading_bid, None);
         // the probe seals a bid; status must still hide it
@@ -867,8 +865,7 @@ mod tests {
         );
         let p = probe_state(&f);
         assert_eq!(p.last_kind.as_deref(), Some(kinds::BID_ACCEPTED));
-        let status: AuctionStatus =
-            serde_json::from_value(p.last_payload.clone().unwrap()).unwrap();
+        let status: AuctionStatus = serde_json::from_value(p.last_payload.unwrap()).unwrap();
         assert_eq!(status.leading_bid, None, "sealed bids must stay sealed");
         // duplicate sealed bid rejected
         via_probe_bounded(
@@ -908,8 +905,7 @@ mod tests {
         );
         let p = probe_state(&f);
         assert_eq!(p.last_kind.as_deref(), Some(kinds::AUCTION_STATUS));
-        let status: AuctionStatus =
-            serde_json::from_value(p.last_payload.clone().unwrap()).unwrap();
+        let status: AuctionStatus = serde_json::from_value(p.last_payload.unwrap()).unwrap();
         assert_eq!(status.minimum_bid, Money::from_units(20));
         // join so we hear the price drops and the close
         via_probe_bounded(

@@ -1,4 +1,5 @@
-//! Indexed hot path ≡ reference implementation.
+//! Indexed hot path ≡ reference implementation, and DES ≡ threaded
+//! runtime.
 //!
 //! The store's query-serving index (flat-profile cache, posting lists,
 //! bounded top-k selection, memoized item cosines, optional parallel
@@ -6,6 +7,11 @@
 //! implementations it replaced. These tests hold it to that promise on
 //! randomized stores: every comparison is exact `==` on `f64` scores —
 //! no tolerances.
+//!
+//! The `cross_runtime` module extends the promise to the two runtimes:
+//! the same seeded query workflow produces the same workflow trace
+//! labels and the same reply payload *bytes* on [`agentsim::sim::SimWorld`]
+//! and [`agentsim::thread_net::ThreadWorld`].
 
 use abcrm_core::learning::BehaviorKind;
 use abcrm_core::profile::ConsumerId;
@@ -289,6 +295,247 @@ fn cloned_store_serves_identical_answers_independently() {
             &hybrid.recommend(&copy, ConsumerId(u), &ctx, 10),
             &hybrid.recommend_naive(&copy, ConsumerId(u), &ctx, 10),
             "clone index stale",
+        );
+    }
+}
+
+/// DES ≡ threaded runtime: the same query workflow — profile load, MBA
+/// round trip with BRA deactivation, recommendation generation — yields
+/// the same fig4.2 trace labels and byte-identical reply payloads on
+/// both runtimes.
+mod cross_runtime {
+    use abcrm::core::agents::msg::{kinds as msgkinds, ConsumerTask, MarketRef, RoutedTask};
+    use abcrm::core::agents::{register_all, Bsma, BsmaConfig, BuyerRecommendAgent, ProfileAgent};
+    use abcrm::core::learning::LearnerConfig;
+    use abcrm::core::profile::ConsumerId;
+    use abcrm::core::server::listing;
+    use abcrm::core::similarity::SimilarityConfig;
+    use abcrm::ecp::{MarketplaceAgent, SellerAgent};
+    use agentsim::agent::{Agent, Ctx};
+    use agentsim::ids::AgentId;
+    use agentsim::message::Message;
+    use agentsim::sim::SimWorld;
+    use agentsim::thread_net::ThreadWorldBuilder;
+    use agentsim::trace::Trace;
+    use serde::{Deserialize, Serialize};
+    use std::time::Duration;
+
+    /// Stands in for the HttpA front: forwards `__send_to` instructions
+    /// and writes every reply's kind + payload bytes into the trace, the
+    /// one observation channel both runtimes share.
+    #[derive(Debug, Default, Serialize, Deserialize)]
+    struct Probe;
+
+    impl Agent for Probe {
+        fn agent_type(&self) -> &'static str {
+            "probe"
+        }
+        fn snapshot(&self) -> serde_json::Value {
+            serde_json::json!(null)
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if let Some(target) = msg.payload.get("__send_to") {
+                let to = AgentId(target.as_u64().unwrap());
+                let inner = Message::new(msg.payload["kind"].as_str().unwrap())
+                    .carrying(msg.payload.project("payload"));
+                ctx.send(to, inner);
+                return;
+            }
+            ctx.note(format!("probe-reply {} {}", msg.kind, msg.payload));
+        }
+    }
+
+    fn instruction(to: AgentId, kind: &str, payload: &impl Serialize) -> Message {
+        Message::new("instr").carrying(serde_json::json!({
+            "__send_to": to.0,
+            "kind": kind,
+            "payload": serde_json::to_value(payload).unwrap(),
+        }))
+    }
+
+    fn catalog() -> Vec<ecp::protocol::Listing> {
+        vec![
+            listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
+            listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
+            listing(3, "Jazz LP", "music", "jazz", 18, &[("jazz", 1.0)]),
+        ]
+    }
+
+    fn task() -> RoutedTask {
+        RoutedTask {
+            consumer: ConsumerId(1),
+            task: ConsumerTask::Query {
+                keywords: vec!["rust".into()],
+                category: None,
+                max_results: 5,
+            },
+        }
+    }
+
+    /// Workflow-step labels (sorted: thread scheduling may interleave
+    /// hosts) plus the probe's captured reply bytes, in arrival order.
+    fn observations(trace: &Trace) -> (Vec<String>, Vec<String>) {
+        let mut steps: Vec<String> = trace
+            .labels_with_prefix("fig4.2/")
+            .into_iter()
+            .map(String::from)
+            .collect();
+        steps.sort();
+        let replies = trace
+            .labels_with_prefix("probe-reply ")
+            .into_iter()
+            .map(String::from)
+            .collect();
+        (steps, replies)
+    }
+
+    fn run_on_des() -> (Vec<String>, Vec<String>) {
+        let mut world = SimWorld::new(1234);
+        register_all(world.registry_mut());
+        world.registry_mut().register_serde::<Probe>("probe");
+        let market_host = world.add_host("marketplace");
+        let seller_host = world.add_host("seller");
+        let buyer_host = world.add_host("buyer-agent-server");
+        let market = world
+            .create_agent(market_host, Box::new(MarketplaceAgent::new("m0")))
+            .unwrap();
+        world
+            .create_agent(
+                seller_host,
+                Box::new(SellerAgent::new(1, "s0", catalog(), vec![market])),
+            )
+            .unwrap();
+        world.run_until_idle();
+        let markets = vec![MarketRef {
+            host: market_host,
+            agent: market,
+        }];
+        let bsma = world
+            .create_agent(
+                buyer_host,
+                Box::new(Bsma::new(BsmaConfig {
+                    target: buyer_host,
+                    markets: markets.clone(),
+                    ..BsmaConfig::default()
+                })),
+            )
+            .unwrap();
+        world.run_until_idle();
+        let pa = world
+            .create_agent(
+                buyer_host,
+                Box::new(ProfileAgent::new(
+                    LearnerConfig::default(),
+                    SimilarityConfig::default(),
+                )),
+            )
+            .unwrap();
+        let probe = world.create_agent(buyer_host, Box::new(Probe)).unwrap();
+        let bra = world
+            .create_agent(
+                buyer_host,
+                Box::new(BuyerRecommendAgent::new(
+                    ConsumerId(1),
+                    bsma,
+                    pa,
+                    probe,
+                    markets,
+                )),
+            )
+            .unwrap();
+        world.run_until_idle();
+        world
+            .send_external(probe, instruction(bra, msgkinds::BRA_TASK, &task()))
+            .unwrap();
+        world.run_until_idle();
+        observations(world.trace())
+    }
+
+    fn run_on_threads() -> (Vec<String>, Vec<String>) {
+        let mut builder = ThreadWorldBuilder::new(1234);
+        register_all(builder.registry_mut());
+        builder.registry_mut().register_serde::<Probe>("probe");
+        let market_host = builder.add_host("marketplace");
+        let seller_host = builder.add_host("seller");
+        let buyer_host = builder.add_host("buyer-agent-server");
+        let world = builder.start();
+        let market = world
+            .create_agent(market_host, Box::new(MarketplaceAgent::new("m0")))
+            .unwrap();
+        world
+            .create_agent(
+                seller_host,
+                Box::new(SellerAgent::new(1, "s0", catalog(), vec![market])),
+            )
+            .unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(10)));
+        let markets = vec![MarketRef {
+            host: market_host,
+            agent: market,
+        }];
+        let bsma = world
+            .create_agent(
+                buyer_host,
+                Box::new(Bsma::new(BsmaConfig {
+                    target: buyer_host,
+                    markets: markets.clone(),
+                    ..BsmaConfig::default()
+                })),
+            )
+            .unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(10)));
+        let pa = world
+            .create_agent(
+                buyer_host,
+                Box::new(ProfileAgent::new(
+                    LearnerConfig::default(),
+                    SimilarityConfig::default(),
+                )),
+            )
+            .unwrap();
+        let probe = world.create_agent(buyer_host, Box::new(Probe)).unwrap();
+        let bra = world
+            .create_agent(
+                buyer_host,
+                Box::new(
+                    BuyerRecommendAgent::new(ConsumerId(1), bsma, pa, probe, markets)
+                        // the MBA watchdog timer runs on the wall clock
+                        // here; keep the idle-wait short
+                        .with_mba_timeout_us(300_000),
+                ),
+            )
+            .unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(10)));
+        world
+            .send_external(probe, instruction(bra, msgkinds::BRA_TASK, &task()))
+            .unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(20)));
+        let (_metrics, trace) = world.shutdown();
+        observations(&trace)
+    }
+
+    #[test]
+    fn query_workflow_is_identical_across_runtimes() {
+        let (des_steps, des_replies) = run_on_des();
+        let (thread_steps, thread_replies) = run_on_threads();
+        assert!(
+            !des_steps.is_empty(),
+            "workflow must produce fig4.2 steps on the DES"
+        );
+        assert_eq!(des_steps, thread_steps, "workflow step labels diverge");
+        assert_eq!(
+            des_replies.len(),
+            1,
+            "exactly one recommendation reply: {des_replies:?}"
+        );
+        assert_eq!(
+            des_replies, thread_replies,
+            "reply payload bytes diverge between runtimes"
+        );
+        assert!(
+            des_replies[0].starts_with(&format!("probe-reply {} ", msgkinds::BRA_RESPONSE)),
+            "reply is the BRA's recommendation response: {}",
+            des_replies[0]
         );
     }
 }

@@ -189,7 +189,7 @@ fn forged_return_capsule_is_rejected_by_authentication() {
     let capsule = AgentCapsule {
         id: roamer,
         agent_type: "roamer".into(),
-        state: serde_json::json!(null),
+        state: serde_json::json!(null).into(),
         home,
         permit: Some(forged),
     };
@@ -233,7 +233,7 @@ fn userdb_crash_recovery_preserves_profiles_and_transactions() {
         db.load_profile(ConsumerId(1)).unwrap()
     );
     // torn final WAL record must not break recovery
-    let mut torn = wal.clone();
+    let mut torn = wal;
     torn.extend_from_slice(b"{\"Put\":{\"tab");
     let recovered = UserDb::recover(&snapshot, &torn).unwrap();
     assert_eq!(recovered.transaction_count(), 1);

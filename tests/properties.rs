@@ -257,4 +257,85 @@ proptest! {
         }
         prop_assert!(scaled.cents() < u64::MAX);
     }
+
+    #[test]
+    fn payload_encoded_len_matches_serialization(tokens in proptest::collection::vec(0u64..u64::MAX, 1..48)) {
+        let value = arbitrary_json(&tokens);
+        let payload = Payload::from(value.clone());
+        let text = serde_json::to_string(&value).unwrap();
+        // the cached length is exact, stable, and consistent with the
+        // materialized encoding
+        prop_assert_eq!(payload.encoded_len(), text.len());
+        prop_assert_eq!(payload.encoded_len(), text.len());
+        prop_assert_eq!(&payload.encoded()[..], text.as_bytes());
+        prop_assert_eq!(payload.encoded_len(), text.len());
+    }
+
+    #[test]
+    fn capsule_wire_size_is_stable_and_matches_encoding(
+        tokens in proptest::collection::vec(0u64..u64::MAX, 1..48),
+        agent_type in "[a-z-]{1,12}",
+    ) {
+        let state = arbitrary_json(&tokens);
+        let encoded = serde_json::to_string(&state).unwrap();
+        let capsule = AgentCapsule {
+            id: AgentId(1),
+            agent_type: agent_type.as_str().into(),
+            state: state.into(),
+            home: HostId(0),
+            permit: None,
+        };
+        // wire_size no longer re-serializes: repeated calls agree with
+        // each other and with encoded length + header
+        let first = capsule.wire_size();
+        prop_assert_eq!(first, 64 + agent_type.len() + encoded.len());
+        for _ in 0..3 {
+            prop_assert_eq!(capsule.wire_size(), first);
+        }
+        // clones share the cached encoding and report the same size
+        let copy = capsule.state.clone();
+        prop_assert_eq!(copy.encoded_len(), capsule.state.encoded_len());
+        prop_assert_eq!(copy.encoded_len(), encoded.len());
+    }
+}
+
+use abcrm::agentsim::agent::AgentCapsule;
+use abcrm::agentsim::ids::{AgentId, HostId};
+use abcrm::agentsim::payload::Payload;
+
+/// Deterministic arbitrary JSON tree from a token stream: each token picks
+/// a node shape (scalars, strings with escapes, arrays, objects), so the
+/// generated values cover every encoder arm without needing a recursive
+/// strategy.
+fn arbitrary_json(tokens: &[u64]) -> serde_json::Value {
+    fn build(tokens: &mut std::slice::Iter<'_, u64>, depth: u32) -> serde_json::Value {
+        let Some(&t) = tokens.next() else {
+            return serde_json::Value::Null;
+        };
+        match t % if depth == 0 { 7 } else { 9 } {
+            0 => serde_json::json!(null),
+            1 => serde_json::json!(t % 2 == 0),
+            2 => serde_json::json!(t),
+            3 => serde_json::json!(-((t % 1_000_000) as i64)),
+            4 => serde_json::json!((t as f64) / 7.0 - 1e15),
+            5 => serde_json::json!((t % 1000) as f64),
+            6 => {
+                // strings exercising escapes, control chars and unicode
+                let palette = ['a', '"', '\\', '\n', '\t', '\u{01}', 'ü', '✓'];
+                let s: String = (0..t % 12)
+                    .map(|i| palette[((t >> (i % 8)) % 8) as usize])
+                    .collect();
+                serde_json::json!(s)
+            }
+            7 => serde_json::Value::Array((0..t % 4).map(|_| build(tokens, depth - 1)).collect()),
+            _ => {
+                let mut map = serde_json::Map::new();
+                for i in 0..t % 4 {
+                    map.insert(format!("k{i}"), build(tokens, depth - 1));
+                }
+                serde_json::Value::Object(map)
+            }
+        }
+    }
+    build(&mut tokens.iter(), 3)
 }
