@@ -23,6 +23,18 @@ cargo test -q
 echo "==> cargo test --features parallel"
 cargo test -q --features parallel
 
+# Chaos seed sweep: quick mode pins an 8-seed threaded matrix (the DES
+# side always runs all 32 seeds); CHAOS_FULL=1 widens the threaded
+# matrix to 32. Failures print the offending (seed, plan) JSON line —
+# replay with: CHAOS_SEED=<seed> cargo test --test chaos repro_single_seed
+if [[ "${CHAOS_FULL:-0}" == "1" ]]; then
+  echo "==> chaos sweep (full: 32 seeds per runtime)"
+  CHAOS_SEEDS=32 cargo test -q --test chaos
+else
+  echo "==> chaos sweep (quick: 8 threaded seeds; CHAOS_FULL=1 for 32)"
+  CHAOS_SEEDS=8 cargo test -q --test chaos
+fi
+
 echo "==> bench smoke (quick mode)"
 PLATFORM_BENCH_QUICK=1 cargo bench -p bench --bench platform_throughput
 cargo bench -p bench --bench query_hot_path

@@ -71,6 +71,23 @@ pub trait Agent: Send {
 
     /// Called when a timer set via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
+
+    /// Called when a [`Ctx::dispatch_self`] to `dest` fails synchronously
+    /// because the destination is unreachable (partitioned or crashed).
+    /// The agent stays active on its current host and may pick an
+    /// alternative destination. Default: no-op.
+    fn on_dispatch_failed(&mut self, _ctx: &mut Ctx<'_>, _dest: HostId) {}
+}
+
+/// A fault-handling statistic bumped by an application agent via
+/// [`Ctx::count_retry`] / [`Ctx::count_degraded_reply`] and accumulated
+/// into [`crate::metrics::Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCounter {
+    /// A retry attempt (re-dispatch, watchdog re-arm, backoff round).
+    Retry,
+    /// A degraded (partial or fallback) reply served to a consumer.
+    DegradedReply,
 }
 
 /// Deferred side effect requested by an agent callback.
@@ -111,6 +128,8 @@ pub enum Action {
     },
     /// Append a labelled event to the world trace.
     Note { label: String },
+    /// Bump a fault-handling counter in the world metrics.
+    CountFault { counter: FaultCounter },
 }
 
 impl fmt::Debug for Box<dyn Agent> {
@@ -293,6 +312,21 @@ impl<'a> Ctx<'a> {
     pub fn note(&mut self, label: impl Into<String>) {
         self.actions.push(Action::Note {
             label: label.into(),
+        });
+    }
+
+    /// Record a retry attempt in [`crate::metrics::Metrics::retries`].
+    pub fn count_retry(&mut self) {
+        self.actions.push(Action::CountFault {
+            counter: FaultCounter::Retry,
+        });
+    }
+
+    /// Record a degraded reply in
+    /// [`crate::metrics::Metrics::degraded_replies`].
+    pub fn count_degraded_reply(&mut self) {
+        self.actions.push(Action::CountFault {
+            counter: FaultCounter::DegradedReply,
         });
     }
 }

@@ -63,6 +63,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod agent;
+pub mod chaos;
 pub mod clock;
 pub mod error;
 pub mod ids;
@@ -80,6 +81,7 @@ pub mod trace;
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
     pub use crate::agent::{Agent, AgentCapsule, AgentRegistry, Ctx};
+    pub use crate::chaos::{ChaosConfig, ChaosEvent, ChaosPlan, Fault};
     pub use crate::clock::{SimDuration, SimTime};
     pub use crate::error::PlatformError;
     pub use crate::ids::{AgentId, HostId, MessageId};

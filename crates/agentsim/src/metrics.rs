@@ -32,6 +32,34 @@ pub struct Metrics {
     pub activations: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
+    /// Messages/migrations dropped because of an active chaos fault
+    /// (partition, crash, or fault-loss overlay) rather than the link's
+    /// own configured loss.
+    #[serde(default)]
+    pub chaos_drops: u64,
+    /// Duplicate message copies injected by the chaos engine.
+    #[serde(default)]
+    pub chaos_dupes: u64,
+    /// Messages delayed (reordered) by the chaos engine's jitter.
+    #[serde(default)]
+    pub chaos_delays: u64,
+    /// Duplicate deliveries suppressed by receiver-side deduplication.
+    #[serde(default)]
+    pub dupes_suppressed: u64,
+    /// Host crashes injected.
+    #[serde(default)]
+    pub host_crashes: u64,
+    /// Agents (active or deactivated capsules) lost to a host crash.
+    #[serde(default)]
+    pub agents_lost_in_crash: u64,
+    /// Retry attempts made by application agents (re-dispatch, watchdog
+    /// re-arm) via [`crate::agent::Ctx::count_retry`].
+    #[serde(default)]
+    pub retries: u64,
+    /// Degraded (partial/fallback) replies served by application agents
+    /// via [`crate::agent::Ctx::count_degraded_reply`].
+    #[serde(default)]
+    pub degraded_replies: u64,
 }
 
 impl Metrics {

@@ -10,7 +10,16 @@
 use crate::clock::SimDuration;
 use crate::ids::HostId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Normalize an unordered host pair so `(a, b)` and `(b, a)` share a key.
+fn pair(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
 
 /// Characteristics of a (directed) link between two hosts.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,9 +61,13 @@ impl LinkSpec {
         }
     }
 
-    /// Set the loss probability (clamped to `[0, 1]`).
+    /// Set the loss probability (clamped to `[0, 1]`; `NaN` maps to `0`).
     pub fn lossy(mut self, loss: f64) -> Self {
-        self.loss = loss.clamp(0.0, 1.0);
+        self.loss = if loss.is_nan() {
+            0.0
+        } else {
+            loss.clamp(0.0, 1.0)
+        };
         self
     }
 
@@ -83,6 +96,12 @@ pub struct Topology {
     default_link: LinkSpec,
     links: HashMap<(HostId, HostId), LinkSpec>,
     local_delay: SimDuration,
+    /// Fault overlay: hard-partitioned unordered pairs (loss forced to 1).
+    partitions: HashSet<(HostId, HostId)>,
+    /// Fault overlay: extra loss probability per unordered pair.
+    fault_loss: HashMap<(HostId, HostId), f64>,
+    /// Fault overlay: delivery-time multiplier per unordered pair.
+    slowdown: HashMap<(HostId, HostId), f64>,
 }
 
 impl Topology {
@@ -92,6 +111,9 @@ impl Topology {
             default_link,
             links: HashMap::new(),
             local_delay: SimDuration::from_micros(1),
+            partitions: HashSet::new(),
+            fault_loss: HashMap::new(),
+            slowdown: HashMap::new(),
         }
     }
 
@@ -133,21 +155,101 @@ impl Topology {
     }
 
     /// Delivery time for `bytes` from `from` to `to` (handles same-host).
+    /// A fault-overlay slowdown on the pair multiplies the link time.
     pub fn delivery_time(&self, from: HostId, to: HostId, bytes: usize) -> SimDuration {
         if from == to {
-            self.local_delay
-        } else {
-            self.link(from, to).transfer_time(bytes)
+            return self.local_delay;
+        }
+        let base = self.link(from, to).transfer_time(bytes);
+        match self.slowdown.get(&pair(from, to)) {
+            Some(&factor) if factor > 1.0 => {
+                SimDuration::from_micros((base.as_micros() as f64 * factor) as u64)
+            }
+            _ => base,
         }
     }
 
     /// Loss probability from `from` to `to` (same-host is lossless).
+    ///
+    /// A partitioned pair reports `1.0` regardless of any per-pair link
+    /// override; otherwise the result is the maximum of the link's own
+    /// loss and the fault overlay's.
     pub fn loss(&self, from: HostId, to: HostId) -> f64 {
         if from == to {
+            return 0.0;
+        }
+        if self.is_partitioned(from, to) {
+            return 1.0;
+        }
+        let base = self.link(from, to).loss;
+        match self.fault_loss.get(&pair(from, to)) {
+            Some(&extra) => base.max(extra),
+            None => base,
+        }
+    }
+
+    /// Hard-partition the pair `a`/`b` in both directions: all messages
+    /// and migrations between them fail until [`Topology::heal_partition`].
+    pub fn partition(&mut self, a: HostId, b: HostId) -> &mut Self {
+        self.partitions.insert(pair(a, b));
+        self
+    }
+
+    /// Remove a partition installed by [`Topology::partition`].
+    pub fn heal_partition(&mut self, a: HostId, b: HostId) -> &mut Self {
+        self.partitions.remove(&pair(a, b));
+        self
+    }
+
+    /// Whether the pair `a`/`b` is currently partitioned.
+    pub fn is_partitioned(&self, a: HostId, b: HostId) -> bool {
+        a != b && self.partitions.contains(&pair(a, b))
+    }
+
+    /// Overlay an extra loss probability (clamped to `[0, 1]`) on the
+    /// pair `a`/`b` without touching the configured link spec.
+    pub fn set_fault_loss(&mut self, a: HostId, b: HostId, loss: f64) -> &mut Self {
+        let loss = if loss.is_nan() {
             0.0
         } else {
-            self.link(from, to).loss
+            loss.clamp(0.0, 1.0)
+        };
+        self.fault_loss.insert(pair(a, b), loss);
+        self
+    }
+
+    /// Remove a loss overlay installed by [`Topology::set_fault_loss`].
+    pub fn clear_fault_loss(&mut self, a: HostId, b: HostId) -> &mut Self {
+        self.fault_loss.remove(&pair(a, b));
+        self
+    }
+
+    /// Multiply delivery time on the pair `a`/`b` by `factor` (> 1 slows
+    /// the link down) without touching the configured link spec.
+    pub fn set_slowdown(&mut self, a: HostId, b: HostId, factor: f64) -> &mut Self {
+        let factor = if factor.is_nan() {
+            1.0
+        } else {
+            factor.max(1.0)
+        };
+        self.slowdown.insert(pair(a, b), factor);
+        self
+    }
+
+    /// Remove a slowdown installed by [`Topology::set_slowdown`].
+    pub fn clear_slowdown(&mut self, a: HostId, b: HostId) -> &mut Self {
+        self.slowdown.remove(&pair(a, b));
+        self
+    }
+
+    /// Whether any fault overlay (partition or extra loss) affects the
+    /// pair `a`/`b`. Used by the runtimes to attribute drops to chaos.
+    pub fn fault_active(&self, a: HostId, b: HostId) -> bool {
+        if a == b {
+            return false;
         }
+        let key = pair(a, b);
+        self.partitions.contains(&key) || self.fault_loss.get(&key).is_some_and(|&l| l > 0.0)
     }
 }
 
@@ -206,6 +308,58 @@ mod tests {
     fn lossy_clamps_probability() {
         assert_eq!(LinkSpec::lan().lossy(3.0).loss, 1.0);
         assert_eq!(LinkSpec::lan().lossy(-1.0).loss, 0.0);
+        assert_eq!(LinkSpec::lan().lossy(f64::NAN).loss, 0.0);
+    }
+
+    #[test]
+    fn partitioned_pair_reports_total_loss_regardless_of_override() {
+        let mut topo = Topology::lan();
+        // per-pair override says "only 10% lossy" — the partition must win
+        topo.set_link_symmetric(HostId(1), HostId(2), LinkSpec::lan().lossy(0.1));
+        topo.partition(HostId(1), HostId(2));
+        assert_eq!(topo.loss(HostId(1), HostId(2)), 1.0);
+        assert_eq!(topo.loss(HostId(2), HostId(1)), 1.0, "both directions");
+        assert!(topo.is_partitioned(HostId(2), HostId(1)));
+        // other pairs unaffected; same-host is never partitioned
+        assert_eq!(topo.loss(HostId(1), HostId(3)), 0.0);
+        assert_eq!(topo.loss(HostId(1), HostId(1)), 0.0);
+        // healing restores the configured override
+        topo.heal_partition(HostId(2), HostId(1));
+        assert_eq!(topo.loss(HostId(1), HostId(2)), 0.1);
+        assert!(!topo.is_partitioned(HostId(1), HostId(2)));
+    }
+
+    #[test]
+    fn fault_loss_overlays_without_touching_link_spec() {
+        let mut topo = Topology::lan();
+        topo.set_link(HostId(1), HostId(2), LinkSpec::lan().lossy(0.25));
+        topo.set_fault_loss(HostId(1), HostId(2), 0.8);
+        assert_eq!(topo.loss(HostId(1), HostId(2)), 0.8, "overlay max wins");
+        assert!(topo.fault_active(HostId(2), HostId(1)));
+        topo.clear_fault_loss(HostId(2), HostId(1));
+        assert_eq!(topo.loss(HostId(1), HostId(2)), 0.25, "link spec intact");
+        assert!(!topo.fault_active(HostId(1), HostId(2)));
+        // overlay never lowers a link's own loss
+        topo.set_fault_loss(HostId(1), HostId(2), 0.05);
+        assert_eq!(topo.loss(HostId(1), HostId(2)), 0.25);
+    }
+
+    #[test]
+    fn slowdown_scales_delivery_time_and_heals() {
+        let mut topo = Topology::uniform(LinkSpec::with_latency(SimDuration::from_millis(1)));
+        let base = topo.delivery_time(HostId(1), HostId(2), 100);
+        topo.set_slowdown(HostId(1), HostId(2), 4.0);
+        assert_eq!(
+            topo.delivery_time(HostId(1), HostId(2), 100).as_micros(),
+            base.as_micros() * 4
+        );
+        assert_eq!(
+            topo.delivery_time(HostId(1), HostId(1), 100),
+            topo.local_delay(),
+            "local delivery ignores slowdowns"
+        );
+        topo.clear_slowdown(HostId(2), HostId(1));
+        assert_eq!(topo.delivery_time(HostId(1), HostId(2), 100), base);
     }
 
     #[test]

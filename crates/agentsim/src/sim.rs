@@ -36,7 +36,8 @@
 //! # }
 //! ```
 
-use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx};
+use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx, FaultCounter};
+use crate::chaos::{ChaosEvent, ChaosPlan, Fault};
 use crate::clock::{SimDuration, SimTime};
 use crate::error::{PlatformError, Result};
 use crate::ids::{AgentId, HostId, MessageId};
@@ -49,7 +50,7 @@ use crate::trace::Trace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 /// Where an agent currently is, from the world's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,8 +66,34 @@ pub enum Location {
 #[derive(Debug)]
 enum EventKind {
     Deliver(Message),
-    Arrive { capsule: AgentCapsule, dest: HostId },
-    Timer { agent: AgentId, tag: u64 },
+    Arrive {
+        capsule: AgentCapsule,
+        dest: HostId,
+    },
+    Timer {
+        agent: AgentId,
+        tag: u64,
+    },
+    /// Apply (`heal == false`) or heal (`heal == true`) the chaos plan's
+    /// fault at `index`.
+    Chaos {
+        index: usize,
+        heal: bool,
+    },
+}
+
+/// Live chaos-engine state derived from an installed [`ChaosPlan`].
+struct ChaosState {
+    dup_probability: f64,
+    reorder_probability: f64,
+    max_jitter_us: u64,
+    events: Vec<ChaosEvent>,
+    /// Last scheduled delivery per (sender, receiver) pair: jitter is
+    /// clamped so per-pair FIFO order survives reordering (TCP-like).
+    fifo: HashMap<(Option<AgentId>, AgentId), SimTime>,
+    /// Message ids already delivered to an active agent; duplicate copies
+    /// are suppressed at the receiver.
+    delivered: HashSet<MessageId>,
 }
 
 #[derive(Debug)]
@@ -100,6 +127,10 @@ struct Host {
     auth: Authenticator,
     /// Messages for deactivated agents, replayed on activation.
     pending: HashMap<AgentId, Vec<Message>>,
+    /// Crashed by the chaos engine: refuses arrivals and deliveries until
+    /// restarted. The authenticator survives (stable-storage semantics),
+    /// so genuine returning agents still verify after a restart.
+    crashed: bool,
 }
 
 /// The deterministic discrete-event agent world.
@@ -125,6 +156,8 @@ pub struct SimWorld {
     /// Safety valve against runaway event loops.
     max_events: u64,
     processed_events: u64,
+    /// Chaos engine state, present after [`SimWorld::install_chaos`].
+    chaos: Option<ChaosState>,
 }
 
 impl SimWorld {
@@ -153,6 +186,7 @@ impl SimWorld {
             next_host_id: 1,
             max_events: 50_000_000,
             processed_events: 0,
+            chaos: None,
         }
     }
 
@@ -169,6 +203,7 @@ impl SimWorld {
                 store: DeactivatedStore::new(),
                 auth: Authenticator::new(secret),
                 pending: HashMap::new(),
+                crashed: false,
             },
         );
         id
@@ -241,6 +276,7 @@ impl SimWorld {
             EventKind::Deliver(msg) => self.handle_deliver(msg),
             EventKind::Arrive { capsule, dest } => self.handle_arrival(capsule, dest),
             EventKind::Timer { agent, tag } => self.handle_timer(agent, tag),
+            EventKind::Chaos { index, heal } => self.handle_chaos(index, heal),
         }
         true
     }
@@ -397,15 +433,157 @@ impl SimWorld {
         }
     }
 
+    /// Install `plan` into the world: its faults are scheduled as ordinary
+    /// events (apply at `at`, heal at `at + heal_after`) and the message
+    /// duplication/reordering knobs take effect immediately. All chaos
+    /// randomness is drawn from the world's own RNG, so an execution
+    /// reproduces exactly from `(world seed, plan)`.
+    pub fn install_chaos(&mut self, plan: &ChaosPlan) {
+        for (index, ev) in plan.events.iter().enumerate() {
+            self.schedule_at(ev.at(), EventKind::Chaos { index, heal: false });
+            self.schedule_at(ev.heals_at(), EventKind::Chaos { index, heal: true });
+        }
+        self.chaos = Some(ChaosState {
+            dup_probability: plan.dup_probability,
+            reorder_probability: plan.reorder_probability,
+            max_jitter_us: plan.max_jitter_us,
+            events: plan.events.clone(),
+            fifo: HashMap::new(),
+            delivered: HashSet::new(),
+        });
+        self.trace.record(
+            self.now,
+            None,
+            format!(
+                "chaos: plan installed (seed {}, {} events)",
+                plan.seed,
+                plan.events.len()
+            ),
+        );
+    }
+
+    /// Crash `host`: every active agent and deactivated capsule on it is
+    /// lost (the registry reconciles — their locations are forgotten), and
+    /// the host refuses deliveries, arrivals and dispatches until
+    /// [`SimWorld::restart_host`]. The authenticator survives, modelling
+    /// secrets kept on stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownHost`] if the host does not exist.
+    pub fn crash_host(&mut self, host: HostId) -> Result<()> {
+        let h = self
+            .hosts
+            .get_mut(&host)
+            .ok_or(PlatformError::UnknownHost(host))?;
+        if h.crashed {
+            return Ok(());
+        }
+        h.crashed = true;
+        let mut lost: Vec<AgentId> = h.active.keys().copied().collect();
+        h.active.clear();
+        lost.extend(h.store.drain());
+        h.pending.clear();
+        for id in &lost {
+            self.locations.remove(id);
+            self.permits.remove(id);
+        }
+        self.metrics.host_crashes += 1;
+        self.metrics.agents_lost_in_crash += lost.len() as u64;
+        self.trace.record(
+            self.now,
+            None,
+            format!("chaos: {host} crashed ({} agents lost)", lost.len()),
+        );
+        Ok(())
+    }
+
+    /// Bring a crashed host back up (empty, but reachable again).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownHost`] if the host does not exist.
+    pub fn restart_host(&mut self, host: HostId) -> Result<()> {
+        let h = self
+            .hosts
+            .get_mut(&host)
+            .ok_or(PlatformError::UnknownHost(host))?;
+        if h.crashed {
+            h.crashed = false;
+            self.trace
+                .record(self.now, None, format!("chaos: {host} restarted"));
+        }
+        Ok(())
+    }
+
+    /// Whether `host` is currently crashed.
+    pub fn host_crashed(&self, host: HostId) -> bool {
+        self.hosts.get(&host).map(|h| h.crashed).unwrap_or(false)
+    }
+
     // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
 
     fn schedule(&mut self, delay: SimDuration, kind: EventKind) {
         let at = self.now + delay;
+        self.schedule_at(at, kind);
+    }
+
+    /// Schedule at an absolute time (clamped to now, keeping the queue
+    /// monotone).
+    fn schedule_at(&mut self, at: SimTime, kind: EventKind) {
+        let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    /// Apply or heal the installed plan's fault at `index`.
+    fn handle_chaos(&mut self, index: usize, heal: bool) {
+        let Some(ev) = self
+            .chaos
+            .as_ref()
+            .and_then(|c| c.events.get(index))
+            .copied()
+        else {
+            return;
+        };
+        let label = match (ev.fault, heal) {
+            (Fault::Partition { a, b }, false) => {
+                self.topology.partition(a, b);
+                format!("chaos: partition {a}-{b}")
+            }
+            (Fault::Partition { a, b }, true) => {
+                self.topology.heal_partition(a, b);
+                format!("chaos: heal partition {a}-{b}")
+            }
+            (Fault::LinkLoss { a, b, loss }, false) => {
+                self.topology.set_fault_loss(a, b, loss);
+                format!("chaos: link {a}-{b} loss {loss:.2}")
+            }
+            (Fault::LinkLoss { a, b, .. }, true) => {
+                self.topology.clear_fault_loss(a, b);
+                format!("chaos: heal link {a}-{b} loss")
+            }
+            (Fault::SlowLink { a, b, factor }, false) => {
+                self.topology.set_slowdown(a, b, factor);
+                format!("chaos: link {a}-{b} slowed {factor:.1}x")
+            }
+            (Fault::SlowLink { a, b, .. }, true) => {
+                self.topology.clear_slowdown(a, b);
+                format!("chaos: heal link {a}-{b} slowdown")
+            }
+            (Fault::CrashHost { host }, false) => {
+                let _ = self.crash_host(host);
+                return; // crash_host traces for itself
+            }
+            (Fault::CrashHost { host }, true) => {
+                let _ = self.restart_host(host);
+                return; // restart_host traces for itself
+            }
+        };
+        self.trace.record(self.now, None, label);
     }
 
     fn install_agent(&mut self, host: HostId, id: AgentId, agent: Box<dyn Agent>, fresh: bool) {
@@ -544,6 +722,10 @@ impl SimWorld {
                 Action::Note { label } => {
                     self.trace.record(self.now, Some(actor), label);
                 }
+                Action::CountFault { counter } => match counter {
+                    FaultCounter::Retry => self.metrics.retries += 1,
+                    FaultCounter::DegradedReply => self.metrics.degraded_replies += 1,
+                },
             }
         }
     }
@@ -567,19 +749,59 @@ impl SimWorld {
         let loss = self.topology.loss(from_host, to_host);
         if loss > 0.0 && self.rng.gen::<f64>() < loss {
             self.metrics.messages_lost += 1;
+            if self.topology.fault_active(from_host, to_host) {
+                self.metrics.chaos_drops += 1;
+            }
             return;
         }
         if from_host != to_host {
             self.metrics.remote_message_bytes += bytes as u64;
         }
-        let delay = self.topology.delivery_time(from_host, to_host, bytes);
-        self.schedule(delay, EventKind::Deliver(msg));
+        let mut delay = self.topology.delivery_time(from_host, to_host, bytes);
+        let Some(chaos) = &mut self.chaos else {
+            self.schedule(delay, EventKind::Deliver(msg));
+            return;
+        };
+        // Bounded reordering: extra jitter on some deliveries, clamped so
+        // per-(sender, receiver)-pair FIFO order is preserved (TCP-like;
+        // only cross-pair interleavings change).
+        if chaos.reorder_probability > 0.0 && self.rng.gen::<f64>() < chaos.reorder_probability {
+            delay = delay + SimDuration(self.rng.gen_range(0..=chaos.max_jitter_us));
+            self.metrics.chaos_delays += 1;
+        }
+        let key = (msg.from, msg.to);
+        let mut at = self.now + delay;
+        if let Some(&last) = chaos.fifo.get(&key) {
+            at = at.max(last);
+        }
+        // Duplication: a second copy with the *same* message id, scheduled
+        // at or after the original; the receiver suppresses it.
+        let dup_at = if chaos.dup_probability > 0.0 && self.rng.gen::<f64>() < chaos.dup_probability
+        {
+            self.metrics.chaos_dupes += 1;
+            Some(at + SimDuration(self.rng.gen_range(0..=chaos.max_jitter_us.max(1))))
+        } else {
+            None
+        };
+        chaos.fifo.insert(key, dup_at.unwrap_or(at));
+        if let Some(dup_at) = dup_at {
+            self.schedule_at(dup_at, EventKind::Deliver(msg.clone()));
+        }
+        self.schedule_at(at, EventKind::Deliver(msg));
     }
 
     fn handle_deliver(&mut self, msg: Message) {
         let to = msg.to;
         match self.locations.get(&to).copied() {
             Some(Location::Active(host)) => {
+                // Receiver-side duplicate suppression: a chaos-injected
+                // copy carries the original's id and is dropped here.
+                if let Some(chaos) = &mut self.chaos {
+                    if !chaos.delivered.insert(msg.id) {
+                        self.metrics.dupes_suppressed += 1;
+                        return;
+                    }
+                }
                 self.metrics.messages_delivered += 1;
                 let _ = host;
                 self.run_callback(to, move |agent, ctx| agent.on_message(ctx, msg));
@@ -665,6 +887,18 @@ impl SimWorld {
         if self.locations.get(&id) != Some(&Location::Active(host)) {
             return; // already departed or disposed this round
         }
+        // A partitioned or crashed destination refuses the dispatch
+        // synchronously: the agent stays put and may route around it.
+        if self.topology.is_partitioned(host, dest) || self.host_crashed(dest) {
+            self.metrics.chaos_drops += 1;
+            self.trace.record(
+                self.now,
+                Some(id),
+                format!("dispatch refused: {dest} unreachable"),
+            );
+            self.run_callback(id, move |agent, ctx| agent.on_dispatch_failed(ctx, dest));
+            return;
+        }
         // Lifecycle callback before departure; its actions execute on the
         // origin host.
         self.run_callback(id, |agent, ctx| agent.on_dispatch(ctx));
@@ -694,6 +928,9 @@ impl SimWorld {
             self.locations.remove(&id);
             self.permits.remove(&id);
             self.metrics.messages_lost += 1;
+            if self.topology.fault_active(host, dest) {
+                self.metrics.chaos_drops += 1;
+            }
             self.trace.record(
                 self.now,
                 Some(id),
@@ -708,6 +945,19 @@ impl SimWorld {
 
     fn handle_arrival(&mut self, capsule: AgentCapsule, dest: HostId) {
         let id = capsule.id;
+        // A crash while the capsule was in flight loses the agent.
+        if self.host_crashed(dest) {
+            self.locations.remove(&id);
+            self.permits.remove(&id);
+            self.metrics.agents_lost_in_crash += 1;
+            self.metrics.chaos_drops += 1;
+            self.trace.record(
+                self.now,
+                Some(id),
+                format!("arrival failed: {dest} crashed; {id} lost"),
+            );
+            return;
+        }
         // Returning home: the paper demands authentication (§4.1 p.2).
         if dest == capsule.home {
             let expects = self

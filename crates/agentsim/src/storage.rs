@@ -73,6 +73,13 @@ impl DeactivatedStore {
     pub fn ids(&self) -> impl Iterator<Item = AgentId> + '_ {
         self.capsules.keys().copied()
     }
+
+    /// Discard every stored capsule, returning the ids that were lost.
+    /// Models stable storage dying with its host in a crash.
+    pub fn drain(&mut self) -> Vec<AgentId> {
+        self.stored_bytes = 0;
+        self.capsules.drain().map(|(id, _)| id).collect()
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +136,18 @@ mod tests {
         assert_eq!(s.len(), 1);
         let c = s.load(AgentId(1)).unwrap();
         assert!(c.wire_size() > 400);
+        assert_eq!(s.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn drain_discards_everything_and_reports_ids() {
+        let mut s = DeactivatedStore::new();
+        s.store(capsule(1, 10));
+        s.store(capsule(2, 10));
+        let mut lost = s.drain();
+        lost.sort_unstable();
+        assert_eq!(lost, vec![AgentId(1), AgentId(2)]);
+        assert!(s.is_empty());
         assert_eq!(s.stored_bytes(), 0);
     }
 

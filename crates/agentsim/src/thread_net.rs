@@ -12,7 +12,8 @@
 //! (channels deliver as fast as the OS schedules) — timers are honoured via
 //! real `thread::sleep`.
 
-use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx};
+use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx, FaultCounter};
+use crate::chaos::ChaosKnobs;
 use crate::clock::SimTime;
 use crate::error::{PlatformError, Result};
 use crate::ids::{AgentId, HostId, MessageId};
@@ -24,9 +25,9 @@ use crate::trace::Trace;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -34,11 +35,23 @@ use std::time::{Duration, Instant};
 enum Envelope {
     Deliver(Message),
     Arrive(AgentCapsule),
-    Create { id: AgentId, agent: Box<dyn Agent> },
-    Timer { agent: AgentId, tag: u64 },
+    Create {
+        id: AgentId,
+        agent: Box<dyn Agent>,
+    },
+    Timer {
+        agent: AgentId,
+        tag: u64,
+    },
     AdminDeactivate(AgentId),
     AdminActivate(AgentId),
-    AdminRetract { agent: AgentId, to: HostId },
+    AdminRetract {
+        agent: AgentId,
+        to: HostId,
+    },
+    /// Chaos: wipe the host's agents and stores (the crash itself; the
+    /// unreachability flag lives in [`Shared::chaos`]).
+    AdminCrash,
     Shutdown,
 }
 
@@ -53,6 +66,13 @@ struct Shared {
     trace: Mutex<Trace>,
     metrics: Mutex<Metrics>,
     epoch: Instant,
+    /// Live fault switches (same vocabulary as the DES chaos plan).
+    chaos: Mutex<ChaosKnobs>,
+    /// Fast path: skip all chaos checks until a knob is first touched.
+    chaos_on: AtomicBool,
+    /// Dedicated RNG for chaos decisions, separate from the per-host
+    /// agent RNGs so fault injection never perturbs agent randomness.
+    chaos_rng: Mutex<StdRng>,
 }
 
 impl Shared {
@@ -124,6 +144,9 @@ impl ThreadWorldBuilder {
             trace: Mutex::new(Trace::new()),
             metrics: Mutex::new(Metrics::new()),
             epoch: Instant::now(),
+            chaos: Mutex::new(ChaosKnobs::default()),
+            chaos_on: AtomicBool::new(false),
+            chaos_rng: Mutex::new(StdRng::seed_from_u64(self.seed ^ 0xc4a0_5c4a)),
         });
         let mut handles = Vec::new();
         let mut hosts = Vec::new();
@@ -232,6 +255,64 @@ impl ThreadWorld {
         Ok(())
     }
 
+    /// Chaos: drop each remote message with probability `p` (clamped to
+    /// `[0, 1]`). The DES equivalent is a fault-loss overlay.
+    pub fn set_message_drop_probability(&self, p: f64) {
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        self.shared.chaos.lock().drop_probability = p;
+        self.shared.chaos_on.store(true, Ordering::SeqCst);
+    }
+
+    /// Chaos: duplicate each delivered message with probability `p`
+    /// (clamped to `[0, 1]`); receivers suppress the second copy.
+    pub fn set_duplication_probability(&self, p: f64) {
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        self.shared.chaos.lock().dup_probability = p;
+        self.shared.chaos_on.store(true, Ordering::SeqCst);
+    }
+
+    /// Chaos: hard-partition hosts `a` and `b` — messages between them
+    /// drop and dispatches toward either side fail synchronously (the
+    /// agent gets `on_dispatch_failed`).
+    pub fn partition(&self, a: HostId, b: HostId) {
+        self.shared.chaos.lock().partition(a, b);
+        self.shared.chaos_on.store(true, Ordering::SeqCst);
+    }
+
+    /// Heal a partition installed by [`ThreadWorld::partition`].
+    pub fn heal_partition(&self, a: HostId, b: HostId) {
+        self.shared.chaos.lock().heal_partition(a, b);
+    }
+
+    /// Chaos: crash `host` — its agents and stored capsules are lost and
+    /// it refuses traffic until [`ThreadWorld::restart_host`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownHost`] if the host does not exist.
+    pub fn crash_host(&self, host: HostId) -> Result<()> {
+        if !self.hosts.contains(&host) {
+            return Err(PlatformError::UnknownHost(host));
+        }
+        self.shared.chaos.lock().crashed.insert(host);
+        self.shared.chaos_on.store(true, Ordering::SeqCst);
+        self.shared.send_envelope(host, Envelope::AdminCrash);
+        Ok(())
+    }
+
+    /// Bring a crashed host back up (empty, but reachable again).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownHost`] if the host does not exist.
+    pub fn restart_host(&self, host: HostId) -> Result<()> {
+        if !self.hosts.contains(&host) {
+            return Err(PlatformError::UnknownHost(host));
+        }
+        self.shared.chaos.lock().crashed.remove(&host);
+        Ok(())
+    }
+
     /// Block until no envelopes are in flight (the world is quiescent) or
     /// `timeout` elapses. Returns `true` if quiescent.
     pub fn run_until_idle(&self, timeout: Duration) -> bool {
@@ -276,6 +357,9 @@ struct HostState {
     auth: Authenticator,
     pending: HashMap<AgentId, Vec<Message>>,
     carried_permits: HashMap<AgentId, TravelPermit>,
+    /// Message ids already delivered here; chaos-injected duplicates are
+    /// suppressed against this set.
+    seen: HashSet<MessageId>,
     rng: StdRng,
     /// Local id allocation window fetched in batches from the shared
     /// counter so `Ctx` keeps its simple `&mut u64` interface.
@@ -293,6 +377,7 @@ fn host_loop(id: HostId, seed: u64, rx: Receiver<Envelope>, shared: Arc<Shared>)
         auth: Authenticator::new(seed ^ 0x5ee5_ee5e),
         pending: HashMap::new(),
         carried_permits: HashMap::new(),
+        seen: HashSet::new(),
         rng: StdRng::seed_from_u64(seed),
         id_cursor: 0,
         id_end: 0,
@@ -310,10 +395,21 @@ fn host_loop(id: HostId, seed: u64, rx: Receiver<Envelope>, shared: Arc<Shared>)
 }
 
 fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
+    let chaos_on = shared.chaos_on.load(Ordering::Relaxed);
     match env {
         Envelope::Deliver(msg) => {
+            if chaos_on && shared.chaos.lock().crashed.contains(&host.id) {
+                let mut m = shared.metrics.lock();
+                m.messages_lost += 1;
+                m.chaos_drops += 1;
+                return;
+            }
             let to = msg.to;
             if host.active.contains_key(&to) {
+                if chaos_on && !host.seen.insert(msg.id) {
+                    shared.metrics.lock().dupes_suppressed += 1;
+                    return;
+                }
                 shared.metrics.lock().messages_delivered += 1;
                 run_callback(host, shared, to, move |a, ctx| a.on_message(ctx, msg));
             } else if host.store.contains(to) {
@@ -322,7 +418,22 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                 shared.metrics.lock().messages_dead_lettered += 1;
             }
         }
-        Envelope::Arrive(capsule) => handle_arrival(host, capsule, shared),
+        Envelope::Arrive(capsule) => {
+            if chaos_on && shared.chaos.lock().crashed.contains(&host.id) {
+                shared.locations.lock().remove(&capsule.id);
+                let mut m = shared.metrics.lock();
+                m.agents_lost_in_crash += 1;
+                m.chaos_drops += 1;
+                drop(m);
+                shared.trace.lock().record(
+                    shared.now(),
+                    Some(capsule.id),
+                    format!("arrival failed: {} crashed; {} lost", host.id, capsule.id),
+                );
+                return;
+            }
+            handle_arrival(host, capsule, shared)
+        }
         Envelope::Create { id, agent } => {
             host.active.insert(id, agent);
             shared.metrics.lock().agents_created += 1;
@@ -340,6 +451,30 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
             if host.active.contains_key(&agent) {
                 do_dispatch(host, shared, agent, to);
             }
+        }
+        Envelope::AdminCrash => {
+            let mut lost: Vec<AgentId> = host.active.keys().copied().collect();
+            host.active.clear();
+            lost.extend(host.store.drain());
+            host.pending.clear();
+            host.seen.clear();
+            host.carried_permits.clear();
+            {
+                let mut locs = shared.locations.lock();
+                for id in &lost {
+                    locs.remove(id);
+                }
+            }
+            {
+                let mut m = shared.metrics.lock();
+                m.host_crashes += 1;
+                m.agents_lost_in_crash += lost.len() as u64;
+            }
+            shared.trace.lock().record(
+                shared.now(),
+                None,
+                format!("chaos: {} crashed ({} agents lost)", host.id, lost.len()),
+            );
         }
         Envelope::Shutdown => {}
     }
@@ -422,8 +557,36 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                 let dest = shared.locations.lock().get(&to).copied();
                 match dest {
                     Some(h) => {
+                        let mut duplicate = false;
+                        if shared.chaos_on.load(Ordering::Relaxed) {
+                            let (blocked, drop_p, dup_p) = {
+                                let knobs = shared.chaos.lock();
+                                (
+                                    knobs.blocks(host.id, h),
+                                    knobs.drop_probability,
+                                    knobs.dup_probability,
+                                )
+                            };
+                            let dropped = blocked
+                                || (h != host.id
+                                    && drop_p > 0.0
+                                    && shared.chaos_rng.lock().gen::<f64>() < drop_p);
+                            if dropped {
+                                let mut m = shared.metrics.lock();
+                                m.messages_lost += 1;
+                                m.chaos_drops += 1;
+                                continue;
+                            }
+                            if dup_p > 0.0 && shared.chaos_rng.lock().gen::<f64>() < dup_p {
+                                duplicate = true;
+                                shared.metrics.lock().chaos_dupes += 1;
+                            }
+                        }
                         if h != host.id {
                             shared.metrics.lock().remote_message_bytes += msg.wire_size() as u64;
+                        }
+                        if duplicate {
+                            shared.send_envelope(h, Envelope::Deliver(msg.clone()));
                         }
                         shared.send_envelope(h, Envelope::Deliver(msg));
                     }
@@ -541,6 +704,13 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
             Action::Note { label } => {
                 shared.trace.lock().record(shared.now(), Some(actor), label);
             }
+            Action::CountFault { counter } => {
+                let mut m = shared.metrics.lock();
+                match counter {
+                    FaultCounter::Retry => m.retries += 1,
+                    FaultCounter::DegradedReply => m.degraded_replies += 1,
+                }
+            }
         }
     }
 }
@@ -555,6 +725,20 @@ fn do_dispatch(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, dest: Ho
         return;
     }
     if !host.active.contains_key(&id) {
+        return;
+    }
+    // Same semantics as the DES world: an unreachable (partitioned or
+    // crashed) destination refuses the dispatch synchronously.
+    if shared.chaos_on.load(Ordering::Relaxed) && shared.chaos.lock().blocks(host.id, dest) {
+        shared.metrics.lock().chaos_drops += 1;
+        shared.trace.lock().record(
+            shared.now(),
+            Some(id),
+            format!("dispatch refused: {dest} unreachable"),
+        );
+        run_callback(host, shared, id, move |a, ctx| {
+            a.on_dispatch_failed(ctx, dest)
+        });
         return;
     }
     run_callback(host, shared, id, |a, ctx| a.on_dispatch(ctx));

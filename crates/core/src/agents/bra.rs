@@ -15,12 +15,15 @@
 
 use crate::agents::mba::{MbaTask, MobileBuyerAgent};
 use crate::agents::msg::{
-    kinds, BraResponse, ConsumerTask, MarketRef, MbaLost, MbaRegister, MbaResult, PaLoad,
-    PaProfile, PaRecord, PaSimilar, PaSimilarReply, RecommendedItem, ResponseBody, RoutedTask,
+    kinds, BraResponse, ConsumerTask, MarketRef, MarketStatus, MbaLost, MbaRegister, MbaResult,
+    PaLoad, PaProfile, PaRecord, PaSimilar, PaSimilarReply, RecommendedItem, ResponseBody,
+    RoutedTask,
 };
 use crate::learning::BehaviorKind;
 use crate::profile::{ConsumerId, Profile};
+use crate::retry::BackoffPolicy;
 use agentsim::agent::{Agent, Ctx};
+use agentsim::clock::SimDuration;
 use agentsim::ids::AgentId;
 use agentsim::message::Message;
 use ecp::merchandise::Merchandise;
@@ -31,6 +34,9 @@ use std::collections::BTreeMap;
 /// Agent-type tag of [`BuyerRecommendAgent`].
 pub const BRA_TYPE: &str = "bra";
 
+/// Timer tag for re-dispatching an MBA after a backoff delay.
+const RETRY_TAG: u64 = 0x42_52_41; // "BRA"
+
 /// Task state the BRA is driving.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[allow(clippy::enum_variant_names)] // Await* reads better than bare nouns
@@ -38,11 +44,23 @@ enum Pending {
     /// Waiting for the PA profile before dispatching the MBA.
     AwaitProfile { task: ConsumerTask },
     /// MBA dispatched; awaiting its result (arrives after reactivation).
-    AwaitMba { task: ConsumerTask },
+    AwaitMba {
+        task: ConsumerTask,
+        /// The MBA whose result (or loss notice) we expect.
+        mba: AgentId,
+        /// Dispatch attempts so far (0 = first try).
+        attempt: u32,
+    },
+    /// Last MBA lost; backoff timer armed before the next dispatch.
+    AwaitRetry { task: ConsumerTask, attempt: u32 },
     /// Offers in hand; awaiting the PA's similar-user data.
     AwaitSimilar {
         task: ConsumerTask,
         offers: Vec<Offer>,
+        /// True when falling back to CF-only (no marketplace reached).
+        degraded: bool,
+        /// Marketplaces that produced no offers this task.
+        unreachable: Vec<MarketRef>,
     },
 }
 
@@ -64,6 +82,9 @@ pub struct BuyerRecommendAgent {
     mba_timeout_us: u64,
     /// Recommendations produced over this session (for inspection).
     recommendations_made: u32,
+    /// Backoff schedule for re-dispatching a lost MBA.
+    #[serde(default)]
+    retry: BackoffPolicy,
 }
 
 impl BuyerRecommendAgent {
@@ -87,7 +108,14 @@ impl BuyerRecommendAgent {
             k_neighbours: 10,
             mba_timeout_us: 600_000_000, // 10 simulated minutes
             recommendations_made: 0,
+            retry: BackoffPolicy::default(),
         }
+    }
+
+    /// Override the MBA re-dispatch backoff schedule.
+    pub fn with_retry_policy(mut self, retry: BackoffPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Override the hybrid ranking weight (ablation knob).
@@ -129,7 +157,7 @@ impl BuyerRecommendAgent {
         self.pending = Some(Pending::AwaitProfile { task });
     }
 
-    fn dispatch_mba(&mut self, ctx: &mut Ctx<'_>, task: ConsumerTask) {
+    fn dispatch_mba(&mut self, ctx: &mut Ctx<'_>, task: ConsumerTask, attempt: u32) {
         let fig = task.figure();
         let (mba_task, itinerary) = match &task {
             ConsumerTask::Query {
@@ -167,14 +195,19 @@ impl BuyerRecommendAgent {
         ctx.note(format!(
             "{fig}/{create_step} bra creates mba and assigns task"
         ));
-        let mba = ctx.create_agent(Box::new(MobileBuyerAgent::new(
-            ctx.host(),
-            self.bsma,
-            ctx.self_id(),
-            self.consumer,
-            mba_task,
-            itinerary,
-        )));
+        let mba = ctx.create_agent(Box::new(
+            MobileBuyerAgent::new(
+                ctx.host(),
+                self.bsma,
+                ctx.self_id(),
+                self.consumer,
+                mba_task,
+                itinerary,
+            )
+            // give up on an unresponsive marketplace well before the BSMA
+            // watchdog gives up on the whole trip
+            .with_market_wait_us(self.mba_timeout_us / 4),
+        ));
         let register_step = if fig == "fig4.2" { "step08" } else { "step07" };
         ctx.note(format!("{fig}/{register_step} bra registers mba with bsma"));
         let register = Message::new(kinds::MBA_REGISTER)
@@ -187,18 +220,22 @@ impl BuyerRecommendAgent {
             })
             .expect("register serializes");
         ctx.send(self.bsma, register);
-        self.pending = Some(Pending::AwaitMba { task });
+        self.pending = Some(Pending::AwaitMba { task, mba, attempt });
     }
 
     /// Rank candidates: the paper's combination of similar users'
     /// preferences with the queried merchandise information and the
     /// consumer's own profile.
+    /// `cw` is the collaborative weight for this reply — normally
+    /// [`Self::collaborative_weight`], forced to 1.0 for a degraded
+    /// CF-only reply where no fresh offers exist to content-rank.
     fn generate_recommendations(
         &self,
         offers: &[Offer],
         data: &PaSimilarReply,
         task: &ConsumerTask,
         k: usize,
+        cw: f64,
     ) -> Vec<RecommendedItem> {
         let (keywords, category) = match task {
             ConsumerTask::Query {
@@ -216,7 +253,6 @@ impl BuyerRecommendAgent {
             pool.entry(offer.item.id.0)
                 .or_insert((offer.item.clone(), 0.0));
         }
-        let cw = self.collaborative_weight;
         let n_neighbours = data.neighbours.len();
         let mut recs: Vec<RecommendedItem> = pool
             .into_values()
@@ -276,16 +312,39 @@ impl BuyerRecommendAgent {
         ctx.send(self.pa, record);
     }
 
-    fn handle_mba_result(&mut self, ctx: &mut Ctx<'_>, result: MbaResult) {
-        let Some(Pending::AwaitMba { task }) = self.pending.take() else {
-            ctx.note("bra: unexpected mba result dropped");
-            return;
+    fn handle_mba_result(&mut self, ctx: &mut Ctx<'_>, from: Option<AgentId>, result: MbaResult) {
+        // match non-destructively: a stale result from a superseded MBA
+        // must not wipe whatever state the live attempt is in
+        let (task, mba) = match &self.pending {
+            Some(Pending::AwaitMba { task, mba, .. }) => (task.clone(), *mba),
+            _ => {
+                ctx.note("bra: unexpected mba result dropped");
+                return;
+            }
         };
+        if from.is_some() && from != Some(mba) {
+            // a superseded MBA (already retried or written off) made it
+            // home after all; the live attempt's result is the one we want
+            ctx.note("bra: stale result from superseded mba ignored");
+            return;
+        }
+        self.pending = None;
         match result {
-            MbaResult::Offers(offers) => {
+            MbaResult::Offers { offers, reports } => {
                 // record the query behaviour against the top offers
                 for offer in offers.iter().take(3) {
                     self.record_behavior(ctx, &offer.item, BehaviorKind::Query, None);
+                }
+                // partial-result tagging: marketplaces that never answered
+                let unreachable: Vec<MarketRef> = reports
+                    .iter()
+                    .filter(|r| r.status != MarketStatus::Visited)
+                    .map(|r| r.market)
+                    .collect();
+                let degraded = !reports.is_empty()
+                    && !reports.iter().any(|r| r.status == MarketStatus::Visited);
+                if degraded {
+                    ctx.note("bra: no marketplace reachable, degrading to cached-profile cf");
                 }
                 let similar = Message::new(kinds::PA_SIMILAR)
                     .with_payload(&PaSimilar {
@@ -295,7 +354,12 @@ impl BuyerRecommendAgent {
                     })
                     .expect("similar serializes");
                 ctx.send(self.pa, similar);
-                self.pending = Some(Pending::AwaitSimilar { task, offers });
+                self.pending = Some(Pending::AwaitSimilar {
+                    task,
+                    offers,
+                    degraded,
+                    unreachable,
+                });
             }
             MbaResult::Bought {
                 item,
@@ -374,26 +438,35 @@ impl Agent for BuyerRecommendAgent {
                     return;
                 };
                 self.profile = Some(profile.profile);
-                let Some(Pending::AwaitProfile { task }) = self.pending.take() else {
-                    return;
+                let task = match &self.pending {
+                    Some(Pending::AwaitProfile { task }) => task.clone(),
+                    _ => return, // stale profile; keep the live state
                 };
+                self.pending = None;
                 let fig = task.figure();
                 let step = if fig == "fig4.2" { "step06" } else { "step05" };
                 ctx.note(format!("{fig}/{step} bra received profile"));
-                self.dispatch_mba(ctx, task);
+                self.dispatch_mba(ctx, task, 0);
             }
             kinds::MBA_RESULT => {
                 if let Ok(result) = msg.payload_as::<MbaResult>() {
-                    self.handle_mba_result(ctx, result);
+                    self.handle_mba_result(ctx, msg.from, result);
                 }
             }
             kinds::PA_SIMILAR_REPLY => {
                 let Ok(data) = msg.payload_as::<PaSimilarReply>() else {
                     return;
                 };
-                let Some(Pending::AwaitSimilar { task, offers }) = self.pending.take() else {
-                    return;
+                let (task, offers, degraded, unreachable) = match &self.pending {
+                    Some(Pending::AwaitSimilar {
+                        task,
+                        offers,
+                        degraded,
+                        unreachable,
+                    }) => (task.clone(), offers.clone(), *degraded, unreachable.clone()),
+                    _ => return, // stale similar-reply; keep the live state
                 };
+                self.pending = None;
                 ctx.note(
                     "fig4.2/step14 bra generates recommendation from similar users and offers",
                 );
@@ -402,31 +475,112 @@ impl Agent for BuyerRecommendAgent {
                     ConsumerTask::Query { max_results, .. } => (*max_results).max(5),
                     _ => 5,
                 };
-                let recommendations = self.generate_recommendations(&offers, &data, &task, max);
+                // a degraded reply has no fresh offers to content-rank, so
+                // it leans entirely on the neighbours' preferences
+                let cw = if degraded {
+                    1.0
+                } else {
+                    self.collaborative_weight
+                };
+                let recommendations = self.generate_recommendations(&offers, &data, &task, max, cw);
                 self.recommendations_made += 1;
-                ctx.note("fig4.2/step15 bra responds with recommendations");
+                if degraded {
+                    ctx.note("fig4.2/step15 bra responds with degraded cf-only recommendations");
+                    ctx.count_degraded_reply();
+                } else {
+                    ctx.note("fig4.2/step15 bra responds with recommendations");
+                }
                 self.respond(
                     ctx,
                     ResponseBody::Recommendations {
                         offers,
                         recommendations,
+                        degraded,
+                        unreachable_markets: unreachable,
                     },
                 );
             }
             kinds::MBA_LOST => {
-                if let Ok(lost) = msg.payload_as::<MbaLost>() {
-                    ctx.note(format!("bra: mba {} presumed lost", lost.mba));
-                    self.pending = None;
-                    self.respond(
-                        ctx,
-                        ResponseBody::Error("mobile buyer agent lost in transit".into()),
-                    );
+                let Ok(lost) = msg.payload_as::<MbaLost>() else {
+                    return;
+                };
+                let (task, mba, attempt) = match &self.pending {
+                    Some(Pending::AwaitMba { task, mba, attempt }) => {
+                        (task.clone(), *mba, *attempt)
+                    }
+                    _ => {
+                        ctx.note(format!(
+                            "bra: loss notice for {} with no task in flight",
+                            lost.mba
+                        ));
+                        return;
+                    }
+                };
+                if lost.mba != mba {
+                    ctx.note(format!("bra: stale loss notice for {} ignored", lost.mba));
+                    return;
+                }
+                self.pending = None;
+                ctx.note(format!("bra: mba {mba} presumed lost"));
+                if attempt < self.retry.max_retries {
+                    let delay = self.retry.delay_us(attempt);
+                    ctx.note(format!(
+                        "bra: retrying task in {delay}us (attempt {})",
+                        attempt + 1
+                    ));
+                    ctx.count_retry();
+                    self.pending = Some(Pending::AwaitRetry {
+                        task,
+                        attempt: attempt + 1,
+                    });
+                    ctx.set_timer(SimDuration::from_micros(delay), RETRY_TAG);
+                    return;
+                }
+                match &task {
+                    ConsumerTask::Query { .. } => {
+                        // retries exhausted: degrade to CF-only built from
+                        // the cached profile rather than failing the query
+                        ctx.note("bra: retries exhausted, degrading to cached-profile cf");
+                        let similar = Message::new(kinds::PA_SIMILAR)
+                            .with_payload(&PaSimilar {
+                                consumer: self.consumer,
+                                offers: Vec::new(),
+                                k_neighbours: self.k_neighbours,
+                            })
+                            .expect("similar serializes");
+                        ctx.send(self.pa, similar);
+                        self.pending = Some(Pending::AwaitSimilar {
+                            task,
+                            offers: Vec::new(),
+                            degraded: true,
+                            unreachable: self.markets.clone(),
+                        });
+                    }
+                    _ => {
+                        // buys and auctions must not be blindly re-run once
+                        // the outcome is unknown; fail them explicitly
+                        self.respond(
+                            ctx,
+                            ResponseBody::Error("mobile buyer agent lost in transit".into()),
+                        );
+                    }
                 }
             }
             other => {
                 ctx.note(format!("bra: unhandled kind {other}"));
             }
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag != RETRY_TAG {
+            return;
+        }
+        let Some(Pending::AwaitRetry { task, attempt }) = self.pending.take() else {
+            return;
+        };
+        ctx.note(format!("bra: re-dispatching mba (attempt {attempt})"));
+        self.dispatch_mba(ctx, task, attempt);
     }
 
     fn on_disposal(&mut self, ctx: &mut Ctx<'_>) {
@@ -486,7 +640,7 @@ mod tests {
             category: None,
             max_results: 5,
         };
-        let recs = b.generate_recommendations(&offers, &data, &task, 5);
+        let recs = b.generate_recommendations(&offers, &data, &task, 5, b.collaborative_weight);
         assert_eq!(recs.len(), 2);
         // neighbour-endorsed item 2 has collab 0.9; offer item 1 has high
         // content relevance. With cw=0.7, item 2 should lead.
@@ -514,7 +668,7 @@ mod tests {
             category: None,
             max_results: 5,
         };
-        let recs = b.generate_recommendations(&offers, &data, &task, 5);
+        let recs = b.generate_recommendations(&offers, &data, &task, 5, b.collaborative_weight);
         assert_eq!(
             recs[0].item.id,
             ItemId(1),
@@ -535,7 +689,7 @@ mod tests {
             category: None,
             max_results: 20,
         };
-        let recs = b.generate_recommendations(&[], &data, &task, 3);
+        let recs = b.generate_recommendations(&[], &data, &task, 3, b.collaborative_weight);
         assert_eq!(recs.len(), 3);
     }
 

@@ -22,6 +22,7 @@ use crate::agents::msg::{
 };
 use crate::agents::pa::ProfileAgent;
 use crate::learning::LearnerConfig;
+use crate::retry::BackoffPolicy;
 use crate::similarity::SimilarityConfig;
 use agentsim::agent::{Agent, Ctx};
 use agentsim::clock::SimDuration;
@@ -53,6 +54,17 @@ pub struct BsmaConfig {
     pub mba_timeout_us: u64,
     /// Hybrid collaborative weight for BRAs.
     pub collaborative_weight: f64,
+    /// Extra grace periods the watchdog grants an overdue MBA (each
+    /// doubles the wait, capped at 4x) before declaring it lost.
+    #[serde(default = "default_watch_retries")]
+    pub watch_retries: u32,
+    /// Backoff schedule BRAs use to re-dispatch a lost MBA.
+    #[serde(default)]
+    pub bra_retry: BackoffPolicy,
+}
+
+fn default_watch_retries() -> u32 {
+    1
 }
 
 impl Default for BsmaConfig {
@@ -66,6 +78,8 @@ impl Default for BsmaConfig {
             similarity: SimilarityConfig::default(),
             mba_timeout_us: 600_000_000,
             collaborative_weight: 0.7,
+            watch_retries: default_watch_retries(),
+            bra_retry: BackoffPolicy::default(),
         }
     }
 }
@@ -73,6 +87,9 @@ impl Default for BsmaConfig {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct WatchEntry {
     register: MbaRegister,
+    /// Watchdog firings survived so far (re-arm bookkeeping).
+    #[serde(default)]
+    checks: u32,
 }
 
 /// The Buyer Server Management Agent.
@@ -216,7 +233,8 @@ impl Bsma {
                         self.config.markets.clone(),
                     )
                     .with_collaborative_weight(self.config.collaborative_weight)
-                    .with_mba_timeout_us(self.config.mba_timeout_us),
+                    .with_mba_timeout_us(self.config.mba_timeout_us)
+                    .with_retry_policy(self.config.bra_retry),
                 ));
                 ctx.note(format!("bsma: bra {bra} created for {}", req.consumer));
                 self.sessions.push((req.consumer.0, bra));
@@ -276,6 +294,17 @@ impl Bsma {
     }
 
     fn handle_mba_register(&mut self, ctx: &mut Ctx<'_>, register: MbaRegister) {
+        if self
+            .mba_watch
+            .iter()
+            .any(|w| w.register.mba == register.mba)
+        {
+            // duplicated registration (chaos can replay messages): the
+            // watchdog is already armed, a second deactivate/timer would
+            // double-count
+            ctx.note(format!("bsma: mba {} already registered", register.mba));
+            return;
+        }
         let fig = &register.figure;
         let step = if fig == "fig4.2" { "step09" } else { "step08" };
         ctx.note(format!(
@@ -294,7 +323,10 @@ impl Bsma {
             SimDuration::from_micros(register.timeout_us),
             register.mba.0,
         );
-        self.mba_watch.push(WatchEntry { register });
+        self.mba_watch.push(WatchEntry {
+            register,
+            checks: 0,
+        });
     }
 
     fn handle_mba_returned(&mut self, ctx: &mut Ctx<'_>, returned: MbaReturned) {
@@ -419,6 +451,21 @@ impl Agent for Bsma {
         let Some(pos) = self.mba_watch.iter().position(|w| w.register.mba.0 == tag) else {
             return; // returned in time
         };
+        if self.mba_watch[pos].checks < self.config.watch_retries {
+            // grant a grace period: re-arm with a doubled (capped) wait
+            // instead of writing the MBA off at the first deadline
+            let entry = &mut self.mba_watch[pos];
+            entry.checks += 1;
+            let factor = 1u64 << entry.checks.min(2);
+            let delay = entry.register.timeout_us.saturating_mul(factor);
+            ctx.note(format!(
+                "bsma: mba {} overdue, granting {delay}us grace (check {})",
+                entry.register.mba, entry.checks
+            ));
+            ctx.count_retry();
+            ctx.set_timer(SimDuration::from_micros(delay), tag);
+            return;
+        }
         let entry = self.mba_watch.remove(pos);
         ctx.note(format!(
             "bsma: mba {} overdue; reactivating bra and reporting loss",

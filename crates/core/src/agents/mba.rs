@@ -12,9 +12,12 @@
 //! platform authenticates its travel permit before the BSMA reactivates
 //! the waiting BRA.
 
-use crate::agents::msg::{kinds, BuyMode, MarketRef, MbaResult, MbaReturned};
+use crate::agents::msg::{
+    kinds, BuyMode, MarketRef, MarketReport, MarketStatus, MbaResult, MbaReturned,
+};
 use crate::profile::ConsumerId;
 use agentsim::agent::{Agent, Ctx};
+use agentsim::clock::SimDuration;
 use agentsim::ids::{AgentId, HostId};
 use agentsim::message::Message;
 use ecp::merchandise::{CategoryPath, ItemId, Money};
@@ -27,6 +30,19 @@ use serde::{Deserialize, Serialize};
 
 /// Agent-type tag of [`MobileBuyerAgent`].
 pub const MBA_TYPE: &str = "mba";
+
+/// Timer tag for retrying the trip home when the home host is
+/// unreachable. Market-wait timers use the market index as tag, so this
+/// sentinel can never collide.
+const HOME_RETRY_TAG: u64 = u64::MAX;
+
+/// Backoff base for home-trip retries (doubles per attempt).
+const HOME_RETRY_BASE_US: u64 = 100_000;
+/// Cap on a single home-trip retry delay.
+const HOME_RETRY_CAP_US: u64 = 2_000_000;
+/// Home-trip retries before the MBA gives up and disposes itself (the
+/// BSMA watchdog has long since declared it lost by then).
+const HOME_RETRY_LIMIT: u32 = 16;
 
 /// The MBA's assigned task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,6 +96,21 @@ pub struct MobileBuyerAgent {
     negotiation: Option<BuyerSession>,
     my_last_bid: Option<Money>,
     bids_placed: u32,
+    /// Per-marketplace outcome tags carried home for the BRA.
+    #[serde(default)]
+    reports: Vec<MarketReport>,
+    /// True between sending a request to the current marketplace and
+    /// receiving its first reply; gates the no-reply watchdog.
+    #[serde(default)]
+    awaiting_reply: bool,
+    /// How long to wait for the first reply at a marketplace before
+    /// marking it [`MarketStatus::NoReply`] and moving on. 0 disables the
+    /// watchdog (pre-chaos behaviour).
+    #[serde(default)]
+    market_wait_us: u64,
+    /// Home-trip retry attempts so far.
+    #[serde(default)]
+    home_attempts: u32,
 }
 
 impl MobileBuyerAgent {
@@ -105,7 +136,17 @@ impl MobileBuyerAgent {
             negotiation: None,
             my_last_bid: None,
             bids_placed: 0,
+            reports: Vec::new(),
+            awaiting_reply: false,
+            market_wait_us: 0,
+            home_attempts: 0,
         }
+    }
+
+    /// Enable the per-marketplace no-reply watchdog with the given wait.
+    pub fn with_market_wait_us(mut self, market_wait_us: u64) -> Self {
+        self.market_wait_us = market_wait_us;
+        self
     }
 
     fn current_market(&self) -> Option<MarketRef> {
@@ -113,7 +154,33 @@ impl MobileBuyerAgent {
     }
 
     fn go_home(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.dispatch_self(self.home);
+        if ctx.host() == self.home {
+            // never left (all dispatches refused): report in place
+            self.deliver_result_local(ctx);
+        } else {
+            ctx.dispatch_self(self.home);
+        }
+    }
+
+    /// Hand the result to the BRA, notify the BSMA and dispose — the MBA
+    /// is already on its home host (arrived, or never managed to leave).
+    fn deliver_result_local(&mut self, ctx: &mut Ctx<'_>) {
+        let result = self.result.clone().unwrap_or(MbaResult::Offers {
+            offers: self.offers.clone(),
+            reports: self.reports.clone(),
+        });
+        let msg = Message::new(kinds::MBA_RESULT)
+            .with_payload(&result)
+            .expect("result serializes");
+        ctx.send(self.bra, msg);
+        let notice = Message::new(kinds::MBA_RETURNED)
+            .with_payload(&MbaReturned {
+                mba: ctx.self_id(),
+                bra: self.bra,
+            })
+            .expect("returned serializes");
+        ctx.send(self.bsma, notice);
+        ctx.dispose_self();
     }
 
     fn advance_or_home(&mut self, ctx: &mut Ctx<'_>) {
@@ -124,7 +191,10 @@ impl MobileBuyerAgent {
             }
             _ => {
                 if self.result.is_none() {
-                    self.result = Some(MbaResult::Offers(self.offers.clone()));
+                    self.result = Some(MbaResult::Offers {
+                        offers: self.offers.clone(),
+                        reports: self.reports.clone(),
+                    });
                 }
                 self.go_home(ctx);
             }
@@ -142,13 +212,23 @@ impl MobileBuyerAgent {
     fn start_at_market(&mut self, ctx: &mut Ctx<'_>) {
         let Some(market) = self.current_market() else {
             // empty itinerary: nothing to do
-            self.result = Some(MbaResult::Offers(Vec::new()));
+            self.result = Some(MbaResult::Offers {
+                offers: Vec::new(),
+                reports: self.reports.clone(),
+            });
             self.go_home(ctx);
             return;
         };
         let fig = self.task.figure();
         let step = if fig == "fig4.2" { "step10" } else { "step09" };
         ctx.note(format!("{fig}/{step} mba at {} executing task", ctx.host()));
+        self.awaiting_reply = true;
+        if self.market_wait_us > 0 {
+            ctx.set_timer(
+                SimDuration::from_micros(self.market_wait_us),
+                self.next_market as u64,
+            );
+        }
         match &self.task {
             MbaTask::Query {
                 keywords,
@@ -274,19 +354,11 @@ impl Agent for MobileBuyerAgent {
             Some(market) => ctx.dispatch_self(market.host),
             None => {
                 // degenerate task with no marketplaces
-                self.result = Some(MbaResult::Offers(Vec::new()));
-                let msg = Message::new(kinds::MBA_RESULT)
-                    .with_payload(self.result.as_ref().expect("set above"))
-                    .expect("result serializes");
-                ctx.send(self.bra, msg);
-                let notice = Message::new(kinds::MBA_RETURNED)
-                    .with_payload(&MbaReturned {
-                        mba: ctx.self_id(),
-                        bra: self.bra,
-                    })
-                    .expect("returned serializes");
-                ctx.send(self.bsma, notice);
-                ctx.dispose_self();
+                self.result = Some(MbaResult::Offers {
+                    offers: Vec::new(),
+                    reports: Vec::new(),
+                });
+                self.deliver_result_local(ctx);
             }
         }
     }
@@ -297,36 +369,116 @@ impl Agent for MobileBuyerAgent {
             let fig = self.task.figure();
             let step = if fig == "fig4.2" { "step12" } else { "step11" };
             ctx.note(format!("{fig}/{step} mba returned home and authenticated"));
-            let result = self
-                .result
-                .clone()
-                .unwrap_or(MbaResult::Offers(self.offers.clone()));
-            let msg = Message::new(kinds::MBA_RESULT)
-                .with_payload(&result)
-                .expect("result serializes");
-            ctx.send(self.bra, msg);
-            let notice = Message::new(kinds::MBA_RETURNED)
-                .with_payload(&MbaReturned {
-                    mba: ctx.self_id(),
-                    bra: self.bra,
-                })
-                .expect("returned serializes");
-            ctx.send(self.bsma, notice);
-            ctx.dispose_self();
+            self.deliver_result_local(ctx);
         } else {
             self.start_at_market(ctx);
         }
     }
 
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == HOME_RETRY_TAG {
+            ctx.dispatch_self(self.home);
+            return;
+        }
+        // market no-reply watchdog; stale once a reply arrived or the
+        // itinerary advanced past the tagged market
+        if !self.awaiting_reply || tag != self.next_market as u64 {
+            return;
+        }
+        let Some(market) = self.current_market() else {
+            return;
+        };
+        self.awaiting_reply = false;
+        ctx.note(format!(
+            "mba: no reply from marketplace at {} within {}us",
+            market.host, self.market_wait_us
+        ));
+        self.reports.push(MarketReport {
+            market,
+            status: MarketStatus::NoReply,
+        });
+        match &self.task {
+            MbaTask::Query { .. } => self.advance_or_home(ctx),
+            MbaTask::Buy { item, .. } | MbaTask::Auction { item, .. } => {
+                let item = *item;
+                self.result = Some(MbaResult::BuyFailed {
+                    item,
+                    reason: "marketplace did not respond".into(),
+                });
+                self.go_home(ctx);
+            }
+        }
+    }
+
+    fn on_dispatch_failed(&mut self, ctx: &mut Ctx<'_>, dest: HostId) {
+        if dest == self.home {
+            // stranded at a marketplace: retry the trip home with a
+            // doubling backoff until the fault heals, then give up
+            if self.home_attempts >= HOME_RETRY_LIMIT {
+                ctx.note("mba: home unreachable, giving up".to_string());
+                ctx.dispose_self();
+                return;
+            }
+            let delay = HOME_RETRY_BASE_US
+                .saturating_mul(1 << self.home_attempts.min(5))
+                .min(HOME_RETRY_CAP_US);
+            self.home_attempts += 1;
+            ctx.set_timer(SimDuration::from_micros(delay), HOME_RETRY_TAG);
+            return;
+        }
+        let Some(market) = self.current_market() else {
+            return;
+        };
+        if market.host != dest {
+            return;
+        }
+        ctx.note(format!("mba: marketplace at {dest} unreachable"));
+        self.reports.push(MarketReport {
+            market,
+            status: MarketStatus::Unreachable,
+        });
+        match &self.task {
+            MbaTask::Query { .. } => self.advance_or_home(ctx),
+            MbaTask::Buy { item, .. } | MbaTask::Auction { item, .. } => {
+                let item = *item;
+                self.result = Some(MbaResult::BuyFailed {
+                    item,
+                    reason: "marketplace unreachable".into(),
+                });
+                self.go_home(ctx);
+            }
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        // buy/auction tasks visit a single marketplace, so any reply
+        // disarms the no-reply watchdog; query replies are matched against
+        // the current market below before disarming
+        if msg.kind != ecpk::kinds::QUERY_RESPONSE {
+            self.awaiting_reply = false;
+        }
         match msg.kind.as_str() {
             ecpk::kinds::QUERY_RESPONSE => {
                 if let Ok(resp) = msg.payload_as::<QueryResponse>() {
+                    let Some(market) = self.current_market() else {
+                        return;
+                    };
+                    if msg.from != Some(market.agent) {
+                        // a reply from a marketplace already written off
+                        // as NoReply chased us here; the itinerary moved on
+                        ctx.note("mba: stale query response ignored".to_string());
+                        return;
+                    }
+                    self.awaiting_reply = false;
                     ctx.note(format!(
                         "fig4.2/step11 offers received at {} ({})",
                         ctx.host(),
                         resp.offers.len()
                     ));
+                    self.reports.push(MarketReport {
+                        market,
+                        status: MarketStatus::Visited,
+                    });
                     self.offers.extend(resp.offers);
                     self.advance_or_home(ctx);
                 }
@@ -609,8 +761,13 @@ mod tests {
         assert_eq!(h.returned, 1);
         assert_eq!(h.results.len(), 1);
         match &h.results[0] {
-            MbaResult::Offers(offers) => {
+            MbaResult::Offers { offers, reports } => {
                 assert_eq!(offers.len(), 3, "one matching offer per market");
+                assert_eq!(reports.len(), 3, "every market tagged");
+                assert!(
+                    reports.iter().all(|r| r.status == MarketStatus::Visited),
+                    "clean run visits every market: {reports:?}"
+                );
                 let hosts: std::collections::BTreeSet<_> =
                     offers.iter().map(|o| o.marketplace).collect();
                 assert_eq!(
@@ -869,7 +1026,7 @@ mod tests {
         );
         f.world.run_until_idle();
         let h = home_state(&f);
-        assert!(matches!(&h.results[0], MbaResult::Offers(o) if o.is_empty()));
+        assert!(matches!(&h.results[0], MbaResult::Offers { offers, .. } if offers.is_empty()));
         assert_eq!(h.returned, 1);
     }
 
@@ -898,6 +1055,157 @@ mod tests {
 
     fn ecp_lossy_link() -> agentsim::net::LinkSpec {
         agentsim::net::LinkSpec::lan().lossy(1.0)
+    }
+
+    #[test]
+    fn partitioned_market_is_skipped_and_tagged_unreachable() {
+        let mut f = fix(2);
+        let markets = f.markets.clone();
+        // the first market is cut off; the MBA must skip it, visit the
+        // second and come home with a partial result
+        f.world
+            .topology_mut()
+            .partition(f.home_host, markets[0].host);
+        launch(
+            &mut f,
+            MbaTask::Query {
+                keywords: vec!["rustbook1".into(), "rustbook11".into()],
+                category: None,
+                max_results: 5,
+            },
+            markets.clone(),
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert_eq!(h.returned, 1, "mba must still report home");
+        match &h.results[0] {
+            MbaResult::Offers { offers, reports } => {
+                assert_eq!(offers.len(), 1, "only the reachable market answered");
+                assert_eq!(reports.len(), 2);
+                assert_eq!(reports[0].market, markets[0]);
+                assert_eq!(reports[0].status, MarketStatus::Unreachable);
+                assert_eq!(reports[1].status, MarketStatus::Visited);
+            }
+            other => panic!("expected offers, got {other:?}"),
+        }
+        assert!(
+            f.world.metrics().chaos_drops >= 1,
+            "refused dispatch counted"
+        );
+    }
+
+    #[test]
+    fn fully_partitioned_query_reports_home_without_leaving() {
+        let mut f = fix(1);
+        let markets = f.markets.clone();
+        f.world
+            .topology_mut()
+            .partition(f.home_host, markets[0].host);
+        launch(
+            &mut f,
+            MbaTask::Query {
+                keywords: vec!["rustbook1".into()],
+                category: None,
+                max_results: 5,
+            },
+            markets,
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert_eq!(h.returned, 1);
+        match &h.results[0] {
+            MbaResult::Offers { offers, reports } => {
+                assert!(offers.is_empty());
+                assert_eq!(reports.len(), 1);
+                assert_eq!(reports[0].status, MarketStatus::Unreachable);
+            }
+            other => panic!("expected empty offers, got {other:?}"),
+        }
+        assert_eq!(f.world.metrics().migrations, 0, "mba never left home");
+    }
+
+    #[test]
+    fn unreachable_market_fails_a_buy_cleanly() {
+        let mut f = fix(1);
+        let market = f.markets[0];
+        f.world.topology_mut().partition(f.home_host, market.host);
+        launch(
+            &mut f,
+            MbaTask::Buy {
+                item: ItemId(1),
+                mode: BuyMode::Direct,
+            },
+            vec![market],
+        );
+        f.world.run_until_idle();
+        let h = home_state(&f);
+        assert!(
+            matches!(&h.results[0], MbaResult::BuyFailed { reason, .. }
+                if reason.contains("unreachable")),
+            "got {:?}",
+            h.results[0]
+        );
+    }
+
+    /// A marketplace stand-in that swallows every message.
+    #[derive(Debug, Default, Serialize, Deserialize)]
+    struct SilentMarket;
+
+    impl Agent for SilentMarket {
+        fn agent_type(&self) -> &'static str {
+            "silent-market"
+        }
+        fn snapshot(&self) -> serde_json::Value {
+            serde_json::to_value(self).unwrap()
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+    }
+
+    #[test]
+    fn unresponsive_market_times_out_with_noreply_report() {
+        let mut world = SimWorld::new(33);
+        world
+            .registry_mut()
+            .register_serde::<MobileBuyerAgent>(MBA_TYPE);
+        world.registry_mut().register_serde::<Home>("home");
+        world
+            .registry_mut()
+            .register_serde::<SilentMarket>("silent-market");
+        let home_host = world.add_host("buyer-server");
+        let home_agent = world
+            .create_agent(home_host, Box::new(Home::default()))
+            .unwrap();
+        let mh = world.add_host("mute-market");
+        let market_agent = world.create_agent(mh, Box::new(SilentMarket)).unwrap();
+        let market = MarketRef {
+            host: mh,
+            agent: market_agent,
+        };
+        let mba = MobileBuyerAgent::new(
+            home_host,
+            home_agent,
+            home_agent,
+            ConsumerId(1),
+            MbaTask::Query {
+                keywords: vec!["x".into()],
+                category: None,
+                max_results: 5,
+            },
+            vec![market],
+        )
+        .with_market_wait_us(250_000);
+        world.create_agent(home_host, Box::new(mba)).unwrap();
+        world.run_until_idle();
+        let h: Home = serde_json::from_value(world.snapshot_of(home_agent).unwrap()).unwrap();
+        assert_eq!(h.returned, 1, "watchdog must bring the mba home");
+        match &h.results[0] {
+            MbaResult::Offers { offers, reports } => {
+                assert!(offers.is_empty());
+                assert_eq!(reports.len(), 1);
+                assert_eq!(reports[0].status, MarketStatus::NoReply);
+            }
+            other => panic!("expected empty offers, got {other:?}"),
+        }
     }
 
     #[test]

@@ -72,6 +72,27 @@ pub struct MarketRef {
     pub agent: AgentId,
 }
 
+/// How the MBA fared at one marketplace on its itinerary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarketStatus {
+    /// The marketplace was reached and answered the query.
+    Visited,
+    /// Migration to the marketplace was refused (partition or crash).
+    Unreachable,
+    /// The MBA reached the marketplace but gave up waiting for a reply.
+    NoReply,
+}
+
+/// Per-marketplace outcome tag carried home by the MBA so the BRA can
+/// label partial results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarketReport {
+    /// The marketplace in question.
+    pub market: MarketRef,
+    /// What happened there.
+    pub status: MarketStatus,
+}
+
 /// What a consumer asks the mechanism to do.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ConsumerTask {
@@ -174,6 +195,14 @@ pub enum ResponseBody {
         offers: Vec<Offer>,
         /// Recommendation information generated by the mechanism.
         recommendations: Vec<RecommendedItem>,
+        /// True when the reply fell back to CF-only recommendations from
+        /// the cached profile because no marketplace could be reached.
+        #[serde(default)]
+        degraded: bool,
+        /// Marketplaces the MBA could not collect offers from (partial
+        /// result tagging; empty on a clean run).
+        #[serde(default)]
+        unreachable_markets: Vec<MarketRef>,
     },
     /// Purchase receipt.
     Receipt {
@@ -324,7 +353,13 @@ pub struct MbaReturned {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MbaResult {
     /// Offers collected across marketplaces (query task).
-    Offers(Vec<Offer>),
+    Offers {
+        /// Offers gathered at the marketplaces that answered.
+        offers: Vec<Offer>,
+        /// Per-marketplace outcome tags (empty on pre-chaos capsules).
+        #[serde(default)]
+        reports: Vec<MarketReport>,
+    },
     /// Purchase completed.
     Bought {
         /// Item bought.
@@ -434,7 +469,16 @@ mod tests {
     #[test]
     fn mba_result_variants_round_trip() {
         let results = vec![
-            MbaResult::Offers(vec![]),
+            MbaResult::Offers {
+                offers: vec![],
+                reports: vec![MarketReport {
+                    market: MarketRef {
+                        host: HostId(3),
+                        agent: AgentId(9),
+                    },
+                    status: MarketStatus::Unreachable,
+                }],
+            },
             MbaResult::BuyFailed {
                 item: ItemId(1),
                 reason: "no deal".into(),

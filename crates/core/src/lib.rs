@@ -17,6 +17,7 @@ pub mod learning;
 pub mod profile;
 pub mod ratings;
 pub mod recommend;
+pub mod retry;
 pub mod server;
 pub mod similarity;
 pub mod store;
@@ -32,6 +33,7 @@ pub use recommend::{
     CfRecommender, ContentRecommender, HybridRecommender, QueryContext, RandomRecommender,
     Recommendation, Recommender, TopSellerRecommender,
 };
+pub use retry::BackoffPolicy;
 pub use server::{listing, Platform, PlatformBuilder};
 pub use similarity::{profile_similarity, SimilarityConfig, SimilarityMethod};
 pub use store::RecommendStore;

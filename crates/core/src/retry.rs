@@ -1,0 +1,93 @@
+//! Retry policy: capped exponential backoff on the sim clock.
+//!
+//! Shared by the BRA (re-dispatching a lost MBA) and the BSMA (re-arming
+//! the MBA watchdog). The schedule is a pure function of the attempt
+//! number — deterministic, monotone non-decreasing and capped — so a
+//! failure under chaos replays identically from the same seed.
+
+use serde::{Deserialize, Serialize};
+
+/// Capped exponential backoff: `delay(n) = min(base << n, cap)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (microseconds of sim time).
+    pub base_us: u64,
+    /// Upper bound on any single delay (microseconds).
+    pub cap_us: u64,
+    /// Retries after the initial attempt before giving up.
+    pub max_retries: u32,
+}
+
+impl BackoffPolicy {
+    /// Policy with the given base/cap/retry budget.
+    pub fn new(base_us: u64, cap_us: u64, max_retries: u32) -> Self {
+        BackoffPolicy {
+            base_us,
+            cap_us,
+            max_retries,
+        }
+    }
+
+    /// A policy that never retries (degrade immediately).
+    pub fn none() -> Self {
+        BackoffPolicy {
+            base_us: 0,
+            cap_us: 0,
+            max_retries: 0,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based): doubles each
+    /// attempt from `base_us`, saturating at `cap_us`.
+    pub fn delay_us(&self, attempt: u32) -> u64 {
+        let shifted = if attempt >= 63 {
+            u64::MAX
+        } else {
+            self.base_us.saturating_mul(1u64 << attempt)
+        };
+        shifted.min(self.cap_us)
+    }
+}
+
+impl Default for BackoffPolicy {
+    /// 0.5 s base, 8 s cap, 2 retries — three total attempts within a
+    /// default MBA watchdog window.
+    fn default() -> Self {
+        BackoffPolicy {
+            base_us: 500_000,
+            cap_us: 8_000_000,
+            max_retries: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_doubles_then_caps() {
+        let p = BackoffPolicy::new(100, 350, 5);
+        assert_eq!(p.delay_us(0), 100);
+        assert_eq!(p.delay_us(1), 200);
+        assert_eq!(p.delay_us(2), 350, "capped");
+        assert_eq!(p.delay_us(3), 350);
+        assert_eq!(p.delay_us(63), 350, "shift overflow saturates at cap");
+        assert_eq!(p.delay_us(200), 350);
+    }
+
+    #[test]
+    fn none_never_delays_or_retries() {
+        let p = BackoffPolicy::none();
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.delay_us(0), 0);
+    }
+
+    #[test]
+    fn policy_round_trips_serde() {
+        let p = BackoffPolicy::default();
+        let back: BackoffPolicy =
+            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -16,7 +16,9 @@ use crate::agents::msg::{
 use crate::agents::{register_all, Bsma, BsmaConfig};
 use crate::learning::{BehaviorKind, LearnerConfig};
 use crate::profile::ConsumerId;
+use crate::retry::BackoffPolicy;
 use crate::similarity::SimilarityConfig;
+use agentsim::chaos::ChaosPlan;
 use agentsim::clock::SimDuration;
 use agentsim::ids::{AgentId, HostId};
 use agentsim::message::Message;
@@ -38,6 +40,8 @@ pub struct PlatformBuilder {
     similarity: SimilarityConfig,
     collaborative_weight: f64,
     mba_timeout_us: u64,
+    watch_retries: u32,
+    bra_retry: BackoffPolicy,
 }
 
 impl PlatformBuilder {
@@ -52,6 +56,8 @@ impl PlatformBuilder {
             similarity: SimilarityConfig::default(),
             collaborative_weight: 0.7,
             mba_timeout_us: 600_000_000,
+            watch_retries: 1,
+            bra_retry: BackoffPolicy::default(),
         }
     }
 
@@ -88,6 +94,18 @@ impl PlatformBuilder {
     /// MBA loss timeout in simulated microseconds.
     pub fn mba_timeout_us(mut self, us: u64) -> Self {
         self.mba_timeout_us = us;
+        self
+    }
+
+    /// Grace periods the BSMA watchdog grants an overdue MBA.
+    pub fn watch_retries(mut self, retries: u32) -> Self {
+        self.watch_retries = retries;
+        self
+    }
+
+    /// Backoff schedule BRAs use to re-dispatch a lost MBA.
+    pub fn bra_retry(mut self, policy: BackoffPolicy) -> Self {
+        self.bra_retry = policy;
         self
     }
 
@@ -154,6 +172,8 @@ impl PlatformBuilder {
             similarity: self.similarity,
             mba_timeout_us: self.mba_timeout_us,
             collaborative_weight: self.collaborative_weight,
+            watch_retries: self.watch_retries,
+            bra_retry: self.bra_retry,
         };
         let request = Message::new(ecpk::REQUEST_BUYER_SERVER)
             .with_payload(&RequestBuyerServer {
@@ -226,6 +246,12 @@ impl Platform {
     /// Mutable world access (topology changes, manual messages).
     pub fn world_mut(&mut self) -> &mut SimWorld {
         &mut self.world
+    }
+
+    /// Install a [`ChaosPlan`] on the underlying world: its faults fire
+    /// at their scheduled sim times as the platform runs.
+    pub fn install_chaos(&mut self, plan: &ChaosPlan) {
+        self.world.install_chaos(plan);
     }
 
     /// Marketplace references, in creation order.
@@ -584,9 +610,13 @@ mod tests {
             ResponseBody::Recommendations {
                 offers,
                 recommendations,
+                degraded,
+                unreachable_markets,
             } => {
                 assert_eq!(offers.len(), 2, "both books match, jazz does not");
                 assert!(!recommendations.is_empty());
+                assert!(!degraded, "clean run is never degraded");
+                assert!(unreachable_markets.is_empty());
             }
             other => panic!("expected recommendations, got {other:?}"),
         }
@@ -699,7 +729,7 @@ mod tests {
     }
 
     #[test]
-    fn lost_mba_triggers_watchdog_and_error_response() {
+    fn lost_mba_retries_then_degrades_to_cf_only() {
         let mut p = Platform::builder(9)
             .marketplaces(vec![vec![listing(
                 1,
@@ -712,7 +742,7 @@ mod tests {
             .mba_timeout_us(2_000_000)
             .build();
         p.login(ConsumerId(1));
-        // kill the link so the MBA dies in transit
+        // kill the link so every MBA dies in transit
         let market_host = p.markets()[0].host;
         let buyer_host = p.buyer_host();
         p.world_mut().topology_mut().set_link_symmetric(
@@ -721,10 +751,22 @@ mod tests {
             agentsim::net::LinkSpec::lan().lossy(1.0),
         );
         let responses = p.query(ConsumerId(1), &["rust"], 5);
-        assert!(
-            matches!(&responses[0], ResponseBody::Error(e) if e.contains("lost")),
-            "watchdog must report the lost MBA: {responses:?}"
-        );
+        match &responses[0] {
+            ResponseBody::Recommendations {
+                offers,
+                degraded,
+                unreachable_markets,
+                ..
+            } => {
+                assert!(offers.is_empty(), "nothing was collected");
+                assert!(degraded, "total loss must degrade the reply");
+                assert_eq!(unreachable_markets.len(), 1);
+            }
+            other => panic!("expected degraded recommendations, got {other:?}"),
+        }
+        let m = p.world().metrics().clone();
+        assert!(m.retries >= 1, "the bra must have retried: {m:?}");
+        assert_eq!(m.degraded_replies, 1);
         // the BRA is active again and can serve new tasks after healing
         p.world_mut().topology_mut().set_link_symmetric(
             buyer_host,
@@ -734,8 +776,42 @@ mod tests {
         let responses = p.query(ConsumerId(1), &["rust"], 5);
         assert!(matches!(
             &responses[0],
-            ResponseBody::Recommendations { .. }
+            ResponseBody::Recommendations {
+                degraded: false,
+                ..
+            }
         ));
+    }
+
+    #[test]
+    fn lost_buy_mba_still_fails_with_an_error() {
+        // a query degrades, but a buy whose MBA vanished must NOT be
+        // blindly retried into a double purchase — it errors out
+        let mut p = Platform::builder(19)
+            .marketplaces(vec![vec![listing(
+                1,
+                "Rust Book",
+                "books",
+                "programming",
+                30,
+                &[("rust", 1.0)],
+            )]])
+            .mba_timeout_us(2_000_000)
+            .bra_retry(BackoffPolicy::none())
+            .build();
+        p.login(ConsumerId(1));
+        let market_host = p.markets()[0].host;
+        let buyer_host = p.buyer_host();
+        p.world_mut().topology_mut().set_link_symmetric(
+            buyer_host,
+            market_host,
+            agentsim::net::LinkSpec::lan().lossy(1.0),
+        );
+        let responses = p.buy(ConsumerId(1), ItemId(1), 0, BuyMode::Direct);
+        assert!(
+            matches!(&responses[0], ResponseBody::Error(e) if e.contains("lost")),
+            "lost buy must error: {responses:?}"
+        );
     }
 
     #[test]

@@ -111,6 +111,7 @@ pub fn run_session(
             let ResponseBody::Recommendations {
                 offers,
                 recommendations,
+                ..
             } = response
             else {
                 continue;

@@ -70,6 +70,7 @@ fn main() {
         if let ResponseBody::Recommendations {
             offers,
             recommendations,
+            ..
         } = response
         {
             println!("query \"rust\" returned {} offers:", offers.len());

@@ -539,3 +539,383 @@ mod cross_runtime {
         );
     }
 }
+
+/// DES ≡ threaded runtime under *faults*: the four failure-injection
+/// scenarios (total loss degrades the reply, the platform recovers after
+/// healing, a dead marketplace yields a partial result, a doomed buy
+/// fails cleanly) produce the same *outcome class* on both runtimes.
+///
+/// Only the synchronous fault vocabulary (partitions, host crashes) is
+/// used here — those are the faults whose semantics the two runtimes
+/// share exactly, so the equivalence is deterministic, not statistical.
+mod cross_runtime_faults {
+    use abcrm::core::agents::msg::{
+        kinds as msgkinds, BraResponse, BuyMode, ConsumerTask, MarketRef, ResponseBody, RoutedTask,
+    };
+    use abcrm::core::agents::{register_all, Bsma, BsmaConfig, BuyerRecommendAgent, ProfileAgent};
+    use abcrm::core::learning::LearnerConfig;
+    use abcrm::core::profile::ConsumerId;
+    use abcrm::core::server::listing;
+    use abcrm::core::similarity::SimilarityConfig;
+    use abcrm::core::BackoffPolicy;
+    use abcrm::ecp::merchandise::ItemId;
+    use abcrm::ecp::{MarketplaceAgent, SellerAgent};
+    use agentsim::agent::{Agent, Ctx};
+    use agentsim::ids::AgentId;
+    use agentsim::message::Message;
+    use agentsim::sim::SimWorld;
+    use agentsim::thread_net::ThreadWorldBuilder;
+    use agentsim::trace::Trace;
+    use serde::{Deserialize, Serialize};
+    use std::time::Duration;
+
+    /// What a fault scenario does between queries.
+    #[derive(Clone, Copy)]
+    enum Step {
+        /// Partition the buyer server from market `i`.
+        Partition(usize),
+        /// Heal that partition.
+        Heal(usize),
+        /// Crash market host `i`.
+        Crash(usize),
+        /// Run a query task.
+        Query,
+        /// Try to buy a nonexistent item from market 0.
+        BuyUnknown,
+    }
+
+    /// Collapse a reply into its outcome class — the unit of equivalence.
+    fn classify(body: &ResponseBody) -> String {
+        match body {
+            ResponseBody::Recommendations { degraded: true, .. } => "degraded".into(),
+            ResponseBody::Recommendations {
+                unreachable_markets,
+                ..
+            } if !unreachable_markets.is_empty() => {
+                format!("partial:{}", unreachable_markets.len())
+            }
+            ResponseBody::Recommendations { .. } => "full".into(),
+            ResponseBody::Receipt { .. } => "receipt".into(),
+            ResponseBody::Error(_) => "error".into(),
+            other => format!("other:{other:?}"),
+        }
+    }
+
+    /// Front stand-in: forwards instructions, classifies every reply.
+    #[derive(Debug, Default, Serialize, Deserialize)]
+    struct ClassifierProbe;
+
+    impl Agent for ClassifierProbe {
+        fn agent_type(&self) -> &'static str {
+            "classifier-probe"
+        }
+        fn snapshot(&self) -> serde_json::Value {
+            serde_json::json!(null)
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if let Some(target) = msg.payload.get("__send_to") {
+                let to = AgentId(target.as_u64().unwrap());
+                let inner = Message::new(msg.payload["kind"].as_str().unwrap())
+                    .carrying(msg.payload.project("payload"));
+                ctx.send(to, inner);
+                return;
+            }
+            if msg.kind == msgkinds::BRA_RESPONSE {
+                let reply: BraResponse = msg.payload_as().expect("bra response parses");
+                ctx.note(format!("outcome {}", classify(&reply.body)));
+            }
+        }
+    }
+
+    fn instruction(to: AgentId, task: &ConsumerTask) -> Message {
+        let routed = RoutedTask {
+            consumer: ConsumerId(1),
+            task: task.clone(),
+        };
+        Message::new("instr").carrying(serde_json::json!({
+            "__send_to": to.0,
+            "kind": msgkinds::BRA_TASK,
+            "payload": serde_json::to_value(&routed).unwrap(),
+        }))
+    }
+
+    fn query() -> ConsumerTask {
+        ConsumerTask::Query {
+            keywords: vec!["rust".into()],
+            category: None,
+            max_results: 5,
+        }
+    }
+
+    fn catalogs() -> Vec<Vec<ecp::protocol::Listing>> {
+        vec![
+            vec![listing(
+                1,
+                "Rust Book",
+                "books",
+                "programming",
+                30,
+                &[("rust", 1.0)],
+            )],
+            vec![listing(
+                11,
+                "Systems Programming",
+                "books",
+                "programming",
+                40,
+                &[("rust", 0.8)],
+            )],
+        ]
+    }
+
+    fn outcomes(trace: &Trace) -> Vec<String> {
+        trace
+            .labels_with_prefix("outcome ")
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    // Both runtimes share this timeout: timers are wall-clock threads on
+    // the threaded runtime, so the window must be short.
+    const MBA_TIMEOUT_US: u64 = 300_000;
+
+    fn retry() -> BackoffPolicy {
+        BackoffPolicy::new(100_000, 400_000, 1)
+    }
+
+    fn run_on_des(steps: &[Step]) -> Vec<String> {
+        let mut world = SimWorld::new(77);
+        register_all(world.registry_mut());
+        world
+            .registry_mut()
+            .register_serde::<ClassifierProbe>("classifier-probe");
+        let market_hosts = [world.add_host("m0"), world.add_host("m1")];
+        let seller_host = world.add_host("seller");
+        let buyer_host = world.add_host("buyer-agent-server");
+        let mut markets = Vec::new();
+        for (i, (host, catalog)) in market_hosts.iter().zip(catalogs()).enumerate() {
+            let agent = world
+                .create_agent(*host, Box::new(MarketplaceAgent::new(format!("m{i}"))))
+                .unwrap();
+            markets.push(MarketRef { host: *host, agent });
+            world
+                .create_agent(
+                    seller_host,
+                    Box::new(SellerAgent::new(1, format!("s{i}"), catalog, vec![agent])),
+                )
+                .unwrap();
+        }
+        world.run_until_idle();
+        let bsma = world
+            .create_agent(
+                buyer_host,
+                Box::new(Bsma::new(BsmaConfig {
+                    target: buyer_host,
+                    markets: markets.clone(),
+                    mba_timeout_us: MBA_TIMEOUT_US,
+                    bra_retry: retry(),
+                    ..BsmaConfig::default()
+                })),
+            )
+            .unwrap();
+        world.run_until_idle();
+        let pa = world
+            .create_agent(
+                buyer_host,
+                Box::new(ProfileAgent::new(
+                    LearnerConfig::default(),
+                    SimilarityConfig::default(),
+                )),
+            )
+            .unwrap();
+        let probe = world
+            .create_agent(buyer_host, Box::new(ClassifierProbe))
+            .unwrap();
+        let bra = world
+            .create_agent(
+                buyer_host,
+                Box::new(
+                    BuyerRecommendAgent::new(ConsumerId(1), bsma, pa, probe, markets.clone())
+                        .with_mba_timeout_us(MBA_TIMEOUT_US)
+                        .with_retry_policy(retry()),
+                ),
+            )
+            .unwrap();
+        world.run_until_idle();
+        for step in steps {
+            match *step {
+                Step::Partition(i) => {
+                    world.topology_mut().partition(buyer_host, market_hosts[i]);
+                }
+                Step::Heal(i) => {
+                    world
+                        .topology_mut()
+                        .heal_partition(buyer_host, market_hosts[i]);
+                }
+                Step::Crash(i) => world.crash_host(market_hosts[i]).unwrap(),
+                Step::Query => {
+                    world
+                        .send_external(probe, instruction(bra, &query()))
+                        .unwrap();
+                    world.run_until_idle();
+                }
+                Step::BuyUnknown => {
+                    let task = ConsumerTask::Buy {
+                        item: ItemId(999),
+                        market: markets[0],
+                        mode: BuyMode::Direct,
+                    };
+                    world.send_external(probe, instruction(bra, &task)).unwrap();
+                    world.run_until_idle();
+                }
+            }
+        }
+        outcomes(world.trace())
+    }
+
+    fn run_on_threads(steps: &[Step]) -> Vec<String> {
+        let mut builder = ThreadWorldBuilder::new(77);
+        register_all(builder.registry_mut());
+        builder
+            .registry_mut()
+            .register_serde::<ClassifierProbe>("classifier-probe");
+        let market_hosts = [builder.add_host("m0"), builder.add_host("m1")];
+        let seller_host = builder.add_host("seller");
+        let buyer_host = builder.add_host("buyer-agent-server");
+        let world = builder.start();
+        let mut markets = Vec::new();
+        for (i, (host, catalog)) in market_hosts.iter().zip(catalogs()).enumerate() {
+            let agent = world
+                .create_agent(*host, Box::new(MarketplaceAgent::new(format!("m{i}"))))
+                .unwrap();
+            markets.push(MarketRef { host: *host, agent });
+            world
+                .create_agent(
+                    seller_host,
+                    Box::new(SellerAgent::new(1, format!("s{i}"), catalog, vec![agent])),
+                )
+                .unwrap();
+        }
+        assert!(world.run_until_idle(Duration::from_secs(10)));
+        let bsma = world
+            .create_agent(
+                buyer_host,
+                Box::new(Bsma::new(BsmaConfig {
+                    target: buyer_host,
+                    markets: markets.clone(),
+                    mba_timeout_us: MBA_TIMEOUT_US,
+                    bra_retry: retry(),
+                    ..BsmaConfig::default()
+                })),
+            )
+            .unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(10)));
+        let pa = world
+            .create_agent(
+                buyer_host,
+                Box::new(ProfileAgent::new(
+                    LearnerConfig::default(),
+                    SimilarityConfig::default(),
+                )),
+            )
+            .unwrap();
+        let probe = world
+            .create_agent(buyer_host, Box::new(ClassifierProbe))
+            .unwrap();
+        let bra = world
+            .create_agent(
+                buyer_host,
+                Box::new(
+                    BuyerRecommendAgent::new(ConsumerId(1), bsma, pa, probe, markets.clone())
+                        .with_mba_timeout_us(MBA_TIMEOUT_US)
+                        .with_retry_policy(retry()),
+                ),
+            )
+            .unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(10)));
+        for step in steps {
+            match *step {
+                Step::Partition(i) => world.partition(buyer_host, market_hosts[i]),
+                Step::Heal(i) => world.heal_partition(buyer_host, market_hosts[i]),
+                Step::Crash(i) => world.crash_host(market_hosts[i]).unwrap(),
+                Step::Query => {
+                    world
+                        .send_external(probe, instruction(bra, &query()))
+                        .unwrap();
+                    assert!(world.run_until_idle(Duration::from_secs(30)));
+                }
+                Step::BuyUnknown => {
+                    let task = ConsumerTask::Buy {
+                        item: ItemId(999),
+                        market: markets[0],
+                        mode: BuyMode::Direct,
+                    };
+                    world.send_external(probe, instruction(bra, &task)).unwrap();
+                    assert!(world.run_until_idle(Duration::from_secs(30)));
+                }
+            }
+        }
+        let (_metrics, trace) = world.shutdown();
+        outcomes(&trace)
+    }
+
+    fn assert_equivalent(steps: &[Step], expected: &[&str], what: &str) {
+        let des = run_on_des(steps);
+        let threads = run_on_threads(steps);
+        let expected: Vec<String> = expected.iter().map(|c| format!("outcome {c}")).collect();
+        assert_eq!(des, expected, "{what}: DES outcome classes");
+        assert_eq!(des, threads, "{what}: runtimes disagree on outcome classes");
+    }
+
+    /// failure_injection scenario 1: total loss of every marketplace
+    /// degrades the reply to CF-only instead of erroring or hanging.
+    #[test]
+    fn total_partition_degrades_identically() {
+        assert_equivalent(
+            &[Step::Partition(0), Step::Partition(1), Step::Query],
+            &["degraded"],
+            "total partition",
+        );
+    }
+
+    /// failure_injection scenario 2: once the network heals the next
+    /// query is served in full again.
+    #[test]
+    fn platform_recovers_after_heal_identically() {
+        assert_equivalent(
+            &[
+                Step::Partition(0),
+                Step::Partition(1),
+                Step::Query,
+                Step::Heal(0),
+                Step::Heal(1),
+                Step::Query,
+            ],
+            &["degraded", "full"],
+            "heal recovery",
+        );
+    }
+
+    /// One dead marketplace out of two: the reply is partial — offers
+    /// from the live market, the dead one tagged unreachable.
+    #[test]
+    fn crashed_market_yields_partial_result_identically() {
+        assert_equivalent(
+            &[Step::Crash(1), Step::Query],
+            &["partial:1"],
+            "crashed market",
+        );
+    }
+
+    /// failure_injection scenario 6: a doomed buy fails cleanly and the
+    /// platform stays healthy for the next query.
+    #[test]
+    fn doomed_buy_fails_cleanly_identically() {
+        assert_equivalent(
+            &[Step::BuyUnknown, Step::Query],
+            &["error", "full"],
+            "doomed buy",
+        );
+    }
+}

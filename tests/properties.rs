@@ -303,6 +303,139 @@ use abcrm::agentsim::agent::AgentCapsule;
 use abcrm::agentsim::ids::{AgentId, HostId};
 use abcrm::agentsim::payload::Payload;
 
+// --- fault-model properties -------------------------------------------
+
+proptest! {
+    /// The retry schedule is a pure function of the attempt number:
+    /// deterministic, monotone non-decreasing, and capped.
+    #[test]
+    fn backoff_is_deterministic_monotone_and_capped(
+        base in 0u64..10_000_000,
+        cap in 0u64..20_000_000,
+        retries in 0u32..10,
+        attempts in 0u32..80,
+    ) {
+        let policy = abcrm::core::BackoffPolicy::new(base, cap, retries);
+        let twin = abcrm::core::BackoffPolicy::new(base, cap, retries);
+        let mut prev = 0u64;
+        for attempt in 0..attempts {
+            let delay = policy.delay_us(attempt);
+            prop_assert_eq!(delay, twin.delay_us(attempt), "deterministic");
+            prop_assert!(delay <= cap, "capped: {delay} > {cap}");
+            prop_assert!(delay >= prev, "monotone: {delay} < {prev} at attempt {attempt}");
+            prev = delay;
+        }
+        // the round-tripped policy replays the same schedule
+        let back: abcrm::core::BackoffPolicy =
+            serde_json::from_str(&serde_json::to_string(&policy).unwrap()).unwrap();
+        prop_assert_eq!(back.delay_us(attempts), policy.delay_us(attempts));
+    }
+
+    /// `LinkSpec::lossy` always stores a probability: any input — NaN,
+    /// infinities, negatives, huge values — clamps into `[0, 1]`.
+    #[test]
+    fn link_loss_always_clamps_to_unit_interval(raw in -1.0e12f64..1.0e12, scale in 0.0f64..4.0) {
+        for input in [
+            raw,
+            raw * scale,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            -1.0,
+            2.0,
+            f64::MIN_POSITIVE,
+        ] {
+            let spec = abcrm::agentsim::net::LinkSpec::lan().lossy(input);
+            prop_assert!(
+                (0.0..=1.0).contains(&spec.loss),
+                "loss {} escaped [0,1] for input {input}", spec.loss
+            );
+        }
+    }
+}
+
+/// Message duplication and bounded reordering are *masked* faults: the
+/// dedupe layer and per-pair FIFO clamp mean an idempotent query returns
+/// byte-identical recommendations with and without them. (Each case runs
+/// two full platforms, so this is a hand-rolled sweep rather than a
+/// 128-case `proptest!` block.)
+mod dup_reorder_idempotence {
+    use abcrm::agentsim::chaos::ChaosPlan;
+    use abcrm::core::agents::msg::ResponseBody;
+    use abcrm::core::profile::ConsumerId;
+    use abcrm::core::server::{listing, Platform};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn platform(seed: u64) -> Platform {
+        Platform::builder(seed)
+            .marketplaces(vec![
+                vec![
+                    listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
+                    listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
+                ],
+                vec![listing(
+                    11,
+                    "Systems Programming",
+                    "books",
+                    "programming",
+                    40,
+                    &[("rust", 0.8)],
+                )],
+            ])
+            .mba_timeout_us(2_000_000)
+            .build()
+    }
+
+    fn query_bytes(p: &mut Platform) -> Vec<String> {
+        p.login(ConsumerId(1));
+        p.query(ConsumerId(1), &["rust"], 5)
+            .iter()
+            .map(|r| {
+                assert!(
+                    matches!(
+                        r,
+                        ResponseBody::Recommendations {
+                            degraded: false,
+                            ..
+                        }
+                    ),
+                    "dup/reorder alone must not degrade a reply: {r:?}"
+                );
+                serde_json::to_string(r).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dup_and_reorder_never_change_recommendation_bytes() {
+        let mut params = StdRng::seed_from_u64(0xd0_0b1e);
+        for case in 0..12u64 {
+            let seed = params.gen_range(0u64..10_000);
+            let dup = params.gen_range(0.0..1.0);
+            let reorder = params.gen_range(0.0..1.0);
+            let jitter = params.gen_range(1u64..5_000);
+            let clean = query_bytes(&mut platform(seed));
+            let mut mangled_world = platform(seed);
+            // dup/reorder knobs only — no loss, no partitions, no crashes
+            mangled_world.install_chaos(&ChaosPlan {
+                seed,
+                dup_probability: dup,
+                reorder_probability: reorder,
+                max_jitter_us: jitter,
+                events: Vec::new(),
+            });
+            let mangled = query_bytes(&mut mangled_world);
+            assert_eq!(
+                clean, mangled,
+                "case {case}: seed={seed} dup={dup} reorder={reorder} jitter={jitter}us \
+                 changed the reply bytes"
+            );
+        }
+    }
+}
+
 /// Deterministic arbitrary JSON tree from a token stream: each token picks
 /// a node shape (scalars, strings with escapes, arrays, objects), so the
 /// generated values cover every encoder arm without needing a recursive
