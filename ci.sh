@@ -9,10 +9,10 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (default features)"
-cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant
 
 echo "==> cargo clippy (--features parallel)"
-cargo clippy --workspace --all-targets --features parallel -- -D warnings -D clippy::redundant_clone
+cargo clippy --workspace --all-targets --features parallel -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant
 
 echo "==> cargo build --release"
 cargo build --release
@@ -35,7 +35,17 @@ else
   CHAOS_SEEDS=8 cargo test -q --test chaos
 fi
 
-echo "==> bench smoke (quick mode)"
+# Telemetry smoke: drive the quickstart workflows with tracing on,
+# export the Chrome trace_event JSON and self-validate its schema (the
+# binary exits non-zero on an invalid document), then measure the
+# disabled-path overhead in bench quick mode.
+echo "==> telemetry smoke (traced quickstart + chrome-trace schema)"
+CHROME_TRACE_OUT="$(mktemp)"
+cargo run --release -p bench --bin telemetry_report -- --quick --chrome-out "$CHROME_TRACE_OUT" >/dev/null
+test -s "$CHROME_TRACE_OUT"
+rm -f "$CHROME_TRACE_OUT"
+
+echo "==> bench smoke (quick mode; includes telemetry-overhead gate)"
 PLATFORM_BENCH_QUICK=1 cargo bench -p bench --bench platform_throughput
 cargo bench -p bench --bench query_hot_path
 

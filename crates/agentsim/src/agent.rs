@@ -16,6 +16,7 @@ use crate::intern::InternedStr;
 use crate::message::Message;
 use crate::payload::Payload;
 use crate::security::TravelPermit;
+use crate::telemetry::TraceCtx;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -130,6 +131,10 @@ pub enum Action {
     Note { label: String },
     /// Bump a fault-handling counter in the world metrics.
     CountFault { counter: FaultCounter },
+    /// Record `value` into the telemetry histogram `name`.
+    Observe { name: InternedStr, value: u64 },
+    /// Add `by` to the telemetry counter `name`.
+    IncCounter { name: InternedStr, by: u64 },
 }
 
 impl fmt::Debug for Box<dyn Agent> {
@@ -149,6 +154,7 @@ pub struct Ctx<'a> {
     rng: &'a mut StdRng,
     actions: &'a mut Vec<Action>,
     next_agent_id: &'a mut u64,
+    trace: Option<TraceCtx>,
 }
 
 impl<'a> Ctx<'a> {
@@ -169,7 +175,23 @@ impl<'a> Ctx<'a> {
             rng,
             actions,
             next_agent_id,
+            trace: None,
         }
+    }
+
+    /// Attach the telemetry context of the handler span this callback
+    /// runs under. Used by world runtimes; `None` when tracing is off.
+    #[doc(hidden)]
+    pub fn with_trace(mut self, trace: Option<TraceCtx>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Telemetry context of the running callback, if this request is
+    /// being traced. Application agents rarely need this; the world
+    /// propagates it automatically.
+    pub fn trace(&self) -> Option<TraceCtx> {
+        self.trace
     }
 
     /// Id of the agent whose callback is running.
@@ -329,6 +351,24 @@ impl<'a> Ctx<'a> {
             counter: FaultCounter::DegradedReply,
         });
     }
+
+    /// Record `value` into the telemetry histogram `name` (no-op when
+    /// telemetry is disabled on the world).
+    pub fn observe(&mut self, name: impl Into<InternedStr>, value: u64) {
+        self.actions.push(Action::Observe {
+            name: name.into(),
+            value,
+        });
+    }
+
+    /// Add `by` to the telemetry counter `name` (no-op when telemetry is
+    /// disabled on the world).
+    pub fn inc_counter(&mut self, name: impl Into<InternedStr>, by: u64) {
+        self.actions.push(Action::IncCounter {
+            name: name.into(),
+            by,
+        });
+    }
 }
 
 /// Serialized form of an agent in transit or in stable storage.
@@ -349,6 +389,10 @@ pub struct AgentCapsule {
     /// Travel permit issued by the home host when the agent first left.
     /// Demanded (and burned) when the agent arrives back home.
     pub permit: Option<TravelPermit>,
+    /// Telemetry context of the migration hop carrying this capsule.
+    /// `None` when tracing is off; stamped by the world at dispatch.
+    #[serde(default)]
+    pub trace: Option<TraceCtx>,
 }
 
 impl AgentCapsule {
@@ -367,6 +411,7 @@ impl AgentCapsule {
             state: Payload::from(agent.snapshot()),
             home,
             permit,
+            trace: None,
         }
     }
 
@@ -569,6 +614,7 @@ mod tests {
             state: serde_json::json!({"count": 41}).into(),
             home: HostId(0),
             permit: None,
+            trace: None,
         };
         let agent = reg.rehydrate(&capsule).unwrap();
         assert_eq!(agent.agent_type(), "counter");
@@ -584,6 +630,7 @@ mod tests {
             state: Payload::null(),
             home: HostId(0),
             permit: None,
+            trace: None,
         };
         match reg.rehydrate(&capsule) {
             Err(PlatformError::UnknownAgentType(t)) => assert_eq!(t, "ghost"),
@@ -601,6 +648,7 @@ mod tests {
             state: serde_json::json!({"not_count": true}).into(),
             home: HostId(0),
             permit: None,
+            trace: None,
         };
         assert!(matches!(
             reg.rehydrate(&capsule),
@@ -616,6 +664,7 @@ mod tests {
             state: serde_json::json!(1).into(),
             home: HostId(0),
             permit: None,
+            trace: None,
         };
         let big = AgentCapsule {
             id: AgentId(1),
@@ -623,6 +672,7 @@ mod tests {
             state: serde_json::json!(vec![0; 512]).into(),
             home: HostId(0),
             permit: None,
+            trace: None,
         };
         assert!(big.wire_size() > small.wire_size());
     }

@@ -75,6 +75,7 @@ pub mod payload;
 pub mod security;
 pub mod sim;
 pub mod storage;
+pub mod telemetry;
 pub mod thread_net;
 pub mod trace;
 
@@ -92,6 +93,9 @@ pub mod prelude {
     pub use crate::payload::Payload;
     pub use crate::security::{Authenticator, TravelPermit};
     pub use crate::sim::{Location, SimWorld};
+    pub use crate::telemetry::{
+        Histogram, HopKind, Registry, Span, SpanEvent, SpanEventKind, Telemetry, TraceCtx,
+    };
     pub use crate::thread_net::{ThreadWorld, ThreadWorldBuilder};
     pub use crate::trace::{Trace, TraceEvent};
 }

@@ -9,6 +9,7 @@
 use crate::ids::{AgentId, MessageId};
 use crate::intern::InternedStr;
 use crate::payload::Payload;
+use crate::telemetry::TraceCtx;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,11 @@ pub struct Message {
     pub payload: Payload,
     /// Id of the message this one answers, if any.
     pub in_reply_to: Option<MessageId>,
+    /// Telemetry context of the in-flight hop this message represents.
+    /// `None` when tracing is off (the default); stamped by the world at
+    /// send time, never by application code.
+    #[serde(default)]
+    pub trace: Option<TraceCtx>,
 }
 
 impl Message {
@@ -57,6 +63,7 @@ impl Message {
             kind: kind.into(),
             payload: Payload::null(),
             in_reply_to: None,
+            trace: None,
         }
     }
 

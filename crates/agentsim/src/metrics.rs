@@ -9,28 +9,40 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Messages successfully delivered.
+    #[serde(default)]
     pub messages_delivered: u64,
     /// Messages dropped by the loss model.
+    #[serde(default)]
     pub messages_lost: u64,
     /// Messages addressed to unknown/disposed/deactivated agents.
+    #[serde(default)]
     pub messages_dead_lettered: u64,
     /// Message payload bytes moved across host boundaries.
+    #[serde(default)]
     pub remote_message_bytes: u64,
     /// Agent migrations completed (arrivals).
+    #[serde(default)]
     pub migrations: u64,
     /// Migrations rejected at arrival (unknown type, auth failure).
+    #[serde(default)]
     pub migrations_rejected: u64,
     /// Capsule bytes moved across host boundaries.
+    #[serde(default)]
     pub migration_bytes: u64,
     /// Agents created.
+    #[serde(default)]
     pub agents_created: u64,
     /// Agents disposed.
+    #[serde(default)]
     pub agents_disposed: u64,
     /// Deactivations performed.
+    #[serde(default)]
     pub deactivations: u64,
     /// Activations performed.
+    #[serde(default)]
     pub activations: u64,
     /// Timer callbacks fired.
+    #[serde(default)]
     pub timers_fired: u64,
     /// Messages/migrations dropped because of an active chaos fault
     /// (partition, crash, or fault-loss overlay) rather than the link's
@@ -117,5 +129,52 @@ mod tests {
         };
         let back: Metrics = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn every_field_round_trips_nonzero() {
+        // populate every counter with a distinct value so a missing
+        // serde attribute or renamed field cannot hide
+        let text = serde_json::to_string(&Metrics::default()).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let populated = serde_json::Value::Object(
+            value
+                .as_object()
+                .unwrap()
+                .iter()
+                .enumerate()
+                .map(|(i, (k, _))| (k.clone(), serde_json::json!(i as u64 + 1)))
+                .collect(),
+        );
+        let back: Metrics = serde_json::from_value(populated.clone()).unwrap();
+        assert_eq!(serde_json::to_value(&back).unwrap(), populated);
+    }
+
+    #[test]
+    fn legacy_snapshots_deserialize_with_defaults() {
+        // a pre-chaos-engine snapshot: only the original twelve counters
+        let legacy = serde_json::json!({
+            "messages_delivered": 3,
+            "messages_lost": 1,
+            "messages_dead_lettered": 0,
+            "remote_message_bytes": 512,
+            "migrations": 2,
+            "migrations_rejected": 0,
+            "migration_bytes": 256,
+            "agents_created": 4,
+            "agents_disposed": 1,
+            "deactivations": 0,
+            "activations": 0,
+            "timers_fired": 5
+        });
+        let m: Metrics = serde_json::from_value(legacy).unwrap();
+        assert_eq!(m.messages_delivered, 3);
+        assert_eq!(m.timers_fired, 5);
+        assert_eq!(m.chaos_drops, 0);
+        assert_eq!(m.retries, 0);
+
+        // ...and the degenerate empty snapshot: every field defaulted
+        let empty: Metrics = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, Metrics::default());
     }
 }

@@ -41,11 +41,13 @@ use crate::chaos::{ChaosEvent, ChaosPlan, Fault};
 use crate::clock::{SimDuration, SimTime};
 use crate::error::{PlatformError, Result};
 use crate::ids::{AgentId, HostId, MessageId};
+use crate::intern::InternedStr;
 use crate::message::Message;
 use crate::metrics::Metrics;
 use crate::net::Topology;
 use crate::security::{Authenticator, TravelPermit};
 use crate::storage::DeactivatedStore;
+use crate::telemetry::{HopKind, SpanEventKind, Telemetry, TraceCtx};
 use crate::trace::Trace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,6 +75,7 @@ enum EventKind {
     Timer {
         agent: AgentId,
         tag: u64,
+        trace: Option<TraceCtx>,
     },
     /// Apply (`heal == false`) or heal (`heal == true`) the chaos plan's
     /// fault at `index`.
@@ -158,6 +161,11 @@ pub struct SimWorld {
     processed_events: u64,
     /// Chaos engine state, present after [`SimWorld::install_chaos`].
     chaos: Option<ChaosState>,
+    /// Telemetry sink (request tracing + metrics registry), off by default.
+    telemetry: Telemetry,
+    /// Handler span of the callback currently executing, threaded through
+    /// nested callbacks by save/restore in [`SimWorld::run_callback`].
+    current_trace: Option<TraceCtx>,
 }
 
 impl SimWorld {
@@ -187,6 +195,8 @@ impl SimWorld {
             max_events: 50_000_000,
             processed_events: 0,
             chaos: None,
+            telemetry: Telemetry::new(),
+            current_trace: None,
         }
     }
 
@@ -254,6 +264,22 @@ impl SimWorld {
         self.next_msg_id += 1;
         msg.from = None;
         msg.to = to;
+        // Request ingress: mint the root span of a new trace (subject to
+        // sampling) and open the first message hop under it.
+        msg.trace = if self.telemetry.is_enabled() {
+            self.telemetry.mint_root(&msg.kind, self.now).map(|root| {
+                self.telemetry.child(
+                    root,
+                    HopKind::Message,
+                    msg.kind.clone(),
+                    None,
+                    None,
+                    self.now,
+                )
+            })
+        } else {
+            None
+        };
         let id = msg.id;
         let delay = self.topology.local_delay();
         self.schedule(delay, EventKind::Deliver(msg));
@@ -275,15 +301,21 @@ impl SimWorld {
         match event.kind {
             EventKind::Deliver(msg) => self.handle_deliver(msg),
             EventKind::Arrive { capsule, dest } => self.handle_arrival(capsule, dest),
-            EventKind::Timer { agent, tag } => self.handle_timer(agent, tag),
+            EventKind::Timer { agent, tag, trace } => self.handle_timer(agent, tag, trace),
             EventKind::Chaos { index, heal } => self.handle_chaos(index, heal),
         }
         true
     }
 
-    /// Run until no events remain.
+    /// Run until no events remain. If request tracing recorded any spans,
+    /// quiescence closes them all ([`Telemetry::finalize`]): every request
+    /// whose work drained is complete by definition.
     pub fn run_until_idle(&mut self) {
         while self.step() {}
+        if !self.telemetry.spans().is_empty() {
+            let now = self.now;
+            self.telemetry.finalize(now);
+        }
     }
 
     /// Run until the clock reaches `deadline` or the queue drains.
@@ -325,6 +357,24 @@ impl SimWorld {
     /// Mutable trace access (e.g. to clear between bench iterations).
     pub fn trace_mut(&mut self) -> &mut Trace {
         &mut self.trace
+    }
+
+    /// The telemetry sink: request span trees and the metrics registry.
+    /// Disabled by default; see [`SimWorld::enable_telemetry`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access (enable, set sampling, read registries).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Turn on request tracing: every subsequent
+    /// [`SimWorld::send_external`] mints a root span that follows the
+    /// request through messages, handlers, migrations and timers.
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry.enable();
     }
 
     /// Where `agent` currently is, if the world knows it.
@@ -593,12 +643,15 @@ impl SimWorld {
         if fresh {
             self.homes.insert(id, host);
             self.metrics.agents_created += 1;
-            self.run_callback(id, |agent, ctx| agent.on_creation(ctx));
+            self.run_callback(id, None, "on_creation", |agent, ctx| agent.on_creation(ctx));
         }
     }
 
-    /// Run `f` against the (active) agent, then apply the actions it queued.
-    fn run_callback<F>(&mut self, id: AgentId, f: F)
+    /// Run `f` against the (active) agent, then apply the actions it
+    /// queued. When the triggering hop carries a trace context (`parent`),
+    /// the callback runs under a fresh handler span named `name`, which
+    /// becomes the parent of every hop the callback causes.
+    fn run_callback<F>(&mut self, id: AgentId, parent: Option<TraceCtx>, name: &str, f: F)
     where
         F: FnOnce(&mut dyn Agent, &mut Ctx<'_>),
     {
@@ -608,6 +661,17 @@ impl SimWorld {
         let Some(mut agent) = self.hosts.get_mut(&host).and_then(|h| h.active.remove(&id)) else {
             return;
         };
+        let handler = parent.map(|p| {
+            self.telemetry.child(
+                p,
+                HopKind::Handler,
+                InternedStr::new(name),
+                Some(id),
+                Some(host),
+                self.now,
+            )
+        });
+        let saved = std::mem::replace(&mut self.current_trace, handler);
         let mut actions = Vec::new();
         {
             let mut ctx = Ctx::new(
@@ -617,7 +681,8 @@ impl SimWorld {
                 &mut self.rng,
                 &mut actions,
                 &mut self.next_agent_id,
-            );
+            )
+            .with_trace(handler);
             f(agent.as_mut(), &mut ctx);
         }
         // Reinsert before applying actions so that actions targeting the
@@ -627,6 +692,20 @@ impl SimWorld {
             h.active.insert(id, agent);
         }
         self.apply_actions(id, host, actions);
+        if let Some(h) = handler {
+            let now = self.now;
+            self.telemetry.end(h.span_id, now);
+            if let Some(wall) = self
+                .telemetry
+                .span(h.span_id)
+                .and_then(|s| s.wall_end_ns.map(|e| e.saturating_sub(s.wall_start_ns)))
+            {
+                self.telemetry
+                    .registry_mut()
+                    .observe("stage.handler_wall_ns", wall);
+            }
+        }
+        self.current_trace = saved;
     }
 
     fn apply_actions(&mut self, actor: AgentId, host: HostId, actions: Vec<Action>) {
@@ -639,7 +718,10 @@ impl SimWorld {
                     self.locations.insert(id, Location::Active(host));
                     self.homes.insert(id, host);
                     self.metrics.agents_created += 1;
-                    self.run_callback(id, |agent, ctx| agent.on_creation(ctx));
+                    let parent = self.current_trace;
+                    self.run_callback(id, parent, "on_creation", |agent, ctx| {
+                        agent.on_creation(ctx)
+                    });
                 }
                 Action::CreateOfType {
                     id,
@@ -652,6 +734,7 @@ impl SimWorld {
                         state,
                         home: host,
                         permit: None,
+                        trace: None,
                     };
                     match self.registry.rehydrate(&capsule) {
                         Ok(agent) => {
@@ -660,7 +743,10 @@ impl SimWorld {
                             self.locations.insert(id, Location::Active(host));
                             self.homes.insert(id, host);
                             self.metrics.agents_created += 1;
-                            self.run_callback(id, |agent, ctx| agent.on_creation(ctx));
+                            let parent = self.current_trace;
+                            self.run_callback(id, parent, "on_creation", |agent, ctx| {
+                                agent.on_creation(ctx)
+                            });
                         }
                         Err(e) => {
                             self.trace.record(
@@ -717,15 +803,63 @@ impl SimWorld {
                 }
                 Action::Dispose { id } => self.do_dispose(host, id),
                 Action::SetTimer { id, delay, tag } => {
-                    self.schedule(delay, EventKind::Timer { agent: id, tag });
+                    // A pending timer is a hop of the request that armed
+                    // it: span opens at arm, closes at fire.
+                    let trace = self.current_trace.map(|p| {
+                        self.telemetry.child(
+                            p,
+                            HopKind::Timer,
+                            InternedStr::new("timer"),
+                            Some(id),
+                            Some(host),
+                            self.now,
+                        )
+                    });
+                    self.schedule(
+                        delay,
+                        EventKind::Timer {
+                            agent: id,
+                            tag,
+                            trace,
+                        },
+                    );
                 }
                 Action::Note { label } => {
+                    if let Some(tc) = self.current_trace {
+                        self.telemetry.event(
+                            tc.span_id,
+                            SpanEventKind::Note,
+                            label.clone(),
+                            self.now,
+                        );
+                    }
                     self.trace.record(self.now, Some(actor), label);
                 }
-                Action::CountFault { counter } => match counter {
-                    FaultCounter::Retry => self.metrics.retries += 1,
-                    FaultCounter::DegradedReply => self.metrics.degraded_replies += 1,
-                },
+                Action::CountFault { counter } => {
+                    let (kind, label) = match counter {
+                        FaultCounter::Retry => {
+                            self.metrics.retries += 1;
+                            (SpanEventKind::Retry, "retry attempt")
+                        }
+                        FaultCounter::DegradedReply => {
+                            self.metrics.degraded_replies += 1;
+                            (SpanEventKind::Degraded, "degraded reply")
+                        }
+                    };
+                    if let Some(tc) = self.current_trace {
+                        self.telemetry.event(tc.span_id, kind, label, self.now);
+                    }
+                }
+                Action::Observe { name, value } => {
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.registry_mut().observe(name.as_str(), value);
+                    }
+                }
+                Action::IncCounter { name, by } => {
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.registry_mut().inc(name.as_str(), by);
+                    }
+                }
             }
         }
     }
@@ -733,10 +867,33 @@ impl SimWorld {
     fn do_send(&mut self, from_host: HostId, to: AgentId, mut msg: Message) {
         msg.id = MessageId(self.next_msg_id);
         self.next_msg_id += 1;
+        // Every send is a fresh hop: any context the message already
+        // carried names a hop that ended at its delivery (forwarded or
+        // re-sent messages must not reuse a closed span).
+        msg.trace = self.current_trace.map(|p| {
+            self.telemetry.child(
+                p,
+                HopKind::Message,
+                msg.kind.clone(),
+                msg.from,
+                Some(from_host),
+                self.now,
+            )
+        });
         let to_host = match self.locations.get(&to) {
             Some(Location::Active(h)) | Some(Location::Deactivated(h)) => *h,
             Some(Location::InTransit) | None => {
                 self.metrics.messages_dead_lettered += 1;
+                self.telemetry.registry_mut().dead_letter(msg.kind.as_str());
+                if let Some(tc) = msg.trace {
+                    self.telemetry.event(
+                        tc.span_id,
+                        SpanEventKind::DeadLetter,
+                        format!("{} to {} (unreachable)", msg.kind, to),
+                        self.now,
+                    );
+                    self.telemetry.end(tc.span_id, self.now);
+                }
                 self.trace.record(
                     self.now,
                     msg.from,
@@ -749,8 +906,19 @@ impl SimWorld {
         let loss = self.topology.loss(from_host, to_host);
         if loss > 0.0 && self.rng.gen::<f64>() < loss {
             self.metrics.messages_lost += 1;
-            if self.topology.fault_active(from_host, to_host) {
+            let chaos_fault = self.topology.fault_active(from_host, to_host);
+            if chaos_fault {
                 self.metrics.chaos_drops += 1;
+            }
+            if let Some(tc) = msg.trace {
+                let label = if chaos_fault {
+                    "dropped: chaos fault on link"
+                } else {
+                    "dropped: link loss"
+                };
+                self.telemetry
+                    .event(tc.span_id, SpanEventKind::Chaos, label, self.now);
+                self.telemetry.end(tc.span_id, self.now);
             }
             return;
         }
@@ -765,9 +933,11 @@ impl SimWorld {
         // Bounded reordering: extra jitter on some deliveries, clamped so
         // per-(sender, receiver)-pair FIFO order is preserved (TCP-like;
         // only cross-pair interleavings change).
+        let mut jittered = false;
         if chaos.reorder_probability > 0.0 && self.rng.gen::<f64>() < chaos.reorder_probability {
             delay = delay + SimDuration(self.rng.gen_range(0..=chaos.max_jitter_us));
             self.metrics.chaos_delays += 1;
+            jittered = true;
         }
         let key = (msg.from, msg.to);
         let mut at = self.now + delay;
@@ -784,6 +954,24 @@ impl SimWorld {
             None
         };
         chaos.fifo.insert(key, dup_at.unwrap_or(at));
+        if let Some(tc) = msg.trace {
+            if jittered {
+                self.telemetry.event(
+                    tc.span_id,
+                    SpanEventKind::Chaos,
+                    "reorder jitter injected",
+                    self.now,
+                );
+            }
+            if dup_at.is_some() {
+                self.telemetry.event(
+                    tc.span_id,
+                    SpanEventKind::Chaos,
+                    "duplicated by chaos",
+                    self.now,
+                );
+            }
+        }
         if let Some(dup_at) = dup_at {
             self.schedule_at(dup_at, EventKind::Deliver(msg.clone()));
         }
@@ -799,21 +987,60 @@ impl SimWorld {
                 if let Some(chaos) = &mut self.chaos {
                     if !chaos.delivered.insert(msg.id) {
                         self.metrics.dupes_suppressed += 1;
+                        if let Some(tc) = msg.trace {
+                            self.telemetry.event(
+                                tc.span_id,
+                                SpanEventKind::Chaos,
+                                "duplicate suppressed at receiver",
+                                self.now,
+                            );
+                        }
                         return;
                     }
                 }
                 self.metrics.messages_delivered += 1;
                 let _ = host;
-                self.run_callback(to, move |agent, ctx| agent.on_message(ctx, msg));
+                if let Some(tc) = msg.trace {
+                    if let Some(dur) = self.telemetry.end(tc.span_id, self.now) {
+                        let reg = self.telemetry.registry_mut();
+                        reg.observe("stage.transfer_us", dur);
+                        reg.observe(&format!("latency_us.{}", msg.kind), dur);
+                        reg.inc(&format!("delivered.{}", msg.kind), 1);
+                    }
+                }
+                let parent = msg.trace;
+                let kind = msg.kind.clone();
+                self.run_callback(to, parent, kind.as_str(), move |agent, ctx| {
+                    agent.on_message(ctx, msg)
+                });
             }
             Some(Location::Deactivated(host)) => {
-                // Held until the agent is activated, like a mailbox.
+                // Held until the agent is activated, like a mailbox; the
+                // hop span stays open until the replayed copy lands.
+                if let Some(tc) = msg.trace {
+                    self.telemetry.event(
+                        tc.span_id,
+                        SpanEventKind::Note,
+                        "parked: recipient deactivated",
+                        self.now,
+                    );
+                }
                 if let Some(h) = self.hosts.get_mut(&host) {
                     h.pending.entry(to).or_default().push(msg);
                 }
             }
             Some(Location::InTransit) | None => {
                 self.metrics.messages_dead_lettered += 1;
+                self.telemetry.registry_mut().dead_letter(msg.kind.as_str());
+                if let Some(tc) = msg.trace {
+                    self.telemetry.event(
+                        tc.span_id,
+                        SpanEventKind::DeadLetter,
+                        format!("{} to {} (gone at delivery)", msg.kind, to),
+                        self.now,
+                    );
+                    self.telemetry.end(tc.span_id, self.now);
+                }
                 self.trace.record(
                     self.now,
                     msg.from,
@@ -841,7 +1068,10 @@ impl SimWorld {
                 self.locations.insert(clone_id, Location::Active(host));
                 self.homes.insert(clone_id, host);
                 self.metrics.agents_created += 1;
-                self.run_callback(clone_id, |agent, ctx| agent.on_clone(ctx));
+                let parent = self.current_trace;
+                self.run_callback(clone_id, parent, "on_clone", |agent, ctx| {
+                    agent.on_clone(ctx)
+                });
             }
             Err(e) => {
                 self.trace.record(
@@ -891,17 +1121,31 @@ impl SimWorld {
         // synchronously: the agent stays put and may route around it.
         if self.topology.is_partitioned(host, dest) || self.host_crashed(dest) {
             self.metrics.chaos_drops += 1;
+            if let Some(tc) = self.current_trace {
+                self.telemetry.event(
+                    tc.span_id,
+                    SpanEventKind::Chaos,
+                    format!("dispatch refused: {dest} unreachable"),
+                    self.now,
+                );
+            }
             self.trace.record(
                 self.now,
                 Some(id),
                 format!("dispatch refused: {dest} unreachable"),
             );
-            self.run_callback(id, move |agent, ctx| agent.on_dispatch_failed(ctx, dest));
+            let parent = self.current_trace;
+            self.run_callback(id, parent, "on_dispatch_failed", move |agent, ctx| {
+                agent.on_dispatch_failed(ctx, dest)
+            });
             return;
         }
         // Lifecycle callback before departure; its actions execute on the
         // origin host.
-        self.run_callback(id, |agent, ctx| agent.on_dispatch(ctx));
+        let parent = self.current_trace;
+        self.run_callback(id, parent, "on_dispatch", |agent, ctx| {
+            agent.on_dispatch(ctx)
+        });
         // The callback may have disposed or deactivated the agent.
         if self.locations.get(&id) != Some(&Location::Active(host)) {
             return;
@@ -918,8 +1162,20 @@ impl SimWorld {
         } else {
             self.permits.get(&id).copied()
         };
-        let capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
+        let mut capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
         drop(agent); // the live instance stays behind and is destroyed
+                     // The travelling capsule is a migration hop of the request that
+                     // asked for the dispatch.
+        capsule.trace = self.current_trace.map(|p| {
+            self.telemetry.child(
+                p,
+                HopKind::Migration,
+                capsule.agent_type.clone(),
+                Some(id),
+                Some(host),
+                self.now,
+            )
+        });
         self.locations.insert(id, Location::InTransit);
         let bytes = capsule.wire_size();
         let loss = self.topology.loss(host, dest);
@@ -930,6 +1186,15 @@ impl SimWorld {
             self.metrics.messages_lost += 1;
             if self.topology.fault_active(host, dest) {
                 self.metrics.chaos_drops += 1;
+            }
+            if let Some(tc) = capsule.trace {
+                self.telemetry.event(
+                    tc.span_id,
+                    SpanEventKind::Chaos,
+                    format!("agent lost in transit to {dest}"),
+                    self.now,
+                );
+                self.telemetry.end(tc.span_id, self.now);
             }
             self.trace.record(
                 self.now,
@@ -951,6 +1216,15 @@ impl SimWorld {
             self.permits.remove(&id);
             self.metrics.agents_lost_in_crash += 1;
             self.metrics.chaos_drops += 1;
+            if let Some(tc) = capsule.trace {
+                self.telemetry.event(
+                    tc.span_id,
+                    SpanEventKind::Chaos,
+                    format!("arrival failed: {dest} crashed; agent lost"),
+                    self.now,
+                );
+                self.telemetry.end(tc.span_id, self.now);
+            }
             self.trace.record(
                 self.now,
                 Some(id),
@@ -989,6 +1263,15 @@ impl SimWorld {
                     self.metrics.migrations_rejected += 1;
                     self.locations.remove(&id);
                     self.permits.remove(&id);
+                    if let Some(tc) = capsule.trace {
+                        self.telemetry.event(
+                            tc.span_id,
+                            SpanEventKind::Note,
+                            format!("arrival rejected at {dest}: authentication failed"),
+                            self.now,
+                        );
+                        self.telemetry.end(tc.span_id, self.now);
+                    }
                     self.trace.record(
                         self.now,
                         Some(id),
@@ -1008,12 +1291,30 @@ impl SimWorld {
                 let h = self.hosts.get_mut(&dest).expect("arrival host exists");
                 h.active.insert(id, agent);
                 self.locations.insert(id, Location::Active(dest));
-                self.run_callback(id, |agent, ctx| agent.on_arrival(ctx));
+                if let Some(tc) = capsule.trace {
+                    if let Some(dur) = self.telemetry.end(tc.span_id, self.now) {
+                        self.telemetry
+                            .registry_mut()
+                            .observe("stage.migration_us", dur);
+                    }
+                }
+                self.run_callback(id, capsule.trace, "on_arrival", |agent, ctx| {
+                    agent.on_arrival(ctx)
+                });
             }
             Err(e) => {
                 self.metrics.migrations_rejected += 1;
                 self.locations.remove(&id);
                 self.permits.remove(&id);
+                if let Some(tc) = capsule.trace {
+                    self.telemetry.event(
+                        tc.span_id,
+                        SpanEventKind::Note,
+                        format!("arrival rejected at {dest}: {e}"),
+                        self.now,
+                    );
+                    self.telemetry.end(tc.span_id, self.now);
+                }
                 self.trace.record(
                     self.now,
                     Some(id),
@@ -1024,7 +1325,10 @@ impl SimWorld {
     }
 
     fn do_deactivate(&mut self, host: HostId, id: AgentId) {
-        self.run_callback(id, |agent, ctx| agent.on_deactivation(ctx));
+        let parent = self.current_trace;
+        self.run_callback(id, parent, "on_deactivation", |agent, ctx| {
+            agent.on_deactivation(ctx)
+        });
         // The callback may itself have changed the agent's state.
         if self.locations.get(&id) != Some(&Location::Active(host)) {
             return;
@@ -1063,7 +1367,10 @@ impl SimWorld {
         h.active.insert(id, agent);
         self.locations.insert(id, Location::Active(host));
         self.metrics.activations += 1;
-        self.run_callback(id, |agent, ctx| agent.on_activation(ctx));
+        let parent = self.current_trace;
+        self.run_callback(id, parent, "on_activation", |agent, ctx| {
+            agent.on_activation(ctx)
+        });
         // Replay messages that arrived while deactivated.
         let pending = self
             .hosts
@@ -1080,7 +1387,10 @@ impl SimWorld {
     fn do_dispose(&mut self, host: HostId, id: AgentId) {
         match self.locations.get(&id).copied() {
             Some(Location::Active(h)) if h == host => {
-                self.run_callback(id, |agent, ctx| agent.on_disposal(ctx));
+                let parent = self.current_trace;
+                self.run_callback(id, parent, "on_disposal", |agent, ctx| {
+                    agent.on_disposal(ctx)
+                });
                 if let Some(hh) = self.hosts.get_mut(&host) {
                     hh.active.remove(&id);
                     hh.pending.remove(&id);
@@ -1107,10 +1417,21 @@ impl SimWorld {
         }
     }
 
-    fn handle_timer(&mut self, agent: AgentId, tag: u64) {
+    fn handle_timer(&mut self, agent: AgentId, tag: u64, trace: Option<TraceCtx>) {
         if matches!(self.locations.get(&agent), Some(Location::Active(_))) {
             self.metrics.timers_fired += 1;
-            self.run_callback(agent, move |a, ctx| a.on_timer(ctx, tag));
+            if let Some(tc) = trace {
+                if let Some(dur) = self.telemetry.end(tc.span_id, self.now) {
+                    self.telemetry
+                        .registry_mut()
+                        .observe("stage.timer_wait_us", dur);
+                }
+            }
+            self.run_callback(agent, trace, "on_timer", move |a, ctx| a.on_timer(ctx, tag));
+        } else if let Some(tc) = trace {
+            // Agent gone (disposed, migrated, crashed): the pending-timer
+            // hop still closes.
+            self.telemetry.end(tc.span_id, self.now);
         }
     }
 }

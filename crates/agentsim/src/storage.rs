@@ -94,6 +94,7 @@ mod tests {
             state: serde_json::json!(vec![7u8; payload_len]).into(),
             home: HostId(0),
             permit: None,
+            trace: None,
         }
     }
 

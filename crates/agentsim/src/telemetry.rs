@@ -1,0 +1,891 @@
+//! End-to-end request tracing and latency telemetry.
+//!
+//! The paper's workflow is a multi-hop chain (HttpA → BSMA → BRA → MBA →
+//! marketplaces → back, figs 4.1–4.3); flat counters cannot answer "where
+//! did this request spend its time?" or "which hop did chaos break?".
+//! This module adds the observability layer both runtimes share:
+//!
+//! * **Causal request tracing** — a [`TraceCtx`] is minted at request
+//!   ingress ([`crate::sim::SimWorld::send_external`] /
+//!   [`crate::thread_net::ThreadWorld::send_external`]) and propagated
+//!   automatically through every message hop, migration, retry and timer
+//!   re-arm, producing per-request [`Span`] trees with sim-time *and*
+//!   wall-time bounds, agent, host and [`HopKind`].
+//! * **A metrics [`Registry`]** — named counters, gauges and log-bucketed
+//!   [`Histogram`]s (p50/p90/p99/max) for per-stage latencies, per-kind
+//!   throughput and cache hit rates.
+//! * **Chaos annotation** — every drop, partition refusal, crash, dup and
+//!   backoff retry lands as a [`SpanEvent`] so degraded replies are
+//!   explainable from the trace alone.
+//! * **Exporters** — JSON snapshot, Prometheus text format, and Chrome
+//!   `trace_event` JSON loadable in `chrome://tracing` / Perfetto.
+//!
+//! Telemetry is **off by default**: the runtimes check one `bool` before
+//! doing any work, messages carry `trace: None`, and no RNG draw or event
+//! reordering ever depends on tracing — figure traces stay byte-identical
+//! whether tracing is on or off.
+
+use crate::clock::SimTime;
+use crate::ids::{AgentId, HostId};
+use crate::intern::InternedStr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Causal trace context stamped on in-flight messages, capsules and
+/// timers. `span_id` names the hop currently in flight; `parent` is the
+/// span that caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// Id of the root request span this hop belongs to.
+    pub trace_id: u64,
+    /// Id of the span this context names.
+    pub span_id: u64,
+    /// Id of the causing span, if any (roots have none).
+    #[serde(default)]
+    pub parent: Option<u64>,
+}
+
+/// What kind of hop a [`Span`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HopKind {
+    /// A root span: one external request from ingress to quiescence.
+    Request,
+    /// A message in flight, from send to delivery (or loss).
+    Message,
+    /// An agent callback running (`on_message`, `on_timer`, lifecycle).
+    Handler,
+    /// An agent migration, from dispatch to arrival (or loss).
+    Migration,
+    /// A timer pending, from arm to fire.
+    Timer,
+}
+
+impl HopKind {
+    /// Stable lowercase label used by exporters and tree signatures.
+    pub fn label(self) -> &'static str {
+        match self {
+            HopKind::Request => "request",
+            HopKind::Message => "message",
+            HopKind::Handler => "handler",
+            HopKind::Migration => "migration",
+            HopKind::Timer => "timer",
+        }
+    }
+}
+
+/// Classification of a point event attached to a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanEventKind {
+    /// A fault injected by the chaos engine touched this hop (drop,
+    /// dup, reorder jitter, partition refusal, crash, auth reject).
+    Chaos,
+    /// A retry attempt (re-dispatch, watchdog re-arm, backoff round).
+    Retry,
+    /// A degraded (partial or fallback) reply was served.
+    Degraded,
+    /// The message could not be delivered to any live agent.
+    DeadLetter,
+    /// An application note (includes the paper's figure-step labels).
+    Note,
+}
+
+impl SpanEventKind {
+    /// Stable lowercase label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanEventKind::Chaos => "chaos",
+            SpanEventKind::Retry => "retry",
+            SpanEventKind::Degraded => "degraded",
+            SpanEventKind::DeadLetter => "dead_letter",
+            SpanEventKind::Note => "note",
+        }
+    }
+}
+
+/// A labelled instant attached to a [`Span`].
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Sim time the event happened.
+    pub at: SimTime,
+    /// Event classification.
+    pub kind: SpanEventKind,
+    /// Human-readable detail.
+    pub label: String,
+}
+
+/// One hop of one request: a node of the per-request span tree.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Root request span id this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique per [`Telemetry`], dense from 1).
+    pub id: u64,
+    /// Causing span id, if any.
+    pub parent: Option<u64>,
+    /// Hop classification.
+    pub kind: HopKind,
+    /// Name: message kind for message hops, agent type for migrations,
+    /// callback name for handlers, request kind for roots.
+    pub name: InternedStr,
+    /// Agent executing or travelling, when known.
+    pub agent: Option<AgentId>,
+    /// Host the span is anchored on, when known.
+    pub host: Option<HostId>,
+    /// Sim time the span opened.
+    pub start: SimTime,
+    /// Sim time the span closed (`None` while open; finalize closes all).
+    pub end: Option<SimTime>,
+    /// Wall-clock nanoseconds since the telemetry epoch at open.
+    pub wall_start_ns: u64,
+    /// Wall-clock nanoseconds since the telemetry epoch at close.
+    pub wall_end_ns: Option<u64>,
+    /// Point events (chaos annotations, retries, notes, …).
+    pub events: Vec<SpanEvent>,
+}
+
+impl Span {
+    /// Sim-time duration, if closed.
+    pub fn duration_us(&self) -> Option<u64> {
+        self.end.map(|e| e.0.saturating_sub(self.start.0))
+    }
+
+    /// Whether any attached event has the given kind.
+    pub fn has_event(&self, kind: SpanEventKind) -> bool {
+        self.events.iter().any(|e| e.kind == kind)
+    }
+}
+
+const HIST_BUCKETS: usize = 65;
+
+/// Log2-bucketed histogram of `u64` samples with cheap quantiles.
+///
+/// Bucket `b` holds values whose bit length is `b` (bucket 0 holds the
+/// value 0), so recording is a `leading_zeros` and quantiles are exact
+/// to a factor of two — plenty for latency tables.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`), clamped to the observed max. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Named counters, gauges, histograms, and the dead-letter breakdown.
+///
+/// Names are free-form dotted strings (`"stage.handler_wall_ns"`);
+/// `BTreeMap` storage keeps every export deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    dead_letter_kinds: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name` (created at 0).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *ensure(&mut self.counters, name) += by;
+    }
+
+    /// Current value of counter `name` (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record `v` into histogram `name` (created empty).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        ensure(&mut self.histograms, name).record(v);
+    }
+
+    /// Histogram `name`, if any sample was ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Record a dead-lettered message of `kind`.
+    pub fn dead_letter(&mut self, kind: &str) {
+        *ensure(&mut self.dead_letter_kinds, kind) += 1;
+        self.inc("dead_letters_total", 1);
+    }
+
+    /// Per-message-kind dead-letter breakdown.
+    pub fn dead_letter_kinds(&self) -> &BTreeMap<String, u64> {
+        &self.dead_letter_kinds
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
+    }
+}
+
+fn ensure<'a, V: Default>(map: &'a mut BTreeMap<String, V>, name: &str) -> &'a mut V {
+    if !map.contains_key(name) {
+        map.insert(name.to_string(), V::default());
+    }
+    map.get_mut(name).expect("just inserted")
+}
+
+/// The per-world telemetry sink: span store, id allocator, registry and
+/// exporters. Owned by [`crate::sim::SimWorld`] directly and by
+/// [`crate::thread_net::ThreadWorld`] behind a mutex.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    enabled: bool,
+    sample_every: u64,
+    roots_seen: u64,
+    next_id: u64,
+    spans: Vec<Span>,
+    registry: Registry,
+    epoch: Instant,
+    double_closes: u64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A disabled sink: minting returns `None`, nothing is recorded.
+    pub fn new() -> Self {
+        Telemetry {
+            enabled: false,
+            sample_every: 1,
+            roots_seen: 0,
+            next_id: 1,
+            spans: Vec::new(),
+            registry: Registry::new(),
+            epoch: Instant::now(),
+            double_closes: 0,
+        }
+    }
+
+    /// Whether tracing is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn tracing on (every request traced).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+        self.sample_every = 1;
+    }
+
+    /// Turn tracing off. Already-recorded spans are kept.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Turn tracing on, sampling one root request in `every` (`every`
+    /// is clamped to at least 1). Untraced requests pay only one modulo.
+    pub fn set_sampling(&mut self, every: u64) {
+        self.enabled = true;
+        self.sample_every = every.max(1);
+    }
+
+    /// Wall-clock nanoseconds since this sink was created.
+    pub fn wall_now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_span(
+        &mut self,
+        trace_id: Option<u64>,
+        parent: Option<u64>,
+        kind: HopKind,
+        name: InternedStr,
+        agent: Option<AgentId>,
+        host: Option<HostId>,
+        at: SimTime,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let wall = self.wall_now_ns();
+        self.spans.push(Span {
+            trace_id: trace_id.unwrap_or(id),
+            id,
+            parent,
+            kind,
+            name,
+            agent,
+            host,
+            start: at,
+            end: None,
+            wall_start_ns: wall,
+            wall_end_ns: None,
+            events: Vec::new(),
+        });
+        id
+    }
+
+    /// Mint a root [`HopKind::Request`] span for an ingress request, or
+    /// `None` when tracing is off or this request is sampled out.
+    pub fn mint_root(&mut self, name: &InternedStr, at: SimTime) -> Option<TraceCtx> {
+        if !self.enabled {
+            return None;
+        }
+        self.roots_seen += 1;
+        if !(self.roots_seen - 1).is_multiple_of(self.sample_every) {
+            return None;
+        }
+        let id = self.push_span(None, None, HopKind::Request, name.clone(), None, None, at);
+        Some(TraceCtx {
+            trace_id: id,
+            span_id: id,
+            parent: None,
+        })
+    }
+
+    /// Open a child span of `parent` and return its context.
+    pub fn child(
+        &mut self,
+        parent: TraceCtx,
+        kind: HopKind,
+        name: InternedStr,
+        agent: Option<AgentId>,
+        host: Option<HostId>,
+        at: SimTime,
+    ) -> TraceCtx {
+        let id = self.push_span(
+            Some(parent.trace_id),
+            Some(parent.span_id),
+            kind,
+            name,
+            agent,
+            host,
+            at,
+        );
+        TraceCtx {
+            trace_id: parent.trace_id,
+            span_id: id,
+            parent: Some(parent.span_id),
+        }
+    }
+
+    fn index(&self, span_id: u64) -> Option<usize> {
+        if span_id == 0 || span_id >= self.next_id {
+            return None;
+        }
+        Some(span_id as usize - 1)
+    }
+
+    /// Close span `span_id` at sim time `at`; returns the sim-time
+    /// duration in µs. Closing an already-closed span is a counted no-op
+    /// (see [`Telemetry::double_closes`]).
+    pub fn end(&mut self, span_id: u64, at: SimTime) -> Option<u64> {
+        let wall = self.wall_now_ns();
+        let idx = self.index(span_id)?;
+        let span = &mut self.spans[idx];
+        if span.end.is_some() {
+            self.double_closes += 1;
+            return None;
+        }
+        span.end = Some(at);
+        span.wall_end_ns = Some(wall);
+        Some(at.0.saturating_sub(span.start.0))
+    }
+
+    /// Attach a point event to span `span_id` (no-op on unknown ids).
+    pub fn event(
+        &mut self,
+        span_id: u64,
+        kind: SpanEventKind,
+        label: impl Into<String>,
+        at: SimTime,
+    ) {
+        if let Some(idx) = self.index(span_id) {
+            self.spans[idx].events.push(SpanEvent {
+                at,
+                kind,
+                label: label.into(),
+            });
+        }
+    }
+
+    /// Close every still-open span at `at` and repair parent/child
+    /// sim-time and wall-time containment bottom-up, so that afterwards
+    /// every parent fully contains its children. Called by the runtimes
+    /// at quiescence / shutdown; safe to call repeatedly.
+    pub fn finalize(&mut self, at: SimTime) {
+        let wall = self.wall_now_ns();
+        for span in &mut self.spans {
+            if span.end.is_none() {
+                span.end = Some(at.max(span.start));
+                span.wall_end_ns = Some(wall.max(span.wall_start_ns));
+            }
+        }
+        // children have larger ids than parents, so one reverse pass
+        // propagates the latest descendant end all the way up
+        for i in (0..self.spans.len()).rev() {
+            let (end, wall_end, parent) = {
+                let s = &self.spans[i];
+                (s.end, s.wall_end_ns, s.parent)
+            };
+            if let Some(idx) = parent.and_then(|p| self.index(p)) {
+                let p = &mut self.spans[idx];
+                if let (Some(pe), Some(ce)) = (p.end, end) {
+                    if ce > pe {
+                        p.end = Some(ce);
+                    }
+                }
+                if let (Some(pw), Some(cw)) = (p.wall_end_ns, wall_end) {
+                    if cw > pw {
+                        p.wall_end_ns = Some(cw);
+                    }
+                }
+            }
+        }
+    }
+
+    /// How many times a span close was attempted after the span had
+    /// already closed. 0 on a well-formed run.
+    pub fn double_closes(&self) -> u64 {
+        self.double_closes
+    }
+
+    /// All spans, in creation (= id) order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Span by id.
+    pub fn span(&self, span_id: u64) -> Option<&Span> {
+        self.index(span_id).map(|i| &self.spans[i])
+    }
+
+    /// All root (request) spans.
+    pub fn roots(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(|s| s.parent.is_none())
+    }
+
+    /// All spans of one trace, in id order.
+    pub fn trace_spans(&self, trace_id: u64) -> Vec<&Span> {
+        self.spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect()
+    }
+
+    /// Shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Shared metrics registry, mutable.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Canonical structural signature of one trace: each node renders as
+    /// `kind:name` with its children sorted and parenthesised, so two
+    /// trees compare equal iff they are isomorphic in (hop kind, name)
+    /// structure — agent *ids* are excluded because the two runtimes
+    /// allocate them differently.
+    pub fn signature(&self, trace_id: u64) -> String {
+        let spans = self.trace_spans(trace_id);
+        let mut children: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+        let mut root: Option<&Span> = None;
+        for s in &spans {
+            match s.parent {
+                Some(p) => children.entry(p).or_default().push(s),
+                None => root = Some(s),
+            }
+        }
+        fn render(span: &Span, children: &BTreeMap<u64, Vec<&Span>>) -> String {
+            let mut kids: Vec<String> = children
+                .get(&span.id)
+                .map(|v| v.iter().map(|c| render(c, children)).collect())
+                .unwrap_or_default();
+            kids.sort();
+            if kids.is_empty() {
+                format!("{}:{}", span.kind.label(), span.name)
+            } else {
+                format!("{}:{}({})", span.kind.label(), span.name, kids.join(","))
+            }
+        }
+        root.map(|r| render(r, &children)).unwrap_or_default()
+    }
+
+    /// JSON snapshot of every span and the registry (deterministic key
+    /// order).
+    pub fn snapshot_json(&self) -> serde_json::Value {
+        let spans: Vec<serde_json::Value> = self
+            .spans
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "trace_id": s.trace_id,
+                    "id": s.id,
+                    "parent": s.parent,
+                    "kind": s.kind.label(),
+                    "name": s.name.as_str(),
+                    "agent": s.agent.map(|a| a.0),
+                    "host": s.host.map(|h| h.0),
+                    "start_us": s.start.0,
+                    "end_us": s.end.map(|e| e.0),
+                    "wall_start_ns": s.wall_start_ns,
+                    "wall_end_ns": s.wall_end_ns,
+                    "events": s.events.iter().map(|e| serde_json::json!({
+                        "at_us": e.at.0,
+                        "kind": e.kind.label(),
+                        "label": e.label,
+                    })).collect::<Vec<_>>(),
+                })
+            })
+            .collect();
+        let histograms: BTreeMap<&str, serde_json::Value> = self
+            .registry
+            .histograms()
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.as_str(),
+                    serde_json::json!({
+                        "count": h.count(),
+                        "sum": h.sum(),
+                        "mean": h.mean(),
+                        "p50": h.quantile(0.50),
+                        "p90": h.quantile(0.90),
+                        "p99": h.quantile(0.99),
+                        "max": h.max(),
+                    }),
+                )
+            })
+            .collect();
+        serde_json::json!({
+            "spans": spans,
+            "counters": self.registry.counters(),
+            "gauges": self.registry.gauges(),
+            "histograms": histograms,
+            "dead_letter_kinds": self.registry.dead_letter_kinds(),
+            "double_closes": self.double_closes,
+        })
+    }
+
+    /// Prometheus text exposition format: counters, gauges, histogram
+    /// summaries (quantile labels) and the dead-letter breakdown.
+    pub fn prometheus_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in self.registry.counters() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in self.registry.gauges() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in self.registry.histograms() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                out.push_str(&format!("{n}{{quantile=\"{label}\"}} {}\n", h.quantile(q)));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.count()));
+        }
+        for (kind, v) in self.registry.dead_letter_kinds() {
+            out.push_str(&format!("dead_letters{{kind=\"{kind}\"}} {v}\n"));
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON (the object form with a `traceEvents`
+    /// array), loadable in `chrome://tracing` and Perfetto. Spans become
+    /// complete (`"ph":"X"`) events on `pid` = host, `tid` = agent (0
+    /// when unknown); span events become instants (`"ph":"i"`).
+    pub fn chrome_trace_json(&self) -> serde_json::Value {
+        let mut events: Vec<serde_json::Value> = Vec::new();
+        for s in &self.spans {
+            let pid = s.host.map(|h| h.0 as u64).unwrap_or(0);
+            let tid = s.agent.map(|a| a.0).unwrap_or(0);
+            let dur = s.duration_us().unwrap_or(0).max(1);
+            events.push(serde_json::json!({
+                "name": format!("{}:{}", s.kind.label(), s.name),
+                "cat": s.kind.label(),
+                "ph": "X",
+                "ts": s.start.0,
+                "dur": dur,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "trace_id": s.trace_id,
+                    "span_id": s.id,
+                    "parent": s.parent,
+                },
+            }));
+            for e in &s.events {
+                events.push(serde_json::json!({
+                    "name": format!("{}:{}", e.kind.label(), e.label),
+                    "cat": e.kind.label(),
+                    "ph": "i",
+                    "ts": e.at.0,
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": { "span_id": s.id },
+                }));
+            }
+        }
+        serde_json::json!({
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> InternedStr {
+        InternedStr::new(s)
+    }
+
+    #[test]
+    fn disabled_sink_mints_nothing() {
+        let mut t = Telemetry::new();
+        assert!(t.mint_root(&name("req"), SimTime(0)).is_none());
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn sampling_traces_one_in_n() {
+        let mut t = Telemetry::new();
+        t.set_sampling(3);
+        let minted: Vec<bool> = (0..9)
+            .map(|i| t.mint_root(&name("req"), SimTime(i)).is_some())
+            .collect();
+        assert_eq!(minted.iter().filter(|&&m| m).count(), 3);
+        assert!(minted[0] && minted[3] && minted[6]);
+    }
+
+    #[test]
+    fn span_tree_builds_and_signature_is_order_insensitive() {
+        let mut t = Telemetry::new();
+        t.enable();
+        let root = t.mint_root(&name("req"), SimTime(0)).unwrap();
+        let a = t.child(root, HopKind::Message, name("b"), None, None, SimTime(1));
+        let _a2 = t.child(a, HopKind::Handler, name("h"), None, None, SimTime(2));
+        let _b = t.child(root, HopKind::Message, name("a"), None, None, SimTime(1));
+        t.finalize(SimTime(10));
+        assert_eq!(
+            t.signature(root.trace_id),
+            "request:req(message:a,message:b(handler:h))"
+        );
+    }
+
+    #[test]
+    fn double_close_is_counted_not_fatal() {
+        let mut t = Telemetry::new();
+        t.enable();
+        let root = t.mint_root(&name("req"), SimTime(0)).unwrap();
+        assert_eq!(t.end(root.span_id, SimTime(5)), Some(5));
+        assert_eq!(t.end(root.span_id, SimTime(9)), None);
+        assert_eq!(t.double_closes(), 1);
+        assert_eq!(t.span(root.span_id).unwrap().end, Some(SimTime(5)));
+    }
+
+    #[test]
+    fn finalize_closes_open_spans_and_repairs_containment() {
+        let mut t = Telemetry::new();
+        t.enable();
+        let root = t.mint_root(&name("req"), SimTime(0)).unwrap();
+        let h = t.child(root, HopKind::Handler, name("h"), None, None, SimTime(1));
+        let m = t.child(h, HopKind::Message, name("m"), None, None, SimTime(1));
+        // handler closes immediately, its message child lands later
+        t.end(h.span_id, SimTime(1));
+        t.end(m.span_id, SimTime(8));
+        t.finalize(SimTime(8));
+        let handler = t.span(h.span_id).unwrap();
+        let msg = t.span(m.span_id).unwrap();
+        let req = t.span(root.span_id).unwrap();
+        assert_eq!(msg.end, Some(SimTime(8)));
+        assert_eq!(handler.end, Some(SimTime(8)), "parent stretched over child");
+        assert_eq!(req.end, Some(SimTime(8)), "root closed at finalize");
+        for s in t.spans() {
+            let parent = match s.parent {
+                Some(p) => t.span(p).unwrap(),
+                None => continue,
+            };
+            assert!(parent.start <= s.start && s.end.unwrap() <= parent.end.unwrap());
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((511..=1000).contains(&p50), "p50={p50}");
+        assert!(h.quantile(0.99) <= 1023);
+        assert_eq!(h.quantile(1.0), 1000, "clamped to observed max");
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+        let mut zero = Histogram::new();
+        zero.record(0);
+        assert_eq!(zero.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_counts_and_dead_letters() {
+        let mut r = Registry::new();
+        r.inc("delivered.query", 2);
+        r.inc("delivered.query", 1);
+        assert_eq!(r.counter("delivered.query"), 3);
+        r.dead_letter("mba-result");
+        r.dead_letter("mba-result");
+        r.dead_letter("login");
+        assert_eq!(r.dead_letter_kinds().get("mba-result"), Some(&2));
+        assert_eq!(r.counter("dead_letters_total"), 3);
+        r.set_gauge("cache.hit_rate", 0.75);
+        assert_eq!(r.gauge("cache.hit_rate"), Some(0.75));
+    }
+
+    #[test]
+    fn exporters_cover_spans_and_registry() {
+        let mut t = Telemetry::new();
+        t.enable();
+        let root = t.mint_root(&name("front-request"), SimTime(0)).unwrap();
+        let m = t.child(
+            root,
+            HopKind::Message,
+            name("login"),
+            None,
+            None,
+            SimTime(1),
+        );
+        t.event(
+            m.span_id,
+            SpanEventKind::Chaos,
+            "dropped: chaos",
+            SimTime(2),
+        );
+        t.end(m.span_id, SimTime(2));
+        t.registry_mut().observe("stage.transfer_us", 150);
+        t.registry_mut().inc("delivered.login", 1);
+        t.registry_mut().dead_letter("late-reply");
+        t.finalize(SimTime(5));
+
+        let snap = t.snapshot_json();
+        assert_eq!(snap["spans"].as_array().unwrap().len(), 2);
+        assert_eq!(snap["dead_letter_kinds"]["late-reply"], 1);
+        assert_eq!(snap["histograms"]["stage.transfer_us"]["count"], 1);
+
+        let prom = t.prometheus_text();
+        assert!(prom.contains("# TYPE delivered_login counter"));
+        assert!(prom.contains("stage_transfer_us{quantile=\"0.5\"}"));
+        assert!(prom.contains("dead_letters{kind=\"late-reply\"} 1"));
+
+        let chrome = t.chrome_trace_json();
+        let events = chrome["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 3, "2 complete spans + 1 instant");
+        for e in events {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "chrome event missing {key}");
+            }
+        }
+        assert!(events.iter().any(|e| e["ph"] == "i" && e["cat"] == "chaos"));
+    }
+}

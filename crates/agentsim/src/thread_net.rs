@@ -17,10 +17,12 @@ use crate::chaos::ChaosKnobs;
 use crate::clock::SimTime;
 use crate::error::{PlatformError, Result};
 use crate::ids::{AgentId, HostId, MessageId};
+use crate::intern::InternedStr;
 use crate::message::Message;
 use crate::metrics::Metrics;
 use crate::security::{Authenticator, TravelPermit};
 use crate::storage::DeactivatedStore;
+use crate::telemetry::{HopKind, SpanEventKind, Telemetry, TraceCtx};
 use crate::trace::Trace;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -42,6 +44,7 @@ enum Envelope {
     Timer {
         agent: AgentId,
         tag: u64,
+        trace: Option<TraceCtx>,
     },
     AdminDeactivate(AgentId),
     AdminActivate(AgentId),
@@ -73,11 +76,61 @@ struct Shared {
     /// Dedicated RNG for chaos decisions, separate from the per-host
     /// agent RNGs so fault injection never perturbs agent randomness.
     chaos_rng: Mutex<StdRng>,
+    /// Request tracing + latency registry (same engine as the DES world).
+    telemetry: Mutex<Telemetry>,
+    /// Fast path: skip telemetry locking entirely until tracing is enabled.
+    telemetry_on: AtomicBool,
 }
 
 impl Shared {
     fn now(&self) -> SimTime {
         SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn tracing(&self) -> bool {
+        self.telemetry_on.load(Ordering::Relaxed)
+    }
+
+    /// Open a child span under `parent`, if tracing is on and the hop has
+    /// a parent context at all.
+    fn child_span(
+        &self,
+        parent: Option<TraceCtx>,
+        kind: HopKind,
+        name: InternedStr,
+        agent: Option<AgentId>,
+        host: Option<HostId>,
+    ) -> Option<TraceCtx> {
+        let p = parent?;
+        let now = self.now();
+        Some(self.telemetry.lock().child(p, kind, name, agent, host, now))
+    }
+
+    /// Emit an event on the span `tc` names, if any.
+    fn span_event(&self, tc: Option<TraceCtx>, kind: SpanEventKind, label: impl Into<String>) {
+        if let Some(tc) = tc {
+            let now = self.now();
+            self.telemetry.lock().event(tc.span_id, kind, label, now);
+        }
+    }
+
+    /// Close the span `tc` names; returns its sim-time duration in µs.
+    fn end_span(&self, tc: Option<TraceCtx>) -> Option<u64> {
+        let tc = tc?;
+        let now = self.now();
+        self.telemetry.lock().end(tc.span_id, now)
+    }
+
+    /// Record a dead-lettered message in the registry and, when the hop is
+    /// traced, annotate and close its span.
+    fn dead_letter(&self, kind: &str, tc: Option<TraceCtx>, label: String) {
+        let now = self.now();
+        let mut t = self.telemetry.lock();
+        t.registry_mut().dead_letter(kind);
+        if let Some(tc) = tc {
+            t.event(tc.span_id, SpanEventKind::DeadLetter, label, now);
+            t.end(tc.span_id, now);
+        }
     }
 
     fn send_envelope(&self, host: HostId, env: Envelope) -> bool {
@@ -98,6 +151,7 @@ pub struct ThreadWorldBuilder {
     seed: u64,
     registry: AgentRegistry,
     host_names: Vec<String>,
+    telemetry: bool,
 }
 
 impl ThreadWorldBuilder {
@@ -107,7 +161,15 @@ impl ThreadWorldBuilder {
             seed,
             registry: AgentRegistry::new(),
             host_names: Vec::new(),
+            telemetry: false,
         }
+    }
+
+    /// Turn on request tracing and the latency registry (off by default;
+    /// when off the runtime takes a lock-free fast path).
+    pub fn enable_telemetry(&mut self) -> &mut Self {
+        self.telemetry = true;
+        self
     }
 
     /// Register an agent factory (same semantics as
@@ -147,6 +209,14 @@ impl ThreadWorldBuilder {
             chaos: Mutex::new(ChaosKnobs::default()),
             chaos_on: AtomicBool::new(false),
             chaos_rng: Mutex::new(StdRng::seed_from_u64(self.seed ^ 0xc4a0_5c4a)),
+            telemetry: Mutex::new({
+                let mut t = Telemetry::new();
+                if self.telemetry {
+                    t.enable();
+                }
+                t
+            }),
+            telemetry_on: AtomicBool::new(self.telemetry),
         });
         let mut handles = Vec::new();
         let mut hosts = Vec::new();
@@ -219,6 +289,16 @@ impl ThreadWorld {
         msg.id = MessageId(self.shared.next_msg_id.fetch_add(1, Ordering::SeqCst));
         msg.from = None;
         msg.to = to;
+        // An external message is a request entering the platform: mint the
+        // root span and the first message hop under it.
+        msg.trace = if self.shared.tracing() {
+            let now = self.shared.now();
+            let mut t = self.shared.telemetry.lock();
+            t.mint_root(&msg.kind, now)
+                .map(|root| t.child(root, HopKind::Message, msg.kind.clone(), None, None, now))
+        } else {
+            None
+        };
         let id = msg.id;
         if !self.shared.send_envelope(host, Envelope::Deliver(msg)) {
             return Err(PlatformError::UnknownHost(host));
@@ -335,6 +415,13 @@ impl ThreadWorld {
 
     /// Stop all host threads and return the merged metrics and trace.
     pub fn shutdown(self) -> (Metrics, Trace) {
+        let (metrics, trace, _) = self.shutdown_with_telemetry();
+        (metrics, trace)
+    }
+
+    /// Stop all host threads and additionally return the finalized
+    /// telemetry sink (span trees + latency registry).
+    pub fn shutdown_with_telemetry(self) -> (Metrics, Trace, Telemetry) {
         {
             let routes = self.shared.routes.lock();
             for tx in routes.values() {
@@ -346,7 +433,15 @@ impl ThreadWorld {
         }
         let metrics = self.shared.metrics.lock().clone();
         let trace = self.shared.trace.lock().clone();
-        (metrics, trace)
+        let telemetry = {
+            let now = self.shared.now();
+            let mut t = self.shared.telemetry.lock();
+            if !t.spans().is_empty() {
+                t.finalize(now);
+            }
+            t.clone()
+        };
+        (metrics, trace, telemetry)
     }
 }
 
@@ -365,6 +460,10 @@ struct HostState {
     /// counter so `Ctx` keeps its simple `&mut u64` interface.
     id_cursor: u64,
     id_end: u64,
+    /// Trace context of the callback currently running on this host's
+    /// thread; parents every hop the callback causes. Saved/restored
+    /// around nested callbacks by [`run_callback`].
+    current_trace: Option<TraceCtx>,
 }
 
 const ID_BATCH: u64 = 1 << 16;
@@ -381,6 +480,7 @@ fn host_loop(id: HostId, seed: u64, rx: Receiver<Envelope>, shared: Arc<Shared>)
         rng: StdRng::seed_from_u64(seed),
         id_cursor: 0,
         id_end: 0,
+        current_trace: None,
     };
     while let Ok(env) = rx.recv() {
         let shutdown = matches!(env, Envelope::Shutdown);
@@ -402,20 +502,55 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                 let mut m = shared.metrics.lock();
                 m.messages_lost += 1;
                 m.chaos_drops += 1;
+                drop(m);
+                shared.span_event(
+                    msg.trace,
+                    SpanEventKind::Chaos,
+                    "dropped: destination crashed",
+                );
+                shared.end_span(msg.trace);
                 return;
             }
             let to = msg.to;
             if host.active.contains_key(&to) {
                 if chaos_on && !host.seen.insert(msg.id) {
                     shared.metrics.lock().dupes_suppressed += 1;
+                    shared.span_event(
+                        msg.trace,
+                        SpanEventKind::Chaos,
+                        "duplicate suppressed at receiver",
+                    );
                     return;
                 }
                 shared.metrics.lock().messages_delivered += 1;
-                run_callback(host, shared, to, move |a, ctx| a.on_message(ctx, msg));
+                if let Some(dur) = shared.end_span(msg.trace) {
+                    let mut t = shared.telemetry.lock();
+                    let reg = t.registry_mut();
+                    reg.observe("stage.transfer_us", dur);
+                    reg.observe(&format!("latency_us.{}", msg.kind), dur);
+                    reg.inc(&format!("delivered.{}", msg.kind), 1);
+                }
+                let parent = msg.trace;
+                let kind = msg.kind.clone();
+                run_callback(host, shared, to, parent, kind.as_str(), move |a, ctx| {
+                    a.on_message(ctx, msg)
+                });
             } else if host.store.contains(to) {
+                // Held until the agent is activated; the hop span stays
+                // open until the replayed copy lands.
+                shared.span_event(
+                    msg.trace,
+                    SpanEventKind::Note,
+                    "parked: recipient deactivated",
+                );
                 host.pending.entry(to).or_default().push(msg);
             } else {
                 shared.metrics.lock().messages_dead_lettered += 1;
+                shared.dead_letter(
+                    msg.kind.as_str(),
+                    msg.trace,
+                    format!("{} to {} (gone at delivery)", msg.kind, to),
+                );
             }
         }
         Envelope::Arrive(capsule) => {
@@ -425,6 +560,12 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                 m.agents_lost_in_crash += 1;
                 m.chaos_drops += 1;
                 drop(m);
+                shared.span_event(
+                    capsule.trace,
+                    SpanEventKind::Chaos,
+                    format!("arrival failed: {} crashed; agent lost", host.id),
+                );
+                shared.end_span(capsule.trace);
                 shared.trace.lock().record(
                     shared.now(),
                     Some(capsule.id),
@@ -437,12 +578,25 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
         Envelope::Create { id, agent } => {
             host.active.insert(id, agent);
             shared.metrics.lock().agents_created += 1;
-            run_callback(host, shared, id, |a, ctx| a.on_creation(ctx));
+            run_callback(host, shared, id, None, "on_creation", |a, ctx| {
+                a.on_creation(ctx)
+            });
         }
-        Envelope::Timer { agent, tag } => {
+        Envelope::Timer { agent, tag, trace } => {
             if host.active.contains_key(&agent) {
                 shared.metrics.lock().timers_fired += 1;
-                run_callback(host, shared, agent, move |a, ctx| a.on_timer(ctx, tag));
+                if let Some(dur) = shared.end_span(trace) {
+                    shared
+                        .telemetry
+                        .lock()
+                        .registry_mut()
+                        .observe("stage.timer_wait_us", dur);
+                }
+                run_callback(host, shared, agent, trace, "on_timer", move |a, ctx| {
+                    a.on_timer(ctx, tag)
+                });
+            } else {
+                shared.end_span(trace);
             }
         }
         Envelope::AdminDeactivate(agent) => do_deactivate(host, shared, agent),
@@ -490,6 +644,12 @@ fn handle_arrival(host: &mut HostState, capsule: AgentCapsule, shared: &Arc<Shar
         if !ok {
             shared.metrics.lock().migrations_rejected += 1;
             shared.locations.lock().remove(&id);
+            shared.span_event(
+                capsule.trace,
+                SpanEventKind::Note,
+                format!("arrival rejected at {}: authentication failed", host.id),
+            );
+            shared.end_span(capsule.trace);
             shared.trace.lock().record(
                 shared.now(),
                 Some(id),
@@ -509,11 +669,26 @@ fn handle_arrival(host: &mut HostState, capsule: AgentCapsule, shared: &Arc<Shar
             }
             host.active.insert(id, agent);
             shared.locations.lock().insert(id, host.id);
-            run_callback(host, shared, id, |a, ctx| a.on_arrival(ctx));
+            if let Some(dur) = shared.end_span(capsule.trace) {
+                shared
+                    .telemetry
+                    .lock()
+                    .registry_mut()
+                    .observe("stage.migration_us", dur);
+            }
+            run_callback(host, shared, id, capsule.trace, "on_arrival", |a, ctx| {
+                a.on_arrival(ctx)
+            });
         }
         Err(e) => {
             shared.metrics.lock().migrations_rejected += 1;
             shared.locations.lock().remove(&id);
+            shared.span_event(
+                capsule.trace,
+                SpanEventKind::Note,
+                format!("arrival rejected: {e}"),
+            );
+            shared.end_span(capsule.trace);
             shared
                 .trace
                 .lock()
@@ -522,8 +697,14 @@ fn handle_arrival(host: &mut HostState, capsule: AgentCapsule, shared: &Arc<Shar
     }
 }
 
-fn run_callback<F>(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, f: F)
-where
+fn run_callback<F>(
+    host: &mut HostState,
+    shared: &Arc<Shared>,
+    id: AgentId,
+    parent: Option<TraceCtx>,
+    name: &str,
+    f: F,
+) where
     F: FnOnce(&mut dyn Agent, &mut Ctx<'_>),
 {
     let Some(mut agent) = host.active.remove(&id) else {
@@ -533,6 +714,14 @@ where
         host.id_cursor = shared.next_agent_id.fetch_add(ID_BATCH, Ordering::SeqCst);
         host.id_end = host.id_cursor + ID_BATCH;
     }
+    let handler = shared.child_span(
+        parent,
+        HopKind::Handler,
+        InternedStr::new(name),
+        Some(id),
+        Some(host.id),
+    );
+    let saved = std::mem::replace(&mut host.current_trace, handler);
     let mut actions = Vec::new();
     {
         let mut ctx = Ctx::new(
@@ -542,11 +731,24 @@ where
             &mut host.rng,
             &mut actions,
             &mut host.id_cursor,
-        );
+        )
+        .with_trace(handler);
         f(agent.as_mut(), &mut ctx);
     }
     host.active.insert(id, agent);
     apply_actions(host, shared, id, actions);
+    if let Some(h) = handler {
+        let now = shared.now();
+        let mut t = shared.telemetry.lock();
+        t.end(h.span_id, now);
+        if let Some(wall) = t
+            .span(h.span_id)
+            .and_then(|s| s.wall_end_ns.map(|e| e.saturating_sub(s.wall_start_ns)))
+        {
+            t.registry_mut().observe("stage.handler_wall_ns", wall);
+        }
+    }
+    host.current_trace = saved;
 }
 
 fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, actions: Vec<Action>) {
@@ -554,6 +756,15 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
         match action {
             Action::Send { to, mut msg } => {
                 msg.id = MessageId(shared.next_msg_id.fetch_add(1, Ordering::SeqCst));
+                // Every send is a fresh hop: any context the message
+                // already carried names a hop that ended at its delivery.
+                msg.trace = shared.child_span(
+                    host.current_trace,
+                    HopKind::Message,
+                    msg.kind.clone(),
+                    msg.from,
+                    Some(host.id),
+                );
                 let dest = shared.locations.lock().get(&to).copied();
                 match dest {
                     Some(h) => {
@@ -575,11 +786,23 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                                 let mut m = shared.metrics.lock();
                                 m.messages_lost += 1;
                                 m.chaos_drops += 1;
+                                drop(m);
+                                shared.span_event(
+                                    msg.trace,
+                                    SpanEventKind::Chaos,
+                                    "dropped: chaos fault on link",
+                                );
+                                shared.end_span(msg.trace);
                                 continue;
                             }
                             if dup_p > 0.0 && shared.chaos_rng.lock().gen::<f64>() < dup_p {
                                 duplicate = true;
                                 shared.metrics.lock().chaos_dupes += 1;
+                                shared.span_event(
+                                    msg.trace,
+                                    SpanEventKind::Chaos,
+                                    "duplicated by chaos",
+                                );
                             }
                         }
                         if h != host.id {
@@ -592,6 +815,11 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                     }
                     None => {
                         shared.metrics.lock().messages_dead_lettered += 1;
+                        shared.dead_letter(
+                            msg.kind.as_str(),
+                            msg.trace,
+                            format!("{} to {} (unreachable)", msg.kind, to),
+                        );
                     }
                 }
             }
@@ -600,7 +828,10 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                 shared.locations.lock().insert(id, host.id);
                 shared.homes.lock().insert(id, host.id);
                 shared.metrics.lock().agents_created += 1;
-                run_callback(host, shared, id, |a, ctx| a.on_creation(ctx));
+                let parent = host.current_trace;
+                run_callback(host, shared, id, parent, "on_creation", |a, ctx| {
+                    a.on_creation(ctx)
+                });
             }
             Action::CreateOfType {
                 id,
@@ -613,6 +844,7 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                     state,
                     home: host.id,
                     permit: None,
+                    trace: None,
                 };
                 match shared.registry.rehydrate(&capsule) {
                     Ok(agent) => {
@@ -620,7 +852,10 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                         shared.locations.lock().insert(id, host.id);
                         shared.homes.lock().insert(id, host.id);
                         shared.metrics.lock().agents_created += 1;
-                        run_callback(host, shared, id, |a, ctx| a.on_creation(ctx));
+                        let parent = host.current_trace;
+                        run_callback(host, shared, id, parent, "on_creation", |a, ctx| {
+                            a.on_creation(ctx)
+                        });
                     }
                     Err(e) => {
                         shared.trace.lock().record(
@@ -646,7 +881,10 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                         shared.locations.lock().insert(id, host.id);
                         shared.homes.lock().insert(id, host.id);
                         shared.metrics.lock().agents_created += 1;
-                        run_callback(host, shared, id, |a, ctx| a.on_clone(ctx));
+                        let parent = host.current_trace;
+                        run_callback(host, shared, id, parent, "on_clone", |a, ctx| {
+                            a.on_clone(ctx)
+                        });
                     }
                     Err(e) => {
                         shared.trace.lock().record(
@@ -673,7 +911,10 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
             Action::Activate { id } => do_activate(host, shared, id),
             Action::Dispose { id } => {
                 if host.active.contains_key(&id) {
-                    run_callback(host, shared, id, |a, ctx| a.on_disposal(ctx));
+                    let parent = host.current_trace;
+                    run_callback(host, shared, id, parent, "on_disposal", |a, ctx| {
+                        a.on_disposal(ctx)
+                    });
                     host.active.remove(&id);
                     host.pending.remove(&id);
                     shared.locations.lock().remove(&id);
@@ -685,6 +926,15 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                 }
             }
             Action::SetTimer { id, delay, tag } => {
+                // A pending timer is a hop of the request that armed it:
+                // span opens at arm, closes at fire.
+                let trace = shared.child_span(
+                    host.current_trace,
+                    HopKind::Timer,
+                    InternedStr::new("timer"),
+                    Some(id),
+                    Some(host.id),
+                );
                 let shared2 = Arc::clone(shared);
                 let host_id = host.id;
                 shared.in_flight.fetch_add(1, Ordering::SeqCst);
@@ -697,18 +947,55 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                         .get(&id)
                         .copied()
                         .unwrap_or(host_id);
-                    shared2.send_envelope(dest, Envelope::Timer { agent: id, tag });
+                    shared2.send_envelope(
+                        dest,
+                        Envelope::Timer {
+                            agent: id,
+                            tag,
+                            trace,
+                        },
+                    );
                     shared2.in_flight.fetch_sub(1, Ordering::SeqCst);
                 });
             }
             Action::Note { label } => {
+                if host.current_trace.is_some() {
+                    shared.span_event(host.current_trace, SpanEventKind::Note, label.clone());
+                }
                 shared.trace.lock().record(shared.now(), Some(actor), label);
             }
             Action::CountFault { counter } => {
-                let mut m = shared.metrics.lock();
-                match counter {
-                    FaultCounter::Retry => m.retries += 1,
-                    FaultCounter::DegradedReply => m.degraded_replies += 1,
+                let (kind, label) = {
+                    let mut m = shared.metrics.lock();
+                    match counter {
+                        FaultCounter::Retry => {
+                            m.retries += 1;
+                            (SpanEventKind::Retry, "retry attempt")
+                        }
+                        FaultCounter::DegradedReply => {
+                            m.degraded_replies += 1;
+                            (SpanEventKind::Degraded, "degraded reply")
+                        }
+                    }
+                };
+                shared.span_event(host.current_trace, kind, label);
+            }
+            Action::Observe { name, value } => {
+                if shared.tracing() {
+                    shared
+                        .telemetry
+                        .lock()
+                        .registry_mut()
+                        .observe(name.as_str(), value);
+                }
+            }
+            Action::IncCounter { name, by } => {
+                if shared.tracing() {
+                    shared
+                        .telemetry
+                        .lock()
+                        .registry_mut()
+                        .inc(name.as_str(), by);
                 }
             }
         }
@@ -731,17 +1018,31 @@ fn do_dispatch(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, dest: Ho
     // crashed) destination refuses the dispatch synchronously.
     if shared.chaos_on.load(Ordering::Relaxed) && shared.chaos.lock().blocks(host.id, dest) {
         shared.metrics.lock().chaos_drops += 1;
+        shared.span_event(
+            host.current_trace,
+            SpanEventKind::Chaos,
+            format!("dispatch refused: {dest} unreachable"),
+        );
         shared.trace.lock().record(
             shared.now(),
             Some(id),
             format!("dispatch refused: {dest} unreachable"),
         );
-        run_callback(host, shared, id, move |a, ctx| {
-            a.on_dispatch_failed(ctx, dest)
-        });
+        let parent = host.current_trace;
+        run_callback(
+            host,
+            shared,
+            id,
+            parent,
+            "on_dispatch_failed",
+            move |a, ctx| a.on_dispatch_failed(ctx, dest),
+        );
         return;
     }
-    run_callback(host, shared, id, |a, ctx| a.on_dispatch(ctx));
+    let parent = host.current_trace;
+    run_callback(host, shared, id, parent, "on_dispatch", |a, ctx| {
+        a.on_dispatch(ctx)
+    });
     let Some(agent) = host.active.remove(&id) else {
         return;
     };
@@ -751,7 +1052,14 @@ fn do_dispatch(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, dest: Ho
     } else {
         host.carried_permits.remove(&id)
     };
-    let capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
+    let mut capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
+    capsule.trace = shared.child_span(
+        host.current_trace,
+        HopKind::Migration,
+        capsule.agent_type.clone(),
+        Some(id),
+        Some(host.id),
+    );
     shared.locations.lock().remove(&id);
     shared.send_envelope(dest, Envelope::Arrive(capsule));
 }
@@ -760,7 +1068,10 @@ fn do_deactivate(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
     if !host.active.contains_key(&id) {
         return;
     }
-    run_callback(host, shared, id, |a, ctx| a.on_deactivation(ctx));
+    let parent = host.current_trace;
+    run_callback(host, shared, id, parent, "on_deactivation", |a, ctx| {
+        a.on_deactivation(ctx)
+    });
     let Some(agent) = host.active.remove(&id) else {
         return;
     };
@@ -778,7 +1089,10 @@ fn do_activate(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
         Ok(agent) => {
             host.active.insert(id, agent);
             shared.metrics.lock().activations += 1;
-            run_callback(host, shared, id, |a, ctx| a.on_activation(ctx));
+            let parent = host.current_trace;
+            run_callback(host, shared, id, parent, "on_activation", |a, ctx| {
+                a.on_activation(ctx)
+            });
             let pending = host.pending.remove(&id).unwrap_or_default();
             for msg in pending {
                 shared.send_envelope(host.id, Envelope::Deliver(msg));

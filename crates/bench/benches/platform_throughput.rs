@@ -49,6 +49,16 @@ fn throughput_series() {
     let quick = std::env::var("PLATFORM_BENCH_QUICK").is_ok();
     let scales: &[usize] = if quick { &[200] } else { &[1_000, 10_000] };
     println!("{}", throughput::table(scales));
+
+    // Telemetry cost on the fan-out path: the default (disabled) rate is
+    // what the E9 series above measures; the traced rate shows what full
+    // request tracing costs when switched on.
+    let scale = if quick { 1_000 } else { 10_000 };
+    let (disabled, enabled, overhead_pct) = throughput::telemetry_overhead(scale);
+    println!(
+        "telemetry fan-out @{scale}: disabled {disabled:.0} msg/s, traced {enabled:.0} msg/s \
+         ({overhead_pct:.1}% tracing overhead)\n"
+    );
 }
 
 fn bench(c: &mut Criterion) {

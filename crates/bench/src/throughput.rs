@@ -107,7 +107,21 @@ impl Agent for Carrier {
 /// Fan one payload-heavy message out to `consumers` readers; returns
 /// delivered messages per wall-clock second.
 pub fn messages_per_sec(consumers: usize) -> f64 {
+    fanout_messages_per_sec(consumers, false)
+}
+
+/// Same fan-out workload with request tracing enabled: every send mints
+/// a root span, every delivery closes one and feeds the latency
+/// histograms. Used to report the enabled-path telemetry cost.
+pub fn messages_per_sec_traced(consumers: usize) -> f64 {
+    fanout_messages_per_sec(consumers, true)
+}
+
+fn fanout_messages_per_sec(consumers: usize, traced: bool) -> f64 {
     let mut world = SimWorld::new(11);
+    if traced {
+        world.enable_telemetry();
+    }
     world.registry_mut().register_serde::<Reader>("reader");
     let edge = world.add_host("edge");
     let readers: Vec<_> = (0..consumers)
@@ -190,6 +204,18 @@ pub fn measure(consumers: usize) -> ThroughputRow {
         migrations_per_sec: migrations_per_sec(consumers / 10),
         sessions_per_sec: sessions_per_sec(consumers / 10),
     }
+}
+
+/// Telemetry cost on the fan-out workload at one scale: returns
+/// `(disabled_msgs_per_sec, enabled_msgs_per_sec, overhead_pct)`, where
+/// the overhead is how much slower the traced run is than the default
+/// untraced run. Each rate is the best of three runs, which keeps the
+/// comparison stable against allocator and scheduler noise.
+pub fn telemetry_overhead(consumers: usize) -> (f64, f64, f64) {
+    let best = |f: &dyn Fn(usize) -> f64| (0..3).map(|_| f(consumers)).fold(0.0_f64, f64::max);
+    let disabled = best(&messages_per_sec);
+    let enabled = best(&messages_per_sec_traced);
+    (disabled, enabled, (disabled / enabled - 1.0) * 100.0)
 }
 
 /// Render the E9 table at the given scales.

@@ -53,6 +53,12 @@ pub struct ProfileAgent {
     maintenance: Option<MaintenanceConfig>,
     #[serde(default)]
     maintenance_passes: u32,
+    /// Item-sim cache tallies already exported to the telemetry registry
+    /// (the delta base, so counters stay exact across migrations).
+    #[serde(default)]
+    cache_hits_emitted: u64,
+    #[serde(default)]
+    cache_misses_emitted: u64,
 }
 
 impl ProfileAgent {
@@ -64,6 +70,8 @@ impl ProfileAgent {
             similarity,
             maintenance: None,
             maintenance_passes: 0,
+            cache_hits_emitted: 0,
+            cache_misses_emitted: 0,
         }
     }
 
@@ -260,6 +268,20 @@ impl Agent for ProfileAgent {
             kinds::PA_SIMILAR => {
                 if let Ok(req) = msg.payload_as::<PaSimilar>() {
                     let reply_payload = self.similar(&req);
+                    ctx.inc_counter("pa.similar_requests", 1);
+                    ctx.observe("pa.neighbours_found", reply_payload.neighbours.len() as u64);
+                    // export the item-sim cache effectiveness as deltas
+                    let (hits, misses) = self.store.item_sim_cache_stats();
+                    ctx.inc_counter(
+                        "cache.item_sim.hits",
+                        hits.saturating_sub(self.cache_hits_emitted),
+                    );
+                    ctx.inc_counter(
+                        "cache.item_sim.misses",
+                        misses.saturating_sub(self.cache_misses_emitted),
+                    );
+                    self.cache_hits_emitted = hits;
+                    self.cache_misses_emitted = misses;
                     let reply = Message::new(kinds::PA_SIMILAR_REPLY)
                         .with_payload(&reply_payload)
                         .expect("similar reply serializes");

@@ -149,14 +149,30 @@ impl ProfileIndex {
 pub struct ItemSimCache {
     version: u64,
     sims: HashMap<(u64, u64, usize), Option<f64>>,
+    hits: u64,
+    misses: u64,
 }
 
 impl ItemSimCache {
     /// Cached similarity for `key`, if computed at `version`. A version
-    /// mismatch clears the cache (the ratings matrix changed).
+    /// mismatch clears the cache (the ratings matrix changed). Hit/miss
+    /// tallies feed the telemetry registry's cache-effectiveness gauges.
     pub fn lookup(&mut self, version: u64, key: (u64, u64, usize)) -> Option<Option<f64>> {
         self.roll(version);
-        self.sims.get(&key).copied()
+        let found = self.sims.get(&key).copied();
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Lifetime `(hits, misses)` of [`ItemSimCache::lookup`]. Survives
+    /// version rolls: effectiveness is a property of the workload, not of
+    /// one matrix generation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Record a computed similarity at `version`.

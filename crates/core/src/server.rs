@@ -42,6 +42,7 @@ pub struct PlatformBuilder {
     mba_timeout_us: u64,
     watch_retries: u32,
     bra_retry: BackoffPolicy,
+    telemetry: bool,
 }
 
 impl PlatformBuilder {
@@ -58,6 +59,7 @@ impl PlatformBuilder {
             mba_timeout_us: 600_000_000,
             watch_retries: 1,
             bra_retry: BackoffPolicy::default(),
+            telemetry: false,
         }
     }
 
@@ -109,9 +111,20 @@ impl PlatformBuilder {
         self
     }
 
+    /// Turn on end-to-end request tracing and the latency registry
+    /// (enabled before the world is assembled, so the Fig 4.1 creation
+    /// workflow itself is traced).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
     /// Assemble the world and run the Fig 4.1 creation workflow.
     pub fn build(self) -> Platform {
         let mut world = SimWorld::with_topology(self.seed, self.topology);
+        if self.telemetry {
+            world.enable_telemetry();
+        }
         register_all(world.registry_mut());
 
         // Coordinator Server with its CA.
@@ -246,6 +259,12 @@ impl Platform {
     /// Mutable world access (topology changes, manual messages).
     pub fn world_mut(&mut self) -> &mut SimWorld {
         &mut self.world
+    }
+
+    /// The telemetry sink (span trees + latency registry). Empty unless
+    /// the platform was built with [`PlatformBuilder::telemetry`].
+    pub fn telemetry(&self) -> &agentsim::telemetry::Telemetry {
+        self.world.telemetry()
     }
 
     /// Install a [`ChaosPlan`] on the underlying world: its faults fire

@@ -339,6 +339,11 @@ impl RecommendStore {
     pub fn item_sim_cache_len(&self) -> usize {
         self.item_sims.lock().len()
     }
+
+    /// Lifetime `(hits, misses)` of the item-similarity cache.
+    pub fn item_sim_cache_stats(&self) -> (u64, u64) {
+        self.item_sims.lock().stats()
+    }
 }
 
 #[cfg(test)]

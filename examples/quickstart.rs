@@ -14,7 +14,9 @@ use abcrm::ecp::merchandise::ItemId;
 
 fn main() {
     // Two marketplaces, each provisioned by its own seller server.
+    // Telemetry on: every external request grows a causal span tree.
     let mut platform = Platform::builder(42)
+        .telemetry(true)
         .marketplaces(vec![
             vec![
                 listing(
@@ -129,5 +131,34 @@ fn main() {
         m.messages_delivered,
         m.migrations,
         m.total_network_bytes()
+    );
+
+    // Telemetry: the same run as causal span trees + stage latencies.
+    let t = platform.telemetry();
+    println!(
+        "\ntelemetry: {} request traces, {} spans, {} double closes",
+        t.roots().count(),
+        t.spans().len(),
+        t.double_closes()
+    );
+    let reg = t.registry();
+    for stage in [
+        "stage.transfer_us",
+        "stage.migration_us",
+        "stage.timer_wait_us",
+    ] {
+        if let Some(h) = reg.histograms().get(stage) {
+            println!(
+                "  {stage}: count {} p50 {} p99 {} max {}",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max()
+            );
+        }
+    }
+    println!(
+        "export: `cargo run --release -p bench --bin telemetry_report -- --chrome-out trace.json`\n\
+         then load trace.json in ui.perfetto.dev"
     );
 }

@@ -207,6 +207,7 @@ fn forged_return_capsule_is_rejected_by_authentication() {
         state: serde_json::json!(null).into(),
         home,
         permit: Some(forged),
+        trace: None,
     };
     // rehydration itself works (the type is registered) …
     assert!(world.registry().rehydrate(&capsule).is_ok());

@@ -284,6 +284,7 @@ proptest! {
             state: state.into(),
             home: HostId(0),
             permit: None,
+            trace: None,
         };
         // wire_size no longer re-serializes: repeated calls agree with
         // each other and with encoded length + header
