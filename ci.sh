@@ -9,10 +9,10 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (default features)"
-cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant -D clippy::dbg_macro
 
 echo "==> cargo clippy (--features parallel)"
-cargo clippy --workspace --all-targets --features parallel -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant
+cargo clippy --workspace --all-targets --features parallel -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant -D clippy::dbg_macro
 
 echo "==> cargo build --release"
 cargo build --release
@@ -48,5 +48,12 @@ rm -f "$CHROME_TRACE_OUT"
 echo "==> bench smoke (quick mode; includes telemetry-overhead gate)"
 PLATFORM_BENCH_QUICK=1 cargo bench -p bench --bench platform_throughput
 cargo bench -p bench --bench query_hot_path
+
+# Overload smoke: the E12 series in quick mode (100 requests) — admission
+# shedding, bounded-mailbox depth and deadline accounting on the full
+# platform — plus the dedicated behavioural suite.
+echo "==> overload smoke (quick E12 series + tests/overload.rs)"
+OVERLOAD_BENCH_QUICK=1 cargo bench -p bench --bench overload
+cargo test -q --test overload
 
 echo "CI green."

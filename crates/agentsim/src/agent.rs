@@ -89,6 +89,10 @@ pub enum FaultCounter {
     Retry,
     /// A degraded (partial or fallback) reply served to a consumer.
     DegradedReply,
+    /// A request shed by admission control before any work was done.
+    Shed,
+    /// A dispatch suppressed by an open circuit breaker.
+    BreakerRejection,
 }
 
 /// Deferred side effect requested by an agent callback.
@@ -127,6 +131,9 @@ pub enum Action {
         delay: SimDuration,
         tag: u64,
     },
+    /// Replace the running handler's ambient request deadline; subsequent
+    /// sends, migrations and timers in the same action list carry it.
+    SetDeadline { deadline: Option<SimTime> },
     /// Append a labelled event to the world trace.
     Note { label: String },
     /// Bump a fault-handling counter in the world metrics.
@@ -155,6 +162,7 @@ pub struct Ctx<'a> {
     actions: &'a mut Vec<Action>,
     next_agent_id: &'a mut u64,
     trace: Option<TraceCtx>,
+    deadline: Option<SimTime>,
 }
 
 impl<'a> Ctx<'a> {
@@ -176,6 +184,7 @@ impl<'a> Ctx<'a> {
             actions,
             next_agent_id,
             trace: None,
+            deadline: None,
         }
     }
 
@@ -192,6 +201,45 @@ impl<'a> Ctx<'a> {
     /// propagates it automatically.
     pub fn trace(&self) -> Option<TraceCtx> {
         self.trace
+    }
+
+    /// Attach the ambient request deadline this callback runs under.
+    /// Used by world runtimes; `None` when the request has no deadline.
+    #[doc(hidden)]
+    pub fn with_deadline(mut self, deadline: Option<SimTime>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Absolute deadline of the request this callback serves, if one was
+    /// minted at ingress. Carried automatically on every message,
+    /// migration and timer the callback causes.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.deadline
+    }
+
+    /// Microseconds of deadline budget left: `None` when no deadline is
+    /// set, saturating at zero once it has passed. Retry/backoff logic
+    /// clamps its schedule to this.
+    pub fn remaining_us(&self) -> Option<u64> {
+        crate::overload::remaining_us(self.deadline, self.now)
+    }
+
+    /// Mint (or overwrite) the ambient request deadline. Subsequent sends,
+    /// migrations and timers requested by this callback carry it; expired
+    /// work is dropped by the world with a `deadline_exceeded` span event.
+    pub fn set_deadline(&mut self, deadline: SimTime) {
+        self.deadline = Some(deadline);
+        self.actions.push(Action::SetDeadline {
+            deadline: Some(deadline),
+        });
+    }
+
+    /// Clear the ambient deadline: work requested after this (e.g. the
+    /// final reply to the consumer) is never deadline-dropped.
+    pub fn clear_deadline(&mut self) {
+        self.deadline = None;
+        self.actions.push(Action::SetDeadline { deadline: None });
     }
 
     /// Id of the agent whose callback is running.
@@ -352,6 +400,21 @@ impl<'a> Ctx<'a> {
         });
     }
 
+    /// Record a shed request in [`crate::metrics::Metrics::requests_shed`].
+    pub fn count_shed(&mut self) {
+        self.actions.push(Action::CountFault {
+            counter: FaultCounter::Shed,
+        });
+    }
+
+    /// Record a breaker-suppressed dispatch in
+    /// [`crate::metrics::Metrics::breaker_rejections`].
+    pub fn count_breaker_rejection(&mut self) {
+        self.actions.push(Action::CountFault {
+            counter: FaultCounter::BreakerRejection,
+        });
+    }
+
     /// Record `value` into the telemetry histogram `name` (no-op when
     /// telemetry is disabled on the world).
     pub fn observe(&mut self, name: impl Into<InternedStr>, value: u64) {
@@ -393,6 +456,12 @@ pub struct AgentCapsule {
     /// `None` when tracing is off; stamped by the world at dispatch.
     #[serde(default)]
     pub trace: Option<TraceCtx>,
+    /// Absolute deadline of the request this migration serves, if any.
+    /// Stamped by the world at dispatch from the ambient deadline; an
+    /// expired capsule is cancelled at arrival. Excluded from
+    /// [`AgentCapsule::wire_size`] (a few header bytes at most).
+    #[serde(default)]
+    pub deadline: Option<SimTime>,
 }
 
 impl AgentCapsule {
@@ -412,6 +481,7 @@ impl AgentCapsule {
             home,
             permit,
             trace: None,
+            deadline: None,
         }
     }
 
@@ -615,6 +685,7 @@ mod tests {
             home: HostId(0),
             permit: None,
             trace: None,
+            deadline: None,
         };
         let agent = reg.rehydrate(&capsule).unwrap();
         assert_eq!(agent.agent_type(), "counter");
@@ -631,6 +702,7 @@ mod tests {
             home: HostId(0),
             permit: None,
             trace: None,
+            deadline: None,
         };
         match reg.rehydrate(&capsule) {
             Err(PlatformError::UnknownAgentType(t)) => assert_eq!(t, "ghost"),
@@ -649,6 +721,7 @@ mod tests {
             home: HostId(0),
             permit: None,
             trace: None,
+            deadline: None,
         };
         assert!(matches!(
             reg.rehydrate(&capsule),
@@ -665,6 +738,7 @@ mod tests {
             home: HostId(0),
             permit: None,
             trace: None,
+            deadline: None,
         };
         let big = AgentCapsule {
             id: AgentId(1),
@@ -673,6 +747,7 @@ mod tests {
             home: HostId(0),
             permit: None,
             trace: None,
+            deadline: None,
         };
         assert!(big.wire_size() > small.wire_size());
     }

@@ -71,6 +71,7 @@ pub mod intern;
 pub mod message;
 pub mod metrics;
 pub mod net;
+pub mod overload;
 pub mod payload;
 pub mod security;
 pub mod sim;
@@ -90,13 +91,14 @@ pub mod prelude {
     pub use crate::message::Message;
     pub use crate::metrics::Metrics;
     pub use crate::net::{LinkSpec, Topology};
+    pub use crate::overload::{MailboxConfig, MailboxPolicy};
     pub use crate::payload::Payload;
     pub use crate::security::{Authenticator, TravelPermit};
     pub use crate::sim::{Location, SimWorld};
     pub use crate::telemetry::{
         Histogram, HopKind, Registry, Span, SpanEvent, SpanEventKind, Telemetry, TraceCtx,
     };
-    pub use crate::thread_net::{ThreadWorld, ThreadWorldBuilder};
+    pub use crate::thread_net::{DrainStatus, StallDiagnostic, ThreadWorld, ThreadWorldBuilder};
     pub use crate::trace::{Trace, TraceEvent};
 }
 

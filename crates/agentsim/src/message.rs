@@ -6,6 +6,7 @@
 //! cheaply cloneable [`Payload`], and correlation metadata for
 //! request/response protocols.
 
+use crate::clock::SimTime;
 use crate::ids::{AgentId, MessageId};
 use crate::intern::InternedStr;
 use crate::payload::Payload;
@@ -49,6 +50,12 @@ pub struct Message {
     /// send time, never by application code.
     #[serde(default)]
     pub trace: Option<TraceCtx>,
+    /// Absolute deadline of the request this message serves, if one was
+    /// minted at ingress. Stamped by the world from the sending handler's
+    /// ambient deadline; an expired message is dropped at delivery.
+    /// Excluded from [`Message::wire_size`] (a few header bytes at most).
+    #[serde(default)]
+    pub deadline: Option<SimTime>,
 }
 
 impl Message {
@@ -64,6 +71,7 @@ impl Message {
             payload: Payload::null(),
             in_reply_to: None,
             trace: None,
+            deadline: None,
         }
     }
 

@@ -72,6 +72,21 @@ pub struct Metrics {
     /// via [`crate::agent::Ctx::count_degraded_reply`].
     #[serde(default)]
     pub degraded_replies: u64,
+    /// Requests shed by admission control via
+    /// [`crate::agent::Ctx::count_shed`].
+    #[serde(default)]
+    pub requests_shed: u64,
+    /// Dispatches suppressed by an open circuit breaker via
+    /// [`crate::agent::Ctx::count_breaker_rejection`].
+    #[serde(default)]
+    pub breaker_rejections: u64,
+    /// Messages or migrations dropped because their request deadline had
+    /// already passed when they were due for delivery.
+    #[serde(default)]
+    pub deadline_drops: u64,
+    /// Deliveries rejected (or evicted) by a bounded mailbox.
+    #[serde(default)]
+    pub mailbox_rejections: u64,
 }
 
 impl Metrics {

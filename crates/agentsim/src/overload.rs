@@ -1,0 +1,392 @@
+//! Overload protection primitives shared by both runtimes.
+//!
+//! A [`MailboxConfig`] bounds every agent's inbox to `capacity` messages;
+//! [`MailboxPolicy`] decides what happens to traffic past the bound. The
+//! bookkeeping lives in [`MailboxState`], which both the discrete-event
+//! world and the thread-backed world drive through the same two calls:
+//! [`MailboxState::on_enqueue`] when a delivery is scheduled and
+//! [`MailboxState::on_consume`] when it is handed to the agent. Keeping the
+//! state machine runtime-agnostic means the policies behave identically
+//! under deterministic simulation and real concurrency.
+//!
+//! The module also hosts [`remaining_us`], the single definition of
+//! deadline arithmetic (saturating at zero) used by `Ctx`, the runtimes and
+//! the retry clamps in the application layer.
+
+use crate::clock::SimTime;
+use crate::ids::{AgentId, MessageId};
+use crate::message::Message;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// What to do with a message that arrives at a full mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MailboxPolicy {
+    /// Drop the incoming message (the queue keeps its oldest work).
+    #[default]
+    RejectNewest,
+    /// Evict the oldest queued message to make room for the incoming one.
+    RejectOldest,
+    /// Park the incoming message outside the mailbox until a slot frees;
+    /// if it carries a deadline it is dropped once that passes.
+    Block,
+}
+
+/// Per-agent mailbox bound, applied uniformly to every agent in a world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MailboxConfig {
+    /// Maximum queued (scheduled but not yet handled) messages per agent.
+    pub capacity: usize,
+    /// Policy applied once `capacity` is reached.
+    pub policy: MailboxPolicy,
+}
+
+impl MailboxConfig {
+    /// A bound of `capacity` messages with the given full-mailbox policy.
+    pub fn new(capacity: usize, policy: MailboxPolicy) -> Self {
+        MailboxConfig { capacity, policy }
+    }
+}
+
+/// Verdict for one enqueue attempt against the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueVerdict {
+    /// Deliver normally.
+    Admit,
+    /// Deliver, after the oldest queued message was marked for eviction
+    /// (its in-flight copy is dropped at consume time).
+    AdmitEvictingOldest,
+    /// Drop the incoming message.
+    Reject,
+    /// Hold the incoming message in overflow (caller passes it to
+    /// [`MailboxState::defer`]); it is released by a later consume.
+    Defer,
+}
+
+/// Result of consuming a scheduled delivery.
+#[derive(Debug, Default)]
+pub struct ConsumeOutcome {
+    /// The consumed message was evicted by reject-oldest: skip handling.
+    pub tombstoned: bool,
+    /// A deferred message freed by this consume; the caller schedules it.
+    pub released: Option<Message>,
+}
+
+/// Mailbox-depth bookkeeping for one world.
+///
+/// With `config == None` the state only tracks depths (cheap map updates,
+/// used by the thread world's stall diagnostics); no bound is enforced.
+#[derive(Debug)]
+pub struct MailboxState {
+    config: Option<MailboxConfig>,
+    depth: HashMap<AgentId, usize>,
+    /// Queued message ids oldest-first, kept only under reject-oldest.
+    order: HashMap<AgentId, VecDeque<MessageId>>,
+    /// Ids evicted by reject-oldest, per recipient; their scheduled
+    /// copies are dropped at consume time.
+    tombstones: HashMap<AgentId, HashSet<MessageId>>,
+    /// Deferred messages (block policy), oldest first.
+    overflow: HashMap<AgentId, VecDeque<Message>>,
+    max_depth_seen: usize,
+}
+
+impl MailboxState {
+    /// Fresh state; `None` config tracks depths without enforcing a bound.
+    pub fn new(config: Option<MailboxConfig>) -> Self {
+        MailboxState {
+            config,
+            depth: HashMap::new(),
+            order: HashMap::new(),
+            tombstones: HashMap::new(),
+            overflow: HashMap::new(),
+            max_depth_seen: 0,
+        }
+    }
+
+    /// The installed bound, if any.
+    pub fn config(&self) -> Option<MailboxConfig> {
+        self.config
+    }
+
+    /// Deepest mailbox observed so far (feeds the
+    /// `overload.mailbox_depth_max` gauge).
+    pub fn max_depth_seen(&self) -> usize {
+        self.max_depth_seen
+    }
+
+    /// Current queued depth for `agent`.
+    pub fn depth(&self, agent: AgentId) -> usize {
+        self.depth.get(&agent).copied().unwrap_or(0)
+    }
+
+    /// Nonzero queued depths, sorted by agent id (stall diagnostics).
+    pub fn depths(&self) -> Vec<(AgentId, usize)> {
+        let mut v: Vec<_> = self
+            .depth
+            .iter()
+            .filter(|(_, d)| **d > 0)
+            .map(|(a, d)| (*a, *d))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Nonzero overflow (deferred) counts, sorted by agent id.
+    pub fn deferred(&self) -> Vec<(AgentId, usize)> {
+        let mut v: Vec<_> = self
+            .overflow
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(a, q)| (*a, q.len()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Account a delivery being scheduled for `to` and decide its fate.
+    pub fn on_enqueue(&mut self, to: AgentId, id: MessageId) -> EnqueueVerdict {
+        let Some(config) = self.config else {
+            let d = self.depth.entry(to).or_insert(0);
+            *d += 1;
+            self.max_depth_seen = self.max_depth_seen.max(*d);
+            return EnqueueVerdict::Admit;
+        };
+        let d = self.depth.entry(to).or_insert(0);
+        if *d < config.capacity {
+            *d += 1;
+            self.max_depth_seen = self.max_depth_seen.max(*d);
+            if config.policy == MailboxPolicy::RejectOldest {
+                self.order.entry(to).or_default().push_back(id);
+            }
+            return EnqueueVerdict::Admit;
+        }
+        match config.policy {
+            MailboxPolicy::RejectNewest => EnqueueVerdict::Reject,
+            MailboxPolicy::RejectOldest => {
+                let order = self.order.entry(to).or_default();
+                match order.pop_front() {
+                    Some(oldest) => {
+                        self.tombstones.entry(to).or_default().insert(oldest);
+                        order.push_back(id);
+                        EnqueueVerdict::AdmitEvictingOldest
+                    }
+                    // Depth was filled by untracked traffic (shouldn't
+                    // happen in steady state); fail safe by rejecting.
+                    None => EnqueueVerdict::Reject,
+                }
+            }
+            MailboxPolicy::Block => EnqueueVerdict::Defer,
+        }
+    }
+
+    /// Store a message the bound deferred (verdict was
+    /// [`EnqueueVerdict::Defer`]).
+    pub fn defer(&mut self, msg: Message) {
+        self.overflow.entry(msg.to).or_default().push_back(msg);
+    }
+
+    /// Account a scheduled delivery being consumed. Tombstoned copies must
+    /// be skipped by the caller; a released message must be (re)scheduled.
+    pub fn on_consume(&mut self, to: AgentId, id: MessageId) -> ConsumeOutcome {
+        if self
+            .tombstones
+            .get_mut(&to)
+            .is_some_and(|set| set.remove(&id))
+        {
+            // Its slot was handed to the evicting message at enqueue time.
+            return ConsumeOutcome {
+                tombstoned: true,
+                released: None,
+            };
+        }
+        let d = self.depth.entry(to).or_insert(0);
+        *d = d.saturating_sub(1);
+        if let Some(order) = self.order.get_mut(&to) {
+            if let Some(pos) = order.iter().position(|m| *m == id) {
+                order.remove(pos);
+            }
+        }
+        let mut released = None;
+        if let Some(config) = self.config {
+            if let Some(queue) = self.overflow.get_mut(&to) {
+                let d = self.depth.entry(to).or_insert(0);
+                if *d < config.capacity {
+                    if let Some(msg) = queue.pop_front() {
+                        *d += 1;
+                        self.max_depth_seen = self.max_depth_seen.max(*d);
+                        if config.policy == MailboxPolicy::RejectOldest {
+                            self.order.entry(to).or_default().push_back(msg.id);
+                        }
+                        released = Some(msg);
+                    }
+                }
+            }
+        }
+        ConsumeOutcome {
+            tombstoned: false,
+            released,
+        }
+    }
+
+    /// Forget all bookkeeping for `agent` (disposed or lost in a crash).
+    pub fn forget(&mut self, agent: AgentId) {
+        self.depth.remove(&agent);
+        self.order.remove(&agent);
+        self.tombstones.remove(&agent);
+        self.overflow.remove(&agent);
+    }
+}
+
+/// Microseconds of deadline budget left at `now`: `None` when no deadline
+/// is set, otherwise saturating at zero once the deadline has passed.
+pub fn remaining_us(deadline: Option<SimTime>, now: SimTime) -> Option<u64> {
+    deadline.map(|d| d.0.saturating_sub(now.0))
+}
+
+/// Whether `deadline` has already passed at `now` (a deadline exactly at
+/// `now` is still considered live, so zero-latency hops never self-expire).
+pub fn deadline_expired(deadline: Option<SimTime>, now: SimTime) -> bool {
+    matches!(deadline, Some(d) if now > d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(id: u64, to: u64) -> Message {
+        let mut m = Message::new("m");
+        m.id = MessageId(id);
+        m.to = AgentId(to);
+        m
+    }
+
+    #[test]
+    fn untracked_state_admits_everything_and_tracks_depth() {
+        let mut mb = MailboxState::new(None);
+        for i in 0..100 {
+            assert_eq!(
+                mb.on_enqueue(AgentId(1), MessageId(i)),
+                EnqueueVerdict::Admit
+            );
+        }
+        assert_eq!(mb.depth(AgentId(1)), 100);
+        assert_eq!(mb.max_depth_seen(), 100);
+        let out = mb.on_consume(AgentId(1), MessageId(0));
+        assert!(!out.tombstoned);
+        assert_eq!(mb.depth(AgentId(1)), 99);
+    }
+
+    #[test]
+    fn reject_newest_drops_past_capacity() {
+        let cfg = MailboxConfig::new(2, MailboxPolicy::RejectNewest);
+        let mut mb = MailboxState::new(Some(cfg));
+        assert_eq!(
+            mb.on_enqueue(AgentId(1), MessageId(1)),
+            EnqueueVerdict::Admit
+        );
+        assert_eq!(
+            mb.on_enqueue(AgentId(1), MessageId(2)),
+            EnqueueVerdict::Admit
+        );
+        assert_eq!(
+            mb.on_enqueue(AgentId(1), MessageId(3)),
+            EnqueueVerdict::Reject
+        );
+        assert_eq!(mb.depth(AgentId(1)), 2);
+        assert_eq!(mb.max_depth_seen(), 2);
+    }
+
+    #[test]
+    fn reject_oldest_tombstones_the_head() {
+        let cfg = MailboxConfig::new(2, MailboxPolicy::RejectOldest);
+        let mut mb = MailboxState::new(Some(cfg));
+        mb.on_enqueue(AgentId(1), MessageId(1));
+        mb.on_enqueue(AgentId(1), MessageId(2));
+        assert_eq!(
+            mb.on_enqueue(AgentId(1), MessageId(3)),
+            EnqueueVerdict::AdmitEvictingOldest
+        );
+        // depth never exceeds capacity
+        assert_eq!(mb.depth(AgentId(1)), 2);
+        assert_eq!(mb.max_depth_seen(), 2);
+        // the evicted head is skipped at consume time
+        assert!(mb.on_consume(AgentId(1), MessageId(1)).tombstoned);
+        assert!(!mb.on_consume(AgentId(1), MessageId(2)).tombstoned);
+        assert!(!mb.on_consume(AgentId(1), MessageId(3)).tombstoned);
+        assert_eq!(mb.depth(AgentId(1)), 0);
+    }
+
+    #[test]
+    fn block_defers_and_releases_in_order() {
+        let cfg = MailboxConfig::new(1, MailboxPolicy::Block);
+        let mut mb = MailboxState::new(Some(cfg));
+        assert_eq!(
+            mb.on_enqueue(AgentId(1), MessageId(1)),
+            EnqueueVerdict::Admit
+        );
+        assert_eq!(
+            mb.on_enqueue(AgentId(1), MessageId(2)),
+            EnqueueVerdict::Defer
+        );
+        mb.defer(msg(2, 1));
+        assert_eq!(
+            mb.on_enqueue(AgentId(1), MessageId(3)),
+            EnqueueVerdict::Defer
+        );
+        mb.defer(msg(3, 1));
+        assert_eq!(mb.deferred(), vec![(AgentId(1), 2)]);
+        let out = mb.on_consume(AgentId(1), MessageId(1));
+        let released = out.released.expect("oldest deferred message released");
+        assert_eq!(released.id, MessageId(2));
+        // its slot is occupied again
+        assert_eq!(mb.depth(AgentId(1)), 1);
+        assert_eq!(mb.max_depth_seen(), 1);
+    }
+
+    #[test]
+    fn forget_clears_all_bookkeeping() {
+        let cfg = MailboxConfig::new(1, MailboxPolicy::RejectOldest);
+        let mut mb = MailboxState::new(Some(cfg));
+        mb.on_enqueue(AgentId(1), MessageId(1));
+        mb.on_enqueue(AgentId(1), MessageId(2));
+        mb.forget(AgentId(1));
+        assert_eq!(mb.depth(AgentId(1)), 0);
+        assert!(mb.depths().is_empty());
+        // the tombstone went with it: a stale consume is a plain miss
+        assert!(!mb.on_consume(AgentId(1), MessageId(1)).tombstoned);
+    }
+
+    #[test]
+    fn remaining_budget_saturates_at_zero() {
+        assert_eq!(remaining_us(None, SimTime(5)), None);
+        assert_eq!(remaining_us(Some(SimTime(100)), SimTime(40)), Some(60));
+        assert_eq!(remaining_us(Some(SimTime(100)), SimTime(100)), Some(0));
+        assert_eq!(remaining_us(Some(SimTime(100)), SimTime(500)), Some(0));
+    }
+
+    #[test]
+    fn expiry_is_strictly_after_the_deadline() {
+        assert!(!deadline_expired(None, SimTime(999)));
+        assert!(!deadline_expired(Some(SimTime(100)), SimTime(100)));
+        assert!(deadline_expired(Some(SimTime(100)), SimTime(101)));
+    }
+
+    #[test]
+    fn per_agent_bounds_are_independent() {
+        let cfg = MailboxConfig::new(1, MailboxPolicy::RejectNewest);
+        let mut mb = MailboxState::new(Some(cfg));
+        assert_eq!(
+            mb.on_enqueue(AgentId(1), MessageId(1)),
+            EnqueueVerdict::Admit
+        );
+        assert_eq!(
+            mb.on_enqueue(AgentId(2), MessageId(2)),
+            EnqueueVerdict::Admit
+        );
+        assert_eq!(
+            mb.on_enqueue(AgentId(1), MessageId(3)),
+            EnqueueVerdict::Reject
+        );
+        assert_eq!(mb.depth(AgentId(2)), 1);
+    }
+}

@@ -45,6 +45,7 @@ use crate::intern::InternedStr;
 use crate::message::Message;
 use crate::metrics::Metrics;
 use crate::net::Topology;
+use crate::overload::{deadline_expired, EnqueueVerdict, MailboxConfig, MailboxState};
 use crate::security::{Authenticator, TravelPermit};
 use crate::storage::DeactivatedStore;
 use crate::telemetry::{HopKind, SpanEventKind, Telemetry, TraceCtx};
@@ -76,6 +77,7 @@ enum EventKind {
         agent: AgentId,
         tag: u64,
         trace: Option<TraceCtx>,
+        deadline: Option<SimTime>,
     },
     /// Apply (`heal == false`) or heal (`heal == true`) the chaos plan's
     /// fault at `index`.
@@ -166,6 +168,16 @@ pub struct SimWorld {
     /// Handler span of the callback currently executing, threaded through
     /// nested callbacks by save/restore in [`SimWorld::run_callback`].
     current_trace: Option<TraceCtx>,
+    /// Ambient request deadline of the callback currently executing,
+    /// stamped onto everything it sends. Same save/restore discipline as
+    /// `current_trace`.
+    current_deadline: Option<SimTime>,
+    /// Bounded-mailbox state, present after [`SimWorld::set_mailbox`].
+    /// `None` keeps the unbounded pre-overload behaviour byte-identical.
+    mailbox: Option<MailboxState>,
+    /// Deadline budget minted for every [`SimWorld::send_external`]
+    /// request, if configured.
+    ingress_deadline: Option<SimDuration>,
 }
 
 impl SimWorld {
@@ -197,7 +209,32 @@ impl SimWorld {
             chaos: None,
             telemetry: Telemetry::new(),
             current_trace: None,
+            current_deadline: None,
+            mailbox: None,
+            ingress_deadline: None,
         }
+    }
+
+    /// Enforce a per-agent bounded mailbox with the given capacity and
+    /// full-mailbox policy. Off by default (unbounded, byte-identical to
+    /// the pre-overload behaviour).
+    pub fn set_mailbox(&mut self, config: MailboxConfig) {
+        self.mailbox = Some(MailboxState::new(Some(config)));
+    }
+
+    /// Highest mailbox depth observed so far (0 when bounded mailboxes
+    /// are off).
+    pub fn mailbox_max_depth(&self) -> usize {
+        self.mailbox
+            .as_ref()
+            .map_or(0, MailboxState::max_depth_seen)
+    }
+
+    /// Mint an absolute deadline of `now + budget` on every request
+    /// injected via [`SimWorld::send_external`]. `None` (the default)
+    /// leaves requests deadline-free.
+    pub fn set_ingress_deadline(&mut self, budget: Option<SimDuration>) {
+        self.ingress_deadline = budget;
     }
 
     /// Register a host and return its id.
@@ -280,9 +317,11 @@ impl SimWorld {
         } else {
             None
         };
+        msg.deadline = self.ingress_deadline.map(|budget| self.now + budget);
         let id = msg.id;
         let delay = self.topology.local_delay();
-        self.schedule(delay, EventKind::Deliver(msg));
+        let at = self.now + delay;
+        self.enqueue_deliver(at, msg);
         Ok(id)
     }
 
@@ -301,7 +340,12 @@ impl SimWorld {
         match event.kind {
             EventKind::Deliver(msg) => self.handle_deliver(msg),
             EventKind::Arrive { capsule, dest } => self.handle_arrival(capsule, dest),
-            EventKind::Timer { agent, tag, trace } => self.handle_timer(agent, tag, trace),
+            EventKind::Timer {
+                agent,
+                tag,
+                trace,
+                deadline,
+            } => self.handle_timer(agent, tag, trace, deadline),
             EventKind::Chaos { index, heal } => self.handle_chaos(index, heal),
         }
         true
@@ -537,6 +581,9 @@ impl SimWorld {
         for id in &lost {
             self.locations.remove(id);
             self.permits.remove(id);
+            if let Some(mb) = &mut self.mailbox {
+                mb.forget(*id);
+            }
         }
         self.metrics.host_crashes += 1;
         self.metrics.agents_lost_in_crash += lost.len() as u64;
@@ -672,6 +719,10 @@ impl SimWorld {
             )
         });
         let saved = std::mem::replace(&mut self.current_trace, handler);
+        // Nested callbacks (on_creation from a Create action, etc.) inherit
+        // the caller's ambient deadline; event handlers overwrite it from
+        // the carried value before calling in.
+        let saved_deadline = self.current_deadline;
         let mut actions = Vec::new();
         {
             let mut ctx = Ctx::new(
@@ -682,7 +733,8 @@ impl SimWorld {
                 &mut actions,
                 &mut self.next_agent_id,
             )
-            .with_trace(handler);
+            .with_trace(handler)
+            .with_deadline(self.current_deadline);
             f(agent.as_mut(), &mut ctx);
         }
         // Reinsert before applying actions so that actions targeting the
@@ -706,6 +758,7 @@ impl SimWorld {
             }
         }
         self.current_trace = saved;
+        self.current_deadline = saved_deadline;
     }
 
     fn apply_actions(&mut self, actor: AgentId, host: HostId, actions: Vec<Action>) {
@@ -735,6 +788,7 @@ impl SimWorld {
                         home: host,
                         permit: None,
                         trace: None,
+                        deadline: None,
                     };
                     match self.registry.rehydrate(&capsule) {
                         Ok(agent) => {
@@ -815,15 +869,18 @@ impl SimWorld {
                             self.now,
                         )
                     });
+                    let deadline = self.current_deadline;
                     self.schedule(
                         delay,
                         EventKind::Timer {
                             agent: id,
                             tag,
                             trace,
+                            deadline,
                         },
                     );
                 }
+                Action::SetDeadline { deadline } => self.current_deadline = deadline,
                 Action::Note { label } => {
                     if let Some(tc) = self.current_trace {
                         self.telemetry.event(
@@ -844,6 +901,14 @@ impl SimWorld {
                         FaultCounter::DegradedReply => {
                             self.metrics.degraded_replies += 1;
                             (SpanEventKind::Degraded, "degraded reply")
+                        }
+                        FaultCounter::Shed => {
+                            self.metrics.requests_shed += 1;
+                            (SpanEventKind::Shed, "request shed")
+                        }
+                        FaultCounter::BreakerRejection => {
+                            self.metrics.breaker_rejections += 1;
+                            (SpanEventKind::Breaker, "dispatch suppressed: circuit open")
                         }
                     };
                     if let Some(tc) = self.current_trace {
@@ -867,6 +932,7 @@ impl SimWorld {
     fn do_send(&mut self, from_host: HostId, to: AgentId, mut msg: Message) {
         msg.id = MessageId(self.next_msg_id);
         self.next_msg_id += 1;
+        msg.deadline = self.current_deadline;
         // Every send is a fresh hop: any context the message already
         // carried names a hop that ended at its delivery (forwarded or
         // re-sent messages must not reuse a closed span).
@@ -926,10 +992,12 @@ impl SimWorld {
             self.metrics.remote_message_bytes += bytes as u64;
         }
         let mut delay = self.topology.delivery_time(from_host, to_host, bytes);
-        let Some(chaos) = &mut self.chaos else {
-            self.schedule(delay, EventKind::Deliver(msg));
+        if self.chaos.is_none() {
+            let at = self.now + delay;
+            self.enqueue_deliver(at, msg);
             return;
-        };
+        }
+        let chaos = self.chaos.as_mut().expect("checked above");
         // Bounded reordering: extra jitter on some deliveries, clamped so
         // per-(sender, receiver)-pair FIFO order is preserved (TCP-like;
         // only cross-pair interleavings change).
@@ -973,13 +1041,124 @@ impl SimWorld {
             }
         }
         if let Some(dup_at) = dup_at {
-            self.schedule_at(dup_at, EventKind::Deliver(msg.clone()));
+            self.enqueue_deliver(dup_at, msg.clone());
         }
-        self.schedule_at(at, EventKind::Deliver(msg));
+        self.enqueue_deliver(at, msg);
+    }
+
+    /// Schedule a delivery, consulting the bounded mailbox (if one is
+    /// configured) for an admission verdict first. The mailbox is the
+    /// single choke point for every path that ends in
+    /// [`EventKind::Deliver`]: agent sends, external ingress, chaos
+    /// duplicates and activation replays.
+    fn enqueue_deliver(&mut self, at: SimTime, msg: Message) {
+        if self.mailbox.is_none() {
+            self.schedule_at(at, EventKind::Deliver(msg));
+            return;
+        }
+        let verdict = self
+            .mailbox
+            .as_mut()
+            .expect("checked above")
+            .on_enqueue(msg.to, msg.id);
+        match verdict {
+            EnqueueVerdict::Admit => self.schedule_at(at, EventKind::Deliver(msg)),
+            EnqueueVerdict::AdmitEvictingOldest => {
+                self.metrics.mailbox_rejections += 1;
+                self.trace.record(
+                    self.now,
+                    msg.from,
+                    format!("mailbox full at {}: oldest queued message evicted", msg.to),
+                );
+                self.schedule_at(at, EventKind::Deliver(msg));
+            }
+            EnqueueVerdict::Reject => {
+                self.metrics.mailbox_rejections += 1;
+                if let Some(tc) = msg.trace {
+                    self.telemetry.event(
+                        tc.span_id,
+                        SpanEventKind::Shed,
+                        format!("shed: mailbox full at {}", msg.to),
+                        self.now,
+                    );
+                    self.telemetry.end(tc.span_id, self.now);
+                }
+                self.trace.record(
+                    self.now,
+                    msg.from,
+                    format!("mailbox full at {}: {} rejected", msg.to, msg.kind),
+                );
+            }
+            EnqueueVerdict::Defer => {
+                if let Some(tc) = msg.trace {
+                    self.telemetry.event(
+                        tc.span_id,
+                        SpanEventKind::Note,
+                        format!("mailbox full at {}: delivery deferred", msg.to),
+                        self.now,
+                    );
+                }
+                let mailbox = self.mailbox.as_mut().expect("mailbox present");
+                mailbox.defer(msg);
+            }
+        }
+        let max_depth = self
+            .mailbox
+            .as_ref()
+            .map_or(0, MailboxState::max_depth_seen);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .registry_mut()
+                .set_gauge("overload.mailbox_depth_max", max_depth as f64);
+        }
     }
 
     fn handle_deliver(&mut self, msg: Message) {
         let to = msg.to;
+        if let Some(mailbox) = &mut self.mailbox {
+            let outcome = mailbox.on_consume(to, msg.id);
+            if let Some(released) = outcome.released {
+                // A deferred (block policy) message takes the freed slot;
+                // it was already admitted, so schedule it directly.
+                let at = self.now;
+                self.schedule_at(at, EventKind::Deliver(released));
+            }
+            if outcome.tombstoned {
+                if let Some(tc) = msg.trace {
+                    self.telemetry.event(
+                        tc.span_id,
+                        SpanEventKind::Shed,
+                        "evicted: mailbox overflow (reject-oldest)",
+                        self.now,
+                    );
+                    self.telemetry.end(tc.span_id, self.now);
+                }
+                self.trace.record(
+                    self.now,
+                    msg.from,
+                    format!("evicted from {}'s mailbox: {}", to, msg.kind),
+                );
+                return;
+            }
+        }
+        if deadline_expired(msg.deadline, self.now) {
+            self.metrics.deadline_drops += 1;
+            if let Some(tc) = msg.trace {
+                self.telemetry.event(
+                    tc.span_id,
+                    SpanEventKind::DeadlineExceeded,
+                    format!("dropped: deadline passed before {} delivery", msg.kind),
+                    self.now,
+                );
+                self.telemetry.end(tc.span_id, self.now);
+            }
+            self.trace.record(
+                self.now,
+                msg.from,
+                format!("deadline exceeded: {} to {} dropped", msg.kind, to),
+            );
+            return;
+        }
         match self.locations.get(&to).copied() {
             Some(Location::Active(host)) => {
                 // Receiver-side duplicate suppression: a chaos-injected
@@ -1010,9 +1189,11 @@ impl SimWorld {
                 }
                 let parent = msg.trace;
                 let kind = msg.kind.clone();
+                self.current_deadline = msg.deadline;
                 self.run_callback(to, parent, kind.as_str(), move |agent, ctx| {
                     agent.on_message(ctx, msg)
                 });
+                self.current_deadline = None;
             }
             Some(Location::Deactivated(host)) => {
                 // Held until the agent is activated, like a mailbox; the
@@ -1164,8 +1345,9 @@ impl SimWorld {
         };
         let mut capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
         drop(agent); // the live instance stays behind and is destroyed
-                     // The travelling capsule is a migration hop of the request that
-                     // asked for the dispatch.
+        capsule.deadline = self.current_deadline;
+        // The travelling capsule is a migration hop of the request that
+        // asked for the dispatch.
         capsule.trace = self.current_trace.map(|p| {
             self.telemetry.child(
                 p,
@@ -1229,6 +1411,28 @@ impl SimWorld {
                 self.now,
                 Some(id),
                 format!("arrival failed: {dest} crashed; {id} lost"),
+            );
+            return;
+        }
+        // Work past its deadline is cancelled rather than landed: the
+        // requester has already been answered (or timed out) by now.
+        if deadline_expired(capsule.deadline, self.now) {
+            self.locations.remove(&id);
+            self.permits.remove(&id);
+            self.metrics.deadline_drops += 1;
+            if let Some(tc) = capsule.trace {
+                self.telemetry.event(
+                    tc.span_id,
+                    SpanEventKind::DeadlineExceeded,
+                    format!("cancelled: deadline passed before arrival at {dest}"),
+                    self.now,
+                );
+                self.telemetry.end(tc.span_id, self.now);
+            }
+            self.trace.record(
+                self.now,
+                Some(id),
+                format!("deadline exceeded: {id} cancelled before arrival at {dest}"),
             );
             return;
         }
@@ -1298,9 +1502,11 @@ impl SimWorld {
                             .observe("stage.migration_us", dur);
                     }
                 }
+                self.current_deadline = capsule.deadline;
                 self.run_callback(id, capsule.trace, "on_arrival", |agent, ctx| {
                     agent.on_arrival(ctx)
                 });
+                self.current_deadline = None;
             }
             Err(e) => {
                 self.metrics.migrations_rejected += 1;
@@ -1379,7 +1585,8 @@ impl SimWorld {
             .unwrap_or_default();
         for msg in pending {
             let delay = self.topology.local_delay();
-            self.schedule(delay, EventKind::Deliver(msg));
+            let at = self.now + delay;
+            self.enqueue_deliver(at, msg);
         }
         Ok(())
     }
@@ -1397,6 +1604,9 @@ impl SimWorld {
                 }
                 self.locations.remove(&id);
                 self.permits.remove(&id);
+                if let Some(mb) = &mut self.mailbox {
+                    mb.forget(id);
+                }
                 self.metrics.agents_disposed += 1;
             }
             Some(Location::Deactivated(h)) if h == host => {
@@ -1405,6 +1615,9 @@ impl SimWorld {
                     hh.pending.remove(&id);
                 }
                 self.locations.remove(&id);
+                if let Some(mb) = &mut self.mailbox {
+                    mb.forget(id);
+                }
                 self.metrics.agents_disposed += 1;
             }
             _ => {
@@ -1417,7 +1630,13 @@ impl SimWorld {
         }
     }
 
-    fn handle_timer(&mut self, agent: AgentId, tag: u64, trace: Option<TraceCtx>) {
+    fn handle_timer(
+        &mut self,
+        agent: AgentId,
+        tag: u64,
+        trace: Option<TraceCtx>,
+        deadline: Option<SimTime>,
+    ) {
         if matches!(self.locations.get(&agent), Some(Location::Active(_))) {
             self.metrics.timers_fired += 1;
             if let Some(tc) = trace {
@@ -1427,7 +1646,11 @@ impl SimWorld {
                         .observe("stage.timer_wait_us", dur);
                 }
             }
+            // Timers fire even past the deadline: a watchdog is often the
+            // very thing that turns an expired request into a reply.
+            self.current_deadline = deadline;
             self.run_callback(agent, trace, "on_timer", move |a, ctx| a.on_timer(ctx, tag));
+            self.current_deadline = None;
         } else if let Some(tc) = trace {
             // Agent gone (disposed, migrated, crashed): the pending-timer
             // hop still closes.

@@ -95,6 +95,7 @@ mod tests {
             home: HostId(0),
             permit: None,
             trace: None,
+            deadline: None,
         }
     }
 

@@ -88,6 +88,12 @@ pub enum SpanEventKind {
     DeadLetter,
     /// An application note (includes the paper's figure-step labels).
     Note,
+    /// A request shed by admission control or a full mailbox.
+    Shed,
+    /// A dispatch suppressed by an open circuit breaker.
+    Breaker,
+    /// Work dropped because its request deadline had already passed.
+    DeadlineExceeded,
 }
 
 impl SpanEventKind {
@@ -99,6 +105,9 @@ impl SpanEventKind {
             SpanEventKind::Degraded => "degraded",
             SpanEventKind::DeadLetter => "dead_letter",
             SpanEventKind::Note => "note",
+            SpanEventKind::Shed => "shed",
+            SpanEventKind::Breaker => "breaker",
+            SpanEventKind::DeadlineExceeded => "deadline_exceeded",
         }
     }
 }

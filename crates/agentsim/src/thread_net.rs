@@ -20,6 +20,7 @@ use crate::ids::{AgentId, HostId, MessageId};
 use crate::intern::InternedStr;
 use crate::message::Message;
 use crate::metrics::Metrics;
+use crate::overload::{deadline_expired, EnqueueVerdict, MailboxConfig, MailboxState};
 use crate::security::{Authenticator, TravelPermit};
 use crate::storage::DeactivatedStore;
 use crate::telemetry::{HopKind, SpanEventKind, Telemetry, TraceCtx};
@@ -29,6 +30,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -45,6 +47,7 @@ enum Envelope {
         agent: AgentId,
         tag: u64,
         trace: Option<TraceCtx>,
+        deadline: Option<SimTime>,
     },
     AdminDeactivate(AgentId),
     AdminActivate(AgentId),
@@ -80,6 +83,12 @@ struct Shared {
     telemetry: Mutex<Telemetry>,
     /// Fast path: skip telemetry locking entirely until tracing is enabled.
     telemetry_on: AtomicBool,
+    /// Per-agent mailbox bookkeeping. Always present: with no configured
+    /// bound it only tracks depths, which feed the stall diagnostics of
+    /// [`ThreadWorld::run_until_idle`].
+    mailbox: Mutex<MailboxState>,
+    /// Messages held for deactivated agents, per agent (diagnostics).
+    parked: Mutex<HashMap<AgentId, usize>>,
 }
 
 impl Shared {
@@ -144,6 +153,58 @@ impl Shared {
         }
         false
     }
+
+    /// Route a delivery through the bounded mailbox. Every path ending in
+    /// [`Envelope::Deliver`] funnels through here — agent sends, external
+    /// ingress, chaos duplicates and activation replays — so the bound and
+    /// the depth gauge see all traffic.
+    fn enqueue_deliver(&self, dest: HostId, msg: Message) -> bool {
+        let verdict = self.mailbox.lock().on_enqueue(msg.to, msg.id);
+        let sent = match verdict {
+            EnqueueVerdict::Admit => self.send_envelope(dest, Envelope::Deliver(msg)),
+            EnqueueVerdict::AdmitEvictingOldest => {
+                self.metrics.lock().mailbox_rejections += 1;
+                self.trace.lock().record(
+                    self.now(),
+                    msg.from,
+                    format!("mailbox full at {}: oldest queued message evicted", msg.to),
+                );
+                self.send_envelope(dest, Envelope::Deliver(msg))
+            }
+            EnqueueVerdict::Reject => {
+                self.metrics.lock().mailbox_rejections += 1;
+                self.span_event(
+                    msg.trace,
+                    SpanEventKind::Shed,
+                    format!("shed: mailbox full at {}", msg.to),
+                );
+                self.end_span(msg.trace);
+                self.trace.lock().record(
+                    self.now(),
+                    msg.from,
+                    format!("mailbox full at {}: {} rejected", msg.to, msg.kind),
+                );
+                true // handled by dropping; the route itself is fine
+            }
+            EnqueueVerdict::Defer => {
+                self.span_event(
+                    msg.trace,
+                    SpanEventKind::Note,
+                    format!("mailbox full at {}: delivery deferred", msg.to),
+                );
+                self.mailbox.lock().defer(msg);
+                true
+            }
+        };
+        if self.tracing() {
+            let max_depth = self.mailbox.lock().max_depth_seen();
+            self.telemetry
+                .lock()
+                .registry_mut()
+                .set_gauge("overload.mailbox_depth_max", max_depth as f64);
+        }
+        sent
+    }
 }
 
 /// Builder for a [`ThreadWorld`].
@@ -152,6 +213,7 @@ pub struct ThreadWorldBuilder {
     registry: AgentRegistry,
     host_names: Vec<String>,
     telemetry: bool,
+    mailbox: Option<MailboxConfig>,
 }
 
 impl ThreadWorldBuilder {
@@ -162,7 +224,16 @@ impl ThreadWorldBuilder {
             registry: AgentRegistry::new(),
             host_names: Vec::new(),
             telemetry: false,
+            mailbox: None,
         }
+    }
+
+    /// Bound every agent's mailbox to `config.capacity` queued messages,
+    /// applying `config.policy` past the bound. Off by default (unbounded
+    /// channels, byte-identical to the pre-overload behaviour).
+    pub fn mailbox(&mut self, config: MailboxConfig) -> &mut Self {
+        self.mailbox = Some(config);
+        self
     }
 
     /// Turn on request tracing and the latency registry (off by default;
@@ -217,6 +288,8 @@ impl ThreadWorldBuilder {
                 t
             }),
             telemetry_on: AtomicBool::new(self.telemetry),
+            mailbox: Mutex::new(MailboxState::new(self.mailbox)),
+            parked: Mutex::new(HashMap::new()),
         });
         let mut handles = Vec::new();
         let mut hosts = Vec::new();
@@ -300,10 +373,15 @@ impl ThreadWorld {
             None
         };
         let id = msg.id;
-        if !self.shared.send_envelope(host, Envelope::Deliver(msg)) {
+        if !self.shared.enqueue_deliver(host, msg) {
             return Err(PlatformError::UnknownHost(host));
         }
         Ok(id)
+    }
+
+    /// Highest mailbox depth observed so far.
+    pub fn mailbox_max_depth(&self) -> usize {
+        self.shared.mailbox.lock().max_depth_seen()
     }
 
     /// Administratively deactivate / activate an agent (mirrors the DES
@@ -394,8 +472,9 @@ impl ThreadWorld {
     }
 
     /// Block until no envelopes are in flight (the world is quiescent) or
-    /// `timeout` elapses. Returns `true` if quiescent.
-    pub fn run_until_idle(&self, timeout: Duration) -> bool {
+    /// `timeout` elapses. On timeout the returned [`DrainStatus`] carries
+    /// a [`StallDiagnostic`] naming what is still queued where.
+    pub fn run_until_idle(&self, timeout: Duration) -> DrainStatus {
         let deadline = Instant::now() + timeout;
         loop {
             if self.shared.in_flight.load(Ordering::SeqCst) == 0 {
@@ -403,13 +482,35 @@ impl ThreadWorld {
                 // a thread between dequeue and counter decrement
                 thread::sleep(Duration::from_millis(2));
                 if self.shared.in_flight.load(Ordering::SeqCst) == 0 {
-                    return true;
+                    return DrainStatus::Idle;
                 }
             }
             if Instant::now() >= deadline {
-                return false;
+                return DrainStatus::TimedOut(self.stall_diagnostic());
             }
             thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    fn stall_diagnostic(&self) -> StallDiagnostic {
+        let (queued, deferred) = {
+            let mb = self.shared.mailbox.lock();
+            (mb.depths(), mb.deferred())
+        };
+        let mut parked: Vec<(AgentId, usize)> = self
+            .shared
+            .parked
+            .lock()
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(a, n)| (*a, *n))
+            .collect();
+        parked.sort_unstable();
+        StallDiagnostic {
+            in_flight: self.shared.in_flight.load(Ordering::SeqCst),
+            queued,
+            parked,
+            deferred,
         }
     }
 
@@ -445,6 +546,67 @@ impl ThreadWorld {
     }
 }
 
+/// Outcome of [`ThreadWorld::run_until_idle`].
+#[derive(Debug)]
+pub enum DrainStatus {
+    /// The world quiesced: no envelopes in flight.
+    Idle,
+    /// The timeout elapsed with work still pending; the diagnostic names
+    /// what is stuck where.
+    TimedOut(StallDiagnostic),
+}
+
+impl DrainStatus {
+    /// Whether the world quiesced before the timeout.
+    pub fn is_idle(&self) -> bool {
+        matches!(self, DrainStatus::Idle)
+    }
+}
+
+impl fmt::Display for DrainStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrainStatus::Idle => write!(f, "idle"),
+            DrainStatus::TimedOut(d) => d.fmt(f),
+        }
+    }
+}
+
+/// Why a [`ThreadWorld`] failed to quiesce: a snapshot of pending work
+/// taken when [`ThreadWorld::run_until_idle`] timed out.
+#[derive(Debug)]
+pub struct StallDiagnostic {
+    /// Envelopes sent but not yet handled.
+    pub in_flight: i64,
+    /// Nonzero queued (scheduled, unhandled) depths per agent.
+    pub queued: Vec<(AgentId, usize)>,
+    /// Messages held for deactivated agents, per agent.
+    pub parked: Vec<(AgentId, usize)>,
+    /// Messages deferred by a full blocking mailbox, per agent.
+    pub deferred: Vec<(AgentId, usize)>,
+}
+
+impl fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_depths(entries: &[(AgentId, usize)]) -> String {
+            entries
+                .iter()
+                .map(|(a, n)| format!("{a}:{n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        write!(
+            f,
+            "thread world failed to quiesce: {} envelopes in flight; \
+             queued: [{}]; parked: [{}]; deferred: [{}]",
+            self.in_flight,
+            fmt_depths(&self.queued),
+            fmt_depths(&self.parked),
+            fmt_depths(&self.deferred),
+        )
+    }
+}
+
 struct HostState {
     id: HostId,
     active: HashMap<AgentId, Box<dyn Agent>>,
@@ -464,6 +626,9 @@ struct HostState {
     /// thread; parents every hop the callback causes. Saved/restored
     /// around nested callbacks by [`run_callback`].
     current_trace: Option<TraceCtx>,
+    /// Ambient request deadline of the running callback, stamped onto
+    /// everything it sends. Same save/restore discipline.
+    current_deadline: Option<SimTime>,
 }
 
 const ID_BATCH: u64 = 1 << 16;
@@ -481,6 +646,7 @@ fn host_loop(id: HostId, seed: u64, rx: Receiver<Envelope>, shared: Arc<Shared>)
         id_cursor: 0,
         id_end: 0,
         current_trace: None,
+        current_deadline: None,
     };
     while let Ok(env) = rx.recv() {
         let shutdown = matches!(env, Envelope::Shutdown);
@@ -498,6 +664,49 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
     let chaos_on = shared.chaos_on.load(Ordering::Relaxed);
     match env {
         Envelope::Deliver(msg) => {
+            // The scheduled delivery leaves the mailbox now, whatever its
+            // fate; a freed slot may release a deferred message.
+            let outcome = shared.mailbox.lock().on_consume(msg.to, msg.id);
+            if let Some(released) = outcome.released {
+                let dest = shared.locations.lock().get(&released.to).copied();
+                match dest {
+                    Some(h) => {
+                        shared.send_envelope(h, Envelope::Deliver(released));
+                    }
+                    None => {
+                        shared.metrics.lock().messages_dead_lettered += 1;
+                        shared.dead_letter(
+                            released.kind.as_str(),
+                            released.trace,
+                            format!("{} to {} (gone at release)", released.kind, released.to),
+                        );
+                    }
+                }
+            }
+            if outcome.tombstoned {
+                shared.span_event(
+                    msg.trace,
+                    SpanEventKind::Shed,
+                    "evicted: mailbox overflow (reject-oldest)",
+                );
+                shared.end_span(msg.trace);
+                return;
+            }
+            if deadline_expired(msg.deadline, shared.now()) {
+                shared.metrics.lock().deadline_drops += 1;
+                shared.span_event(
+                    msg.trace,
+                    SpanEventKind::DeadlineExceeded,
+                    format!("dropped: deadline passed before {} delivery", msg.kind),
+                );
+                shared.end_span(msg.trace);
+                shared.trace.lock().record(
+                    shared.now(),
+                    msg.from,
+                    format!("deadline exceeded: {} to {} dropped", msg.kind, msg.to),
+                );
+                return;
+            }
             if chaos_on && shared.chaos.lock().crashed.contains(&host.id) {
                 let mut m = shared.metrics.lock();
                 m.messages_lost += 1;
@@ -532,9 +741,11 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                 }
                 let parent = msg.trace;
                 let kind = msg.kind.clone();
+                host.current_deadline = msg.deadline;
                 run_callback(host, shared, to, parent, kind.as_str(), move |a, ctx| {
                     a.on_message(ctx, msg)
                 });
+                host.current_deadline = None;
             } else if host.store.contains(to) {
                 // Held until the agent is activated; the hop span stays
                 // open until the replayed copy lands.
@@ -544,6 +755,7 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                     "parked: recipient deactivated",
                 );
                 host.pending.entry(to).or_default().push(msg);
+                *shared.parked.lock().entry(to).or_insert(0) += 1;
             } else {
                 shared.metrics.lock().messages_dead_lettered += 1;
                 shared.dead_letter(
@@ -582,7 +794,12 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                 a.on_creation(ctx)
             });
         }
-        Envelope::Timer { agent, tag, trace } => {
+        Envelope::Timer {
+            agent,
+            tag,
+            trace,
+            deadline,
+        } => {
             if host.active.contains_key(&agent) {
                 shared.metrics.lock().timers_fired += 1;
                 if let Some(dur) = shared.end_span(trace) {
@@ -592,9 +809,14 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                         .registry_mut()
                         .observe("stage.timer_wait_us", dur);
                 }
+                // Timers fire even past the deadline: a watchdog is often
+                // the very thing that turns an expired request into a
+                // reply.
+                host.current_deadline = deadline;
                 run_callback(host, shared, agent, trace, "on_timer", move |a, ctx| {
                     a.on_timer(ctx, tag)
                 });
+                host.current_deadline = None;
             } else {
                 shared.end_span(trace);
             }
@@ -620,6 +842,14 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                 }
             }
             {
+                let mut mb = shared.mailbox.lock();
+                let mut parked = shared.parked.lock();
+                for id in &lost {
+                    mb.forget(*id);
+                    parked.remove(id);
+                }
+            }
+            {
                 let mut m = shared.metrics.lock();
                 m.host_crashes += 1;
                 m.agents_lost_in_crash += lost.len() as u64;
@@ -636,6 +866,27 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
 
 fn handle_arrival(host: &mut HostState, capsule: AgentCapsule, shared: &Arc<Shared>) {
     let id = capsule.id;
+    // Work past its deadline is cancelled rather than landed: the
+    // requester has already been answered (or timed out) by now.
+    if deadline_expired(capsule.deadline, shared.now()) {
+        shared.locations.lock().remove(&id);
+        shared.metrics.lock().deadline_drops += 1;
+        shared.span_event(
+            capsule.trace,
+            SpanEventKind::DeadlineExceeded,
+            format!("cancelled: deadline passed before arrival at {}", host.id),
+        );
+        shared.end_span(capsule.trace);
+        shared.trace.lock().record(
+            shared.now(),
+            Some(id),
+            format!(
+                "deadline exceeded: {id} cancelled before arrival at {}",
+                host.id
+            ),
+        );
+        return;
+    }
     if capsule.home == host.id && host.auth.expects(id) {
         let ok = capsule
             .permit
@@ -676,9 +927,11 @@ fn handle_arrival(host: &mut HostState, capsule: AgentCapsule, shared: &Arc<Shar
                     .registry_mut()
                     .observe("stage.migration_us", dur);
             }
+            host.current_deadline = capsule.deadline;
             run_callback(host, shared, id, capsule.trace, "on_arrival", |a, ctx| {
                 a.on_arrival(ctx)
             });
+            host.current_deadline = None;
         }
         Err(e) => {
             shared.metrics.lock().migrations_rejected += 1;
@@ -722,6 +975,9 @@ fn run_callback<F>(
         Some(host.id),
     );
     let saved = std::mem::replace(&mut host.current_trace, handler);
+    // Nested callbacks inherit the caller's ambient deadline; envelope
+    // handlers overwrite it from the carried value before calling in.
+    let saved_deadline = host.current_deadline;
     let mut actions = Vec::new();
     {
         let mut ctx = Ctx::new(
@@ -732,7 +988,8 @@ fn run_callback<F>(
             &mut actions,
             &mut host.id_cursor,
         )
-        .with_trace(handler);
+        .with_trace(handler)
+        .with_deadline(host.current_deadline);
         f(agent.as_mut(), &mut ctx);
     }
     host.active.insert(id, agent);
@@ -749,6 +1006,7 @@ fn run_callback<F>(
         }
     }
     host.current_trace = saved;
+    host.current_deadline = saved_deadline;
 }
 
 fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, actions: Vec<Action>) {
@@ -756,6 +1014,7 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
         match action {
             Action::Send { to, mut msg } => {
                 msg.id = MessageId(shared.next_msg_id.fetch_add(1, Ordering::SeqCst));
+                msg.deadline = host.current_deadline;
                 // Every send is a fresh hop: any context the message
                 // already carried names a hop that ended at its delivery.
                 msg.trace = shared.child_span(
@@ -809,9 +1068,9 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                             shared.metrics.lock().remote_message_bytes += msg.wire_size() as u64;
                         }
                         if duplicate {
-                            shared.send_envelope(h, Envelope::Deliver(msg.clone()));
+                            shared.enqueue_deliver(h, msg.clone());
                         }
-                        shared.send_envelope(h, Envelope::Deliver(msg));
+                        shared.enqueue_deliver(h, msg);
                     }
                     None => {
                         shared.metrics.lock().messages_dead_lettered += 1;
@@ -845,6 +1104,7 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                     home: host.id,
                     permit: None,
                     trace: None,
+                    deadline: None,
                 };
                 match shared.registry.rehydrate(&capsule) {
                     Ok(agent) => {
@@ -918,10 +1178,14 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                     host.active.remove(&id);
                     host.pending.remove(&id);
                     shared.locations.lock().remove(&id);
+                    shared.mailbox.lock().forget(id);
+                    shared.parked.lock().remove(&id);
                     shared.metrics.lock().agents_disposed += 1;
                 } else if host.store.contains(id) {
                     host.store.load(id);
                     shared.locations.lock().remove(&id);
+                    shared.mailbox.lock().forget(id);
+                    shared.parked.lock().remove(&id);
                     shared.metrics.lock().agents_disposed += 1;
                 }
             }
@@ -937,6 +1201,7 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                 );
                 let shared2 = Arc::clone(shared);
                 let host_id = host.id;
+                let deadline = host.current_deadline;
                 shared.in_flight.fetch_add(1, Ordering::SeqCst);
                 thread::spawn(move || {
                     thread::sleep(Duration::from_micros(delay.as_micros()));
@@ -953,11 +1218,13 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                             agent: id,
                             tag,
                             trace,
+                            deadline,
                         },
                     );
                     shared2.in_flight.fetch_sub(1, Ordering::SeqCst);
                 });
             }
+            Action::SetDeadline { deadline } => host.current_deadline = deadline,
             Action::Note { label } => {
                 if host.current_trace.is_some() {
                     shared.span_event(host.current_trace, SpanEventKind::Note, label.clone());
@@ -975,6 +1242,14 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                         FaultCounter::DegradedReply => {
                             m.degraded_replies += 1;
                             (SpanEventKind::Degraded, "degraded reply")
+                        }
+                        FaultCounter::Shed => {
+                            m.requests_shed += 1;
+                            (SpanEventKind::Shed, "request shed")
+                        }
+                        FaultCounter::BreakerRejection => {
+                            m.breaker_rejections += 1;
+                            (SpanEventKind::Breaker, "dispatch suppressed: circuit open")
                         }
                     }
                 };
@@ -1053,6 +1328,7 @@ fn do_dispatch(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, dest: Ho
         host.carried_permits.remove(&id)
     };
     let mut capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
+    capsule.deadline = host.current_deadline;
     capsule.trace = shared.child_span(
         host.current_trace,
         HopKind::Migration,
@@ -1094,8 +1370,9 @@ fn do_activate(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
                 a.on_activation(ctx)
             });
             let pending = host.pending.remove(&id).unwrap_or_default();
+            shared.parked.lock().remove(&id);
             for msg in pending {
-                shared.send_envelope(host.id, Envelope::Deliver(msg));
+                shared.enqueue_deliver(host.id, msg);
             }
         }
         Err(_) => {
@@ -1148,10 +1425,8 @@ mod tests {
         world
             .send_external(id, Message::new("hop").with_payload(&b.0).unwrap())
             .unwrap();
-        assert!(
-            world.run_until_idle(Duration::from_secs(5)),
-            "world must quiesce"
-        );
+        let status = world.run_until_idle(Duration::from_secs(5));
+        assert!(status.is_idle(), "world must quiesce: {status}");
         let (metrics, trace) = world.shutdown();
         assert_eq!(metrics.migrations, 1);
         assert_eq!(metrics.migrations_rejected, 0);
@@ -1172,11 +1447,11 @@ mod tests {
         world
             .send_external(id, Message::new("hop").with_payload(&b.0).unwrap())
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(5)));
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
         world
             .send_external(id, Message::new("hop").with_payload(&a.0).unwrap())
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(5)));
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
         let (metrics, _) = world.shutdown();
         assert_eq!(metrics.migrations, 2);
         assert_eq!(metrics.migrations_rejected, 0);
@@ -1189,11 +1464,11 @@ mod tests {
         let a = builder.add_host("a");
         let world = builder.start();
         let id = world.create_agent(a, Box::new(Hopper { hops: 4 })).unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(5)));
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
         world.deactivate_agent(id).unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(5)));
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
         world.activate_agent(id).unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(5)));
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
         let (metrics, _) = world.shutdown();
         assert_eq!(metrics.deactivations, 1);
         assert_eq!(metrics.activations, 1);
@@ -1241,7 +1516,7 @@ mod tests {
         let world = builder.start();
         let cell = world.create_agent(a, Box::new(Mitosis::default())).unwrap();
         world.send_external(cell, Message::new("divide")).unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(5)));
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
         let (metrics, trace) = world.shutdown();
         assert_eq!(metrics.agents_created, 2, "original + clone");
         assert!(trace
@@ -1292,11 +1567,11 @@ mod tests {
         world
             .send_external(hopper, Message::new("hop").with_payload(&b.0).unwrap())
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(5)));
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
         world
             .send_external(manager, Message::new("recall"))
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(5)));
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
         let (metrics, trace) = world.shutdown();
         assert_eq!(metrics.migrations, 2, "hop out + retracted home");
         assert_eq!(

@@ -376,7 +376,7 @@ fn bench(c: &mut Criterion) {
                 for _ in 0..n {
                     world.send_external(echo, Message::new("noop")).unwrap();
                 }
-                assert!(world.run_until_idle(Duration::from_secs(10)));
+                assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
                 world.shutdown()
             });
         },

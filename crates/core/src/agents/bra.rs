@@ -23,7 +23,7 @@ use crate::learning::BehaviorKind;
 use crate::profile::{ConsumerId, Profile};
 use crate::retry::BackoffPolicy;
 use agentsim::agent::{Agent, Ctx};
-use agentsim::clock::SimDuration;
+use agentsim::clock::{SimDuration, SimTime};
 use agentsim::ids::AgentId;
 use agentsim::message::Message;
 use ecp::merchandise::Merchandise;
@@ -85,6 +85,10 @@ pub struct BuyerRecommendAgent {
     /// Backoff schedule for re-dispatching a lost MBA.
     #[serde(default)]
     retry: BackoffPolicy,
+    /// Marketplaces the BSMA flagged as circuit-open for the current
+    /// task; the MBA must skip them.
+    #[serde(default)]
+    blocked_markets: Vec<MarketRef>,
 }
 
 impl BuyerRecommendAgent {
@@ -109,6 +113,7 @@ impl BuyerRecommendAgent {
             mba_timeout_us: 600_000_000, // 10 simulated minutes
             recommendations_made: 0,
             retry: BackoffPolicy::default(),
+            blocked_markets: Vec::new(),
         }
     }
 
@@ -131,6 +136,12 @@ impl BuyerRecommendAgent {
     }
 
     fn respond(&mut self, ctx: &mut Ctx<'_>, body: ResponseBody) {
+        // The reply itself must never be dropped as expired: a degraded
+        // answer at (or just past) the deadline still beats silence, so
+        // strip the deadline before the send stamps it.
+        if ctx.deadline().is_some() {
+            ctx.clear_deadline();
+        }
         let msg = Message::new(kinds::BRA_RESPONSE)
             .with_payload(&BraResponse {
                 consumer: self.consumer,
@@ -140,10 +151,27 @@ impl BuyerRecommendAgent {
         ctx.send(self.httpa, msg);
     }
 
-    fn start_task(&mut self, ctx: &mut Ctx<'_>, task: ConsumerTask) {
+    fn start_task(&mut self, ctx: &mut Ctx<'_>, task: ConsumerTask, blocked: Vec<MarketRef>) {
         if self.pending.is_some() {
             self.respond(ctx, ResponseBody::Error("busy with a previous task".into()));
             return;
+        }
+        self.blocked_markets = blocked;
+        // A buy/auction aimed at a circuit-open marketplace cannot
+        // proceed at all: fail fast rather than loading a profile for a
+        // dispatch that is already refused.
+        if let ConsumerTask::Buy { market, .. } | ConsumerTask::Auction { market, .. } = &task {
+            if self.blocked_markets.contains(market) {
+                ctx.note(format!(
+                    "bra: marketplace {} circuit open, refusing transaction",
+                    market.agent
+                ));
+                self.respond(
+                    ctx,
+                    ResponseBody::Error("marketplace unavailable: circuit open".into()),
+                );
+                return;
+            }
         }
         let fig = task.figure();
         ctx.note(format!("{fig}/step04 bra requests profile from pa"));
@@ -170,7 +198,11 @@ impl BuyerRecommendAgent {
                     category: category.clone(),
                     max_results: *max_results,
                 },
-                self.markets.clone(),
+                self.markets
+                    .iter()
+                    .filter(|m| !self.blocked_markets.contains(m))
+                    .copied()
+                    .collect(),
             ),
             ConsumerTask::Buy { item, market, mode } => (
                 MbaTask::Buy {
@@ -191,6 +223,26 @@ impl BuyerRecommendAgent {
                 vec![*market],
             ),
         };
+        if itinerary.is_empty() && !self.blocked_markets.is_empty() {
+            // every marketplace is circuit-open: skip the doomed trip and
+            // answer immediately from the cached profile (CF-only)
+            ctx.note("bra: all marketplaces circuit open, degrading to cached-profile cf");
+            let similar = Message::new(kinds::PA_SIMILAR)
+                .with_payload(&PaSimilar {
+                    consumer: self.consumer,
+                    offers: Vec::new(),
+                    k_neighbours: self.k_neighbours,
+                })
+                .expect("similar serializes");
+            ctx.send(self.pa, similar);
+            self.pending = Some(Pending::AwaitSimilar {
+                task,
+                offers: Vec::new(),
+                degraded: true,
+                unreachable: self.blocked_markets.clone(),
+            });
+            return;
+        }
         let create_step = if fig == "fig4.2" { "step07" } else { "step06" };
         ctx.note(format!(
             "{fig}/{create_step} bra creates mba and assigns task"
@@ -430,7 +482,7 @@ impl Agent for BuyerRecommendAgent {
         match msg.kind.as_str() {
             kinds::BRA_TASK => {
                 if let Ok(routed) = msg.payload_as::<RoutedTask>() {
-                    self.start_task(ctx, routed.task);
+                    self.start_task(ctx, routed.task, routed.blocked_markets);
                 }
             }
             kinds::PA_PROFILE => {
@@ -523,18 +575,37 @@ impl Agent for BuyerRecommendAgent {
                 self.pending = None;
                 ctx.note(format!("bra: mba {mba} presumed lost"));
                 if attempt < self.retry.max_retries {
-                    let delay = self.retry.delay_us(attempt);
-                    ctx.note(format!(
-                        "bra: retrying task in {delay}us (attempt {})",
-                        attempt + 1
-                    ));
-                    ctx.count_retry();
-                    self.pending = Some(Pending::AwaitRetry {
-                        task,
-                        attempt: attempt + 1,
-                    });
-                    ctx.set_timer(SimDuration::from_micros(delay), RETRY_TAG);
-                    return;
+                    // clamp the retry to the request's remaining deadline
+                    // budget: a retry that would land after the reply was
+                    // due degrades instead. The loss notice travels
+                    // deadline-free, so the budget arrives in its payload.
+                    let budget = lost
+                        .deadline_us
+                        .map(|d| d.saturating_sub(ctx.now().as_micros()))
+                        .or_else(|| ctx.remaining_us());
+                    match self.retry.delay_within(attempt, budget) {
+                        Some(delay) => {
+                            ctx.note(format!(
+                                "bra: retrying task in {delay}us (attempt {})",
+                                attempt + 1
+                            ));
+                            ctx.count_retry();
+                            // the retried dispatch still runs under the
+                            // original request deadline
+                            if let Some(d) = lost.deadline_us {
+                                ctx.set_deadline(SimTime(d));
+                            }
+                            self.pending = Some(Pending::AwaitRetry {
+                                task,
+                                attempt: attempt + 1,
+                            });
+                            ctx.set_timer(SimDuration::from_micros(delay), RETRY_TAG);
+                            return;
+                        }
+                        None => {
+                            ctx.note("bra: no deadline budget for another dispatch, degrading now");
+                        }
+                    }
                 }
                 match &task {
                     ConsumerTask::Query { .. } => {

@@ -14,13 +14,15 @@
 //! reactivates them on the MBA's authenticated return (§4.1 principles
 //! 2–3), and declares overdue MBAs lost.
 
+use crate::admission::AdmissionConfig;
 use crate::agents::bra::BuyerRecommendAgent;
 use crate::agents::httpa::HttpAgent;
 use crate::agents::msg::{
-    kinds, EcInfo, MarketRef, MbaLost, MbaRegister, MbaReturned, RoutedTask, SessionOpen,
-    SessionRequest,
+    kinds, ConsumerTask, EcInfo, MarketRef, MarketStatus, MbaLost, MbaRegister, MbaReturned,
+    RoutedTask, SessionOpen, SessionRequest,
 };
 use crate::agents::pa::ProfileAgent;
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::learning::LearnerConfig;
 use crate::retry::BackoffPolicy;
 use crate::similarity::SimilarityConfig;
@@ -61,6 +63,16 @@ pub struct BsmaConfig {
     /// Backoff schedule BRAs use to re-dispatch a lost MBA.
     #[serde(default)]
     pub bra_retry: BackoffPolicy,
+    /// Ingress admission control for the HttpA; `None` admits everything.
+    #[serde(default)]
+    pub admission: Option<AdmissionConfig>,
+    /// End-to-end deadline the HttpA mints per admitted task (µs);
+    /// 0 disables deadline propagation.
+    #[serde(default)]
+    pub request_deadline_us: u64,
+    /// Per-marketplace circuit-breaker tuning; `None` disables breakers.
+    #[serde(default)]
+    pub breaker: Option<BreakerConfig>,
 }
 
 fn default_watch_retries() -> u32 {
@@ -80,6 +92,9 @@ impl Default for BsmaConfig {
             collaborative_weight: 0.7,
             watch_retries: default_watch_retries(),
             bra_retry: BackoffPolicy::default(),
+            admission: None,
+            request_deadline_us: 0,
+            breaker: None,
         }
     }
 }
@@ -109,6 +124,10 @@ pub struct Bsma {
     mba_watch: Vec<WatchEntry>,
     #[serde(default)]
     ready: bool,
+    /// Per-marketplace circuit breakers (a `Vec` of pairs so snapshots
+    /// serialize deterministically).
+    #[serde(default)]
+    breakers: Vec<(AgentId, CircuitBreaker)>,
 }
 
 impl Bsma {
@@ -123,6 +142,7 @@ impl Bsma {
             bsmdb: JsonStore::default(),
             mba_watch: Vec::new(),
             ready: false,
+            breakers: Vec::new(),
         }
     }
 
@@ -166,7 +186,14 @@ impl Bsma {
         )));
         self.pa = Some(pa);
         ctx.note("fig4.1/step5 bsma creates http agent");
-        let httpa = ctx.create_agent(Box::new(HttpAgent::new(ctx.self_id())));
+        let mut front = HttpAgent::new(ctx.self_id());
+        if let Some(admission) = self.config.admission {
+            front = front.with_admission(admission);
+        }
+        if self.config.request_deadline_us > 0 {
+            front = front.with_deadline_us(self.config.request_deadline_us);
+        }
+        let httpa = ctx.create_agent(Box::new(front));
         self.httpa = Some(httpa);
         ctx.note("fig4.1/step6 bsma initializes bsmdb and userdb");
         self.bsmdb = JsonStore::new("bsmdb");
@@ -272,11 +299,62 @@ impl Bsma {
         ctx.reply(msg, reply);
     }
 
+    /// The breaker guarding `market`, lazily created on first use.
+    /// `None` when breakers are not configured.
+    fn breaker_mut(&mut self, market: AgentId) -> Option<&mut CircuitBreaker> {
+        let config = self.config.breaker?;
+        let pos = match self.breakers.iter().position(|(a, _)| *a == market) {
+            Some(pos) => pos,
+            None => {
+                self.breakers.push((market, CircuitBreaker::new(config)));
+                self.breakers.len() - 1
+            }
+        };
+        Some(&mut self.breakers[pos].1)
+    }
+
+    /// Marketplaces the task would touch whose breaker refuses dispatch
+    /// right now. Empty when breakers are off or all circuits closed.
+    fn blocked_markets(&mut self, now_us: u64, task: &ConsumerTask) -> Vec<MarketRef> {
+        if self.config.breaker.is_none() {
+            return Vec::new();
+        }
+        let candidates: Vec<MarketRef> = match task {
+            ConsumerTask::Query { .. } => self.config.markets.clone(),
+            ConsumerTask::Buy { market, .. } | ConsumerTask::Auction { market, .. } => {
+                vec![*market]
+            }
+        };
+        candidates
+            .into_iter()
+            .filter(|m| self.breaker_mut(m.agent).is_some_and(|b| !b.allow(now_us)))
+            .collect()
+    }
+
     fn handle_route(&mut self, ctx: &mut Ctx<'_>, msg: &Message, routed: RoutedTask) {
         match self.session_of(routed.consumer.0) {
             Some(bra) => {
                 let fig = routed.task.figure();
                 ctx.note(format!("{fig}/step03 bsma forwards task to bra"));
+                let blocked = self.blocked_markets(ctx.now().as_micros(), &routed.task);
+                if !blocked.is_empty() {
+                    for market in &blocked {
+                        ctx.count_breaker_rejection();
+                        ctx.note(format!(
+                            "bsma: circuit open for marketplace {}; dispatch suppressed",
+                            market.agent
+                        ));
+                    }
+                    let annotated = RoutedTask {
+                        blocked_markets: blocked,
+                        ..routed
+                    };
+                    let task = Message::new(kinds::BRA_TASK)
+                        .with_payload(&annotated)
+                        .expect("route serializes");
+                    ctx.send(bra, task);
+                    return;
+                }
                 // forward the already-encoded payload: no re-serialization,
                 // the BRA reads the same RoutedTask bytes we received
                 let task = Message::new(kinds::BRA_TASK).carrying(msg.payload.clone());
@@ -319,10 +397,14 @@ impl Bsma {
         // §4.1 principle 3: Aglet.deactivate() on the BRA while the MBA
         // roams
         ctx.deactivate(register.bra);
-        ctx.set_timer(
-            SimDuration::from_micros(register.timeout_us),
-            register.mba.0,
-        );
+        // Under a request deadline the watchdog must not outlive the
+        // reply budget: clamp the wait so loss is declared in time for
+        // the BRA to still degrade before the HttpA gives up.
+        let mut timeout_us = register.timeout_us;
+        if let Some(rem) = ctx.remaining_us() {
+            timeout_us = timeout_us.min(rem.max(1));
+        }
+        ctx.set_timer(SimDuration::from_micros(timeout_us), register.mba.0);
         self.mba_watch.push(WatchEntry {
             register,
             checks: 0,
@@ -330,6 +412,21 @@ impl Bsma {
     }
 
     fn handle_mba_returned(&mut self, ctx: &mut Ctx<'_>, returned: MbaReturned) {
+        // Feed the per-marketplace breakers with the trip's outcomes
+        // before the registry lookup: a trip that failed so fast its
+        // return notice beat the BRA's register message is still valid
+        // health signal.
+        let now_us = ctx.now().as_micros();
+        for report in &returned.reports {
+            if let Some(breaker) = self.breaker_mut(report.market.agent) {
+                match report.status {
+                    MarketStatus::Visited => breaker.record_success(now_us),
+                    MarketStatus::Unreachable | MarketStatus::NoReply => {
+                        breaker.record_failure(now_us);
+                    }
+                }
+            }
+        }
         let Some(pos) = self
             .mba_watch
             .iter()
@@ -451,7 +548,11 @@ impl Agent for Bsma {
         let Some(pos) = self.mba_watch.iter().position(|w| w.register.mba.0 == tag) else {
             return; // returned in time
         };
-        if self.mba_watch[pos].checks < self.config.watch_retries {
+        // With the request deadline already spent there is no point in
+        // another grace period: declare the loss now so the BRA can still
+        // answer (degraded) before the front watchdog gives up.
+        let deadline_spent = ctx.remaining_us() == Some(0);
+        if self.mba_watch[pos].checks < self.config.watch_retries && !deadline_spent {
             // grant a grace period: re-arm with a doubled (capped) wait
             // instead of writing the MBA off at the first deadline
             let entry = &mut self.mba_watch[pos];
@@ -467,6 +568,13 @@ impl Agent for Bsma {
             return;
         }
         let entry = self.mba_watch.remove(pos);
+        // The loss notice IS the recovery path: it must reach the BRA
+        // even though the request deadline may already be spent, so send
+        // it deadline-free and hand the budget over inside the payload.
+        let deadline_us = ctx.deadline().map(|d| d.as_micros());
+        if ctx.deadline().is_some() {
+            ctx.clear_deadline();
+        }
         ctx.note(format!(
             "bsma: mba {} overdue; reactivating bra and reporting loss",
             entry.register.mba
@@ -481,6 +589,7 @@ impl Agent for Bsma {
         let lost = Message::new(kinds::MBA_LOST)
             .with_payload(&MbaLost {
                 mba: entry.register.mba,
+                deadline_us,
             })
             .expect("lost serializes");
         ctx.send(entry.register.bra, lost);

@@ -9,11 +9,14 @@
 //! the HttpA's state, where the driving harness reads them back — the
 //! same request/translate/respond path a servlet front would take.
 
+use crate::admission::{AdmissionConfig, AdmissionGate, AdmissionVerdict, Priority};
 use crate::agents::msg::{
-    kinds, BraResponse, FrontRequest, FrontRequestBody, FrontResponse, ResponseBody, RoutedTask,
-    SessionOpen, SessionRequest,
+    kinds, BraResponse, ConsumerTask, FrontRequest, FrontRequestBody, FrontResponse, ResponseBody,
+    RoutedTask, SessionOpen, SessionRequest,
 };
+use crate::profile::ConsumerId;
 use agentsim::agent::{Agent, Ctx};
+use agentsim::clock::SimDuration;
 use agentsim::ids::AgentId;
 use agentsim::message::Message;
 use serde::{Deserialize, Serialize};
@@ -27,6 +30,18 @@ pub struct HttpAgent {
     bsma: AgentId,
     responses: Vec<FrontResponse>,
     requests_seen: u32,
+    /// Ingress admission gate; `None` (the default) admits everything.
+    #[serde(default)]
+    admission: Option<AdmissionGate>,
+    /// End-to-end deadline minted for each admitted task (µs); 0 disables
+    /// deadline propagation.
+    #[serde(default)]
+    deadline_us: u64,
+    /// Tasks admitted but not yet answered: `(consumer, started_us)`.
+    /// A watchdog timer per entry guarantees the browser always hears
+    /// back, even if the request is dropped mid-pipeline.
+    #[serde(default)]
+    inflight: Vec<(ConsumerId, u64)>,
 }
 
 impl HttpAgent {
@@ -36,7 +51,23 @@ impl HttpAgent {
             bsma,
             responses: Vec::new(),
             requests_seen: 0,
+            admission: None,
+            deadline_us: 0,
+            inflight: Vec::new(),
         }
+    }
+
+    /// Enable admission control at the ingress.
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(AdmissionGate::new(config));
+        self
+    }
+
+    /// Mint an end-to-end deadline of `deadline_us` for each admitted
+    /// task (0 keeps deadlines off).
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = deadline_us;
+        self
     }
 
     /// Responses delivered so far (the browser's view).
@@ -47,6 +78,23 @@ impl HttpAgent {
     /// Number of front requests processed.
     pub fn requests_seen(&self) -> u32 {
         self.requests_seen
+    }
+
+    /// Priority class of a front request: transactions are shed last,
+    /// session management first.
+    fn class_of(body: &FrontRequestBody) -> Priority {
+        match body {
+            FrontRequestBody::Task(ConsumerTask::Buy { .. })
+            | FrontRequestBody::Task(ConsumerTask::Auction { .. }) => Priority::Transaction,
+            FrontRequestBody::Task(ConsumerTask::Query { .. }) => Priority::Query,
+            FrontRequestBody::Login | FrontRequestBody::Logout => Priority::Background,
+        }
+    }
+
+    /// Drop `consumer` from the inflight set; true when it was there.
+    fn settle(&mut self, consumer: ConsumerId) -> Option<u64> {
+        let pos = self.inflight.iter().position(|(c, _)| *c == consumer)?;
+        Some(self.inflight.remove(pos).1)
     }
 }
 
@@ -67,6 +115,22 @@ impl Agent for HttpAgent {
                     return;
                 };
                 self.requests_seen += 1;
+                if let Some(gate) = &mut self.admission {
+                    let class = Self::class_of(&req.body);
+                    let verdict = gate.try_admit(ctx.now().as_micros(), class);
+                    if let AdmissionVerdict::Shed { retry_after_us } = verdict {
+                        ctx.count_shed();
+                        ctx.note(format!(
+                            "httpa: shed {class:?} request from consumer {} (retry in {retry_after_us} us)",
+                            req.consumer.0
+                        ));
+                        self.responses.push(FrontResponse {
+                            consumer: req.consumer,
+                            body: ResponseBody::Overloaded { retry_after_us },
+                        });
+                        return;
+                    }
+                }
                 match req.body {
                     FrontRequestBody::Login => {
                         let login = Message::new(kinds::LOGIN)
@@ -88,10 +152,25 @@ impl Agent for HttpAgent {
                         let fig = task.figure();
                         ctx.note(format!("{fig}/step01 buyer request received by httpa"));
                         ctx.note(format!("{fig}/step02 httpa forwards to bsma"));
+                        if self.deadline_us > 0 {
+                            // Stamp the deadline before the send so every
+                            // downstream hop carries it, and arm a watchdog
+                            // with slack so the browser always hears back
+                            // even if the request dies mid-pipeline.
+                            ctx.set_deadline(
+                                ctx.now() + SimDuration::from_micros(self.deadline_us),
+                            );
+                            self.inflight.push((req.consumer, ctx.now().as_micros()));
+                            ctx.set_timer(
+                                SimDuration::from_micros(self.deadline_us + self.deadline_us / 2),
+                                req.consumer.0,
+                            );
+                        }
                         let route = Message::new(kinds::ROUTE_TASK)
                             .with_payload(&RoutedTask {
                                 consumer: req.consumer,
                                 task,
+                                blocked_markets: Vec::new(),
                             })
                             .expect("route serializes");
                         ctx.send(self.bsma, route);
@@ -116,6 +195,7 @@ impl Agent for HttpAgent {
             }
             kinds::NO_SESSION => {
                 if let Ok(req) = msg.payload_as::<SessionRequest>() {
+                    self.settle(req.consumer);
                     self.responses.push(FrontResponse {
                         consumer: req.consumer,
                         body: ResponseBody::Error("not logged in".into()),
@@ -124,6 +204,12 @@ impl Agent for HttpAgent {
             }
             kinds::BRA_RESPONSE => {
                 if let Ok(resp) = msg.payload_as::<BraResponse>() {
+                    if let Some(started_us) = self.settle(resp.consumer) {
+                        ctx.observe(
+                            "e2e.latency_us",
+                            ctx.now().as_micros().saturating_sub(started_us),
+                        );
+                    }
                     self.responses.push(FrontResponse {
                         consumer: resp.consumer,
                         body: resp.body,
@@ -133,6 +219,21 @@ impl Agent for HttpAgent {
             other => {
                 ctx.note(format!("httpa: unhandled kind {other}"));
             }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        // Deadline watchdog: the tag is the consumer id. A stale timer
+        // (request already answered) is a no-op.
+        let consumer = ConsumerId(tag);
+        if self.settle(consumer).is_some() {
+            ctx.note(format!(
+                "httpa: request from consumer {tag} missed its deadline with no reply"
+            ));
+            self.responses.push(FrontResponse {
+                consumer,
+                body: ResponseBody::Error("request deadline exceeded".into()),
+            });
         }
     }
 }

@@ -165,6 +165,12 @@ impl MobileBuyerAgent {
     /// Hand the result to the BRA, notify the BSMA and dispose — the MBA
     /// is already on its home host (arrived, or never managed to leave).
     fn deliver_result_local(&mut self, ctx: &mut Ctx<'_>) {
+        // The trip is over and the result is in hand: hand it over even
+        // if the deadline lapsed en route — dropping the final local hop
+        // would waste the whole trip.
+        if ctx.deadline().is_some() {
+            ctx.clear_deadline();
+        }
         let result = self.result.clone().unwrap_or(MbaResult::Offers {
             offers: self.offers.clone(),
             reports: self.reports.clone(),
@@ -177,6 +183,7 @@ impl MobileBuyerAgent {
             .with_payload(&MbaReturned {
                 mba: ctx.self_id(),
                 bra: self.bra,
+                reports: self.reports.clone(),
             })
             .expect("returned serializes");
         ctx.send(self.bsma, notice);
@@ -419,9 +426,19 @@ impl Agent for MobileBuyerAgent {
                 ctx.dispose_self();
                 return;
             }
-            let delay = HOME_RETRY_BASE_US
+            let mut delay = HOME_RETRY_BASE_US
                 .saturating_mul(1 << self.home_attempts.min(5))
                 .min(HOME_RETRY_CAP_US);
+            // under a request deadline, compress the wait into whatever
+            // budget remains — home is where the degraded reply happens
+            if let Some(rem) = ctx.remaining_us() {
+                if rem == 0 {
+                    ctx.note("mba: home unreachable and deadline spent, giving up".to_string());
+                    ctx.dispose_self();
+                    return;
+                }
+                delay = delay.min(rem);
+            }
             self.home_attempts += 1;
             ctx.set_timer(SimDuration::from_micros(delay), HOME_RETRY_TAG);
             return;

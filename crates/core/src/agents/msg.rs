@@ -224,6 +224,11 @@ pub enum ResponseBody {
     },
     /// Something went wrong.
     Error(String),
+    /// The server shed the request at ingress (admission control).
+    Overloaded {
+        /// Suggested microseconds to wait before retrying.
+        retry_after_us: u64,
+    },
 }
 
 /// One recommended item with its score and a consumer-facing reason.
@@ -262,6 +267,10 @@ pub struct RoutedTask {
     pub consumer: ConsumerId,
     /// The task.
     pub task: ConsumerTask,
+    /// Marketplaces whose circuit breaker is open: the BRA must not
+    /// route the MBA there (empty when breakers are off or all closed).
+    #[serde(default)]
+    pub blocked_markets: Vec<MarketRef>,
 }
 
 /// Payload of [`kinds::PA_LOAD`].
@@ -341,12 +350,16 @@ pub struct MbaRegister {
 }
 
 /// Payload of [`kinds::MBA_RETURNED`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MbaReturned {
     /// The returning MBA.
     pub mba: AgentId,
     /// Its BRA.
     pub bra: AgentId,
+    /// Per-marketplace outcomes from the trip, so the BSMA can feed its
+    /// circuit breakers (empty on pre-breaker capsules).
+    #[serde(default)]
+    pub reports: Vec<MarketReport>,
 }
 
 /// Payload of [`kinds::MBA_RESULT`]: what the MBA brought home.
@@ -417,6 +430,11 @@ pub struct BraResponse {
 pub struct MbaLost {
     /// The MBA that never came back.
     pub mba: AgentId,
+    /// Absolute request deadline (µs) the lost trip ran under, if any.
+    /// The notice itself travels deadline-free (it IS the recovery path),
+    /// so the budget rides in the payload for the BRA's retry decision.
+    #[serde(default)]
+    pub deadline_us: Option<u64>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,251 @@
+//! Per-marketplace circuit breaker: Closed → Open → HalfOpen.
+//!
+//! Fed by the [`MarketReport`]s an MBA brings home (PR 3's chaos probes
+//! turned into a health signal): each `Visited` report is a success, each
+//! `Unreachable`/`NoReply` a failure, over a sliding window. When the
+//! failure rate crosses the threshold the breaker opens and the BSMA stops
+//! routing work at that marketplace — requests degrade to CF-only
+//! immediately instead of burning the retry budget on a dead host. After a
+//! cooldown the breaker admits exactly one probe (HalfOpen); its outcome
+//! closes or re-opens the circuit.
+//!
+//! [`MarketReport`]: crate::agents::msg::MarketReport
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Sliding window of most-recent outcomes considered.
+    pub window: usize,
+    /// Failure fraction within the window that opens the breaker.
+    pub failure_threshold: f64,
+    /// Minimum outcomes in the window before the threshold applies
+    /// (a single early failure must not open the circuit).
+    pub min_samples: usize,
+    /// How long an open breaker waits before admitting a probe (µs).
+    pub cooldown_us: u64,
+}
+
+impl Default for BreakerConfig {
+    /// Window of 8, open at ≥50% failures once 4 outcomes are in, 5 s
+    /// cooldown.
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 0.5,
+            min_samples: 4,
+            cooldown_us: 5_000_000,
+        }
+    }
+}
+
+/// The breaker's position in its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: all dispatches pass.
+    Closed,
+    /// Tripped: dispatches are refused until the cooldown elapses.
+    Open,
+    /// Probing: exactly one dispatch is allowed through; its outcome
+    /// decides between Closed and Open.
+    HalfOpen,
+}
+
+/// A sliding-window failure-rate circuit breaker.
+///
+/// Drive it with [`CircuitBreaker::allow`] before each dispatch and
+/// [`CircuitBreaker::record_success`] / [`CircuitBreaker::record_failure`]
+/// when the outcome is known. Serializable so it can live inside an
+/// agent's migratable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Most-recent outcomes, `true` = failure, newest at the back.
+    window: Vec<bool>,
+    /// When the current state was entered (µs on the world clock).
+    entered_at_us: u64,
+    /// Whether the HalfOpen probe slot is taken.
+    probe_inflight: bool,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            window: Vec::new(),
+            entered_at_us: 0,
+            probe_inflight: false,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a dispatch may proceed at `now_us`. May transition
+    /// Open → HalfOpen (cooldown elapsed) and claims the probe slot when
+    /// it does, so at most one dispatch passes per cooldown while
+    /// half-open.
+    pub fn allow(&mut self, now_us: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_us.saturating_sub(self.entered_at_us) >= self.config.cooldown_us {
+                    self.state = BreakerState::HalfOpen;
+                    self.entered_at_us = now_us;
+                    self.probe_inflight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if !self.probe_inflight {
+                    self.probe_inflight = true;
+                    return true;
+                }
+                // Stuck-probe escape: if the probe never reported back
+                // (lost MBA), allow another after a full cooldown.
+                if now_us.saturating_sub(self.entered_at_us) >= self.config.cooldown_us {
+                    self.entered_at_us = now_us;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful interaction with the marketplace.
+    pub fn record_success(&mut self, now_us: u64) {
+        self.push(false);
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.entered_at_us = now_us;
+            self.probe_inflight = false;
+            self.window.clear();
+        }
+    }
+
+    /// Record a failed interaction with the marketplace.
+    pub fn record_failure(&mut self, now_us: u64) {
+        self.push(true);
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.entered_at_us = now_us;
+                self.probe_inflight = false;
+            }
+            BreakerState::Closed => {
+                let samples = self.window.len();
+                if samples >= self.config.min_samples {
+                    let failures = self.window.iter().filter(|f| **f).count();
+                    if failures as f64 / samples as f64 >= self.config.failure_threshold {
+                        self.state = BreakerState::Open;
+                        self.entered_at_us = now_us;
+                    }
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn push(&mut self, failure: bool) {
+        if self.window.len() >= self.config.window.max(1) {
+            self.window.remove(0);
+        }
+        self.window.push(failure);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            failure_threshold: 0.5,
+            min_samples: 2,
+            cooldown_us: 1_000,
+        })
+    }
+
+    #[test]
+    fn opens_once_the_failure_rate_crosses_the_threshold() {
+        let mut b = breaker();
+        assert!(b.allow(0));
+        b.record_failure(10);
+        assert_eq!(b.state(), BreakerState::Closed, "below min_samples");
+        b.record_failure(20);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(30), "open refuses dispatches");
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_closes_on_success() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(500), "cooldown not elapsed");
+        assert!(b.allow(1_001), "cooldown elapsed: one probe passes");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(1_002), "probe slot taken");
+        b.record_success(1_500);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(1_501));
+    }
+
+    #[test]
+    fn half_open_reopens_on_probe_failure() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(1);
+        assert!(b.allow(1_001));
+        b.record_failure(1_100);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(1_200));
+        assert!(b.allow(2_200), "second cooldown admits another probe");
+    }
+
+    #[test]
+    fn lost_probe_does_not_wedge_the_breaker() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(1);
+        assert!(b.allow(1_001));
+        // the probe never reports back; a full cooldown later another is
+        // allowed
+        assert!(!b.allow(1_500));
+        assert!(b.allow(2_100));
+    }
+
+    #[test]
+    fn success_resets_the_window() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(1);
+        assert!(b.allow(1_001));
+        b.record_success(1_100);
+        // the old failures are forgotten: one new failure stays below
+        // min_samples
+        b.record_failure(1_200);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_round_trips_serde() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(1);
+        let back: CircuitBreaker =
+            serde_json::from_str(&serde_json::to_string(&b).unwrap()).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admission;
 pub mod agents;
+pub mod breaker;
 pub mod extensions;
 pub mod index;
 pub mod itemcf;
@@ -24,6 +26,8 @@ pub mod store;
 pub mod userdb;
 pub mod workflow;
 
+pub use admission::{AdmissionConfig, AdmissionGate, AdmissionVerdict, Priority};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use index::{FlatProfile, ItemSimCache, ProfileIndex};
 pub use itemcf::ItemCfRecommender;
 pub use learning::{BehaviorEvent, BehaviorKind, FeedbackQuality, LearnerConfig, ProfileLearner};

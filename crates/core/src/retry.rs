@@ -47,6 +47,20 @@ impl BackoffPolicy {
         };
         shifted.min(self.cap_us)
     }
+
+    /// Backoff for `attempt` clamped to the request's remaining deadline
+    /// budget: `None` means the retry would land after the reply was
+    /// already due, so the caller should degrade instead of retrying.
+    /// With no deadline (`remaining_us == None`) the plain schedule
+    /// applies.
+    pub fn delay_within(&self, attempt: u32, remaining_us: Option<u64>) -> Option<u64> {
+        let delay = self.delay_us(attempt);
+        match remaining_us {
+            None => Some(delay),
+            Some(rem) if delay < rem => Some(delay),
+            Some(_) => None,
+        }
+    }
 }
 
 impl Default for BackoffPolicy {
@@ -81,6 +95,23 @@ mod tests {
         let p = BackoffPolicy::none();
         assert_eq!(p.max_retries, 0);
         assert_eq!(p.delay_us(0), 0);
+    }
+
+    #[test]
+    fn retries_never_outlive_the_deadline() {
+        let p = BackoffPolicy::new(100, 800, 5);
+        // no deadline: plain schedule
+        assert_eq!(p.delay_within(0, None), Some(100));
+        assert_eq!(p.delay_within(3, None), Some(800));
+        // plenty of budget: plain schedule
+        assert_eq!(p.delay_within(0, Some(1_000)), Some(100));
+        // the retry would land exactly at the deadline: refuse (the reply
+        // was already due)
+        assert_eq!(p.delay_within(0, Some(100)), None);
+        // not enough budget: refuse rather than schedule a doomed retry
+        assert_eq!(p.delay_within(2, Some(300)), None);
+        // expired budget: refuse even attempt 0
+        assert_eq!(p.delay_within(0, Some(0)), None);
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! [`FrontResponse`]s — every hop in between is real agent traffic on the
 //! simulated network.
 
+use crate::admission::AdmissionConfig;
 use crate::agents::msg::{
     kinds as msgkinds, BuyMode, ConsumerTask, FrontRequest, FrontRequestBody, FrontResponse,
     MarketRef, ResponseBody,
 };
 use crate::agents::{register_all, Bsma, BsmaConfig};
+use crate::breaker::BreakerConfig;
 use crate::learning::{BehaviorKind, LearnerConfig};
 use crate::profile::ConsumerId;
 use crate::retry::BackoffPolicy;
@@ -23,6 +25,7 @@ use agentsim::clock::SimDuration;
 use agentsim::ids::{AgentId, HostId};
 use agentsim::message::Message;
 use agentsim::net::Topology;
+use agentsim::overload::MailboxConfig;
 use agentsim::sim::SimWorld;
 use ecp::merchandise::{ItemId, Merchandise, Money};
 use ecp::protocol::{
@@ -43,6 +46,10 @@ pub struct PlatformBuilder {
     watch_retries: u32,
     bra_retry: BackoffPolicy,
     telemetry: bool,
+    admission: Option<AdmissionConfig>,
+    request_deadline_us: u64,
+    breaker: Option<BreakerConfig>,
+    mailbox: Option<MailboxConfig>,
 }
 
 impl PlatformBuilder {
@@ -60,6 +67,10 @@ impl PlatformBuilder {
             watch_retries: 1,
             bra_retry: BackoffPolicy::default(),
             telemetry: false,
+            admission: None,
+            request_deadline_us: 0,
+            breaker: None,
+            mailbox: None,
         }
     }
 
@@ -108,6 +119,35 @@ impl PlatformBuilder {
     /// Backoff schedule BRAs use to re-dispatch a lost MBA.
     pub fn bra_retry(mut self, policy: BackoffPolicy) -> Self {
         self.bra_retry = policy;
+        self
+    }
+
+    /// Enable token-bucket admission control with priority shedding at
+    /// the HttpA ingress.
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
+        self
+    }
+
+    /// Mint an end-to-end deadline of `us` microseconds for every
+    /// admitted task; it propagates on each message and migration hop
+    /// (0, the default, keeps deadlines off).
+    pub fn request_deadline_us(mut self, us: u64) -> Self {
+        self.request_deadline_us = us;
+        self
+    }
+
+    /// Guard each marketplace with a circuit breaker fed by MBA trip
+    /// reports.
+    pub fn breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// Bound every agent mailbox (applied after the creation workflow so
+    /// provisioning traffic is never shed).
+    pub fn mailbox(mut self, config: MailboxConfig) -> Self {
+        self.mailbox = Some(config);
         self
     }
 
@@ -187,6 +227,9 @@ impl PlatformBuilder {
             collaborative_weight: self.collaborative_weight,
             watch_retries: self.watch_retries,
             bra_retry: self.bra_retry,
+            admission: self.admission,
+            request_deadline_us: self.request_deadline_us,
+            breaker: self.breaker,
         };
         let request = Message::new(ecpk::REQUEST_BUYER_SERVER)
             .with_payload(&RequestBuyerServer {
@@ -219,6 +262,12 @@ impl PlatformBuilder {
         let state = bsma_state.expect("bsma state available");
         let httpa = state.httpa().expect("httpa created");
         let pa = state.pa().expect("pa created");
+
+        // Bound mailboxes only once the platform stands: provisioning
+        // traffic must never be shed.
+        if let Some(mailbox) = self.mailbox {
+            world.set_mailbox(mailbox);
+        }
 
         Platform {
             world,

@@ -88,6 +88,7 @@ fn main() {
                         category: None,
                         max_results: 5,
                     },
+                    blocked_markets: Vec::new(),
                 })
                 .unwrap(),
         )

@@ -314,7 +314,7 @@ mod threaded {
                 )),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
 
         let retry = BackoffPolicy::new(100_000, 400_000, 1);
         let bsma = world
@@ -329,7 +329,7 @@ mod threaded {
                 })),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         let pa = world
             .create_agent(
                 buyer_host,
@@ -350,7 +350,7 @@ mod threaded {
                 ),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
 
         // Derive the plan from the same generator the DES sweep uses,
         // then apply its faults through the live switches.
@@ -386,12 +386,14 @@ mod threaded {
                 category: None,
                 max_results: 5,
             },
+            blocked_markets: Vec::new(),
         };
         // Query 1 runs against the broken world.
         world.send_external(probe, instruction(bra, &task)).unwrap();
+        let status = world.run_until_idle(Duration::from_secs(60));
         assert!(
-            world.run_until_idle(Duration::from_secs(60)),
-            "seed {seed}: threaded world failed to drain mid-chaos; repro plan: {plan}"
+            status.is_idle(),
+            "seed {seed}: threaded world failed to drain mid-chaos: {status}; repro plan: {plan}"
         );
         // Heal everything; query 2 runs against the recovered world.
         for (a, b) in partitions {
@@ -401,9 +403,10 @@ mod threaded {
             world.restart_host(host).unwrap();
         }
         world.send_external(probe, instruction(bra, &task)).unwrap();
+        let status = world.run_until_idle(Duration::from_secs(60));
         assert!(
-            world.run_until_idle(Duration::from_secs(60)),
-            "seed {seed}: threaded world failed to drain post-heal; repro plan: {plan}"
+            status.is_idle(),
+            "seed {seed}: threaded world failed to drain post-heal: {status}; repro plan: {plan}"
         );
 
         // run_until_idle returning true is the quiescence check: it only

@@ -369,6 +369,7 @@ mod cross_runtime {
                 category: None,
                 max_results: 5,
             },
+            blocked_markets: Vec::new(),
         }
     }
 
@@ -468,7 +469,7 @@ mod cross_runtime {
                 Box::new(SellerAgent::new(1, "s0", catalog(), vec![market])),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         let markets = vec![MarketRef {
             host: market_host,
             agent: market,
@@ -483,7 +484,7 @@ mod cross_runtime {
                 })),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         let pa = world
             .create_agent(
                 buyer_host,
@@ -505,11 +506,11 @@ mod cross_runtime {
                 ),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         world
             .send_external(probe, instruction(bra, msgkinds::BRA_TASK, &task()))
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(20)));
+        assert!(world.run_until_idle(Duration::from_secs(20)).is_idle());
         let (_metrics, trace) = world.shutdown();
         observations(&trace)
     }
@@ -631,6 +632,7 @@ mod cross_runtime_faults {
         let routed = RoutedTask {
             consumer: ConsumerId(1),
             task: task.clone(),
+            blocked_markets: Vec::new(),
         };
         Message::new("instr").carrying(serde_json::json!({
             "__send_to": to.0,
@@ -797,7 +799,7 @@ mod cross_runtime_faults {
                 )
                 .unwrap();
         }
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         let bsma = world
             .create_agent(
                 buyer_host,
@@ -810,7 +812,7 @@ mod cross_runtime_faults {
                 })),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         let pa = world
             .create_agent(
                 buyer_host,
@@ -833,7 +835,7 @@ mod cross_runtime_faults {
                 ),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         for step in steps {
             match *step {
                 Step::Partition(i) => world.partition(buyer_host, market_hosts[i]),
@@ -843,7 +845,7 @@ mod cross_runtime_faults {
                     world
                         .send_external(probe, instruction(bra, &query()))
                         .unwrap();
-                    assert!(world.run_until_idle(Duration::from_secs(30)));
+                    assert!(world.run_until_idle(Duration::from_secs(30)).is_idle());
                 }
                 Step::BuyUnknown => {
                     let task = ConsumerTask::Buy {
@@ -852,7 +854,7 @@ mod cross_runtime_faults {
                         mode: BuyMode::Direct,
                     };
                     world.send_external(probe, instruction(bra, &task)).unwrap();
-                    assert!(world.run_until_idle(Duration::from_secs(30)));
+                    assert!(world.run_until_idle(Duration::from_secs(30)).is_idle());
                 }
             }
         }

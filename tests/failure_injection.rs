@@ -208,6 +208,7 @@ fn forged_return_capsule_is_rejected_by_authentication() {
         home,
         permit: Some(forged),
         trace: None,
+        deadline: None,
     };
     // rehydration itself works (the type is registered) …
     assert!(world.registry().rehydrate(&capsule).is_ok());

@@ -368,6 +368,7 @@ mod runtime_isomorphism {
                 category: None,
                 max_results: 5,
             },
+            blocked_markets: Vec::new(),
         }
     }
 
@@ -456,7 +457,7 @@ mod runtime_isomorphism {
                 Box::new(SellerAgent::new(1, "s0", catalog(), vec![market])),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         let markets = vec![MarketRef {
             host: market_host,
             agent: market,
@@ -471,7 +472,7 @@ mod runtime_isomorphism {
                 })),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         let pa = world
             .create_agent(
                 buyer_host,
@@ -491,11 +492,11 @@ mod runtime_isomorphism {
                 ),
             )
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(10)));
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
         world
             .send_external(probe, instruction(bra, &task()))
             .unwrap();
-        assert!(world.run_until_idle(Duration::from_secs(20)));
+        assert!(world.run_until_idle(Duration::from_secs(20)).is_idle());
         let (_metrics, _trace, telemetry) = world.shutdown_with_telemetry();
         sole_signature(&telemetry)
     }

@@ -43,7 +43,7 @@ fn full_query_workflow_runs_on_the_threaded_runtime() {
         )
         .unwrap();
     assert!(
-        world.run_until_idle(Duration::from_secs(10)),
+        world.run_until_idle(Duration::from_secs(10)).is_idle(),
         "provisioning quiesces"
     );
 
@@ -64,7 +64,7 @@ fn full_query_workflow_runs_on_the_threaded_runtime() {
         )
         .unwrap();
     assert!(
-        world.run_until_idle(Duration::from_secs(10)),
+        world.run_until_idle(Duration::from_secs(10)).is_idle(),
         "bsma setup quiesces"
     );
 
@@ -81,7 +81,7 @@ fn full_query_workflow_runs_on_the_threaded_runtime() {
         )
         .unwrap();
     assert!(
-        world.run_until_idle(Duration::from_secs(10)),
+        world.run_until_idle(Duration::from_secs(10)).is_idle(),
         "login quiesces"
     );
 
@@ -96,12 +96,13 @@ fn full_query_workflow_runs_on_the_threaded_runtime() {
                         category: None,
                         max_results: 5,
                     },
+                    blocked_markets: Vec::new(),
                 })
                 .unwrap(),
         )
         .unwrap();
     assert!(
-        world.run_until_idle(Duration::from_secs(20)),
+        world.run_until_idle(Duration::from_secs(20)).is_idle(),
         "query workflow (incl. watchdog timer) quiesces"
     );
 
