@@ -5,6 +5,21 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# --shard-stress: loop the cross-runtime equivalence suite and the
+# multi-worker ThreadWorld tests 20x to shake out scheduling races in
+# the sharded/threaded paths, then exit. Does not run the normal gate.
+if [[ "${1:-}" == "--shard-stress" ]]; then
+  echo "==> shard stress (20x cross-runtime equivalence + multi-worker thread tests)"
+  for i in $(seq 1 20); do
+    echo "--- iteration $i/20 ---"
+    cargo test -q --test equivalence cross_runtime
+    cargo test -q -p agentsim thread_net::tests::multi_worker
+    cargo test -q -p agentsim thread_net::tests::dispose_while_deactivated
+  done
+  echo "shard stress green."
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -44,6 +59,15 @@ CHROME_TRACE_OUT="$(mktemp)"
 cargo run --release -p bench --bin telemetry_report -- --quick --chrome-out "$CHROME_TRACE_OUT" >/dev/null
 test -s "$CHROME_TRACE_OUT"
 rm -f "$CHROME_TRACE_OUT"
+
+# Shard smoke: the sharded quickstart at 1/2/4 shards. The 1-shard run
+# self-checks byte-identity against the unsharded platform (trace labels
+# and metrics); multi-shard runs assert every boundary migration
+# authenticates.
+echo "==> shard smoke (sharded quickstart at 1/2/4 shards)"
+for n in 1 2 4; do
+  cargo run --release -q --example sharded -- "$n" >/dev/null
+done
 
 echo "==> bench smoke (quick mode; includes telemetry-overhead gate)"
 PLATFORM_BENCH_QUICK=1 cargo bench -p bench --bench platform_throughput

@@ -492,6 +492,16 @@ impl AgentCapsule {
     pub fn wire_size(&self) -> usize {
         64 + self.agent_type.len() + self.state.encoded_len()
     }
+
+    /// Detach the telemetry context, returning it.
+    ///
+    /// Span ids are scoped to one shard's `Telemetry` store; a capsule
+    /// crossing a shard boundary has its migration hop ended on the origin
+    /// shard and travels without a trace (see
+    /// [`crate::message::Message::strip_trace`]).
+    pub fn strip_trace(&mut self) -> Option<TraceCtx> {
+        self.trace.take()
+    }
 }
 
 /// Factory function rehydrating an agent from a reference to its

@@ -64,6 +64,27 @@ impl From<u64> for MessageId {
     }
 }
 
+/// Finalizer of the splitmix64 generator: a cheap, well-mixed 64-bit hash.
+///
+/// Used for consistent shard/worker routing so that the same agent id always
+/// lands on the same shard regardless of insertion order or map iteration.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Consistent shard assignment for an agent: stable hash of the id modulo
+/// the shard count. With `shards == 1` every agent maps to shard 0.
+pub fn shard_of(agent: AgentId, shards: usize) -> usize {
+    if shards <= 1 {
+        0
+    } else {
+        (splitmix64(agent.0) % shards as u64) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +125,29 @@ mod tests {
         assert_eq!(HostId::from(7), HostId(7));
         assert_eq!(AgentId::from(7u64), AgentId(7));
         assert_eq!(MessageId::from(7u64), MessageId(7));
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 8] {
+            for raw in 0..256u64 {
+                let s = shard_of(AgentId(raw), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(AgentId(raw), shards), "must be deterministic");
+            }
+        }
+        assert_eq!(shard_of(AgentId(12345), 1), 0);
+    }
+
+    #[test]
+    fn shard_assignment_spreads_across_shards() {
+        let shards = 4;
+        let mut hit = vec![0usize; shards];
+        for raw in 0..1024u64 {
+            hit[shard_of(AgentId(raw), shards)] += 1;
+        }
+        for (i, &n) in hit.iter().enumerate() {
+            assert!(n > 128, "shard {i} underloaded: {n}/1024");
+        }
     }
 }

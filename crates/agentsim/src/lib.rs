@@ -74,6 +74,7 @@ pub mod net;
 pub mod overload;
 pub mod payload;
 pub mod security;
+pub mod shard;
 pub mod sim;
 pub mod storage;
 pub mod telemetry;
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use crate::overload::{MailboxConfig, MailboxPolicy};
     pub use crate::payload::Payload;
     pub use crate::security::{Authenticator, TravelPermit};
+    pub use crate::shard::ShardedSimWorld;
     pub use crate::sim::{Location, SimWorld};
     pub use crate::telemetry::{
         Histogram, HopKind, Registry, Span, SpanEvent, SpanEventKind, Telemetry, TraceCtx,

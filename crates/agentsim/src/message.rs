@@ -124,6 +124,16 @@ impl Message {
     pub fn is(&self, kind: &str) -> bool {
         self.kind == kind
     }
+
+    /// Detach the telemetry context, returning it.
+    ///
+    /// Span ids are scoped to one shard's `Telemetry` store, so a message
+    /// crossing a shard boundary must not carry its origin-shard trace into
+    /// the destination shard: the origin ends the hop with a boundary event
+    /// and strips the context before handing the message over.
+    pub fn strip_trace(&mut self) -> Option<TraceCtx> {
+        self.trace.take()
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,12 @@ pub struct Metrics {
     /// Deliveries rejected (or evicted) by a bounded mailbox.
     #[serde(default)]
     pub mailbox_rejections: u64,
+    /// Messages that crossed a shard boundary (sharded DES runs only).
+    #[serde(default)]
+    pub boundary_messages: u64,
+    /// Agent migrations that crossed a shard boundary.
+    #[serde(default)]
+    pub boundary_migrations: u64,
 }
 
 impl Metrics {
@@ -103,6 +109,32 @@ impl Metrics {
     /// Agents currently alive according to the counters.
     pub fn live_agents(&self) -> u64 {
         self.agents_created.saturating_sub(self.agents_disposed)
+    }
+
+    /// Fold another shard's counters into this one (field-wise sum).
+    ///
+    /// Used by the sharded runtime to present a single platform-wide view.
+    /// Implemented over the serialized form so a counter added to the
+    /// struct can never be silently left out of the merge.
+    pub fn merge(&mut self, other: &Metrics) {
+        let mine = serde_json::to_value(&*self).expect("metrics serialize");
+        let theirs = serde_json::to_value(other).expect("metrics serialize");
+        let (mine_obj, theirs_obj) = (
+            mine.as_object().expect("metrics is an object"),
+            theirs.as_object().expect("metrics is an object"),
+        );
+        let mut merged = serde_json::Map::new();
+        for (key, value) in mine_obj {
+            let sum = value.as_u64().unwrap_or(0).saturating_add(
+                theirs_obj
+                    .get(key)
+                    .and_then(serde_json::Value::as_u64)
+                    .unwrap_or(0),
+            );
+            merged.insert(key.clone(), serde_json::json!(sum));
+        }
+        *self =
+            serde_json::from_value(serde_json::Value::Object(merged)).expect("metrics deserialize");
     }
 }
 
@@ -163,6 +195,39 @@ mod tests {
         );
         let back: Metrics = serde_json::from_value(populated.clone()).unwrap();
         assert_eq!(serde_json::to_value(&back).unwrap(), populated);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        // exercise the serde-based merge against fully populated inputs so
+        // a field skipped by the merge shows up as an inequality
+        let text = serde_json::to_string(&Metrics::default()).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let populated = |base: u64| -> Metrics {
+            serde_json::from_value(serde_json::Value::Object(
+                value
+                    .as_object()
+                    .unwrap()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (k, _))| (k.clone(), serde_json::json!(base + i as u64)))
+                    .collect(),
+            ))
+            .unwrap()
+        };
+        let mut a = populated(1);
+        let b = populated(100);
+        a.merge(&b);
+        let expected: serde_json::Value = serde_json::Value::Object(
+            value
+                .as_object()
+                .unwrap()
+                .iter()
+                .enumerate()
+                .map(|(i, (k, _))| (k.clone(), serde_json::json!(101 + 2 * i as u64)))
+                .collect(),
+        );
+        assert_eq!(serde_json::to_value(&a).unwrap(), expected);
     }
 
     #[test]

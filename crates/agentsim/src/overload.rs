@@ -193,31 +193,50 @@ impl MailboxState {
             .get_mut(&to)
             .is_some_and(|set| set.remove(&id))
         {
+            if self.tombstones.get(&to).is_some_and(HashSet::is_empty) {
+                self.tombstones.remove(&to);
+            }
             // Its slot was handed to the evicting message at enqueue time.
             return ConsumeOutcome {
                 tombstoned: true,
                 released: None,
             };
         }
-        let d = self.depth.entry(to).or_insert(0);
-        *d = d.saturating_sub(1);
+        // Decrement without ever materialising an entry: a consume for an
+        // agent with no tracked depth (already forgotten, or never
+        // enqueued) must not plant a junk zero in the map — over a long
+        // run those would accumulate one per disposed agent. Emptied
+        // entries are removed for the same reason. `saturating_sub` keeps
+        // the gauge from underflowing no matter how calls interleave.
+        if let Some(d) = self.depth.get_mut(&to) {
+            *d = d.saturating_sub(1);
+            if *d == 0 {
+                self.depth.remove(&to);
+            }
+        }
         if let Some(order) = self.order.get_mut(&to) {
             if let Some(pos) = order.iter().position(|m| *m == id) {
                 order.remove(pos);
             }
+            if order.is_empty() {
+                self.order.remove(&to);
+            }
         }
         let mut released = None;
         if let Some(config) = self.config {
-            if let Some(queue) = self.overflow.get_mut(&to) {
-                let d = self.depth.entry(to).or_insert(0);
-                if *d < config.capacity {
+            if self.depth.get(&to).copied().unwrap_or(0) < config.capacity {
+                if let Some(queue) = self.overflow.get_mut(&to) {
                     if let Some(msg) = queue.pop_front() {
+                        let d = self.depth.entry(to).or_insert(0);
                         *d += 1;
                         self.max_depth_seen = self.max_depth_seen.max(*d);
                         if config.policy == MailboxPolicy::RejectOldest {
                             self.order.entry(to).or_default().push_back(msg.id);
                         }
                         released = Some(msg);
+                    }
+                    if self.overflow.get(&to).is_some_and(VecDeque::is_empty) {
+                        self.overflow.remove(&to);
                     }
                 }
             }
@@ -369,6 +388,127 @@ mod tests {
         assert!(!deadline_expired(None, SimTime(999)));
         assert!(!deadline_expired(Some(SimTime(100)), SimTime(100)));
         assert!(deadline_expired(Some(SimTime(100)), SimTime(101)));
+    }
+
+    /// Under reject-oldest, an eviction hands the victim's slot to the
+    /// incoming message: across an arbitrarily long storm the depth gauge
+    /// must not move at all, and every eviction must surface as exactly
+    /// one `AdmitEvictingOldest` verdict (the runtimes count one mailbox
+    /// rejection per such verdict).
+    #[test]
+    fn reject_oldest_eviction_nets_zero_depth() {
+        let cfg = MailboxConfig::new(4, MailboxPolicy::RejectOldest);
+        let mut mb = MailboxState::new(Some(cfg));
+        for i in 0..4 {
+            mb.on_enqueue(AgentId(1), MessageId(i));
+        }
+        let full = mb.depth(AgentId(1));
+        let mut evictions = 0;
+        for i in 4..250 {
+            match mb.on_enqueue(AgentId(1), MessageId(i)) {
+                EnqueueVerdict::AdmitEvictingOldest => evictions += 1,
+                v => panic!("storm at capacity must evict, got {v:?}"),
+            }
+            assert_eq!(mb.depth(AgentId(1)), full, "evict+admit must net zero");
+        }
+        assert_eq!(evictions, 246, "exactly one eviction verdict per enqueue");
+        assert_eq!(mb.max_depth_seen(), 4);
+        // Drain: every scheduled id is consumed exactly once; only the
+        // last `capacity` ids survive, all others were tombstoned.
+        let mut delivered = 0;
+        let mut tombstoned = 0;
+        for i in 0..250 {
+            if mb.on_consume(AgentId(1), MessageId(i)).tombstoned {
+                tombstoned += 1;
+            } else {
+                delivered += 1;
+            }
+        }
+        assert_eq!((delivered, tombstoned), (4, 246));
+        assert_eq!(mb.depth(AgentId(1)), 0);
+    }
+
+    /// Model-based sweep: random enqueue/consume/forget interleavings
+    /// against a reference model. The gauge must track the model's live
+    /// count exactly, never exceed capacity, and never underflow (an
+    /// underflow would wrap a `usize` and blow the `<= capacity` check).
+    #[test]
+    fn depth_gauge_matches_reference_model_under_random_ops() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..16u64 {
+            for policy in [
+                MailboxPolicy::RejectNewest,
+                MailboxPolicy::RejectOldest,
+                MailboxPolicy::Block,
+            ] {
+                let capacity = 3;
+                let cfg = MailboxConfig::new(capacity, policy);
+                let mut mb = MailboxState::new(Some(cfg));
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Scheduled (admitted, unconsumed) deliveries, as the
+                // runtimes would hold them; consumed in random order.
+                let mut scheduled: Vec<(AgentId, MessageId)> = Vec::new();
+                // live[agent] = model's depth: admitted minus consumed
+                // minus pending tombstones.
+                let mut live: HashMap<AgentId, usize> = HashMap::new();
+                let mut next_id = 1u64;
+                for _ in 0..400 {
+                    let agent = AgentId(rng.gen_range(1..4u64));
+                    if rng.gen_bool(0.55) {
+                        let id = MessageId(next_id);
+                        next_id += 1;
+                        match mb.on_enqueue(agent, id) {
+                            EnqueueVerdict::Admit => {
+                                scheduled.push((agent, id));
+                                *live.entry(agent).or_insert(0) += 1;
+                            }
+                            EnqueueVerdict::AdmitEvictingOldest => {
+                                // slot transfer: one in, oldest out
+                                scheduled.push((agent, id));
+                            }
+                            EnqueueVerdict::Reject => {}
+                            EnqueueVerdict::Defer => {
+                                let mut m = Message::new("m");
+                                m.id = id;
+                                m.to = agent;
+                                mb.defer(m);
+                            }
+                        }
+                    } else if !scheduled.is_empty() {
+                        let pick = rng.gen_range(0..scheduled.len());
+                        let (to, id) = scheduled.swap_remove(pick);
+                        let out = mb.on_consume(to, id);
+                        if !out.tombstoned {
+                            *live.entry(to).or_insert(0) -= 1;
+                        }
+                        if let Some(released) = out.released {
+                            *live.entry(released.to).or_insert(0) += 1;
+                            scheduled.push((released.to, released.id));
+                        }
+                    }
+                    for a in 1..4u64 {
+                        let d = mb.depth(AgentId(a));
+                        assert!(
+                            d <= capacity,
+                            "depth {d} exceeds capacity (underflow wrap?) \
+                             seed={seed} policy={policy:?}"
+                        );
+                        assert_eq!(
+                            d,
+                            live.get(&AgentId(a)).copied().unwrap_or(0),
+                            "gauge diverged from model: seed={seed} policy={policy:?}"
+                        );
+                    }
+                }
+                // Stale consumes for unknown agents must not disturb
+                // anything (and must not underflow past zero).
+                let before = mb.depths();
+                mb.on_consume(AgentId(99), MessageId(u64::MAX));
+                assert_eq!(mb.depth(AgentId(99)), 0);
+                assert_eq!(mb.depths(), before);
+            }
+        }
     }
 
     #[test]

@@ -104,13 +104,17 @@ struct ChaosState {
 #[derive(Debug)]
 struct QueuedEvent {
     at: SimTime,
+    /// Shard that scheduled the event (0 in unsharded worlds). Part of the
+    /// ordering key so that same-time events from different shards have a
+    /// deterministic total order regardless of heap insertion order.
+    shard: u16,
     seq: u64,
     kind: EventKind,
 }
 
 impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.shard == other.shard && self.seq == other.seq
     }
 }
 impl Eq for QueuedEvent {}
@@ -121,8 +125,52 @@ impl PartialOrd for QueuedEvent {
 }
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.shard, self.seq).cmp(&(other.at, other.shard, other.seq))
     }
+}
+
+/// What a [`BoundaryItem`] carries across a shard boundary.
+pub(crate) enum BoundaryPayload {
+    /// A message for an agent owned by another shard.
+    Deliver(Message),
+    /// An agent migrating to a host owned by another shard.
+    Arrive { capsule: AgentCapsule, dest: HostId },
+}
+
+/// One cross-shard handoff, exchanged between epochs by
+/// [`crate::shard::ShardedSimWorld`]. The `(at, origin_shard, origin_seq)`
+/// triple is the item's position in the global total order: the destination
+/// shard enqueues it under exactly that key, so same-seed runs reproduce at
+/// any shard count and independently of exchange iteration order.
+pub(crate) struct BoundaryItem {
+    pub(crate) at: SimTime,
+    pub(crate) origin_shard: u16,
+    pub(crate) origin_seq: u64,
+    pub(crate) payload: BoundaryPayload,
+}
+
+/// Cross-shard routing state, present only in multi-shard runs (installed
+/// by [`crate::shard::ShardedSimWorld`]). `None` — the default — keeps the
+/// single-shard world byte-identical to the pre-sharding runtime: none of
+/// the boundary paths below are ever taken.
+struct BoundaryState {
+    /// Minimum latency of a boundary crossing. At least the epoch window:
+    /// this is what makes the conservative lock-step barrier safe (an item
+    /// sent during an epoch can never land inside any shard's past).
+    latency: SimDuration,
+    /// Agents known to live on other shards: id → host they were last
+    /// announced on (used for fault/latency lookups on the sending side).
+    remote_agents: HashMap<AgentId, HostId>,
+    /// Hosts owned by other shards.
+    remote_hosts: HashSet<HostId>,
+    /// Remote hosts currently crashed, mirrored between epochs so remote
+    /// dispatches are refused synchronously like local ones.
+    remote_down: HashSet<HostId>,
+    /// Outgoing boundary items, drained by the coordinator between epochs.
+    outbox: Vec<BoundaryItem>,
+    /// Agents newly created on (or arrived at) this shard, to be announced
+    /// to the other shards at the next epoch exchange.
+    announce: Vec<(AgentId, HostId)>,
 }
 
 struct Host {
@@ -178,6 +226,11 @@ pub struct SimWorld {
     /// Deadline budget minted for every [`SimWorld::send_external`]
     /// request, if configured.
     ingress_deadline: Option<SimDuration>,
+    /// This world's shard index (0 in unsharded worlds); stamped onto every
+    /// scheduled event as the middle component of the ordering key.
+    shard: u16,
+    /// Cross-shard routing state; `None` outside sharded runs.
+    boundary: Option<BoundaryState>,
 }
 
 impl SimWorld {
@@ -212,6 +265,8 @@ impl SimWorld {
             current_deadline: None,
             mailbox: None,
             ingress_deadline: None,
+            shard: 0,
+            boundary: None,
         }
     }
 
@@ -356,6 +411,13 @@ impl SimWorld {
     /// whose work drained is complete by definition.
     pub fn run_until_idle(&mut self) {
         while self.step() {}
+        self.finalize_telemetry();
+    }
+
+    /// Close any open request spans at the current instant. Called by
+    /// quiescence in [`SimWorld::run_until_idle`] and by the shard
+    /// coordinator once the whole sharded world has drained.
+    pub(crate) fn finalize_telemetry(&mut self) {
         if !self.telemetry.spans().is_empty() {
             let now = self.now;
             self.telemetry.finalize(now);
@@ -619,6 +681,148 @@ impl SimWorld {
     }
 
     // ------------------------------------------------------------------
+    // shard boundary (driven by crate::shard::ShardedSimWorld)
+    // ------------------------------------------------------------------
+
+    /// Turn this world into shard `shard` of a multi-shard run. Non-zero
+    /// shards get disjoint id bases so agent/message/host ids are globally
+    /// unique; shard 0 keeps the default bases, which is what makes the
+    /// 1-shard configuration byte-identical to an unsharded world.
+    pub(crate) fn enable_boundary(&mut self, shard: u16, latency: SimDuration) {
+        self.shard = shard;
+        if shard > 0 {
+            self.next_agent_id = ((shard as u64) << 40) | 1;
+            self.next_msg_id = ((shard as u64) << 40) | 1;
+            self.next_host_id = ((shard as u32) << 24) | 1;
+        }
+        self.boundary = Some(BoundaryState {
+            latency,
+            remote_agents: HashMap::new(),
+            remote_hosts: HashSet::new(),
+            remote_down: HashSet::new(),
+            outbox: Vec::new(),
+            announce: Vec::new(),
+        });
+    }
+
+    /// Make a host owned by another shard addressable from this one.
+    pub(crate) fn register_remote_host(&mut self, host: HostId) {
+        if let Some(b) = &mut self.boundary {
+            b.remote_hosts.insert(host);
+        }
+    }
+
+    /// Record (or refresh) the shard-external location of an agent.
+    pub(crate) fn register_remote_agent(&mut self, agent: AgentId, host: HostId) {
+        if let Some(b) = &mut self.boundary {
+            b.remote_agents.insert(agent, host);
+        }
+    }
+
+    /// Mirror a remote host's crashed/restarted state.
+    pub(crate) fn set_remote_host_down(&mut self, host: HostId, down: bool) {
+        if let Some(b) = &mut self.boundary {
+            if down {
+                b.remote_down.insert(host);
+            } else {
+                b.remote_down.remove(&host);
+            }
+        }
+    }
+
+    /// Time of the earliest queued event, if any.
+    pub(crate) fn next_event_at(&self) -> Option<SimTime> {
+        self.events.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Process every event strictly before `end` (one conservative epoch).
+    /// The clock is left at the last processed event, not advanced to
+    /// `end`, so a 1-shard epoch loop replays `run_until_idle` exactly.
+    pub(crate) fn run_window(&mut self, end: SimTime) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at >= end {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Advance the clock to the epoch end without processing anything.
+    /// Called on every shard (busy or idle) at the inter-epoch barrier so
+    /// shard clocks stay in lockstep: if an idle shard's clock lagged (or
+    /// ran ahead), a later boundary item could land in its past. With
+    /// lockstep, every pending event and every outbox item is stamped at
+    /// or after the epoch end, so `now <= end <=` all future work.
+    pub(crate) fn sync_clock(&mut self, to: SimTime) {
+        if self.now < to {
+            self.now = to;
+        }
+    }
+
+    /// Take the boundary items produced during the last window.
+    pub(crate) fn drain_outbox(&mut self) -> Vec<BoundaryItem> {
+        self.boundary
+            .as_mut()
+            .map(|b| std::mem::take(&mut b.outbox))
+            .unwrap_or_default()
+    }
+
+    /// Take the agent announcements produced during the last window.
+    pub(crate) fn drain_announcements(&mut self) -> Vec<(AgentId, HostId)> {
+        self.boundary
+            .as_mut()
+            .map(|b| std::mem::take(&mut b.announce))
+            .unwrap_or_default()
+    }
+
+    /// Accept a boundary item routed here by the coordinator. The item is
+    /// enqueued under its origin `(at, shard, seq)` key, so the resulting
+    /// heap order is independent of exchange iteration order.
+    pub(crate) fn inject_boundary(&mut self, item: BoundaryItem) {
+        debug_assert!(
+            item.at >= self.now,
+            "boundary item must not land in this shard's past"
+        );
+        let at = item.at.max(self.now);
+        let (shard, seq) = (item.origin_shard, item.origin_seq);
+        match item.payload {
+            BoundaryPayload::Deliver(msg) => {
+                self.metrics.boundary_messages += 1;
+                self.enqueue_deliver_keyed(at, Some((shard, seq)), msg);
+            }
+            BoundaryPayload::Arrive { capsule, dest } => {
+                self.metrics.boundary_migrations += 1;
+                if let Some(b) = &mut self.boundary {
+                    // The agent is ours from injection on.
+                    b.remote_agents.remove(&capsule.id);
+                }
+                self.events.push(Reverse(QueuedEvent {
+                    at,
+                    shard,
+                    seq,
+                    kind: EventKind::Arrive { capsule, dest },
+                }));
+            }
+        }
+    }
+
+    /// Push an announcement for the other shards, if this world is sharded.
+    fn announce(&mut self, id: AgentId, host: HostId) {
+        if let Some(b) = &mut self.boundary {
+            b.announce.push((id, host));
+        }
+    }
+
+    /// Host an agent is known to occupy on another shard, if any.
+    fn remote_host_of(&self, agent: AgentId) -> Option<HostId> {
+        self.boundary
+            .as_ref()
+            .and_then(|b| b.remote_agents.get(&agent).copied())
+    }
+
+    // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
 
@@ -631,9 +835,15 @@ impl SimWorld {
     /// monotone).
     fn schedule_at(&mut self, at: SimTime, kind: EventKind) {
         let at = at.max(self.now);
+        let shard = self.shard;
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(QueuedEvent { at, seq, kind }));
+        self.events.push(Reverse(QueuedEvent {
+            at,
+            shard,
+            seq,
+            kind,
+        }));
     }
 
     /// Apply or heal the installed plan's fault at `index`.
@@ -672,11 +882,21 @@ impl SimWorld {
                 format!("chaos: heal link {a}-{b} slowdown")
             }
             (Fault::CrashHost { host }, false) => {
-                let _ = self.crash_host(host);
+                if self.hosts.contains_key(&host) {
+                    let _ = self.crash_host(host);
+                } else {
+                    // Another shard owns the host; mirror its state so
+                    // remote dispatches are refused while it is down.
+                    self.set_remote_host_down(host, true);
+                }
                 return; // crash_host traces for itself
             }
             (Fault::CrashHost { host }, true) => {
-                let _ = self.restart_host(host);
+                if self.hosts.contains_key(&host) {
+                    let _ = self.restart_host(host);
+                } else {
+                    self.set_remote_host_down(host, false);
+                }
                 return; // restart_host traces for itself
             }
         };
@@ -690,6 +910,7 @@ impl SimWorld {
         if fresh {
             self.homes.insert(id, host);
             self.metrics.agents_created += 1;
+            self.announce(id, host);
             self.run_callback(id, None, "on_creation", |agent, ctx| agent.on_creation(ctx));
         }
     }
@@ -771,6 +992,7 @@ impl SimWorld {
                     self.locations.insert(id, Location::Active(host));
                     self.homes.insert(id, host);
                     self.metrics.agents_created += 1;
+                    self.announce(id, host);
                     let parent = self.current_trace;
                     self.run_callback(id, parent, "on_creation", |agent, ctx| {
                         agent.on_creation(ctx)
@@ -797,6 +1019,7 @@ impl SimWorld {
                             self.locations.insert(id, Location::Active(host));
                             self.homes.insert(id, host);
                             self.metrics.agents_created += 1;
+                            self.announce(id, host);
                             let parent = self.current_trace;
                             self.run_callback(id, parent, "on_creation", |agent, ctx| {
                                 agent.on_creation(ctx)
@@ -949,6 +1172,10 @@ impl SimWorld {
         let to_host = match self.locations.get(&to) {
             Some(Location::Active(h)) | Some(Location::Deactivated(h)) => *h,
             Some(Location::InTransit) | None => {
+                if let Some(remote) = self.remote_host_of(to) {
+                    self.send_boundary_message(from_host, remote, msg);
+                    return;
+                }
                 self.metrics.messages_dead_lettered += 1;
                 self.telemetry.registry_mut().dead_letter(msg.kind.as_str());
                 if let Some(tc) = msg.trace {
@@ -1046,14 +1273,201 @@ impl SimWorld {
         self.enqueue_deliver(at, msg);
     }
 
+    /// Hand a message to an agent owned by another shard: faults on the
+    /// cross-shard link are rolled on the sending side (which owns the
+    /// topology overlay for the pair), the hop span is ended here (span
+    /// ids do not cross the boundary), and the item joins the outbox with
+    /// a delivery time no earlier than the epoch end.
+    fn send_boundary_message(&mut self, from_host: HostId, to_host: HostId, mut msg: Message) {
+        let bytes = msg.wire_size();
+        let loss = self.topology.loss(from_host, to_host);
+        if loss > 0.0 && self.rng.gen::<f64>() < loss {
+            self.metrics.messages_lost += 1;
+            let chaos_fault = self.topology.fault_active(from_host, to_host);
+            if chaos_fault {
+                self.metrics.chaos_drops += 1;
+            }
+            if let Some(tc) = msg.trace {
+                let label = if chaos_fault {
+                    "dropped: chaos fault on link"
+                } else {
+                    "dropped: link loss"
+                };
+                self.telemetry
+                    .event(tc.span_id, SpanEventKind::Chaos, label, self.now);
+                self.telemetry.end(tc.span_id, self.now);
+            }
+            return;
+        }
+        self.metrics.remote_message_bytes += bytes as u64;
+        if let Some(tc) = msg.strip_trace() {
+            self.telemetry.event(
+                tc.span_id,
+                SpanEventKind::Boundary,
+                format!("{} to {} crossed shard boundary", msg.kind, msg.to),
+                self.now,
+            );
+            self.telemetry.end(tc.span_id, self.now);
+        }
+        let latency = self
+            .boundary
+            .as_ref()
+            .map(|b| b.latency)
+            .unwrap_or_default();
+        let delay = self
+            .topology
+            .delivery_time(from_host, to_host, bytes)
+            .max(latency);
+        let at = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        let origin_shard = self.shard;
+        if let Some(b) = &mut self.boundary {
+            b.outbox.push(BoundaryItem {
+                at,
+                origin_shard,
+                origin_seq: seq,
+                payload: BoundaryPayload::Deliver(msg),
+            });
+        }
+    }
+
+    /// Dispatch an agent to a host owned by another shard. Mirrors the
+    /// local [`SimWorld::do_dispatch`] step for step — refusal on
+    /// partition/remote crash, `on_dispatch`, permit issue, loss roll —
+    /// then ships the capsule through the outbox instead of the local
+    /// event queue. The agent leaves this shard's directory eagerly so
+    /// follow-up messages forward across the boundary.
+    fn dispatch_boundary(&mut self, host: HostId, id: AgentId, dest: HostId) {
+        if self.locations.get(&id) != Some(&Location::Active(host)) {
+            return; // already departed or disposed this round
+        }
+        let down = self
+            .boundary
+            .as_ref()
+            .is_some_and(|b| b.remote_down.contains(&dest));
+        if self.topology.is_partitioned(host, dest) || down {
+            self.metrics.chaos_drops += 1;
+            if let Some(tc) = self.current_trace {
+                self.telemetry.event(
+                    tc.span_id,
+                    SpanEventKind::Chaos,
+                    format!("dispatch refused: {dest} unreachable"),
+                    self.now,
+                );
+            }
+            self.trace.record(
+                self.now,
+                Some(id),
+                format!("dispatch refused: {dest} unreachable"),
+            );
+            let parent = self.current_trace;
+            self.run_callback(id, parent, "on_dispatch_failed", move |agent, ctx| {
+                agent.on_dispatch_failed(ctx, dest)
+            });
+            return;
+        }
+        let parent = self.current_trace;
+        self.run_callback(id, parent, "on_dispatch", |agent, ctx| {
+            agent.on_dispatch(ctx)
+        });
+        if self.locations.get(&id) != Some(&Location::Active(host)) {
+            return;
+        }
+        let Some(agent) = self.hosts.get_mut(&host).and_then(|h| h.active.remove(&id)) else {
+            return;
+        };
+        let home = self.homes.get(&id).copied().unwrap_or(host);
+        let permit = if host == home {
+            let h = self.hosts.get_mut(&host).expect("home host exists");
+            let p = h.auth.issue(id);
+            self.permits.insert(id, p);
+            Some(p)
+        } else {
+            self.permits.get(&id).copied()
+        };
+        let mut capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
+        drop(agent);
+        capsule.deadline = self.current_deadline;
+        capsule.trace = self.current_trace.map(|p| {
+            self.telemetry.child(
+                p,
+                HopKind::Migration,
+                capsule.agent_type.clone(),
+                Some(id),
+                Some(host),
+                self.now,
+            )
+        });
+        // The migration hop ends at the boundary: span ids are shard-local.
+        if let Some(tc) = capsule.strip_trace() {
+            self.telemetry.event(
+                tc.span_id,
+                SpanEventKind::Boundary,
+                format!("{id} crossed shard boundary to {dest}"),
+                self.now,
+            );
+            self.telemetry.end(tc.span_id, self.now);
+        }
+        let bytes = capsule.wire_size();
+        let loss = self.topology.loss(host, dest);
+        if loss > 0.0 && self.rng.gen::<f64>() < loss {
+            self.locations.remove(&id);
+            self.permits.remove(&id);
+            self.metrics.messages_lost += 1;
+            if self.topology.fault_active(host, dest) {
+                self.metrics.chaos_drops += 1;
+            }
+            self.trace.record(
+                self.now,
+                Some(id),
+                format!("agent lost in transit to {dest}"),
+            );
+            return;
+        }
+        self.metrics.migration_bytes += bytes as u64;
+        let latency = self
+            .boundary
+            .as_ref()
+            .map(|b| b.latency)
+            .unwrap_or_default();
+        let delay = self.topology.delivery_time(host, dest, bytes).max(latency);
+        let at = self.now + delay;
+        // Departed for good as far as this shard is concerned: directory
+        // entries move to the remote side so follow-up sends forward.
+        self.locations.remove(&id);
+        self.permits.remove(&id);
+        self.register_remote_agent(id, dest);
+        let seq = self.seq;
+        self.seq += 1;
+        let origin_shard = self.shard;
+        if let Some(b) = &mut self.boundary {
+            b.outbox.push(BoundaryItem {
+                at,
+                origin_shard,
+                origin_seq: seq,
+                payload: BoundaryPayload::Arrive { capsule, dest },
+            });
+        }
+    }
+
     /// Schedule a delivery, consulting the bounded mailbox (if one is
     /// configured) for an admission verdict first. The mailbox is the
     /// single choke point for every path that ends in
     /// [`EventKind::Deliver`]: agent sends, external ingress, chaos
-    /// duplicates and activation replays.
+    /// duplicates, activation replays and boundary injections.
     fn enqueue_deliver(&mut self, at: SimTime, msg: Message) {
+        self.enqueue_deliver_keyed(at, None, msg);
+    }
+
+    /// [`SimWorld::enqueue_deliver`] with an optional explicit ordering
+    /// key. `None` mints a local `(shard, seq)` key lazily — only if the
+    /// verdict actually schedules, preserving the unsharded sequence
+    /// stream byte for byte. `Some` pins the origin key of a boundary
+    /// item so injected deliveries keep their global total order.
+    fn enqueue_deliver_keyed(&mut self, at: SimTime, key: Option<(u16, u64)>, msg: Message) {
         if self.mailbox.is_none() {
-            self.schedule_at(at, EventKind::Deliver(msg));
+            self.schedule_deliver(at, key, msg);
             return;
         }
         let verdict = self
@@ -1062,7 +1476,7 @@ impl SimWorld {
             .expect("checked above")
             .on_enqueue(msg.to, msg.id);
         match verdict {
-            EnqueueVerdict::Admit => self.schedule_at(at, EventKind::Deliver(msg)),
+            EnqueueVerdict::Admit => self.schedule_deliver(at, key, msg),
             EnqueueVerdict::AdmitEvictingOldest => {
                 self.metrics.mailbox_rejections += 1;
                 self.trace.record(
@@ -1070,7 +1484,7 @@ impl SimWorld {
                     msg.from,
                     format!("mailbox full at {}: oldest queued message evicted", msg.to),
                 );
-                self.schedule_at(at, EventKind::Deliver(msg));
+                self.schedule_deliver(at, key, msg);
             }
             EnqueueVerdict::Reject => {
                 self.metrics.mailbox_rejections += 1;
@@ -1113,7 +1527,24 @@ impl SimWorld {
         }
     }
 
-    fn handle_deliver(&mut self, msg: Message) {
+    /// Push an admitted delivery onto the heap, under the given origin key
+    /// or a freshly minted local one.
+    fn schedule_deliver(&mut self, at: SimTime, key: Option<(u16, u64)>, msg: Message) {
+        match key {
+            None => self.schedule_at(at, EventKind::Deliver(msg)),
+            Some((shard, seq)) => {
+                let at = at.max(self.now);
+                self.events.push(Reverse(QueuedEvent {
+                    at,
+                    shard,
+                    seq,
+                    kind: EventKind::Deliver(msg),
+                }));
+            }
+        }
+    }
+
+    fn handle_deliver(&mut self, mut msg: Message) {
         let to = msg.to;
         if let Some(mailbox) = &mut self.mailbox {
             let outcome = mailbox.on_consume(to, msg.id);
@@ -1211,6 +1642,39 @@ impl SimWorld {
                 }
             }
             Some(Location::InTransit) | None => {
+                if let Some(remote) = self.remote_host_of(to) {
+                    // The recipient moved to another shard after this
+                    // delivery was queued: forward across the boundary
+                    // instead of dead-lettering.
+                    if let Some(tc) = msg.strip_trace() {
+                        self.telemetry.event(
+                            tc.span_id,
+                            SpanEventKind::Boundary,
+                            format!("{} to {} forwarded across shard boundary", msg.kind, to),
+                            self.now,
+                        );
+                        self.telemetry.end(tc.span_id, self.now);
+                    }
+                    let latency = self
+                        .boundary
+                        .as_ref()
+                        .map(|b| b.latency)
+                        .unwrap_or_default();
+                    let at = self.now + latency;
+                    let seq = self.seq;
+                    self.seq += 1;
+                    let origin_shard = self.shard;
+                    let _ = remote;
+                    if let Some(b) = &mut self.boundary {
+                        b.outbox.push(BoundaryItem {
+                            at,
+                            origin_shard,
+                            origin_seq: seq,
+                            payload: BoundaryPayload::Deliver(msg),
+                        });
+                    }
+                    return;
+                }
                 self.metrics.messages_dead_lettered += 1;
                 self.telemetry.registry_mut().dead_letter(msg.kind.as_str());
                 if let Some(tc) = msg.trace {
@@ -1249,6 +1713,7 @@ impl SimWorld {
                 self.locations.insert(clone_id, Location::Active(host));
                 self.homes.insert(clone_id, host);
                 self.metrics.agents_created += 1;
+                self.announce(clone_id, host);
                 let parent = self.current_trace;
                 self.run_callback(clone_id, parent, "on_clone", |agent, ctx| {
                     agent.on_clone(ctx)
@@ -1288,6 +1753,14 @@ impl SimWorld {
 
     fn do_dispatch(&mut self, host: HostId, id: AgentId, dest: HostId) {
         if !self.hosts.contains_key(&dest) {
+            let is_remote = self
+                .boundary
+                .as_ref()
+                .is_some_and(|b| b.remote_hosts.contains(&dest));
+            if is_remote {
+                self.dispatch_boundary(host, id, dest);
+                return;
+            }
             self.trace.record(
                 self.now,
                 Some(id),
@@ -1495,6 +1968,11 @@ impl SimWorld {
                 let h = self.hosts.get_mut(&dest).expect("arrival host exists");
                 h.active.insert(id, agent);
                 self.locations.insert(id, Location::Active(dest));
+                // A no-op for local migrations (already set at creation);
+                // records the true home of cross-shard arrivals so their
+                // later dispatches carry the right permit expectations.
+                self.homes.insert(id, capsule.home);
+                self.announce(id, dest);
                 if let Some(tc) = capsule.trace {
                     if let Some(dur) = self.telemetry.end(tc.span_id, self.now) {
                         self.telemetry
@@ -2040,5 +2518,105 @@ mod tests {
             w.now().since(before)
         );
         assert!(w.metrics().remote_message_bytes > 0);
+    }
+
+    /// Satellite regression: same-time events from different shards must
+    /// pop in `(time, shard, seq)` order no matter which was pushed first.
+    #[test]
+    fn same_time_cross_shard_events_order_by_shard_then_seq() {
+        fn drain(order: &[(u16, u64)]) -> Vec<(u16, u64)> {
+            let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
+            let at = SimTime::ZERO + SimDuration::from_micros(100);
+            for &(shard, seq) in order {
+                heap.push(Reverse(QueuedEvent {
+                    at,
+                    shard,
+                    seq,
+                    kind: EventKind::Timer {
+                        agent: AgentId(1),
+                        tag: 0,
+                        trace: None,
+                        deadline: None,
+                    },
+                }));
+            }
+            let mut popped = Vec::new();
+            while let Some(Reverse(ev)) = heap.pop() {
+                popped.push((ev.shard, ev.seq));
+            }
+            popped
+        }
+        let forward = drain(&[(0, 5), (1, 2), (0, 7), (1, 1), (2, 0)]);
+        let backward = drain(&[(2, 0), (1, 1), (0, 7), (1, 2), (0, 5)]);
+        assert_eq!(
+            forward, backward,
+            "heap order must not depend on enqueue order"
+        );
+        assert_eq!(forward, vec![(0, 5), (0, 7), (1, 1), (1, 2), (2, 0)]);
+    }
+
+    /// Satellite regression: a timer and a delivery scheduled for the same
+    /// instant resolve the race identically run to run — the trace from
+    /// enqueuing (timer, message) matches (message, timer).
+    #[test]
+    fn same_time_timer_and_delivery_race_is_deterministic() {
+        fn run(send_first: bool) -> Vec<String> {
+            let mut w = SimWorld::new(4242);
+            w.registry_mut().register_serde::<Worker>("worker");
+            let a = w.add_host("a");
+            let id = w.create_agent(a, Box::new(Worker::default())).unwrap();
+            // A "ping" delivery lands after local_delay (1µs); a timer with
+            // the same 1µs delay fires at the identical instant.
+            if send_first {
+                w.send_external(id, Message::new("ping")).unwrap();
+                w.schedule(
+                    SimDuration::from_micros(1),
+                    EventKind::Timer {
+                        agent: id,
+                        tag: 9,
+                        trace: None,
+                        deadline: None,
+                    },
+                );
+            } else {
+                w.schedule(
+                    SimDuration::from_micros(1),
+                    EventKind::Timer {
+                        agent: id,
+                        tag: 9,
+                        trace: None,
+                        deadline: None,
+                    },
+                );
+                w.send_external(id, Message::new("ping")).unwrap();
+            }
+            w.run_until_idle();
+            w.trace().labels().iter().map(|s| s.to_string()).collect()
+        }
+        // Enqueue order differs, so seq differs and the winner flips — but
+        // each ordering is fully deterministic under (time, shard, seq).
+        assert_eq!(run(true), run(true));
+        assert_eq!(run(false), run(false));
+    }
+
+    /// Boundary-enabled shards mint ids from disjoint bases, so a merged
+    /// sharded world never collides agent, message or host ids.
+    #[test]
+    fn boundary_shards_use_disjoint_id_bases() {
+        let mut s0 = SimWorld::new(1);
+        let mut s1 = SimWorld::new(1);
+        s0.enable_boundary(0, SimDuration::from_micros(200));
+        s1.enable_boundary(1, SimDuration::from_micros(200));
+        let h0 = s0.add_host("a");
+        let h1 = s1.add_host("a");
+        assert_ne!(h0, h1);
+        assert_eq!(h1, HostId((1 << 24) | 1));
+        let a0 = s0.create_agent(h0, Box::new(Worker::default())).unwrap();
+        let a1 = s1.create_agent(h1, Box::new(Worker::default())).unwrap();
+        assert_ne!(a0, a1);
+        assert_eq!(a1, AgentId((1 << 40) | 1));
+        // shard 0 keeps the legacy bases: byte-identity with unsharded runs
+        assert_eq!(h0, HostId(1));
+        assert_eq!(a0, AgentId(1));
     }
 }

@@ -94,6 +94,9 @@ pub enum SpanEventKind {
     Breaker,
     /// Work dropped because its request deadline had already passed.
     DeadlineExceeded,
+    /// The request crossed a shard boundary; the trace ends on the origin
+    /// shard (span ids are shard-local) and this event records the handoff.
+    Boundary,
 }
 
 impl SpanEventKind {
@@ -108,6 +111,7 @@ impl SpanEventKind {
             SpanEventKind::Shed => "shed",
             SpanEventKind::Breaker => "breaker",
             SpanEventKind::DeadlineExceeded => "deadline_exceeded",
+            SpanEventKind::Boundary => "boundary",
         }
     }
 }

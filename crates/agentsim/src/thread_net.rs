@@ -42,6 +42,9 @@ enum Envelope {
     Create {
         id: AgentId,
         agent: Box<dyn Agent>,
+        /// Born by `clone_self` rather than `create`: the landing worker
+        /// runs `on_clone` instead of `on_creation`.
+        cloned: bool,
     },
     Timer {
         agent: AgentId,
@@ -51,18 +54,42 @@ enum Envelope {
     },
     AdminDeactivate(AgentId),
     AdminActivate(AgentId),
+    AdminDispose(AgentId),
     AdminRetract {
         agent: AgentId,
         to: HostId,
     },
     /// Chaos: wipe the host's agents and stores (the crash itself; the
-    /// unreachability flag lives in [`Shared::chaos`]).
+    /// unreachability flag lives in [`Shared::chaos`]). Broadcast to every
+    /// worker of the host.
     AdminCrash,
     Shutdown,
 }
 
+impl Envelope {
+    /// The agent that decides which worker of a host handles this
+    /// envelope; `None` means broadcast to every worker.
+    fn routing_agent(&self) -> Option<AgentId> {
+        match self {
+            Envelope::Deliver(msg) => Some(msg.to),
+            Envelope::Arrive(capsule) => Some(capsule.id),
+            Envelope::Create { id, .. } => Some(*id),
+            Envelope::Timer { agent, .. } => Some(*agent),
+            Envelope::AdminDeactivate(a)
+            | Envelope::AdminActivate(a)
+            | Envelope::AdminDispose(a) => Some(*a),
+            Envelope::AdminRetract { agent, .. } => Some(*agent),
+            Envelope::AdminCrash | Envelope::Shutdown => None,
+        }
+    }
+}
+
 struct Shared {
-    routes: Mutex<HashMap<HostId, Sender<Envelope>>>,
+    /// One sender per worker thread of each host. Envelopes route to
+    /// `shard_of(routing_agent, workers)`; broadcasts go to every worker.
+    routes: Mutex<HashMap<HostId, Vec<Sender<Envelope>>>>,
+    /// Worker threads per host (1 = the classic one-thread-per-host mode).
+    workers: usize,
     locations: Mutex<HashMap<AgentId, HostId>>,
     homes: Mutex<HashMap<AgentId, HostId>>,
     in_flight: AtomicI64,
@@ -142,11 +169,35 @@ impl Shared {
         }
     }
 
+    /// Which worker of a host owns `agent`. Stable for an agent's whole
+    /// lifetime, so per-worker state (store, permits, authenticator)
+    /// always sees the same agent on the same thread.
+    fn worker_of(&self, agent: AgentId) -> usize {
+        crate::ids::shard_of(agent, self.workers)
+    }
+
     fn send_envelope(&self, host: HostId, env: Envelope) -> bool {
         let routes = self.routes.lock();
-        if let Some(tx) = routes.get(&host) {
+        if let Some(txs) = routes.get(&host) {
+            let worker = match env.routing_agent() {
+                Some(agent) => self.worker_of(agent),
+                None => {
+                    // Broadcast (crash): every worker wipes its slice.
+                    debug_assert!(matches!(env, Envelope::AdminCrash));
+                    let mut ok = false;
+                    for tx in txs.iter() {
+                        self.in_flight.fetch_add(1, Ordering::SeqCst);
+                        if tx.send(Envelope::AdminCrash).is_ok() {
+                            ok = true;
+                        } else {
+                            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    return ok;
+                }
+            };
             self.in_flight.fetch_add(1, Ordering::SeqCst);
-            if tx.send(env).is_ok() {
+            if txs[worker].send(env).is_ok() {
                 return true;
             }
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -214,6 +265,7 @@ pub struct ThreadWorldBuilder {
     host_names: Vec<String>,
     telemetry: bool,
     mailbox: Option<MailboxConfig>,
+    workers: usize,
 }
 
 impl ThreadWorldBuilder {
@@ -225,7 +277,18 @@ impl ThreadWorldBuilder {
             host_names: Vec::new(),
             telemetry: false,
             mailbox: None,
+            workers: 1,
         }
+    }
+
+    /// Run each host on `n` worker threads instead of one (clamped to at
+    /// least 1). Agents are sharded across a host's workers by id hash
+    /// ([`crate::ids::shard_of`]), so each agent always runs on the same
+    /// thread; envelopes route by their target agent. The default of 1 is
+    /// exactly the classic one-thread-per-host runtime.
+    pub fn workers(&mut self, n: usize) -> &mut Self {
+        self.workers = n.max(1);
+        self
     }
 
     /// Bound every agent's mailbox to `config.capacity` queued messages,
@@ -264,10 +327,12 @@ impl ThreadWorldBuilder {
         HostId(self.host_names.len() as u32)
     }
 
-    /// Spawn one thread per declared host and return the running world.
+    /// Spawn the worker threads (one per host per configured worker) and
+    /// return the running world.
     pub fn start(self) -> ThreadWorld {
         let shared = Arc::new(Shared {
             routes: Mutex::new(HashMap::new()),
+            workers: self.workers,
             locations: Mutex::new(HashMap::new()),
             homes: Mutex::new(HashMap::new()),
             in_flight: AtomicI64::new(0),
@@ -296,11 +361,23 @@ impl ThreadWorldBuilder {
         for (i, _name) in self.host_names.iter().enumerate() {
             let id = HostId(i as u32 + 1);
             hosts.push(id);
-            let (tx, rx) = unbounded();
-            shared.routes.lock().insert(id, tx);
-            let shared2 = Arc::clone(&shared);
-            let seed = self.seed.wrapping_add(i as u64 + 1);
-            handles.push(thread::spawn(move || host_loop(id, seed, rx, shared2)));
+            let base_seed = self.seed.wrapping_add(i as u64 + 1);
+            let mut txs = Vec::with_capacity(self.workers);
+            for w in 0..self.workers {
+                let (tx, rx) = unbounded();
+                txs.push(tx);
+                let shared2 = Arc::clone(&shared);
+                // Worker 0 keeps the classic per-host seed so a 1-worker
+                // world reproduces the old runtime exactly; extra workers
+                // mix in their index.
+                let seed = if w == 0 {
+                    base_seed
+                } else {
+                    base_seed ^ crate::ids::splitmix64(w as u64)
+                };
+                handles.push(thread::spawn(move || host_loop(id, w, seed, rx, shared2)));
+            }
+            shared.routes.lock().insert(id, txs);
         }
         ThreadWorld {
             shared,
@@ -338,10 +415,14 @@ impl ThreadWorld {
         let id = AgentId(self.shared.next_agent_id.fetch_add(1, Ordering::SeqCst));
         self.shared.locations.lock().insert(id, host);
         self.shared.homes.lock().insert(id, host);
-        if !self
-            .shared
-            .send_envelope(host, Envelope::Create { id, agent })
-        {
+        if !self.shared.send_envelope(
+            host,
+            Envelope::Create {
+                id,
+                agent,
+                cloned: false,
+            },
+        ) {
             self.shared.locations.lock().remove(&id);
             return Err(PlatformError::UnknownHost(host));
         }
@@ -382,6 +463,14 @@ impl ThreadWorld {
     /// Highest mailbox depth observed so far.
     pub fn mailbox_max_depth(&self) -> usize {
         self.shared.mailbox.lock().max_depth_seen()
+    }
+
+    /// Total messages currently parked for deactivated agents, summed
+    /// across all agents. Disposing or crashing an agent must drop its
+    /// contribution to zero — a nonzero value after the world quiesced
+    /// with no deactivated agents left is a bookkeeping leak.
+    pub fn parked_total(&self) -> usize {
+        self.shared.parked.lock().values().sum()
     }
 
     /// Administratively deactivate / activate an agent (mirrors the DES
@@ -525,8 +614,10 @@ impl ThreadWorld {
     pub fn shutdown_with_telemetry(self) -> (Metrics, Trace, Telemetry) {
         {
             let routes = self.shared.routes.lock();
-            for tx in routes.values() {
-                let _ = tx.send(Envelope::Shutdown);
+            for txs in routes.values() {
+                for tx in txs {
+                    let _ = tx.send(Envelope::Shutdown);
+                }
             }
         }
         for handle in self.handles {
@@ -609,6 +700,9 @@ impl fmt::Display for StallDiagnostic {
 
 struct HostState {
     id: HostId,
+    /// This thread's worker index within the host (always 0 in the
+    /// classic 1-worker mode).
+    worker: usize,
     active: HashMap<AgentId, Box<dyn Agent>>,
     store: DeactivatedStore,
     auth: Authenticator,
@@ -633,9 +727,10 @@ struct HostState {
 
 const ID_BATCH: u64 = 1 << 16;
 
-fn host_loop(id: HostId, seed: u64, rx: Receiver<Envelope>, shared: Arc<Shared>) {
+fn host_loop(id: HostId, worker: usize, seed: u64, rx: Receiver<Envelope>, shared: Arc<Shared>) {
     let mut host = HostState {
         id,
+        worker,
         active: HashMap::new(),
         store: DeactivatedStore::new(),
         auth: Authenticator::new(seed ^ 0x5ee5_ee5e),
@@ -787,12 +882,16 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
             }
             handle_arrival(host, capsule, shared)
         }
-        Envelope::Create { id, agent } => {
+        Envelope::Create { id, agent, cloned } => {
             host.active.insert(id, agent);
             shared.metrics.lock().agents_created += 1;
-            run_callback(host, shared, id, None, "on_creation", |a, ctx| {
-                a.on_creation(ctx)
-            });
+            if cloned {
+                run_callback(host, shared, id, None, "on_clone", |a, ctx| a.on_clone(ctx));
+            } else {
+                run_callback(host, shared, id, None, "on_creation", |a, ctx| {
+                    a.on_creation(ctx)
+                });
+            }
         }
         Envelope::Timer {
             agent,
@@ -823,6 +922,7 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
         }
         Envelope::AdminDeactivate(agent) => do_deactivate(host, shared, agent),
         Envelope::AdminActivate(agent) => do_activate(host, shared, agent),
+        Envelope::AdminDispose(agent) => do_dispose(host, shared, agent),
         Envelope::AdminRetract { agent, to } => {
             if host.active.contains_key(&agent) {
                 do_dispatch(host, shared, agent, to);
@@ -851,14 +951,20 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
             }
             {
                 let mut m = shared.metrics.lock();
-                m.host_crashes += 1;
+                // The crash is broadcast to every worker of the host but
+                // is one event; worker 0 owns the host-level bookkeeping.
+                if host.worker == 0 {
+                    m.host_crashes += 1;
+                }
                 m.agents_lost_in_crash += lost.len() as u64;
             }
-            shared.trace.lock().record(
-                shared.now(),
-                None,
-                format!("chaos: {} crashed ({} agents lost)", host.id, lost.len()),
-            );
+            if host.worker == 0 {
+                shared.trace.lock().record(
+                    shared.now(),
+                    None,
+                    format!("chaos: {} crashed ({} agents lost)", host.id, lost.len()),
+                );
+            }
         }
         Envelope::Shutdown => {}
     }
@@ -1083,9 +1189,22 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                 }
             }
             Action::Create { id, agent } => {
-                host.active.insert(id, agent);
                 shared.locations.lock().insert(id, host.id);
                 shared.homes.lock().insert(id, host.id);
+                if shared.worker_of(id) != host.worker {
+                    // The id hashes to a sibling worker: install it there,
+                    // or every future envelope for it would miss.
+                    shared.send_envelope(
+                        host.id,
+                        Envelope::Create {
+                            id,
+                            agent,
+                            cloned: false,
+                        },
+                    );
+                    continue;
+                }
+                host.active.insert(id, agent);
                 shared.metrics.lock().agents_created += 1;
                 let parent = host.current_trace;
                 run_callback(host, shared, id, parent, "on_creation", |a, ctx| {
@@ -1108,9 +1227,20 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                 };
                 match shared.registry.rehydrate(&capsule) {
                     Ok(agent) => {
-                        host.active.insert(id, agent);
                         shared.locations.lock().insert(id, host.id);
                         shared.homes.lock().insert(id, host.id);
+                        if shared.worker_of(id) != host.worker {
+                            shared.send_envelope(
+                                host.id,
+                                Envelope::Create {
+                                    id,
+                                    agent,
+                                    cloned: false,
+                                },
+                            );
+                            continue;
+                        }
+                        host.active.insert(id, agent);
                         shared.metrics.lock().agents_created += 1;
                         let parent = host.current_trace;
                         run_callback(host, shared, id, parent, "on_creation", |a, ctx| {
@@ -1137,9 +1267,20 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                 };
                 match shared.registry.rehydrate(&capsule) {
                     Ok(copy) => {
-                        host.active.insert(id, copy);
                         shared.locations.lock().insert(id, host.id);
                         shared.homes.lock().insert(id, host.id);
+                        if shared.worker_of(id) != host.worker {
+                            shared.send_envelope(
+                                host.id,
+                                Envelope::Create {
+                                    id,
+                                    agent: copy,
+                                    cloned: true,
+                                },
+                            );
+                            continue;
+                        }
+                        host.active.insert(id, copy);
                         shared.metrics.lock().agents_created += 1;
                         let parent = host.current_trace;
                         run_callback(host, shared, id, parent, "on_clone", |a, ctx| {
@@ -1158,7 +1299,9 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
             Action::Retract { id, to } => {
                 let location = shared.locations.lock().get(&id).copied();
                 match location {
-                    Some(at) if at == host.id => do_dispatch(host, shared, id, to),
+                    Some(at) if at == host.id && shared.worker_of(id) == host.worker => {
+                        do_dispatch(host, shared, id, to)
+                    }
                     Some(at) => {
                         shared.send_envelope(at, Envelope::AdminRetract { agent: id, to });
                     }
@@ -1167,26 +1310,25 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                     }
                 }
             }
-            Action::Deactivate { id } => do_deactivate(host, shared, id),
-            Action::Activate { id } => do_activate(host, shared, id),
+            Action::Deactivate { id } => {
+                if let Some(at) = forward_admin(host, shared, id) {
+                    shared.send_envelope(at, Envelope::AdminDeactivate(id));
+                } else {
+                    do_deactivate(host, shared, id);
+                }
+            }
+            Action::Activate { id } => {
+                if let Some(at) = forward_admin(host, shared, id) {
+                    shared.send_envelope(at, Envelope::AdminActivate(id));
+                } else {
+                    do_activate(host, shared, id);
+                }
+            }
             Action::Dispose { id } => {
-                if host.active.contains_key(&id) {
-                    let parent = host.current_trace;
-                    run_callback(host, shared, id, parent, "on_disposal", |a, ctx| {
-                        a.on_disposal(ctx)
-                    });
-                    host.active.remove(&id);
-                    host.pending.remove(&id);
-                    shared.locations.lock().remove(&id);
-                    shared.mailbox.lock().forget(id);
-                    shared.parked.lock().remove(&id);
-                    shared.metrics.lock().agents_disposed += 1;
-                } else if host.store.contains(id) {
-                    host.store.load(id);
-                    shared.locations.lock().remove(&id);
-                    shared.mailbox.lock().forget(id);
-                    shared.parked.lock().remove(&id);
-                    shared.metrics.lock().agents_disposed += 1;
+                if let Some(at) = forward_admin(host, shared, id) {
+                    shared.send_envelope(at, Envelope::AdminDispose(id));
+                } else {
+                    do_dispose(host, shared, id);
                 }
             }
             Action::SetTimer { id, delay, tag } => {
@@ -1338,6 +1480,49 @@ fn do_dispatch(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, dest: Ho
     );
     shared.locations.lock().remove(&id);
     shared.send_envelope(dest, Envelope::Arrive(capsule));
+}
+
+/// Whether an admin action (deactivate / activate / dispose) on `id` must
+/// be forwarded to the worker that owns the agent instead of applied
+/// inline; `Some(host)` names where to send it. With one worker per host
+/// the answer is always "inline", which is exactly the classic runtime
+/// (inline handlers no-op when the agent is not local).
+fn forward_admin(host: &HostState, shared: &Arc<Shared>, id: AgentId) -> Option<HostId> {
+    if shared.workers == 1 || shared.worker_of(id) == host.worker {
+        return None;
+    }
+    shared.locations.lock().get(&id).copied()
+}
+
+fn do_dispose(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
+    let was_active = host.active.contains_key(&id);
+    if !was_active && !host.store.contains(id) {
+        return;
+    }
+    if was_active {
+        let parent = host.current_trace;
+        run_callback(host, shared, id, parent, "on_disposal", |a, ctx| {
+            a.on_disposal(ctx)
+        });
+        host.active.remove(&id);
+    } else {
+        host.store.load(id);
+    }
+    // Messages parked while the agent was deactivated can never replay
+    // now: dead-letter them (closing their still-open hop spans) rather
+    // than leaking them — and their parked-depth gauge — forever.
+    for msg in host.pending.remove(&id).unwrap_or_default() {
+        shared.metrics.lock().messages_dead_lettered += 1;
+        shared.dead_letter(
+            msg.kind.as_str(),
+            msg.trace,
+            format!("{} to {} (recipient disposed while parked)", msg.kind, id),
+        );
+    }
+    shared.locations.lock().remove(&id);
+    shared.mailbox.lock().forget(id);
+    shared.parked.lock().remove(&id);
+    shared.metrics.lock().agents_disposed += 1;
 }
 
 fn do_deactivate(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
@@ -1582,5 +1767,163 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.label.contains("hopper arrived at host-1 (hops=2)")));
+    }
+
+    /// Janitor that deactivates or disposes a named target on request.
+    #[derive(Debug, Serialize, Deserialize)]
+    struct Janitor {
+        target: AgentId,
+    }
+
+    impl Agent for Janitor {
+        fn agent_type(&self) -> &'static str {
+            "janitor"
+        }
+        fn snapshot(&self) -> serde_json::Value {
+            serde_json::to_value(self).unwrap()
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if msg.is("hibernate") {
+                ctx.deactivate(self.target);
+            } else if msg.is("scrap") {
+                ctx.dispose(self.target);
+            } else if msg.is("wake") {
+                ctx.activate(self.target);
+            }
+        }
+    }
+
+    /// Regression: disposing an agent while it is deactivated must drop
+    /// its parked messages (dead-lettered, spans closed) instead of
+    /// leaking them in the pending map and the parked-depth gauge.
+    #[test]
+    fn dispose_while_deactivated_dead_letters_parked_messages() {
+        let mut builder = ThreadWorldBuilder::new(29);
+        builder.register_serde::<Hopper>("hopper");
+        builder.register_serde::<Janitor>("janitor");
+        let a = builder.add_host("a");
+        let world = builder.start();
+        let hopper = world.create_agent(a, Box::new(Hopper::default())).unwrap();
+        let janitor = world
+            .create_agent(a, Box::new(Janitor { target: hopper }))
+            .unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
+        world
+            .send_external(janitor, Message::new("hibernate"))
+            .unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
+        // These park: the recipient is deactivated.
+        world.send_external(hopper, Message::new("nudge")).unwrap();
+        world.send_external(hopper, Message::new("nudge")).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
+        assert_eq!(world.parked_total(), 2, "both messages should be parked");
+        world.send_external(janitor, Message::new("scrap")).unwrap();
+        assert!(world.run_until_idle(Duration::from_secs(5)).is_idle());
+        assert_eq!(world.parked_total(), 0, "dispose must clear parked depth");
+        let (metrics, _) = world.shutdown();
+        assert_eq!(metrics.deactivations, 1);
+        assert_eq!(metrics.agents_disposed, 1);
+        assert_eq!(
+            metrics.messages_dead_lettered, 2,
+            "parked messages dead-letter on dispose instead of leaking"
+        );
+    }
+
+    #[test]
+    fn multi_worker_world_migrates_and_authenticates() {
+        let mut builder = ThreadWorldBuilder::new(31);
+        builder.workers(4);
+        builder.register_serde::<Hopper>("hopper");
+        let a = builder.add_host("a");
+        let b = builder.add_host("b");
+        let world = builder.start();
+        let mut ids = Vec::new();
+        for _ in 0..16 {
+            ids.push(world.create_agent(a, Box::new(Hopper::default())).unwrap());
+        }
+        for id in &ids {
+            world
+                .send_external(*id, Message::new("hop").with_payload(&b.0).unwrap())
+                .unwrap();
+        }
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
+        for id in &ids {
+            world
+                .send_external(*id, Message::new("hop").with_payload(&a.0).unwrap())
+                .unwrap();
+        }
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
+        let (metrics, _) = world.shutdown();
+        assert_eq!(metrics.migrations, 32, "out and home for all 16");
+        assert_eq!(
+            metrics.migrations_rejected, 0,
+            "permits verify on the worker that issued them"
+        );
+        assert_eq!(metrics.messages_dead_lettered, 0);
+    }
+
+    #[test]
+    fn multi_worker_clone_lands_on_its_owning_worker() {
+        let mut builder = ThreadWorldBuilder::new(37);
+        builder.workers(4);
+        builder.register_serde::<Mitosis>("mitosis");
+        let a = builder.add_host("a");
+        let world = builder.start();
+        let mut cells = Vec::new();
+        for _ in 0..8 {
+            cells.push(world.create_agent(a, Box::new(Mitosis::default())).unwrap());
+        }
+        for cell in &cells {
+            world.send_external(*cell, Message::new("divide")).unwrap();
+        }
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
+        let (metrics, trace) = world.shutdown();
+        assert_eq!(metrics.agents_created, 16, "8 originals + 8 clones");
+        assert_eq!(
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.label.contains("clone born at generation 1"))
+                .count(),
+            8,
+            "every clone ran on_clone wherever its id hashed to"
+        );
+    }
+
+    #[test]
+    fn multi_worker_admin_cycle_reaches_sibling_workers() {
+        let mut builder = ThreadWorldBuilder::new(41);
+        builder.workers(4);
+        builder.register_serde::<Hopper>("hopper");
+        builder.register_serde::<Janitor>("janitor");
+        let a = builder.add_host("a");
+        let world = builder.start();
+        // Enough targets that some land on a different worker than their
+        // janitor — that's the code path under test.
+        let mut pairs = Vec::new();
+        for _ in 0..8 {
+            let h = world.create_agent(a, Box::new(Hopper::default())).unwrap();
+            let j = world
+                .create_agent(a, Box::new(Janitor { target: h }))
+                .unwrap();
+            pairs.push((h, j));
+        }
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
+        for (_, j) in &pairs {
+            world.send_external(*j, Message::new("hibernate")).unwrap();
+        }
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
+        for (_, j) in &pairs {
+            world.send_external(*j, Message::new("wake")).unwrap();
+        }
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
+        for (_, j) in &pairs {
+            world.send_external(*j, Message::new("scrap")).unwrap();
+        }
+        assert!(world.run_until_idle(Duration::from_secs(10)).is_idle());
+        let (metrics, _) = world.shutdown();
+        assert_eq!(metrics.deactivations, 8);
+        assert_eq!(metrics.activations, 8);
+        assert_eq!(metrics.agents_disposed, 8);
     }
 }

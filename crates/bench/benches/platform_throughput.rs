@@ -59,6 +59,12 @@ fn throughput_series() {
         "telemetry fan-out @{scale}: disabled {disabled:.0} msg/s, traced {enabled:.0} msg/s \
          ({overhead_pct:.1}% tracing overhead)\n"
     );
+
+    // E10: the same fan-out partitioned across parallel DES shards (one
+    // worker thread per shard). Recorded as the platform_throughput
+    // scaling curve in BENCH_platform.json.
+    let shard_scale = if quick { 1_000 } else { 10_000 };
+    println!("{}", throughput::scaling_table(shard_scale, &[1, 2, 4, 8]));
 }
 
 fn bench(c: &mut Criterion) {

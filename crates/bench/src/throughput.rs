@@ -12,6 +12,7 @@ use abcrm_core::profile::ConsumerId;
 use agentsim::agent::{Agent, Ctx};
 use agentsim::ids::HostId;
 use agentsim::message::Message;
+use agentsim::shard::ShardedSimWorld;
 use agentsim::sim::SimWorld;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -142,6 +143,90 @@ fn fanout_messages_per_sec(consumers: usize, traced: bool) -> f64 {
     consumers as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// The same payload-heavy fan-out, but with the readers spread across
+/// `shards` parallel DES shards (one edge host per shard, consumers
+/// assigned round-robin). Every delivery stays shard-local, so this
+/// measures how the epoch machinery scales the per-delivery work
+/// (payload decode + handler) across cores. Returns delivered messages
+/// per wall-clock second; `shards == 1` is the single-threaded baseline
+/// (the sharded world degenerates to a plain [`SimWorld`]).
+pub fn sharded_messages_per_sec(consumers: usize, shards: usize) -> f64 {
+    let mut world = ShardedSimWorld::new(11, shards);
+    for k in 0..shards {
+        world
+            .shard_mut(k)
+            .registry_mut()
+            .register_serde::<Reader>("reader");
+    }
+    let edges: Vec<HostId> = (0..shards)
+        .map(|k| world.add_host(k, format!("edge-{k}")))
+        .collect();
+    let readers: Vec<_> = (0..consumers)
+        .map(|i| {
+            world
+                .create_agent(edges[i % shards], Box::new(Reader::default()))
+                .unwrap()
+        })
+        .collect();
+    let template = Message::new("quote")
+        .with_payload(&quote_sheet(40))
+        .expect("quote serializes");
+    let t0 = Instant::now();
+    for reader in &readers {
+        world.send_external(*reader, template.clone()).unwrap();
+    }
+    world.run_until_idle();
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        world.metrics().messages_delivered,
+        consumers as u64,
+        "every quote must be delivered"
+    );
+    consumers as f64 / elapsed
+}
+
+/// One row of the shard-scaling curve.
+#[derive(Debug)]
+pub struct ScalingRow {
+    /// Shard count.
+    pub shards: usize,
+    /// Fan-out deliveries per second at this shard count.
+    pub messages_per_sec: f64,
+    /// Rate relative to the 1-shard baseline.
+    pub speedup: f64,
+}
+
+/// Measure the fan-out workload at each shard count (first entry should
+/// be 1, the baseline each row's speedup is computed against).
+pub fn scaling_curve(consumers: usize, shard_counts: &[usize]) -> Vec<ScalingRow> {
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    for &shards in shard_counts {
+        let rate = sharded_messages_per_sec(consumers, shards);
+        let baseline = rows.first().map_or(rate, |r| r.messages_per_sec);
+        rows.push(ScalingRow {
+            shards,
+            messages_per_sec: rate,
+            speedup: rate / baseline,
+        });
+    }
+    rows
+}
+
+/// Render the shard-scaling table.
+pub fn scaling_table(consumers: usize, shard_counts: &[usize]) -> String {
+    let mut out = format!(
+        "[E10] sharded fan-out scaling ({consumers} consumers)\n\
+         shards     messages/s   speedup\n"
+    );
+    for row in scaling_curve(consumers, shard_counts) {
+        out.push_str(&format!(
+            "{:>6} {:>14.0} {:>8.2}x\n",
+            row.shards, row.messages_per_sec, row.speedup
+        ));
+    }
+    out
+}
+
 /// Send `agents` carriers (4 KB state each) on a round trip; returns
 /// migrations (hops) per wall-clock second.
 pub fn migrations_per_sec(agents: usize) -> f64 {
@@ -251,5 +336,21 @@ mod tests {
         let t = table(&[20]);
         assert!(t.contains("messages/s"));
         assert!(t.lines().count() >= 3);
+    }
+
+    #[test]
+    fn sharded_fanout_delivers_everything_at_every_shard_count() {
+        for shards in [1, 2, 4] {
+            let rate = sharded_messages_per_sec(120, shards);
+            assert!(rate > 0.0, "{shards}-shard rate must be positive");
+        }
+    }
+
+    #[test]
+    fn scaling_curve_reports_speedup_against_first_row() {
+        let rows = scaling_curve(60, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+        assert!(rows[1].speedup > 0.0);
     }
 }

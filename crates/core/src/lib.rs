@@ -38,7 +38,7 @@ pub use recommend::{
     Recommendation, Recommender, TopSellerRecommender,
 };
 pub use retry::BackoffPolicy;
-pub use server::{listing, Platform, PlatformBuilder};
+pub use server::{listing, Platform, PlatformBuilder, ShardedPlatform, ShardedPlatformBuilder};
 pub use similarity::{profile_similarity, SimilarityConfig, SimilarityMethod};
 pub use store::RecommendStore;
 pub use userdb::{TradeChannel, TransactionRecord, UserDb};

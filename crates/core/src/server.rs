@@ -26,6 +26,7 @@ use agentsim::ids::{AgentId, HostId};
 use agentsim::message::Message;
 use agentsim::net::Topology;
 use agentsim::overload::MailboxConfig;
+use agentsim::shard::ShardedSimWorld;
 use agentsim::sim::SimWorld;
 use ecp::merchandise::{ItemId, Merchandise, Money};
 use ecp::protocol::{
@@ -591,6 +592,510 @@ impl std::fmt::Debug for Platform {
     }
 }
 
+/// Builder for a [`ShardedPlatform`].
+///
+/// Mirrors [`PlatformBuilder`] but partitions the buyer side of the
+/// platform across `shards` parallel DES shards: the Coordinator,
+/// Marketplaces and Seller Servers live on shard 0, and each shard runs
+/// its own Buyer Agent Server (BSMA + HttpA + PA) provisioned through the
+/// shard-0 Coordinator exactly as Fig 4.1 describes — for shards other
+/// than 0 the BSMA's self-dispatch is a real cross-shard migration.
+/// Consumers are routed to buyer servers by consistent hash of their id,
+/// so a consumer's whole session stays on one shard while marketplace
+/// traffic crosses the conservative time-window boundary.
+#[derive(Debug)]
+pub struct ShardedPlatformBuilder {
+    seed: u64,
+    shards: usize,
+    topology: Topology,
+    listings_per_market: Vec<Vec<Listing>>,
+    learner: LearnerConfig,
+    similarity: SimilarityConfig,
+    collaborative_weight: f64,
+    mba_timeout_us: u64,
+    watch_retries: u32,
+    bra_retry: BackoffPolicy,
+    telemetry: bool,
+    admission: Option<AdmissionConfig>,
+    request_deadline_us: u64,
+    breaker: Option<BreakerConfig>,
+    mailbox: Option<MailboxConfig>,
+}
+
+impl ShardedPlatformBuilder {
+    /// Start building with a seed and shard count (clamped to at least 1);
+    /// defaults match [`PlatformBuilder::new`].
+    pub fn new(seed: u64, shards: usize) -> Self {
+        ShardedPlatformBuilder {
+            seed,
+            shards: shards.max(1),
+            topology: Topology::lan(),
+            listings_per_market: vec![Vec::new()],
+            learner: LearnerConfig::default(),
+            similarity: SimilarityConfig::default(),
+            collaborative_weight: 0.7,
+            mba_timeout_us: 600_000_000,
+            watch_retries: 1,
+            bra_retry: BackoffPolicy::default(),
+            telemetry: false,
+            admission: None,
+            request_deadline_us: 0,
+            breaker: None,
+            mailbox: None,
+        }
+    }
+
+    /// Use an explicit topology (applied to every shard).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// One entry per marketplace: the listings its seller provides.
+    pub fn marketplaces(mut self, listings_per_market: Vec<Vec<Listing>>) -> Self {
+        self.listings_per_market = listings_per_market;
+        self
+    }
+
+    /// Profile learner configuration.
+    pub fn learner(mut self, learner: LearnerConfig) -> Self {
+        self.learner = learner;
+        self
+    }
+
+    /// Similarity configuration.
+    pub fn similarity(mut self, similarity: SimilarityConfig) -> Self {
+        self.similarity = similarity;
+        self
+    }
+
+    /// Hybrid collaborative weight (ablation knob).
+    pub fn collaborative_weight(mut self, w: f64) -> Self {
+        self.collaborative_weight = w;
+        self
+    }
+
+    /// MBA loss timeout in simulated microseconds.
+    pub fn mba_timeout_us(mut self, us: u64) -> Self {
+        self.mba_timeout_us = us;
+        self
+    }
+
+    /// Grace periods the BSMA watchdog grants an overdue MBA.
+    pub fn watch_retries(mut self, retries: u32) -> Self {
+        self.watch_retries = retries;
+        self
+    }
+
+    /// Backoff schedule BRAs use to re-dispatch a lost MBA.
+    pub fn bra_retry(mut self, policy: BackoffPolicy) -> Self {
+        self.bra_retry = policy;
+        self
+    }
+
+    /// Enable token-bucket admission control at every shard's HttpA.
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
+        self
+    }
+
+    /// Mint an end-to-end deadline for every admitted task.
+    pub fn request_deadline_us(mut self, us: u64) -> Self {
+        self.request_deadline_us = us;
+        self
+    }
+
+    /// Guard each marketplace with a circuit breaker fed by MBA trip
+    /// reports (each shard's BSMA keeps its own breaker state).
+    pub fn breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// Bound every agent mailbox on every shard (applied after the
+    /// creation workflow so provisioning traffic is never shed).
+    pub fn mailbox(mut self, config: MailboxConfig) -> Self {
+        self.mailbox = Some(config);
+        self
+    }
+
+    /// Turn on end-to-end request tracing and the latency registry.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Assemble the sharded world and run the Fig 4.1 creation workflow
+    /// once per shard.
+    pub fn build(self) -> ShardedPlatform {
+        let shards = self.shards;
+        let mut world = ShardedSimWorld::new(self.seed, shards);
+        for k in 0..shards {
+            *world.shard_mut(k).topology_mut() = self.topology.clone();
+        }
+        if self.telemetry {
+            world.enable_telemetry();
+        }
+        for k in 0..shards {
+            register_all(world.shard_mut(k).registry_mut());
+        }
+
+        // Coordinator Server with its CA — shard 0 owns the market side.
+        let coordinator_host = world.add_host(0, "coordinator-server");
+        let coordinator = world
+            .create_agent(coordinator_host, Box::new(CoordinatorAgent::new()))
+            .expect("create coordinator");
+
+        // Marketplaces + their seller servers, all on shard 0.
+        let mut markets = Vec::new();
+        for (i, listings) in self.listings_per_market.iter().enumerate() {
+            let market_host = world.add_host(0, format!("marketplace-{i}"));
+            let market_agent = world
+                .create_agent(
+                    market_host,
+                    Box::new(MarketplaceAgent::new(format!("m{i}"))),
+                )
+                .expect("create marketplace");
+            markets.push(MarketRef {
+                host: market_host,
+                agent: market_agent,
+            });
+            let reg = Message::new(ecpk::REGISTER_SERVER)
+                .with_payload(&RegisterServer {
+                    role: ServerRole::Marketplace,
+                    host: market_host,
+                    agent: market_agent,
+                    name: format!("m{i}"),
+                })
+                .expect("register serializes");
+            world
+                .send_external(coordinator, reg)
+                .expect("register marketplace");
+            let seller_host = world.add_host(0, format!("seller-{i}"));
+            world
+                .create_agent(
+                    seller_host,
+                    Box::new(SellerAgent::new(
+                        i as u32 + 1,
+                        format!("seller-{i}"),
+                        listings.clone(),
+                        vec![market_agent],
+                    )),
+                )
+                .expect("create seller");
+        }
+        world.run_until_idle();
+
+        // One Buyer Agent Server per shard, each provisioned through the
+        // shard-0 Coordinator (Fig 4.1 steps 1-6). For k > 0 the BSMA's
+        // step-3 self-dispatch crosses the shard boundary. The 1-shard
+        // host name matches [`PlatformBuilder::build`] exactly so the
+        // single-shard trace is byte-identical to the unsharded one.
+        let mut buyer_hosts = Vec::new();
+        for k in 0..shards {
+            let name = if shards == 1 {
+                "buyer-agent-server".to_string()
+            } else {
+                format!("buyer-agent-server-{k}")
+            };
+            let buyer_host = world.add_host(k, name.clone());
+            buyer_hosts.push(buyer_host);
+            let config = BsmaConfig {
+                target: buyer_host,
+                coordinator,
+                markets: markets.clone(),
+                name,
+                learner: self.learner,
+                similarity: self.similarity,
+                mba_timeout_us: self.mba_timeout_us,
+                collaborative_weight: self.collaborative_weight,
+                watch_retries: self.watch_retries,
+                bra_retry: self.bra_retry,
+                admission: self.admission,
+                request_deadline_us: self.request_deadline_us,
+                breaker: self.breaker,
+            };
+            let request = Message::new(ecpk::REQUEST_BUYER_SERVER)
+                .with_payload(&RequestBuyerServer {
+                    host: buyer_host,
+                    bsma_type: crate::agents::BSMA_TYPE.to_string(),
+                    config: serde_json::json!({ "config": config }),
+                })
+                .expect("request serializes");
+            world
+                .send_external(coordinator, request)
+                .expect("request buyer server");
+        }
+        world.run_until_idle();
+
+        // Locate each shard's BSMA (it migrated to that shard's buyer
+        // host) and its children.
+        let mut stacks = Vec::new();
+        for (k, &buyer_host) in buyer_hosts.iter().enumerate() {
+            let shard = world.shard(k);
+            let mut found = None;
+            for id in shard.agents_on(buyer_host) {
+                if let Ok(snapshot) = shard.snapshot_of(id) {
+                    if let Ok(state) = serde_json::from_value::<Bsma>(snapshot) {
+                        if state.is_ready() {
+                            found = Some((id, state));
+                            break;
+                        }
+                    }
+                }
+            }
+            let (bsma, state) = found.expect("bsma reached its shard's buyer host and set up");
+            stacks.push(BuyerStack {
+                buyer_host,
+                bsma,
+                httpa: state.httpa().expect("httpa created"),
+                pa: state.pa().expect("pa created"),
+                responses_read: 0,
+            });
+        }
+
+        // Bound mailboxes only once the platform stands: provisioning
+        // traffic must never be shed.
+        if let Some(mailbox) = self.mailbox {
+            world.set_mailbox(mailbox);
+        }
+
+        ShardedPlatform {
+            world,
+            coordinator,
+            markets,
+            stacks,
+        }
+    }
+}
+
+/// One shard's buyer-side stack (Buyer Agent Server host, BSMA, HttpA,
+/// PA) plus its front-door response cursor.
+#[derive(Debug, Clone, Copy)]
+struct BuyerStack {
+    buyer_host: HostId,
+    bsma: AgentId,
+    httpa: AgentId,
+    pa: AgentId,
+    responses_read: usize,
+}
+
+/// A platform whose buyer side is partitioned across parallel DES shards.
+///
+/// Shard 0 hosts the Coordinator, Marketplaces and Seller Servers; every
+/// shard runs a full Buyer Agent Server. Consumers hash onto shards by
+/// id, and the same browser-level operations as [`Platform`] are exposed
+/// — each call routes to the owning shard's HttpA.
+pub struct ShardedPlatform {
+    world: ShardedSimWorld,
+    coordinator: AgentId,
+    markets: Vec<MarketRef>,
+    stacks: Vec<BuyerStack>,
+}
+
+impl ShardedPlatform {
+    /// Start building a sharded platform.
+    pub fn builder(seed: u64, shards: usize) -> ShardedPlatformBuilder {
+        ShardedPlatformBuilder::new(seed, shards)
+    }
+
+    /// Number of shards (== number of Buyer Agent Servers).
+    pub fn shard_count(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// The shard that owns `consumer`'s session.
+    pub fn shard_of(&self, consumer: ConsumerId) -> usize {
+        agentsim::ids::shard_of(AgentId(consumer.0), self.stacks.len())
+    }
+
+    /// The underlying sharded world (merged trace, metrics, clock).
+    pub fn world(&self) -> &ShardedSimWorld {
+        &self.world
+    }
+
+    /// Mutable world access (per-shard topology changes, manual messages).
+    pub fn world_mut(&mut self) -> &mut ShardedSimWorld {
+        &mut self.world
+    }
+
+    /// Counters merged across every shard.
+    pub fn metrics(&self) -> agentsim::metrics::Metrics {
+        self.world.metrics()
+    }
+
+    /// Install a [`ChaosPlan`] on every shard.
+    pub fn install_chaos(&mut self, plan: &ChaosPlan) {
+        self.world.install_chaos(plan);
+    }
+
+    /// Marketplace references, in creation order (all on shard 0).
+    pub fn markets(&self) -> &[MarketRef] {
+        &self.markets
+    }
+
+    /// The Coordinator Agent's id.
+    pub fn coordinator(&self) -> AgentId {
+        self.coordinator
+    }
+
+    /// Shard `k`'s Buyer Agent Server host.
+    pub fn buyer_host(&self, k: usize) -> HostId {
+        self.stacks[k].buyer_host
+    }
+
+    /// Shard `k`'s BSMA agent id.
+    pub fn bsma(&self, k: usize) -> AgentId {
+        self.stacks[k].bsma
+    }
+
+    fn send_front(&mut self, request: FrontRequest) {
+        let shard = self.shard_of(request.consumer);
+        let msg = Message::new(msgkinds::FRONT_REQUEST)
+            .with_payload(&request)
+            .expect("front request serializes");
+        self.world
+            .send_external(self.stacks[shard].httpa, msg)
+            .expect("httpa reachable");
+    }
+
+    /// Drain responses addressed to `consumer` that arrived at its
+    /// shard's HttpA since the last call.
+    fn drain_responses(&mut self, consumer: ConsumerId) -> Vec<ResponseBody> {
+        let shard = self.shard_of(consumer);
+        let stack = &mut self.stacks[shard];
+        let snapshot = self
+            .world
+            .shard(shard)
+            .snapshot_of(stack.httpa)
+            .expect("httpa active");
+        let state: crate::agents::HttpAgent =
+            serde_json::from_value(snapshot).expect("httpa state parses");
+        let all: Vec<FrontResponse> = state.responses().to_vec();
+        let fresh: Vec<ResponseBody> = all[stack.responses_read.min(all.len())..]
+            .iter()
+            .filter(|r| r.consumer == consumer)
+            .map(|r| r.body.clone())
+            .collect();
+        stack.responses_read = all.len();
+        fresh
+    }
+
+    fn run_task(&mut self, consumer: ConsumerId, body: FrontRequestBody) -> Vec<ResponseBody> {
+        self.send_front(FrontRequest { consumer, body });
+        self.world.run_until_idle();
+        self.drain_responses(consumer)
+    }
+
+    /// Log `consumer` in (creates their BRA on their shard).
+    pub fn login(&mut self, consumer: ConsumerId) -> Vec<ResponseBody> {
+        self.run_task(consumer, FrontRequestBody::Login)
+    }
+
+    /// Log `consumer` out (disposes their BRA).
+    pub fn logout(&mut self, consumer: ConsumerId) -> Vec<ResponseBody> {
+        self.run_task(consumer, FrontRequestBody::Logout)
+    }
+
+    /// Run the Fig 4.2 merchandise-query workflow on `consumer`'s shard;
+    /// its MBA migrates to the shard-0 marketplaces and back.
+    pub fn query(
+        &mut self,
+        consumer: ConsumerId,
+        keywords: &[&str],
+        max_results: usize,
+    ) -> Vec<ResponseBody> {
+        self.run_task(
+            consumer,
+            FrontRequestBody::Task(ConsumerTask::Query {
+                keywords: keywords.iter().map(|s| s.to_string()).collect(),
+                category: None,
+                max_results,
+            }),
+        )
+    }
+
+    /// Run the Fig 4.3 buy workflow against marketplace `market_index`.
+    pub fn buy(
+        &mut self,
+        consumer: ConsumerId,
+        item: ItemId,
+        market_index: usize,
+        mode: BuyMode,
+    ) -> Vec<ResponseBody> {
+        let market = self.markets[market_index];
+        self.run_task(
+            consumer,
+            FrontRequestBody::Task(ConsumerTask::Buy { item, market, mode }),
+        )
+    }
+
+    /// Submit a task without running the world — use with
+    /// [`ShardedPlatform::run_and_drain`] to let many consumers' tasks
+    /// overlap in time across shards.
+    pub fn submit_task(&mut self, consumer: ConsumerId, task: ConsumerTask) {
+        self.send_front(FrontRequest {
+            consumer,
+            body: FrontRequestBody::Task(task),
+        });
+    }
+
+    /// Run the world to idle, then return every fresh response from
+    /// every shard's HttpA as `(consumer, body)` pairs, in shard order.
+    pub fn run_and_drain(&mut self) -> Vec<(ConsumerId, ResponseBody)> {
+        self.world.run_until_idle();
+        let mut out = Vec::new();
+        for (k, stack) in self.stacks.iter_mut().enumerate() {
+            let snapshot = self
+                .world
+                .shard(k)
+                .snapshot_of(stack.httpa)
+                .expect("httpa active");
+            let state: crate::agents::HttpAgent =
+                serde_json::from_value(snapshot).expect("httpa state parses");
+            let all: Vec<FrontResponse> = state.responses().to_vec();
+            out.extend(
+                all[stack.responses_read.min(all.len())..]
+                    .iter()
+                    .map(|r| (r.consumer, r.body.clone())),
+            );
+            stack.responses_read = all.len();
+        }
+        out
+    }
+
+    /// Snapshot of shard `k`'s BSMA for inspection.
+    pub fn bsma_state(&self, k: usize) -> Bsma {
+        serde_json::from_value(
+            self.world
+                .shard(k)
+                .snapshot_of(self.stacks[k].bsma)
+                .expect("bsma active"),
+        )
+        .expect("bsma state parses")
+    }
+
+    /// Snapshot of shard `k`'s PA (store + UserDB) for inspection.
+    pub fn pa_state(&self, k: usize) -> crate::agents::ProfileAgent {
+        serde_json::from_value(
+            self.world
+                .shard(k)
+                .snapshot_of(self.stacks[k].pa)
+                .expect("pa active"),
+        )
+        .expect("pa state parses")
+    }
+}
+
+impl std::fmt::Debug for ShardedPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPlatform")
+            .field("shards", &self.stacks.len())
+            .field("markets", &self.markets.len())
+            .finish()
+    }
+}
+
 /// Convenience: build a listing.
 pub fn listing(
     id: u64,
@@ -880,6 +1385,121 @@ mod tests {
             matches!(&responses[0], ResponseBody::Error(e) if e.contains("lost")),
             "lost buy must error: {responses:?}"
         );
+    }
+
+    fn small_sharded_platform(seed: u64, shards: usize) -> ShardedPlatform {
+        ShardedPlatform::builder(seed, shards)
+            .marketplaces(vec![
+                vec![
+                    listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
+                    listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
+                ],
+                vec![listing(
+                    11,
+                    "Jazz Record",
+                    "music",
+                    "jazz",
+                    15,
+                    &[("jazz", 1.0)],
+                )],
+            ])
+            .build()
+    }
+
+    /// One consumer id per shard, found by walking the hash.
+    fn consumer_on_each_shard(p: &ShardedPlatform) -> Vec<ConsumerId> {
+        let mut picks: Vec<Option<ConsumerId>> = vec![None; p.shard_count()];
+        for c in 1..10_000u64 {
+            let shard = p.shard_of(ConsumerId(c));
+            if picks[shard].is_none() {
+                picks[shard] = Some(ConsumerId(c));
+            }
+            if picks.iter().all(Option::is_some) {
+                break;
+            }
+        }
+        picks
+            .into_iter()
+            .map(|c| c.expect("hash covers shard"))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_platform_serves_consumers_on_every_shard() {
+        let mut p = small_sharded_platform(21, 2);
+        assert_eq!(p.shard_count(), 2);
+        let consumers = consumer_on_each_shard(&p);
+        for &consumer in &consumers {
+            assert_eq!(p.login(consumer), vec![ResponseBody::LoggedIn]);
+            let responses = p.query(consumer, &["book"], 5);
+            match &responses[0] {
+                ResponseBody::Recommendations {
+                    offers, degraded, ..
+                } => {
+                    assert_eq!(offers.len(), 2, "both books match for {consumer:?}");
+                    assert!(!degraded);
+                }
+                other => panic!("expected recommendations, got {other:?}"),
+            }
+        }
+        // the shard-1 consumer's MBA crossed the boundary to the shard-0
+        // marketplaces and returned; the shard-1 BSMA itself arrived over
+        // the boundary at build time
+        let m = p.metrics();
+        assert!(m.boundary_migrations >= 3, "bsma + mba round trip: {m:?}");
+        assert!(
+            m.boundary_messages >= 1,
+            "provisioning crossed shards: {m:?}"
+        );
+        assert_eq!(m.migrations_rejected, 0);
+        // buys settle on the right shard and record into that shard's PA
+        let far = consumers[1];
+        let responses = p.buy(far, ItemId(1), 0, BuyMode::Direct);
+        assert!(
+            matches!(&responses[0], ResponseBody::Receipt { .. }),
+            "cross-shard buy must settle: {responses:?}"
+        );
+        assert_eq!(p.pa_state(1).userdb().transaction_count(), 1);
+        assert_eq!(p.pa_state(0).userdb().transaction_count(), 0);
+    }
+
+    #[test]
+    fn one_shard_platform_is_byte_identical_to_unsharded() {
+        let mut flat = small_platform(22);
+        let mut sharded = ShardedPlatform::builder(22, 1)
+            .marketplaces(vec![
+                vec![
+                    listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
+                    listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
+                ],
+                vec![listing(
+                    11,
+                    "Jazz Record",
+                    "music",
+                    "jazz",
+                    15,
+                    &[("jazz", 1.0)],
+                )],
+            ])
+            .build();
+        for consumer in [ConsumerId(1), ConsumerId(2)] {
+            let a = flat.login(consumer);
+            let b = sharded.login(consumer);
+            assert_eq!(a, b);
+            let a = flat.query(consumer, &["book"], 5);
+            let b = sharded.query(consumer, &["book"], 5);
+            assert_eq!(a, b);
+        }
+        let flat_labels: Vec<String> = flat
+            .world()
+            .trace()
+            .labels()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flat_labels, sharded.world().trace_labels());
+        assert_eq!(flat.world().metrics(), &sharded.metrics());
+        assert_eq!(sharded.metrics().boundary_messages, 0);
     }
 
     #[test]

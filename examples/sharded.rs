@@ -1,0 +1,140 @@
+//! Sharded quickstart: the Fig 3.1 platform partitioned across parallel
+//! DES shards. Shard 0 hosts the Coordinator, marketplaces and sellers;
+//! every shard runs its own Buyer Agent Server, and consumers hash onto
+//! shards by id. One consumer per shard logs in, queries (Fig 4.2) and
+//! buys (Fig 4.3); their MBAs cross the conservative time-window
+//! boundary to reach the shard-0 marketplaces.
+//!
+//! With one shard, the run also replays the same session on the plain
+//! unsharded [`Platform`] and asserts the traces are byte-identical —
+//! the CI shard-smoke step relies on this self-check.
+//!
+//! ```bash
+//! cargo run --example sharded -- 4
+//! ```
+
+use abcrm::core::agents::msg::{BuyMode, ResponseBody};
+use abcrm::core::profile::ConsumerId;
+use abcrm::core::server::{listing, Platform, ShardedPlatform};
+use abcrm::core::workflow;
+use abcrm::ecp::merchandise::ItemId;
+use ecp::protocol::Listing;
+
+fn catalogs() -> Vec<Vec<Listing>> {
+    vec![
+        vec![
+            listing(
+                1,
+                "Rust in Action",
+                "books",
+                "programming",
+                35,
+                &[("rust", 1.0)],
+            ),
+            listing(2, "The Go Book", "books", "programming", 30, &[("go", 1.0)]),
+        ],
+        vec![
+            listing(
+                11,
+                "Systems Programming",
+                "books",
+                "programming",
+                40,
+                &[("rust", 0.8)],
+            ),
+            listing(12, "Kind of Blue LP", "music", "jazz", 25, &[("jazz", 1.0)]),
+        ],
+    ]
+}
+
+fn main() {
+    let shards: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+
+    let mut platform = ShardedPlatform::builder(42, shards)
+        .marketplaces(catalogs())
+        .build();
+    println!(
+        "sharded platform up: {} shards, {} marketplaces (all on shard 0)",
+        platform.shard_count(),
+        platform.markets().len()
+    );
+
+    // The Fig 4.1 creation workflow ran once per shard during build.
+    workflow::validate(&platform.world().merged_trace(), workflow::FIG_CREATION)
+        .expect("fig 4.1 creation trace");
+    println!("fig 4.1 creation workflow: OK on every shard");
+
+    // One consumer per shard, found by walking the consistent hash.
+    let mut consumers: Vec<Option<ConsumerId>> = vec![None; shards];
+    for c in 1..10_000u64 {
+        let s = platform.shard_of(ConsumerId(c));
+        if consumers[s].is_none() {
+            consumers[s] = Some(ConsumerId(c));
+        }
+        if consumers.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    let consumers: Vec<ConsumerId> = consumers.into_iter().map(Option::unwrap).collect();
+
+    for (shard, &consumer) in consumers.iter().enumerate() {
+        platform.login(consumer);
+        let responses = platform.query(consumer, &["rust"], 5);
+        let offers = match &responses[..] {
+            [ResponseBody::Recommendations { offers, .. }] => offers.len(),
+            other => panic!("shard {shard} query failed: {other:?}"),
+        };
+        let responses = platform.buy(consumer, ItemId(1), 0, BuyMode::Direct);
+        assert!(
+            matches!(&responses[..], [ResponseBody::Receipt { .. }]),
+            "shard {shard} buy failed: {responses:?}"
+        );
+        println!(
+            "shard {shard}: consumer {} queried ({offers} offers) and bought item 1",
+            consumer.0
+        );
+    }
+    let merged = platform.world().merged_trace();
+    workflow::validate(&merged, workflow::FIG_QUERY).expect("fig 4.2 query trace");
+    workflow::validate(&merged, workflow::FIG_TRANSACT).expect("fig 4.3 buy trace");
+    println!("fig 4.2 + fig 4.3 workflows: OK across shards");
+
+    let m = platform.metrics();
+    println!(
+        "metrics: {} messages delivered, {} migrations ({} crossed a shard boundary), \
+         {} boundary messages, 0 rejected: {}",
+        m.messages_delivered,
+        m.migrations,
+        m.boundary_migrations,
+        m.boundary_messages,
+        m.migrations_rejected == 0
+    );
+    assert_eq!(m.migrations_rejected, 0, "boundary auth must hold");
+
+    if shards == 1 {
+        // Self-check: the 1-shard run must be byte-identical to the
+        // plain unsharded platform, trace and metrics both.
+        let mut flat = Platform::builder(42).marketplaces(catalogs()).build();
+        let consumer = consumers[0];
+        flat.login(consumer);
+        flat.query(consumer, &["rust"], 5);
+        flat.buy(consumer, ItemId(1), 0, BuyMode::Direct);
+        let flat_labels: Vec<String> = flat
+            .world()
+            .trace()
+            .labels()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            flat_labels,
+            platform.world().trace_labels(),
+            "1-shard trace diverged from the unsharded platform"
+        );
+        assert_eq!(flat.world().metrics(), &platform.metrics());
+        println!("1-shard trace byte-identical to the unsharded platform: OK");
+    }
+}

@@ -921,3 +921,263 @@ mod cross_runtime_faults {
         );
     }
 }
+
+/// Unsharded ≡ sharded platform: a 1-shard [`ShardedPlatform`] replays
+/// the unsharded [`Platform`] byte for byte, and at 2/4/8 shards the
+/// fig 4.2/4.3 workflows — clean and under a seeded fault sweep —
+/// produce the same *outcome class* as the unsharded run.
+///
+/// Outcome classes (full / partial:N / degraded / receipt / error) are
+/// the unit of equivalence across shard counts: shard RNG streams and
+/// boundary latencies legitimately change timings and tie-breaks, but
+/// never whether a workflow succeeds, degrades or fails.
+mod shard_sweep {
+    use abcrm::core::agents::msg::{BuyMode, ResponseBody};
+    use abcrm::core::profile::ConsumerId;
+    use abcrm::core::server::{listing, Platform, ShardedPlatform};
+    use abcrm::ecp::merchandise::ItemId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn catalogs() -> Vec<Vec<ecp::protocol::Listing>> {
+        vec![
+            vec![
+                listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
+                listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
+            ],
+            vec![listing(
+                11,
+                "Systems Programming",
+                "books",
+                "programming",
+                40,
+                &[("rust", 0.8)],
+            )],
+        ]
+    }
+
+    fn platform(seed: u64) -> Platform {
+        Platform::builder(seed).marketplaces(catalogs()).build()
+    }
+
+    fn sharded(seed: u64, shards: usize) -> ShardedPlatform {
+        ShardedPlatform::builder(seed, shards)
+            .marketplaces(catalogs())
+            .build()
+    }
+
+    /// Collapse a reply into its outcome class — the unit of equivalence.
+    fn classify(body: &ResponseBody) -> String {
+        match body {
+            ResponseBody::Recommendations { degraded: true, .. } => "degraded".into(),
+            ResponseBody::Recommendations {
+                unreachable_markets,
+                ..
+            } if !unreachable_markets.is_empty() => {
+                format!("partial:{}", unreachable_markets.len())
+            }
+            ResponseBody::Recommendations { .. } => "full".into(),
+            ResponseBody::Receipt { .. } => "receipt".into(),
+            ResponseBody::Error(_) => "error".into(),
+            other => format!("other:{other:?}"),
+        }
+    }
+
+    fn classify_all(responses: &[ResponseBody]) -> Vec<String> {
+        responses.iter().map(classify).collect()
+    }
+
+    /// The 1-shard sharded platform is *byte-identical* to the unsharded
+    /// one over the whole fig 4.1/4.2/4.3 surface: same trace labels in
+    /// the same order, same responses, same metrics.
+    #[test]
+    fn one_shard_run_is_byte_identical_to_unsharded() {
+        let mut flat = platform(1234);
+        let mut one = sharded(1234, 1);
+        let alice = ConsumerId(1);
+        assert_eq!(flat.login(alice), one.login(alice));
+        assert_eq!(
+            flat.query(alice, &["rust"], 5),
+            one.query(alice, &["rust"], 5)
+        );
+        assert_eq!(
+            flat.buy(alice, ItemId(1), 0, BuyMode::Direct),
+            one.buy(alice, ItemId(1), 0, BuyMode::Direct)
+        );
+        assert_eq!(flat.logout(alice), one.logout(alice));
+        let flat_labels: Vec<String> = flat
+            .world()
+            .trace()
+            .labels()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            flat_labels,
+            one.world().trace_labels(),
+            "1-shard trace must replay the unsharded trace byte for byte"
+        );
+        assert_eq!(flat.world().metrics(), &one.metrics());
+        assert_eq!(one.metrics().boundary_messages, 0);
+        assert_eq!(one.metrics().boundary_migrations, 0);
+    }
+
+    /// Clean fig 4.2 query and fig 4.3 buy keep their outcome classes at
+    /// every shard count, for a consumer on every shard.
+    #[test]
+    fn clean_workflows_keep_outcome_class_at_2_4_8_shards() {
+        // unsharded baseline
+        let mut flat = platform(55);
+        flat.login(ConsumerId(1));
+        let base_query = classify_all(&flat.query(ConsumerId(1), &["rust"], 5));
+        let base_buy = classify_all(&flat.buy(ConsumerId(1), ItemId(1), 0, BuyMode::Direct));
+        assert_eq!(base_query, vec!["full"]);
+        assert_eq!(base_buy, vec!["receipt"]);
+        for shards in [2usize, 4, 8] {
+            let mut p = sharded(55, shards);
+            // one consumer per shard, found by walking the hash
+            let mut picks: Vec<Option<ConsumerId>> = vec![None; shards];
+            for c in 1..10_000u64 {
+                let s = p.shard_of(ConsumerId(c));
+                if picks[s].is_none() {
+                    picks[s] = Some(ConsumerId(c));
+                }
+                if picks.iter().all(Option::is_some) {
+                    break;
+                }
+            }
+            for consumer in picks.into_iter().map(Option::unwrap) {
+                p.login(consumer);
+                assert_eq!(
+                    classify_all(&p.query(consumer, &["rust"], 5)),
+                    base_query,
+                    "{shards}-shard query class for {consumer:?}"
+                );
+                assert_eq!(
+                    classify_all(&p.buy(consumer, ItemId(1), 0, BuyMode::Direct)),
+                    base_buy,
+                    "{shards}-shard buy class for {consumer:?}"
+                );
+            }
+            assert_eq!(p.metrics().migrations_rejected, 0);
+        }
+    }
+
+    /// What a seeded fault scenario does between tasks. Only the
+    /// synchronous fault vocabulary (partitions, host crashes) is used —
+    /// its semantics are identical on both platform shapes, so the
+    /// equivalence is deterministic, not statistical.
+    #[derive(Clone, Copy, Debug)]
+    enum Step {
+        /// Partition the consumer's buyer host from market `i`.
+        Partition(usize),
+        /// Heal that partition.
+        Heal(usize),
+        /// Crash market host `i`.
+        Crash(usize),
+        /// Run a fig 4.2 query.
+        Query,
+        /// Direct-buy item 1 from market 0 (fig 4.3).
+        Buy,
+    }
+
+    /// A deterministic scenario per seed: a few faults/heals interleaved
+    /// with tasks, always ending with a query and a buy so every seed
+    /// exercises both workflows.
+    fn scenario(seed: u64) -> Vec<Step> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut steps = Vec::new();
+        for _ in 0..rng.gen_range(2..=4u32) {
+            steps.push(match rng.gen_range(0..7u32) {
+                0 => Step::Partition(0),
+                1 => Step::Partition(1),
+                2 => Step::Heal(0),
+                3 => Step::Heal(1),
+                4 => Step::Crash(1),
+                5 => Step::Query,
+                _ => Step::Buy,
+            });
+        }
+        steps.push(Step::Query);
+        steps.push(Step::Buy);
+        steps
+    }
+
+    fn run_flat(seed: u64, steps: &[Step]) -> Vec<String> {
+        let mut p = platform(seed);
+        let consumer = ConsumerId(1);
+        p.login(consumer);
+        let buyer = p.buyer_host();
+        let market_hosts = [p.markets()[0].host, p.markets()[1].host];
+        let mut classes = Vec::new();
+        for step in steps {
+            match *step {
+                Step::Partition(i) => {
+                    p.world_mut()
+                        .topology_mut()
+                        .partition(buyer, market_hosts[i]);
+                }
+                Step::Heal(i) => {
+                    p.world_mut()
+                        .topology_mut()
+                        .heal_partition(buyer, market_hosts[i]);
+                }
+                Step::Crash(i) => p.world_mut().crash_host(market_hosts[i]).unwrap(),
+                Step::Query => classes.extend(classify_all(&p.query(consumer, &["rust"], 5))),
+                Step::Buy => classes.extend(classify_all(&p.buy(
+                    consumer,
+                    ItemId(1),
+                    0,
+                    BuyMode::Direct,
+                ))),
+            }
+        }
+        classes
+    }
+
+    fn run_sharded(seed: u64, shards: usize, steps: &[Step]) -> Vec<String> {
+        let mut p = sharded(seed, shards);
+        // pick a consumer on the last shard so every fault scenario
+        // crosses the boundary (shard 0 would stay local)
+        let consumer = (1..10_000u64)
+            .map(ConsumerId)
+            .find(|c| p.shard_of(*c) == shards - 1)
+            .expect("hash covers the last shard");
+        p.login(consumer);
+        let buyer = p.buyer_host(p.shard_of(consumer));
+        let market_hosts = [p.markets()[0].host, p.markets()[1].host];
+        let mut classes = Vec::new();
+        for step in steps {
+            match *step {
+                Step::Partition(i) => p.world_mut().partition(buyer, market_hosts[i]),
+                Step::Heal(i) => p.world_mut().heal_partition(buyer, market_hosts[i]),
+                Step::Crash(i) => p.world_mut().crash_host(market_hosts[i]).unwrap(),
+                Step::Query => classes.extend(classify_all(&p.query(consumer, &["rust"], 5))),
+                Step::Buy => classes.extend(classify_all(&p.buy(
+                    consumer,
+                    ItemId(1),
+                    0,
+                    BuyMode::Direct,
+                ))),
+            }
+        }
+        classes
+    }
+
+    /// 32-seed fault sweep: every seeded scenario produces the same
+    /// outcome-class sequence unsharded and at 2 and 4 shards.
+    #[test]
+    fn fault_sweep_keeps_outcome_classes_across_shard_counts() {
+        for seed in 0..32u64 {
+            let steps = scenario(seed);
+            let flat = run_flat(seed, &steps);
+            for shards in [2usize, 4] {
+                let got = run_sharded(seed, shards, &steps);
+                assert_eq!(
+                    flat, got,
+                    "seed {seed} {shards}-shard outcome classes diverge on {steps:?}"
+                );
+            }
+        }
+    }
+}
