@@ -8,6 +8,24 @@ cd "$(dirname "$0")"
 # --shard-stress: loop the cross-runtime equivalence suite and the
 # multi-worker ThreadWorld tests 20x to shake out scheduling races in
 # the sharded/threaded paths, then exit. Does not run the normal gate.
+# --query-stress: hammer the ANN query tier — 10 iterations of the ANN
+# suite at 10^4 consumers plus the query-tier property tests, then the
+# full-scale query bench including the 10^6-consumer axis. Does not run
+# the normal gate.
+if [[ "${1:-}" == "--query-stress" ]]; then
+  echo "==> query stress (10x ANN suite @ 10^4 users + query-tier property tests)"
+  for i in $(seq 1 10); do
+    echo "--- iteration $i/10 ---"
+    ANN_USERS=10000 cargo test -q --release --test ann
+    cargo test -q --release --test properties incremental_index_matches_rebuild
+    cargo test -q --release --test properties ann_neighbours_subset
+  done
+  echo "==> full query scaling bench (QUERY_BENCH_FULL=1: 10^4/10^5/10^6 axis)"
+  QUERY_BENCH_FULL=1 cargo bench -p bench --bench query_hot_path
+  echo "query stress green."
+  exit 0
+fi
+
 if [[ "${1:-}" == "--shard-stress" ]]; then
   echo "==> shard stress (20x cross-runtime equivalence + multi-worker thread tests)"
   for i in $(seq 1 20); do
@@ -24,10 +42,10 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (default features)"
-cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant -D clippy::dbg_macro
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant -D clippy::dbg_macro -D clippy::needless_collect
 
 echo "==> cargo clippy (--features parallel)"
-cargo clippy --workspace --all-targets --features parallel -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant -D clippy::dbg_macro
+cargo clippy --workspace --all-targets --features parallel -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant -D clippy::dbg_macro -D clippy::needless_collect
 
 echo "==> cargo build --release"
 cargo build --release
@@ -68,6 +86,14 @@ echo "==> shard smoke (sharded quickstart at 1/2/4 shards)"
 for n in 1 2 4; do
   cargo run --release -q --example sharded -- "$n" >/dev/null
 done
+
+# ANN smoke: oracle equivalence, subset/score agreement and the 0.95
+# recall floor at 10^4 consumers, on both feature sets — plus the
+# zero-allocation gate on the warm candidate path.
+echo "==> ann smoke (exact ≡ oracle + recall floor @ 10^4 users, both feature sets)"
+ANN_USERS=10000 cargo test -q --release --test ann
+ANN_USERS=10000 cargo test -q --release --test ann --features parallel
+cargo bench -p bench --bench query_hot_path -- --assert-no-alloc
 
 echo "==> bench smoke (quick mode; includes telemetry-overhead gate)"
 PLATFORM_BENCH_QUICK=1 cargo bench -p bench --bench platform_throughput

@@ -65,5 +65,77 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// A feedback event on one of six categories, with terms drawn from a
+/// 24-term vocabulary — builds profiles whose flattened vectors carry
+/// a few dozen keys across categories.
+fn spread_event(u: u64, j: u64) -> BehaviorEvent {
+    BehaviorEvent::new(
+        BehaviorKind::Purchase,
+        CategoryPath::new(format!("cat{}", (u + j) % 6), format!("sub{}", j % 3)),
+        TermVector::from_pairs([
+            (format!("t{}", (u + 3 * j) % 24), 1.0),
+            (format!("t{}", (u + 5 * j + 1) % 24), 0.5),
+        ]),
+    )
+}
+
+/// Incremental index maintenance at 10^5 resident consumers: one
+/// feedback event folded in as a [`ProfileDelta`] (`apply_indexed` +
+/// `apply_delta`, O(changed terms)) vs the wholesale re-flatten
+/// (`apply` + `ProfileIndex::update`, O(profile)) vs rebuilding the
+/// index outright (O(population) — printed once, not iterated).
+fn bench_incremental(c: &mut Criterion) {
+    const USERS: usize = 100_000;
+    let learner = ProfileLearner::new(LearnerConfig::default());
+    // rich profiles spanning several categories, so a wholesale
+    // re-flatten touches an order of magnitude more terms than the one
+    // category a single feedback event lands in
+    let mut profiles: Vec<Profile> = (0..USERS as u64)
+        .map(|u| {
+            let mut p = Profile::new();
+            for j in 0..10 {
+                learner.apply(&mut p, &spread_event(u, j));
+            }
+            p
+        })
+        .collect();
+    let mut index = abcrm_core::ProfileIndex::rebuild(
+        profiles.iter().enumerate().map(|(i, p)| (i as u64 + 1, p)),
+    );
+
+    let start = std::time::Instant::now();
+    let rebuilt = abcrm_core::ProfileIndex::rebuild(
+        profiles.iter().enumerate().map(|(i, p)| (i as u64 + 1, p)),
+    );
+    println!(
+        "\n[E5] full index rebuild over {USERS} consumers: {:.2?} ({} terms)",
+        start.elapsed(),
+        rebuilt.term_count()
+    );
+    drop(rebuilt);
+
+    let mut group = c.benchmark_group("E5_incremental_index");
+    group.sample_size(10);
+    group.bench_function("feedback_delta_100k_users", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let user = (i.wrapping_mul(7919) % USERS as u64) as usize;
+            let delta = learner.apply_indexed(&mut profiles[user], &spread_event(user as u64, i));
+            index.apply_delta(user as u64 + 1, &delta);
+        });
+    });
+    group.bench_function("feedback_full_update_100k_users", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let user = (i.wrapping_mul(7919) % USERS as u64) as usize;
+            learner.apply(&mut profiles[user], &spread_event(user as u64, i));
+            index.update(user as u64 + 1, &profiles[user]);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_incremental);
 criterion_main!(benches);

@@ -59,6 +59,10 @@ pub struct ProfileAgent {
     cache_hits_emitted: u64,
     #[serde(default)]
     cache_misses_emitted: u64,
+    #[serde(default)]
+    cache_invalidated_emitted: u64,
+    #[serde(default)]
+    cache_capacity_evicted_emitted: u64,
 }
 
 impl ProfileAgent {
@@ -72,6 +76,8 @@ impl ProfileAgent {
             maintenance_passes: 0,
             cache_hits_emitted: 0,
             cache_misses_emitted: 0,
+            cache_invalidated_emitted: 0,
+            cache_capacity_evicted_emitted: 0,
         }
     }
 
@@ -225,14 +231,12 @@ impl Agent for ProfileAgent {
             "pa maintenance pass {}: decayed all profiles by {:.2}",
             self.maintenance_passes, m.decay
         ));
-        // persist the decayed profiles
-        for (consumer, profile) in self
-            .store
-            .profiles()
-            .map(|(c, p)| (c, p.clone()))
-            .collect::<Vec<_>>()
-        {
-            if let Err(e) = self.userdb.save_profile(consumer, &profile) {
+        // persist the decayed profiles (store and userdb are disjoint
+        // fields, so the iterator borrow and the mutable save coexist)
+        let store = &self.store;
+        let userdb = &mut self.userdb;
+        for (consumer, profile) in store.profiles() {
+            if let Err(e) = userdb.save_profile(consumer, profile) {
                 ctx.note(format!("pa: decayed profile persist failed: {e}"));
             }
         }
@@ -282,6 +286,19 @@ impl Agent for ProfileAgent {
                     );
                     self.cache_hits_emitted = hits;
                     self.cache_misses_emitted = misses;
+                    // eviction causes, so dashboards can tell matrix
+                    // churn from an undersized cache
+                    let (invalidated, capacity_evicted) = self.store.item_sim_eviction_stats();
+                    ctx.inc_counter(
+                        "cache.item_sim.invalidated",
+                        invalidated.saturating_sub(self.cache_invalidated_emitted),
+                    );
+                    ctx.inc_counter(
+                        "cache.item_sim.capacity_evicted",
+                        capacity_evicted.saturating_sub(self.cache_capacity_evicted_emitted),
+                    );
+                    self.cache_invalidated_emitted = invalidated;
+                    self.cache_capacity_evicted_emitted = capacity_evicted;
                     let reply = Message::new(kinds::PA_SIMILAR_REPLY)
                         .with_payload(&reply_payload)
                         .expect("similar reply serializes");

@@ -23,10 +23,11 @@
 //! All structures are rebuildable from the store's primary data; they are
 //! never serialized.
 
+use crate::learning::ProfileDelta;
 use crate::profile::Profile;
 use ecp::terms::TermVector;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// A consumer profile flattened for similarity scoring: the namespaced
 /// term vector of [`Profile::flatten`] plus its Euclidean norm.
@@ -47,12 +48,25 @@ impl FlatProfile {
     }
 }
 
-/// Flat-profile cache plus inverted term → consumer posting lists.
+/// Flat-profile cache plus inverted term → consumer posting lists, plus
+/// the interned "packed" mirror of each flat vector used by the ANN
+/// re-rank kernel: terms are mapped to dense `u32` ids (assigned on
+/// first sight, never recycled) and each consumer's vector is stored as
+/// a contiguous `(term-id, weight)` array sorted by id, so candidate
+/// scoring is a two-pointer merge over flat memory instead of a B-tree
+/// walk with string compares.
 #[derive(Debug, Clone, Default)]
 pub struct ProfileIndex {
     flats: BTreeMap<u64, FlatProfile>,
     postings: BTreeMap<String, BTreeSet<u64>>,
+    packed: HashMap<u64, Vec<(u32, f64)>>,
+    term_ids: HashMap<String, u32>,
+    next_term_id: u32,
 }
+
+/// Borrowed view of a packed flat vector: sorted `(term-id, weight)`
+/// pairs, cached Euclidean norm, and term count.
+pub(crate) type PackedView<'a> = (&'a [(u32, f64)], f64, usize);
 
 impl ProfileIndex {
     /// Empty index.
@@ -82,13 +96,64 @@ impl ProfileIndex {
                 .or_default()
                 .insert(id);
         }
+        let packed = self.pack(&flat.vector);
+        self.packed.insert(id, packed);
         self.flats.insert(id, flat);
+    }
+
+    /// Apply a [`ProfileDelta`] from the incremental learning path: only
+    /// the changed flat keys are touched in the vector, postings and
+    /// packed mirror — O(changed terms × log profile) instead of a full
+    /// re-flatten — and the norm is recomputed from the maintained
+    /// vector, which keeps it bit-identical to a fresh
+    /// [`FlatProfile::of`] (the maintained weights *are* the flatten
+    /// output; only re-deriving them wholesale is skipped).
+    pub fn apply_delta(&mut self, id: u64, delta: &ProfileDelta) {
+        let flat = self.flats.entry(id).or_default();
+        let packed = self.packed.entry(id).or_default();
+        let mut dirty = false;
+        for (key, new_w) in delta.changes() {
+            let old_w = flat.vector.weight(key);
+            if new_w > 0.0 {
+                if old_w.to_bits() == new_w.to_bits() {
+                    continue;
+                }
+                dirty = true;
+                flat.vector.set(key.clone(), new_w);
+                let tid = intern(&mut self.term_ids, &mut self.next_term_id, key);
+                match packed.binary_search_by_key(&tid, |(t, _)| *t) {
+                    Ok(pos) => packed[pos].1 = new_w,
+                    Err(pos) => packed.insert(pos, (tid, new_w)),
+                }
+                if old_w == 0.0 {
+                    self.postings.entry(key.clone()).or_default().insert(id);
+                }
+            } else if old_w != 0.0 {
+                dirty = true;
+                flat.vector.set(key.clone(), 0.0);
+                if let Some(tid) = self.term_ids.get(key) {
+                    if let Ok(pos) = packed.binary_search_by_key(tid, |(t, _)| *t) {
+                        packed.remove(pos);
+                    }
+                }
+                if let Some(set) = self.postings.get_mut(key) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.postings.remove(key);
+                    }
+                }
+            }
+        }
+        if dirty {
+            flat.norm = flat.vector.norm();
+        }
     }
 
     /// Drop the entry for `id` (profile removed from the store).
     pub fn remove(&mut self, id: u64) {
         self.unlink(id);
         self.flats.remove(&id);
+        self.packed.remove(&id);
     }
 
     fn unlink(&mut self, id: u64) {
@@ -117,13 +182,43 @@ impl ProfileIndex {
     /// Consumers sharing at least one term with `target`, ascending,
     /// deduplicated — the only consumers that can score above zero.
     pub fn candidates(&self, target: &TermVector) -> Vec<u64> {
-        let mut out: BTreeSet<u64> = BTreeSet::new();
+        let mut out = Vec::new();
+        self.candidates_into(target, &mut out);
+        out
+    }
+
+    /// [`ProfileIndex::candidates`] into a caller-owned scratch buffer:
+    /// `out` is cleared, filled with the posting-list union, sorted and
+    /// deduplicated. A reused buffer makes the hot query path
+    /// allocation-free at steady state (`benches/query_hot_path.rs
+    /// --assert-no-alloc` holds it to zero).
+    pub fn candidates_into(&self, target: &TermVector, out: &mut Vec<u64>) {
+        out.clear();
         for (term, _) in target.iter() {
             if let Some(set) = self.postings.get(term) {
                 out.extend(set.iter().copied());
             }
         }
-        out.into_iter().collect()
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// The interned packed mirror of `id`'s flat vector for the ANN
+    /// re-rank kernel: `(sorted (term-id, weight) pairs, norm, term
+    /// count)`.
+    pub(crate) fn packed(&self, id: u64) -> Option<PackedView<'_>> {
+        let flat = self.flats.get(&id)?;
+        let packed = self.packed.get(&id)?;
+        Some((packed.as_slice(), flat.norm, packed.len()))
+    }
+
+    fn pack(&mut self, vector: &TermVector) -> Vec<(u32, f64)> {
+        let mut packed: Vec<(u32, f64)> = vector
+            .iter()
+            .map(|(term, w)| (intern(&mut self.term_ids, &mut self.next_term_id, term), w))
+            .collect();
+        packed.sort_unstable_by_key(|(t, _)| *t);
+        packed
     }
 
     /// Number of indexed consumers.
@@ -142,15 +237,57 @@ impl ProfileIndex {
     }
 }
 
+/// Intern `term`, assigning the next dense id on first sight. A free
+/// function (not a method) so callers can hold disjoint borrows of the
+/// index's other fields.
+fn intern(term_ids: &mut HashMap<String, u32>, next: &mut u32, term: &str) -> u32 {
+    if let Some(id) = term_ids.get(term) {
+        return *id;
+    }
+    let id = *next;
+    *next += 1;
+    term_ids.insert(term.to_string(), id);
+    id
+}
+
+/// Default [`ItemSimCache`] capacity — pairs, not bytes. At ~40 bytes a
+/// pair this bounds the cache near 2.5 MB.
+pub const ITEM_SIM_CACHE_CAPACITY: usize = 65_536;
+
 /// Memoized item–item cosine similarities, keyed by
 /// `(min(a, b), max(a, b), min_overlap)` — [`crate::itemcf::item_cosine`]
-/// is symmetric, bitwise — and valid only for one ratings-matrix version.
-#[derive(Debug, Clone, Default)]
+/// is symmetric, bitwise — valid only for one ratings-matrix version and
+/// bounded in size: when a generation outgrows `capacity`, the oldest
+/// inserted pairs are evicted FIFO. Evictions are tagged by cause —
+/// `invalidated` (version roll dropped a still-fresh generation) vs
+/// `capacity_evicted` (the bound pushed out live entries) — so telemetry
+/// can tell "the matrix churns" from "the cache is too small".
+#[derive(Debug, Clone)]
 pub struct ItemSimCache {
     version: u64,
     sims: HashMap<(u64, u64, usize), Option<f64>>,
+    /// Insertion order of the current generation, for FIFO eviction.
+    order: VecDeque<(u64, u64, usize)>,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    invalidated: u64,
+    capacity_evicted: u64,
+}
+
+impl Default for ItemSimCache {
+    fn default() -> Self {
+        ItemSimCache {
+            version: 0,
+            sims: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: ITEM_SIM_CACHE_CAPACITY,
+            hits: 0,
+            misses: 0,
+            invalidated: 0,
+            capacity_evicted: 0,
+        }
+    }
 }
 
 impl ItemSimCache {
@@ -175,15 +312,45 @@ impl ItemSimCache {
         (self.hits, self.misses)
     }
 
+    /// Lifetime `(invalidated, capacity_evicted)` eviction tallies:
+    /// entries dropped because their ratings-matrix generation rolled vs
+    /// entries pushed out of a live generation by the capacity bound.
+    pub fn eviction_stats(&self) -> (u64, u64) {
+        (self.invalidated, self.capacity_evicted)
+    }
+
+    /// Change the capacity bound (pairs). Shrinking below the current
+    /// population evicts FIFO immediately.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.enforce_capacity();
+    }
+
     /// Record a computed similarity at `version`.
     pub fn insert(&mut self, version: u64, key: (u64, u64, usize), sim: Option<f64>) {
         self.roll(version);
-        self.sims.insert(key, sim);
+        if self.sims.insert(key, sim).is_none() {
+            self.order.push_back(key);
+            self.enforce_capacity();
+        }
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.sims.len() > self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.sims.remove(&oldest).is_some() {
+                self.capacity_evicted += 1;
+            }
+        }
     }
 
     fn roll(&mut self, version: u64) {
         if self.version != version {
+            self.invalidated += self.sims.len() as u64;
             self.sims.clear();
+            self.order.clear();
             self.version = version;
         }
     }
@@ -387,6 +554,78 @@ mod tests {
         // version moves on: everything is stale
         assert_eq!(cache.lookup(2, (1, 2, 2)), None);
         assert!(cache.is_empty());
+        assert_eq!(cache.eviction_stats(), (1, 0));
+    }
+
+    #[test]
+    fn item_sim_cache_capacity_evicts_fifo_and_tags_cause() {
+        let mut cache = ItemSimCache::default();
+        cache.set_capacity(2);
+        cache.insert(1, (1, 2, 2), Some(0.1));
+        cache.insert(1, (1, 3, 2), Some(0.2));
+        cache.insert(1, (1, 4, 2), Some(0.3));
+        // oldest pair went out by capacity, not invalidation
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(1, (1, 2, 2)), None);
+        assert_eq!(cache.lookup(1, (1, 3, 2)), Some(Some(0.2)));
+        assert_eq!(cache.eviction_stats(), (0, 1));
+        // overwriting a live key must not double-count it in the order
+        cache.insert(1, (1, 3, 2), Some(0.25));
+        assert_eq!(cache.len(), 2);
+        // a version roll tags the survivors as invalidated
+        assert_eq!(cache.lookup(2, (1, 3, 2)), None);
+        assert_eq!(cache.eviction_stats(), (2, 1));
+    }
+
+    #[test]
+    fn candidates_into_reuses_buffer_and_matches_allocating_path() {
+        let mut index = ProfileIndex::new();
+        index.update(3, &profile(&[("b", "p", "x", 1.0), ("b", "p", "y", 1.0)]));
+        index.update(1, &profile(&[("b", "p", "x", 1.0)]));
+        index.update(2, &profile(&[("b", "p", "y", 1.0)]));
+        let target = TermVector::from_pairs([("b/p/x", 1.0), ("b/p/y", 1.0)]);
+        let mut scratch = vec![99, 98, 97];
+        index.candidates_into(&target, &mut scratch);
+        assert_eq!(scratch, index.candidates(&target));
+        assert_eq!(scratch, vec![1, 2, 3]);
+        // the buffer is reused, not reallocated, once warm
+        let cap = scratch.capacity();
+        index.candidates_into(&target, &mut scratch);
+        assert_eq!(scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn apply_delta_tracks_full_update() {
+        use crate::learning::ProfileDelta;
+        let mut incremental = ProfileIndex::new();
+        let mut full = ProfileIndex::new();
+        let start = profile(&[("b", "p", "x", 1.0), ("b", "p", "y", 0.5)]);
+        incremental.update(7, &start);
+        full.update(7, &start);
+        // drift: y strengthens, x vanishes, z appears
+        let mut next = profile(&[("b", "p", "y", 0.9), ("b", "p", "z", 0.4)]);
+        next.category_mut("b").terms.set("seed", 0.2);
+        let delta = ProfileDelta::from_pairs([
+            ("b/p/x".to_string(), 0.0),
+            ("b/p/y".to_string(), 0.9),
+            ("b/p/z".to_string(), 0.4),
+            ("b//seed".to_string(), 0.2),
+        ]);
+        incremental.apply_delta(7, &delta);
+        full.update(7, &next);
+        let (a, b) = (incremental.flat(7).unwrap(), full.flat(7).unwrap());
+        assert_eq!(a.vector, b.vector);
+        assert_eq!(a.norm.to_bits(), b.norm.to_bits());
+        assert_eq!(incremental.term_count(), full.term_count());
+        let probe = TermVector::from_pairs([("b/p/x", 1.0)]);
+        assert!(incremental.candidates(&probe).is_empty());
+        let probe = TermVector::from_pairs([("b/p/z", 1.0)]);
+        assert_eq!(incremental.candidates(&probe), vec![7]);
+        // packed mirror stayed in sync
+        let (packed, norm, len) = incremental.packed(7).unwrap();
+        assert_eq!(len, 3);
+        assert!(packed.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(norm.to_bits(), b.norm.to_bits());
     }
 
     #[cfg(feature = "parallel")]

@@ -20,6 +20,7 @@ use crate::profile::Profile;
 use ecp::merchandise::{CategoryPath, Money};
 use ecp::terms::TermVector;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// The kinds of consumer behaviour the mechanism observes (§3.3 item 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -133,6 +134,44 @@ impl Default for LearnerConfig {
     }
 }
 
+/// The flat-index footprint of one Fig 4.5 update: every flattened key
+/// (namespaced as in [`Profile::flatten`]) whose weight changed, with
+/// its new value (`0.0` = removed). Produced by
+/// [`ProfileLearner::apply_indexed`] and consumed by
+/// [`crate::index::ProfileIndex::apply_delta`], so a feedback event
+/// costs O(changed terms) instead of a full profile re-flatten.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileDelta {
+    changes: BTreeMap<String, f64>,
+}
+
+impl ProfileDelta {
+    /// Build a delta from explicit `(flat key, new weight)` pairs.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (String, f64)>,
+    {
+        ProfileDelta {
+            changes: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Iterate `(flat key, new weight)` in key order.
+    pub fn changes(&self) -> impl Iterator<Item = (&String, f64)> {
+        self.changes.iter().map(|(k, w)| (k, *w))
+    }
+
+    /// Number of changed keys.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Whether the update touched no flat key.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
 /// Applies Fig 4.5 updates to profiles.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProfileLearner {
@@ -165,6 +204,68 @@ impl ProfileLearner {
         }
         sub.add_scaled(&event.terms, factor);
         profile.compact(self.config.max_terms);
+    }
+
+    /// [`ProfileLearner::apply`] that additionally reports the update's
+    /// flat-index footprint as a [`ProfileDelta`].
+    ///
+    /// The arithmetic is identical to `apply` — same decay, same
+    /// `add_scaled` order — but compaction is confined to the touched
+    /// category via [`Profile::compact_category_reporting`]. That is
+    /// equivalent to the full [`Profile::compact`] whenever the profile
+    /// already satisfies the compacted invariant (every vector within
+    /// `max_terms`, no empty subs, no dead categories), which holds for
+    /// all store-resident profiles: every write path compacts. A Fig 4.5
+    /// event touches exactly one category, so the delta — and the cost —
+    /// is O(terms of that category ∩ changed), independent of how many
+    /// categories the consumer has accumulated.
+    pub fn apply_indexed(&self, profile: &mut Profile, event: &BehaviorEvent) -> ProfileDelta {
+        let factor = self.config.alpha * self.config.quality.of(event.kind);
+        if factor <= 0.0 {
+            return ProfileDelta::default();
+        }
+        let cat = event.category.category.as_str();
+        let sub_name = event.category.sub_category.as_str();
+        let cp = profile.category_mut(cat);
+        // keys whose weight this update can change: every event term at
+        // both levels, plus — under decay — every pre-existing term of
+        // the touched vectors
+        let mut cat_terms: Vec<String> = event.terms.iter().map(|(t, _)| t.to_string()).collect();
+        let mut sub_terms: Vec<String> = cat_terms.clone();
+        if self.config.decay < 1.0 {
+            cat_terms.extend(cp.terms.iter().map(|(t, _)| t.to_string()));
+            if let Some(sub) = cp.sub(sub_name) {
+                sub_terms.extend(sub.iter().map(|(t, _)| t.to_string()));
+            }
+        }
+        if self.config.decay < 1.0 {
+            cp.terms.scale(self.config.decay);
+        }
+        cp.terms.add_scaled(&event.terms, factor);
+        let sub = cp.sub_mut(sub_name);
+        if self.config.decay < 1.0 {
+            sub.scale(self.config.decay);
+        }
+        sub.add_scaled(&event.terms, factor);
+        let mut dropped = Vec::new();
+        profile.compact_category_reporting(cat, self.config.max_terms, &mut dropped);
+        // read the surviving weights back post-compaction
+        let mut changes: BTreeMap<String, f64> = BTreeMap::new();
+        let cp = profile.category(cat);
+        for t in cat_terms {
+            let w = cp.map_or(0.0, |c| c.terms.weight(&t));
+            changes.insert(format!("{cat}//{t}"), w);
+        }
+        for t in sub_terms {
+            let w = cp
+                .and_then(|c| c.sub(sub_name))
+                .map_or(0.0, |s| s.weight(&t));
+            changes.insert(format!("{cat}/{sub_name}/{t}"), w);
+        }
+        for key in dropped {
+            changes.insert(key, 0.0);
+        }
+        ProfileDelta { changes }
     }
 
     /// Apply a batch of events in order.
@@ -298,6 +399,62 @@ mod tests {
             learner.apply(&mut b, e);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_indexed_matches_apply_and_reports_footprint() {
+        for decay in [1.0, 0.9] {
+            let learner = ProfileLearner::new(LearnerConfig {
+                decay,
+                max_terms: 3,
+                ..LearnerConfig::default()
+            });
+            let mut via_apply = Profile::new();
+            let mut via_indexed = Profile::new();
+            let events = [
+                event(BehaviorKind::Purchase),
+                BehaviorEvent::new(
+                    BehaviorKind::Browse,
+                    CategoryPath::new("books", "programming"),
+                    TermVector::from_pairs([("go", 2.0), ("unix", 1.5)]),
+                ),
+                BehaviorEvent::new(
+                    BehaviorKind::Purchase,
+                    CategoryPath::new("music", "jazz"),
+                    TermVector::from_pairs([("sax", 1.0)]),
+                ),
+                // overflows max_terms = 3 → compaction must be reported
+                BehaviorEvent::new(
+                    BehaviorKind::Purchase,
+                    CategoryPath::new("books", "programming"),
+                    TermVector::from_pairs([("ml", 9.0), ("proofs", 8.0)]),
+                ),
+            ];
+            for e in &events {
+                learner.apply(&mut via_apply, e);
+                let delta = learner.apply_indexed(&mut via_indexed, e);
+                assert!(!delta.is_empty());
+                // every reported weight is the profile's flatten weight
+                let flat = via_indexed.flatten();
+                for (key, w) in delta.changes() {
+                    assert_eq!(flat.weight(key).to_bits(), w.to_bits(), "key {key}");
+                }
+            }
+            assert_eq!(via_apply, via_indexed, "decay {decay}");
+        }
+    }
+
+    #[test]
+    fn apply_indexed_zero_factor_is_empty() {
+        let learner = ProfileLearner::new(LearnerConfig {
+            alpha: 0.0,
+            ..LearnerConfig::default()
+        });
+        let mut p = Profile::new();
+        assert!(learner
+            .apply_indexed(&mut p, &event(BehaviorKind::Purchase))
+            .is_empty());
+        assert!(p.is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 pub mod admission;
 pub mod agents;
+pub mod ann;
 pub mod breaker;
 pub mod extensions;
 pub mod index;
@@ -27,10 +28,13 @@ pub mod userdb;
 pub mod workflow;
 
 pub use admission::{AdmissionConfig, AdmissionGate, AdmissionVerdict, Priority};
+pub use ann::AnnConfig;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use index::{FlatProfile, ItemSimCache, ProfileIndex};
 pub use itemcf::ItemCfRecommender;
-pub use learning::{BehaviorEvent, BehaviorKind, FeedbackQuality, LearnerConfig, ProfileLearner};
+pub use learning::{
+    BehaviorEvent, BehaviorKind, FeedbackQuality, LearnerConfig, ProfileDelta, ProfileLearner,
+};
 pub use profile::{CategoryProfile, ConsumerId, Profile};
 pub use ratings::RatingsMatrix;
 pub use recommend::{

@@ -166,6 +166,49 @@ impl Profile {
         }
         self.categories.retain(|_, cp| cp.interest() > 1e-9);
     }
+
+    /// [`Profile::compact`] restricted to one category, reporting every
+    /// flattened key it drops into `dropped` (namespaced exactly like
+    /// [`Profile::flatten`]). The incremental learning path uses this to
+    /// turn compaction into index deltas: a Fig 4.5 update touches a
+    /// single category, so compacting only that category — while telling
+    /// the caller which flat entries vanished — keeps per-feedback cost
+    /// O(changed terms) without the index drifting from the profile.
+    pub(crate) fn compact_category_reporting(
+        &mut self,
+        category: &str,
+        max_terms: usize,
+        dropped: &mut Vec<String>,
+    ) {
+        let Some(cp) = self.categories.get_mut(category) else {
+            return;
+        };
+        let before: Vec<String> = cp.terms.iter().map(|(t, _)| t.to_string()).collect();
+        cp.terms.truncate_top(max_terms);
+        for t in before {
+            if cp.terms.weight(&t) == 0.0 {
+                dropped.push(format!("{category}//{t}"));
+            }
+        }
+        cp.subs.retain(|sub, v| {
+            let before: Vec<String> = v.iter().map(|(t, _)| t.to_string()).collect();
+            v.truncate_top(max_terms);
+            for t in before {
+                if v.weight(&t) == 0.0 {
+                    dropped.push(format!("{category}/{sub}/{t}"));
+                }
+            }
+            !v.is_empty()
+        });
+        if cp.interest() <= 1e-9 {
+            // the whole category goes: every surviving key vanishes too
+            dropped.extend(cp.terms.iter().map(|(t, _)| format!("{category}//{t}")));
+            for (sub, v) in &cp.subs {
+                dropped.extend(v.iter().map(|(t, _)| format!("{category}/{sub}/{t}")));
+            }
+            self.categories.remove(category);
+        }
+    }
 }
 
 #[cfg(test)]

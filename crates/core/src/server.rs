@@ -223,7 +223,7 @@ impl PlatformBuilder {
             markets: markets.clone(),
             name: "buyer-agent-server".into(),
             learner: self.learner,
-            similarity: self.similarity,
+            similarity: self.similarity.with_ann_seed(self.seed),
             mba_timeout_us: self.mba_timeout_us,
             collaborative_weight: self.collaborative_weight,
             watch_retries: self.watch_retries,
@@ -806,7 +806,7 @@ impl ShardedPlatformBuilder {
                 markets: markets.clone(),
                 name,
                 learner: self.learner,
-                similarity: self.similarity,
+                similarity: self.similarity.with_ann_seed(self.seed),
                 mba_timeout_us: self.mba_timeout_us,
                 collaborative_weight: self.collaborative_weight,
                 watch_retries: self.watch_retries,

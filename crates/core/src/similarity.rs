@@ -51,6 +51,17 @@ pub struct SimilarityConfig {
     /// zero-similarity candidates are filtered out.
     #[serde(default)]
     pub neighbour_floor: f64,
+    /// Approximate neighbour search: `Some` routes the store's
+    /// `nearest_neighbours`/`recommend` through the random-hyperplane
+    /// LSH index of [`crate::ann`] (candidates from hash buckets,
+    /// re-ranked with the exact measure), trading a measured sliver of
+    /// recall for sublinear candidate generation. `None` (the default)
+    /// keeps the exact posting-list scan — and byte-identical results.
+    /// Ignored when `neighbour_floor` is negative: ANN candidate
+    /// generation, like posting-list pruning, is only sound when
+    /// zero-similarity candidates are filtered out.
+    #[serde(default)]
+    pub ann: Option<crate::ann::AnnConfig>,
 }
 
 impl Default for SimilarityConfig {
@@ -60,7 +71,21 @@ impl Default for SimilarityConfig {
             discard_threshold: Some(4.0),
             min_overlap: 1,
             neighbour_floor: 0.0,
+            ann: None,
         }
+    }
+}
+
+impl SimilarityConfig {
+    /// Resolve an unset ANN hash seed from `platform_seed` (no-op when
+    /// ANN is off or a seed was given explicitly) — called by the
+    /// platform builders so the whole simulation, hyperplanes included,
+    /// derives from one seed.
+    pub fn with_ann_seed(mut self, platform_seed: u64) -> Self {
+        if let Some(ann) = self.ann {
+            self.ann = Some(ann.resolve_seed(platform_seed));
+        }
+        self
     }
 }
 

@@ -7,6 +7,7 @@
 //! sales ledger and purchase baskets used by the top-seller baseline and
 //! the tied-sale extension.
 
+use crate::ann::LshIndex;
 use crate::index::{FlatProfile, ItemSimCache, ProfileIndex};
 use crate::learning::{BehaviorEvent, BehaviorKind, LearnerConfig, ProfileLearner};
 use crate::profile::{ConsumerId, Profile};
@@ -38,6 +39,13 @@ pub struct RecommendStore {
     baskets: Vec<Vec<u64>>,
     index: ProfileIndex,
     item_sims: Mutex<ItemSimCache>,
+    /// Lazily built LSH index for [`SimilarityConfig::ann`] queries,
+    /// kept in lock step with `index` by the incremental update paths
+    /// and invalidated (rebuilt on next ANN query) by wholesale ones.
+    ann: Mutex<Option<LshIndex>>,
+    /// Reusable candidate-id scratch so steady-state queries don't
+    /// allocate for candidate generation.
+    query_scratch: Mutex<Vec<u64>>,
 }
 
 impl Clone for RecommendStore {
@@ -52,6 +60,8 @@ impl Clone for RecommendStore {
             baskets: self.baskets.clone(),
             index: self.index.clone(),
             item_sims: Mutex::new(self.item_sims.lock().clone()),
+            ann: Mutex::new(self.ann.lock().clone()),
+            query_scratch: Mutex::new(Vec::new()),
         }
     }
 }
@@ -88,6 +98,8 @@ impl Deserialize for RecommendStore {
             profiles,
             index,
             item_sims: Mutex::new(ItemSimCache::default()),
+            ann: Mutex::new(None),
+            query_scratch: Mutex::new(Vec::new()),
         })
     }
 }
@@ -125,8 +137,18 @@ impl RecommendStore {
         };
         let event = BehaviorEvent::new(kind, merch.category, merch.terms);
         let profile = self.profiles.entry(consumer.0).or_default();
-        self.learner.apply(profile, &event);
-        self.index.update(consumer.0, profile);
+        // incremental path: the Fig 4.5 update reports its flat-index
+        // footprint and only those entries are touched — no re-flatten,
+        // cost O(changed terms) regardless of profile size
+        let delta = self.learner.apply_indexed(profile, &event);
+        self.index.apply_delta(consumer.0, &delta);
+        if !delta.is_empty() {
+            if let Some(lsh) = self.ann.get_mut().as_mut() {
+                if let Some(flat) = self.index.flat(consumer.0) {
+                    lsh.update(consumer.0, &flat.vector);
+                }
+            }
+        }
         self.ratings.observe_behavior(consumer, item, kind);
         if matches!(kind, BehaviorKind::Purchase | BehaviorKind::AuctionWin) {
             *self.sales.entry(item.0).or_insert(0) += 1;
@@ -153,6 +175,11 @@ impl RecommendStore {
     /// UserDB).
     pub fn put_profile(&mut self, consumer: ConsumerId, profile: Profile) {
         self.index.update(consumer.0, &profile);
+        if let Some(lsh) = self.ann.get_mut().as_mut() {
+            if let Some(flat) = self.index.flat(consumer.0) {
+                lsh.update(consumer.0, &flat.vector);
+            }
+        }
         self.profiles.insert(consumer.0, profile);
     }
 
@@ -218,6 +245,9 @@ impl RecommendStore {
         // every profile changed: rebuilding wholesale costs the same as
         // touching each entry and leaves no stale postings behind
         self.index = ProfileIndex::rebuild(self.profiles.iter().map(|(id, p)| (*id, p)));
+        // every signature is stale too — rebuilt lazily on the next ANN
+        // query
+        *self.ann.get_mut() = None;
     }
 
     /// The query-serving profile index (flat-profile cache + posting
@@ -253,22 +283,68 @@ impl RecommendStore {
         let Some(target) = self.index.flat(consumer.0) else {
             return Vec::new();
         };
-        let candidates: Vec<u64> = if config.neighbour_floor < 0.0 {
-            self.index
+        if config.neighbour_floor < 0.0 {
+            // pruning (posting-list or LSH) is lossy here: scan everyone
+            let candidates: Vec<u64> = self
+                .index
                 .flats()
                 .map(|(id, _)| id)
                 .filter(|id| *id != consumer.0)
-                .collect()
-        } else {
-            let mut ids = self.index.candidates(&target.vector);
-            ids.retain(|id| *id != consumer.0);
-            ids
-        };
-        let scored = self.score_profile_candidates(target, &candidates, config);
+                .collect();
+            let scored = self.score_profile_candidates(target, &candidates, config);
+            return Self::finish_top_k(scored, k);
+        }
+        if let Some(ann_cfg) = config.ann {
+            // ANN path: candidates from LSH buckets, re-ranked with the
+            // exact measure over the packed vectors
+            let mut scratch = self.query_scratch.lock();
+            self.with_ann(&ann_cfg, |lsh| {
+                lsh.candidates(&target.vector, ann_cfg.probes, &mut scratch);
+            });
+            scratch.retain(|id| *id != consumer.0);
+            let scored = if let Some((tp, tnorm, tlen)) = self.index.packed(consumer.0) {
+                crate::ann::score_packed(&self.index, tp, tnorm, tlen, &scratch, config)
+            } else {
+                Vec::new()
+            };
+            return Self::finish_top_k(scored, k);
+        }
+        let mut scratch = self.query_scratch.lock();
+        self.index.candidates_into(&target.vector, &mut scratch);
+        scratch.retain(|id| *id != consumer.0);
+        let scored = self.score_profile_candidates(target, &scratch, config);
+        Self::finish_top_k(scored, k)
+    }
+
+    fn finish_top_k(scored: Vec<(u64, f64)>, k: usize) -> Vec<(ConsumerId, f64)> {
         crate::index::top_k(scored, k)
             .into_iter()
             .map(|(id, s)| (ConsumerId(id), s))
             .collect()
+    }
+
+    /// Run `f` against the LSH index for `cfg`, building (or rebuilding,
+    /// if the last build used different parameters) it from the flat
+    /// cache first if needed.
+    fn with_ann<R>(&self, cfg: &crate::ann::AnnConfig, f: impl FnOnce(&LshIndex) -> R) -> R {
+        let mut guard = self.ann.lock();
+        let stale = !guard.as_ref().is_some_and(|lsh| lsh.matches(cfg));
+        if stale {
+            let mut lsh = LshIndex::new(*cfg);
+            for (id, flat) in self.index.flats() {
+                lsh.update(id, &flat.vector);
+            }
+            *guard = Some(lsh);
+        }
+        f(guard.as_ref().expect("ANN index just ensured"))
+    }
+
+    /// Pre-build the LSH index for `config` (if `config.ann` is set) so
+    /// the first query doesn't pay the build — benches and batch jobs.
+    pub fn warm_ann(&self, config: &SimilarityConfig) {
+        if let Some(ann_cfg) = config.ann {
+            self.with_ann(&ann_cfg, |_| ());
+        }
     }
 
     /// Reference full-scan neighbour search (flattens every profile per
@@ -343,6 +419,17 @@ impl RecommendStore {
     /// Lifetime `(hits, misses)` of the item-similarity cache.
     pub fn item_sim_cache_stats(&self) -> (u64, u64) {
         self.item_sims.lock().stats()
+    }
+
+    /// Lifetime `(invalidated, capacity_evicted)` of the item-similarity
+    /// cache — see [`ItemSimCache::eviction_stats`].
+    pub fn item_sim_eviction_stats(&self) -> (u64, u64) {
+        self.item_sims.lock().eviction_stats()
+    }
+
+    /// Bound the item-similarity cache to `capacity` pairs.
+    pub fn set_item_sim_cache_capacity(&self, capacity: usize) {
+        self.item_sims.lock().set_capacity(capacity);
     }
 }
 
@@ -480,6 +567,55 @@ mod tests {
             );
         }
         assert!(s.nearest_neighbours(ConsumerId(999), &cfg, 3).is_empty());
+    }
+
+    #[test]
+    fn ann_neighbours_are_a_subset_of_exact_with_matching_scores() {
+        use crate::ann::AnnConfig;
+        let mut s = store_with_items(6);
+        for u in 1..=40u64 {
+            s.record_event(ConsumerId(u), ItemId(1 + u % 6), BehaviorKind::Purchase);
+            s.record_event(ConsumerId(u), ItemId(1 + (u + 1) % 6), BehaviorKind::Browse);
+            s.record_event(ConsumerId(u), ItemId(1 + (u + 3) % 6), BehaviorKind::Query);
+        }
+        // generous parameters: few bits, many probes ⇒ near-exhaustive
+        let ann = crate::similarity::SimilarityConfig {
+            ann: Some(AnnConfig {
+                bits: 2,
+                tables: 8,
+                probes: 2,
+                seed: 5,
+            }),
+            ..crate::similarity::SimilarityConfig::default()
+        };
+        let exact = crate::similarity::SimilarityConfig::default();
+        for u in 1..=40u64 {
+            let approx = s.nearest_neighbours(ConsumerId(u), &ann, 10);
+            let full = s.nearest_neighbours(ConsumerId(u), &exact, 40);
+            for (id, score) in &approx {
+                let reference = full
+                    .iter()
+                    .find(|(fid, _)| fid == id)
+                    .unwrap_or_else(|| panic!("ANN neighbour {id} not in exact scan"));
+                assert!(
+                    (reference.1 - score).abs() < 1e-12,
+                    "re-rank score drifted for {id}: {} vs {}",
+                    reference.1,
+                    score
+                );
+            }
+            // determinism: asking twice gives the same answer
+            assert_eq!(approx, s.nearest_neighbours(ConsumerId(u), &ann, 10));
+        }
+        // mutations keep the LSH in lock step with the flat cache:
+        // feedback after the index is built must be reflected
+        s.record_event(ConsumerId(41), ItemId(1), BehaviorKind::Purchase);
+        s.record_event(ConsumerId(42), ItemId(1), BehaviorKind::Purchase);
+        let nn = s.nearest_neighbours(ConsumerId(41), &ann, 40);
+        assert!(
+            nn.iter().any(|(id, _)| *id == ConsumerId(42)),
+            "freshly added twin consumer must be findable via ANN"
+        );
     }
 
     #[test]

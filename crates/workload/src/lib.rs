@@ -24,6 +24,6 @@ pub mod session;
 pub mod taxonomy;
 
 pub use catalog::{generate_listings, split_across_markets, CatalogSpec};
-pub use population::{ConsumerTruth, Population, PopulationSpec};
+pub use population::{ConsumerTruth, Population, PopulationSpec, PopulationStream};
 pub use session::{run_population_sessions, run_session, CommerceReport, SessionConfig};
 pub use taxonomy::{Taxonomy, TaxonomySpec};

@@ -15,7 +15,7 @@ use ecp::merchandise::{ItemId, Merchandise};
 use ecp::protocol::Listing;
 use ecp::terms::TermVector;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -97,67 +97,89 @@ pub struct Population {
     pub consumers: Vec<ConsumerTruth>,
 }
 
+/// Distinct taxonomy leaves present in `listings`, each with its term
+/// vocabulary — the raw material both [`Population::generate`] and
+/// [`PopulationStream`] build cluster prototypes from.
+fn catalog_leaves(listings: &[Listing]) -> Vec<(String, Vec<String>)> {
+    let mut leaves: Vec<(String, Vec<String>)> = Vec::new();
+    for l in listings {
+        let key = l.item.category.as_key();
+        match leaves.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, vocab)) => {
+                for (t, _) in l.item.terms.iter() {
+                    if !vocab.iter().any(|v| v == t) {
+                        vocab.push(t.to_string());
+                    }
+                }
+            }
+            None => {
+                leaves.push((
+                    key,
+                    l.item.terms.iter().map(|(t, _)| t.to_string()).collect(),
+                ));
+            }
+        }
+    }
+    assert!(!leaves.is_empty(), "population needs a non-empty catalog");
+    leaves
+}
+
+/// Cluster prototypes over `leaves`: each cluster favours a spread-out
+/// anchor leaf plus zipf-sampled extras, with a preference vector over
+/// the favoured leaves' vocabularies.
+fn cluster_prototypes(
+    spec: &PopulationSpec,
+    leaves: &[(String, Vec<String>)],
+    rng: &mut StdRng,
+) -> Vec<(Vec<usize>, TermVector)> {
+    let mut prototypes: Vec<(Vec<usize>, TermVector)> = Vec::new();
+    for c in 0..spec.clusters.max(1) {
+        let mut chosen = BTreeSet::new();
+        // deterministic spread: cluster c starts at a distinct leaf,
+        // then adds zipf-sampled extras
+        chosen.insert(c * leaves.len() / spec.clusters.max(1) % leaves.len());
+        while chosen.len() < spec.leaves_per_cluster.min(leaves.len()) {
+            chosen.insert(zipf_index(rng, leaves.len(), 0.8));
+        }
+        let mut pref = TermVector::new();
+        for &leaf in &chosen {
+            let (key, vocab) = &leaves[leaf];
+            for t in vocab.iter().take(8) {
+                pref.add(format!("{key}/{t}"), 0.5 + rng.gen::<f64>());
+            }
+        }
+        prototypes.push((chosen.into_iter().collect(), pref));
+    }
+    prototypes
+}
+
+/// Noisy per-consumer copy of a cluster prototype.
+fn personalize(spec: &PopulationSpec, proto: &TermVector, rng: &mut StdRng) -> TermVector {
+    let mut preference = proto.clone();
+    // individual noise
+    if spec.noise > 0.0 {
+        let terms: Vec<String> = preference.iter().map(|(t, _)| t.to_string()).collect();
+        for t in terms {
+            let jitter = spec.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+            preference.add(t, jitter);
+        }
+    }
+    preference
+}
+
 impl Population {
     /// Generate a population over the leaves/vocabulary present in
     /// `listings` (clusters favour leaves that actually have items).
     pub fn generate(spec: &PopulationSpec, listings: &[Listing], rng: &mut StdRng) -> Population {
         // collect distinct leaves with their term vocabularies from the
         // catalog itself
-        let mut leaves: Vec<(String, Vec<String>)> = Vec::new();
-        for l in listings {
-            let key = l.item.category.as_key();
-            match leaves.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, vocab)) => {
-                    for (t, _) in l.item.terms.iter() {
-                        if !vocab.iter().any(|v| v == t) {
-                            vocab.push(t.to_string());
-                        }
-                    }
-                }
-                None => {
-                    leaves.push((
-                        key,
-                        l.item.terms.iter().map(|(t, _)| t.to_string()).collect(),
-                    ));
-                }
-            }
-        }
-        assert!(!leaves.is_empty(), "population needs a non-empty catalog");
-
-        // cluster prototypes
-        let mut prototypes: Vec<(Vec<usize>, TermVector)> = Vec::new();
-        for c in 0..spec.clusters.max(1) {
-            let mut chosen = BTreeSet::new();
-            // deterministic spread: cluster c starts at a distinct leaf,
-            // then adds zipf-sampled extras
-            chosen.insert(c * leaves.len() / spec.clusters.max(1) % leaves.len());
-            while chosen.len() < spec.leaves_per_cluster.min(leaves.len()) {
-                chosen.insert(zipf_index(rng, leaves.len(), 0.8));
-            }
-            let mut pref = TermVector::new();
-            for &leaf in &chosen {
-                let (key, vocab) = &leaves[leaf];
-                for t in vocab.iter().take(8) {
-                    pref.add(format!("{key}/{t}"), 0.5 + rng.gen::<f64>());
-                }
-            }
-            prototypes.push((chosen.into_iter().collect(), pref));
-        }
-
+        let leaves = catalog_leaves(listings);
+        let prototypes = cluster_prototypes(spec, &leaves, rng);
         let consumers = (0..spec.consumers)
             .map(|i| {
                 let cluster = i % prototypes.len();
                 let (leaf_idx, proto) = &prototypes[cluster];
-                let mut preference = proto.clone();
-                // individual noise
-                if spec.noise > 0.0 {
-                    let terms: Vec<String> =
-                        preference.iter().map(|(t, _)| t.to_string()).collect();
-                    for t in terms {
-                        let jitter = spec.noise * (rng.gen::<f64>() * 2.0 - 1.0);
-                        preference.add(t, jitter);
-                    }
-                }
+                let preference = personalize(spec, proto, rng);
                 ConsumerTruth {
                     id: ConsumerId(i as u64 + 1),
                     cluster,
@@ -229,6 +251,135 @@ impl Population {
             }
         }
         events
+    }
+}
+
+/// Stable per-consumer seed derivation (splitmix64 over the stream seed
+/// xor a stream tag xor the consumer index).
+fn consumer_seed(seed: u64, tag: u64, index: usize) -> u64 {
+    let mut x = seed ^ tag ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const TRUTH_STREAM: u64 = 0x7_1207_0057_2ea8;
+const EVENT_STREAM: u64 = 0xe7e_0057_2ea8;
+
+/// A population that is *derived*, not materialized: resident state is
+/// `O(clusters + catalog leaves)`, and each consumer's ground truth and
+/// behaviour history are regenerated on demand from `(seed, index)`.
+/// This is what lets the 10^6-consumer query benchmarks stream events
+/// into a store without first holding a million `ConsumerTruth`s (and
+/// their term vectors) in memory.
+///
+/// Unlike [`Population::generate`] — which threads one RNG through every
+/// consumer, so consumer `i`'s noise depends on how many consumers came
+/// before — the stream gives every consumer an independent RNG derived
+/// from the stream seed and its index. Same seed ⇒ same population,
+/// regardless of visit order or how many consumers are ever touched.
+#[derive(Debug, Clone)]
+pub struct PopulationStream {
+    spec: PopulationSpec,
+    seed: u64,
+    leaves: Vec<(String, Vec<String>)>,
+    prototypes: Vec<(Vec<usize>, TermVector)>,
+    /// Per leaf: ids of catalog items on that leaf (event sampling).
+    leaf_items: Vec<Vec<ItemId>>,
+}
+
+impl PopulationStream {
+    /// Set up the stream: builds cluster prototypes over the catalog's
+    /// leaves (the only `O(catalog)` work) and records nothing per
+    /// consumer.
+    pub fn new(spec: &PopulationSpec, listings: &[Listing], seed: u64) -> Self {
+        let leaves = catalog_leaves(listings);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prototypes = cluster_prototypes(spec, &leaves, &mut rng);
+        let leaf_items = leaves
+            .iter()
+            .map(|(key, _)| {
+                listings
+                    .iter()
+                    .filter(|l| &l.item.category.as_key() == key)
+                    .map(|l| l.item.id)
+                    .collect()
+            })
+            .collect();
+        PopulationStream {
+            spec: *spec,
+            seed,
+            leaves,
+            prototypes,
+            leaf_items,
+        }
+    }
+
+    /// Number of consumers the stream can derive.
+    pub fn len(&self) -> usize {
+        self.spec.consumers
+    }
+
+    /// Whether the stream derives no consumers at all.
+    pub fn is_empty(&self) -> bool {
+        self.spec.consumers == 0
+    }
+
+    /// Ground truth of consumer `index` (0-based; ids are `index + 1`),
+    /// derived on demand — calling this twice, or for any subset of
+    /// consumers in any order, yields identical results.
+    pub fn truth_of(&self, index: usize) -> ConsumerTruth {
+        assert!(index < self.spec.consumers, "consumer index out of range");
+        let cluster = index % self.prototypes.len();
+        let (leaf_idx, proto) = &self.prototypes[cluster];
+        let mut rng = StdRng::seed_from_u64(consumer_seed(self.seed, TRUTH_STREAM, index));
+        let preference = personalize(&self.spec, proto, &mut rng);
+        ConsumerTruth {
+            id: ConsumerId(index as u64 + 1),
+            cluster,
+            preference,
+            favoured_leaves: leaf_idx.iter().map(|&l| self.leaves[l].0.clone()).collect(),
+        }
+    }
+
+    /// Iterate every consumer's derived ground truth in id order.
+    pub fn consumers(&self) -> impl Iterator<Item = ConsumerTruth> + '_ {
+        (0..self.spec.consumers).map(|i| self.truth_of(i))
+    }
+
+    /// Behaviour history of consumer `index` without deriving its full
+    /// preference vector: `events` interactions with items on the
+    /// consumer's cluster leaves (zipf-biased within each leaf, so every
+    /// cluster has clear favourites), mostly purchases with browse/query
+    /// exploration mixed in. `O(events)` per call.
+    pub fn events_of(
+        &self,
+        index: usize,
+        events: usize,
+    ) -> Vec<(ConsumerId, ItemId, BehaviorKind)> {
+        assert!(index < self.spec.consumers, "consumer index out of range");
+        let cluster = index % self.prototypes.len();
+        let (leaf_idx, _) = &self.prototypes[cluster];
+        let mut rng = StdRng::seed_from_u64(consumer_seed(self.seed, EVENT_STREAM, index));
+        let id = ConsumerId(index as u64 + 1);
+        (0..events)
+            .filter_map(|_| {
+                let leaf = leaf_idx[rng.gen_range(0..leaf_idx.len())];
+                let items = &self.leaf_items[leaf];
+                if items.is_empty() {
+                    return None;
+                }
+                let item = items[zipf_index(&mut rng, items.len(), 1.1)];
+                let kind = if rng.gen::<f64>() < 0.5 {
+                    BehaviorKind::Purchase
+                } else if rng.gen::<f64>() < 0.5 {
+                    BehaviorKind::Browse
+                } else {
+                    BehaviorKind::Query
+                };
+                Some((id, item, kind))
+            })
+            .collect()
     }
 }
 
@@ -340,5 +491,59 @@ mod tests {
         let a = Population::generate(&spec, &ls, &mut StdRng::seed_from_u64(3));
         let b = Population::generate(&spec, &ls, &mut StdRng::seed_from_u64(3));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_derives_consumers_independent_of_visit_order() {
+        let ls = listings();
+        let stream = PopulationStream::new(&PopulationSpec::default(), &ls, 11);
+        assert_eq!(stream.len(), 30);
+        // deriving 29 first, then 3, matches deriving 3 directly on a
+        // fresh stream — no hidden sequential state
+        let fresh = PopulationStream::new(&PopulationSpec::default(), &ls, 11);
+        let _ = stream.truth_of(29);
+        assert_eq!(stream.truth_of(3), fresh.truth_of(3));
+        assert_eq!(stream.events_of(3, 12), fresh.events_of(3, 12));
+        // a different seed is a different population
+        let other = PopulationStream::new(&PopulationSpec::default(), &ls, 12);
+        assert_ne!(stream.truth_of(3).preference, other.truth_of(3).preference);
+    }
+
+    #[test]
+    fn stream_clusters_share_taste_and_events_stay_on_cluster_leaves() {
+        let ls = listings();
+        let stream = PopulationStream::new(&PopulationSpec::default(), &ls, 11);
+        let a = stream.truth_of(0);
+        let b = stream.truth_of(3); // same cluster (i % 3)
+        let c = stream.truth_of(1); // different cluster
+        assert_eq!(a.cluster, b.cluster);
+        assert!(
+            a.preference.cosine(&b.preference) > a.preference.cosine(&c.preference),
+            "cluster-mates must be more similar"
+        );
+        // every sampled event touches an item on a favoured leaf
+        let events = stream.events_of(0, 20);
+        assert_eq!(events.len(), 20);
+        for (id, item, _) in events {
+            assert_eq!(id, ConsumerId(1));
+            let listing = ls.iter().find(|l| l.item.id == item).expect("catalog item");
+            assert!(
+                a.favoured_leaves.contains(&listing.item.category.as_key()),
+                "event item {item:?} off the cluster's leaves"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_truths_agree_with_consumer_truth_shape() {
+        let ls = listings();
+        let stream = PopulationStream::new(&PopulationSpec::default(), &ls, 5);
+        let all: Vec<ConsumerTruth> = stream.consumers().collect();
+        assert_eq!(all.len(), 30);
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(t.id, ConsumerId(i as u64 + 1));
+            assert!(!t.preference.is_empty());
+            assert!(!t.favoured_leaves.is_empty());
+        }
     }
 }

@@ -467,6 +467,183 @@ proptest! {
     }
 }
 
+// --- query-tier properties (ANN index, incremental maintenance) -------
+
+proptest! {
+    /// The incremental index maintenance path (Fig 4.5 learning applied
+    /// as a [`ProfileDelta`], folded in with `apply_delta`) is
+    /// indistinguishable from rebuilding the whole index, no matter how
+    /// feedback events, wholesale profile replacements and removals
+    /// interleave: same consumers, same flat vectors (exact `==`), same
+    /// norm *bits*, same posting-list answers.
+    #[test]
+    fn incremental_index_matches_rebuild_after_interleavings(
+        ops in proptest::collection::vec(
+            (
+                1u64..6,
+                0u8..8,
+                "[a-c]{1}",
+                "[x-z]{1}",
+                proptest::collection::vec(("[a-f]{1,3}", 0.01f64..3.0), 1..5),
+            ),
+            1..40,
+        ),
+        decay in 0.8f64..1.0,
+    ) {
+        use abcrm::core::index::ProfileIndex;
+        use std::collections::BTreeMap;
+
+        let learner = ProfileLearner::new(LearnerConfig {
+            decay,
+            max_terms: 8,
+            ..LearnerConfig::default()
+        });
+        let mut mirror: BTreeMap<u64, Profile> = BTreeMap::new();
+        let mut index = ProfileIndex::new();
+        for (id, op, cat, sub, terms) in ops {
+            match op {
+                // rare: the consumer is forgotten outright
+                0 => {
+                    mirror.remove(&id);
+                    index.remove(id);
+                }
+                // occasional wholesale replacement (profile import)
+                1 => {
+                    let mut p = Profile::new();
+                    for (t, w) in &terms {
+                        p.category_mut(&cat).sub_mut(&sub).add(t.clone(), *w);
+                    }
+                    index.update(id, &p);
+                    mirror.insert(id, p);
+                }
+                // the common case: one feedback event through the
+                // incremental O(changed terms) path
+                _ => {
+                    let profile = mirror.entry(id).or_default();
+                    let event = BehaviorEvent::new(
+                        BehaviorKind::Purchase,
+                        CategoryPath::new(cat, sub),
+                        TermVector::from_pairs(terms),
+                    );
+                    let delta = learner.apply_indexed(profile, &event);
+                    index.apply_delta(id, &delta);
+                }
+            }
+        }
+        let rebuilt = ProfileIndex::rebuild(mirror.iter().map(|(id, p)| (*id, p)));
+        prop_assert_eq!(index.len(), rebuilt.len(), "consumer count drifted");
+        prop_assert_eq!(index.term_count(), rebuilt.term_count(), "posting lists drifted");
+        for (id, fresh) in rebuilt.flats() {
+            let live = index.flat(id).expect("incrementally maintained entry exists");
+            prop_assert_eq!(&live.vector, &fresh.vector, "flat vector drifted for {}", id);
+            prop_assert_eq!(
+                live.norm.to_bits(),
+                fresh.norm.to_bits(),
+                "cached norm drifted for {}", id
+            );
+            prop_assert_eq!(
+                index.candidates(&fresh.vector),
+                rebuilt.candidates(&fresh.vector),
+                "candidate pruning drifted for {}", id
+            );
+        }
+    }
+
+    /// The ANN path never *invents* neighbours: with arbitrary LSH
+    /// parameters, every `(consumer, score)` it returns also appears in
+    /// the exact scan with the same score; repeated queries are
+    /// deterministic. And with structurally exhaustive parameters (one
+    /// table, one bit, one probe — the probe flips the only bit, so the
+    /// two buckets together cover every consumer) recall@k is exactly
+    /// 1.0 under tie-tolerant matching.
+    #[test]
+    fn ann_neighbours_subset_of_exact_and_exhaustive_probing_has_full_recall(
+        events in proptest::collection::vec((1u64..12, 0u64..6), 1..60),
+        bits in 1u8..5,
+        tables in 1u8..4,
+        probes in 0u8..3,
+        seed in 0u64..1_000,
+    ) {
+        use abcrm::core::store::RecommendStore;
+        use abcrm::core::AnnConfig;
+        use abcrm::ecp::merchandise::{Merchandise, Money};
+        use std::collections::HashMap;
+
+        const CATS: [(&str, &str); 3] =
+            [("books", "programming"), ("music", "jazz"), ("garden", "tools")];
+        let mut store = RecommendStore::new();
+        for id in 1..=6u64 {
+            let (cat, sub) = CATS[(id % 3) as usize];
+            store.upsert_item(Merchandise {
+                id: ItemId(id),
+                name: format!("item{id}"),
+                category: CategoryPath::new(cat, sub),
+                terms: TermVector::from_pairs([
+                    (format!("item{id}"), 1.0),
+                    (sub.to_string(), 0.4),
+                ]),
+                list_price: Money::from_units(10 + id),
+                seller: 1,
+            });
+        }
+        for &(user, item) in &events {
+            store.record_event(
+                ConsumerId(user),
+                ItemId(1 + item),
+                BehaviorKind::Purchase,
+            );
+        }
+
+        let exact_cfg = SimilarityConfig::default();
+        let ann_cfg = SimilarityConfig {
+            ann: Some(AnnConfig { bits, tables, probes, seed }),
+            ..SimilarityConfig::default()
+        };
+        // one bit, one table, one probe: the probe flips the only bit,
+        // so candidates = both buckets = every consumer
+        let exhaustive_cfg = SimilarityConfig {
+            ann: Some(AnnConfig { bits: 1, tables: 1, probes: 1, seed }),
+            ..SimilarityConfig::default()
+        };
+        for user in 1..12u64 {
+            let consumer = ConsumerId(user);
+            let exact_all = store.nearest_neighbours(consumer, &exact_cfg, 1_000);
+            let exact: HashMap<u64, f64> =
+                exact_all.iter().map(|(c, s)| (c.0, *s)).collect();
+
+            let approx = store.nearest_neighbours(consumer, &ann_cfg, 1_000);
+            prop_assert_eq!(
+                &approx,
+                &store.nearest_neighbours(consumer, &ann_cfg, 1_000),
+                "ANN query is not deterministic for {}", user
+            );
+            for (c, s) in &approx {
+                let reference = exact.get(&c.0);
+                prop_assert!(
+                    reference.is_some(),
+                    "ANN invented neighbour {} (score {}) absent from the exact scan", c, s
+                );
+                prop_assert!(
+                    (reference.unwrap() - s).abs() < 1e-9,
+                    "ANN score {} for {} disagrees with exact {}", s, c, reference.unwrap()
+                );
+            }
+
+            // tie-tolerant recall@10: every exact top-10 neighbour is
+            // either returned by id or substituted by an equal-score tie
+            let k = 10;
+            let exact_top = store.nearest_neighbours(consumer, &exact_cfg, k);
+            let ann_top = store.nearest_neighbours(consumer, &exhaustive_cfg, k);
+            for (c, s) in &exact_top {
+                prop_assert!(
+                    ann_top.iter().any(|(ac, asc)| ac == c || (asc - s).abs() < 1e-9),
+                    "exhaustive probing missed {} (score {}) for {}", c, s, user
+                );
+            }
+        }
+    }
+}
+
 /// Message duplication and bounded reordering are *masked* faults: the
 /// dedupe layer and per-pair FIFO clamp mean an idempotent query returns
 /// byte-identical recommendations with and without them. (Each case runs
