@@ -12,6 +12,25 @@ cd "$(dirname "$0")"
 # suite at 10^4 consumers plus the query-tier property tests, then the
 # full-scale query bench including the 10^6-consumer axis. Does not run
 # the normal gate.
+# --recovery-stress: loop the crash-point matrix and WAL property tests
+# 10x (both feature sets, so the sharded/threaded recovery paths get
+# shaken too), then the full E14 recovery series. Does not run the
+# normal gate.
+if [[ "${1:-}" == "--recovery-stress" ]]; then
+  echo "==> recovery stress (10x crash-point matrix + WAL properties, both feature sets)"
+  for i in $(seq 1 10); do
+    echo "--- iteration $i/10 ---"
+    cargo test -q --release --test recovery
+    cargo test -q --release --test recovery --features parallel
+    cargo test -q --release --test properties durable_replay
+    cargo test -q --release --test properties any_torn_log_prefix
+    cargo test -q --release --test properties crash_preserves
+  done
+  echo "==> full E14 recovery series"
+  cargo bench -p bench --bench recovery
+  echo "recovery stress green."
+  exit 0
+fi
 if [[ "${1:-}" == "--query-stress" ]]; then
   echo "==> query stress (10x ANN suite @ 10^4 users + query-tier property tests)"
   for i in $(seq 1 10); do
@@ -46,6 +65,11 @@ cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone
 
 echo "==> cargo clippy (--features parallel)"
 cargo clippy --workspace --all-targets --features parallel -- -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant -D clippy::dbg_macro -D clippy::needless_collect
+
+# The WAL/store layer must not panic on malformed durable input: hold
+# simdb to the stricter no-unwrap bar (its tests opt out locally).
+echo "==> cargo clippy -p simdb (-D clippy::unwrap_used)"
+cargo clippy -p simdb --all-targets -- -D warnings -D clippy::unwrap_used
 
 echo "==> cargo build --release"
 cargo build --release
@@ -105,5 +129,14 @@ cargo bench -p bench --bench query_hot_path
 echo "==> overload smoke (quick E12 series + tests/overload.rs)"
 OVERLOAD_BENCH_QUICK=1 cargo bench -p bench --bench overload
 cargo test -q --test overload
+
+# Recovery smoke: the crash-point matrix (every stage of the Fig 4.3
+# buy, ledger resolution, byte-identity with durability off, sharded
+# crash at 1/2/4 shards, DES ≡ ThreadWorld outcome classes) on both
+# feature sets, plus the quick E14 recovery-cost series.
+echo "==> recovery smoke (crash-point matrix, both feature sets + quick E14 series)"
+cargo test -q --test recovery
+cargo test -q --test recovery --features parallel
+RECOVERY_BENCH_QUICK=1 cargo bench -p bench --bench recovery
 
 echo "CI green."

@@ -78,6 +78,36 @@ pub trait Agent: Send {
     /// The agent stays active on its current host and may pick an
     /// alternative destination. Default: no-op.
     fn on_dispatch_failed(&mut self, _ctx: &mut Ctx<'_>, _dest: HostId) {}
+
+    /// How a durable host journals this agent: whole capsules at every
+    /// callback boundary (the default — right for small protocol agents
+    /// like the BRA), or incremental deltas the agent logs itself via
+    /// [`Ctx::journal_delta`] (right for agents carrying large learned
+    /// state, like the PA).
+    fn durable_policy(&self) -> DurablePolicy {
+        DurablePolicy::Capsule
+    }
+
+    /// Called once after the agent has been restored by a crash-recovery
+    /// pass, with every [`Ctx::journal_delta`] payload logged since the
+    /// capsule in the recovered state was taken (empty for capsule-policy
+    /// agents). The agent re-applies its deltas and re-drives any
+    /// in-flight protocol: re-send unanswered requests, re-arm watchdog
+    /// timers. Default: no-op.
+    fn on_recovered(&mut self, _ctx: &mut Ctx<'_>, _deltas: &[serde_json::Value]) {}
+}
+
+/// Journaling strategy of an agent on a durable host (see
+/// [`Agent::durable_policy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurablePolicy {
+    /// The world write-ahead-logs the agent's whole capsule at every
+    /// callback boundary.
+    Capsule,
+    /// The agent journals incremental deltas itself via
+    /// [`Ctx::journal_delta`]; the world only captures its capsule at
+    /// checkpoints, and recovery replays the deltas logged since.
+    Deltas,
 }
 
 /// A fault-handling statistic bumped by an application agent via
@@ -93,6 +123,9 @@ pub enum FaultCounter {
     Shed,
     /// A dispatch suppressed by an open circuit breaker.
     BreakerRejection,
+    /// An in-doubt purchase intent resolved by querying the marketplace
+    /// ledger after a crash or loss.
+    LedgerResolution,
 }
 
 /// Deferred side effect requested by an agent callback.
@@ -142,6 +175,25 @@ pub enum Action {
     Observe { name: InternedStr, value: u64 },
     /// Add `by` to the telemetry counter `name`.
     IncCounter { name: InternedStr, by: u64 },
+    /// Write-ahead-log a purchase intent on the local host's durable
+    /// store before the purchase is attempted (forced to stable storage).
+    JournalIntent {
+        intent: u64,
+        detail: serde_json::Value,
+    },
+    /// Log that the purchase identified by `intent` definitely happened.
+    JournalCommit {
+        intent: u64,
+        detail: serde_json::Value,
+    },
+    /// Log that the purchase identified by `intent` was abandoned.
+    JournalAbort { intent: u64, reason: String },
+    /// Log an incremental state delta for the calling agent (delta-policy
+    /// durability; replayed through `on_recovered` after a crash).
+    JournalDelta {
+        id: AgentId,
+        delta: serde_json::Value,
+    },
 }
 
 impl fmt::Debug for Box<dyn Agent> {
@@ -415,6 +467,14 @@ impl<'a> Ctx<'a> {
         });
     }
 
+    /// Record an in-doubt purchase resolved by the marketplace ledger in
+    /// [`crate::metrics::Metrics::intents_resolved_by_ledger`].
+    pub fn count_ledger_resolution(&mut self) {
+        self.actions.push(Action::CountFault {
+            counter: FaultCounter::LedgerResolution,
+        });
+    }
+
     /// Record `value` into the telemetry histogram `name` (no-op when
     /// telemetry is disabled on the world).
     pub fn observe(&mut self, name: impl Into<InternedStr>, value: u64) {
@@ -430,6 +490,41 @@ impl<'a> Ctx<'a> {
         self.actions.push(Action::IncCounter {
             name: name.into(),
             by,
+        });
+    }
+
+    /// Write-ahead-log a purchase intent before dispatching the buyer
+    /// toward the marketplace. Forced to stable storage immediately
+    /// (fsync-on-intent); no-op when the local host is not durable.
+    pub fn journal_intent(&mut self, intent: u64, detail: serde_json::Value) {
+        self.actions.push(Action::JournalIntent { intent, detail });
+    }
+
+    /// Log that the purchase identified by `intent` definitely happened
+    /// (the confirm/receipt reached the buyer). No-op on non-durable
+    /// hosts.
+    pub fn journal_commit(&mut self, intent: u64, detail: serde_json::Value) {
+        self.actions.push(Action::JournalCommit { intent, detail });
+    }
+
+    /// Log that the purchase identified by `intent` was abandoned and the
+    /// marketplace ledger confirms (or the protocol guarantees) it never
+    /// happened. No-op on non-durable hosts.
+    pub fn journal_abort(&mut self, intent: u64, reason: impl Into<String>) {
+        self.actions.push(Action::JournalAbort {
+            intent,
+            reason: reason.into(),
+        });
+    }
+
+    /// Log an incremental state delta for the calling agent. Only
+    /// meaningful for agents whose [`Agent::durable_policy`] is
+    /// [`DurablePolicy::Deltas`]; replayed through
+    /// [`Agent::on_recovered`] after a crash. No-op on non-durable hosts.
+    pub fn journal_delta(&mut self, delta: serde_json::Value) {
+        self.actions.push(Action::JournalDelta {
+            id: self.self_id,
+            delta,
         });
     }
 }

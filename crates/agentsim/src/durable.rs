@@ -1,0 +1,571 @@
+//! Per-host durable state: WAL-backed capsules, purchase intents and
+//! profile deltas, with snapshot checkpointing and crash recovery.
+//!
+//! A [`DurableStore`] models the stable storage a production host would
+//! put under its agent runtime. Every capsule boundary (callback end,
+//! deactivation, arrival), every two-phase purchase record and every
+//! profile delta is appended to a [`simdb::Wal`] using the durability
+//! record variants; a `synced` watermark models the fsync point — on a
+//! crash only the synced prefix survives, so the store can answer "what
+//! would a real disk hold" without ever touching the filesystem.
+//!
+//! Policy, mirroring production databases:
+//! * purchase records ([`LogRecord::PurchaseIntent`] /
+//!   [`LogRecord::PurchaseCommit`] / [`LogRecord::PurchaseAbort`]) are
+//!   **forced**: the watermark advances through them immediately
+//!   (fsync-on-commit), so a logged intent is never lost;
+//! * capsule and delta records batch: the watermark advances once
+//!   `sync_every` unsynced records accumulate (1 = sync everything);
+//! * a checkpoint serializes the materialized state into a snapshot and
+//!   truncates the log, bounding replay cost.
+
+use crate::metrics::Metrics;
+use serde::{Deserialize, Serialize};
+use simdb::wal::{LogRecord, Wal};
+use simdb::{DbError, Result};
+use std::collections::BTreeMap;
+
+/// Tuning knobs for per-host durability. Installed on a world via
+/// `enable_durability`; absent = the host keeps no durable state and all
+/// journaling actions are no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Checkpoint (snapshot + truncate) once this many records have been
+    /// appended since the last checkpoint. 0 disables checkpointing.
+    pub checkpoint_every: usize,
+    /// Advance the fsync watermark once this many unsynced capsule/delta
+    /// records accumulate. Purchase records always force a sync. 1 syncs
+    /// every record.
+    pub sync_every: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_every: 256,
+            sync_every: 1,
+        }
+    }
+}
+
+/// A capsule as the durable store holds it: the serialized
+/// [`crate::agent::AgentCapsule`] plus whether the agent was active or
+/// deactivated when last journalled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapsuleRecord {
+    /// Serialized `AgentCapsule` (id, type, state, home, permit).
+    pub capsule: serde_json::Value,
+    /// `true` = running agent journalled at a callback boundary;
+    /// `false` = deactivated into long-term storage.
+    pub active: bool,
+}
+
+/// Resolution state of a logged purchase intent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IntentState {
+    /// Intent logged, outcome unknown — after a crash this must be
+    /// resolved against the marketplace ledger before retrying.
+    Pending(serde_json::Value),
+    /// The purchase definitely happened.
+    Committed(serde_json::Value),
+    /// The purchase definitely did not happen.
+    Aborted(String),
+}
+
+/// The materialized durable state of one host: what a recovery pass gets
+/// back after replaying the WAL over the last snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DurableState {
+    /// Last journalled capsule per agent (raw id), capsule- and
+    /// delta-policy agents alike.
+    pub capsules: BTreeMap<u64, CapsuleRecord>,
+    /// Purchase intents keyed by intent id.
+    pub intents: BTreeMap<u64, IntentState>,
+    /// Profile deltas in log order: `(agent raw id, delta)`. Cleared at
+    /// checkpoints (the snapshot capsule absorbs them).
+    pub deltas: Vec<(u64, serde_json::Value)>,
+}
+
+impl DurableState {
+    /// Apply one log record to the materialized state.
+    fn apply(&mut self, record: &LogRecord) -> Result<()> {
+        match record {
+            LogRecord::Capsule {
+                agent,
+                capsule,
+                active,
+            } => {
+                self.capsules.insert(
+                    *agent,
+                    CapsuleRecord {
+                        capsule: capsule.clone(),
+                        active: *active,
+                    },
+                );
+            }
+            LogRecord::CapsuleGone { agent } => {
+                self.capsules.remove(agent);
+                self.deltas.retain(|(a, _)| a != agent);
+            }
+            LogRecord::PurchaseIntent { intent, detail } => {
+                // an intent never downgrades a known outcome (idempotent
+                // replay: a re-logged intent after a commit is a no-op)
+                self.intents
+                    .entry(*intent)
+                    .or_insert_with(|| IntentState::Pending(detail.clone()));
+            }
+            LogRecord::PurchaseCommit { intent, detail } => {
+                self.intents
+                    .insert(*intent, IntentState::Committed(detail.clone()));
+            }
+            LogRecord::PurchaseAbort { intent, reason } => {
+                // commit wins over a racing abort record on replay; a
+                // committed purchase is never un-happened
+                match self.intents.get(intent) {
+                    Some(IntentState::Committed(_)) => {}
+                    _ => {
+                        self.intents
+                            .insert(*intent, IntentState::Aborted(reason.clone()));
+                    }
+                }
+            }
+            LogRecord::ProfileDelta { agent, delta } => {
+                self.deltas.push((*agent, delta.clone()));
+            }
+            LogRecord::CreateTable { .. } | LogRecord::Put { .. } | LogRecord::Delete { .. } => {
+                return Err(DbError::Serialization(
+                    "table record is not valid for a durable store".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deltas logged for `agent`, in log order.
+    pub fn deltas_for(&self, agent: u64) -> Vec<serde_json::Value> {
+        self.deltas
+            .iter()
+            .filter(|(a, _)| *a == agent)
+            .map(|(_, d)| d.clone())
+            .collect()
+    }
+
+    /// Intents still pending (logged, no commit or abort).
+    pub fn pending_intents(&self) -> impl Iterator<Item = (u64, &serde_json::Value)> {
+        self.intents.iter().filter_map(|(id, s)| match s {
+            IntentState::Pending(d) => Some((*id, d)),
+            _ => None,
+        })
+    }
+}
+
+/// Counters a [`DurableStore`] accumulates; merged into the world
+/// [`Metrics`] by the owning runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableCounters {
+    /// WAL records appended (any kind).
+    pub wal_records_appended: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Purchase intents logged.
+    pub intents_logged: u64,
+    /// Purchase commits logged.
+    pub purchases_committed: u64,
+    /// Purchase aborts logged.
+    pub purchases_aborted: u64,
+    /// Profile deltas logged.
+    pub profile_deltas_logged: u64,
+}
+
+impl DurableCounters {
+    /// Fold these counters into the world metrics.
+    pub fn merge_into(&self, m: &mut Metrics) {
+        m.wal_records_appended += self.wal_records_appended;
+        m.checkpoints += self.checkpoints;
+        m.intents_logged += self.intents_logged;
+        m.purchases_committed += self.purchases_committed;
+        m.purchases_aborted += self.purchases_aborted;
+        m.profile_deltas_logged += self.profile_deltas_logged;
+    }
+}
+
+/// What a recovery pass found: the materialized state plus how much log
+/// had to be replayed to get there.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// Materialized durable state (synced prefix over last snapshot).
+    pub state: DurableState,
+    /// WAL records replayed over the snapshot.
+    pub replayed: usize,
+}
+
+/// The stable storage of one durable host.
+#[derive(Debug, Clone)]
+pub struct DurableStore {
+    cfg: DurabilityConfig,
+    /// Serialized [`DurableState`] at the last checkpoint.
+    snapshot: Vec<u8>,
+    wal: Wal,
+    /// Fsync watermark: records `< synced` survive a crash.
+    synced: usize,
+    /// Materialized view of snapshot + full WAL (what a crash-free
+    /// reader sees).
+    state: DurableState,
+    since_checkpoint: usize,
+    counters: DurableCounters,
+}
+
+impl DurableStore {
+    /// Empty store under `cfg`.
+    pub fn new(cfg: DurabilityConfig) -> Self {
+        DurableStore {
+            cfg,
+            snapshot: Vec::new(),
+            wal: Wal::new(),
+            synced: 0,
+            state: DurableState::default(),
+            since_checkpoint: 0,
+            counters: DurableCounters::default(),
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> DurabilityConfig {
+        self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> DurableCounters {
+        self.counters
+    }
+
+    /// Reset the counters after they have been merged elsewhere.
+    pub fn take_counters(&mut self) -> DurableCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Records currently in the WAL (snapshot excluded).
+    pub fn wal_len(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// Records below the fsync watermark (these survive a crash).
+    pub fn synced_len(&self) -> usize {
+        self.synced
+    }
+
+    /// The live materialized state (snapshot + full WAL; crash-free view).
+    pub fn state(&self) -> &DurableState {
+        &self.state
+    }
+
+    fn append(&mut self, record: LogRecord, force_sync: bool) -> Result<()> {
+        self.state.apply(&record)?;
+        self.wal.append(record);
+        self.counters.wal_records_appended += 1;
+        self.since_checkpoint += 1;
+        if force_sync || self.wal.len() - self.synced >= self.cfg.sync_every.max(1) {
+            self.synced = self.wal.len();
+        }
+        Ok(())
+    }
+
+    /// Journal an agent capsule (active or deactivated). Batched sync.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Serialization`] is impossible for capsule records; the
+    /// `Result` mirrors the shared append path.
+    pub fn put_capsule(
+        &mut self,
+        agent: u64,
+        capsule: serde_json::Value,
+        active: bool,
+    ) -> Result<()> {
+        self.append(
+            LogRecord::Capsule {
+                agent,
+                capsule,
+                active,
+            },
+            false,
+        )
+    }
+
+    /// The agent left this host (dispatch away or dispose); forget it.
+    /// Forced: a crash after a departure must never resurrect a second
+    /// copy of an agent that is already travelling or disposed.
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableStore::put_capsule`].
+    pub fn remove_capsule(&mut self, agent: u64) -> Result<()> {
+        self.append(LogRecord::CapsuleGone { agent }, true)
+    }
+
+    /// Log a purchase intent. Forced to the synced prefix immediately.
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableStore::put_capsule`].
+    pub fn log_intent(&mut self, intent: u64, detail: serde_json::Value) -> Result<()> {
+        self.counters.intents_logged += 1;
+        self.append(LogRecord::PurchaseIntent { intent, detail }, true)
+    }
+
+    /// Log a purchase commit. Forced.
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableStore::put_capsule`].
+    pub fn log_commit(&mut self, intent: u64, detail: serde_json::Value) -> Result<()> {
+        self.counters.purchases_committed += 1;
+        self.append(LogRecord::PurchaseCommit { intent, detail }, true)
+    }
+
+    /// Log a purchase abort. Forced.
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableStore::put_capsule`].
+    pub fn log_abort(&mut self, intent: u64, reason: String) -> Result<()> {
+        self.counters.purchases_aborted += 1;
+        self.append(LogRecord::PurchaseAbort { intent, reason }, true)
+    }
+
+    /// Log a profile delta for a delta-policy agent. Batched sync.
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableStore::put_capsule`].
+    pub fn log_delta(&mut self, agent: u64, delta: serde_json::Value) -> Result<()> {
+        self.counters.profile_deltas_logged += 1;
+        self.append(LogRecord::ProfileDelta { agent, delta }, false)
+    }
+
+    /// Whether enough records have accumulated to warrant a checkpoint.
+    pub fn should_checkpoint(&self) -> bool {
+        self.cfg.checkpoint_every > 0 && self.since_checkpoint >= self.cfg.checkpoint_every
+    }
+
+    /// Checkpoint: fold `fresh_capsules` (live capsules of delta-policy
+    /// agents, captured by the runtime at the checkpoint boundary) into
+    /// the state, serialize it as the new snapshot, truncate the WAL and
+    /// clear the absorbed deltas.
+    pub fn checkpoint(&mut self, fresh_capsules: Vec<(u64, serde_json::Value, bool)>) {
+        for (agent, capsule, active) in fresh_capsules {
+            self.state
+                .capsules
+                .insert(agent, CapsuleRecord { capsule, active });
+            self.state.deltas.retain(|(a, _)| *a != agent);
+        }
+        self.snapshot = serde_json::to_vec(&self.state).unwrap_or_default();
+        self.wal.truncate();
+        self.synced = 0;
+        self.since_checkpoint = 0;
+        self.counters.checkpoints += 1;
+    }
+
+    /// Crash the host: everything past the fsync watermark is lost, and
+    /// the materialized state is rebuilt from the snapshot plus the
+    /// surviving log prefix — exactly what recovery will see.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Serialization`] / [`DbError::WalCorrupt`] if the
+    /// snapshot or surviving prefix do not replay (internal corruption).
+    pub fn crash(&mut self) -> Result<()> {
+        self.wal.retain_prefix(self.synced);
+        self.state = Self::replay(&self.snapshot, &self.wal)?.state;
+        Ok(())
+    }
+
+    /// Recovery pass: materialize snapshot + WAL. On a store that has
+    /// been [`DurableStore::crash`]ed this is the durable view; on a live
+    /// store it equals [`DurableStore::state`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Serialization`] for an unreadable snapshot or a table
+    /// record in the durability log; [`DbError::WalCorrupt`] never occurs
+    /// here (the in-memory log is already decoded).
+    pub fn recover(&self) -> Result<Recovered> {
+        Self::replay(&self.snapshot, &self.wal)
+    }
+
+    fn replay(snapshot: &[u8], wal: &Wal) -> Result<Recovered> {
+        let mut state: DurableState = if snapshot.is_empty() {
+            DurableState::default()
+        } else {
+            serde_json::from_slice(snapshot).map_err(|e| DbError::Serialization(e.to_string()))?
+        };
+        for record in wal.records() {
+            state.apply(record)?;
+        }
+        Ok(Recovered {
+            state,
+            replayed: wal.len(),
+        })
+    }
+
+    /// Replay an encoded snapshot + WAL byte log into a state — the
+    /// pure function the property tests exercise: `replay(snapshot,
+    /// encode(log))` must equal direct application, be idempotent and
+    /// tolerate any prefix truncation.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::WalCorrupt`] for undecodable non-final records;
+    /// [`DbError::Serialization`] for an unreadable snapshot or a table
+    /// record in the log.
+    pub fn replay_bytes(snapshot: &[u8], wal_bytes: &[u8]) -> Result<Recovered> {
+        let wal = Wal::decode(wal_bytes)?;
+        Self::replay(snapshot, &wal)
+    }
+
+    /// Current WAL bytes (what would be on disk past the snapshot).
+    pub fn wal_bytes(&self) -> Vec<u8> {
+        self.wal.encode()
+    }
+
+    /// The snapshot bytes from the last checkpoint (empty before one).
+    pub fn snapshot_bytes(&self) -> &[u8] {
+        &self.snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use serde_json::json;
+
+    fn cfg(sync_every: usize) -> DurabilityConfig {
+        DurabilityConfig {
+            checkpoint_every: 0,
+            sync_every,
+        }
+    }
+
+    #[test]
+    fn capsule_lifecycle_materializes() {
+        let mut s = DurableStore::new(cfg(1));
+        s.put_capsule(7, json!({"x": 1}), true).unwrap();
+        s.put_capsule(7, json!({"x": 2}), false).unwrap();
+        assert_eq!(
+            s.state().capsules.get(&7).unwrap(),
+            &CapsuleRecord {
+                capsule: json!({"x": 2}),
+                active: false
+            }
+        );
+        s.remove_capsule(7).unwrap();
+        assert!(s.state().capsules.is_empty());
+    }
+
+    #[test]
+    fn unsynced_tail_is_lost_on_crash_but_forced_records_survive() {
+        let mut s = DurableStore::new(cfg(100)); // batch: nothing syncs on its own
+        s.put_capsule(1, json!({"a": 1}), true).unwrap();
+        s.log_intent(42, json!({"item": 3})).unwrap(); // forced: syncs the prefix
+        s.put_capsule(2, json!({"b": 2}), true).unwrap(); // unsynced tail
+        assert_eq!(s.synced_len(), 2);
+        s.crash().unwrap();
+        let rec = s.recover().unwrap();
+        assert!(
+            rec.state.capsules.contains_key(&1),
+            "pre-intent capsule synced"
+        );
+        assert!(!rec.state.capsules.contains_key(&2), "unsynced tail lost");
+        assert!(matches!(
+            rec.state.intents.get(&42),
+            Some(IntentState::Pending(_))
+        ));
+    }
+
+    #[test]
+    fn commit_wins_over_replayed_abort_and_intent_never_downgrades() {
+        let mut st = DurableState::default();
+        st.apply(&LogRecord::PurchaseIntent {
+            intent: 1,
+            detail: json!({}),
+        })
+        .unwrap();
+        st.apply(&LogRecord::PurchaseCommit {
+            intent: 1,
+            detail: json!({"price": 2.0}),
+        })
+        .unwrap();
+        st.apply(&LogRecord::PurchaseIntent {
+            intent: 1,
+            detail: json!({}),
+        })
+        .unwrap();
+        st.apply(&LogRecord::PurchaseAbort {
+            intent: 1,
+            reason: "late".into(),
+        })
+        .unwrap();
+        assert!(matches!(
+            st.intents.get(&1),
+            Some(IntentState::Committed(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_still_sees_everything() {
+        let mut s = DurableStore::new(DurabilityConfig {
+            checkpoint_every: 3,
+            sync_every: 1,
+        });
+        s.put_capsule(1, json!({"v": 1}), true).unwrap();
+        s.log_intent(9, json!({})).unwrap();
+        s.log_commit(9, json!({"ok": true})).unwrap();
+        assert!(s.should_checkpoint());
+        s.checkpoint(Vec::new());
+        assert_eq!(s.wal_len(), 0);
+        s.log_delta(5, json!({"d": 1})).unwrap();
+        let rec = s.recover().unwrap();
+        assert_eq!(rec.replayed, 1, "only post-checkpoint records replay");
+        assert!(rec.state.capsules.contains_key(&1));
+        assert!(matches!(
+            rec.state.intents.get(&9),
+            Some(IntentState::Committed(_))
+        ));
+        assert_eq!(rec.state.deltas_for(5), vec![json!({"d": 1})]);
+    }
+
+    #[test]
+    fn checkpoint_absorbs_fresh_capsules_and_clears_their_deltas() {
+        let mut s = DurableStore::new(cfg(1));
+        s.log_delta(5, json!({"d": 1})).unwrap();
+        s.checkpoint(vec![(5, json!({"full": true}), true)]);
+        let rec = s.recover().unwrap();
+        assert!(rec.state.deltas_for(5).is_empty());
+        assert_eq!(
+            rec.state.capsules.get(&5).unwrap().capsule,
+            json!({"full": true})
+        );
+    }
+
+    #[test]
+    fn table_records_are_rejected() {
+        let mut st = DurableState::default();
+        assert!(st
+            .apply(&LogRecord::CreateTable { table: "t".into() })
+            .is_err());
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut s = DurableStore::new(cfg(1));
+        s.log_intent(1, json!({})).unwrap();
+        s.log_abort(1, "x".into()).unwrap();
+        let c = s.take_counters();
+        assert_eq!(c.wal_records_appended, 2);
+        assert_eq!(c.intents_logged, 1);
+        assert_eq!(c.purchases_aborted, 1);
+        assert_eq!(s.counters().wal_records_appended, 0);
+    }
+}

@@ -65,6 +65,7 @@
 pub mod agent;
 pub mod chaos;
 pub mod clock;
+pub mod durable;
 pub mod error;
 pub mod ids;
 pub mod intern;
@@ -83,9 +84,10 @@ pub mod trace;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
-    pub use crate::agent::{Agent, AgentCapsule, AgentRegistry, Ctx};
+    pub use crate::agent::{Agent, AgentCapsule, AgentRegistry, Ctx, DurablePolicy};
     pub use crate::chaos::{ChaosConfig, ChaosEvent, ChaosPlan, Fault};
     pub use crate::clock::{SimDuration, SimTime};
+    pub use crate::durable::{DurabilityConfig, DurableState, DurableStore, IntentState};
     pub use crate::error::PlatformError;
     pub use crate::ids::{AgentId, HostId, MessageId};
     pub use crate::intern::{intern, InternedStr};

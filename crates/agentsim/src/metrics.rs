@@ -93,6 +93,39 @@ pub struct Metrics {
     /// Agent migrations that crossed a shard boundary.
     #[serde(default)]
     pub boundary_migrations: u64,
+    /// Records appended to durable-store write-ahead logs.
+    #[serde(default)]
+    pub wal_records_appended: u64,
+    /// WAL records replayed during crash-recovery passes.
+    #[serde(default)]
+    pub wal_records_replayed: u64,
+    /// Durable-store checkpoints (snapshot + log truncation) taken.
+    #[serde(default)]
+    pub checkpoints: u64,
+    /// Host restarts that ran a durable recovery pass.
+    #[serde(default)]
+    pub hosts_recovered: u64,
+    /// Agents restored from journalled capsules after a crash.
+    #[serde(default)]
+    pub agents_recovered: u64,
+    /// Purchase intents write-ahead-logged.
+    #[serde(default)]
+    pub intents_logged: u64,
+    /// Purchase commits write-ahead-logged.
+    #[serde(default)]
+    pub purchases_committed: u64,
+    /// Purchase aborts write-ahead-logged.
+    #[serde(default)]
+    pub purchases_aborted: u64,
+    /// In-doubt intents resolved by querying the marketplace ledger.
+    #[serde(default)]
+    pub intents_resolved_by_ledger: u64,
+    /// Profile deltas write-ahead-logged.
+    #[serde(default)]
+    pub profile_deltas_logged: u64,
+    /// Profile deltas replayed into recovered agents.
+    #[serde(default)]
+    pub profile_deltas_replayed: u64,
 }
 
 impl Metrics {

@@ -359,6 +359,15 @@ impl ShardedSimWorld {
         }
     }
 
+    /// Enable WAL-backed durability on every shard (see
+    /// [`SimWorld::enable_durability`]); restarting a crashed host then
+    /// runs the recovery pass on its owner shard.
+    pub fn enable_durability(&mut self, cfg: crate::durable::DurabilityConfig) {
+        for s in &mut self.shards {
+            s.enable_durability(cfg);
+        }
+    }
+
     /// Bound every shard's per-agent mailboxes (see
     /// [`SimWorld::set_mailbox`]).
     pub fn set_mailbox(&mut self, config: MailboxConfig) {

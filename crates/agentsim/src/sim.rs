@@ -36,9 +36,10 @@
 //! # }
 //! ```
 
-use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx, FaultCounter};
+use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx, DurablePolicy, FaultCounter};
 use crate::chaos::{ChaosEvent, ChaosPlan, Fault};
 use crate::clock::{SimDuration, SimTime};
+use crate::durable::{DurabilityConfig, DurableStore};
 use crate::error::{PlatformError, Result};
 use crate::ids::{AgentId, HostId, MessageId};
 use crate::intern::InternedStr;
@@ -184,6 +185,10 @@ struct Host {
     /// restarted. The authenticator survives (stable-storage semantics),
     /// so genuine returning agents still verify after a restart.
     crashed: bool,
+    /// WAL-backed stable storage, present when durability is enabled on
+    /// the world. Survives crashes (only the unsynced log tail is lost);
+    /// replayed by the recovery pass on restart.
+    durable: Option<DurableStore>,
 }
 
 /// The deterministic discrete-event agent world.
@@ -231,6 +236,11 @@ pub struct SimWorld {
     shard: u16,
     /// Cross-shard routing state; `None` outside sharded runs.
     boundary: Option<BoundaryState>,
+    /// Durability configuration, present after
+    /// [`SimWorld::enable_durability`]. `None` — the default — keeps every
+    /// journaling seam untaken: traces and metrics stay byte-identical to
+    /// the pre-durability runtime.
+    durability: Option<DurabilityConfig>,
 }
 
 impl SimWorld {
@@ -267,7 +277,33 @@ impl SimWorld {
             ingress_deadline: None,
             shard: 0,
             boundary: None,
+            durability: None,
         }
+    }
+
+    /// Give every host (existing and future) a WAL-backed
+    /// [`DurableStore`]: agent capsules are journalled at callback and
+    /// lifecycle boundaries, purchase intents/commits and profile deltas
+    /// land via the `Ctx::journal_*` family, and
+    /// [`SimWorld::restart_host`] runs a replay-based recovery pass. Off
+    /// by default (zero cost, byte-identical traces).
+    pub fn enable_durability(&mut self, cfg: DurabilityConfig) {
+        self.durability = Some(cfg);
+        for h in self.hosts.values_mut() {
+            if h.durable.is_none() {
+                h.durable = Some(DurableStore::new(cfg));
+            }
+        }
+    }
+
+    /// The world's durability configuration, if enabled.
+    pub fn durability(&self) -> Option<DurabilityConfig> {
+        self.durability
+    }
+
+    /// Read access to a host's durable store (tests, benches).
+    pub fn durable_store(&self, host: HostId) -> Option<&DurableStore> {
+        self.hosts.get(&host)?.durable.as_ref()
     }
 
     /// Enforce a per-agent bounded mailbox with the given capacity and
@@ -306,6 +342,7 @@ impl SimWorld {
                 auth: Authenticator::new(secret),
                 pending: HashMap::new(),
                 crashed: false,
+                durable: self.durability.map(DurableStore::new),
             },
         );
         id
@@ -403,7 +440,109 @@ impl SimWorld {
             } => self.handle_timer(agent, tag, trace, deadline),
             EventKind::Chaos { index, heal } => self.handle_chaos(index, heal),
         }
+        if self.durability.is_some() {
+            self.maybe_checkpoint();
+        }
         true
+    }
+
+    /// Checkpoint any durable store whose journal has grown past the
+    /// configured threshold: fold the live capsules of delta-journalled
+    /// agents into the state, snapshot it, and truncate the WAL. Bounds
+    /// replay cost at recovery time.
+    fn maybe_checkpoint(&mut self) {
+        let hosts: Vec<HostId> = self.hosts.keys().copied().collect();
+        for host in hosts {
+            let due = self
+                .hosts
+                .get(&host)
+                .and_then(|h| h.durable.as_ref())
+                .is_some_and(DurableStore::should_checkpoint);
+            if !due {
+                continue;
+            }
+            // Delta-journalled agents only hit the WAL as deltas; capture
+            // their live capsules now so the snapshot is self-contained
+            // and their replayed delta history can be dropped.
+            let mut fresh: Vec<(u64, serde_json::Value, bool)> = Vec::new();
+            if let Some(h) = self.hosts.get(&host) {
+                let mut ids: Vec<AgentId> = h
+                    .active
+                    .iter()
+                    .filter(|(_, a)| matches!(a.durable_policy(), DurablePolicy::Deltas))
+                    .map(|(id, _)| *id)
+                    .collect();
+                ids.sort_unstable();
+                for id in ids {
+                    let Some(agent) = h.active.get(&id) else {
+                        continue;
+                    };
+                    let home = self.homes.get(&id).copied().unwrap_or(host);
+                    let permit = self.permits.get(&id).copied();
+                    let capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
+                    let value = serde_json::to_value(&capsule).unwrap_or(serde_json::Value::Null);
+                    fresh.push((id.0, value, true));
+                }
+            }
+            if let Some(store) = self.hosts.get_mut(&host).and_then(|h| h.durable.as_mut()) {
+                store.checkpoint(fresh);
+            }
+            self.drain_durable_counters(host);
+        }
+    }
+
+    /// Fold a host's durable-store counters into the world metrics.
+    fn drain_durable_counters(&mut self, host: HostId) {
+        if let Some(counters) = self
+            .hosts
+            .get_mut(&host)
+            .and_then(|h| h.durable.as_mut())
+            .map(DurableStore::take_counters)
+        {
+            counters.merge_into(&mut self.metrics);
+        }
+    }
+
+    /// Journal the live capsule of an agent active on a durable host.
+    /// Capsule-journalled agents are captured after every callback;
+    /// delta-journalled agents only get a baseline capture (their ongoing
+    /// history travels as deltas, folded in at checkpoints).
+    fn journal_live_capsule(&mut self, host: HostId, id: AgentId) {
+        let home = self.homes.get(&id).copied().unwrap_or(host);
+        let permit = self.permits.get(&id).copied();
+        let Some(h) = self.hosts.get_mut(&host) else {
+            return;
+        };
+        let has_capsule = h
+            .durable
+            .as_ref()
+            .is_some_and(|s| s.state().capsules.contains_key(&id.0));
+        if h.durable.is_none() {
+            return;
+        }
+        let value = {
+            let Some(agent) = h.active.get(&id) else {
+                return;
+            };
+            if matches!(agent.durable_policy(), DurablePolicy::Deltas) && has_capsule {
+                return;
+            }
+            let capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
+            serde_json::to_value(&capsule).unwrap_or(serde_json::Value::Null)
+        };
+        if let Some(store) = h.durable.as_mut() {
+            let _ = store.put_capsule(id.0, value, true);
+        }
+        self.drain_durable_counters(host);
+    }
+
+    /// Journal the removal of an agent's capsule from a host's durable
+    /// store (departure or disposal — a crash deliberately does not).
+    fn journal_capsule_gone(&mut self, host: HostId, id: AgentId) {
+        if let Some(store) = self.hosts.get_mut(&host).and_then(|h| h.durable.as_mut()) {
+            let _ = store.remove_capsule(id.0);
+            self.drain_durable_counters(host);
+        }
     }
 
     /// Run until no events remain. If request tracing recorded any spans,
@@ -640,6 +779,12 @@ impl SimWorld {
         h.active.clear();
         lost.extend(h.store.drain());
         h.pending.clear();
+        if let Some(store) = h.durable.as_mut() {
+            // Stable storage survives the crash, minus the unsynced WAL
+            // tail. The agents still count as lost here; the recovery
+            // pass on restart is what brings them back.
+            let _ = store.crash();
+        }
         for id in &lost {
             self.locations.remove(id);
             self.permits.remove(id);
@@ -657,7 +802,12 @@ impl SimWorld {
         Ok(())
     }
 
-    /// Bring a crashed host back up (empty, but reachable again).
+    /// Bring a crashed host back up (empty, but reachable again). With
+    /// durability enabled the restart also runs the recovery pass:
+    /// replay the WAL over the last snapshot, restore deactivated
+    /// capsules into the host's store, rehydrate journalled active
+    /// agents, and hand each its logged profile deltas via
+    /// [`Agent::on_recovered`].
     ///
     /// # Errors
     ///
@@ -669,10 +819,99 @@ impl SimWorld {
             .ok_or(PlatformError::UnknownHost(host))?;
         if h.crashed {
             h.crashed = false;
+            let durable = h.durable.is_some();
             self.trace
                 .record(self.now, None, format!("chaos: {host} restarted"));
+            if durable {
+                self.recover_host(host);
+            }
         }
         Ok(())
+    }
+
+    /// Replay a restarted host's durable store and restore its agents.
+    fn recover_host(&mut self, host: HostId) {
+        let recovered = match self
+            .hosts
+            .get(&host)
+            .and_then(|h| h.durable.as_ref())
+            .map(DurableStore::recover)
+        {
+            Some(Ok(r)) => r,
+            Some(Err(e)) => {
+                self.trace
+                    .record(self.now, None, format!("recovery: {host} failed: {e}"));
+                return;
+            }
+            None => return,
+        };
+        self.metrics.hosts_recovered += 1;
+        self.metrics.wal_records_replayed += recovered.replayed as u64;
+        let mut restored_active: Vec<AgentId> = Vec::new();
+        let mut restored = 0u64;
+        for (raw, rec) in &recovered.state.capsules {
+            let id = AgentId(*raw);
+            let capsule: AgentCapsule = match serde_json::from_value(rec.capsule.clone()) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.trace.record(
+                        self.now,
+                        None,
+                        format!("recovery: {host} capsule for {id} unreadable: {e}"),
+                    );
+                    continue;
+                }
+            };
+            let home = capsule.home;
+            let permit = capsule.permit;
+            if rec.active {
+                match self.registry.rehydrate(&capsule) {
+                    Ok(agent) => {
+                        if let Some(h) = self.hosts.get_mut(&host) {
+                            h.active.insert(id, agent);
+                        }
+                        self.locations.insert(id, Location::Active(host));
+                        self.homes.insert(id, home);
+                        if let Some(p) = permit {
+                            self.permits.insert(id, p);
+                        }
+                        restored_active.push(id);
+                        restored += 1;
+                    }
+                    Err(e) => {
+                        self.trace.record(
+                            self.now,
+                            None,
+                            format!("recovery: {host} cannot rehydrate {id}: {e}"),
+                        );
+                    }
+                }
+            } else {
+                if let Some(h) = self.hosts.get_mut(&host) {
+                    h.store.store(capsule);
+                }
+                self.locations.insert(id, Location::Deactivated(host));
+                self.homes.insert(id, home);
+                restored += 1;
+            }
+        }
+        self.metrics.agents_recovered += restored;
+        self.trace.record(
+            self.now,
+            None,
+            format!(
+                "recovery: {host} replayed {} wal records, restored {restored} agents",
+                recovered.replayed
+            ),
+        );
+        restored_active.sort_unstable();
+        for id in restored_active {
+            let deltas = recovered.state.deltas_for(id.0);
+            self.metrics.profile_deltas_replayed += deltas.len() as u64;
+            self.run_callback(id, None, "on_recovered", move |agent, ctx| {
+                agent.on_recovered(ctx, &deltas);
+            });
+        }
     }
 
     /// Whether `host` is currently crashed.
@@ -965,6 +1204,12 @@ impl SimWorld {
             h.active.insert(id, agent);
         }
         self.apply_actions(id, host, actions);
+        // Callback boundary = journaling boundary: if the agent is still
+        // active here on a durable host, capture its (possibly mutated)
+        // capsule so a crash replays it at this point.
+        if self.durability.is_some() && self.locations.get(&id) == Some(&Location::Active(host)) {
+            self.journal_live_capsule(host, id);
+        }
         if let Some(h) = handler {
             let now = self.now;
             self.telemetry.end(h.span_id, now);
@@ -1133,6 +1378,13 @@ impl SimWorld {
                             self.metrics.breaker_rejections += 1;
                             (SpanEventKind::Breaker, "dispatch suppressed: circuit open")
                         }
+                        FaultCounter::LedgerResolution => {
+                            self.metrics.intents_resolved_by_ledger += 1;
+                            (
+                                SpanEventKind::Note,
+                                "purchase resolved from marketplace ledger",
+                            )
+                        }
                     };
                     if let Some(tc) = self.current_trace {
                         self.telemetry.event(tc.span_id, kind, label, self.now);
@@ -1146,6 +1398,34 @@ impl SimWorld {
                 Action::IncCounter { name, by } => {
                     if self.telemetry.is_enabled() {
                         self.telemetry.registry_mut().inc(name.as_str(), by);
+                    }
+                }
+                Action::JournalIntent { intent, detail } => {
+                    if let Some(store) = self.hosts.get_mut(&host).and_then(|h| h.durable.as_mut())
+                    {
+                        let _ = store.log_intent(intent, detail);
+                        self.drain_durable_counters(host);
+                    }
+                }
+                Action::JournalCommit { intent, detail } => {
+                    if let Some(store) = self.hosts.get_mut(&host).and_then(|h| h.durable.as_mut())
+                    {
+                        let _ = store.log_commit(intent, detail);
+                        self.drain_durable_counters(host);
+                    }
+                }
+                Action::JournalAbort { intent, reason } => {
+                    if let Some(store) = self.hosts.get_mut(&host).and_then(|h| h.durable.as_mut())
+                    {
+                        let _ = store.log_abort(intent, reason);
+                        self.drain_durable_counters(host);
+                    }
+                }
+                Action::JournalDelta { id, delta } => {
+                    if let Some(store) = self.hosts.get_mut(&host).and_then(|h| h.durable.as_mut())
+                    {
+                        let _ = store.log_delta(id.0, delta);
+                        self.drain_durable_counters(host);
                     }
                 }
             }
@@ -1399,6 +1679,7 @@ impl SimWorld {
                 self.now,
             )
         });
+        self.journal_capsule_gone(host, id);
         // The migration hop ends at the boundary: span ids are shard-local.
         if let Some(tc) = capsule.strip_trace() {
             self.telemetry.event(
@@ -1832,6 +2113,10 @@ impl SimWorld {
             )
         });
         self.locations.insert(id, Location::InTransit);
+        // The agent has left: its capsule is no longer this host's to
+        // restore. Journalled (forced) so a crash cannot resurrect a
+        // second copy of an agent that already departed.
+        self.journal_capsule_gone(host, id);
         let bytes = capsule.wire_size();
         let loss = self.topology.loss(host, dest);
         if loss > 0.0 && self.rng.gen::<f64>() < loss {
@@ -2022,8 +2307,13 @@ impl SimWorld {
         };
         let home = self.homes.get(&id).copied().unwrap_or(host);
         let capsule = AgentCapsule::capture(id, agent.as_ref(), home, None);
+        let journalled = serde_json::to_value(&capsule).ok();
         let h = self.hosts.get_mut(&host).expect("host exists");
         h.store.store(capsule);
+        if let (Some(store), Some(value)) = (h.durable.as_mut(), journalled) {
+            let _ = store.put_capsule(id.0, value, false);
+        }
+        self.drain_durable_counters(host);
         self.locations.insert(id, Location::Deactivated(host));
         self.metrics.deactivations += 1;
     }
@@ -2085,6 +2375,7 @@ impl SimWorld {
                 if let Some(mb) = &mut self.mailbox {
                     mb.forget(id);
                 }
+                self.journal_capsule_gone(host, id);
                 self.metrics.agents_disposed += 1;
             }
             Some(Location::Deactivated(h)) if h == host => {
@@ -2096,6 +2387,7 @@ impl SimWorld {
                 if let Some(mb) = &mut self.mailbox {
                     mb.forget(id);
                 }
+                self.journal_capsule_gone(host, id);
                 self.metrics.agents_disposed += 1;
             }
             _ => {

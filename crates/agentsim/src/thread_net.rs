@@ -12,9 +12,10 @@
 //! (channels deliver as fast as the OS schedules) — timers are honoured via
 //! real `thread::sleep`.
 
-use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx, FaultCounter};
+use crate::agent::{Action, Agent, AgentCapsule, AgentRegistry, Ctx, DurablePolicy, FaultCounter};
 use crate::chaos::ChaosKnobs;
 use crate::clock::SimTime;
+use crate::durable::{DurabilityConfig, DurableStore};
 use crate::error::{PlatformError, Result};
 use crate::ids::{AgentId, HostId, MessageId};
 use crate::intern::InternedStr;
@@ -63,6 +64,9 @@ enum Envelope {
     /// unreachability flag lives in [`Shared::chaos`]). Broadcast to every
     /// worker of the host.
     AdminCrash,
+    /// Chaos: run the durable recovery pass after a restart (no-op without
+    /// durability). Broadcast to every worker of the host.
+    AdminRestart,
     Shutdown,
 }
 
@@ -79,7 +83,18 @@ impl Envelope {
             | Envelope::AdminActivate(a)
             | Envelope::AdminDispose(a) => Some(*a),
             Envelope::AdminRetract { agent, .. } => Some(*agent),
-            Envelope::AdminCrash | Envelope::Shutdown => None,
+            Envelope::AdminCrash | Envelope::AdminRestart | Envelope::Shutdown => None,
+        }
+    }
+
+    /// A per-worker copy of a broadcast envelope. Only the unit-like
+    /// admin broadcasts can be duplicated (agent-carrying envelopes are
+    /// single-destination by construction).
+    fn broadcast_copy(&self) -> Option<Envelope> {
+        match self {
+            Envelope::AdminCrash => Some(Envelope::AdminCrash),
+            Envelope::AdminRestart => Some(Envelope::AdminRestart),
+            _ => None,
         }
     }
 }
@@ -116,6 +131,9 @@ struct Shared {
     mailbox: Mutex<MailboxState>,
     /// Messages held for deactivated agents, per agent (diagnostics).
     parked: Mutex<HashMap<AgentId, usize>>,
+    /// Durability configuration; each worker of each host carries its own
+    /// [`DurableStore`] for the agents it owns. `None` = durability off.
+    durability: Option<DurabilityConfig>,
 }
 
 impl Shared {
@@ -182,12 +200,16 @@ impl Shared {
             let worker = match env.routing_agent() {
                 Some(agent) => self.worker_of(agent),
                 None => {
-                    // Broadcast (crash): every worker wipes its slice.
-                    debug_assert!(matches!(env, Envelope::AdminCrash));
+                    // Broadcast (crash/restart): every worker handles its
+                    // own slice of the host.
                     let mut ok = false;
                     for tx in txs.iter() {
+                        let Some(copy) = env.broadcast_copy() else {
+                            debug_assert!(false, "non-broadcastable envelope routed as broadcast");
+                            return false;
+                        };
                         self.in_flight.fetch_add(1, Ordering::SeqCst);
-                        if tx.send(Envelope::AdminCrash).is_ok() {
+                        if tx.send(copy).is_ok() {
                             ok = true;
                         } else {
                             self.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -266,6 +288,7 @@ pub struct ThreadWorldBuilder {
     telemetry: bool,
     mailbox: Option<MailboxConfig>,
     workers: usize,
+    durability: Option<DurabilityConfig>,
 }
 
 impl ThreadWorldBuilder {
@@ -278,7 +301,16 @@ impl ThreadWorldBuilder {
             telemetry: false,
             mailbox: None,
             workers: 1,
+            durability: None,
         }
+    }
+
+    /// Give every host worker a WAL-backed [`DurableStore`] so
+    /// [`ThreadWorld::restart_host`] recovers journalled agents, purchase
+    /// records and profile deltas. Off by default (zero cost).
+    pub fn durability(&mut self, cfg: DurabilityConfig) -> &mut Self {
+        self.durability = Some(cfg);
+        self
     }
 
     /// Run each host on `n` worker threads instead of one (clamped to at
@@ -355,6 +387,7 @@ impl ThreadWorldBuilder {
             telemetry_on: AtomicBool::new(self.telemetry),
             mailbox: Mutex::new(MailboxState::new(self.mailbox)),
             parked: Mutex::new(HashMap::new()),
+            durability: self.durability,
         });
         let mut handles = Vec::new();
         let mut hosts = Vec::new();
@@ -547,7 +580,11 @@ impl ThreadWorld {
         Ok(())
     }
 
-    /// Bring a crashed host back up (empty, but reachable again).
+    /// Bring a crashed host back up (empty, but reachable again). With
+    /// durability configured, each of the host's workers then runs the
+    /// recovery pass over its durable store: journalled agents are
+    /// restored and handed their logged profile deltas via
+    /// [`Agent::on_recovered`].
     ///
     /// # Errors
     ///
@@ -556,7 +593,10 @@ impl ThreadWorld {
         if !self.hosts.contains(&host) {
             return Err(PlatformError::UnknownHost(host));
         }
-        self.shared.chaos.lock().crashed.remove(&host);
+        let was_crashed = self.shared.chaos.lock().crashed.remove(&host);
+        if was_crashed && self.shared.durability.is_some() {
+            self.shared.send_envelope(host, Envelope::AdminRestart);
+        }
         Ok(())
     }
 
@@ -723,6 +763,9 @@ struct HostState {
     /// Ambient request deadline of the running callback, stamped onto
     /// everything it sends. Same save/restore discipline.
     current_deadline: Option<SimTime>,
+    /// This worker's WAL-backed stable storage for the agents it owns;
+    /// present when the world was built with durability.
+    durable: Option<DurableStore>,
 }
 
 const ID_BATCH: u64 = 1 << 16;
@@ -742,16 +785,190 @@ fn host_loop(id: HostId, worker: usize, seed: u64, rx: Receiver<Envelope>, share
         id_end: 0,
         current_trace: None,
         current_deadline: None,
+        durable: shared.durability.map(DurableStore::new),
     };
     while let Ok(env) = rx.recv() {
         let shutdown = matches!(env, Envelope::Shutdown);
         handle_envelope(&mut host, env, &shared);
+        if host.durable.is_some() {
+            maybe_checkpoint(&mut host, &shared);
+        }
         if !shutdown {
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
         if shutdown {
             break;
         }
+    }
+}
+
+/// Fold the worker's durable-store counters into the shared metrics.
+fn drain_durable_counters(host: &mut HostState, shared: &Arc<Shared>) {
+    if let Some(counters) = host.durable.as_mut().map(DurableStore::take_counters) {
+        counters.merge_into(&mut shared.metrics.lock());
+    }
+}
+
+/// Journal the live capsule of an agent this worker owns (see the DES
+/// twin in [`crate::sim::SimWorld`]: every callback for capsule-policy
+/// agents, baseline only for delta-policy agents).
+fn journal_live_capsule(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
+    if host.durable.is_none() {
+        return;
+    }
+    let has_capsule = host
+        .durable
+        .as_ref()
+        .is_some_and(|s| s.state().capsules.contains_key(&id.0));
+    let value = {
+        let Some(agent) = host.active.get(&id) else {
+            return;
+        };
+        if matches!(agent.durable_policy(), DurablePolicy::Deltas) && has_capsule {
+            return;
+        }
+        let home = shared.homes.lock().get(&id).copied().unwrap_or(host.id);
+        let permit = host.carried_permits.get(&id).copied();
+        let capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
+        serde_json::to_value(&capsule).unwrap_or(serde_json::Value::Null)
+    };
+    if let Some(store) = host.durable.as_mut() {
+        let _ = store.put_capsule(id.0, value, true);
+    }
+    drain_durable_counters(host, shared);
+}
+
+/// Journal the removal of an agent's capsule (departure or disposal).
+fn journal_capsule_gone(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
+    if let Some(store) = host.durable.as_mut() {
+        let _ = store.remove_capsule(id.0);
+        drain_durable_counters(host, shared);
+    }
+}
+
+/// Checkpoint this worker's durable store once its journal has grown past
+/// the configured threshold (see the DES twin for the policy).
+fn maybe_checkpoint(host: &mut HostState, shared: &Arc<Shared>) {
+    if !host
+        .durable
+        .as_ref()
+        .is_some_and(DurableStore::should_checkpoint)
+    {
+        return;
+    }
+    let mut ids: Vec<AgentId> = host
+        .active
+        .iter()
+        .filter(|(_, a)| matches!(a.durable_policy(), DurablePolicy::Deltas))
+        .map(|(id, _)| *id)
+        .collect();
+    ids.sort_unstable();
+    let mut fresh: Vec<(u64, serde_json::Value, bool)> = Vec::new();
+    for id in ids {
+        let Some(agent) = host.active.get(&id) else {
+            continue;
+        };
+        let home = shared.homes.lock().get(&id).copied().unwrap_or(host.id);
+        let permit = host.carried_permits.get(&id).copied();
+        let capsule = AgentCapsule::capture(id, agent.as_ref(), home, permit);
+        fresh.push((
+            id.0,
+            serde_json::to_value(&capsule).unwrap_or(serde_json::Value::Null),
+            true,
+        ));
+    }
+    if let Some(store) = host.durable.as_mut() {
+        store.checkpoint(fresh);
+    }
+    drain_durable_counters(host, shared);
+}
+
+/// Recovery pass for one worker of a restarted host: replay the durable
+/// store and restore the agents this worker owns.
+fn recover_worker(host: &mut HostState, shared: &Arc<Shared>) {
+    let recovered = match host.durable.as_ref().map(DurableStore::recover) {
+        Some(Ok(r)) => r,
+        Some(Err(e)) => {
+            shared.trace.lock().record(
+                shared.now(),
+                None,
+                format!("recovery: {} failed: {e}", host.id),
+            );
+            return;
+        }
+        None => return,
+    };
+    {
+        let mut m = shared.metrics.lock();
+        if host.worker == 0 {
+            m.hosts_recovered += 1;
+        }
+        m.wal_records_replayed += recovered.replayed as u64;
+    }
+    let mut restored_active: Vec<AgentId> = Vec::new();
+    let mut restored = 0u64;
+    for (raw, rec) in &recovered.state.capsules {
+        let id = AgentId(*raw);
+        let capsule: AgentCapsule = match serde_json::from_value(rec.capsule.clone()) {
+            Ok(c) => c,
+            Err(e) => {
+                shared.trace.lock().record(
+                    shared.now(),
+                    None,
+                    format!("recovery: {} capsule for {id} unreadable: {e}", host.id),
+                );
+                continue;
+            }
+        };
+        let home = capsule.home;
+        let permit = capsule.permit;
+        if rec.active {
+            match shared.registry.rehydrate(&capsule) {
+                Ok(agent) => {
+                    host.active.insert(id, agent);
+                    shared.locations.lock().insert(id, host.id);
+                    shared.homes.lock().insert(id, home);
+                    if let Some(p) = permit {
+                        if home != host.id {
+                            host.carried_permits.insert(id, p);
+                        }
+                    }
+                    restored_active.push(id);
+                    restored += 1;
+                }
+                Err(e) => {
+                    shared.trace.lock().record(
+                        shared.now(),
+                        None,
+                        format!("recovery: {} cannot rehydrate {id}: {e}", host.id),
+                    );
+                }
+            }
+        } else {
+            host.store.store(capsule);
+            shared.locations.lock().insert(id, host.id);
+            shared.homes.lock().insert(id, home);
+            restored += 1;
+        }
+    }
+    shared.metrics.lock().agents_recovered += restored;
+    if host.worker == 0 || restored > 0 {
+        shared.trace.lock().record(
+            shared.now(),
+            None,
+            format!(
+                "recovery: {} replayed {} wal records, restored {restored} agents",
+                host.id, recovered.replayed
+            ),
+        );
+    }
+    restored_active.sort_unstable();
+    for id in restored_active {
+        let deltas = recovered.state.deltas_for(id.0);
+        shared.metrics.lock().profile_deltas_replayed += deltas.len() as u64;
+        run_callback(host, shared, id, None, "on_recovered", move |a, ctx| {
+            a.on_recovered(ctx, &deltas)
+        });
     }
 }
 
@@ -935,6 +1152,11 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
             host.pending.clear();
             host.seen.clear();
             host.carried_permits.clear();
+            if let Some(store) = host.durable.as_mut() {
+                // Stable storage survives, minus the unsynced WAL tail;
+                // the agents still count as lost until recovery.
+                let _ = store.crash();
+            }
             {
                 let mut locs = shared.locations.lock();
                 for id in &lost {
@@ -965,6 +1187,16 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                     format!("chaos: {} crashed ({} agents lost)", host.id, lost.len()),
                 );
             }
+        }
+        Envelope::AdminRestart => {
+            if host.worker == 0 {
+                shared.trace.lock().record(
+                    shared.now(),
+                    None,
+                    format!("chaos: {} restarted", host.id),
+                );
+            }
+            recover_worker(host, shared);
         }
         Envelope::Shutdown => {}
     }
@@ -1100,6 +1332,10 @@ fn run_callback<F>(
     }
     host.active.insert(id, agent);
     apply_actions(host, shared, id, actions);
+    // Callback boundary = journaling boundary (see the DES twin).
+    if host.durable.is_some() && host.active.contains_key(&id) {
+        journal_live_capsule(host, shared, id);
+    }
     if let Some(h) = handler {
         let now = shared.now();
         let mut t = shared.telemetry.lock();
@@ -1393,6 +1629,13 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                             m.breaker_rejections += 1;
                             (SpanEventKind::Breaker, "dispatch suppressed: circuit open")
                         }
+                        FaultCounter::LedgerResolution => {
+                            m.intents_resolved_by_ledger += 1;
+                            (
+                                SpanEventKind::Note,
+                                "purchase resolved from marketplace ledger",
+                            )
+                        }
                     }
                 };
                 shared.span_event(host.current_trace, kind, label);
@@ -1413,6 +1656,30 @@ fn apply_actions(host: &mut HostState, shared: &Arc<Shared>, actor: AgentId, act
                         .lock()
                         .registry_mut()
                         .inc(name.as_str(), by);
+                }
+            }
+            Action::JournalIntent { intent, detail } => {
+                if let Some(store) = host.durable.as_mut() {
+                    let _ = store.log_intent(intent, detail);
+                    drain_durable_counters(host, shared);
+                }
+            }
+            Action::JournalCommit { intent, detail } => {
+                if let Some(store) = host.durable.as_mut() {
+                    let _ = store.log_commit(intent, detail);
+                    drain_durable_counters(host, shared);
+                }
+            }
+            Action::JournalAbort { intent, reason } => {
+                if let Some(store) = host.durable.as_mut() {
+                    let _ = store.log_abort(intent, reason);
+                    drain_durable_counters(host, shared);
+                }
+            }
+            Action::JournalDelta { id, delta } => {
+                if let Some(store) = host.durable.as_mut() {
+                    let _ = store.log_delta(id.0, delta);
+                    drain_durable_counters(host, shared);
                 }
             }
         }
@@ -1479,6 +1746,9 @@ fn do_dispatch(host: &mut HostState, shared: &Arc<Shared>, id: AgentId, dest: Ho
         Some(host.id),
     );
     shared.locations.lock().remove(&id);
+    // The agent has left this worker; forget its capsule (forced, so a
+    // crash cannot resurrect a second copy).
+    journal_capsule_gone(host, shared, id);
     shared.send_envelope(dest, Envelope::Arrive(capsule));
 }
 
@@ -1522,6 +1792,7 @@ fn do_dispose(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
     shared.locations.lock().remove(&id);
     shared.mailbox.lock().forget(id);
     shared.parked.lock().remove(&id);
+    journal_capsule_gone(host, shared, id);
     shared.metrics.lock().agents_disposed += 1;
 }
 
@@ -1537,8 +1808,14 @@ fn do_deactivate(host: &mut HostState, shared: &Arc<Shared>, id: AgentId) {
         return;
     };
     let home = shared.homes.lock().get(&id).copied().unwrap_or(host.id);
-    host.store
-        .store(AgentCapsule::capture(id, agent.as_ref(), home, None));
+    let capsule = AgentCapsule::capture(id, agent.as_ref(), home, None);
+    if let Some(store) = host.durable.as_mut() {
+        if let Ok(value) = serde_json::to_value(&capsule) {
+            let _ = store.put_capsule(id.0, value, false);
+        }
+        drain_durable_counters(host, shared);
+    }
+    host.store.store(capsule);
     shared.metrics.lock().deactivations += 1;
 }
 

@@ -27,7 +27,7 @@ use agentsim::clock::{SimDuration, SimTime};
 use agentsim::ids::AgentId;
 use agentsim::message::Message;
 use ecp::merchandise::Merchandise;
-use ecp::protocol::Offer;
+use ecp::protocol::{self as ecpk, BuyConfirm, LedgerQuery, LedgerReply, Offer};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -50,9 +50,26 @@ enum Pending {
         mba: AgentId,
         /// Dispatch attempts so far (0 = first try).
         attempt: u32,
+        /// Durable purchase-intent id (buy tasks under durability only).
+        #[serde(default)]
+        intent: Option<u64>,
     },
     /// Last MBA lost; backoff timer armed before the next dispatch.
-    AwaitRetry { task: ConsumerTask, attempt: u32 },
+    AwaitRetry {
+        task: ConsumerTask,
+        attempt: u32,
+        /// Durable purchase-intent id carried unchanged into the retry.
+        #[serde(default)]
+        intent: Option<u64>,
+    },
+    /// Durable buy whose MBA was lost with the outcome in doubt; the
+    /// marketplace ledger has been asked whether the intent committed.
+    AwaitLedger {
+        task: ConsumerTask,
+        intent: u64,
+        market: MarketRef,
+        attempt: u32,
+    },
     /// Offers in hand; awaiting the PA's similar-user data.
     AwaitSimilar {
         task: ConsumerTask,
@@ -89,6 +106,14 @@ pub struct BuyerRecommendAgent {
     /// task; the MBA must skip them.
     #[serde(default)]
     blocked_markets: Vec<MarketRef>,
+    /// True when the host journals state durably: buys carry a WAL-logged
+    /// intent id and in-doubt outcomes are resolved against the
+    /// marketplace ledger instead of failed outright.
+    #[serde(default)]
+    durable: bool,
+    /// Purchase intents minted by this BRA so far (intent-id sequence).
+    #[serde(default)]
+    intents_minted: u64,
 }
 
 impl BuyerRecommendAgent {
@@ -114,7 +139,16 @@ impl BuyerRecommendAgent {
             recommendations_made: 0,
             retry: BackoffPolicy::default(),
             blocked_markets: Vec::new(),
+            durable: false,
+            intents_minted: 0,
         }
+    }
+
+    /// Turn on the durable-purchase protocol (intent ids + ledger
+    /// resolution). Only meaningful on a world with durability enabled.
+    pub fn with_durability(mut self) -> Self {
+        self.durable = true;
+        self
     }
 
     /// Override the MBA re-dispatch backoff schedule.
@@ -185,8 +219,42 @@ impl BuyerRecommendAgent {
         self.pending = Some(Pending::AwaitProfile { task });
     }
 
-    fn dispatch_mba(&mut self, ctx: &mut Ctx<'_>, task: ConsumerTask, attempt: u32) {
+    /// Mint a fresh purchase-intent id: the BRA's globally-unique agent
+    /// id in the high bits, a per-BRA sequence number in the low 16. A
+    /// BRA drives one task at a time, so the sequence cannot wrap within
+    /// a purchase's lifetime.
+    fn mint_intent(&mut self, ctx: &Ctx<'_>) -> u64 {
+        self.intents_minted += 1;
+        (ctx.self_id().0 << 16) | (self.intents_minted & 0xFFFF)
+    }
+
+    fn dispatch_mba(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        task: ConsumerTask,
+        attempt: u32,
+        prior_intent: Option<u64>,
+    ) {
         let fig = task.figure();
+        // Durable buys carry a WAL-logged intent id so the marketplace
+        // can dedupe a re-driven purchase. Minted once, before the first
+        // dispatch (write-ahead); retries reuse it unchanged.
+        let intent = match (&task, prior_intent) {
+            (_, Some(i)) => Some(i),
+            (ConsumerTask::Buy { item, market, .. }, None) if self.durable => {
+                let i = self.mint_intent(ctx);
+                ctx.journal_intent(
+                    i,
+                    serde_json::json!({
+                        "consumer": self.consumer,
+                        "item": item,
+                        "market": market.agent,
+                    }),
+                );
+                Some(i)
+            }
+            _ => None,
+        };
         let (mba_task, itinerary) = match &task {
             ConsumerTask::Query {
                 keywords,
@@ -208,6 +276,7 @@ impl BuyerRecommendAgent {
                 MbaTask::Buy {
                     item: *item,
                     mode: *mode,
+                    intent,
                 },
                 vec![*market],
             ),
@@ -272,7 +341,12 @@ impl BuyerRecommendAgent {
             })
             .expect("register serializes");
         ctx.send(self.bsma, register);
-        self.pending = Some(Pending::AwaitMba { task, mba, attempt });
+        self.pending = Some(Pending::AwaitMba {
+            task,
+            mba,
+            attempt,
+            intent,
+        });
     }
 
     /// Rank candidates: the paper's combination of similar users'
@@ -367,8 +441,10 @@ impl BuyerRecommendAgent {
     fn handle_mba_result(&mut self, ctx: &mut Ctx<'_>, from: Option<AgentId>, result: MbaResult) {
         // match non-destructively: a stale result from a superseded MBA
         // must not wipe whatever state the live attempt is in
-        let (task, mba) = match &self.pending {
-            Some(Pending::AwaitMba { task, mba, .. }) => (task.clone(), *mba),
+        let (task, mba, intent) = match &self.pending {
+            Some(Pending::AwaitMba {
+                task, mba, intent, ..
+            }) => (task.clone(), *mba, *intent),
             _ => {
                 ctx.note("bra: unexpected mba result dropped");
                 return;
@@ -420,6 +496,16 @@ impl BuyerRecommendAgent {
                 rounds,
             } => {
                 ctx.note("fig4.3/step13 bra records transaction and pa updates profile");
+                if let Some(intent) = intent {
+                    ctx.journal_commit(
+                        intent,
+                        serde_json::to_value(&BuyConfirm {
+                            item: item.clone(),
+                            price,
+                        })
+                        .unwrap_or(serde_json::Value::Null),
+                    );
+                }
                 let kind = if negotiated {
                     BehaviorKind::Negotiate
                 } else {
@@ -446,6 +532,11 @@ impl BuyerRecommendAgent {
             }
             MbaResult::BuyFailed { reason, .. } => {
                 ctx.note("fig4.3/step13 bra records failed trade");
+                if let Some(intent) = intent {
+                    // the marketplace definitively rejected/failed the buy,
+                    // so the intent resolves to a clean abort
+                    ctx.journal_abort(intent, reason.clone());
+                }
                 ctx.note("fig4.3/step14 bra responds with failure");
                 self.respond(ctx, ResponseBody::Error(reason));
             }
@@ -498,7 +589,7 @@ impl Agent for BuyerRecommendAgent {
                 let fig = task.figure();
                 let step = if fig == "fig4.2" { "step06" } else { "step05" };
                 ctx.note(format!("{fig}/{step} bra received profile"));
-                self.dispatch_mba(ctx, task, 0);
+                self.dispatch_mba(ctx, task, 0, None);
             }
             kinds::MBA_RESULT => {
                 if let Ok(result) = msg.payload_as::<MbaResult>() {
@@ -556,10 +647,13 @@ impl Agent for BuyerRecommendAgent {
                 let Ok(lost) = msg.payload_as::<MbaLost>() else {
                     return;
                 };
-                let (task, mba, attempt) = match &self.pending {
-                    Some(Pending::AwaitMba { task, mba, attempt }) => {
-                        (task.clone(), *mba, *attempt)
-                    }
+                let (task, mba, attempt, intent) = match &self.pending {
+                    Some(Pending::AwaitMba {
+                        task,
+                        mba,
+                        attempt,
+                        intent,
+                    }) => (task.clone(), *mba, *attempt, *intent),
                     _ => {
                         ctx.note(format!(
                             "bra: loss notice for {} with no task in flight",
@@ -574,6 +668,27 @@ impl Agent for BuyerRecommendAgent {
                 }
                 self.pending = None;
                 ctx.note(format!("bra: mba {mba} presumed lost"));
+                // A durable buy whose MBA vanished has an unknown outcome:
+                // the purchase may or may not have gone through. Ask the
+                // marketplace ledger before deciding to retry or abort —
+                // never blindly re-run a buy (at-most-once).
+                if let (ConsumerTask::Buy { market, .. }, Some(intent)) = (&task, intent) {
+                    let market = *market;
+                    ctx.note(format!(
+                        "bra: purchase intent {intent} in doubt, querying marketplace ledger"
+                    ));
+                    let query = Message::new(ecpk::kinds::LEDGER_QUERY)
+                        .with_payload(&LedgerQuery { intent })
+                        .expect("ledger query serializes");
+                    ctx.send(market.agent, query);
+                    self.pending = Some(Pending::AwaitLedger {
+                        task,
+                        intent,
+                        market,
+                        attempt,
+                    });
+                    return;
+                }
                 if attempt < self.retry.max_retries {
                     // clamp the retry to the request's remaining deadline
                     // budget: a retry that would land after the reply was
@@ -598,6 +713,7 @@ impl Agent for BuyerRecommendAgent {
                             self.pending = Some(Pending::AwaitRetry {
                                 task,
                                 attempt: attempt + 1,
+                                intent: None,
                             });
                             ctx.set_timer(SimDuration::from_micros(delay), RETRY_TAG);
                             return;
@@ -637,9 +753,161 @@ impl Agent for BuyerRecommendAgent {
                     }
                 }
             }
+            ecpk::kinds::LEDGER_REPLY => {
+                let Ok(reply) = msg.payload_as::<LedgerReply>() else {
+                    return;
+                };
+                let (task, intent, attempt) = match &self.pending {
+                    Some(Pending::AwaitLedger {
+                        task,
+                        intent,
+                        attempt,
+                        ..
+                    }) => (task.clone(), *intent, *attempt),
+                    _ => {
+                        ctx.note("bra: stale ledger reply dropped");
+                        return;
+                    }
+                };
+                if reply.intent != intent {
+                    ctx.note(format!(
+                        "bra: ledger reply for foreign intent {}",
+                        reply.intent
+                    ));
+                    return;
+                }
+                self.pending = None;
+                match reply.committed {
+                    Some(confirm) => {
+                        // the lost MBA did complete the purchase before
+                        // vanishing: honour it exactly once from the ledger
+                        ctx.note(format!(
+                            "bra: intent {intent} committed at marketplace, recovered from ledger"
+                        ));
+                        ctx.count_ledger_resolution();
+                        ctx.journal_commit(
+                            intent,
+                            serde_json::to_value(&confirm).unwrap_or(serde_json::Value::Null),
+                        );
+                        self.record_behavior(
+                            ctx,
+                            &confirm.item,
+                            BehaviorKind::Purchase,
+                            Some(confirm.price),
+                        );
+                        self.respond(
+                            ctx,
+                            ResponseBody::Receipt {
+                                item: confirm.item,
+                                price: confirm.price,
+                                channel: "recovered from marketplace ledger".into(),
+                            },
+                        );
+                    }
+                    None => {
+                        // never committed: a retry under the same intent is
+                        // safe (the ledger will dedupe a late duplicate)
+                        if attempt < self.retry.max_retries {
+                            let budget = ctx.remaining_us();
+                            if let Some(delay) = self.retry.delay_within(attempt, budget) {
+                                ctx.note(format!(
+                                    "bra: intent {intent} not committed, retrying in {delay}us (attempt {})",
+                                    attempt + 1
+                                ));
+                                ctx.count_retry();
+                                self.pending = Some(Pending::AwaitRetry {
+                                    task,
+                                    attempt: attempt + 1,
+                                    intent: Some(intent),
+                                });
+                                ctx.set_timer(SimDuration::from_micros(delay), RETRY_TAG);
+                                return;
+                            }
+                        }
+                        ctx.note(format!("bra: intent {intent} aborted after ledger check"));
+                        ctx.journal_abort(
+                            intent,
+                            "mba lost; marketplace ledger shows no commit and retries exhausted",
+                        );
+                        self.respond(
+                            ctx,
+                            ResponseBody::Error(
+                                "purchase aborted: buyer agent lost and marketplace ledger shows no commit"
+                                    .into(),
+                            ),
+                        );
+                    }
+                }
+            }
             other => {
                 ctx.note(format!("bra: unhandled kind {other}"));
             }
+        }
+    }
+
+    fn on_recovered(&mut self, ctx: &mut Ctx<'_>, _deltas: &[serde_json::Value]) {
+        // The host died and came back: the WAL restored our state, but any
+        // message already sent to a peer may have produced a reply that
+        // died with the host, and armed timers are gone. Re-drive whatever
+        // stage the task was in; every peer handler tolerates duplicates.
+        match self.pending.clone() {
+            Some(Pending::AwaitProfile { task }) => {
+                ctx.note("bra: recovered mid profile-load, re-requesting profile");
+                let load = Message::new(kinds::PA_LOAD)
+                    .with_payload(&PaLoad {
+                        consumer: self.consumer,
+                        figure: task.figure().to_string(),
+                    })
+                    .expect("load serializes");
+                ctx.send(self.pa, load);
+            }
+            Some(Pending::AwaitSimilar { offers, .. }) => {
+                ctx.note("bra: recovered mid similar-query, re-requesting neighbours");
+                let similar = Message::new(kinds::PA_SIMILAR)
+                    .with_payload(&PaSimilar {
+                        consumer: self.consumer,
+                        offers: offers.iter().map(|o| o.item.clone()).collect(),
+                        k_neighbours: self.k_neighbours,
+                    })
+                    .expect("similar serializes");
+                ctx.send(self.pa, similar);
+            }
+            Some(Pending::AwaitRetry { .. }) => {
+                // the backoff timer died with the host; re-arm it
+                ctx.note("bra: recovered mid retry-backoff, re-arming dispatch timer");
+                ctx.set_timer(SimDuration::from_micros(1_000), RETRY_TAG);
+            }
+            Some(Pending::AwaitLedger { intent, market, .. }) => {
+                ctx.note(format!(
+                    "bra: recovered mid ledger-query, re-querying intent {intent}"
+                ));
+                let query = Message::new(ecpk::kinds::LEDGER_QUERY)
+                    .with_payload(&LedgerQuery { intent })
+                    .expect("ledger query serializes");
+                ctx.send(market.agent, query);
+            }
+            Some(Pending::AwaitMba { task, mba, .. }) => {
+                // The MBA is out roaming (or lost). Normally the BSMA's
+                // own recovery re-arms the watchdog, but if the crash hit
+                // between MBA creation and registration the BSMA never
+                // saw this trip — re-register so the watchdog exists.
+                // The BSMA dedupes by MBA id, so this is a no-op when the
+                // watch survived.
+                ctx.note(format!(
+                    "bra: recovered with mba {mba} outstanding, re-registering watch"
+                ));
+                let register = Message::new(kinds::MBA_REGISTER)
+                    .with_payload(&MbaRegister {
+                        mba,
+                        bra: ctx.self_id(),
+                        consumer: self.consumer,
+                        timeout_us: self.mba_timeout_us,
+                        figure: task.figure().to_string(),
+                    })
+                    .expect("register serializes");
+                ctx.send(self.bsma, register);
+            }
+            None => {}
         }
     }
 
@@ -647,11 +915,16 @@ impl Agent for BuyerRecommendAgent {
         if tag != RETRY_TAG {
             return;
         }
-        let Some(Pending::AwaitRetry { task, attempt }) = self.pending.take() else {
+        let Some(Pending::AwaitRetry {
+            task,
+            attempt,
+            intent,
+        }) = self.pending.take()
+        else {
             return;
         };
         ctx.note(format!("bra: re-dispatching mba (attempt {attempt})"));
-        self.dispatch_mba(ctx, task, attempt);
+        self.dispatch_mba(ctx, task, attempt, intent);
     }
 
     fn on_disposal(&mut self, ctx: &mut Ctx<'_>) {

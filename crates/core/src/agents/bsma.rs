@@ -73,6 +73,11 @@ pub struct BsmaConfig {
     /// Per-marketplace circuit-breaker tuning; `None` disables breakers.
     #[serde(default)]
     pub breaker: Option<BreakerConfig>,
+    /// Journal state durably: BRAs run the intent/ledger purchase
+    /// protocol and the PA journals profile deltas. Only meaningful on a
+    /// world with durability enabled.
+    #[serde(default)]
+    pub durable: bool,
 }
 
 fn default_watch_retries() -> u32 {
@@ -95,6 +100,7 @@ impl Default for BsmaConfig {
             admission: None,
             request_deadline_us: 0,
             breaker: None,
+            durable: false,
         }
     }
 }
@@ -180,10 +186,11 @@ impl Bsma {
 
     fn setup(&mut self, ctx: &mut Ctx<'_>) {
         ctx.note("fig4.1/step4 bsma creates profile agent");
-        let pa = ctx.create_agent(Box::new(ProfileAgent::new(
-            self.config.learner,
-            self.config.similarity,
-        )));
+        let mut profile_agent = ProfileAgent::new(self.config.learner, self.config.similarity);
+        if self.config.durable {
+            profile_agent = profile_agent.with_durability();
+        }
+        let pa = ctx.create_agent(Box::new(profile_agent));
         self.pa = Some(pa);
         ctx.note("fig4.1/step5 bsma creates http agent");
         let mut front = HttpAgent::new(ctx.self_id());
@@ -251,18 +258,20 @@ impl Bsma {
         let bra = match self.session_of(req.consumer.0) {
             Some(existing) => existing,
             None => {
-                let bra = ctx.create_agent(Box::new(
-                    BuyerRecommendAgent::new(
-                        req.consumer,
-                        ctx.self_id(),
-                        pa,
-                        httpa,
-                        self.config.markets.clone(),
-                    )
-                    .with_collaborative_weight(self.config.collaborative_weight)
-                    .with_mba_timeout_us(self.config.mba_timeout_us)
-                    .with_retry_policy(self.config.bra_retry),
-                ));
+                let mut new_bra = BuyerRecommendAgent::new(
+                    req.consumer,
+                    ctx.self_id(),
+                    pa,
+                    httpa,
+                    self.config.markets.clone(),
+                )
+                .with_collaborative_weight(self.config.collaborative_weight)
+                .with_mba_timeout_us(self.config.mba_timeout_us)
+                .with_retry_policy(self.config.bra_retry);
+                if self.config.durable {
+                    new_bra = new_bra.with_durability();
+                }
+                let bra = ctx.create_agent(Box::new(new_bra));
                 ctx.note(format!("bsma: bra {bra} created for {}", req.consumer));
                 self.sessions.push((req.consumer.0, bra));
                 if let Err(e) =
@@ -539,6 +548,23 @@ impl Agent for Bsma {
             other => {
                 ctx.note(format!("bsma: unhandled kind {other}"));
             }
+        }
+    }
+
+    fn on_recovered(&mut self, ctx: &mut Ctx<'_>, _deltas: &[serde_json::Value]) {
+        // The host crashed and came back: every armed watchdog timer died
+        // with it. Without a re-arm a roaming MBA that never returns would
+        // leave its BRA deactivated forever. Grant each watched MBA a
+        // fresh full timeout from now.
+        for entry in &self.mba_watch {
+            ctx.note(format!(
+                "bsma: recovered, re-arming watchdog for roaming mba {}",
+                entry.register.mba
+            ));
+            ctx.set_timer(
+                SimDuration::from_micros(entry.register.timeout_us),
+                entry.register.mba.0,
+            );
         }
     }
 

@@ -62,6 +62,12 @@ pub enum MbaTask {
         item: ItemId,
         /// Buying mode.
         mode: BuyMode,
+        /// Durable purchase-intent id minted by the BRA. Carried on every
+        /// buy/negotiate message so the marketplace ledger can dedupe
+        /// retries of the same purchase (at-most-once). `None` when
+        /// durability is off — the wire format is then unchanged.
+        #[serde(default)]
+        intent: Option<u64>,
     },
     /// Bid in an auction up to `limit`.
     Auction {
@@ -252,10 +258,13 @@ impl MobileBuyerAgent {
                     .expect("query serializes");
                 ctx.send(market.agent, msg);
             }
-            MbaTask::Buy { item, mode } => match mode {
+            MbaTask::Buy { item, mode, intent } => match mode {
                 BuyMode::Direct => {
                     let msg = Message::new(ecpk::kinds::BUY_REQUEST)
-                        .with_payload(&BuyRequest { item: *item })
+                        .with_payload(&BuyRequest {
+                            item: *item,
+                            intent: *intent,
+                        })
                         .expect("buy serializes");
                     ctx.send(market.agent, msg);
                 }
@@ -280,6 +289,7 @@ impl MobileBuyerAgent {
                         .with_payload(&NegotiateOffer {
                             item: *item,
                             offer: opening,
+                            intent: *intent,
                         })
                         .expect("offer serializes");
                     ctx.send(market.agent, msg);
@@ -533,12 +543,17 @@ impl Agent for MobileBuyerAgent {
                 let Some(session) = self.negotiation.as_mut() else {
                     return;
                 };
+                let intent = match &self.task {
+                    MbaTask::Buy { intent, .. } => *intent,
+                    _ => None,
+                };
                 match session.respond(counter.ask) {
                     BuyerMove::Offer(next) | BuyerMove::Accept(next) => {
                         let offer = Message::new(ecpk::kinds::NEGOTIATE_OFFER)
                             .with_payload(&NegotiateOffer {
                                 item: counter.item,
                                 offer: next,
+                                intent,
                             })
                             .expect("offer serializes");
                         ctx.reply(&msg, offer);
@@ -811,6 +826,7 @@ mod tests {
             MbaTask::Buy {
                 item: ItemId(1),
                 mode: BuyMode::Direct,
+                intent: None,
             },
             vec![market],
         );
@@ -841,6 +857,7 @@ mod tests {
             MbaTask::Buy {
                 item: ItemId(999),
                 mode: BuyMode::Direct,
+                intent: None,
             },
             vec![market],
         );
@@ -864,6 +881,7 @@ mod tests {
                     raise: 0.1,
                     max_rounds: 20,
                 },
+                intent: None,
             },
             vec![market],
         );
@@ -902,6 +920,7 @@ mod tests {
                     raise: 0.1,
                     max_rounds: 10,
                 },
+                intent: None,
             },
             vec![market],
         );
@@ -1060,6 +1079,7 @@ mod tests {
             MbaTask::Buy {
                 item: ItemId(1),
                 mode: BuyMode::Direct,
+                intent: None,
             },
             vec![market],
         );
@@ -1151,6 +1171,7 @@ mod tests {
             MbaTask::Buy {
                 item: ItemId(1),
                 mode: BuyMode::Direct,
+                intent: None,
             },
             vec![market],
         );

@@ -18,7 +18,7 @@ use crate::profile::Profile;
 use crate::similarity::SimilarityConfig;
 use crate::store::RecommendStore;
 use crate::userdb::{TradeChannel, TransactionRecord, UserDb};
-use agentsim::agent::{Agent, Ctx};
+use agentsim::agent::{Agent, Ctx, DurablePolicy};
 use agentsim::message::Message;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -63,6 +63,10 @@ pub struct ProfileAgent {
     cache_invalidated_emitted: u64,
     #[serde(default)]
     cache_capacity_evicted_emitted: u64,
+    /// Journal every recorded behaviour as a WAL delta instead of having
+    /// the platform snapshot the (large) full PA capsule per callback.
+    #[serde(default)]
+    durable: bool,
 }
 
 impl ProfileAgent {
@@ -78,7 +82,15 @@ impl ProfileAgent {
             cache_misses_emitted: 0,
             cache_invalidated_emitted: 0,
             cache_capacity_evicted_emitted: 0,
+            durable: false,
         }
+    }
+
+    /// Journal behaviour records as durable deltas (replayed on crash
+    /// recovery). Only meaningful on a world with durability enabled.
+    pub fn with_durability(mut self) -> Self {
+        self.durable = true;
+        self
     }
 
     /// Enable the periodic interest-decay maintenance cycle.
@@ -123,6 +135,18 @@ impl ProfileAgent {
     }
 
     fn record(&mut self, ctx: &mut Ctx<'_>, rec: PaRecord) {
+        if self.durable {
+            // write-ahead: the delta reaches the WAL before the learned
+            // update it describes can be observed by anyone
+            match serde_json::to_value(&rec) {
+                Ok(delta) => ctx.journal_delta(delta),
+                Err(e) => ctx.note(format!("pa: behaviour delta serialize failed: {e}")),
+            }
+        }
+        self.apply_record(ctx, rec);
+    }
+
+    fn apply_record(&mut self, ctx: &mut Ctx<'_>, rec: PaRecord) {
         self.store.upsert_item(rec.item.clone());
         self.store.record_event(rec.consumer, rec.item.id, rec.kind);
         // persist the updated profile (UserDB write — Fig 4.2 step 5 /
@@ -207,6 +231,42 @@ impl Agent for ProfileAgent {
 
     fn snapshot(&self) -> serde_json::Value {
         serde_json::to_value(self).expect("pa state serializes")
+    }
+
+    fn durable_policy(&self) -> DurablePolicy {
+        if self.durable {
+            DurablePolicy::Deltas
+        } else {
+            DurablePolicy::Capsule
+        }
+    }
+
+    fn on_recovered(&mut self, ctx: &mut Ctx<'_>, deltas: &[serde_json::Value]) {
+        // Replay every behaviour recorded since the baseline capsule was
+        // captured. apply_record (not record) so the replay does not
+        // re-journal deltas the WAL already holds.
+        let mut replayed = 0usize;
+        for delta in deltas {
+            match serde_json::from_value::<PaRecord>(delta.clone()) {
+                Ok(rec) => {
+                    self.apply_record(ctx, rec);
+                    replayed += 1;
+                }
+                Err(e) => ctx.note(format!("pa: unreadable journalled delta skipped: {e}")),
+            }
+        }
+        if replayed > 0 {
+            ctx.note(format!(
+                "pa: recovered, replayed {replayed} journalled behaviour records"
+            ));
+        }
+        if let Some(m) = self.maintenance {
+            // the maintenance timer died with the host; re-arm the cycle
+            ctx.set_timer(
+                agentsim::clock::SimDuration::from_micros(m.interval_us),
+                MAINTENANCE_TIMER_TAG,
+            );
+        }
     }
 
     fn on_creation(&mut self, ctx: &mut Ctx<'_>) {

@@ -22,6 +22,7 @@ use crate::retry::BackoffPolicy;
 use crate::similarity::SimilarityConfig;
 use agentsim::chaos::ChaosPlan;
 use agentsim::clock::SimDuration;
+use agentsim::durable::DurabilityConfig;
 use agentsim::ids::{AgentId, HostId};
 use agentsim::message::Message;
 use agentsim::net::Topology;
@@ -51,6 +52,7 @@ pub struct PlatformBuilder {
     request_deadline_us: u64,
     breaker: Option<BreakerConfig>,
     mailbox: Option<MailboxConfig>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl PlatformBuilder {
@@ -72,6 +74,7 @@ impl PlatformBuilder {
             request_deadline_us: 0,
             breaker: None,
             mailbox: None,
+            durability: None,
         }
     }
 
@@ -160,9 +163,27 @@ impl PlatformBuilder {
         self
     }
 
+    /// Give every host a WAL-backed [`DurableStore`] and switch the
+    /// buyer-side agents to durable operation: BRAs journal two-phase
+    /// purchase intents and the PA journals profile deltas, so a
+    /// [`SimWorld::crash_host`]/`restart_host` cycle recovers in-flight
+    /// work instead of dropping it. Off by default — without this call
+    /// traces are byte-identical to a platform built before durability
+    /// existed.
+    ///
+    /// [`DurableStore`]: agentsim::durable::DurableStore
+    /// [`SimWorld::crash_host`]: agentsim::sim::SimWorld::crash_host
+    pub fn durability(mut self, config: DurabilityConfig) -> Self {
+        self.durability = Some(config);
+        self
+    }
+
     /// Assemble the world and run the Fig 4.1 creation workflow.
     pub fn build(self) -> Platform {
         let mut world = SimWorld::with_topology(self.seed, self.topology);
+        if let Some(cfg) = self.durability {
+            world.enable_durability(cfg);
+        }
         if self.telemetry {
             world.enable_telemetry();
         }
@@ -231,6 +252,7 @@ impl PlatformBuilder {
             admission: self.admission,
             request_deadline_us: self.request_deadline_us,
             breaker: self.breaker,
+            durable: self.durability.is_some(),
         };
         let request = Message::new(ecpk::REQUEST_BUYER_SERVER)
             .with_payload(&RequestBuyerServer {
@@ -620,6 +642,7 @@ pub struct ShardedPlatformBuilder {
     request_deadline_us: u64,
     breaker: Option<BreakerConfig>,
     mailbox: Option<MailboxConfig>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl ShardedPlatformBuilder {
@@ -642,6 +665,7 @@ impl ShardedPlatformBuilder {
             request_deadline_us: 0,
             breaker: None,
             mailbox: None,
+            durability: None,
         }
     }
 
@@ -725,6 +749,14 @@ impl ShardedPlatformBuilder {
         self
     }
 
+    /// Give every host on every shard a WAL-backed durable store and
+    /// switch each shard's buyer-side agents to durable operation. See
+    /// [`PlatformBuilder::durability`].
+    pub fn durability(mut self, config: DurabilityConfig) -> Self {
+        self.durability = Some(config);
+        self
+    }
+
     /// Assemble the sharded world and run the Fig 4.1 creation workflow
     /// once per shard.
     pub fn build(self) -> ShardedPlatform {
@@ -732,6 +764,9 @@ impl ShardedPlatformBuilder {
         let mut world = ShardedSimWorld::new(self.seed, shards);
         for k in 0..shards {
             *world.shard_mut(k).topology_mut() = self.topology.clone();
+        }
+        if let Some(cfg) = self.durability {
+            world.enable_durability(cfg);
         }
         if self.telemetry {
             world.enable_telemetry();
@@ -814,6 +849,7 @@ impl ShardedPlatformBuilder {
                 admission: self.admission,
                 request_deadline_us: self.request_deadline_us,
                 breaker: self.breaker,
+                durable: self.durability.is_some(),
             };
             let request = Message::new(ecpk::REQUEST_BUYER_SERVER)
                 .with_payload(&RequestBuyerServer {

@@ -17,8 +17,9 @@ use crate::merchandise::{ItemId, Merchandise};
 use crate::negotiation::{SellerPolicy, SellerResponse, SellerSession};
 use crate::protocol::{
     kinds, AuctionBid, AuctionClosed, AuctionJoin, AuctionOpen, AuctionStatus, BuyConfirm,
-    BuyRequest, CatalogSync, DutchOpen, Listing, NegotiateAccept, NegotiateCounter, NegotiateOffer,
-    Offer, QueryRequest, QueryResponse, TopSellers, TopSellersList,
+    BuyRequest, CatalogSync, DutchOpen, LedgerQuery, LedgerReply, Listing, NegotiateAccept,
+    NegotiateCounter, NegotiateOffer, Offer, QueryRequest, QueryResponse, TopSellers,
+    TopSellersList,
 };
 use agentsim::agent::{Agent, Ctx};
 use agentsim::clock::SimDuration;
@@ -119,6 +120,13 @@ pub struct MarketplaceAgent {
     sales: BTreeMap<u64, u32>,
     negotiations: Vec<OpenNegotiation>,
     auctions: BTreeMap<u64, OpenAuction>,
+    /// Intent-keyed purchase ledger: the confirmation recorded for every
+    /// sale that carried an intent id. A repeated [`kinds::BUY_REQUEST`]
+    /// under a known intent resends the original confirmation instead of
+    /// selling twice, and [`kinds::LEDGER_QUERY`] answers from it —
+    /// together these give crashed buyers at-most-once purchases.
+    #[serde(default)]
+    ledger: BTreeMap<u64, BuyConfirm>,
 }
 
 impl MarketplaceAgent {
@@ -130,7 +138,13 @@ impl MarketplaceAgent {
             sales: BTreeMap::new(),
             negotiations: Vec::new(),
             auctions: BTreeMap::new(),
+            ledger: BTreeMap::new(),
         }
+    }
+
+    /// The ledger entry recorded for `intent`, if that purchase committed.
+    pub fn ledger_entry(&self, intent: u64) -> Option<&BuyConfirm> {
+        self.ledger.get(&intent)
     }
 
     /// Number of live listings.
@@ -191,12 +205,30 @@ impl MarketplaceAgent {
     }
 
     fn handle_buy(&mut self, ctx: &mut Ctx<'_>, msg: &Message, req: BuyRequest) {
+        // A retried buy under an already-committed intent must not sell
+        // twice: resend the recorded confirmation instead.
+        if let Some(confirm) = req.intent.and_then(|i| self.ledger.get(&i)).cloned() {
+            ctx.note(format!(
+                "marketplace {}: duplicate buy for intent {} answered from ledger",
+                self.name,
+                req.intent.unwrap_or(0)
+            ));
+            let reply = Message::new(kinds::BUY_CONFIRM)
+                .with_payload(&confirm)
+                .expect("buy confirm serializes");
+            ctx.reply(msg, reply);
+            return;
+        }
         match self.merchandise(req.item).cloned() {
             Some(item) => {
                 self.record_sale(req.item.0);
                 let price = item.list_price;
+                let confirm = BuyConfirm { item, price };
+                if let Some(intent) = req.intent {
+                    self.ledger.insert(intent, confirm.clone());
+                }
                 let reply = Message::new(kinds::BUY_CONFIRM)
-                    .with_payload(&BuyConfirm { item, price })
+                    .with_payload(&confirm)
                     .expect("buy confirm serializes");
                 ctx.reply(msg, reply);
             }
@@ -204,6 +236,16 @@ impl MarketplaceAgent {
                 ctx.reply(msg, Message::new(kinds::BUY_REJECT));
             }
         }
+    }
+
+    fn handle_ledger_query(&self, ctx: &mut Ctx<'_>, msg: &Message, query: LedgerQuery) {
+        let reply = Message::new(kinds::LEDGER_REPLY)
+            .with_payload(&LedgerReply {
+                intent: query.intent,
+                committed: self.ledger.get(&query.intent).cloned(),
+            })
+            .expect("ledger reply serializes");
+        ctx.reply(msg, reply);
     }
 
     fn handle_negotiate(&mut self, ctx: &mut Ctx<'_>, msg: &Message, offer: NegotiateOffer) {
@@ -244,6 +286,15 @@ impl MarketplaceAgent {
                     .expect("listing checked above");
                 self.negotiations.swap_remove(idx);
                 self.record_sale(offer.item.0);
+                if let Some(intent) = offer.intent {
+                    self.ledger.insert(
+                        intent,
+                        BuyConfirm {
+                            item: item.clone(),
+                            price,
+                        },
+                    );
+                }
                 let reply = Message::new(kinds::NEGOTIATE_ACCEPT)
                     .with_payload(&NegotiateAccept { item, price })
                     .expect("accept serializes");
@@ -547,6 +598,11 @@ impl Agent for MarketplaceAgent {
                     self.handle_top_sellers(ctx, &msg, req);
                 }
             }
+            kinds::LEDGER_QUERY => {
+                if let Ok(query) = msg.payload_as::<LedgerQuery>() {
+                    self.handle_ledger_query(ctx, &msg, query);
+                }
+            }
             other => {
                 ctx.note(format!("marketplace {}: unhandled kind {other}", self.name));
             }
@@ -712,7 +768,14 @@ mod tests {
     #[test]
     fn buy_confirms_and_counts_sale() {
         let mut f = fixture();
-        via_probe(&mut f, kinds::BUY_REQUEST, &BuyRequest { item: ItemId(1) });
+        via_probe(
+            &mut f,
+            kinds::BUY_REQUEST,
+            &BuyRequest {
+                item: ItemId(1),
+                intent: None,
+            },
+        );
         let p = probe_state(&f);
         assert_eq!(p.last_kind.as_deref(), Some(kinds::BUY_CONFIRM));
         let market: MarketplaceAgent =
@@ -726,7 +789,10 @@ mod tests {
         via_probe(
             &mut f,
             kinds::BUY_REQUEST,
-            &BuyRequest { item: ItemId(999) },
+            &BuyRequest {
+                item: ItemId(999),
+                intent: None,
+            },
         );
         assert_eq!(
             probe_state(&f).last_kind.as_deref(),
@@ -743,6 +809,7 @@ mod tests {
             &NegotiateOffer {
                 item: ItemId(1),
                 offer: Money::from_units(1),
+                intent: None,
             },
         );
         assert_eq!(
@@ -755,6 +822,7 @@ mod tests {
             &NegotiateOffer {
                 item: ItemId(1),
                 offer: Money::from_units(30),
+                intent: None,
             },
         );
         let p = probe_state(&f);
@@ -772,6 +840,7 @@ mod tests {
             &NegotiateOffer {
                 item: ItemId(42),
                 offer: Money::from_units(10),
+                intent: None,
             },
         );
         assert_eq!(
@@ -977,9 +1046,23 @@ mod tests {
     fn top_sellers_ranks_by_units() {
         let mut f = fixture();
         for _ in 0..3 {
-            via_probe(&mut f, kinds::BUY_REQUEST, &BuyRequest { item: ItemId(2) });
+            via_probe(
+                &mut f,
+                kinds::BUY_REQUEST,
+                &BuyRequest {
+                    item: ItemId(2),
+                    intent: None,
+                },
+            );
         }
-        via_probe(&mut f, kinds::BUY_REQUEST, &BuyRequest { item: ItemId(1) });
+        via_probe(
+            &mut f,
+            kinds::BUY_REQUEST,
+            &BuyRequest {
+                item: ItemId(1),
+                intent: None,
+            },
+        );
         via_probe(&mut f, kinds::TOP_SELLERS, &TopSellers { k: 2 });
         let p = probe_state(&f);
         assert_eq!(p.last_kind.as_deref(), Some(kinds::TOP_SELLERS_LIST));

@@ -72,6 +72,12 @@ pub mod kinds {
     pub const TOP_SELLERS: &str = "top-sellers";
     /// Answer to [`TOP_SELLERS`].
     pub const TOP_SELLERS_LIST: &str = "top-sellers-list";
+
+    /// Ask a marketplace whether a purchase intent committed (crash
+    /// recovery: resolve an in-doubt purchase before retrying).
+    pub const LEDGER_QUERY: &str = "ledger-query";
+    /// Answer to [`LEDGER_QUERY`].
+    pub const LEDGER_REPLY: &str = "ledger-reply";
 }
 
 /// Roles a server can register under.
@@ -192,6 +198,12 @@ pub struct QueryResponse {
 pub struct BuyRequest {
     /// Item to buy at list price.
     pub item: ItemId,
+    /// Purchase intent id, stable across retries of the same buy. The
+    /// marketplace keeps an intent-keyed ledger and answers a repeated
+    /// intent with the original confirmation instead of selling twice
+    /// (at-most-once purchases). `None` = legacy fire-and-forget buy.
+    #[serde(default)]
+    pub intent: Option<u64>,
 }
 
 /// Purchase confirmation ([`kinds::BUY_CONFIRM`]).
@@ -210,6 +222,10 @@ pub struct NegotiateOffer {
     pub item: ItemId,
     /// Offered price.
     pub offer: Money,
+    /// Purchase intent id (see [`BuyRequest::intent`]); an accepted
+    /// negotiation records into the ledger under this id.
+    #[serde(default)]
+    pub intent: Option<u64>,
 }
 
 /// Seller counter ([`kinds::NEGOTIATE_COUNTER`]).
@@ -306,6 +322,23 @@ pub struct AuctionClosed {
     pub outcome: AuctionOutcome,
     /// Whether the receiving joiner is the winner.
     pub you_won: bool,
+}
+
+/// Ask whether an intent committed ([`kinds::LEDGER_QUERY`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LedgerQuery {
+    /// The purchase intent in doubt.
+    pub intent: u64,
+}
+
+/// Answer to [`kinds::LEDGER_QUERY`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerReply {
+    /// The queried intent.
+    pub intent: u64,
+    /// The recorded sale, if the intent committed; `None` = the
+    /// marketplace never completed a sale under this intent.
+    pub committed: Option<BuyConfirm>,
 }
 
 /// Top-sellers request ([`kinds::TOP_SELLERS`]).

@@ -369,6 +369,19 @@ impl JsonStore {
                         .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
                     rows.remove(key);
                 }
+                // Durability records belong to a runtime DurableStore log,
+                // not a table store; finding one here means the wrong log
+                // was replayed against this snapshot.
+                LogRecord::Capsule { .. }
+                | LogRecord::CapsuleGone { .. }
+                | LogRecord::PurchaseIntent { .. }
+                | LogRecord::PurchaseCommit { .. }
+                | LogRecord::PurchaseAbort { .. }
+                | LogRecord::ProfileDelta { .. } => {
+                    return Err(DbError::Serialization(
+                        "durability record is not valid for a table store".into(),
+                    ));
+                }
             }
         }
         // Recovery replays history; the recovered WAL starts clean,
@@ -379,6 +392,8 @@ impl JsonStore {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use serde_json::json;
 

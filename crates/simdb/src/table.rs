@@ -279,6 +279,8 @@ impl<K: Ord + Clone + fmt::Debug, V: fmt::Debug> fmt::Debug for Table<K, V> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[derive(Debug, Clone, PartialEq)]

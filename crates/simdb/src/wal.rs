@@ -32,6 +32,54 @@ pub enum LogRecord {
         /// Row key.
         key: String,
     },
+    /// An agent capsule captured at a migration or lifecycle boundary.
+    /// `active` distinguishes a running agent (journalled after a
+    /// callback) from one deactivated into long-term storage.
+    Capsule {
+        /// Raw agent id (`AgentId.0`).
+        agent: u64,
+        /// The serialized [`AgentCapsule`] as produced by the runtime.
+        capsule: serde_json::Value,
+        /// Whether the agent was active (vs deactivated) when logged.
+        active: bool,
+    },
+    /// The agent left this host (dispatched away) or was disposed; any
+    /// earlier capsule record for it no longer applies here.
+    CapsuleGone {
+        /// Raw agent id.
+        agent: u64,
+    },
+    /// A purchase is about to be attempted. Logged before the buyer
+    /// dispatches toward the marketplace; always forced to the synced
+    /// prefix (fsync-on-intent).
+    PurchaseIntent {
+        /// Globally unique intent id (stable across retries).
+        intent: u64,
+        /// Free-form detail (consumer, item, market) for diagnostics.
+        detail: serde_json::Value,
+    },
+    /// The purchase identified by `intent` definitely happened.
+    PurchaseCommit {
+        /// Intent id from the matching [`LogRecord::PurchaseIntent`].
+        intent: u64,
+        /// Outcome detail (item, price, channel).
+        detail: serde_json::Value,
+    },
+    /// The purchase identified by `intent` definitely did not happen.
+    PurchaseAbort {
+        /// Intent id from the matching [`LogRecord::PurchaseIntent`].
+        intent: u64,
+        /// Why the purchase was abandoned.
+        reason: String,
+    },
+    /// An incremental profile-update delta for a learning agent that
+    /// journals deltas instead of whole capsules.
+    ProfileDelta {
+        /// Raw agent id of the profile owner (the journaling agent).
+        agent: u64,
+        /// The delta payload, replayed through `Agent::on_recovered`.
+        delta: serde_json::Value,
+    },
 }
 
 /// An append-only operation log.
@@ -69,6 +117,14 @@ impl Wal {
     /// Drop all records (after a checkpoint).
     pub fn truncate(&mut self) {
         self.records.clear();
+    }
+
+    /// Keep only the first `n` records, dropping the tail. Models the
+    /// crash-time loss of an unsynced suffix: everything past the fsync
+    /// watermark never reached stable storage. A prefix longer than the
+    /// log is a no-op.
+    pub fn retain_prefix(&mut self, n: usize) {
+        self.records.truncate(n);
     }
 
     /// Serialize to newline-delimited JSON.
@@ -118,6 +174,8 @@ impl Wal {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn put(table: &str, key: &str, v: i64) -> LogRecord {
@@ -177,5 +235,47 @@ mod tests {
     #[test]
     fn empty_log_decodes_empty() {
         assert!(Wal::decode(b"").unwrap().is_empty());
+    }
+
+    #[test]
+    fn durability_records_round_trip() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Capsule {
+            agent: 7,
+            capsule: serde_json::json!({"state": {"x": 1}}),
+            active: true,
+        });
+        wal.append(LogRecord::PurchaseIntent {
+            intent: 42,
+            detail: serde_json::json!({"item": 3}),
+        });
+        wal.append(LogRecord::PurchaseCommit {
+            intent: 42,
+            detail: serde_json::json!({"price": 9.5}),
+        });
+        wal.append(LogRecord::PurchaseAbort {
+            intent: 43,
+            reason: "mba lost".into(),
+        });
+        wal.append(LogRecord::ProfileDelta {
+            agent: 9,
+            delta: serde_json::json!({"kind": "Purchase"}),
+        });
+        wal.append(LogRecord::CapsuleGone { agent: 7 });
+        let decoded = Wal::decode(&wal.encode()).unwrap();
+        assert_eq!(decoded, wal);
+    }
+
+    #[test]
+    fn retain_prefix_drops_the_tail() {
+        let mut wal = Wal::new();
+        wal.append(put("t", "a", 1));
+        wal.append(put("t", "b", 2));
+        wal.append(put("t", "c", 3));
+        wal.retain_prefix(2);
+        assert_eq!(wal.len(), 2);
+        // longer than the log: no-op
+        wal.retain_prefix(10);
+        assert_eq!(wal.len(), 2);
     }
 }

@@ -210,7 +210,10 @@ impl Serialize for char {
 impl Deserialize for char {
     fn deserialize_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            Value::String(s) => match (s.chars().next(), s.chars().count()) {
+                (Some(c), 1) => Ok(c),
+                _ => Err(Error::msg("expected a single-character string")),
+            },
             other => Err(Error(format!("expected single-char string, got {other}"))),
         }
     }

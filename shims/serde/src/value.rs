@@ -484,13 +484,21 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // consume one UTF-8 char
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    // consume a maximal unescaped run in one shot: `"` and
+                    // `\` are ASCII, so byte-level scanning can never split
+                    // a multi-byte UTF-8 character, and each byte of input
+                    // is validated exactly once (a per-char `from_utf8` of
+                    // the whole tail would be quadratic)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| crate::Error("invalid UTF-8".into()))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }

@@ -70,7 +70,9 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
             };
             code.parse().expect("generated impl parses")
         }
-        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! invocation parses as a token stream"),
     }
 }
 

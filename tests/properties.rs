@@ -761,3 +761,141 @@ fn arbitrary_json(tokens: &[u64]) -> serde_json::Value {
     }
     build(&mut tokens.iter(), 3)
 }
+
+// --- durability / WAL replay properties -------------------------------
+
+use abcrm::agentsim::durable::{DurabilityConfig, DurableStore, IntentState};
+
+/// One durability op per tuple: `(kind, agent, intent, value)`.
+fn durable_ops_strategy() -> impl Strategy<Value = Vec<(u8, u64, u64, i64)>> {
+    proptest::collection::vec((0u8..8, 0u64..6, 0u64..24, 0i64..1000), 1..60)
+}
+
+fn apply_durable_op(store: &mut DurableStore, op: (u8, u64, u64, i64)) {
+    let (kind, agent, intent, value) = op;
+    let v = serde_json::json!({ "v": value });
+    match kind {
+        0 | 1 => store.put_capsule(agent, v, value % 2 == 0).unwrap(),
+        2 => store.remove_capsule(agent).unwrap(),
+        3 => store.log_intent(intent, v).unwrap(),
+        4 => store.log_commit(intent, v).unwrap(),
+        5 => store.log_abort(intent, format!("abort {value}")).unwrap(),
+        6 => store.log_delta(agent, v).unwrap(),
+        _ => store.checkpoint(Vec::new()),
+    }
+}
+
+proptest! {
+    /// Recovery (snapshot + WAL replay) materializes exactly the live
+    /// state, for any interleaving of capsule journals, removals,
+    /// two-phase purchase records, profile deltas and checkpoints — and
+    /// it is a pure function: recovering twice from the same bytes gives
+    /// the same state.
+    #[test]
+    fn durable_replay_equals_live_state_for_any_interleaving(
+        ops in durable_ops_strategy(),
+        sync_every in 1usize..5,
+    ) {
+        let mut store = DurableStore::new(DurabilityConfig {
+            checkpoint_every: 0,
+            sync_every,
+        });
+        for op in ops {
+            apply_durable_op(&mut store, op);
+        }
+        let first =
+            DurableStore::replay_bytes(store.snapshot_bytes(), &store.wal_bytes()).unwrap();
+        prop_assert_eq!(&first.state, store.state(), "recovery diverged from live state");
+        let second =
+            DurableStore::replay_bytes(store.snapshot_bytes(), &store.wal_bytes()).unwrap();
+        prop_assert_eq!(first.state, second.state, "recovery is not a pure function");
+    }
+
+    /// A log torn at *any* record boundary still recovers (the fsync
+    /// model only ever loses whole-record suffixes), and growing the
+    /// surviving prefix never un-commits a purchase: once an intent is
+    /// `Committed` at prefix `n`, it is `Committed` at every longer
+    /// prefix.
+    #[test]
+    fn any_torn_log_prefix_recovers_and_never_loses_a_commit(
+        ops in durable_ops_strategy(),
+    ) {
+        let mut store = DurableStore::new(DurabilityConfig {
+            checkpoint_every: 0,
+            sync_every: 1,
+        });
+        for op in ops {
+            apply_durable_op(&mut store, op);
+        }
+        let snapshot = store.snapshot_bytes().to_vec();
+        let full = Wal::decode(&store.wal_bytes()).unwrap();
+        let mut prev_committed: Vec<u64> = Vec::new();
+        for n in 0..=full.len() {
+            let mut prefix = full.clone();
+            prefix.retain_prefix(n);
+            let rec = DurableStore::replay_bytes(&snapshot, &prefix.encode())
+                .unwrap_or_else(|e| panic!("prefix {n} failed to recover: {e:?}"));
+            prop_assert_eq!(rec.replayed, n, "replayed record count at prefix {}", n);
+            let committed: Vec<u64> = rec
+                .state
+                .intents
+                .iter()
+                .filter(|(_, s)| matches!(s, IntentState::Committed(_)))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in &prev_committed {
+                prop_assert!(
+                    committed.contains(id),
+                    "intent {} committed at prefix {} was lost at prefix {}", id, n - 1, n
+                );
+            }
+            prev_committed = committed;
+        }
+    }
+
+    /// Crashing loses only the unsynced suffix: every *forced* record
+    /// (intent, commit, abort — the two-phase purchase protocol) survives
+    /// any crash, committed purchases stay committed, and crashing twice
+    /// without new writes changes nothing.
+    #[test]
+    fn crash_preserves_every_forced_purchase_record(
+        ops in durable_ops_strategy(),
+        sync_every in 1usize..6,
+    ) {
+        let mut store = DurableStore::new(DurabilityConfig {
+            checkpoint_every: 0,
+            sync_every,
+        });
+        let mut forced_intents = std::collections::BTreeSet::new();
+        let mut forced_commits = std::collections::BTreeSet::new();
+        for op in ops {
+            match op.0 {
+                3 | 5 => {
+                    forced_intents.insert(op.2);
+                }
+                4 => {
+                    forced_intents.insert(op.2);
+                    forced_commits.insert(op.2);
+                }
+                _ => {}
+            }
+            apply_durable_op(&mut store, op);
+        }
+        store.crash().unwrap();
+        for id in &forced_commits {
+            prop_assert!(
+                matches!(store.state().intents.get(id), Some(IntentState::Committed(_))),
+                "commit for intent {} was lost in the crash", id
+            );
+        }
+        for id in &forced_intents {
+            prop_assert!(
+                store.state().intents.contains_key(id),
+                "forced intent {} vanished in the crash", id
+            );
+        }
+        let after = store.state().clone();
+        store.crash().unwrap();
+        prop_assert_eq!(store.state(), &after, "crash is not idempotent");
+    }
+}
