@@ -16,6 +16,24 @@ cd "$(dirname "$0")"
 # 10x (both feature sets, so the sharded/threaded recovery paths get
 # shaken too), then the full E14 recovery series. Does not run the
 # normal gate.
+# --resilience-stress: loop the self-healing suite 10x on both feature
+# sets — the 32-seed supervised chaos sweep, the DES ≡ ThreadWorld
+# failover/hang equivalence (real threads + wall-clock leases, the racy
+# part) and the file-WAL torn-tail properties — then the full E15
+# MTTR/overhead series. Does not run the normal gate.
+if [[ "${1:-}" == "--resilience-stress" ]]; then
+  echo "==> resilience stress (10x supervised sweep + runtime equivalence, both feature sets)"
+  for i in $(seq 1 10); do
+    echo "--- iteration $i/10 ---"
+    cargo test -q --release --test resilience
+    cargo test -q --release --test resilience --features parallel
+    cargo test -q --release -p simdb --test file_wal
+  done
+  echo "==> full E15 resilience series"
+  cargo bench -p bench --bench resilience
+  echo "resilience stress green."
+  exit 0
+fi
 if [[ "${1:-}" == "--recovery-stress" ]]; then
   echo "==> recovery stress (10x crash-point matrix + WAL properties, both feature sets)"
   for i in $(seq 1 10); do
@@ -70,6 +88,11 @@ cargo clippy --workspace --all-targets --features parallel -- -D warnings -D cli
 # simdb to the stricter no-unwrap bar (its tests opt out locally).
 echo "==> cargo clippy -p simdb (-D clippy::unwrap_used)"
 cargo clippy -p simdb --all-targets -- -D warnings -D clippy::unwrap_used
+
+# The runtime that supervises everyone else must not panic itself: hold
+# agentsim to the no-panic bar (its tests opt out locally).
+echo "==> cargo clippy -p agentsim (-D clippy::panic)"
+cargo clippy -p agentsim --all-targets -- -D warnings -D clippy::panic
 
 echo "==> cargo build --release"
 cargo build --release
@@ -138,5 +161,14 @@ echo "==> recovery smoke (crash-point matrix, both feature sets + quick E14 seri
 cargo test -q --test recovery
 cargo test -q --test recovery --features parallel
 RECOVERY_BENCH_QUICK=1 cargo bench -p bench --bench recovery
+
+# Resilience smoke: self-healing supervision (unarmed byte-identity,
+# the 32-seed supervised sweep with zero manual restarts, crash
+# failover, hang bouncing, quarantine, DES ≡ ThreadWorld outcome
+# classes) on both feature sets, plus the quick E15 MTTR series.
+echo "==> resilience smoke (self-healing suite, both feature sets + quick E15 series)"
+cargo test -q --test resilience
+cargo test -q --test resilience --features parallel
+RESILIENCE_BENCH_QUICK=1 cargo bench -p bench --bench resilience
 
 echo "CI green."

@@ -95,6 +95,14 @@ pub trait Agent: Send {
     /// in-flight protocol: re-send unanswered requests, re-arm watchdog
     /// timers. Default: no-op.
     fn on_recovered(&mut self, _ctx: &mut Ctx<'_>, _deltas: &[serde_json::Value]) {}
+
+    /// Called when the supervisor moves the agent's home to `new_home`
+    /// during an automatic host failover — either because the agent itself
+    /// was restored onto the standby, or because it was roaming when its
+    /// home host died and its lease-stamped ownership was re-bound. Agents
+    /// that cache their home host (e.g. a mobile agent planning its return
+    /// trip) update it here. Default: no-op.
+    fn on_rehomed(&mut self, _ctx: &mut Ctx<'_>, _new_home: HostId) {}
 }
 
 /// Journaling strategy of an agent on a durable host (see
@@ -675,6 +683,8 @@ impl fmt::Debug for AgentRegistry {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::panic)]
+
     use super::*;
     use rand::SeedableRng;
 

@@ -67,6 +67,15 @@ pub enum Fault {
         /// The host that crashes.
         host: HostId,
     },
+    /// Hang `host`: the host stays up and reachable (arrivals land, no
+    /// state is lost) but its agents stop draining their mailboxes —
+    /// deliveries and timer callbacks stall until the fault heals or a
+    /// supervisor bounces the host. Stuck-not-dead, distinct from
+    /// [`Fault::CrashHost`].
+    Hang {
+        /// The host that wedges.
+        host: HostId,
+    },
 }
 
 /// A fault scheduled at a sim time, healing after a delay.
@@ -122,6 +131,12 @@ pub struct ChaosConfig {
     /// Hosts that may crash (keep coordinator/server hosts out of this
     /// list if the application cannot survive losing them).
     pub crashable: Vec<HostId>,
+    /// Hosts that may hang (stuck-not-dead). Empty by default — plans
+    /// derived from configs without hangable hosts draw no hang
+    /// randomness, so pre-existing `(seed, config)` pairs keep producing
+    /// byte-identical plans.
+    #[serde(default)]
+    pub hangable: Vec<HostId>,
     /// 0.0 = no faults, 1.0 = full configured intensity.
     pub intensity: f64,
 }
@@ -134,8 +149,17 @@ impl ChaosConfig {
             horizon_us,
             links,
             crashable,
+            hangable: Vec::new(),
             intensity: 1.0,
         }
+    }
+
+    /// Allow the given hosts to hang (stuck-not-dead). Opt-in: without
+    /// this the generator never draws hang randomness, keeping legacy
+    /// plans byte-identical.
+    pub fn with_hangs(mut self, hangable: Vec<HostId>) -> Self {
+        self.hangable = hangable;
+        self
     }
 
     /// Scale how many faults are generated and how aggressive the
@@ -221,6 +245,23 @@ impl ChaosPlan {
                 fault: Fault::CrashHost { host },
             });
         }
+        // Hang faults are drawn last and only when hangable hosts were
+        // opted in, so every draw above is unchanged for legacy configs.
+        let n_hangs = if config.hangable.is_empty() {
+            0
+        } else {
+            (rng.gen_range(0..2) as f64 * intensity).round() as usize
+        };
+        for _ in 0..n_hangs {
+            let host = config.hangable[rng.gen_range(0..config.hangable.len())];
+            let lo = config.horizon_us / 10;
+            let hi = (config.horizon_us / 2).max(lo + 1);
+            plan.events.push(ChaosEvent {
+                at_us: rng.gen_range(0..config.horizon_us),
+                heal_after_us: rng.gen_range(lo..hi).max(1),
+                fault: Fault::Hang { host },
+            });
+        }
         plan
     }
 
@@ -252,6 +293,9 @@ pub struct ChaosKnobs {
     pub partitions: HashSet<(HostId, HostId)>,
     /// Currently crashed hosts.
     pub crashed: HashSet<HostId>,
+    /// Currently hung hosts: up and reachable, but deliveries and timers
+    /// addressed to their agents are parked instead of processed.
+    pub hung: HashSet<HostId>,
 }
 
 impl ChaosKnobs {
@@ -283,6 +327,7 @@ impl ChaosKnobs {
             || self.dup_probability > 0.0
             || !self.partitions.is_empty()
             || !self.crashed.is_empty()
+            || !self.hung.is_empty()
     }
 }
 
@@ -292,6 +337,8 @@ pub const DEFAULT_MAX_JITTER: SimDuration = SimDuration(2_000);
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::panic)]
+
     use super::*;
 
     fn config() -> ChaosConfig {
@@ -326,9 +373,37 @@ mod tests {
                     Fault::SlowLink { factor, .. } => assert!(factor >= 1.0),
                     Fault::CrashHost { host } => assert_eq!(host, HostId(2)),
                     Fault::Partition { .. } => {}
+                    Fault::Hang { .. } => {
+                        panic!("hang faults require hangable hosts, none configured")
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn hang_faults_require_opt_in_and_target_only_hangable_hosts() {
+        // Without hangable hosts the plan is byte-identical to the legacy
+        // derivation (no hang randomness is drawn at all).
+        for seed in 0..64 {
+            let legacy = ChaosPlan::generate(seed, &config());
+            let explicit = ChaosPlan::generate(seed, &config().with_hangs(Vec::new()));
+            assert_eq!(legacy, explicit);
+        }
+        // With hangable hosts, hangs strike only those hosts; at least one
+        // seed in the range produces one.
+        let hang_cfg = config().with_hangs(vec![HostId(3)]);
+        let mut seen = 0;
+        for seed in 0..64 {
+            let plan = ChaosPlan::generate(seed, &hang_cfg);
+            for ev in &plan.events {
+                if let Fault::Hang { host } = ev.fault {
+                    assert_eq!(host, HostId(3));
+                    seen += 1;
+                }
+            }
+        }
+        assert!(seen > 0, "64 seeds should produce at least one hang");
     }
 
     #[test]
@@ -357,5 +432,13 @@ mod tests {
         assert!(knobs.blocks(HostId(1), HostId(3)));
         assert!(knobs.blocks(HostId(3), HostId(3)), "crashed blocks local");
         assert!(knobs.any_active());
+        // A hung host stays reachable: it parks work instead of refusing it.
+        let mut hung = ChaosKnobs::default();
+        hung.hung.insert(HostId(4));
+        assert!(
+            !hung.blocks(HostId(1), HostId(4)),
+            "hung hosts accept traffic"
+        );
+        assert!(hung.any_active());
     }
 }

@@ -21,9 +21,11 @@
 
 use crate::metrics::Metrics;
 use serde::{Deserialize, Serialize};
+use simdb::file_wal::FileWal;
 use simdb::wal::{LogRecord, Wal};
 use simdb::{DbError, Result};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 /// Tuning knobs for per-host durability. Installed on a world via
 /// `enable_durability`; absent = the host keeps no durable state and all
@@ -199,8 +201,17 @@ pub struct Recovered {
     pub replayed: usize,
 }
 
+/// Real-file persistence side-car for a [`DurableStore`]: the WAL is
+/// mirrored to `wal` record-for-record and the snapshot lands next to it
+/// at `snap_path` on every checkpoint.
+#[derive(Debug)]
+struct FileBacking {
+    wal: FileWal,
+    snap_path: PathBuf,
+}
+
 /// The stable storage of one durable host.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DurableStore {
     cfg: DurabilityConfig,
     /// Serialized [`DurableState`] at the last checkpoint.
@@ -213,6 +224,25 @@ pub struct DurableStore {
     state: DurableState,
     since_checkpoint: usize,
     counters: DurableCounters,
+    /// Real-file mirror; `None` = purely simulated stable storage.
+    file: Option<FileBacking>,
+}
+
+impl Clone for DurableStore {
+    /// Clones are in-memory: the file backing (if any) stays with the
+    /// original — two handles appending to one log would corrupt it.
+    fn clone(&self) -> Self {
+        DurableStore {
+            cfg: self.cfg,
+            snapshot: self.snapshot.clone(),
+            wal: self.wal.clone(),
+            synced: self.synced,
+            state: self.state.clone(),
+            since_checkpoint: self.since_checkpoint,
+            counters: self.counters,
+            file: None,
+        }
+    }
 }
 
 impl DurableStore {
@@ -226,7 +256,52 @@ impl DurableStore {
             state: DurableState::default(),
             since_checkpoint: 0,
             counters: DurableCounters::default(),
+            file: None,
         }
+    }
+
+    /// Open (or create) a store backed by real files: the WAL at `path`
+    /// and the snapshot beside it at `{path}.snap`. Existing files are
+    /// recovered — snapshot plus surviving log prefix, with a torn final
+    /// record repaired — so a process restart resumes where the disk left
+    /// off. Everything already on disk counts as synced.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] on filesystem failures; [`DbError::WalCorrupt`] /
+    /// [`DbError::Serialization`] if the on-disk log or snapshot is
+    /// corrupt beyond a torn tail.
+    pub fn with_file(cfg: DurabilityConfig, path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let mut snap_os = path.as_os_str().to_os_string();
+        snap_os.push(".snap");
+        let snap_path = PathBuf::from(snap_os);
+        let snapshot = match std::fs::read(&snap_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(DbError::Io(e.to_string())),
+        };
+        let (file_wal, wal) = FileWal::open(path)?;
+        let recovered = Self::replay(&snapshot, &wal)?;
+        let synced = wal.len();
+        Ok(DurableStore {
+            cfg,
+            snapshot,
+            wal,
+            synced,
+            state: recovered.state,
+            since_checkpoint: synced,
+            counters: DurableCounters::default(),
+            file: Some(FileBacking {
+                wal: file_wal,
+                snap_path,
+            }),
+        })
+    }
+
+    /// Whether this store mirrors to real files.
+    pub fn is_file_backed(&self) -> bool {
+        self.file.is_some()
     }
 
     /// The store's configuration.
@@ -261,11 +336,17 @@ impl DurableStore {
 
     fn append(&mut self, record: LogRecord, force_sync: bool) -> Result<()> {
         self.state.apply(&record)?;
+        if let Some(f) = self.file.as_mut() {
+            f.wal.append(&record)?;
+        }
         self.wal.append(record);
         self.counters.wal_records_appended += 1;
         self.since_checkpoint += 1;
         if force_sync || self.wal.len() - self.synced >= self.cfg.sync_every.max(1) {
             self.synced = self.wal.len();
+            if let Some(f) = self.file.as_mut() {
+                f.wal.sync()?;
+            }
         }
         Ok(())
     }
@@ -352,7 +433,20 @@ impl DurableStore {
     /// agents, captured by the runtime at the checkpoint boundary) into
     /// the state, serialize it as the new snapshot, truncate the WAL and
     /// clear the absorbed deltas.
-    pub fn checkpoint(&mut self, fresh_capsules: Vec<(u64, serde_json::Value, bool)>) {
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] only on a file-backed store, if writing the
+    /// snapshot or truncating the log file fails; an in-memory checkpoint
+    /// cannot fail. On a file-backed store the snapshot is written via
+    /// temp-file + rename so it is never torn; a crash between the rename
+    /// and the log truncation can replay pre-checkpoint records over the
+    /// new snapshot (idempotent for capsules and intents, duplicating
+    /// only profile deltas) — a bounded, documented window.
+    pub fn checkpoint(
+        &mut self,
+        fresh_capsules: Vec<(u64, serde_json::Value, bool)>,
+    ) -> Result<()> {
         for (agent, capsule, active) in fresh_capsules {
             self.state
                 .capsules
@@ -364,6 +458,15 @@ impl DurableStore {
         self.synced = 0;
         self.since_checkpoint = 0;
         self.counters.checkpoints += 1;
+        if let Some(f) = self.file.as_mut() {
+            let mut tmp_os = f.snap_path.as_os_str().to_os_string();
+            tmp_os.push(".tmp");
+            let tmp = PathBuf::from(tmp_os);
+            std::fs::write(&tmp, &self.snapshot).map_err(|e| DbError::Io(e.to_string()))?;
+            std::fs::rename(&tmp, &f.snap_path).map_err(|e| DbError::Io(e.to_string()))?;
+            f.wal.reset(&self.wal)?;
+        }
+        Ok(())
     }
 
     /// Crash the host: everything past the fsync watermark is lost, and
@@ -376,6 +479,10 @@ impl DurableStore {
     /// snapshot or surviving prefix do not replay (internal corruption).
     pub fn crash(&mut self) -> Result<()> {
         self.wal.retain_prefix(self.synced);
+        if let Some(f) = self.file.as_mut() {
+            // mirror the loss: the file keeps only the synced prefix
+            f.wal.reset(&self.wal)?;
+        }
         self.state = Self::replay(&self.snapshot, &self.wal)?.state;
         Ok(())
     }
@@ -523,7 +630,7 @@ mod tests {
         s.log_intent(9, json!({})).unwrap();
         s.log_commit(9, json!({"ok": true})).unwrap();
         assert!(s.should_checkpoint());
-        s.checkpoint(Vec::new());
+        s.checkpoint(Vec::new()).unwrap();
         assert_eq!(s.wal_len(), 0);
         s.log_delta(5, json!({"d": 1})).unwrap();
         let rec = s.recover().unwrap();
@@ -540,7 +647,8 @@ mod tests {
     fn checkpoint_absorbs_fresh_capsules_and_clears_their_deltas() {
         let mut s = DurableStore::new(cfg(1));
         s.log_delta(5, json!({"d": 1})).unwrap();
-        s.checkpoint(vec![(5, json!({"full": true}), true)]);
+        s.checkpoint(vec![(5, json!({"full": true}), true)])
+            .unwrap();
         let rec = s.recover().unwrap();
         assert!(rec.state.deltas_for(5).is_empty());
         assert_eq!(

@@ -78,6 +78,7 @@ pub mod security;
 pub mod shard;
 pub mod sim;
 pub mod storage;
+pub mod supervise;
 pub mod telemetry;
 pub mod thread_net;
 pub mod trace;
@@ -99,6 +100,7 @@ pub mod prelude {
     pub use crate::security::{Authenticator, TravelPermit};
     pub use crate::shard::ShardedSimWorld;
     pub use crate::sim::{Location, SimWorld};
+    pub use crate::supervise::{RestoreDecision, SupervisionConfig, Supervisor, Verdict};
     pub use crate::telemetry::{
         Histogram, HopKind, Registry, Span, SpanEvent, SpanEventKind, Telemetry, TraceCtx,
     };

@@ -126,6 +126,35 @@ pub struct Metrics {
     /// Profile deltas replayed into recovered agents.
     #[serde(default)]
     pub profile_deltas_replayed: u64,
+    /// Hang faults injected by the chaos engine (host wedged, not dead).
+    #[serde(default)]
+    pub hangs_injected: u64,
+    /// Hung hosts detected (and bounced) by the supervisor's progress
+    /// watermark.
+    #[serde(default)]
+    pub hangs_detected: u64,
+    /// Hosts marked *suspected* after missing a heartbeat lease.
+    #[serde(default)]
+    pub hosts_suspected: u64,
+    /// Suspicions that aged past the lease grace period, triggering
+    /// automatic recovery.
+    #[serde(default)]
+    pub leases_expired: u64,
+    /// Automatic host recoveries performed by the supervisor (standby
+    /// failover on the DES runtime, worker respawn on the threaded one).
+    #[serde(default)]
+    pub failovers: u64,
+    /// Roaming agents re-bound to a new home host by a failover.
+    #[serde(default)]
+    pub agents_rehomed: u64,
+    /// Orphaned roaming agents retired (disposed) because their home host
+    /// failed over without restoring any owner to re-bind them to.
+    #[serde(default)]
+    pub agents_retired: u64,
+    /// Agents quarantined to dead-letters after exhausting their restart
+    /// budget (crash-looping), instead of being restored yet again.
+    #[serde(default)]
+    pub agents_quarantined: u64,
 }
 
 impl Metrics {

@@ -270,6 +270,8 @@ pub fn deadline_expired(deadline: Option<SimTime>, now: SimTime) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::panic)]
+
     use super::*;
 
     fn msg(id: u64, to: u64) -> Message {

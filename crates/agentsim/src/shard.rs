@@ -368,6 +368,15 @@ impl ShardedSimWorld {
         }
     }
 
+    /// Arm self-healing supervision on every shard (see
+    /// [`SimWorld::enable_supervision`]); each shard's detector watches
+    /// the hosts that shard owns.
+    pub fn enable_supervision(&mut self, cfg: crate::supervise::SupervisionConfig) {
+        for s in &mut self.shards {
+            s.enable_supervision(cfg);
+        }
+    }
+
     /// Bound every shard's per-agent mailboxes (see
     /// [`SimWorld::set_mailbox`]).
     pub fn set_mailbox(&mut self, config: MailboxConfig) {

@@ -49,6 +49,7 @@ use crate::net::Topology;
 use crate::overload::{deadline_expired, EnqueueVerdict, MailboxConfig, MailboxState};
 use crate::security::{Authenticator, TravelPermit};
 use crate::storage::DeactivatedStore;
+use crate::supervise::{RestoreDecision, SupervisionConfig, Supervisor, Verdict};
 use crate::telemetry::{HopKind, SpanEventKind, Telemetry, TraceCtx};
 use crate::trace::Trace;
 use rand::rngs::StdRng;
@@ -86,6 +87,10 @@ enum EventKind {
         index: usize,
         heal: bool,
     },
+    /// Run the supervision failure detector. Only ever scheduled while
+    /// supervision is enabled *and* armed by an observation, so worlds
+    /// without supervision stay byte-identical.
+    SupervisionTick,
 }
 
 /// Live chaos-engine state derived from an installed [`ChaosPlan`].
@@ -189,6 +194,33 @@ struct Host {
     /// the world. Survives crashes (only the unsynced log tail is lost);
     /// replayed by the recovery pass on restart.
     durable: Option<DurableStore>,
+    /// Wedged by a chaos hang fault: the host is up and accepts arrivals,
+    /// but deliveries and timer callbacks stall into the buffers below
+    /// until the hang heals or the supervisor bounces the host.
+    hung: bool,
+    /// Deliveries that landed while hung, replayed on heal/bounce.
+    stalled: Vec<Message>,
+    /// Timer callbacks that came due while hung, fired on heal/bounce.
+    stalled_timers: Vec<(AgentId, u64, Option<TraceCtx>, Option<SimTime>)>,
+}
+
+/// Live self-healing state, present after [`SimWorld::enable_supervision`].
+struct SupervisionState {
+    supervisor: Supervisor,
+    /// Whether a detector tick is currently scheduled. The detector is
+    /// dormant (no events) until an observation arms it, and disarms again
+    /// once nothing is being watched — otherwise `run_until_idle` would
+    /// never drain.
+    armed: bool,
+    /// Hosts replaced by automatic failover: dead host → standby.
+    failed_over: HashMap<HostId, HostId>,
+    /// Agents whose home moved in a failover; arrivals of capsules still
+    /// carrying the dead home are re-bound from this map.
+    rehomed: HashMap<AgentId, HostId>,
+    /// In-transit orphans marked for retirement: their home failed over
+    /// with no restored owner, so they are dropped on arrival instead of
+    /// leaking.
+    retired: HashSet<AgentId>,
 }
 
 /// The deterministic discrete-event agent world.
@@ -241,6 +273,11 @@ pub struct SimWorld {
     /// journaling seam untaken: traces and metrics stay byte-identical to
     /// the pre-durability runtime.
     durability: Option<DurabilityConfig>,
+    /// Self-healing supervision, present after
+    /// [`SimWorld::enable_supervision`]. `None` — the default — schedules
+    /// no detector events and takes no recovery seams: traces stay
+    /// byte-identical and every supervision counter stays zero.
+    supervision: Option<SupervisionState>,
 }
 
 impl SimWorld {
@@ -278,6 +315,7 @@ impl SimWorld {
             shard: 0,
             boundary: None,
             durability: None,
+            supervision: None,
         }
     }
 
@@ -304,6 +342,42 @@ impl SimWorld {
     /// Read access to a host's durable store (tests, benches).
     pub fn durable_store(&self, host: HostId) -> Option<&DurableStore> {
         self.hosts.get(&host)?.durable.as_ref()
+    }
+
+    /// Turn on the self-healing supervision layer: a crashed host is
+    /// *suspected* after missing a heartbeat lease and automatically
+    /// failed over to a standby (durable replay + roamer reclamation)
+    /// once the lease expires; a hung host is bounced after the hang
+    /// grace; crash-looping agents are quarantined once their restart
+    /// budget runs out. Off by default — no detector events are
+    /// scheduled, traces stay byte-identical, and every supervision
+    /// counter stays zero.
+    pub fn enable_supervision(&mut self, cfg: SupervisionConfig) {
+        self.supervision = Some(SupervisionState {
+            supervisor: Supervisor::new(cfg),
+            armed: false,
+            failed_over: HashMap::new(),
+            rehomed: HashMap::new(),
+            retired: HashSet::new(),
+        });
+    }
+
+    /// The supervision policy engine, if enabled (tests, benches).
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervision.as_ref().map(|s| &s.supervisor)
+    }
+
+    /// Standby host that automatically replaced `host`, if the
+    /// supervisor ran a failover for it.
+    pub fn failover_of(&self, host: HostId) -> Option<HostId> {
+        self.supervision
+            .as_ref()
+            .and_then(|s| s.failed_over.get(&host).copied())
+    }
+
+    /// Whether `host` is currently wedged by a chaos hang fault.
+    pub fn host_hung(&self, host: HostId) -> bool {
+        self.hosts.get(&host).map(|h| h.hung).unwrap_or(false)
     }
 
     /// Enforce a per-agent bounded mailbox with the given capacity and
@@ -343,6 +417,9 @@ impl SimWorld {
                 pending: HashMap::new(),
                 crashed: false,
                 durable: self.durability.map(DurableStore::new),
+                hung: false,
+                stalled: Vec::new(),
+                stalled_timers: Vec::new(),
             },
         );
         id
@@ -439,6 +516,7 @@ impl SimWorld {
                 deadline,
             } => self.handle_timer(agent, tag, trace, deadline),
             EventKind::Chaos { index, heal } => self.handle_chaos(index, heal),
+            EventKind::SupervisionTick => self.handle_supervision_tick(),
         }
         if self.durability.is_some() {
             self.maybe_checkpoint();
@@ -485,7 +563,9 @@ impl SimWorld {
                 }
             }
             if let Some(store) = self.hosts.get_mut(&host).and_then(|h| h.durable.as_mut()) {
-                store.checkpoint(fresh);
+                // in-memory checkpoints cannot fail; the runtimes never
+                // install file-backed stores
+                let _ = store.checkpoint(fresh);
             }
             self.drain_durable_counters(host);
         }
@@ -779,6 +859,11 @@ impl SimWorld {
         h.active.clear();
         lost.extend(h.store.drain());
         h.pending.clear();
+        // A crash while hung loses the stall buffers with the host.
+        h.hung = false;
+        let stalled_lost = h.stalled.len() as u64;
+        h.stalled.clear();
+        h.stalled_timers.clear();
         if let Some(store) = h.durable.as_mut() {
             // Stable storage survives the crash, minus the unsynced WAL
             // tail. The agents still count as lost here; the recovery
@@ -794,11 +879,18 @@ impl SimWorld {
         }
         self.metrics.host_crashes += 1;
         self.metrics.agents_lost_in_crash += lost.len() as u64;
+        self.metrics.messages_lost += stalled_lost;
         self.trace.record(
             self.now,
             None,
             format!("chaos: {host} crashed ({} agents lost)", lost.len()),
         );
+        let now_us = self.now.as_micros();
+        if let Some(state) = self.supervision.as_mut() {
+            state.supervisor.observe_hang_cleared(host);
+            state.supervisor.observe_crash(host, now_us);
+        }
+        self.arm_supervision();
         Ok(())
     }
 
@@ -824,6 +916,10 @@ impl SimWorld {
                 .record(self.now, None, format!("chaos: {host} restarted"));
             if durable {
                 self.recover_host(host);
+            }
+            // A scripted/chaos heal cancels any pending automatic failover.
+            if let Some(state) = self.supervision.as_mut() {
+                state.supervisor.observe_restart(host);
             }
         }
         Ok(())
@@ -851,6 +947,22 @@ impl SimWorld {
         let mut restored = 0u64;
         for (raw, rec) in &recovered.state.capsules {
             let id = AgentId(*raw);
+            // Poison protection: an agent that keeps crash-looping through
+            // recovery passes is quarantined to dead-letters instead of
+            // being restored yet again.
+            let decision = self
+                .supervision
+                .as_mut()
+                .map(|s| s.supervisor.note_restore(id));
+            if matches!(decision, Some(RestoreDecision::Quarantine)) {
+                self.metrics.agents_quarantined += 1;
+                self.trace.record(
+                    self.now,
+                    Some(id),
+                    format!("supervisor: {id} quarantined (restart budget exhausted)"),
+                );
+                continue;
+            }
             let capsule: AgentCapsule = match serde_json::from_value(rec.capsule.clone()) {
                 Ok(c) => c,
                 Err(e) => {
@@ -917,6 +1029,253 @@ impl SimWorld {
     /// Whether `host` is currently crashed.
     pub fn host_crashed(&self, host: HostId) -> bool {
         self.hosts.get(&host).map(|h| h.crashed).unwrap_or(false)
+    }
+
+    /// Ensure a supervision detector tick is scheduled. The detector is
+    /// dormant (zero events, zero cost) until an observation arms it.
+    fn arm_supervision(&mut self) {
+        let interval = match self.supervision.as_mut() {
+            Some(state) if !state.armed => {
+                state.armed = true;
+                state.supervisor.config().lease_interval_us
+            }
+            _ => return,
+        };
+        self.schedule(
+            SimDuration::from_micros(interval),
+            EventKind::SupervisionTick,
+        );
+    }
+
+    /// Run the failure detector and execute its verdicts, then reschedule
+    /// the next tick while anything is still being watched.
+    fn handle_supervision_tick(&mut self) {
+        let now_us = self.now.as_micros();
+        let (verdicts, interval) = match self.supervision.as_mut() {
+            Some(state) => (
+                state.supervisor.tick(now_us),
+                state.supervisor.config().lease_interval_us,
+            ),
+            None => return,
+        };
+        for verdict in verdicts {
+            match verdict {
+                Verdict::Suspect(host) => {
+                    self.metrics.hosts_suspected += 1;
+                    self.trace.record(
+                        self.now,
+                        None,
+                        format!("supervisor: {host} suspected (missed heartbeat lease)"),
+                    );
+                }
+                Verdict::FailOver(host) => {
+                    self.metrics.leases_expired += 1;
+                    self.trace.record(
+                        self.now,
+                        None,
+                        format!("supervisor: {host} lease expired, starting failover"),
+                    );
+                    self.failover_host(host);
+                }
+                Verdict::BounceHang(host) => {
+                    self.metrics.hangs_detected += 1;
+                    self.trace.record(
+                        self.now,
+                        None,
+                        format!("supervisor: {host} hung past grace, bouncing"),
+                    );
+                    self.heal_hang(host, true);
+                }
+            }
+        }
+        let watching = self
+            .supervision
+            .as_ref()
+            .is_some_and(|s| s.supervisor.watching());
+        if watching {
+            self.schedule(
+                SimDuration::from_micros(interval),
+                EventKind::SupervisionTick,
+            );
+        } else if let Some(state) = self.supervision.as_mut() {
+            state.armed = false;
+        }
+    }
+
+    /// Automatic host failover: stand up a standby host, move the dead
+    /// host's durable store onto it, re-run the replay/rehydrate recovery
+    /// pass there unprompted, and reclaim every agent homed on the dead
+    /// host — restored agents and roamers are re-bound to the standby
+    /// ([`Agent::on_rehomed`]); orphaned roamers with no restored owner
+    /// are retired instead of leaking.
+    fn failover_host(&mut self, dead: HostId) {
+        if !self.host_crashed(dead) {
+            return; // healed since the lease expired; nothing to do
+        }
+        let base_name = self
+            .hosts
+            .get(&dead)
+            .map(|h| h.name.clone())
+            .unwrap_or_else(|| format!("{dead}"));
+        let standby = self.add_host(format!("{base_name}+failover"));
+        // Move (not copy) the durable store: the dead host must not be
+        // able to resurrect a second copy of these agents if a scripted
+        // heal restarts it later.
+        let moved = self.hosts.get_mut(&dead).and_then(|h| h.durable.take());
+        if let Some(store) = moved {
+            if let Some(s) = self.hosts.get_mut(&standby) {
+                s.durable = Some(store);
+            }
+        }
+        self.metrics.failovers += 1;
+        self.trace.record(
+            self.now,
+            None,
+            format!("supervisor: {dead} failed over to {standby} ({base_name}+failover)"),
+        );
+        self.recover_host(standby);
+        let restored_any = self
+            .hosts
+            .get(&standby)
+            .map(|h| !h.active.is_empty() || !h.store.is_empty())
+            .unwrap_or(false);
+        let mut orphans: Vec<AgentId> = self
+            .homes
+            .iter()
+            .filter(|(_, home)| **home == dead)
+            .map(|(id, _)| *id)
+            .collect();
+        orphans.sort_unstable();
+        for id in orphans {
+            match self.locations.get(&id).copied() {
+                Some(Location::Active(at)) if at == standby => {
+                    // Restored by the recovery pass above: re-bound
+                    // silently as part of the failover itself.
+                    self.homes.insert(id, standby);
+                    if let Some(state) = self.supervision.as_mut() {
+                        state.rehomed.insert(id, standby);
+                    }
+                    self.run_callback(id, None, "on_rehomed", move |agent, ctx| {
+                        agent.on_rehomed(ctx, standby)
+                    });
+                }
+                Some(_) if restored_any => {
+                    // A roamer whose owner came back on the standby:
+                    // re-bind its lease-stamped home. In-transit agents
+                    // get their callback on arrival via the rehomed map.
+                    self.homes.insert(id, standby);
+                    if let Some(state) = self.supervision.as_mut() {
+                        state.rehomed.insert(id, standby);
+                    }
+                    self.metrics.agents_rehomed += 1;
+                    self.trace.record(
+                        self.now,
+                        Some(id),
+                        format!("supervisor: roaming {id} re-bound to {standby}"),
+                    );
+                    self.run_callback(id, None, "on_rehomed", move |agent, ctx| {
+                        agent.on_rehomed(ctx, standby)
+                    });
+                }
+                Some(Location::Active(at)) | Some(Location::Deactivated(at)) => {
+                    // No owner restored on the standby: retire the orphan
+                    // rather than leak it.
+                    self.metrics.agents_retired += 1;
+                    self.trace.record(
+                        self.now,
+                        Some(id),
+                        format!("supervisor: orphan {id} retired (home {dead} lost)"),
+                    );
+                    self.do_dispose(at, id);
+                }
+                Some(Location::InTransit) => {
+                    // Cannot be disposed mid-flight: dropped on arrival.
+                    if let Some(state) = self.supervision.as_mut() {
+                        state.retired.insert(id);
+                    }
+                }
+                None => {
+                    // Lost in the crash and not restored: drop the stale
+                    // home entry so a later failover won't re-process it.
+                    self.homes.remove(&id);
+                }
+            }
+        }
+        if let Some(state) = self.supervision.as_mut() {
+            state.failed_over.insert(dead, standby);
+        }
+    }
+
+    /// Wedge `host` (chaos hang fault): arrivals still land, but
+    /// deliveries and timer callbacks stall until the hang heals or the
+    /// supervisor bounces the host.
+    fn apply_hang(&mut self, host: HostId) {
+        let Some(h) = self.hosts.get_mut(&host) else {
+            return;
+        };
+        if h.crashed || h.hung {
+            return;
+        }
+        h.hung = true;
+        self.metrics.hangs_injected += 1;
+        self.trace.record(
+            self.now,
+            None,
+            format!("chaos: {host} hung (deliveries stalling)"),
+        );
+        let now_us = self.now.as_micros();
+        if let Some(state) = self.supervision.as_mut() {
+            state.supervisor.observe_hang(host, now_us);
+        }
+        self.arm_supervision();
+    }
+
+    /// Un-wedge `host` and replay everything that stalled. `bounced`
+    /// marks a supervisor-driven bounce rather than a scripted chaos heal.
+    fn heal_hang(&mut self, host: HostId, bounced: bool) {
+        let (stalled, timers) = {
+            let Some(h) = self.hosts.get_mut(&host) else {
+                return;
+            };
+            if !h.hung {
+                return;
+            }
+            h.hung = false;
+            (
+                std::mem::take(&mut h.stalled),
+                std::mem::take(&mut h.stalled_timers),
+            )
+        };
+        let label = if bounced {
+            format!(
+                "supervisor: {host} bounced ({} stalled deliveries replayed)",
+                stalled.len()
+            )
+        } else {
+            format!(
+                "chaos: {host} unhung ({} stalled deliveries replayed)",
+                stalled.len()
+            )
+        };
+        self.trace.record(self.now, None, label);
+        if let Some(state) = self.supervision.as_mut() {
+            state.supervisor.observe_hang_cleared(host);
+        }
+        for msg in stalled {
+            let at = self.now + self.topology.local_delay();
+            self.enqueue_deliver(at, msg);
+        }
+        for (agent, tag, trace, deadline) in timers {
+            self.schedule_at(
+                self.now,
+                EventKind::Timer {
+                    agent,
+                    tag,
+                    trace,
+                    deadline,
+                },
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1137,6 +1496,21 @@ impl SimWorld {
                     self.set_remote_host_down(host, false);
                 }
                 return; // restart_host traces for itself
+            }
+            (Fault::Hang { host }, false) => {
+                // Stalling is enforced at the shard that owns the host;
+                // other shards see nothing (the hung host still accepts
+                // traffic, so there is no routing state to mirror).
+                if self.hosts.contains_key(&host) {
+                    self.apply_hang(host);
+                }
+                return; // apply_hang traces for itself
+            }
+            (Fault::Hang { host }, true) => {
+                if self.hosts.contains_key(&host) {
+                    self.heal_hang(host, false);
+                }
+                return; // heal_hang traces for itself
             }
         };
         self.trace.record(self.now, None, label);
@@ -1873,6 +2247,23 @@ impl SimWorld {
         }
         match self.locations.get(&to).copied() {
             Some(Location::Active(host)) => {
+                // A hung host accepts the connection but never drains it:
+                // the delivery stalls (before duplicate suppression, so
+                // the replayed copy is not mistaken for a chaos dupe).
+                if self.hosts.get(&host).is_some_and(|h| h.hung) {
+                    if let Some(tc) = msg.trace {
+                        self.telemetry.event(
+                            tc.span_id,
+                            SpanEventKind::Note,
+                            format!("stalled: {host} hung"),
+                            self.now,
+                        );
+                    }
+                    if let Some(h) = self.hosts.get_mut(&host) {
+                        h.stalled.push(msg);
+                    }
+                    return;
+                }
                 // Receiver-side duplicate suppression: a chaos-injected
                 // copy carries the original's id and is dropped here.
                 if let Some(chaos) = &mut self.chaos {
@@ -2172,6 +2563,30 @@ impl SimWorld {
             );
             return;
         }
+        // An orphan marked for retirement while in transit (its home
+        // failed over with no restored owner) is dropped here rather
+        // than leaked.
+        if self
+            .supervision
+            .as_ref()
+            .is_some_and(|s| s.retired.contains(&id))
+        {
+            if let Some(state) = self.supervision.as_mut() {
+                state.retired.remove(&id);
+            }
+            self.locations.remove(&id);
+            self.permits.remove(&id);
+            self.metrics.agents_retired += 1;
+            if let Some(tc) = capsule.trace {
+                self.telemetry.end(tc.span_id, self.now);
+            }
+            self.trace.record(
+                self.now,
+                Some(id),
+                format!("supervisor: orphan {id} retired on arrival at {dest}"),
+            );
+            return;
+        }
         // Work past its deadline is cancelled rather than landed: the
         // requester has already been answered (or timed out) by now.
         if deadline_expired(capsule.deadline, self.now) {
@@ -2257,6 +2672,19 @@ impl SimWorld {
                 // records the true home of cross-shard arrivals so their
                 // later dispatches carry the right permit expectations.
                 self.homes.insert(id, capsule.home);
+                // A capsule that left before its home failed over still
+                // carries the dead home: re-bind it from the rehome map.
+                let rehome = self
+                    .supervision
+                    .as_ref()
+                    .and_then(|s| s.rehomed.get(&id).copied())
+                    .filter(|new_home| *new_home != capsule.home);
+                if let Some(new_home) = rehome {
+                    self.homes.insert(id, new_home);
+                    self.run_callback(id, None, "on_rehomed", move |agent, ctx| {
+                        agent.on_rehomed(ctx, new_home)
+                    });
+                }
                 self.announce(id, dest);
                 if let Some(tc) = capsule.trace {
                     if let Some(dur) = self.telemetry.end(tc.span_id, self.now) {
@@ -2407,7 +2835,15 @@ impl SimWorld {
         trace: Option<TraceCtx>,
         deadline: Option<SimTime>,
     ) {
-        if matches!(self.locations.get(&agent), Some(Location::Active(_))) {
+        if let Some(Location::Active(host)) = self.locations.get(&agent).copied() {
+            // Wedged scheduler: the callback only fires once the hang
+            // clears (heal or supervisor bounce).
+            if self.hosts.get(&host).is_some_and(|h| h.hung) {
+                if let Some(h) = self.hosts.get_mut(&host) {
+                    h.stalled_timers.push((agent, tag, trace, deadline));
+                }
+                return;
+            }
             self.metrics.timers_fired += 1;
             if let Some(tc) = trace {
                 if let Some(dur) = self.telemetry.end(tc.span_id, self.now) {

@@ -24,6 +24,7 @@ use crate::metrics::Metrics;
 use crate::overload::{deadline_expired, EnqueueVerdict, MailboxConfig, MailboxState};
 use crate::security::{Authenticator, TravelPermit};
 use crate::storage::DeactivatedStore;
+use crate::supervise::{RestoreDecision, SupervisionConfig, Supervisor, Verdict};
 use crate::telemetry::{HopKind, SpanEventKind, Telemetry, TraceCtx};
 use crate::trace::Trace;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -67,6 +68,9 @@ enum Envelope {
     /// Chaos: run the durable recovery pass after a restart (no-op without
     /// durability). Broadcast to every worker of the host.
     AdminRestart,
+    /// Chaos: the host's hang cleared (heal or supervisor bounce) — replay
+    /// every stalled envelope. Broadcast to every worker of the host.
+    AdminResume,
     Shutdown,
 }
 
@@ -83,7 +87,10 @@ impl Envelope {
             | Envelope::AdminActivate(a)
             | Envelope::AdminDispose(a) => Some(*a),
             Envelope::AdminRetract { agent, .. } => Some(*agent),
-            Envelope::AdminCrash | Envelope::AdminRestart | Envelope::Shutdown => None,
+            Envelope::AdminCrash
+            | Envelope::AdminRestart
+            | Envelope::AdminResume
+            | Envelope::Shutdown => None,
         }
     }
 
@@ -94,6 +101,7 @@ impl Envelope {
         match self {
             Envelope::AdminCrash => Some(Envelope::AdminCrash),
             Envelope::AdminRestart => Some(Envelope::AdminRestart),
+            Envelope::AdminResume => Some(Envelope::AdminResume),
             _ => None,
         }
     }
@@ -134,6 +142,12 @@ struct Shared {
     /// Durability configuration; each worker of each host carries its own
     /// [`DurableStore`] for the agents it owns. `None` = durability off.
     durability: Option<DurabilityConfig>,
+    /// Self-healing supervision policy engine, shared between the API
+    /// surface (crash/hang observations) and the dedicated supervisor
+    /// thread. `None` = supervision off (no extra thread, zero cost).
+    supervision: Option<Mutex<Supervisor>>,
+    /// Tells the supervisor thread to exit at shutdown.
+    supervisor_stop: AtomicBool,
 }
 
 impl Shared {
@@ -289,6 +303,7 @@ pub struct ThreadWorldBuilder {
     mailbox: Option<MailboxConfig>,
     workers: usize,
     durability: Option<DurabilityConfig>,
+    supervision: Option<SupervisionConfig>,
 }
 
 impl ThreadWorldBuilder {
@@ -302,6 +317,7 @@ impl ThreadWorldBuilder {
             mailbox: None,
             workers: 1,
             durability: None,
+            supervision: None,
         }
     }
 
@@ -310,6 +326,17 @@ impl ThreadWorldBuilder {
     /// records and profile deltas. Off by default (zero cost).
     pub fn durability(&mut self, cfg: DurabilityConfig) -> &mut Self {
         self.durability = Some(cfg);
+        self
+    }
+
+    /// Turn on the self-healing supervision layer: a dedicated supervisor
+    /// thread runs the failure detector over wall time, automatically
+    /// restarting crashed hosts (durable recovery on the respawned
+    /// workers), bouncing hung hosts, and quarantining crash-looping
+    /// agents. Off by default (no extra thread, byte-identical behaviour,
+    /// all supervision counters zero).
+    pub fn supervision(&mut self, cfg: SupervisionConfig) -> &mut Self {
+        self.supervision = Some(cfg);
         self
     }
 
@@ -388,6 +415,8 @@ impl ThreadWorldBuilder {
             mailbox: Mutex::new(MailboxState::new(self.mailbox)),
             parked: Mutex::new(HashMap::new()),
             durability: self.durability,
+            supervision: self.supervision.map(|cfg| Mutex::new(Supervisor::new(cfg))),
+            supervisor_stop: AtomicBool::new(false),
         });
         let mut handles = Vec::new();
         let mut hosts = Vec::new();
@@ -411,6 +440,10 @@ impl ThreadWorldBuilder {
                 handles.push(thread::spawn(move || host_loop(id, w, seed, rx, shared2)));
             }
             shared.routes.lock().insert(id, txs);
+        }
+        if shared.supervision.is_some() {
+            let shared2 = Arc::clone(&shared);
+            handles.push(thread::spawn(move || supervisor_loop(shared2)));
         }
         ThreadWorld {
             shared,
@@ -574,9 +607,21 @@ impl ThreadWorld {
         if !self.hosts.contains(&host) {
             return Err(PlatformError::UnknownHost(host));
         }
-        self.shared.chaos.lock().crashed.insert(host);
+        {
+            let mut knobs = self.shared.chaos.lock();
+            knobs.crashed.insert(host);
+            // A crash supersedes a hang: the stall buffers die with the
+            // host's state (AdminCrash drops them).
+            knobs.hung.remove(&host);
+        }
         self.shared.chaos_on.store(true, Ordering::SeqCst);
         self.shared.send_envelope(host, Envelope::AdminCrash);
+        if let Some(sup) = &self.shared.supervision {
+            let now_us = self.shared.now().as_micros();
+            let mut s = sup.lock();
+            s.observe_hang_cleared(host);
+            s.observe_crash(host, now_us);
+        }
         Ok(())
     }
 
@@ -594,10 +639,80 @@ impl ThreadWorld {
             return Err(PlatformError::UnknownHost(host));
         }
         let was_crashed = self.shared.chaos.lock().crashed.remove(&host);
-        if was_crashed && self.shared.durability.is_some() {
-            self.shared.send_envelope(host, Envelope::AdminRestart);
+        if was_crashed {
+            // A scripted heal cancels any pending automatic failover.
+            if let Some(sup) = &self.shared.supervision {
+                sup.lock().observe_restart(host);
+            }
+            if self.shared.durability.is_some() {
+                self.shared.send_envelope(host, Envelope::AdminRestart);
+            }
         }
         Ok(())
+    }
+
+    /// Chaos: wedge `host` — it stays reachable and accepts arrivals, but
+    /// deliveries and timer callbacks stall (staying in flight) until
+    /// [`ThreadWorld::unhang_host`] or a supervisor bounce. The DES
+    /// equivalent is [`crate::chaos::Fault::Hang`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownHost`] if the host does not exist.
+    pub fn hang_host(&self, host: HostId) -> Result<()> {
+        if !self.hosts.contains(&host) {
+            return Err(PlatformError::UnknownHost(host));
+        }
+        let newly = {
+            let mut knobs = self.shared.chaos.lock();
+            !knobs.crashed.contains(&host) && knobs.hung.insert(host)
+        };
+        if newly {
+            self.shared.chaos_on.store(true, Ordering::SeqCst);
+            self.shared.metrics.lock().hangs_injected += 1;
+            self.shared.trace.lock().record(
+                self.shared.now(),
+                None,
+                format!("chaos: {host} hung (deliveries stalling)"),
+            );
+            if let Some(sup) = &self.shared.supervision {
+                let now_us = self.shared.now().as_micros();
+                sup.lock().observe_hang(host, now_us);
+            }
+        }
+        Ok(())
+    }
+
+    /// Heal a hang installed by [`ThreadWorld::hang_host`]: the host's
+    /// stalled envelopes are replayed in order.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownHost`] if the host does not exist.
+    pub fn unhang_host(&self, host: HostId) -> Result<()> {
+        if !self.hosts.contains(&host) {
+            return Err(PlatformError::UnknownHost(host));
+        }
+        // Clear the knob before broadcasting the resume so the replayed
+        // envelopes are not parked again.
+        let was_hung = self.shared.chaos.lock().hung.remove(&host);
+        if was_hung {
+            self.shared.trace.lock().record(
+                self.shared.now(),
+                None,
+                format!("chaos: {host} unhung (stalled deliveries replaying)"),
+            );
+            if let Some(sup) = &self.shared.supervision {
+                sup.lock().observe_hang_cleared(host);
+            }
+            self.shared.send_envelope(host, Envelope::AdminResume);
+        }
+        Ok(())
+    }
+
+    /// Whether `host` is currently wedged by a hang fault.
+    pub fn host_hung(&self, host: HostId) -> bool {
+        self.shared.chaos.lock().hung.contains(&host)
     }
 
     /// Block until no envelopes are in flight (the world is quiescent) or
@@ -652,6 +767,7 @@ impl ThreadWorld {
     /// Stop all host threads and additionally return the finalized
     /// telemetry sink (span trees + latency registry).
     pub fn shutdown_with_telemetry(self) -> (Metrics, Trace, Telemetry) {
+        self.shared.supervisor_stop.store(true, Ordering::SeqCst);
         {
             let routes = self.shared.routes.lock();
             for txs in routes.values() {
@@ -766,6 +882,10 @@ struct HostState {
     /// This worker's WAL-backed stable storage for the agents it owns;
     /// present when the world was built with durability.
     durable: Option<DurableStore>,
+    /// Envelopes parked while the host is hung; each still holds an
+    /// in-flight slot so `run_until_idle` blocks through the hang. Drained
+    /// (replayed) by [`Envelope::AdminResume`], dropped by a crash.
+    stalled: Vec<Envelope>,
 }
 
 const ID_BATCH: u64 = 1 << 16;
@@ -786,6 +906,7 @@ fn host_loop(id: HostId, worker: usize, seed: u64, rx: Receiver<Envelope>, share
         current_trace: None,
         current_deadline: None,
         durable: shared.durability.map(DurableStore::new),
+        stalled: Vec::new(),
     };
     while let Ok(env) = rx.recv() {
         let shutdown = matches!(env, Envelope::Shutdown);
@@ -798,6 +919,83 @@ fn host_loop(id: HostId, worker: usize, seed: u64, rx: Receiver<Envelope>, share
         }
         if shutdown {
             break;
+        }
+    }
+}
+
+/// Dedicated supervisor thread: runs the failure detector over wall time
+/// and executes its verdicts — automatic restart of crashed hosts (the
+/// workers never died, so a worker respawn is a broadcast
+/// [`Envelope::AdminRestart`] recovery pass), bouncing of hung hosts, and
+/// the suspected-host bookkeeping in between. Exits when
+/// [`Shared::supervisor_stop`] is raised at shutdown.
+fn supervisor_loop(shared: Arc<Shared>) {
+    let poll = {
+        let Some(sup) = shared.supervision.as_ref() else {
+            return;
+        };
+        let interval = sup.lock().config().lease_interval_us;
+        // Poll a few times per lease so detection latency stays well under
+        // one interval while shutdown remains responsive.
+        Duration::from_micros((interval / 4).clamp(1_000, 50_000))
+    };
+    loop {
+        if shared.supervisor_stop.load(Ordering::SeqCst) {
+            return;
+        }
+        thread::sleep(poll);
+        let verdicts = {
+            let Some(sup) = shared.supervision.as_ref() else {
+                return;
+            };
+            let now_us = shared.now().as_micros();
+            sup.lock().tick(now_us)
+        };
+        for verdict in verdicts {
+            match verdict {
+                Verdict::Suspect(host) => {
+                    shared.metrics.lock().hosts_suspected += 1;
+                    shared.trace.lock().record(
+                        shared.now(),
+                        None,
+                        format!("supervisor: {host} suspected (missed heartbeat lease)"),
+                    );
+                }
+                Verdict::FailOver(host) => {
+                    // Re-check under the knob lock: a manual restart may
+                    // have raced the verdict.
+                    let still_down = shared.chaos.lock().crashed.remove(&host);
+                    if !still_down {
+                        continue;
+                    }
+                    {
+                        let mut m = shared.metrics.lock();
+                        m.leases_expired += 1;
+                        m.failovers += 1;
+                    }
+                    shared.trace.lock().record(
+                        shared.now(),
+                        None,
+                        format!("supervisor: {host} lease expired, failing over (worker respawn)"),
+                    );
+                    if shared.durability.is_some() {
+                        shared.send_envelope(host, Envelope::AdminRestart);
+                    }
+                }
+                Verdict::BounceHang(host) => {
+                    let still_hung = shared.chaos.lock().hung.remove(&host);
+                    if !still_hung {
+                        continue;
+                    }
+                    shared.metrics.lock().hangs_detected += 1;
+                    shared.trace.lock().record(
+                        shared.now(),
+                        None,
+                        format!("supervisor: {host} hung past grace, bouncing"),
+                    );
+                    shared.send_envelope(host, Envelope::AdminResume);
+                }
+            }
         }
     }
 }
@@ -878,7 +1076,9 @@ fn maybe_checkpoint(host: &mut HostState, shared: &Arc<Shared>) {
         ));
     }
     if let Some(store) = host.durable.as_mut() {
-        store.checkpoint(fresh);
+        // in-memory checkpoints cannot fail; the runtimes never install
+        // file-backed stores
+        let _ = store.checkpoint(fresh);
     }
     drain_durable_counters(host, shared);
 }
@@ -909,6 +1109,21 @@ fn recover_worker(host: &mut HostState, shared: &Arc<Shared>) {
     let mut restored = 0u64;
     for (raw, rec) in &recovered.state.capsules {
         let id = AgentId(*raw);
+        // Poison protection: a crash-looping agent is quarantined to
+        // dead-letters instead of being restored yet again.
+        let decision = shared
+            .supervision
+            .as_ref()
+            .map(|s| s.lock().note_restore(id));
+        if matches!(decision, Some(RestoreDecision::Quarantine)) {
+            shared.metrics.lock().agents_quarantined += 1;
+            shared.trace.lock().record(
+                shared.now(),
+                Some(id),
+                format!("supervisor: {id} quarantined (restart budget exhausted)"),
+            );
+            continue;
+        }
         let capsule: AgentCapsule = match serde_json::from_value(rec.capsule.clone()) {
             Ok(c) => c,
             Err(e) => {
@@ -974,6 +1189,18 @@ fn recover_worker(host: &mut HostState, shared: &Arc<Shared>) {
 
 fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
     let chaos_on = shared.chaos_on.load(Ordering::Relaxed);
+    // A hung host accepts the connection but never drains it: deliveries
+    // and timer callbacks park in the stall buffer. The extra in-flight
+    // slot cancels the decrement in `host_loop`, so the envelope counts as
+    // pending until a heal or supervisor bounce replays it.
+    if chaos_on
+        && matches!(env, Envelope::Deliver(_) | Envelope::Timer { .. })
+        && shared.chaos.lock().hung.contains(&host.id)
+    {
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        host.stalled.push(env);
+        return;
+    }
     match env {
         Envelope::Deliver(msg) => {
             // The scheduled delivery leaves the mailbox now, whatever its
@@ -1152,6 +1379,21 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
             host.pending.clear();
             host.seen.clear();
             host.carried_permits.clear();
+            // A crash while hung loses the stall buffer with the host;
+            // release the in-flight slots the parked envelopes held.
+            let stalled = std::mem::take(&mut host.stalled);
+            if !stalled.is_empty() {
+                let mut m = shared.metrics.lock();
+                for env in &stalled {
+                    if matches!(env, Envelope::Deliver(_)) {
+                        m.messages_lost += 1;
+                    }
+                }
+                drop(m);
+                shared
+                    .in_flight
+                    .fetch_sub(stalled.len() as i64, Ordering::SeqCst);
+            }
             if let Some(store) = host.durable.as_mut() {
                 // Stable storage survives, minus the unsynced WAL tail;
                 // the agents still count as lost until recovery.
@@ -1197,6 +1439,26 @@ fn handle_envelope(host: &mut HostState, env: Envelope, shared: &Arc<Shared>) {
                 );
             }
             recover_worker(host, shared);
+        }
+        Envelope::AdminResume => {
+            let stalled = std::mem::take(&mut host.stalled);
+            if host.worker == 0 && !stalled.is_empty() {
+                shared.trace.lock().record(
+                    shared.now(),
+                    None,
+                    format!(
+                        "chaos: {} resumed ({} stalled envelopes replayed)",
+                        host.id,
+                        stalled.len()
+                    ),
+                );
+            }
+            for env in stalled {
+                // Replay through the normal path (a re-park if the host
+                // hung again keeps the slot; otherwise release it).
+                handle_envelope(host, env, shared);
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
         }
         Envelope::Shutdown => {}
     }

@@ -175,7 +175,7 @@ fn synthetic_store(records: u64, checkpoint_every: usize) -> DurableStore {
             let fresh = (0..agents)
                 .map(|a| (a, serde_json::json!({"id": a, "state": {"seq": i}}), true))
                 .collect();
-            store.checkpoint(fresh);
+            store.checkpoint(fresh).expect("in-memory checkpoint");
         }
     }
     store

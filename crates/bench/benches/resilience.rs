@@ -1,0 +1,247 @@
+//! E15 — self-healing supervision cost: MTTR and detector overhead.
+//!
+//! Two questions, numbers recorded in `BENCH_resilience.json`:
+//!
+//! 1. **MTTR** — how much does *automatic* recovery cost over a scripted
+//!    one? Both sides build the same durable Buyer Agent Server, drive
+//!    the same workload, and crash the buyer host. The scripted baseline
+//!    then calls `restart_host` by hand (the E14 pattern); the supervised
+//!    run does nothing — the heartbeat lease expires and the supervisor
+//!    fails the host over to a standby on its own. The repair work is
+//!    wall-timed from the crash until the world drains, and the sim-time
+//!    from crash to restored service is reported alongside (the
+//!    supervised side pays the lease-expiry detection window there,
+//!    which is a config knob, not work).
+//!
+//! 2. **Detector overhead** — what does an *armed-but-idle* supervisor
+//!    cost a healthy run? Identical fault-free workloads on a plain
+//!    durable platform vs a supervised one, wall-timed; the dormant
+//!    detector schedules nothing, so the delta should vanish into noise
+//!    (acceptance: ≤ 2%).
+//!
+//! Criterion times the detector micro-ops themselves: an idle
+//! `Supervisor::tick`, a tick over 64 expiring leases, and the
+//! `note_restore` budget bookkeeping.
+//!
+//! `RESILIENCE_BENCH_QUICK=1` shrinks the series for CI smoke runs.
+
+use abcrm_core::agents::msg::{ConsumerTask, ResponseBody};
+use abcrm_core::profile::ConsumerId;
+use abcrm_core::server::{listing, Platform};
+use agentsim::durable::DurabilityConfig;
+use agentsim::ids::{AgentId, HostId};
+use agentsim::supervise::{SupervisionConfig, Supervisor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("RESILIENCE_BENCH_QUICK").is_ok()
+}
+
+fn supervision() -> SupervisionConfig {
+    SupervisionConfig {
+        lease_interval_us: 100_000,
+        lease_grace: 1,
+        hang_grace_us: 200_000,
+        restart_budget: 8,
+        backoff_base_us: 50_000,
+        backoff_max_us: 1_000_000,
+    }
+}
+
+fn build(seed: u64, supervised: bool) -> Platform {
+    let mut b = Platform::builder(seed)
+        .marketplaces(vec![vec![
+            listing(1, "Rust Book", "books", "programming", 30, &[("rust", 1.0)]),
+            listing(2, "Go Book", "books", "programming", 25, &[("go", 1.0)]),
+        ]])
+        .mba_timeout_us(2_000_000)
+        .durability(DurabilityConfig::default());
+    if supervised {
+        b = b.supervision(supervision());
+    }
+    b.build()
+}
+
+/// Drive `tasks` query tasks and require every one of them answered.
+fn drive(p: &mut Platform, consumers: u64, tasks: u64) {
+    for i in 0..tasks {
+        let consumer = ConsumerId(1 + i % consumers);
+        p.submit_task(
+            consumer,
+            ConsumerTask::Query {
+                keywords: vec!["rust".into()],
+                category: None,
+                max_results: 5,
+            },
+        );
+        let wave = p.run_and_drain();
+        assert!(
+            wave.iter()
+                .all(|(_, r)| !matches!(r, ResponseBody::Error(_))),
+            "workload task {i} failed: {wave:?}"
+        );
+    }
+}
+
+struct MttrReport {
+    /// Wall time of the repair work: crash → world drained.
+    repair_wall_us: u64,
+    /// Sim time from the crash to the host being back in service.
+    detect_and_repair_sim_us: u64,
+    agents_recovered: u64,
+}
+
+/// Crash the buyer host after `tasks` workflow tasks and recover it —
+/// by hand (`scripted = true`, the E14 `restart_host` pattern) or by
+/// leaving the supervisor to notice the missed leases and fail over.
+fn crash_and_recover(seed: u64, tasks: u64, scripted: bool) -> MttrReport {
+    let consumers = 4;
+    let mut p = build(seed, !scripted);
+    for c in 1..=consumers {
+        p.login(ConsumerId(c));
+    }
+    drive(&mut p, consumers, tasks);
+    let host = p.buyer_host();
+    let crashed_at = p.world().now();
+    p.world_mut().crash_host(host).unwrap();
+    let started = Instant::now();
+    if scripted {
+        p.world_mut().restart_host(host).unwrap();
+    }
+    p.world_mut().run_until_idle();
+    let repair_wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    // recovered service answers from whichever host is live now
+    let replies = p.query(ConsumerId(1), &["rust"], 5);
+    assert!(
+        replies
+            .iter()
+            .any(|r| matches!(r, ResponseBody::Recommendations { .. })),
+        "recovered platform must serve: {replies:?}"
+    );
+    if !scripted {
+        assert!(
+            p.world().failover_of(host).is_some(),
+            "supervisor must have failed the host over"
+        );
+    }
+    // sim-time of the recovery completion: the restart trace for the
+    // scripted path, the failover-complete bounce for the supervised one
+    let marker = if scripted { "restarted" } else { "failover" };
+    let recovered_at = p
+        .world()
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| e.at >= crashed_at)
+        .find(|e| e.label.contains(marker))
+        .map(|e| e.at)
+        .unwrap_or(crashed_at);
+    MttrReport {
+        repair_wall_us,
+        detect_and_repair_sim_us: recovered_at.as_micros() - crashed_at.as_micros(),
+        agents_recovered: p.world().metrics().agents_recovered,
+    }
+}
+
+/// Wall-time an identical fault-free workload, plain vs supervised.
+/// Best-of-`reps` on each side squeezes out scheduler noise.
+fn detector_overhead(tasks: u64, reps: u32) -> (u64, u64) {
+    let mut best = [u64::MAX, u64::MAX];
+    for rep in 0..reps {
+        for (slot, supervised) in [(0usize, false), (1usize, true)] {
+            let mut p = build(1000 + rep as u64, supervised);
+            for c in 1..=4 {
+                p.login(ConsumerId(c));
+            }
+            let started = Instant::now();
+            drive(&mut p, 4, tasks);
+            let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            best[slot] = best[slot].min(us);
+            // the dormant detector never arms on a healthy run
+            assert_eq!(p.world().metrics().hosts_suspected, 0);
+            assert_eq!(p.world().metrics().failovers, 0);
+        }
+    }
+    (best[0], best[1])
+}
+
+fn resilience_series() {
+    let sizes: &[u64] = if quick() { &[8] } else { &[8, 32, 128] };
+    println!("E15 resilience: auto-failover MTTR vs scripted restart, detector overhead");
+    let mut rows = Vec::new();
+    for &tasks in sizes {
+        let scripted = crash_and_recover(42, tasks, true);
+        let auto = crash_and_recover(42, tasks, false);
+        let ratio = auto.repair_wall_us as f64 / scripted.repair_wall_us.max(1) as f64;
+        println!(
+            "  tasks {tasks:>4}  scripted repair {:>7}us  auto repair {:>7}us  (x{ratio:.2})  \
+             auto detect+repair {:>7} sim-us  agents {:>2}",
+            scripted.repair_wall_us,
+            auto.repair_wall_us,
+            auto.detect_and_repair_sim_us,
+            auto.agents_recovered,
+        );
+        rows.push(serde_json::json!({
+            "tasks": tasks,
+            "scripted_repair_wall_us": scripted.repair_wall_us,
+            "auto_repair_wall_us": auto.repair_wall_us,
+            "auto_over_scripted": (ratio * 100.0).round() / 100.0,
+            "scripted_detect_and_repair_sim_us": scripted.detect_and_repair_sim_us,
+            "auto_detect_and_repair_sim_us": auto.detect_and_repair_sim_us,
+            "agents_recovered": auto.agents_recovered,
+        }));
+    }
+    let overhead_tasks = if quick() { 16 } else { 64 };
+    let (plain_us, supervised_us) = detector_overhead(overhead_tasks, 3);
+    let overhead_pct = (supervised_us as f64 - plain_us as f64) / plain_us.max(1) as f64 * 100.0;
+    println!(
+        "  detector overhead ({overhead_tasks} healthy tasks, best of 3): \
+         plain {plain_us}us  supervised {supervised_us}us  ({overhead_pct:+.2}%)"
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "series": rows,
+            "detector_overhead": {
+                "tasks": overhead_tasks,
+                "plain_wall_us": plain_us,
+                "supervised_wall_us": supervised_us,
+                "overhead_pct": (overhead_pct * 100.0).round() / 100.0,
+            },
+        }))
+        .unwrap()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    resilience_series();
+
+    let mut group = c.benchmark_group("E15_resilience");
+    group.sample_size(20);
+    // an idle tick: nothing tracked, the per-lease-interval fixed cost
+    group.bench_function("detector_tick_idle", |b| {
+        let mut sup = Supervisor::new(supervision());
+        b.iter(|| sup.tick(0));
+    });
+    // a fully loaded tick: 64 crashed hosts whose leases all expire —
+    // worst-case verdict fan-out per tick
+    group.bench_function("detector_tick_64_expiring_leases", |b| {
+        b.iter(|| {
+            let mut sup = Supervisor::new(supervision());
+            for h in 0..64u32 {
+                sup.observe_crash(HostId(h), 0);
+            }
+            sup.tick(10_000_000).len()
+        });
+    });
+    // budget bookkeeping on the recovery path: one decision per capsule
+    group.bench_function("note_restore_64_agents", |b| {
+        let mut sup = Supervisor::new(supervision());
+        b.iter(|| (0..64u64).map(|a| sup.note_restore(AgentId(a))).count());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -24,7 +24,7 @@ use crate::profile::{ConsumerId, Profile};
 use crate::retry::BackoffPolicy;
 use agentsim::agent::{Agent, Ctx};
 use agentsim::clock::{SimDuration, SimTime};
-use agentsim::ids::AgentId;
+use agentsim::ids::{AgentId, HostId};
 use agentsim::message::Message;
 use ecp::merchandise::Merchandise;
 use ecp::protocol::{self as ecpk, BuyConfirm, LedgerQuery, LedgerReply, Offer};
@@ -843,6 +843,12 @@ impl Agent for BuyerRecommendAgent {
                 ctx.note(format!("bra: unhandled kind {other}"));
             }
         }
+    }
+
+    fn on_rehomed(&mut self, ctx: &mut Ctx<'_>, new_home: HostId) {
+        // BRAs keep no host field of their own (peers are agent ids, and
+        // MBA placement follows the BSMA's target) — just log the move.
+        ctx.note(format!("bra: rehomed to failover host {new_home}"));
     }
 
     fn on_recovered(&mut self, ctx: &mut Ctx<'_>, _deltas: &[serde_json::Value]) {

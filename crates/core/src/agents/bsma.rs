@@ -568,6 +568,13 @@ impl Agent for Bsma {
         }
     }
 
+    fn on_rehomed(&mut self, ctx: &mut Ctx<'_>, new_home: HostId) {
+        // The buyer server host is gone; the supervisor restored us on a
+        // standby. Future child placements and MBA returns target it.
+        self.config.target = new_home;
+        ctx.note(format!("bsma: rehomed to failover host {new_home}"));
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         // MBA loss watchdog: if the MBA is still registered when its
         // timer fires, it is presumed lost.

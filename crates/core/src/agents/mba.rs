@@ -392,6 +392,16 @@ impl Agent for MobileBuyerAgent {
         }
     }
 
+    fn on_rehomed(&mut self, ctx: &mut Ctx<'_>, new_home: HostId) {
+        // The buyer server we left from died and its state failed over to
+        // a standby: steer the return trip there, and reset the trip-home
+        // backoff — the retries burned against the dead host say nothing
+        // about the standby's reachability.
+        self.home = new_home;
+        self.home_attempts = 0;
+        ctx.note(format!("mba: rehomed to failover host {new_home}"));
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         if tag == HOME_RETRY_TAG {
             ctx.dispatch_self(self.home);

@@ -29,6 +29,7 @@ use agentsim::net::Topology;
 use agentsim::overload::MailboxConfig;
 use agentsim::shard::ShardedSimWorld;
 use agentsim::sim::SimWorld;
+use agentsim::supervise::SupervisionConfig;
 use ecp::merchandise::{ItemId, Merchandise, Money};
 use ecp::protocol::{
     kinds as ecpk, AuctionOpen, Listing, RegisterServer, RequestBuyerServer, ServerRole,
@@ -53,6 +54,7 @@ pub struct PlatformBuilder {
     breaker: Option<BreakerConfig>,
     mailbox: Option<MailboxConfig>,
     durability: Option<DurabilityConfig>,
+    supervision: Option<SupervisionConfig>,
 }
 
 impl PlatformBuilder {
@@ -75,6 +77,7 @@ impl PlatformBuilder {
             breaker: None,
             mailbox: None,
             durability: None,
+            supervision: None,
         }
     }
 
@@ -178,11 +181,26 @@ impl PlatformBuilder {
         self
     }
 
+    /// Arm self-healing supervision: heartbeat leases detect crashed and
+    /// hung hosts, and expiry triggers an automatic failover (recovery
+    /// onto a standby host) without any scripted `restart_host` call.
+    /// Pairs naturally with [`PlatformBuilder::durability`] — without
+    /// durable stores a failed-over host has no capsules to restore. Off
+    /// by default; absent, traces are byte-identical to a platform built
+    /// before supervision existed.
+    pub fn supervision(mut self, config: SupervisionConfig) -> Self {
+        self.supervision = Some(config);
+        self
+    }
+
     /// Assemble the world and run the Fig 4.1 creation workflow.
     pub fn build(self) -> Platform {
         let mut world = SimWorld::with_topology(self.seed, self.topology);
         if let Some(cfg) = self.durability {
             world.enable_durability(cfg);
+        }
+        if let Some(cfg) = self.supervision {
+            world.enable_supervision(cfg);
         }
         if self.telemetry {
             world.enable_telemetry();
@@ -643,6 +661,7 @@ pub struct ShardedPlatformBuilder {
     breaker: Option<BreakerConfig>,
     mailbox: Option<MailboxConfig>,
     durability: Option<DurabilityConfig>,
+    supervision: Option<SupervisionConfig>,
 }
 
 impl ShardedPlatformBuilder {
@@ -666,6 +685,7 @@ impl ShardedPlatformBuilder {
             breaker: None,
             mailbox: None,
             durability: None,
+            supervision: None,
         }
     }
 
@@ -757,6 +777,13 @@ impl ShardedPlatformBuilder {
         self
     }
 
+    /// Arm self-healing supervision on every shard. See
+    /// [`PlatformBuilder::supervision`].
+    pub fn supervision(mut self, config: SupervisionConfig) -> Self {
+        self.supervision = Some(config);
+        self
+    }
+
     /// Assemble the sharded world and run the Fig 4.1 creation workflow
     /// once per shard.
     pub fn build(self) -> ShardedPlatform {
@@ -767,6 +794,9 @@ impl ShardedPlatformBuilder {
         }
         if let Some(cfg) = self.durability {
             world.enable_durability(cfg);
+        }
+        if let Some(cfg) = self.supervision {
+            world.enable_supervision(cfg);
         }
         if self.telemetry {
             world.enable_telemetry();

@@ -22,6 +22,8 @@ pub enum DbError {
         /// Decoder error description.
         reason: String,
     },
+    /// A filesystem operation on a file-backed log failed.
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -35,6 +37,7 @@ impl fmt::Display for DbError {
             DbError::WalCorrupt { record, reason } => {
                 write!(f, "wal record {record} is corrupt: {reason}")
             }
+            DbError::Io(e) => write!(f, "wal file i/o failed: {e}"),
         }
     }
 }

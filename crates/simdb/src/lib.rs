@@ -29,11 +29,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod error;
+pub mod file_wal;
 pub mod store;
 pub mod table;
 pub mod wal;
 
 pub use error::{DbError, Result};
+pub use file_wal::FileWal;
 pub use store::JsonStore;
 pub use table::Table;
 pub use wal::{LogRecord, Wal};

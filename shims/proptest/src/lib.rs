@@ -8,6 +8,9 @@
 //! there is no shrinking — a failing case reports its inputs via the
 //! assertion message instead.
 
+// A test harness reports failures by panicking; that is its API.
+#![allow(clippy::panic)]
+
 use std::ops::Range;
 
 /// Number of cases each `proptest!` test runs.

@@ -374,6 +374,9 @@ ser_tuple! {
 /// Render a map key: anything serializing to a string or integer works,
 /// matching serde_json's stringify-integer-keys behaviour (and covering
 /// integer newtype keys like `ItemId(u64)`).
+// An unsupported key shape is a programming error in the caller, not a
+// runtime condition — the shim's API has no Result channel to carry it.
+#[allow(clippy::panic)]
 fn key_to_string<K: Serialize>(key: &K) -> String {
     match key.serialize_value() {
         Value::String(s) => s,

@@ -361,6 +361,7 @@ mod threaded {
         );
         let mut partitions = Vec::new();
         let mut crashed = Vec::new();
+        let mut hung = Vec::new();
         for ev in &plan.events {
             match ev.fault {
                 // every link-fault class maps to the runtime-shared
@@ -374,6 +375,12 @@ mod threaded {
                 Fault::CrashHost { host } => {
                     world.crash_host(host).unwrap();
                     crashed.push(host);
+                }
+                // this config declares no hangable hosts, so the plan
+                // never draws one — the arm keeps the mapping total
+                Fault::Hang { host } => {
+                    world.hang_host(host).unwrap();
+                    hung.push(host);
                 }
             }
         }
@@ -401,6 +408,9 @@ mod threaded {
         }
         for host in crashed {
             world.restart_host(host).unwrap();
+        }
+        for host in hung {
+            world.unhang_host(host).unwrap();
         }
         world.send_external(probe, instruction(bra, &task)).unwrap();
         let status = world.run_until_idle(Duration::from_secs(60));

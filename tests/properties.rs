@@ -781,7 +781,7 @@ fn apply_durable_op(store: &mut DurableStore, op: (u8, u64, u64, i64)) {
         4 => store.log_commit(intent, v).unwrap(),
         5 => store.log_abort(intent, format!("abort {value}")).unwrap(),
         6 => store.log_delta(agent, v).unwrap(),
-        _ => store.checkpoint(Vec::new()),
+        _ => store.checkpoint(Vec::new()).unwrap(),
     }
 }
 
